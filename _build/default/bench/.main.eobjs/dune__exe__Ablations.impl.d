@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Bench_queries Bench_util Blas Blas_rel Datasets List Printf

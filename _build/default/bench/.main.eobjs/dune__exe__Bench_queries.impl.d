@@ -1,0 +1,1 @@
+bench/bench_queries.ml: String

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Int64 List Monotonic_clock Option Printf String

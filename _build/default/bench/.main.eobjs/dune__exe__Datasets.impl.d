@@ -1,0 +1,1 @@
+bench/datasets.ml: Bench_util Blas Blas_datagen Blas_xml

@@ -1,0 +1,1 @@
+bench/figures.ml: Bench_queries Bench_util Blas Blas_datagen Blas_rel Blas_xml Blas_xpath Datasets List Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Figures List Micro Printf String Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_queries Bench_util Benchmark Blas Datasets Float Hashtbl List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,72 @@
+(** The paper's query sets.
+
+    Figure 10 lists the nine hand-written queries; QXY has X in
+    {S(hakespeare), P(rotein), A(uction)} and Y in {1 = suffix path,
+    2 = path with a descendant axis, 3 = general tree query}.
+
+    The XMark benchmark queries (Section 5.3.3, Figure 15) are used as
+    tree-pattern skeletons: the paper's subset has no positional
+    predicates or aggregates, and the paper itself removed value
+    predicates for the twig-join experiments, so each QN below is the
+    /, //, branch skeleton of the corresponding XMark query (Q3 is
+    omitted like in the paper). *)
+
+let qs1 = "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE"
+
+let qs2 = "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR"
+
+let qs3 = "/PLAYS/PLAY/ACT/SCENE[TITLE = \"SCENE III. A public place.\"]//LINE"
+
+let qp1 = "/ProteinDatabase/ProteinEntry/protein/name"
+
+let qp2 = "/ProteinDatabase/ProteinEntry//authors/author = \"Daniel, M.\""
+
+let qp3 = "/ProteinDatabase/ProteinEntry[reference/refinfo[citation and year]]/protein/name"
+
+let qa1 = "//category/description/parlist/listitem"
+
+let qa2 = "/site/regions//item/description"
+
+let qa3 = "/site/regions/asia/item[shipping]/description"
+
+let shakespeare = [ ("QS1", qs1); ("QS2", qs2); ("QS3", qs3) ]
+
+let protein = [ ("QP1", qp1); ("QP2", qp2); ("QP3", qp3) ]
+
+let auction = [ ("QA1", qa1); ("QA2", qa2); ("QA3", qa3) ]
+
+let all = shakespeare @ protein @ auction
+
+(* Value predicates removed, as in Section 5.3.1. *)
+let strip_values s =
+  match String.index_opt s '=' with
+  | Some i when s.[0] = '/' ->
+    (* Only the trailing top-level comparison needs stripping for the
+       queries we use; bracketed values are removed per query below. *)
+    String.trim (String.sub s 0 i)
+  | _ -> s
+
+(** The query sets with value predicates removed (twig experiments). *)
+let shakespeare_novalue =
+  [ ("QS1", qs1); ("QS2", qs2); ("QS3", "/PLAYS/PLAY/ACT/SCENE[TITLE]//LINE") ]
+
+let protein_novalue =
+  [
+    ("QP1", qp1);
+    ("QP2", strip_values qp2);
+    ("QP3", qp3)  (* QP3 has no value predicates *);
+  ]
+
+let auction_novalue = auction  (* QA1-3 carry no value predicates *)
+
+let all_novalue = shakespeare_novalue @ protein_novalue @ auction_novalue
+
+(** XMark benchmark skeletons (Figure 15 runs Q1, Q2, Q4, Q5, Q6). *)
+let benchmark =
+  [
+    ("Q1", "/site/people/person/name");
+    ("Q2", "/site/open_auctions/open_auction/bidder/increase");
+    ("Q4", "/site/open_auctions/open_auction[bidder/personref]/reserve");
+    ("Q5", "/site/closed_auctions/closed_auction/price");
+    ("Q6", "/site/regions//item");
+  ]

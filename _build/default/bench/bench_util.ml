@@ -1,0 +1,83 @@
+(** Measurement and table-rendering helpers for the benchmark harness.
+
+    Timing follows the paper's protocol (Section 5.1): each measurement
+    repeats the query independently, drops the maximum and the minimum,
+    and averages the rest.  The clock is the monotonic nanosecond clock
+    bechamel uses. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let time_once f =
+  let t0 = now_ns () in
+  let result = f () in
+  let t1 = now_ns () in
+  (result, Int64.to_float (Int64.sub t1 t0) /. 1e9)
+
+(** [measure ?repetitions f] — mean seconds over the repetitions,
+    excluding the best and worst run (paper protocol), plus [f]'s last
+    result. *)
+let measure ?(repetitions = 10) f =
+  let result = ref None in
+  let samples =
+    List.init repetitions (fun _ ->
+        let r, dt = time_once f in
+        result := Some r;
+        dt)
+  in
+  let mean =
+    match List.sort compare samples with
+    | _ :: (_ :: _ :: _ as middle_and_max) ->
+      let middle = List.filteri (fun i _ -> i < List.length middle_and_max - 1) middle_and_max in
+      List.fold_left ( +. ) 0. middle /. float_of_int (List.length middle)
+    | samples -> List.fold_left ( +. ) 0. samples /. float_of_int (List.length samples)
+  in
+  (Option.get !result, mean)
+
+(* ------------------------------------------------------------------ *)
+(* Plain-text tables                                                  *)
+
+type table = { header : string list; rows : string list list }
+
+let render { header; rows } =
+  let all = header :: rows in
+  let columns = List.length header in
+  let width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init columns width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> Printf.sprintf "%-*s" (List.nth widths i) cell)
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let print_table ?title t =
+  (match title with Some title -> Printf.printf "\n%s\n" title | None -> ());
+  print_endline (render t);
+  print_newline ()
+
+let seconds s = Printf.sprintf "%.4f" s
+
+let thousands n =
+  if n >= 1000 then Printf.sprintf "%.1fK" (float_of_int n /. 1000.)
+  else string_of_int n
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title bar
+
+(* Datasets are built once and shared across figures. *)
+let memo f =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      cache := Some v;
+      v

@@ -1,0 +1,51 @@
+(** The benchmark data sets, built once and shared by the figures.
+
+    Two scales are used (see DESIGN.md's substitution table):
+
+    - {b full} — the generators calibrated to the paper's Figure 12
+      (Shakespeare 1.3 MB / Protein 3.5 MB / Auction 3.4 MB analogues);
+      used for Figures 11-13, where the paper runs the original files.
+    - {b base} — smaller documents used for the replication experiments
+      (Figures 14-18), where the paper replicates its files 10-60x.
+      Replicating the full-scale documents 60x would need several
+      million nodes in memory; replicating a smaller base preserves
+      every relative comparison because both the visited-element counts
+      and the join costs scale linearly in the replication factor. *)
+
+let storage_of tree = Blas.index_of_tree tree
+
+let shakespeare_full =
+  Bench_util.memo (fun () -> storage_of (Blas_datagen.Shakespeare.default ()))
+
+let protein_full =
+  Bench_util.memo (fun () -> storage_of (Blas_datagen.Protein.default ()))
+
+let auction_full =
+  Bench_util.memo (fun () -> storage_of (Blas_datagen.Auction.default ()))
+
+(* Replication bases. *)
+let shakespeare_base = Bench_util.memo (fun () -> Blas_datagen.Shakespeare.generate ~plays:2 ())
+
+let protein_base = Bench_util.memo (fun () -> Blas_datagen.Protein.generate ~entries:160 ())
+
+let auction_base = Bench_util.memo (fun () -> Blas_datagen.Auction.generate ~scale:16 ())
+
+let replicated base factor = storage_of (Blas_xml.Replicate.by_factor factor (base ()))
+
+let shakespeare_x20 = Bench_util.memo (fun () -> replicated shakespeare_base 20)
+
+let protein_x20 = Bench_util.memo (fun () -> replicated protein_base 20)
+
+let auction_x20 = Bench_util.memo (fun () -> replicated auction_base 20)
+
+(** The Figure 16-18 sweep: auction base replicated 10-60x.  Rebuilt on
+    demand (not memoized) so at most one large index lives at a time. *)
+let sweep_factors = [ 10; 20; 30; 40; 50; 60 ]
+
+let auction_at factor = replicated auction_base factor
+
+(** X-axis labels for the sweep, in the paper's style: the byte size of
+    the replicated document. *)
+let sweep_label factor =
+  let tree = Blas_xml.Replicate.by_factor factor (auction_base ()) in
+  Blas_xml.Doc_stats.size_human (Blas_xml.Printer.byte_size tree)

@@ -1,0 +1,39 @@
+(** Benchmark harness entry point.
+
+    With no argument every figure of the paper's evaluation section is
+    regenerated in order, followed by the join-count table, the
+    ablations and the bechamel micro-benchmarks; a single argument
+    selects one section (fig10 ... fig18, joins, ablate, bechamel). *)
+
+let sections =
+  [
+    ("fig10", Figures.fig10);
+    ("fig11", Figures.fig11);
+    ("fig12", Figures.fig12);
+    ("fig13", Figures.fig13);
+    ("fig14", Figures.fig14);
+    ("fig15", Figures.fig15);
+    ("fig16", Figures.fig16);
+    ("fig17", Figures.fig17);
+    ("fig18", Figures.fig18);
+    ("joins", Figures.joins);
+    ("disk", Figures.disk);
+    ("space", Figures.space);
+    ("build", Figures.build);
+    ("ablate", Ablations.all);
+    ("bechamel", Micro.run);
+  ]
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> List.iter (fun (_, f) -> f ()) sections
+  | [| _; name |] -> (
+    match List.assoc_opt name sections with
+    | Some f -> f ()
+    | None ->
+      Printf.eprintf "unknown section %s; available: %s\n" name
+        (String.concat " " (List.map fst sections));
+      exit 1)
+  | _ ->
+    Printf.eprintf "usage: %s [section]\n" Sys.argv.(0);
+    exit 1

@@ -1,0 +1,92 @@
+(** Bechamel micro-benchmarks: one [Test.make] per figure's headline
+    query, analyzed with OLS over the monotonic clock.  These complement
+    the figure tables with statistically stable per-query timings. *)
+
+open Bechamel
+
+let test_rdbms ~name:test_name storage translator query_string =
+  let query = Blas.query query_string in
+  Test.make ~name:test_name
+    (Staged.stage (fun () ->
+         Blas.run storage ~engine:Blas.Rdbms ~translator query))
+
+let test_twig ~name:test_name storage translator query_string =
+  let query = Blas.query query_string in
+  Test.make ~name:test_name
+    (Staged.stage (fun () ->
+         Blas.run storage ~engine:Blas.Twig ~translator query))
+
+let tests () =
+  let shakespeare = Datasets.shakespeare_full () in
+  let protein = Datasets.protein_full () in
+  let auction = Datasets.auction_full () in
+  let per_translator mk storage qname qs =
+    List.map
+      (fun tr ->
+        mk
+          ~name:(Printf.sprintf "%s/%s" qname (Blas.translator_name tr))
+          storage tr qs)
+      [ Blas.D_labeling; Blas.Split; Blas.Pushup; Blas.Unfold ]
+  in
+  (* One group per figure: Fig13 a-c on the RDBMS engine, Fig14/16-18
+     headliners on the twig engine. *)
+  per_translator test_rdbms shakespeare "fig13a:QS3" Bench_queries.qs3
+  @ per_translator test_rdbms protein "fig13b:QP3" Bench_queries.qp3
+  @ per_translator test_rdbms auction "fig13c:QA3" Bench_queries.qa3
+  (* Fig 14/15 headliners on the twig engine over the x20 data. *)
+  @ List.map
+      (fun tr ->
+        test_twig
+          ~name:(Printf.sprintf "fig14:QP3/%s" (Blas.translator_name tr))
+          (Datasets.protein_x20 ()) tr Bench_queries.qp3)
+      [ Blas.D_labeling; Blas.Split; Blas.Pushup ]
+  @ List.map
+      (fun tr ->
+        test_twig
+          ~name:(Printf.sprintf "fig15:Q4/%s" (Blas.translator_name tr))
+          (Datasets.auction_x20 ()) tr (List.assoc "Q4" Bench_queries.benchmark))
+      [ Blas.D_labeling; Blas.Split; Blas.Pushup ]
+  @ List.concat_map
+      (fun (fig, qs) ->
+        List.map
+          (fun tr ->
+            test_twig
+              ~name:(Printf.sprintf "%s/%s" fig (Blas.translator_name tr))
+              auction tr qs)
+          [ Blas.D_labeling; Blas.Split; Blas.Pushup ])
+      [
+        ("fig16:QA1", Bench_queries.qa1);
+        ("fig17:QA2", Bench_queries.qa2);
+        ("fig18:QA3", Bench_queries.qa3);
+      ]
+
+let run () =
+  Bench_util.heading "Bechamel micro-benchmarks (ns per query, OLS estimate)";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let grouped = Test.make_grouped ~name:"blas" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun test_name result ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some [ e ] -> Printf.sprintf "%.0f" e
+        | _ -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square result with
+        | Some r when not (Float.is_nan r) -> Printf.sprintf "%.4f" r
+        | Some _ | None -> "-"
+      in
+      rows := [ test_name; estimate; r2 ] :: !rows)
+    results;
+  Bench_util.print_table
+    {
+      Bench_util.header = [ "benchmark"; "ns/run"; "r^2" ];
+      rows = List.sort compare !rows;
+    }

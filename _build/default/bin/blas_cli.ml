@@ -1,0 +1,312 @@
+(** The [blas] command-line interface: generate data sets, inspect
+    documents, translate XPath queries with any of the translators, and
+    run them on either engine.
+
+    {v
+      blas generate auction --scale 20 -o auction.xml
+      blas stats auction.xml
+      blas translate -q '//item[shipping]/description' auction.xml
+      blas plan -q '//item/description' --translator pushup auction.xml
+      blas run -q '//item/description' --engine twig --verify auction.xml
+    v} *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let input_arg =
+  let doc = "XML input file." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let query_arg =
+  let doc = "XPath query (the paper's subset: /, //, [..], =, *)." in
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"XPATH" ~doc)
+
+let translator_arg =
+  let options =
+    [
+      ("d-labeling", Blas.D_labeling);
+      ("split", Blas.Split);
+      ("pushup", Blas.Pushup);
+      ("unfold", Blas.Unfold);
+      ("auto", Blas.Auto);
+    ]
+  in
+  let doc =
+    Printf.sprintf "Query translator: %s."
+      (String.concat ", " (List.map fst options))
+  in
+  Arg.(value & opt (enum options) Blas.Pushup & info [ "translator"; "t" ] ~doc)
+
+let engine_arg =
+  let doc = "Query engine: rdbms or twig." in
+  Arg.(
+    value
+    & opt (enum [ ("rdbms", Blas.Rdbms); ("twig", Blas.Twig) ]) Blas.Rdbms
+    & info [ "engine"; "e" ] ~doc)
+
+let parse_query s =
+  try Ok (Blas.query s) with
+  | Blas_xpath.Parser.Error msg -> Error (Printf.sprintf "query error: %s" msg)
+
+let parse_query_union s =
+  try Ok (Blas.query_union s) with
+  | Blas_xpath.Parser.Error msg -> Error (Printf.sprintf "query error: %s" msg)
+
+(* XML files and saved index files (magic "BLAS1") both load. *)
+let load_storage path =
+  try
+    let contents = read_file path in
+    if String.length contents >= 5 && String.sub contents 0 5 = "BLAS1" then
+      Ok (Blas.Persist.of_string contents)
+    else Ok (Blas.index contents)
+  with
+  | Blas_xml.Types.Parse_error (pos, msg) ->
+    Error
+      (Printf.sprintf "%s: %s at %s" path msg (Blas_xml.Types.position_to_string pos))
+  | Blas.Persist.Format_error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Sys_error msg -> Error msg
+
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+
+let generate dataset scale seed output =
+  let tree =
+    match dataset with
+    | `Shakespeare -> Blas_datagen.Shakespeare.generate ?seed ~plays:(max 1 scale) ()
+    | `Protein -> Blas_datagen.Protein.generate ?seed ~entries:(max 1 (scale * 80)) ()
+    | `Auction -> Blas_datagen.Auction.generate ?seed ~scale:(max 1 (scale * 8)) ()
+  in
+  let xml = Blas_xml.Printer.pretty tree in
+  (match output with
+  | Some path ->
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc xml);
+    Printf.printf "wrote %s (%s)\n" path
+      (Blas_xml.Doc_stats.size_human (String.length xml))
+  | None -> print_string xml);
+  `Ok ()
+
+let generate_cmd =
+  let dataset =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("shakespeare", `Shakespeare);
+                  ("protein", `Protein);
+                  ("auction", `Auction);
+                ]))
+          None
+      & info [] ~docv:"DATASET" ~doc:"One of shakespeare, protein, auction.")
+  in
+  let scale =
+    Arg.(value & opt int 2 & info [ "scale" ] ~doc:"Relative size (2 is small).")
+  in
+  let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"PRNG seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout by default).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic data set in the paper's three shapes.")
+    Term.(ret (const generate $ dataset $ scale $ seed $ output))
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+
+let stats path =
+  match load_storage path with
+  | Error msg -> `Error (false, msg)
+  | Ok storage ->
+    let doc = storage.Blas.Storage.doc in
+    let guide = Blas.Storage.guide storage in
+    Printf.printf "nodes:  %d\ntags:   %d\ndepth:  %d\npaths:  %d\n"
+      (Blas_xpath.Doc.node_count doc)
+      (List.length (Blas_xml.Dataguide.distinct_tags guide))
+      (Blas_xml.Dataguide.max_depth guide)
+      (List.length (Blas_xml.Dataguide.all_paths guide));
+    `Ok ()
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print document characteristics (Figure 12 columns).")
+    Term.(ret (const stats $ input_arg))
+
+(* ------------------------------------------------------------------ *)
+(* translate                                                           *)
+
+let translate query_string translator path =
+  match load_storage path, parse_query query_string with
+  | Error msg, _ | _, Error msg -> `Error (false, msg)
+  | Ok storage, Ok query ->
+    Printf.printf "query: %s\ntranslator: %s\n\n"
+      (Blas_xpath.Pretty.to_string query)
+      (Blas.translator_name translator);
+    (if translator <> Blas.D_labeling then begin
+       let branches = Blas.decompose storage translator query in
+       List.iteri
+         (fun i branch ->
+           Printf.printf "-- decomposition branch %d --\n%s\n" (i + 1)
+             (Format.asprintf "%a" Blas.Suffix_query.pp branch))
+         branches
+     end);
+    (match Blas.sql_for storage translator query with
+    | Some sql -> Printf.printf "\nSQL:\n%s\n" (Blas_rel.Sql_print.to_string sql)
+    | None -> print_endline "\nSQL: (provably empty: some path does not occur)");
+    `Ok ()
+
+let translate_cmd =
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:"Decompose an XPath query into suffix path subqueries and show the SQL.")
+    Term.(ret (const translate $ query_arg $ translator_arg $ input_arg))
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+
+let plan query_string translator path =
+  match load_storage path, parse_query query_string with
+  | Error msg, _ | _, Error msg -> `Error (false, msg)
+  | Ok storage, Ok query ->
+    (match Blas.plan_for storage translator query with
+    | Some plan ->
+      print_endline (Blas_rel.Algebra.to_string plan);
+      let profile = Blas_rel.Algebra.selection_profile plan in
+      Printf.printf "\nD-joins: %d, selections: %d equality / %d range / %d scans\n"
+        (Blas_rel.Algebra.count_djoins plan)
+        profile.Blas_rel.Algebra.equality profile.range profile.scans
+    | None -> print_endline "(provably empty)");
+    (if translator <> Blas.D_labeling then
+       let estimate =
+         Blas.Cost.of_decomposition storage (Blas.decompose storage translator query)
+       in
+       Format.printf "estimated cost: %a@." Blas.Cost.pp estimate);
+    `Ok ()
+
+let plan_cmd =
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Show the compiled physical plan (Figure 11 style).")
+    Term.(ret (const plan $ query_arg $ translator_arg $ input_arg))
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let run query_string translator engine verify show_limit as_xml explain verbose path =
+  setup_logs verbose;
+  match load_storage path, parse_query_union query_string with
+  | Error msg, _ | _, Error msg -> `Error (false, msg)
+  | Ok storage, Ok queries ->
+    let t0 = Sys.time () in
+    let report = Blas.run_union storage ~engine ~translator queries in
+    let dt = Sys.time () -. t0 in
+    Printf.printf "%d answers in %.4fs (%s on %s), %d elements visited, %d D-joins\n"
+      (List.length report.Blas.starts)
+      dt
+      (Blas.translator_name translator)
+      (Blas.engine_name engine) report.visited report.plan_djoins;
+    let by_start =
+      List.map
+        (fun (n : Blas_xpath.Doc.node) -> (n.start, n))
+        storage.Blas.Storage.doc.Blas_xpath.Doc.all
+    in
+    let nav = if explain then Some (Blas.Nav.of_storage storage) else None in
+    List.iteri
+      (fun i start ->
+        if i < show_limit then
+          match List.assoc_opt start by_start with
+          | Some node ->
+            if as_xml then
+              print_endline (Blas_xml.Printer.compact (Blas_xpath.Doc.subtree node))
+            else begin
+              Printf.printf "  %d: <%s> %s\n" start node.Blas_xpath.Doc.tag
+                (match node.data with Some d -> Printf.sprintf "%S" d | None -> "");
+              match nav with
+              | Some nav -> Printf.printf "      at %s\n" (Blas.Nav.context nav start)
+              | None -> ()
+            end
+          | None -> Printf.printf "  %d\n" start
+        else if i = show_limit then print_endline "  ...")
+      report.starts;
+    if verify then begin
+      let expected = Blas.oracle_union storage queries in
+      if expected = report.starts then print_endline "verified against the naive evaluator"
+      else begin
+        print_endline "MISMATCH with the naive evaluator!";
+        exit 2
+      end
+    end;
+    `Ok ()
+
+let run_cmd =
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Check the answer against the naive evaluator.")
+  in
+  let show =
+    Arg.(value & opt int 10 & info [ "show" ] ~doc:"How many answers to print.")
+  in
+  let as_xml =
+    Arg.(value & flag & info [ "xml" ] ~doc:"Print answers as XML subtrees.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print each answer's ancestor path.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an XPath query end to end.")
+    Term.(
+      ret
+        (const run $ query_arg $ translator_arg $ engine_arg $ verify $ show
+       $ as_xml $ explain $ verbose_arg $ input_arg))
+
+(* ------------------------------------------------------------------ *)
+(* index                                                               *)
+
+let index_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Index file to write.")
+  in
+  let build input output =
+    match load_storage input with
+    | Error msg -> `Error (false, msg)
+    | Ok storage ->
+      Blas.Persist.save storage output;
+      Printf.printf "indexed %d nodes -> %s\n" (Blas.Storage.node_count storage) output;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:
+         "Build and save an index; other commands accept the saved file in \
+          place of XML.")
+    Term.(ret (const build $ input_arg $ output))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "BLAS: a bi-labeling based XPath processing system (SIGMOD 2004)" in
+  let info = Cmd.info "blas" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; index_cmd; stats_cmd; translate_cmd; plan_cmd; run_cmd ]))

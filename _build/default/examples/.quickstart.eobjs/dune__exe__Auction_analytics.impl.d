@@ -1,0 +1,1 @@
+examples/auction_analytics.ml: Blas Blas_datagen Blas_label Blas_xml Format List Printf

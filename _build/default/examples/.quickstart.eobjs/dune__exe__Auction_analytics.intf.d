@@ -1,0 +1,1 @@
+examples/auction_analytics.mli:

@@ -1,0 +1,1 @@
+examples/federation.ml: Blas Blas_datagen Format List Printf

@@ -1,0 +1,1 @@
+examples/federation.mli:

@@ -1,0 +1,1 @@
+examples/protein_search.ml: Blas Blas_datagen Blas_xpath Format List Option Printf

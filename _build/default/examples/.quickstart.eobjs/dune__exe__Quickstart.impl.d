@@ -1,0 +1,1 @@
+examples/quickstart.ml: Blas Blas_rel Blas_xpath List Printf

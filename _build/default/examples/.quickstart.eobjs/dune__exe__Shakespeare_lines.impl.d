@@ -1,0 +1,1 @@
+examples/shakespeare_lines.ml: Blas Blas_datagen Blas_label Blas_rel Blas_twig Format List Printf

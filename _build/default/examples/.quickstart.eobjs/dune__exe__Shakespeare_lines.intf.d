@@ -1,0 +1,1 @@
+examples/shakespeare_lines.mli:

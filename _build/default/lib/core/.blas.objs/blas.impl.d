@@ -1,0 +1,1 @@
+lib/core/blas.ml: Baseline Blas_rel Blas_xpath Collection Cost Decompose Engine_rdbms Engine_twig Exec List Nav Option Persist Sax_index Stdlib Storage Suffix_query Translate

@@ -1,0 +1,1 @@
+lib/core/blas.mli: Baseline Blas_rel Blas_xml Blas_xpath Collection Cost Decompose Engine_rdbms Engine_twig Exec Nav Persist Sax_index Storage Suffix_query Translate

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Blas_rel Blas_twig Blas_xpath List Printf Storage String

@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Blas_rel Blas_twig Blas_xpath Storage

@@ -1,0 +1,1 @@
+lib/core/collection.ml: Exec List Printf Storage

@@ -1,0 +1,1 @@
+lib/core/collection.mli: Blas_xml Blas_xpath Exec Storage

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Blas_label Blas_rel Decompose Format List Stdlib Storage Suffix_query

@@ -1,0 +1,1 @@
+lib/core/cost.mli: Blas_xpath Format Storage Suffix_query

@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Blas_label Blas_xml Blas_xpath List Option Printf Stdlib String Suffix_query

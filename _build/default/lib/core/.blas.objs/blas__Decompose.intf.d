@@ -1,0 +1,1 @@
+lib/core/decompose.mli: Blas_xml Blas_xpath Suffix_query

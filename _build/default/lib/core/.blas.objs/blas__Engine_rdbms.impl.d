@@ -1,0 +1,1 @@
+lib/core/engine_rdbms.ml: Algebra Blas_rel Counters Executor List Relation Schema Sql_compile Stdlib Storage String Value

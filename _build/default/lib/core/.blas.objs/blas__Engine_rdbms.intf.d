@@ -1,0 +1,1 @@
+lib/core/engine_rdbms.mli: Blas_rel Storage

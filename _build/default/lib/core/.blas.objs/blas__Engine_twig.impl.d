@@ -1,0 +1,1 @@
+lib/core/engine_twig.ml: Blas_label Blas_rel Blas_twig Blas_xpath Counters Format List Schema Stdlib Storage String Suffix_query Table Tuple Value

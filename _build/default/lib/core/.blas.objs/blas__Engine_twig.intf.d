@@ -1,0 +1,1 @@
+lib/core/engine_twig.mli: Blas_rel Blas_twig Storage Suffix_query

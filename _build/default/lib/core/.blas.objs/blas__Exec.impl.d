@@ -1,0 +1,1 @@
+lib/core/exec.ml: Baseline Blas_rel Blas_xpath Cost Decompose Engine_rdbms Engine_twig List Logs Option Storage Suffix_query Translate

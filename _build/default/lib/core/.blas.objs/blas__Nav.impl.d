@@ -1,0 +1,1 @@
+lib/core/nav.ml: Blas_rel Blas_xpath List Storage String

@@ -1,0 +1,1 @@
+lib/core/nav.mli: Blas_xpath Storage

@@ -1,0 +1,1 @@
+lib/core/persist.ml: Array Blas_label Blas_xml Blas_xpath Buffer Char Fun List Printf Stdlib Storage String

@@ -1,0 +1,1 @@
+lib/core/persist.mli: Storage

@@ -1,0 +1,1 @@
+lib/core/sax_index.ml: Blas_label Blas_rel Blas_xml Buffer Hashtbl List Tuple Value

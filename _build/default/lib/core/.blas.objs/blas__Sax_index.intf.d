@@ -1,0 +1,1 @@
+lib/core/sax_index.mli: Blas_label Blas_rel Blas_xml

@@ -1,0 +1,1 @@
+lib/core/storage.mli: Blas_label Blas_rel Blas_xml Blas_xpath

@@ -1,0 +1,1 @@
+lib/core/suffix_query.ml: Blas_label Blas_xpath Format List Printf

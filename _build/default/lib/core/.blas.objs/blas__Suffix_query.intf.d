@@ -1,0 +1,1 @@
+lib/core/suffix_query.mli: Blas_label Blas_xpath Format

@@ -1,0 +1,1 @@
+lib/core/translate.ml: Blas_label Blas_rel Blas_xpath List Storage Suffix_query

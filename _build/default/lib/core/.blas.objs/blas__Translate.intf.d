@@ -1,0 +1,1 @@
+lib/core/translate.mli: Blas_label Blas_rel Storage Suffix_query

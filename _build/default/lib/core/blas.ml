@@ -1,0 +1,115 @@
+(** The public face of the BLAS system (Figure 6): build the bi-labeled
+    index once, then translate and run XPath queries with any of the
+    three BLAS translators or the D-labeling baseline, on either query
+    engine.
+
+    {[
+      let storage = Blas.index "<a><b>hi</b></a>" in
+      let query = Blas.query "/a/b" in
+      let report = Blas.run storage ~engine:Blas.Rdbms ~translator:Blas.Pushup query in
+      report.starts  (* start positions of the answer nodes *)
+    ]} *)
+
+module Storage = Storage
+module Suffix_query = Suffix_query
+module Decompose = Decompose
+module Translate = Translate
+module Baseline = Baseline
+module Engine_rdbms = Engine_rdbms
+module Engine_twig = Engine_twig
+module Collection = Collection
+module Cost = Cost
+module Persist = Persist
+module Nav = Nav
+module Sax_index = Sax_index
+
+type translator = Exec.translator =
+  | D_labeling
+  | Split
+  | Pushup
+  | Unfold
+  | Auto
+
+type engine = Exec.engine = Rdbms | Twig
+
+type report = Exec.report = {
+  starts : int list;
+  visited : int;
+  page_reads : int;
+  plan_djoins : int;
+  sql : Blas_rel.Sql_ast.t option;
+}
+
+let translator_name = Exec.translator_name
+
+let engine_name = Exec.engine_name
+
+(** [index xml] parses [xml] and builds the SP and SD storage. *)
+let index xml = Storage.of_string xml
+
+let index_of_tree tree = Storage.of_tree tree
+
+(** [query s] parses an XPath string.
+    @raise Blas_xpath.Parser.Error on malformed input. *)
+let query s = Blas_xpath.Parser.parse s
+
+let decompose = Exec.decompose
+
+let sql_for = Exec.sql_for
+
+let plan_for = Exec.plan_for
+
+let run = Exec.run
+
+let answers = Exec.answers
+
+let oracle = Exec.oracle
+
+(* ------------------------------------------------------------------ *)
+(* Union queries (the [or] extension)                                 *)
+
+(** [query_union s] parses a query that may contain [or] predicates
+    into the equivalent union of tree queries. *)
+let query_union s = Blas_xpath.Parser.parse_union s
+
+(** [run_union storage ~engine ~translator queries] executes a union of
+    tree queries and merges results and costs; the SQL of the combined
+    plan is the UNION of the per-query SQL. *)
+let run_union storage ~engine ~translator queries =
+  let reports = List.map (run storage ~engine ~translator) queries in
+  let sqls = List.filter_map (fun r -> r.sql) reports in
+  {
+    starts =
+      List.sort_uniq Stdlib.compare (List.concat_map (fun r -> r.starts) reports);
+    visited = List.fold_left (fun acc r -> acc + r.visited) 0 reports;
+    page_reads = List.fold_left (fun acc r -> acc + r.page_reads) 0 reports;
+    plan_djoins = List.fold_left (fun acc r -> acc + r.plan_djoins) 0 reports;
+    sql =
+      (match sqls with
+      | [] -> None
+      | [ sql ] -> Some sql
+      | sqls ->
+        Some
+          (Blas_rel.Sql_ast.Union
+             (List.concat_map
+                (function Blas_rel.Sql_ast.Union qs -> qs | q -> [ q ])
+                sqls)));
+  }
+
+let oracle_union storage queries =
+  List.sort_uniq Stdlib.compare (List.concat_map (oracle storage) queries)
+
+(* ------------------------------------------------------------------ *)
+(* Answer materialization                                             *)
+
+(** [node_at storage start] — the document node behind an answer. *)
+let node_at (storage : Storage.t) start =
+  Blas_xpath.Doc.find_by_start storage.doc start
+
+(** [materialize storage starts] rebuilds the answer subtrees in
+    document order (the output-generation step the paper's measurements
+    exclude).  Unknown positions are skipped. *)
+let materialize (storage : Storage.t) starts =
+  List.filter_map
+    (fun start -> Option.map Blas_xpath.Doc.subtree (node_at storage start))
+    starts

@@ -1,0 +1,112 @@
+(** The public face of the BLAS system (the paper's Figure 6): build the
+    bi-labeled index once, then translate and run XPath queries with any
+    of the three BLAS translators or the D-labeling baseline, on either
+    query engine.
+
+    {[
+      let storage = Blas.index "<a><b>hi</b></a>" in
+      let query = Blas.query "/a/b" in
+      let report = Blas.run storage ~engine:Blas.Rdbms ~translator:Blas.Pushup query in
+      report.starts (* start positions of the answer nodes *)
+    ]} *)
+
+module Storage = Storage
+module Suffix_query = Suffix_query
+module Decompose = Decompose
+module Translate = Translate
+module Baseline = Baseline
+module Engine_rdbms = Engine_rdbms
+module Engine_twig = Engine_twig
+module Collection = Collection
+module Cost = Cost
+module Persist = Persist
+module Nav = Nav
+module Sax_index = Sax_index
+
+type translator = Exec.translator =
+  | D_labeling  (** the baseline: one D-join per query edge over SD *)
+  | Split  (** Section 4.1.1 *)
+  | Pushup  (** Section 4.1.2 — the paper's default without schema *)
+  | Unfold  (** Section 4.1.3 — the paper's default with schema *)
+  | Auto
+      (** the paper's policy: Unfold when the schema expansion is
+          usable (small enough), Push-up otherwise *)
+
+type engine = Exec.engine = Rdbms | Twig
+
+val translator_name : translator -> string
+
+val engine_name : engine -> string
+
+type report = Exec.report = {
+  starts : int list;  (** answer nodes (start positions), sorted, unique *)
+  visited : int;  (** base-table tuples / stream elements read *)
+  page_reads : int;
+      (** buffer-pool misses during this run — the modelled disk
+          accesses; flush first with {!Storage.cold_cache} for the
+          paper's cold-cache protocol *)
+  plan_djoins : int;  (** D-joins in the executed plan *)
+  sql : Blas_rel.Sql_ast.t option;
+      (** the generated SQL; [None] for twig runs or provably empty
+          queries *)
+}
+
+(** [index xml] parses [xml] and builds the SP and SD storage.
+    @raise Blas_xml.Types.Parse_error on malformed XML. *)
+val index : string -> Storage.t
+
+val index_of_tree : Blas_xml.Types.tree -> Storage.t
+
+(** [query s] parses an XPath string.
+    @raise Blas_xpath.Parser.Error on malformed input. *)
+val query : string -> Blas_xpath.Ast.t
+
+(** The suffix-path decomposition (union branches) a BLAS translator
+    produces.
+    @raise Invalid_argument for [D_labeling], which does not decompose. *)
+val decompose :
+  Storage.t -> translator -> Blas_xpath.Ast.t -> Suffix_query.t list
+
+(** The SQL query plan each translator generates (the paper's Figure 11
+    shows these for QS3); [None] when provably empty. *)
+val sql_for :
+  Storage.t -> translator -> Blas_xpath.Ast.t -> Blas_rel.Sql_ast.t option
+
+(** The compiled physical plan. *)
+val plan_for :
+  Storage.t -> translator -> Blas_xpath.Ast.t -> Blas_rel.Algebra.plan option
+
+(** Translate and execute. *)
+val run :
+  Storage.t -> engine:engine -> translator:translator -> Blas_xpath.Ast.t -> report
+
+(** Just the result set. *)
+val answers :
+  Storage.t -> engine:engine -> translator:translator -> Blas_xpath.Ast.t -> int list
+
+(** The naive tree-pattern evaluator — the correctness reference. *)
+val oracle : Storage.t -> Blas_xpath.Ast.t -> int list
+
+(** [query_union s] parses a query that may contain [or] predicates into
+    the equivalent union of tree queries.
+    @raise Blas_xpath.Parser.Error on malformed input. *)
+val query_union : string -> Blas_xpath.Ast.t list
+
+(** Executes a union of tree queries, merging results and costs; the
+    combined SQL is the UNION of the per-query plans. *)
+val run_union :
+  Storage.t ->
+  engine:engine ->
+  translator:translator ->
+  Blas_xpath.Ast.t list ->
+  report
+
+val oracle_union : Storage.t -> Blas_xpath.Ast.t list -> int list
+
+(** The document node behind an answer position. *)
+val node_at : Storage.t -> int -> Blas_xpath.Doc.node option
+
+(** [materialize storage starts] rebuilds the answer subtrees in
+    document order (the output-generation step the paper's measurements
+    exclude). *)
+val materialize : Storage.t -> int list -> Blas_xml.Types.tree list

@@ -1,0 +1,56 @@
+(** Multi-document collections.
+
+    The paper notes that the labeling scheme extends to multiple
+    documents by introducing a document id.  A relation clustered by
+    {docid, plabel, start} is a per-document partition of SP —
+    structural joins and P-label selections never match across
+    documents — so the collection keeps one storage partition per
+    document and fans queries out; DESIGN.md discusses the
+    equivalence. *)
+
+type t
+
+type answer = { doc : string; start : int }
+
+val empty : t
+
+(** [add t ~name tree] indexes [tree] under [name].
+    @raise Invalid_argument on a duplicate name. *)
+val add : t -> name:string -> Blas_xml.Types.tree -> t
+
+val of_documents : (string * Blas_xml.Types.tree) list -> t
+
+val names : t -> string list
+
+val storage : t -> string -> Storage.t option
+
+val document_count : t -> int
+
+val node_count : t -> int
+
+(** Per-document reports, in insertion order. *)
+val run :
+  t ->
+  engine:Exec.engine ->
+  translator:Exec.translator ->
+  Blas_xpath.Ast.t ->
+  (string * Exec.report) list
+
+(** The merged answers. *)
+val answers :
+  t ->
+  engine:Exec.engine ->
+  translator:Exec.translator ->
+  Blas_xpath.Ast.t ->
+  answer list
+
+(** Summed visited elements across documents. *)
+val visited :
+  t ->
+  engine:Exec.engine ->
+  translator:Exec.translator ->
+  Blas_xpath.Ast.t ->
+  int
+
+(** The union-of-documents oracle. *)
+val oracle : t -> Blas_xpath.Ast.t -> answer list

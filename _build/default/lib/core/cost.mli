@@ -1,0 +1,34 @@
+(** Cost estimation for translated plans, in the paper's two currencies
+    (visited tuples / disk pages, and D-joins).  Item access estimates
+    are exact: an index-only probe of the P-label B+ tree counts the
+    tuples each suffix-path item will fetch.  Used by the [Auto]
+    translator to choose between Push-up and Unfold. *)
+
+type t = {
+  visited : int;  (** tuples every item will fetch *)
+  pages : int;  (** clustered pages behind those tuples (upper bound) *)
+  djoins : int;
+  branches : int;  (** union branches (Unfold's expansion width) *)
+}
+
+val zero : t
+
+val add : t -> t -> t
+
+(** Prices one decomposition branch. *)
+val of_branch : Storage.t -> Suffix_query.t -> t
+
+(** Prices a whole translation (a union of branches). *)
+val of_decomposition : Storage.t -> Suffix_query.t list -> t
+
+(** Orders by visited tuples, then D-joins, then union width. *)
+val compare_cost : t -> t -> int
+
+(** Prices the Push-up and Unfold translations of [query] and returns
+    the cheaper, with (unfold cost, push-up cost) for reporting. *)
+val choose :
+  Storage.t ->
+  Blas_xpath.Ast.t ->
+  [ `Unfold | `Pushup ] * Suffix_query.t list * t * t
+
+val pp : Format.formatter -> t -> unit

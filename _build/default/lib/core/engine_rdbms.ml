@@ -1,0 +1,50 @@
+(** The relational query engine (Figure 6's first engine alternative):
+    SQL plans are compiled by {!Blas_rel.Sql_compile} — which picks
+    B+ tree access paths and recognizes D-joins — and evaluated by
+    {!Blas_rel.Executor}. *)
+
+open Blas_rel
+
+type result = {
+  starts : int list;  (** answer node start positions, sorted, unique *)
+  counters : Counters.t;
+  plan : Algebra.plan option;  (** [None] for a provably empty query *)
+}
+
+let empty_result () = { starts = []; counters = Counters.create (); plan = None }
+
+(* The answer column: the only projected column, or the first one named
+   "<alias>.start" when the SQL projects more (a user-written star
+   projection). *)
+let starts_of_relation relation =
+  let columns = Schema.columns (Relation.schema relation) in
+  let answer_column =
+    match columns with
+    | [ only ] -> Some only
+    | _ ->
+      List.find_opt
+        (fun c ->
+          String.equal c "start"
+          || (String.length c > 6
+             && String.equal (String.sub c (String.length c - 6) 6) ".start"))
+        columns
+  in
+  match answer_column with
+  | Some column ->
+    Relation.column relation column
+    |> List.map Value.to_int
+    |> List.sort_uniq Stdlib.compare
+  | None -> invalid_arg "Engine_rdbms: no answer column (project a start column)"
+
+(** [run_sql storage sql] plans and executes [sql] against the storage's
+    SP and SD tables. *)
+let run_sql (storage : Storage.t) sql =
+  let plan = Sql_compile.compile ~catalog:(Storage.catalog storage) sql in
+  let counters = Counters.create () in
+  let relation = Executor.run ~counters plan in
+  { starts = starts_of_relation relation; counters; plan = Some plan }
+
+(** [run_opt storage sql] treats [None] as the empty query. *)
+let run_opt storage = function
+  | None -> empty_result ()
+  | Some sql -> run_sql storage sql

@@ -1,0 +1,18 @@
+(** The relational query engine (the paper's first engine alternative):
+    SQL plans are compiled by {!Blas_rel.Sql_compile} and evaluated by
+    {!Blas_rel.Executor}. *)
+
+type result = {
+  starts : int list;  (** answer node start positions, sorted, unique *)
+  counters : Blas_rel.Counters.t;
+  plan : Blas_rel.Algebra.plan option;  (** [None] for a provably empty query *)
+}
+
+val empty_result : unit -> result
+
+(** [run_sql storage sql] plans and executes [sql] against the storage's
+    SP and SD tables. *)
+val run_sql : Storage.t -> Blas_rel.Sql_ast.t -> result
+
+(** [run_opt storage sql] treats [None] as the empty query. *)
+val run_opt : Storage.t -> Blas_rel.Sql_ast.t option -> result

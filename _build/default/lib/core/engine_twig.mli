@@ -1,0 +1,37 @@
+(** The file-system / holistic-twig-join engine (the paper's second
+    engine alternative): suffix-path subqueries become P-label range
+    scans feeding D-label streams into {!Blas_twig.Twig_stack}.
+
+    A decomposition with several union branches (Unfold) runs one twig
+    join per branch and unites the answers; the paper's prototype did
+    not support unions, so its experiments compare only D-labeling,
+    Split and Push-up — the engine itself is complete. *)
+
+type result = {
+  starts : int list;
+  visited : int;  (** stream elements read — the Figures 14-18 metric *)
+  candidates : int;  (** elements surviving the stack filter *)
+  counters : Blas_rel.Counters.t;
+}
+
+(** [pattern_of_branch storage counters branch] roots the join tree and
+    materializes every item's stream. *)
+val pattern_of_branch :
+  Storage.t -> Blas_rel.Counters.t -> Suffix_query.t -> Blas_twig.Pattern.node
+
+(** [run ?algorithm storage branches] executes a decomposed query (a
+    union of branches).  [`Classic] (default) is the original
+    getNext-driven TwigStack; [`Merge] the global-merge variant. *)
+val run :
+  ?algorithm:[ `Classic | `Merge ] ->
+  Storage.t ->
+  Suffix_query.t list ->
+  result
+
+(** [run_pattern ?algorithm pattern counters] executes a prebuilt
+    pattern (the D-labeling baseline path). *)
+val run_pattern :
+  ?algorithm:[ `Classic | `Merge ] ->
+  Blas_twig.Pattern.node ->
+  Blas_rel.Counters.t ->
+  result

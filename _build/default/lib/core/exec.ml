@@ -1,0 +1,135 @@
+(** Translator and engine dispatch — the execution machinery shared by
+    the {!Blas} facade and {!Collection}.  See {!Blas} for the
+    user-facing documentation of these types and functions. *)
+
+let log_src = Logs.Src.create "blas" ~doc:"BLAS query processing"
+
+module Log = (val Logs.src_log log_src)
+
+type translator = D_labeling | Split | Pushup | Unfold | Auto
+
+type engine = Rdbms | Twig
+
+let translator_name = function
+  | D_labeling -> "D-labeling"
+  | Split -> "Split"
+  | Pushup -> "Push-up"
+  | Unfold -> "Unfold"
+  | Auto -> "Auto"
+
+(* Unfold pays one union branch per schema expansion; past this many
+   branches the Auto policy judges the union more expensive than
+   Push-up's D-joins. *)
+let auto_unfold_limit = 64
+
+let engine_name = function Rdbms -> "RDBMS" | Twig -> "TwigJoin"
+
+type report = {
+  starts : int list;  (** answer nodes (start positions), sorted, unique *)
+  visited : int;  (** base-table tuples / stream elements read *)
+  page_reads : int;  (** buffer-pool misses — modelled disk accesses *)
+  plan_djoins : int;  (** D-joins in the executed plan *)
+  sql : Blas_rel.Sql_ast.t option;  (** the generated SQL ([None]: provably empty) *)
+}
+
+(** [decompose storage translator q] — the suffix-path decomposition
+    (union branches) a BLAS translator produces.
+    @raise Invalid_argument for [D_labeling], which does not decompose. *)
+let rec decompose (storage : Storage.t) translator q =
+  match translator with
+  | D_labeling -> invalid_arg "Blas.decompose: D-labeling does not decompose"
+  | Split -> Decompose.translate Decompose.Split ~guide:(Storage.guide storage) q
+  | Pushup -> Decompose.translate Decompose.Pushup ~guide:(Storage.guide storage) q
+  | Unfold -> Decompose.unfold (Storage.guide storage) q
+  | Auto ->
+    (* The paper's policy (Section 5): Unfold when schema information is
+       usable, Push-up otherwise.  With an instance-derived DataGuide
+       the schema always exists, so the choice is made by cost: the
+       Cost module prices both translations in the paper's currencies
+       (visited tuples, then D-joins, then union width) and the cheaper
+       one runs.  A width cap guards against recursive schemas whose
+       expansion explodes before it can be priced. *)
+    let unfolded = decompose storage Unfold q in
+    if List.length unfolded > auto_unfold_limit then begin
+      Log.debug (fun m ->
+          m "auto: unfold expansion too wide (%d branches), using Push-up"
+            (List.length unfolded));
+      decompose storage Pushup q
+    end
+    else begin
+      let choice, branches, unfold_cost, pushup_cost = Cost.choose storage q in
+      Log.debug (fun m ->
+          m "auto: %s (unfold %a vs push-up %a)"
+            (match choice with `Unfold -> "unfold" | `Pushup -> "push-up")
+            Cost.pp unfold_cost Cost.pp pushup_cost);
+      branches
+    end
+
+(** [sql_for storage translator q] — the SQL query plan each translator
+    generates (Figure 11 shows these for QS3). *)
+let sql_for storage translator q =
+  match translator with
+  | D_labeling -> Some (Baseline.to_sql q)
+  | Split | Pushup | Unfold | Auto ->
+    Translate.to_sql storage (decompose storage translator q)
+
+(** [plan_for storage translator q] — the compiled physical plan. *)
+let plan_for storage translator q =
+  Option.map
+    (Blas_rel.Sql_compile.compile ~catalog:(Storage.catalog storage))
+    (sql_for storage translator q)
+
+(** [run storage ~engine ~translator q] — translate and execute. *)
+let run storage ~engine ~translator q =
+  Log.debug (fun m ->
+      m "run %s on %s: %s" (translator_name translator) (engine_name engine)
+        (Blas_xpath.Pretty.to_string q));
+  let misses_before = Blas_rel.Buffer_pool.misses (Storage.pool storage) in
+  let page_reads () =
+    Blas_rel.Buffer_pool.misses (Storage.pool storage) - misses_before
+  in
+  match engine with
+  | Rdbms ->
+    let sql = sql_for storage translator q in
+    let result = Engine_rdbms.run_opt storage sql in
+    {
+      starts = result.Engine_rdbms.starts;
+      visited = result.counters.Blas_rel.Counters.tuples_read;
+      page_reads = page_reads ();
+      plan_djoins =
+        (match result.plan with
+        | Some p -> Blas_rel.Algebra.count_djoins p
+        | None -> 0);
+      sql;
+    }
+  | Twig -> (
+    match translator with
+    | D_labeling ->
+      let pattern, counters = Baseline.to_pattern storage q in
+      let result = Engine_twig.run_pattern pattern counters in
+      {
+        starts = result.Engine_twig.starts;
+        visited = result.visited;
+        page_reads = page_reads ();
+        plan_djoins = Blas_xpath.Ast.step_count q - 1;
+        sql = None;
+      }
+    | _ ->
+      let branches = decompose storage translator q in
+      let result = Engine_twig.run storage branches in
+      {
+        starts = result.Engine_twig.starts;
+        visited = result.visited;
+        page_reads = page_reads ();
+        plan_djoins =
+          List.fold_left (fun acc b -> acc + Suffix_query.djoin_count b) 0 branches;
+        sql = None;
+      })
+
+(** [answers storage ~engine ~translator q] — just the result set. *)
+let answers storage ~engine ~translator q = (run storage ~engine ~translator q).starts
+
+(** [oracle storage q] — the naive tree-pattern evaluator, the
+    correctness reference. *)
+let oracle (storage : Storage.t) q = Blas_xpath.Naive_eval.starts storage.doc q
+

@@ -1,0 +1,53 @@
+(** Label-based navigation over an indexed document: ancestors by
+    stabbing query, descendants by containment query, both through the
+    {!Blas_rel.Interval_index} (the "special indexes … for optimizing
+    D-joins" of the paper's conclusion), without walking the tree.
+
+    This is what makes answers self-describing: given a start position
+    from a query result, the chain of its ancestors — and hence its
+    full context in the document — is an O(log n) lookup. *)
+
+type t = {
+  doc : Blas_xpath.Doc.t;
+  index : Blas_xpath.Doc.node Blas_rel.Interval_index.t;
+}
+
+let of_storage (storage : Storage.t) =
+  let doc = storage.Storage.doc in
+  {
+    doc;
+    index =
+      Blas_rel.Interval_index.build
+        (List.map
+           (fun (n : Blas_xpath.Doc.node) -> (n.start, n.fin, n))
+           doc.Blas_xpath.Doc.all);
+  }
+
+(** [ancestors t start] — the chain of ancestors of the node at
+    [start], outermost (the document root) first. *)
+let ancestors t start = Blas_rel.Interval_index.containing t.index start
+
+(** [descendants t start] — the descendants of the node at [start], in
+    document order; empty for an unknown position. *)
+let descendants t start =
+  match Blas_xpath.Doc.find_by_start t.doc start with
+  | None -> []
+  | Some node ->
+    Blas_rel.Interval_index.contained_in t.index ~start:node.start ~fin:node.fin
+
+(** The parent, if the node exists and is not the root. *)
+let parent t start =
+  match List.rev (ancestors t start) with
+  | nearest :: _ -> Some nearest
+  | [] -> None
+
+(** [context t start] — the ancestor tag chain as a path string, e.g.
+    "/site/regions/asia/item", ending at the node itself. *)
+let context t start =
+  let chain = List.map (fun (n : Blas_xpath.Doc.node) -> n.tag) (ancestors t start) in
+  let self =
+    match Blas_xpath.Doc.find_by_start t.doc start with
+    | Some n -> [ n.tag ]
+    | None -> []
+  in
+  "/" ^ String.concat "/" (chain @ self)

@@ -1,0 +1,19 @@
+(** Label-based navigation over an indexed document: ancestors by
+    stabbing query and descendants by containment query through an
+    interval index, without walking the tree. *)
+
+type t
+
+val of_storage : Storage.t -> t
+
+(** Ancestors of the node at a start position, outermost first. *)
+val ancestors : t -> int -> Blas_xpath.Doc.node list
+
+(** Descendants, in document order; empty for unknown positions. *)
+val descendants : t -> int -> Blas_xpath.Doc.node list
+
+val parent : t -> int -> Blas_xpath.Doc.node option
+
+(** The ancestor tag chain as a path string ending at the node, e.g.
+    ["/site/regions/asia/item"]. *)
+val context : t -> int -> string

@@ -1,0 +1,241 @@
+(** Index persistence: save a built storage to a file and load it back
+    without re-parsing or re-labeling the document.
+
+    The format is a small, self-describing binary layout (not OCaml
+    marshalling, so files survive recompilation):
+
+    {v
+      magic "BLAS1\n"
+      tag table: height, tag count, tags (sorted)
+      node count, then per node (document order):
+        tag index (into the tag table), start, end, level,
+        optional data string
+    v}
+
+    P-labels are not stored: they are a pure function of the tag
+    inventory and each node's source path, and the source paths are
+    recovered from the (start, end) nesting — cheaper than storing
+    multi-limb integers and immune to encoding drift.  Loading rebuilds
+    the labeled document model directly from the stored D-labels, so
+    positions round-trip exactly even for mixed content; the test suite
+    compares a loaded storage against the original relation by
+    relation. *)
+
+let magic = "BLAS1\n"
+
+exception Format_error of string
+
+let format_error fmt = Printf.ksprintf (fun msg -> raise (Format_error msg)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Primitive writers/readers: unsigned LEB128 varints and raw strings  *)
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Persist.write_varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let write_string buf s =
+  write_varint buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = { data : string; mutable pos : int }
+
+let read_varint r =
+  let rec go shift acc =
+    if r.pos >= String.length r.data then format_error "truncated varint";
+    let byte = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    let acc = acc lor ((byte land 0x7F) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_string r =
+  let len = read_varint r in
+  if r.pos + len > String.length r.data then format_error "truncated string";
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+(* ------------------------------------------------------------------ *)
+
+(** [to_string storage] serializes the storage's document and labeling
+    parameters. *)
+let to_string (storage : Storage.t) =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  let table = storage.table in
+  write_varint buf (Blas_label.Tag_table.height table);
+  let tags = Blas_label.Tag_table.tags table in
+  write_varint buf (List.length tags);
+  List.iter (write_string buf) tags;
+  let nodes = storage.doc.Blas_xpath.Doc.all in
+  write_varint buf (List.length nodes);
+  List.iter
+    (fun (n : Blas_xpath.Doc.node) ->
+      let tag_index =
+        match Blas_label.Tag_table.index table n.tag with
+        | Some i -> i
+        | None -> assert false (* the table was built from this document *)
+      in
+      write_varint buf tag_index;
+      write_varint buf n.start;
+      write_varint buf n.fin;
+      write_varint buf n.level;
+      match n.data with
+      | None -> write_varint buf 0
+      | Some d ->
+        write_varint buf 1;
+        write_string buf d)
+    nodes;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Rebuilding the labeled document model from stored rows.  Rows come
+   in document order; the (start, end) intervals nest, so a stack of
+   open nodes recovers parenthood, source paths and children. *)
+
+type builder = {
+  btag : string;
+  bdata : string option;
+  bstart : int;
+  bfin : int;
+  blevel : int;
+  bpath : string list;  (* reversed source path *)
+  mutable bkids : Blas_xpath.Doc.node list;  (* reversed *)
+}
+
+let freeze b : Blas_xpath.Doc.node =
+  {
+    tag = b.btag;
+    data = b.bdata;
+    start = b.bstart;
+    fin = b.bfin;
+    level = b.blevel;
+    source_path = List.rev b.bpath;
+    children = List.rev b.bkids;
+  }
+
+let rebuild_doc rows : Blas_xpath.Doc.t =
+  let attach stack node =
+    match stack with
+    | parent :: _ -> parent.bkids <- node :: parent.bkids
+    | [] -> format_error "multiple roots"
+  in
+  let rec close stack start =
+    match stack with
+    | top :: rest when top.bfin < start ->
+      attach rest (freeze top);
+      close rest start
+    | _ -> stack
+  in
+  let final =
+    List.fold_left
+      (fun stack (tag, start, fin, level, data) ->
+        let stack = close stack start in
+        let parent_path = match stack with top :: _ -> top.bpath | [] -> [] in
+        let expected_level = List.length parent_path + 1 in
+        if level <> expected_level then
+          format_error "level %d does not match nesting depth %d" level
+            expected_level;
+        {
+          btag = tag;
+          bdata = data;
+          bstart = start;
+          bfin = fin;
+          blevel = level;
+          bpath = tag :: parent_path;
+          bkids = [];
+        }
+        :: stack)
+      [] rows
+  in
+  let rec collapse = function
+    | [ root ] -> freeze root
+    | top :: rest ->
+      attach rest (freeze top);
+      collapse rest
+    | [] -> format_error "empty document"
+  in
+  let root = collapse final in
+  let rec collect acc (n : Blas_xpath.Doc.node) =
+    List.fold_left collect (n :: acc) n.children
+  in
+  let all =
+    List.sort
+      (fun (a : Blas_xpath.Doc.node) b -> Stdlib.compare a.start b.start)
+      (collect [] root)
+  in
+  let guide =
+    List.fold_left
+      (fun g (n : Blas_xpath.Doc.node) -> Blas_xml.Dataguide.add_path g n.source_path)
+      Blas_xml.Dataguide.empty all
+  in
+  Blas_xpath.Doc.make ~root ~all ~guide
+
+(** [of_string data] rebuilds a storage.
+    @raise Format_error on a malformed or truncated file. *)
+let of_string ?pool_capacity data =
+  if
+    String.length data < String.length magic
+    || String.sub data 0 (String.length magic) <> magic
+  then format_error "bad magic (not a BLAS index file)";
+  let r = { data; pos = String.length magic } in
+  let stored_height = read_varint r in
+  let tag_count = read_varint r in
+  let tags = List.init tag_count (fun _ -> read_string r) in
+  let tag_array = Array.of_list tags in
+  let node_count = read_varint r in
+  if node_count = 0 then format_error "empty document";
+  let rows =
+    List.init node_count (fun _ ->
+        let tag_index = read_varint r in
+        if tag_index < 1 || tag_index > tag_count then
+          format_error "tag index out of range";
+        let tag = tag_array.(tag_index - 1) in
+        let start = read_varint r in
+        let fin = read_varint r in
+        if start >= fin then format_error "invalid interval";
+        let level = read_varint r in
+        let data =
+          match read_varint r with
+          | 0 -> None
+          | 1 -> Some (read_string r)
+          | _ -> format_error "bad data marker"
+        in
+        (tag, start, fin, level, data))
+  in
+  if r.pos <> String.length data then format_error "trailing bytes";
+  let doc = rebuild_doc rows in
+  let storage = Storage.of_doc ?pool_capacity doc in
+  (* Validate the labeling parameters against the stored ones; the tag
+     inventory determines the P-labels, so a mismatch means the file
+     was corrupted in a way the structural checks missed. *)
+  if Blas_label.Tag_table.height storage.table <> stored_height then
+    format_error "stored height %d does not match the document" stored_height;
+  if Blas_label.Tag_table.tags storage.table <> tags then
+    format_error "stored tag inventory does not match the document";
+  storage
+
+(** [save storage path] writes the index file. *)
+let save storage path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string storage))
+
+(** [load path] reads an index file.
+    @raise Format_error on malformed input; [Sys_error] on IO errors. *)
+let load ?pool_capacity path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      of_string ?pool_capacity (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,21 @@
+(** Index persistence: save a built storage and load it back without
+    re-parsing or re-labeling.  The file is a small self-describing
+    binary format (magic, tag inventory, one row of D-label + data per
+    node); P-labels are recomputed from the recovered source paths, so
+    a loaded storage is identical to the one that was saved. *)
+
+exception Format_error of string
+
+(** In-memory serialization. *)
+val to_string : Storage.t -> string
+
+(** @raise Format_error on malformed or truncated input. *)
+val of_string : ?pool_capacity:int -> string -> Storage.t
+
+(** [save storage path] writes the index file. *)
+val save : Storage.t -> string -> unit
+
+(** [load path] reads an index file.
+    @raise Format_error on malformed input.
+    @raise Sys_error on IO errors. *)
+val load : ?pool_capacity:int -> string -> Storage.t

@@ -1,0 +1,129 @@
+(** The streaming index generator of the paper's Figure 6: SP and SD
+    tuples produced directly from SAX events, without building a
+    document tree.
+
+    Labeling needs the tag inventory and the maximum depth before the
+    first P-label can be computed (Section 3.2.2 fixes ratios and [m]
+    up front), so indexing is two passes over the event stream:
+
+    1. a scan collecting distinct tags and the maximum depth;
+    2. the labeling pass, which maintains the position counter for
+       D-labels and Algorithm 2's interval stack for P-labels, emitting
+       one tuple per element as its end tag arrives.
+
+    The result is identical to {!Storage.of_tree}'s relations (the test
+    suite compares them row by row); this entry point exists for
+    streaming ingestion, where the tree would not fit or is not
+    wanted. *)
+
+open Blas_rel
+
+(* Replays events with attributes normalized to "@name" child elements,
+   matching the tree pipeline's node accounting. *)
+let iter_normalized events ~on_start ~on_text ~on_end =
+  List.iter
+    (fun event ->
+      match event with
+      | Blas_xml.Types.Start_element (tag, attrs) ->
+        on_start tag;
+        List.iter
+          (fun (name, value) ->
+            on_start ("@" ^ name);
+            on_text value;
+            on_end ("@" ^ name))
+          attrs
+      | Blas_xml.Types.Text s -> on_text s
+      | Blas_xml.Types.End_element tag -> on_end tag)
+    events
+
+(** Pass 1: the labeling parameters. *)
+let scan_parameters events =
+  let tags = Hashtbl.create 64 in
+  let depth = ref 0 in
+  let max_depth = ref 0 in
+  iter_normalized events
+    ~on_start:(fun tag ->
+      Hashtbl.replace tags tag ();
+      incr depth;
+      if !depth > !max_depth then max_depth := !depth)
+    ~on_text:(fun _ -> ())
+    ~on_end:(fun _ -> decr depth);
+  if !max_depth = 0 then invalid_arg "Sax_index: no elements in the stream";
+  Blas_label.Tag_table.create
+    ~tags:(Hashtbl.fold (fun t () acc -> t :: acc) tags [])
+    ~height:!max_depth
+
+type open_element = {
+  tag : string;
+  start : int;
+  plabel : Blas_label.Bignum.t;  (* Algorithm 2's p1 for this element *)
+  p2 : Blas_label.Bignum.t;  (* and its p2, the subinterval's end *)
+  text : Buffer.t;
+}
+
+(** Pass 2: the SP and SD rows, in document order. *)
+let label_events table events =
+  let d = Blas_label.Tag_table.denominator table in
+  let m = Blas_label.Tag_table.m table in
+  let share = Blas_label.Bignum.div_int_exact m d in
+  let position = ref 0 in
+  let next () = incr position; !position in
+  let stack = ref [] in
+  let out = ref [] in
+  let top_interval () =
+    match !stack with
+    | top :: _ -> (top.plabel, top.p2)
+    | [] -> (Blas_label.Bignum.zero, Blas_label.Bignum.pred m)
+  in
+  iter_normalized events
+    ~on_start:(fun tag ->
+      let i =
+        match Blas_label.Tag_table.index table tag with
+        | Some i -> i
+        | None -> invalid_arg "Sax_index: tag missing from the inventory"
+      in
+      (* Lines 8-12 of Algorithm 2, in the simplified exact form (see
+         Plabel.label_tree). *)
+      let p1, p2 = top_interval () in
+      let pi1 = Blas_label.Bignum.mul_int share i in
+      let p1' = Blas_label.Bignum.add pi1 (Blas_label.Bignum.div_int_exact p1 d) in
+      let p2' =
+        Blas_label.Bignum.pred
+          (Blas_label.Bignum.add pi1
+             (Blas_label.Bignum.div_int_exact (Blas_label.Bignum.succ p2) d))
+      in
+      stack :=
+        { tag; start = next (); plabel = p1'; p2 = p2'; text = Buffer.create 16 }
+        :: !stack)
+    ~on_text:(fun s ->
+      ignore (next ());
+      match !stack with
+      | top :: _ -> Buffer.add_string top.text s
+      | [] -> ())
+    ~on_end:(fun _ ->
+      match !stack with
+      | [] -> invalid_arg "Sax_index: ill-nested events"
+      | top :: rest ->
+        stack := rest;
+        let fin = next () in
+        let level = List.length rest + 1 in
+        let data =
+          if Buffer.length top.text = 0 then Value.Null
+          else Value.Str (Buffer.contents top.text)
+        in
+        out :=
+          ( Tuple.of_list
+              [ Value.Big top.plabel; Value.Int top.start; Value.Int fin;
+                Value.Int level; data ],
+            Tuple.of_list
+              [ Value.Str top.tag; Value.Int top.start; Value.Int fin;
+                Value.Int level; data ] )
+          :: !out);
+  List.rev !out
+
+(** [relations_of_events events] — the (SP, SD) row lists a streaming
+    ingest produces, in document order. *)
+let relations_of_events events =
+  let table = scan_parameters events in
+  let rows = label_events table events in
+  (table, List.map fst rows, List.map snd rows)

@@ -1,0 +1,21 @@
+(** The streaming index generator of the paper's Figure 6: SP and SD
+    tuples produced directly from SAX events in two passes (parameter
+    scan, then labeling with Algorithm 2's interval stack), without
+    building a document tree.  Produces exactly the rows
+    {!Storage.of_tree} stores. *)
+
+(** Pass 1: tag inventory and height from the event stream.
+    @raise Invalid_argument on an element-free stream. *)
+val scan_parameters : Blas_xml.Types.event list -> Blas_label.Tag_table.t
+
+(** Pass 2: one (SP row, SD row) pair per element, in document order.
+    @raise Invalid_argument on unknown tags or ill-nested events. *)
+val label_events :
+  Blas_label.Tag_table.t ->
+  Blas_xml.Types.event list ->
+  (Blas_rel.Tuple.t * Blas_rel.Tuple.t) list
+
+(** Both passes: the tag table and the SP and SD row lists. *)
+val relations_of_events :
+  Blas_xml.Types.event list ->
+  Blas_label.Tag_table.t * Blas_rel.Tuple.t list * Blas_rel.Tuple.t list

@@ -1,0 +1,40 @@
+(** The BLAS index generator (Section 4): consumes a parsed document and
+    produces both storage layouts of the experimental setup
+    (Section 5.2.1) — the SP relation (plabel, start, end, level, data)
+    clustered by {plabel, start} for BLAS, and the SD relation
+    (tag, start, end, level, data) clustered by {tag, start} for the
+    D-labeling baseline.  Both describe the same nodes with the same
+    D-labels, so results are comparable across approaches.
+
+    The record is deliberately transparent: benches and ablations swap
+    out tables to measure storage variants. *)
+
+type t = {
+  doc : Blas_xpath.Doc.t;
+  table : Blas_label.Tag_table.t;
+  sp : Blas_rel.Table.t;
+  sd : Blas_rel.Table.t;
+  pool : Blas_rel.Buffer_pool.t;  (** page cache shared by SP and SD *)
+}
+
+(** [pool_capacity] is the buffer pool size in pages (default 1024
+    pages of 64 tuples). *)
+val of_doc : ?pool_capacity:int -> Blas_xpath.Doc.t -> t
+
+val of_tree : ?pool_capacity:int -> Blas_xml.Types.tree -> t
+
+(** @raise Blas_xml.Types.Parse_error on malformed XML. *)
+val of_string : ?pool_capacity:int -> string -> t
+
+(** Flushes the buffer pool — the cold-cache protocol of Section 5.1. *)
+val cold_cache : t -> unit
+
+val pool : t -> Blas_rel.Buffer_pool.t
+
+(** The catalog the SQL planner resolves table names against ("sp" and
+    "sd"). *)
+val catalog : t -> string -> Blas_rel.Table.t option
+
+val node_count : t -> int
+
+val guide : t -> Blas_xml.Dataguide.t

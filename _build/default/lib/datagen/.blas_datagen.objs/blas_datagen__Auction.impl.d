@@ -1,0 +1,1 @@
+lib/datagen/auction.ml: Blas_xml List Printf Rng Words

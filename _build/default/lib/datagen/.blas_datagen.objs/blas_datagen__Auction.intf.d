@@ -1,0 +1,1 @@
+lib/datagen/auction.mli: Blas_xml

@@ -1,0 +1,1 @@
+lib/datagen/protein.ml: Blas_xml List Printf Rng Words

@@ -1,0 +1,1 @@
+lib/datagen/protein.mli: Blas_xml

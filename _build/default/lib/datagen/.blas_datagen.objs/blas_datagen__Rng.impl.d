@@ -1,0 +1,1 @@
+lib/datagen/rng.ml: Array

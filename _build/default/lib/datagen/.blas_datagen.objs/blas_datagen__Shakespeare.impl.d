@@ -1,0 +1,1 @@
+lib/datagen/shakespeare.ml: Blas_xml List Printf Rng Words

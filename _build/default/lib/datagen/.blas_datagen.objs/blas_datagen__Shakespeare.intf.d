@@ -1,0 +1,1 @@
+lib/datagen/shakespeare.mli: Blas_xml

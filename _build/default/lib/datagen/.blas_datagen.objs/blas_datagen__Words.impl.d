@@ -1,0 +1,1 @@
+lib/datagen/words.ml: List Printf Rng String

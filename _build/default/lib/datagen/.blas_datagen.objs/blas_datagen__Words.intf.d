@@ -1,0 +1,1 @@
+lib/datagen/words.mli: Rng

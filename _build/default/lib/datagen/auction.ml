@@ -1,0 +1,226 @@
+(** Synthetic XMark-style auction data (the paper's third data set),
+    generated in the shape of the XMark benchmark DTD: a recursive
+    description/parlist/listitem core under a site with regions,
+    categories, people, and open/closed auctions.  Attributes (\@id,
+    \@category, \@person, ...) are emitted as attribute nodes, matching
+    the paper's node accounting.  Calibrated to Figure 12: 3.4 MB,
+    61890 nodes, 77 distinct tags, depth 12, recursive DTD.
+
+    Planted structures for the query set:
+
+    - QA1 [//category/description/parlist/listitem];
+    - QA2 [/site/regions//item/description];
+    - QA3 [/site/regions/asia/item\[shipping\]/description];
+    - the benchmark skeletons Q1, Q2, Q4, Q5, Q6 (see Bench_queries). *)
+
+open Blas_xml.Types
+
+let el tag children = Element (tag, children)
+
+let text tag s = Element (tag, [ Content s ])
+
+let attr name v = Element ("@" ^ name, [ Content v ])
+
+(* The recursive core.  [budget] bounds the remaining nesting so the
+   document depth stays at the DTD's recursion depth: an item
+   description at level 5 plus parlist/listitem pairs down to text at
+   level 12 means at most 3 parlist levels below the outermost one. *)
+let rec parlist rng budget =
+  let listitem _ =
+    let nested = budget > 0 && Rng.chance rng 25 in
+    el "listitem"
+      (if nested then [ parlist rng (budget - 1) ]
+       else [ text "text" (Words.sentence rng (Rng.range rng 4 10)) ])
+  in
+  el "parlist" (List.init (Rng.range rng 1 3) listitem)
+
+let description rng ~budget =
+  el "description"
+    [
+      (if Rng.chance rng 60 then parlist rng budget
+       else text "text" (Words.sentence rng (Rng.range rng 6 14)));
+    ]
+
+let mailbox rng =
+  let mail _ =
+    el "mail"
+      [
+        text "from" (Words.person_name rng);
+        text "to" (Words.person_name rng);
+        text "date" (Printf.sprintf "%02d/%02d/%d" (Rng.range rng 1 12)
+           (Rng.range rng 1 28) (Rng.range rng 1998 2001));
+        text "text" (Words.sentence rng 8);
+      ]
+  in
+  el "mailbox" (List.init (Rng.int rng 3) mail)
+
+let item rng ~id ~categories =
+  el "item"
+    ([
+       attr "id" (Printf.sprintf "item%d" id);
+     ]
+    @ (if Rng.chance rng 10 then [ attr "featured" "yes" ] else [])
+    @ [
+        text "location" (Words.sentence rng 1);
+        text "quantity" (string_of_int (Rng.range rng 1 5));
+        text "name" (Words.sentence rng 2);
+        text "payment" "Creditcard";
+        (* Item descriptions sit at level 5: 3 parlist levels below the
+           outermost keep the depth at 12. *)
+        description rng ~budget:2;
+        text "shipping" (if Rng.chance rng 75 then "Will ship internationally" else "Buyer pays");
+      ]
+    @ List.init (Rng.range rng 1 2) (fun _ ->
+          el "incategory" [ attr "category" (Printf.sprintf "category%d" (Rng.int rng categories)) ])
+    @ [ mailbox rng ])
+
+let region rng ~name ~items ~categories ~first_id =
+  el name (List.init items (fun i -> item rng ~id:(first_id + i) ~categories))
+
+let category rng ~id =
+  el "category"
+    [
+      attr "id" (Printf.sprintf "category%d" id);
+      text "name" (Words.sentence rng 1);
+      (* Category descriptions sit at level 4; QA1 needs
+         category/description/parlist/listitem, so bias toward parlist. *)
+      el "description"
+        [
+          (if Rng.chance rng 80 then parlist rng 2
+           else text "text" (Words.sentence rng 8));
+        ];
+    ]
+
+let catgraph rng ~categories =
+  let edge _ =
+    el "edge"
+      [
+        attr "from" (Printf.sprintf "category%d" (Rng.int rng categories));
+        attr "to" (Printf.sprintf "category%d" (Rng.int rng categories));
+      ]
+  in
+  el "catgraph" (List.init (categories * 2) edge)
+
+let profile rng =
+  el "profile"
+    ([ attr "income" (string_of_int (Rng.range rng 20000 100000)) ]
+    @ List.init (Rng.int rng 3) (fun _ ->
+          el "interest" [ attr "category" (Printf.sprintf "category%d" (Rng.int rng 10)) ])
+    @ (if Rng.chance rng 50 then [ text "education" "Graduate School" ] else [])
+    @ (if Rng.chance rng 70 then [ text "gender" (if Rng.chance rng 50 then "male" else "female") ] else [])
+    @ [ text "business" (if Rng.chance rng 50 then "Yes" else "No") ]
+    @ if Rng.chance rng 60 then [ text "age" (string_of_int (Rng.range rng 18 80)) ] else [])
+
+let address rng =
+  el "address"
+    ([
+       text "street" (Printf.sprintf "%d %s St" (Rng.range rng 1 99) (Words.sentence rng 1));
+       text "city" (Words.sentence rng 1);
+       text "country" "United States";
+     ]
+    @ (if Rng.chance rng 40 then [ text "province" (Words.sentence rng 1) ] else [])
+    @ [ text "zipcode" (string_of_int (Rng.range rng 10000 99999)) ])
+
+let person rng ~id =
+  el "person"
+    ([
+       attr "id" (Printf.sprintf "person%d" id);
+       text "name" (Words.person_name rng);
+       text "emailaddress" (Printf.sprintf "mailto:p%d@example.org" id);
+     ]
+    @ (if Rng.chance rng 60 then [ text "phone" (Printf.sprintf "+1 (%d) %d" (Rng.range rng 100 999) (Rng.range rng 1000000 9999999)) ] else [])
+    @ (if Rng.chance rng 70 then [ address rng ] else [])
+    @ (if Rng.chance rng 30 then [ text "homepage" (Printf.sprintf "http://example.org/~p%d" id) ] else [])
+    @ (if Rng.chance rng 40 then [ text "creditcard" (Printf.sprintf "%04d %04d %04d %04d" (Rng.int rng 10000) (Rng.int rng 10000) (Rng.int rng 10000) (Rng.int rng 10000)) ] else [])
+    @ (if Rng.chance rng 70 then [ profile rng ] else [])
+    @
+    if Rng.chance rng 40 then
+      [ el "watches" (List.init (Rng.range rng 1 3) (fun _ ->
+            el "watch" [ attr "open_auction" (Printf.sprintf "open_auction%d" (Rng.int rng 100)) ])) ]
+    else [])
+
+let bidder rng =
+  el "bidder"
+    [
+      text "date" (Printf.sprintf "%02d/%02d/2001" (Rng.range rng 1 12) (Rng.range rng 1 28));
+      text "time" (Printf.sprintf "%02d:%02d:%02d" (Rng.int rng 24) (Rng.int rng 60) (Rng.int rng 60));
+      el "personref" [ attr "person" (Printf.sprintf "person%d" (Rng.int rng 1000)) ];
+      text "increase" (Printf.sprintf "%d.00" (Rng.range rng 1 50));
+    ]
+
+let open_auction rng ~id ~items ~persons =
+  el "open_auction"
+    ([
+       attr "id" (Printf.sprintf "open_auction%d" id);
+       text "initial" (Printf.sprintf "%d.%02d" (Rng.range rng 1 300) (Rng.int rng 100));
+     ]
+    @ (if Rng.chance rng 50 then [ text "reserve" (Printf.sprintf "%d.00" (Rng.range rng 10 500)) ] else [])
+    @ List.init (Rng.int rng 4) (fun _ -> bidder rng)
+    @ [
+        text "current" (Printf.sprintf "%d.%02d" (Rng.range rng 1 600) (Rng.int rng 100));
+        el "privacy" [ Content (if Rng.chance rng 50 then "Yes" else "No") ];
+        el "itemref" [ attr "item" (Printf.sprintf "item%d" (Rng.int rng items)) ];
+        el "seller" [ attr "person" (Printf.sprintf "person%d" (Rng.int rng persons)) ];
+        el "annotation"
+          [
+            el "author" [ attr "person" (Printf.sprintf "person%d" (Rng.int rng persons)) ];
+            description rng ~budget:1;
+            text "happiness" (string_of_int (Rng.range rng 1 10));
+          ];
+        text "quantity" (string_of_int (Rng.range rng 1 5));
+        text "type" (if Rng.chance rng 50 then "Regular" else "Featured");
+        el "interval"
+          [
+            text "start" (Printf.sprintf "%02d/%02d/2001" (Rng.range rng 1 6) (Rng.range rng 1 28));
+            text "end" (Printf.sprintf "%02d/%02d/2001" (Rng.range rng 7 12) (Rng.range rng 1 28));
+          ];
+      ])
+
+let closed_auction rng ~items ~persons =
+  el "closed_auction"
+    [
+      el "seller" [ attr "person" (Printf.sprintf "person%d" (Rng.int rng persons)) ];
+      el "buyer" [ attr "person" (Printf.sprintf "person%d" (Rng.int rng persons)) ];
+      el "itemref" [ attr "item" (Printf.sprintf "item%d" (Rng.int rng items)) ];
+      text "price" (Printf.sprintf "%d.%02d" (Rng.range rng 1 800) (Rng.int rng 100));
+      text "date" (Printf.sprintf "%02d/%02d/2001" (Rng.range rng 1 12) (Rng.range rng 1 28));
+      text "quantity" (string_of_int (Rng.range rng 1 5));
+      text "type" (if Rng.chance rng 50 then "Regular" else "Featured");
+      el "annotation"
+        [
+          el "author" [ attr "person" (Printf.sprintf "person%d" (Rng.int rng persons)) ];
+          description rng ~budget:1;
+          text "happiness" (string_of_int (Rng.range rng 1 10));
+        ];
+    ]
+
+(** [generate ?seed ~scale ()] — an XMark-like site.  [scale] is the
+    item count per region; the Figure 12 scale (3.4 MB, ~62k nodes) is
+    about [~scale:160]. *)
+let generate ?(seed = 44) ~scale () =
+  let rng = Rng.create ~seed in
+  let items_per_region = scale in
+  let regions = [ "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" ] in
+  let total_items = items_per_region * List.length regions in
+  let categories = max 5 (scale / 2) in
+  let persons = max 10 (scale * 5) in
+  let auctions = max 10 (scale * 3) in
+  let region_els =
+    List.mapi
+      (fun i name ->
+        region rng ~name ~items:items_per_region ~categories
+          ~first_id:(i * items_per_region))
+      regions
+  in
+  el "site"
+    [
+      el "regions" region_els;
+      el "categories" (List.init categories (fun i -> category rng ~id:i));
+      catgraph rng ~categories;
+      el "people" (List.init persons (fun i -> person rng ~id:i));
+      el "open_auctions" (List.init auctions (fun i -> open_auction rng ~id:i ~items:total_items ~persons));
+      el "closed_auctions" (List.init auctions (fun _ -> closed_auction rng ~items:total_items ~persons));
+    ]
+
+(** The scale matching the paper's 3.4 MB data set. *)
+let default () = generate ~scale:160 ()

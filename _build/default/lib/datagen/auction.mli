@@ -1,0 +1,14 @@
+(** Synthetic XMark-style auction data (the paper's third data set):
+    a site with regions/items, categories, people and auctions over the
+    recursive description/parlist/listitem core, calibrated to Figure 12
+    (3.4 MB, 61890 nodes, 77 tags, depth 12; recursive DTD).
+    Attributes are emitted as attribute nodes, matching the paper's node
+    accounting. *)
+
+(** [generate ?seed ~scale ()] — an XMark-like site; [scale] is the item
+    count per region. *)
+val generate : ?seed:int -> scale:int -> unit -> Blas_xml.Types.tree
+
+(** The scale matching the paper's data set (about 160 items per
+    region). *)
+val default : unit -> Blas_xml.Types.tree

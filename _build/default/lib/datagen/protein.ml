@@ -1,0 +1,189 @@
+(** Synthetic protein repository (the paper's second data set),
+    following the Georgetown PIR shape sketched in the paper's Figure 1.
+    Calibrated to Figure 12: 3.5 MB, 113831 nodes, 66 distinct tags,
+    depth 7, tree-shaped DTD.  Planted structures for the query set:
+
+    - QP1 [/ProteinDatabase/ProteinEntry/protein/name];
+    - QP2 [//ProteinEntry//authors/author = "Daniel, M."] (that exact
+      author appears with a small fixed probability);
+    - QP3 [.../ProteinEntry\[reference/refinfo\[citation and year\]\]/protein/name]
+      (refinfos carry citation and year elements most of the time);
+    - the paper's running example (cytochrome c / Evans, M.J. / 2001)
+      appears in the first entry deterministically. *)
+
+open Blas_xml.Types
+
+let el tag children = Element (tag, children)
+
+let text tag s = Element (tag, [ Content s ])
+
+let superfamilies =
+  [|
+    "cytochrome c"; "globin"; "kinase"; "protease"; "lipase"; "ferredoxin";
+    "histone"; "actin"; "tubulin"; "collagen";
+  |]
+
+let header rng uid =
+  el "header"
+    [
+      text "uid" (Printf.sprintf "PIR%06d" uid);
+      text "accession" (Printf.sprintf "A%05d" (Rng.int rng 100000));
+      text "created_date" (Printf.sprintf "%02d-%02d-%d" (Rng.range rng 1 28)
+         (Rng.range rng 1 12) (Rng.range rng 1980 2003));
+      text "seq-rev" (Printf.sprintf "%d" (Rng.range rng 1 5));
+      text "txt-rev" (Printf.sprintf "%d" (Rng.range rng 1 9));
+    ]
+
+let classification rng ~superfamily =
+  let family = text "family" (Words.sentence rng 2) in
+  el "classification"
+    (text "superfamily" superfamily :: (if Rng.chance rng 70 then [ family ] else []))
+
+let organism rng =
+  el "organism"
+    [
+      text "source" (Words.sentence rng 2);
+      text "common" (Words.sentence rng 1);
+      text "formal" (Words.sentence rng 2);
+    ]
+
+let protein rng ~name ~superfamily =
+  el "protein" [ text "name" name; classification rng ~superfamily; organism rng ]
+
+let genetics rng =
+  el "genetics"
+    [
+      el "gene" [ text "gene-name" (Words.sentence rng 1) ];
+      text "genome" (Words.sentence rng 1);
+      text "introns" (string_of_int (Rng.int rng 20));
+      text "mapping" (Words.sentence rng 2);
+    ]
+
+let func rng =
+  el "function"
+    (text "description" (Words.sentence rng 8)
+    :: (if Rng.chance rng 40 then [ text "pathway" (Words.sentence rng 3) ] else []))
+
+let keywords rng =
+  el "keywords" (List.init (Rng.range rng 2 5) (fun _ -> text "keyword" (Words.sentence rng 1)))
+
+(* The depth-7 chain: ProteinEntry/feature/feature-item/seq-spec/spec-list/{status,label}. *)
+let feature rng =
+  let item _ =
+    el "feature-item"
+      [
+        text "feature-type" (Words.sentence rng 1);
+        el "seq-spec"
+          [
+            el "spec-list"
+              [
+                text "status" (if Rng.chance rng 50 then "experimental" else "predicted");
+                text "label" (Words.sentence rng 1);
+              ];
+          ];
+      ]
+  in
+  el "feature" (List.init (Rng.range rng 1 3) item)
+
+let summary rng =
+  el "summary"
+    [
+      text "length" (string_of_int (Rng.range rng 80 900));
+      text "type" "complete";
+    ]
+
+let authors rng ~fixed =
+  let author _ = text "author" (Words.person_name rng) in
+  let fixed_authors = List.map (text "author") fixed in
+  el "authors" (fixed_authors @ List.init (Rng.range rng 1 3) author)
+
+let refinfo rng ~fixed_authors ~year ~title =
+  let base =
+    [
+      authors rng ~fixed:fixed_authors;
+      text "year" (string_of_int year);
+      text "title" title;
+    ]
+  in
+  let citation =
+    if Rng.chance rng 80 then [ text "citation" (Words.sentence rng 4) ] else []
+  in
+  let extra =
+    [
+      text "volume" (string_of_int (Rng.range rng 1 300));
+      text "pages" (Printf.sprintf "%d-%d" (Rng.int rng 900) (Rng.int rng 2000));
+      text "month" (string_of_int (Rng.range rng 1 12));
+    ]
+  in
+  el "refinfo" (base @ citation @ extra)
+
+let accinfo rng =
+  el "accinfo"
+    [
+      text "mol-type" "protein";
+      text "fragment" (if Rng.chance rng 20 then "yes" else "no");
+      text "note" (Words.sentence rng 4);
+    ]
+
+let reference rng ~fixed_authors ~year ~title =
+  el "reference" [ refinfo rng ~fixed_authors ~year ~title; accinfo rng ]
+
+let xrefs rng =
+  let xref _ =
+    el "xref"
+      [ text "db" (Rng.pick rng [| "EMBL"; "GenBank"; "PDB"; "SwissProt" |]);
+        text "dbid" (Printf.sprintf "X%05d" (Rng.int rng 100000)) ]
+  in
+  el "xrefs" (List.init (Rng.range rng 1 3) xref)
+
+let comment rng =
+  el "comment"
+    [
+      text "date" (Printf.sprintf "%d" (Rng.range rng 1985 2003));
+      text "rel-date" (Printf.sprintf "%d" (Rng.range rng 1985 2003));
+    ]
+
+(* Rarely-attached elements that round the tag inventory out to the
+   paper's 66 distinct tags; each occurs at least once at default scale. *)
+let rare rng index =
+  let maybe p node = if index < 8 || Rng.chance rng p then [ node ] else [] in
+  maybe 4 (text "ec" (Printf.sprintf "1.%d.%d.%d" (Rng.int rng 20) (Rng.int rng 20) (Rng.int rng 100)))
+  @ maybe 3 (text "complex" (Words.sentence rng 1))
+  @ maybe 3 (text "cofactor" (Words.sentence rng 1))
+  @ maybe 2 (text "disease" (Words.sentence rng 2))
+  @ maybe 3 (text "tissue" (Words.sentence rng 1))
+  @ maybe 2 (text "organelle" (Words.sentence rng 1))
+
+let sequence rng = text "sequence" (Words.sentence rng 20)
+
+let entry rng index =
+  (* The first entry reproduces the paper's Figure 1 example verbatim. *)
+  let name, superfamily, fixed_authors, year, title =
+    if index = 1 then
+      ( "cytochrome c [validated]",
+        "cytochrome c",
+        [ "Evans, M.J." ],
+        2001,
+        "The human somatic cytochrome c gene" )
+    else
+      ( Words.sentence rng 2,
+        Rng.pick rng superfamilies,
+        (if Rng.chance rng 3 then [ "Daniel, M." ] else []),
+        Rng.range rng 1975 2003,
+        Words.sentence rng 6 )
+  in
+  el "ProteinEntry"
+    ([ header rng index; protein rng ~name ~superfamily ]
+    @ [ genetics rng; func rng; keywords rng; feature rng; summary rng ]
+    @ [ reference rng ~fixed_authors ~year ~title; xrefs rng; comment rng ]
+    @ rare rng index
+    @ [ sequence rng ])
+
+(** [generate ?seed ~entries ()] — a ProteinDatabase with [entries]
+    protein entries.  Figure 12's scale is about 1600 entries. *)
+let generate ?(seed = 43) ~entries () =
+  let rng = Rng.create ~seed in
+  el "ProteinDatabase" (List.init entries (fun i -> entry rng (i + 1)))
+
+(** The scale matching the paper's 3.5 MB data set. *)
+let default () = generate ~entries:1600 ()

@@ -1,0 +1,13 @@
+(** Synthetic protein repository (the paper's second data set),
+    following the Georgetown PIR shape of the paper's Figure 1,
+    calibrated to Figure 12 (3.5 MB, 113831 nodes, 66 tags, depth 7;
+    tree DTD).  The paper's running example — the cytochrome c entry
+    with the Evans, M.J. 2001 reference — is planted in the first
+    entry deterministically; "Daniel, M." (query QP2) appears with a
+    small fixed probability. *)
+
+(** [generate ?seed ~entries ()] — a ProteinDatabase document. *)
+val generate : ?seed:int -> entries:int -> unit -> Blas_xml.Types.tree
+
+(** The scale matching the paper's data set (about 1600 entries). *)
+val default : unit -> Blas_xml.Types.tree

@@ -1,0 +1,46 @@
+(** A small deterministic PRNG (splitmix64-style over native ints) so
+    every generated data set is reproducible across runs and platforms.
+    Benchmarks and tests fix seeds; two generators created with the same
+    seed yield identical documents. *)
+
+type t = { mutable state : int }
+
+let create ~seed = { state = seed land max_int }
+
+let golden = 0x2545F4914F6CDD1D
+
+(* One mixing round; the constants are the splitmix64 finalizer's,
+   truncated to OCaml's 63-bit ints.  Statistical perfection is not
+   required — only determinism and a reasonable spread. *)
+let mix1 = 0x3F58476D1CE4E5B9
+
+let mix2 = 0x14D049BB133111EB
+
+let next t =
+  t.state <- (t.state + golden) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * mix1 land max_int in
+  let z = (z lxor (z lsr 27)) * mix2 land max_int in
+  z lxor (z lsr 31)
+
+(** [int t bound] — uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+(** [range t lo hi] — uniform in [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+(** [chance t p] — true with probability [p] (in percent). *)
+let chance t p = int t 100 < p
+
+(** [pick t arr] — a uniform element of a non-empty array. *)
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+(** [split t] — a child generator whose stream is independent of further
+    draws from [t]. *)
+let split t = create ~seed:(next t)

@@ -1,0 +1,29 @@
+(** A small deterministic PRNG (splitmix-style over native ints) so
+    every generated data set is reproducible across runs and platforms.
+    Benchmarks and tests fix seeds; two generators created with the same
+    seed yield identical documents. *)
+
+type t
+
+val create : seed:int -> t
+
+(** The next raw draw (non-negative). *)
+val next : t -> int
+
+(** [int t bound] — uniform in [0, bound).
+    @raise Invalid_argument unless [bound > 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] — uniform in [lo, hi] inclusive.
+    @raise Invalid_argument on an empty range. *)
+val range : t -> int -> int -> int
+
+(** [chance t p] — true with probability [p] percent. *)
+val chance : t -> int -> bool
+
+(** [pick t arr] — a uniform element.
+    @raise Invalid_argument on an empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** A child generator independent of further draws from the parent. *)
+val split : t -> t

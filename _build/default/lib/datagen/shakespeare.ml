@@ -1,0 +1,106 @@
+(** Synthetic Shakespeare corpus (the paper's first data set): plays in
+    the Bosak DTD shape under a single PLAYS root.  The generator is
+    calibrated so the default scale approximates Figure 12's statistics
+    (1.3 MB, 31975 nodes, 19 tags, depth 7 — the graph-shaped DTD), and
+    it plants the structures the query set needs:
+
+    - QS1 [/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE];
+    - QS2 [/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR] (epilogues contain
+      speeches whose lines may carry stage directions);
+    - QS3 [/PLAYS/PLAY/ACT/SCENE\[TITLE = "SCENE III. A public place."\]//LINE]
+      (every third scene gets that exact title). *)
+
+open Blas_xml.Types
+
+let el tag children = Element (tag, children)
+
+let text tag s = Element (tag, [ Content s ])
+
+let scene_iii_title = "SCENE III. A public place."
+
+let line rng =
+  (* Roughly one line in twelve carries an embedded stage direction,
+     giving STAGEDIR nodes at depth 7. *)
+  if Rng.chance rng 8 then
+    el "LINE"
+      [
+        Content (Words.sentence rng (Rng.range rng 3 6));
+        text "STAGEDIR" (Words.sentence rng 2);
+        Content (Words.sentence rng (Rng.range rng 2 5));
+      ]
+  else text "LINE" (Words.sentence rng (Rng.range rng 5 9))
+
+let speech rng =
+  let lines = List.init (Rng.range rng 2 6) (fun _ -> line rng) in
+  el "SPEECH" (text "SPEAKER" (Rng.pick rng Words.names) :: lines)
+
+let scene rng index =
+  let title =
+    if index = 3 then scene_iii_title
+    else Printf.sprintf "SCENE %d. %s." index (Words.sentence rng 3)
+  in
+  let speeches = List.init (Rng.range rng 8 14) (fun _ -> speech rng) in
+  el "SCENE" (text "TITLE" title :: text "STAGEDIR" (Words.sentence rng 3) :: speeches)
+
+let act rng index =
+  let scenes = List.init (Rng.range rng 3 5) (fun i -> scene rng (i + 1)) in
+  el "ACT" (text "TITLE" (Printf.sprintf "ACT %d" index) :: scenes)
+
+let personae rng =
+  let persona _ = text "PERSONA" (Words.person_name rng) in
+  let group =
+    el "PGROUP"
+      [ persona (); persona (); text "GRPDESCR" (Words.sentence rng 3) ]
+  in
+  el "PERSONAE"
+    (text "TITLE" "Dramatis Personae"
+    :: group
+    :: List.init (Rng.range rng 6 12) persona)
+
+let epilogue rng =
+  (* Always plant one line with a stage direction so QS2 has answers in
+     every play, regardless of the random draws. *)
+  let planted =
+    el "SPEECH"
+      [
+        text "SPEAKER" (Rng.pick rng Words.names);
+        el "LINE"
+          [
+            Content (Words.sentence rng 4);
+            text "STAGEDIR" (Words.sentence rng 2);
+          ];
+      ]
+  in
+  el "EPILOGUE"
+    (text "TITLE" "EPILOGUE"
+    :: planted
+    :: List.init (Rng.range rng 2 4) (fun _ -> speech rng))
+
+let prologue rng =
+  el "PROLOGUE" [ text "TITLE" "PROLOGUE"; speech rng ]
+
+let play rng index =
+  let front_matter =
+    el "FM" (List.init 3 (fun _ -> text "P" (Words.sentence rng 8)))
+  in
+  let acts = List.init 5 (fun i -> act rng (i + 1)) in
+  el "PLAY"
+    ([
+       text "TITLE" (Printf.sprintf "Play %d: %s" index (Words.sentence rng 3));
+       front_matter;
+       personae rng;
+       text "SCNDESCR" (Words.sentence rng 6);
+       text "PLAYSUBT" (Words.sentence rng 2);
+       prologue rng;
+     ]
+    @ acts
+    @ [ epilogue rng ])
+
+(** [generate ?seed ~plays ()] — a PLAYS document with [plays] plays.
+    The Figure 12 scale is about 20 plays. *)
+let generate ?(seed = 42) ~plays () =
+  let rng = Rng.create ~seed in
+  el "PLAYS" (List.init plays (fun i -> play rng (i + 1)))
+
+(** The scale matching the paper's 1.3 MB data set. *)
+let default () = generate ~plays:20 ()

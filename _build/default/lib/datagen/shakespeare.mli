@@ -1,0 +1,11 @@
+(** Synthetic Shakespeare corpus (the paper's first data set): plays in
+    the Bosak DTD shape under a single PLAYS root, calibrated to the
+    paper's Figure 12 (1.3 MB, 31975 nodes, 19 tags, depth 7; graph
+    DTD), with the structures the QS1-QS3 queries need planted
+    deterministically. *)
+
+(** [generate ?seed ~plays ()] — a PLAYS document. *)
+val generate : ?seed:int -> plays:int -> unit -> Blas_xml.Types.tree
+
+(** The scale matching the paper's data set (about 20 plays). *)
+val default : unit -> Blas_xml.Types.tree

@@ -1,0 +1,37 @@
+(** Word stock for generated text values. *)
+
+let common =
+  [|
+    "the"; "of"; "and"; "a"; "to"; "in"; "is"; "it"; "that"; "was"; "for";
+    "on"; "are"; "with"; "as"; "his"; "they"; "be"; "at"; "one"; "have";
+    "this"; "from"; "or"; "had"; "by"; "hot"; "word"; "but"; "what"; "some";
+    "we"; "can"; "out"; "other"; "were"; "all"; "there"; "when"; "up"; "use";
+    "your"; "how"; "said"; "an"; "each"; "she"; "which"; "do"; "their";
+    "time"; "if"; "will"; "way"; "about"; "many"; "then"; "them"; "write";
+    "would"; "like"; "so"; "these"; "her"; "long"; "make"; "thing"; "see";
+    "him"; "two"; "has"; "look"; "more"; "day"; "could"; "go"; "come"; "did";
+    "number"; "sound"; "no"; "most"; "people"; "my"; "over"; "know"; "water";
+    "than"; "call"; "first"; "who"; "may"; "down"; "side"; "been"; "now";
+    "find"; "any"; "new";
+  |]
+
+let names =
+  [|
+    "Evans"; "Daniel"; "Smith"; "Jones"; "Garcia"; "Miller"; "Davis";
+    "Wilson"; "Moore"; "Taylor"; "Anderson"; "Thomas"; "Jackson"; "White";
+    "Harris"; "Martin"; "Thompson"; "Martinez"; "Robinson"; "Clark";
+    "Rodriguez"; "Lewis"; "Lee"; "Walker"; "Hall"; "Allen"; "Young";
+    "Hernandez"; "King"; "Wright"; "Lopez"; "Hill"; "Scott"; "Green";
+    "Adams"; "Baker"; "Gonzalez"; "Nelson"; "Carter"; "Mitchell";
+  |]
+
+let initials = [| "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H"; "J"; "K"; "L"; "M" |]
+
+(** [sentence rng n] — [n] space-separated common words. *)
+let sentence rng n =
+  String.concat " " (List.init n (fun _ -> Rng.pick rng common))
+
+(** [person_name rng] — e.g. "Evans, M.J." *)
+let person_name rng =
+  Printf.sprintf "%s, %s.%s." (Rng.pick rng names) (Rng.pick rng initials)
+    (Rng.pick rng initials)

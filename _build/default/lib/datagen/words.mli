@@ -1,0 +1,13 @@
+(** Word stock for generated text values. *)
+
+val common : string array
+
+val names : string array
+
+val initials : string array
+
+(** [sentence rng n] — [n] space-separated common words. *)
+val sentence : Rng.t -> int -> string
+
+(** [person_name rng] — e.g. ["Evans, M.J."]. *)
+val person_name : Rng.t -> string

@@ -1,0 +1,1 @@
+lib/labeling/bignum.ml: Array Buffer Char Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/labeling/bignum.mli: Format

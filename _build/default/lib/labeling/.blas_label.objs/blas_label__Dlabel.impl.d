@@ -1,0 +1,1 @@
+lib/labeling/dlabel.ml: Blas_xml Format List Stdlib

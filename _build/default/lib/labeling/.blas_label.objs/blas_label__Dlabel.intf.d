@@ -1,0 +1,1 @@
+lib/labeling/dlabel.mli: Blas_xml Format

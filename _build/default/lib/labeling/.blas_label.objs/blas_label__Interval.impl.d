@@ -1,0 +1,1 @@
+lib/labeling/interval.ml: Bignum Format

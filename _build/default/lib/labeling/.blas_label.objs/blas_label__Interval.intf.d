@@ -1,0 +1,1 @@
+lib/labeling/interval.mli: Bignum Format

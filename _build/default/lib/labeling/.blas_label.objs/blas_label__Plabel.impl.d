@@ -1,0 +1,1 @@
+lib/labeling/plabel.ml: Bignum Blas_xml Format Interval List String Tag_table

@@ -1,0 +1,1 @@
+lib/labeling/plabel.mli: Bignum Blas_xml Format Interval Tag_table

@@ -1,0 +1,1 @@
+lib/labeling/tag_table.ml: Array Bignum Blas_xml Hashtbl List String

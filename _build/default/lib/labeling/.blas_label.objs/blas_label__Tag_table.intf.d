@@ -1,0 +1,1 @@
+lib/labeling/tag_table.mli: Bignum Blas_xml

@@ -1,0 +1,64 @@
+(** D-labels: the [<start, end, level>] interval labeling of Definition
+    3.1, in the implementation of Zhang et al. / DeHaan et al. adopted by
+    the paper — [start] and [end] are the positions of a node's start and
+    end tags where every start tag, end tag and text unit occupies one
+    position (1-based), and [level] is the length of the path from the
+    root (the root has level 1). *)
+
+type t = { start : int; fin : int; level : int }
+
+let make ~start ~fin ~level =
+  if start > fin then invalid_arg "Dlabel.make: start > end";
+  if level < 1 then invalid_arg "Dlabel.make: level < 1";
+  { start; fin; level }
+
+let compare_start a b = Stdlib.compare a.start b.start
+
+let equal a b = a.start = b.start && a.fin = b.fin && a.level = b.level
+
+(** Definition 3.1, Descendant: [m] is a descendant of [n] iff
+    [n.start < m.start] and [n.end > m.end]. *)
+let is_descendant ~anc ~desc = anc.start < desc.start && anc.fin > desc.fin
+
+(** Definition 3.1, Child: a descendant exactly one level down. *)
+let is_child ~parent ~child =
+  is_descendant ~anc:parent ~desc:child && parent.level + 1 = child.level
+
+(** Definition 3.1, Nonoverlap. *)
+let disjoint a b = a.fin < b.start || a.start > b.fin
+
+let pp ppf { start; fin; level } = Format.fprintf ppf "<%d,%d,%d>" start fin level
+
+(** [label_tree tree] assigns a D-label to every element node (attribute
+    nodes included, as they are elements in our representation), returning
+    nodes in document order with their source path (root tag first).
+    Text units consume one position, matching the paper's example where
+    the first [classification] node of Figure 1 starts at position 7. *)
+let label_tree tree =
+  let pos = ref 0 in
+  let next () =
+    incr pos;
+    !pos
+  in
+  let acc = ref [] in
+  let rec go level path node =
+    match node with
+    | Blas_xml.Types.Content _ ->
+      ignore (next ())
+    | Blas_xml.Types.Element (tag, children) ->
+      let start = next () in
+      let path = tag :: path in
+      let here = (List.rev path, node) in
+      let placeholder = ref None in
+      acc := (here, placeholder) :: !acc;
+      List.iter (go (level + 1) path) children;
+      let fin = next () in
+      placeholder := Some { start; fin; level }
+  in
+  go 1 [] tree;
+  List.rev_map
+    (fun ((path, node), placeholder) ->
+      match !placeholder with
+      | Some label -> (label, path, node)
+      | None -> assert false)
+    !acc

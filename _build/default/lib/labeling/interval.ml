@@ -1,0 +1,35 @@
+(** Closed integer intervals over arbitrary-precision endpoints — the
+    P-label of a suffix path expression (Definition 3.2). *)
+
+type t = { lo : Bignum.t; hi : Bignum.t }
+
+let make lo hi =
+  if Bignum.compare lo hi > 0 then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let lo t = t.lo
+
+let hi t = t.hi
+
+let equal a b = Bignum.equal a.lo b.lo && Bignum.equal a.hi b.hi
+
+(** Definition 3.2, Containment: [contains ~outer ~inner] iff
+    [outer.lo <= inner.lo] and [inner.hi <= outer.hi]. *)
+let contains ~outer ~inner =
+  Bignum.compare outer.lo inner.lo <= 0 && Bignum.compare inner.hi outer.hi <= 0
+
+(** Definition 3.2, Nonintersection. *)
+let disjoint a b = Bignum.compare a.hi b.lo < 0 || Bignum.compare b.hi a.lo < 0
+
+let overlaps a b = not (disjoint a b)
+
+(** [mem x t] tests [t.lo <= x <= t.hi] — Proposition 3.2's membership
+    test for a node P-label against a query P-label. *)
+let mem x t = Bignum.compare t.lo x <= 0 && Bignum.compare x t.hi <= 0
+
+(** Number of integers in the interval. *)
+let width t = Bignum.succ (Bignum.sub t.hi t.lo)
+
+let is_point t = Bignum.equal t.lo t.hi
+
+let pp ppf t = Format.fprintf ppf "<%a, %a>" Bignum.pp t.lo Bignum.pp t.hi

@@ -1,0 +1,32 @@
+(** Closed integer intervals over arbitrary-precision endpoints — the
+    P-label of a suffix path expression (Definition 3.2). *)
+
+type t
+
+(** @raise Invalid_argument if [lo > hi]. *)
+val make : Bignum.t -> Bignum.t -> t
+
+val lo : t -> Bignum.t
+
+val hi : t -> Bignum.t
+
+val equal : t -> t -> bool
+
+(** Definition 3.2, Containment. *)
+val contains : outer:t -> inner:t -> bool
+
+(** Definition 3.2, Nonintersection. *)
+val disjoint : t -> t -> bool
+
+val overlaps : t -> t -> bool
+
+(** [mem x t] tests [t.lo <= x <= t.hi] — Proposition 3.2's membership
+    test for a node P-label against a query P-label. *)
+val mem : Bignum.t -> t -> bool
+
+(** Number of integers in the interval. *)
+val width : t -> Bignum.t
+
+val is_point : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(** The tag inventory of a document set, fixing the ingredients of the
+    P-labeling construction (Section 3.2.2): a total order over the [n]
+    distinct tags (indices 1..n, with index 0 reserved for the child-axis
+    marker "/"), uniform ratios [r_i = 1/(n+1)], and the P-label domain
+    bound [m].
+
+    The paper asks for [m >= (n+1)^h] with [h] the longest path.  We take
+    [m = (n+1)^(h+1)]: the extra factor keeps the final "/"-step of
+    Algorithm 1 an exact integer division even for paths of full depth
+    [h], which the paper's bound misses by one level. *)
+
+type t = {
+  tags : string array;  (* index i-1 holds the tag with P-label index i *)
+  index : (string, int) Hashtbl.t;
+  height : int;
+  m : Bignum.t;
+}
+
+let create ~tags ~height =
+  if height < 1 then invalid_arg "Tag_table.create: height < 1";
+  let distinct = List.sort_uniq String.compare tags in
+  if distinct = [] then invalid_arg "Tag_table.create: no tags";
+  let tags = Array.of_list distinct in
+  let index = Hashtbl.create (Array.length tags * 2) in
+  Array.iteri (fun i tag -> Hashtbl.replace index tag (i + 1)) tags;
+  let n = Array.length tags in
+  { tags; index; height; m = Bignum.pow_int (n + 1) (height + 1) }
+
+(** [of_dataguide guide] derives the table from a document's DataGuide. *)
+let of_dataguide guide =
+  create
+    ~tags:(Blas_xml.Dataguide.distinct_tags guide)
+    ~height:(Blas_xml.Dataguide.max_depth guide)
+
+let of_tree tree = of_dataguide (Blas_xml.Dataguide.of_tree tree)
+
+let tag_count t = Array.length t.tags
+
+(** [denominator t] is [n + 1], the number of uniform ratio shares. *)
+let denominator t = Array.length t.tags + 1
+
+let height t = t.height
+
+let m t = t.m
+
+(** [index t tag] is the 1-based P-label index of [tag], or [None] for a
+    tag that does not occur in the inventory (a query mentioning it has an
+    empty answer). *)
+let index t tag = Hashtbl.find_opt t.index tag
+
+let tag_of_index t i =
+  if i < 1 || i > Array.length t.tags then
+    invalid_arg "Tag_table.tag_of_index: out of range";
+  t.tags.(i - 1)
+
+let tags t = Array.to_list t.tags

@@ -1,0 +1,40 @@
+(** The tag inventory of a document set, fixing the ingredients of the
+    P-labeling construction (Section 3.2.2): a total order over the [n]
+    distinct tags (indices 1..n; index 0 is reserved for the child-axis
+    marker "/"), uniform ratios [1/(n+1)], and the P-label domain bound
+    [m = (n+1)^(height+1)].
+
+    The paper asks for [m >= (n+1)^h]; the extra factor keeps the final
+    "/"-step of Algorithm 1 an exact integer division even for paths of
+    full depth. *)
+
+type t
+
+(** [create ~tags ~height] fixes the inventory.  Duplicate tags are
+    merged; the order is lexicographic (any fixed order works,
+    Section 3.2.2).
+    @raise Invalid_argument on an empty inventory or [height < 1]. *)
+val create : tags:string list -> height:int -> t
+
+val of_dataguide : Blas_xml.Dataguide.t -> t
+
+val of_tree : Blas_xml.Types.tree -> t
+
+val tag_count : t -> int
+
+(** [denominator t] is [n + 1], the number of uniform ratio shares. *)
+val denominator : t -> int
+
+val height : t -> int
+
+(** The P-label domain bound [m]. *)
+val m : t -> Bignum.t
+
+(** [index t tag] is the 1-based P-label index of [tag]; [None] for a
+    tag outside the inventory (queries mentioning it are empty). *)
+val index : t -> string -> int option
+
+(** @raise Invalid_argument when out of range. *)
+val tag_of_index : t -> int -> string
+
+val tags : t -> string list

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Format List Schema String Table Tuple Value

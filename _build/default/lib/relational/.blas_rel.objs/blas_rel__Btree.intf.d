@@ -1,0 +1,1 @@
+lib/relational/btree.mli: Seq

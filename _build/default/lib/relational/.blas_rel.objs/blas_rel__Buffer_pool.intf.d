@@ -1,0 +1,1 @@
+lib/relational/buffer_pool.mli: Format

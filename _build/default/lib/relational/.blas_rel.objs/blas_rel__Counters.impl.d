@@ -1,0 +1,1 @@
+lib/relational/counters.ml: Format

@@ -1,0 +1,1 @@
+lib/relational/executor.ml: Algebra Array Counters Format List Relation Schema Structural_join Table Tuple Value

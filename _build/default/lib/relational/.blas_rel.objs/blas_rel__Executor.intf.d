@@ -1,0 +1,1 @@
+lib/relational/executor.mli: Algebra Counters Relation

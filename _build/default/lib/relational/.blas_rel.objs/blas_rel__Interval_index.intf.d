@@ -1,0 +1,1 @@
+lib/relational/interval_index.mli:

@@ -1,0 +1,1 @@
+lib/relational/relation.mli: Format Schema Tuple Value

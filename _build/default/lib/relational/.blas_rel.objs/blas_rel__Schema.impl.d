@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Format Hashtbl List Printf String

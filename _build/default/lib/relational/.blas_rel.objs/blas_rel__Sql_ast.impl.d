@@ -1,0 +1,1 @@
+lib/relational/sql_ast.ml: Algebra Blas_label List

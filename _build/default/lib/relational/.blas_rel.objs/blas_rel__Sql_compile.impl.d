@@ -1,0 +1,1 @@
+lib/relational/sql_compile.ml: Algebra Format Hashtbl List Option Sql_ast Stdlib String Table Value

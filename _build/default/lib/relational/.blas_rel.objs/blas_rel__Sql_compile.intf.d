@@ -1,0 +1,1 @@
+lib/relational/sql_compile.mli: Algebra Sql_ast Table

@@ -1,0 +1,1 @@
+lib/relational/sql_parse.ml: Blas_label Buffer List Printf Sql_ast String

@@ -1,0 +1,1 @@
+lib/relational/sql_parse.mli: Sql_ast

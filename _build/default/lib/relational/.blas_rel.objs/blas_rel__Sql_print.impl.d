@@ -1,0 +1,1 @@
+lib/relational/sql_print.ml: Blas_label Format List Sql_ast String

@@ -1,0 +1,1 @@
+lib/relational/sql_print.mli: Format Sql_ast

@@ -1,0 +1,1 @@
+lib/relational/structural_join.ml: List Stdlib Tuple Value

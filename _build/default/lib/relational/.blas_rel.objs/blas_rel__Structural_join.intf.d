@@ -1,0 +1,1 @@
+lib/relational/structural_join.mli: Tuple

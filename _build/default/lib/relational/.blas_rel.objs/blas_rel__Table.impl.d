@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Btree Buffer_pool Counters Hashtbl List Relation Schema Stdlib String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/table.mli: Buffer_pool Counters Relation Schema Tuple Value

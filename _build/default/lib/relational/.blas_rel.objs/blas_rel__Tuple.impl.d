@@ -1,0 +1,1 @@
+lib/relational/tuple.ml: Array Format Stdlib String Value

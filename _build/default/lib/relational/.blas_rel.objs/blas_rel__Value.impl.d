@@ -1,0 +1,1 @@
+lib/relational/value.ml: Blas_label Format Hashtbl Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/relational/value.mli: Blas_label Format

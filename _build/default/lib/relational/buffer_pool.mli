@@ -1,0 +1,32 @@
+(** A buffer pool: an LRU cache of fixed-size pages shared by the base
+    tables of one storage instance.  Tables request a tuple's page on
+    every fetch; misses count as disk accesses — the cost the paper's
+    evaluation appeals to.  {!flush} models the cold-cache protocol of
+    Section 5.1. *)
+
+type t
+
+(** @raise Invalid_argument if [capacity < 1]. *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** Pages currently resident. *)
+val resident : t -> int
+
+(** [access t ~table ~page] requests one page, loading it on a miss
+    (evicting the LRU page when full). *)
+val access : t -> table:string -> page:int -> [ `Hit | `Miss ]
+
+(** Empties the pool; statistics are kept. *)
+val flush : t -> unit
+
+(** Logical page requests. *)
+val requests : t -> int
+
+(** Physical page reads ("disk accesses"). *)
+val misses : t -> int
+
+val reset_stats : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Execution counters.
+
+    The paper's evaluation reports two engine-independent costs next to
+    wall-clock time: the number of joins in a plan and the number of
+    elements read ("Visited elements" in Figures 14-18).  Every access
+    method and join operator charges these counters. *)
+
+type t = {
+  mutable tuples_read : int;  (** tuples fetched from base tables *)
+  mutable index_seeks : int;  (** B+ tree descents *)
+  mutable djoins : int;  (** structural (D-) joins executed *)
+  mutable theta_joins : int;  (** generic joins executed *)
+  mutable intermediate : int;  (** tuples materialized between operators *)
+}
+
+let create () =
+  { tuples_read = 0; index_seeks = 0; djoins = 0; theta_joins = 0; intermediate = 0 }
+
+let reset t =
+  t.tuples_read <- 0;
+  t.index_seeks <- 0;
+  t.djoins <- 0;
+  t.theta_joins <- 0;
+  t.intermediate <- 0
+
+let add ~into t =
+  into.tuples_read <- into.tuples_read + t.tuples_read;
+  into.index_seeks <- into.index_seeks + t.index_seeks;
+  into.djoins <- into.djoins + t.djoins;
+  into.theta_joins <- into.theta_joins + t.theta_joins;
+  into.intermediate <- into.intermediate + t.intermediate
+
+let joins t = t.djoins + t.theta_joins
+
+let pp ppf t =
+  Format.fprintf ppf "read=%d seeks=%d djoins=%d joins=%d intermediate=%d"
+    t.tuples_read t.index_seeks t.djoins t.theta_joins t.intermediate

@@ -1,0 +1,25 @@
+(** Execution counters.
+
+    The paper's evaluation reports two engine-independent costs next to
+    wall-clock time: the number of joins in a plan and the number of
+    elements read ("Visited elements" in Figures 14-18).  Every access
+    method and join operator charges these counters. *)
+
+type t = {
+  mutable tuples_read : int;  (** tuples fetched from base tables *)
+  mutable index_seeks : int;  (** B+ tree descents *)
+  mutable djoins : int;  (** structural (D-) joins executed *)
+  mutable theta_joins : int;  (** generic joins executed *)
+  mutable intermediate : int;  (** tuples materialized between operators *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+(** [add ~into t] accumulates [t] into [into]. *)
+val add : into:t -> t -> unit
+
+val joins : t -> int
+
+val pp : Format.formatter -> t -> unit

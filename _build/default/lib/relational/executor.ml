@@ -1,0 +1,113 @@
+(** Plan execution: materialized, operator-at-a-time evaluation of
+    {!Algebra.plan}, charging {!Counters} for base-table reads, joins and
+    intermediate results. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun msg -> raise (Error msg)) fmt
+
+let find_col schema name =
+  match Schema.index_of_opt schema name with
+  | Some i -> i
+  | None -> error "unknown column %s in schema %a" name Schema.pp schema
+
+(* Evaluates to (schema, tuple list). *)
+let rec eval counters plan =
+  match plan with
+  | Algebra.Access { table; alias; path; residual } ->
+    let base_schema = Table.schema table in
+    let qualified = Schema.qualify alias base_schema in
+    let tuples =
+      match path with
+      | Algebra.Full_scan -> Table.scan table counters
+      | Algebra.Index_eq { column; value } -> (
+        match Table.index_eq table counters ~column value with
+        | rows -> rows
+        | exception Not_found -> error "no index on %s.%s" (Table.name table) column)
+      | Algebra.Index_range { column; lo; hi } -> (
+        match Table.index_range table counters ~column ~lo ~hi with
+        | rows -> rows
+        | exception Not_found -> error "no index on %s.%s" (Table.name table) column)
+    in
+    let tuples =
+      match residual with
+      | Algebra.True -> tuples
+      | pred -> List.filter (Algebra.eval_pred qualified pred) tuples
+    in
+    (qualified, tuples)
+  | Algebra.Select (pred, sub) ->
+    let schema, tuples = eval counters sub in
+    (schema, List.filter (Algebra.eval_pred schema pred) tuples)
+  | Algebra.Project (columns, sub) ->
+    let schema, tuples = eval counters sub in
+    let indices = Array.of_list (List.map (find_col schema) columns) in
+    (Schema.of_list columns, List.map (Tuple.project indices) tuples)
+  | Algebra.Theta_join (pred, left, right) ->
+    let ls, lt = eval counters left in
+    let rs, rt = eval counters right in
+    counters.Counters.theta_joins <- counters.Counters.theta_joins + 1;
+    let schema = Schema.concat ls rs in
+    let out =
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b ->
+              let tuple = Tuple.concat a b in
+              if Algebra.eval_pred schema pred tuple then Some tuple else None)
+            rt)
+        lt
+    in
+    counters.Counters.intermediate <- counters.Counters.intermediate + List.length out;
+    (schema, out)
+  | Algebra.Djoin (spec, left, right) ->
+    let ls, lt = eval counters left in
+    let rs, rt = eval counters right in
+    counters.Counters.djoins <- counters.Counters.djoins + 1;
+    let side schema start_col end_col =
+      {
+        Structural_join.start_col = find_col schema start_col;
+        end_col = find_col schema end_col;
+      }
+    in
+    let keep =
+      match spec.Algebra.gap with
+      | Algebra.Any_gap -> fun _ _ -> true
+      | Algebra.Exact_gap { anc_level; desc_level; k } ->
+        let al = find_col ls anc_level and dl = find_col rs desc_level in
+        fun a d ->
+          Value.to_int (Tuple.get d dl) = Value.to_int (Tuple.get a al) + k
+      | Algebra.Min_gap { anc_level; desc_level; k } ->
+        let al = find_col ls anc_level and dl = find_col rs desc_level in
+        fun a d ->
+          Value.to_int (Tuple.get d dl) >= Value.to_int (Tuple.get a al) + k
+    in
+    let out =
+      Structural_join.pairs ~anc:lt ~desc:rt
+        ~anc_side:(side ls spec.Algebra.anc_start spec.anc_end)
+        ~desc_side:(side rs spec.desc_start spec.desc_end)
+        ~keep
+    in
+    counters.Counters.intermediate <- counters.Counters.intermediate + List.length out;
+    (Schema.concat ls rs, out)
+  | Algebra.Union [] -> error "empty union"
+  | Algebra.Union (first :: rest) ->
+    let schema, tuples = eval counters first in
+    let tuples =
+      List.fold_left
+        (fun acc sub ->
+          let s, t = eval counters sub in
+          if not (Schema.equal s schema) then
+            error "union schema mismatch: %a vs %a" Schema.pp schema Schema.pp s;
+          acc @ t)
+        tuples rest
+    in
+    (schema, tuples)
+  | Algebra.Distinct sub ->
+    let schema, tuples = eval counters sub in
+    let relation = Relation.distinct (Relation.make schema (Array.of_list tuples)) in
+    (schema, Array.to_list (Relation.tuples relation))
+
+(** [run ?counters plan] executes [plan] and materializes the result. *)
+let run ?(counters = Counters.create ()) plan =
+  let schema, tuples = eval counters plan in
+  Relation.make schema (Array.of_list tuples)

@@ -1,0 +1,10 @@
+(** Plan execution: materialized, operator-at-a-time evaluation of
+    {!Algebra.plan}, charging {!Counters} for base-table reads, joins
+    and intermediate results. *)
+
+exception Error of string
+
+(** [run ?counters plan] executes [plan] and materializes the result.
+    @raise Error on unknown columns, empty unions or schema
+    mismatches. *)
+val run : ?counters:Counters.t -> Algebra.plan -> Relation.t

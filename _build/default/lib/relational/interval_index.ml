@@ -1,0 +1,106 @@
+(** A static interval index over D-labels — the "special indexes
+    (B+ tree and/or R tree) for optimizing D-joins" the paper's
+    conclusion mentions.
+
+    The structure is an implicit balanced BST over intervals sorted by
+    start, augmented with each subtree's maximum end (the classic
+    augmented interval tree, the 1-D equivalent of the R-tree the paper
+    suggests).  Two queries matter for D-labels:
+
+    - {e stabbing} ([containing p]): all intervals containing a point —
+      the ancestors of a node, O(log n + answers) because XML intervals
+      nest (the containing intervals form a chain);
+    - {e containment} ([contained_in i]): all intervals strictly inside
+      a given one — the descendants of a node, O(log n + answers) by
+      binary search on starts (nesting makes the start range
+      sufficient). *)
+
+type 'a t = {
+  starts : int array;  (* sorted *)
+  fins : int array;
+  payloads : 'a array;
+  max_fin : int array;  (* max end over the implicit BST subtree *)
+}
+
+(* The implicit BST over indices [lo, hi): root at the middle. *)
+let rec fill_max_fin t lo hi =
+  if lo >= hi then min_int
+  else begin
+    let mid = (lo + hi) / 2 in
+    let left = fill_max_fin t lo mid in
+    let right = fill_max_fin t (mid + 1) hi in
+    let m = max t.fins.(mid) (max left right) in
+    t.max_fin.(mid) <- m;
+    m
+  end
+
+(** [build items] indexes [(start, fin, payload)] triples.  Starts must
+    be distinct (they are document positions); intervals must nest or
+    be disjoint for the query complexity bounds, though correctness
+    only needs valid intervals. *)
+let build items =
+  let items =
+    List.sort (fun (s1, _, _) (s2, _, _) -> Stdlib.compare s1 s2) items
+  in
+  let n = List.length items in
+  let t =
+    {
+      starts = Array.make n 0;
+      fins = Array.make n 0;
+      payloads = Array.of_list (List.map (fun (_, _, p) -> p) items);
+      max_fin = Array.make n min_int;
+    }
+  in
+  List.iteri
+    (fun i (s, f, _) ->
+      if s > f then invalid_arg "Interval_index.build: start > end";
+      t.starts.(i) <- s;
+      t.fins.(i) <- f)
+    items;
+  ignore (fill_max_fin t 0 n);
+  t
+
+let length t = Array.length t.starts
+
+(* First index with starts.(i) >= x. *)
+let lower_bound t x =
+  let lo = ref 0 and hi = ref (Array.length t.starts) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.starts.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(** [containing t p] — payloads of all intervals with
+    [start < p < fin] (strict: a node is not its own ancestor when [p]
+    is a start position), outermost first. *)
+let containing t p =
+  let acc = ref [] in
+  let rec go lo hi =
+    if lo < hi then begin
+      let mid = (lo + hi) / 2 in
+      if t.max_fin.(mid) > p then begin
+        (* Anything containing p starts before it. *)
+        if t.starts.(mid) < p then begin
+          if t.fins.(mid) > p then acc := (t.starts.(mid), t.payloads.(mid)) :: !acc;
+          go lo mid;
+          go (mid + 1) hi
+        end
+        else go lo mid
+      end
+    end
+  in
+  go 0 (Array.length t.starts);
+  List.map snd (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) !acc)
+
+(** [contained_in t ~start ~fin] — payloads of all intervals strictly
+    inside [(start, fin)], in start order. *)
+let contained_in t ~start ~fin =
+  let from = lower_bound t (start + 1) in
+  let acc = ref [] in
+  let i = ref from in
+  while !i < Array.length t.starts && t.starts.(!i) < fin do
+    if t.fins.(!i) < fin then acc := t.payloads.(!i) :: !acc;
+    incr i
+  done;
+  List.rev !acc

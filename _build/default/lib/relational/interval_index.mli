@@ -1,0 +1,21 @@
+(** A static augmented interval tree over D-labels — the 1-D equivalent
+    of the R-tree the paper's conclusion suggests for optimizing
+    D-joins.  Supports the two D-label queries: stabbing (ancestors of
+    a position) and containment (descendants of an interval), both in
+    O(log n + answers) on nested interval sets. *)
+
+type 'a t
+
+(** [build items] indexes [(start, fin, payload)] triples.
+    @raise Invalid_argument if some [start > fin]. *)
+val build : (int * int * 'a) list -> 'a t
+
+val length : 'a t -> int
+
+(** Payloads of all intervals strictly containing position [p]
+    ([start < p < fin]), outermost first. *)
+val containing : 'a t -> int -> 'a list
+
+(** Payloads of all intervals strictly inside [(start, fin)], in start
+    order. *)
+val contained_in : 'a t -> start:int -> fin:int -> 'a list

@@ -1,0 +1,47 @@
+(** Relation schemas: an ordered list of column names.  Qualified names
+    ("T1.start") appear once relations flow through aliased plans; base
+    tables use bare names ("start"). *)
+
+type t = string array
+
+let of_list columns : t =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c then
+        invalid_arg (Printf.sprintf "Schema.of_list: duplicate column %s" c);
+      Hashtbl.replace seen c ())
+    columns;
+  Array.of_list columns
+
+let columns (t : t) = Array.to_list t
+
+let arity (t : t) = Array.length t
+
+(** [index_of t column] is the position of [column].
+    @raise Not_found when absent. *)
+let index_of (t : t) column =
+  let rec go i =
+    if i >= Array.length t then raise Not_found
+    else if String.equal t.(i) column then i
+    else go (i + 1)
+  in
+  go 0
+
+let index_of_opt t column =
+  match index_of t column with i -> Some i | exception Not_found -> None
+
+let mem t column = index_of_opt t column <> None
+
+(** [qualify alias t] prefixes every column with [alias ^ "."]. *)
+let qualify alias (t : t) : t = Array.map (fun c -> alias ^ "." ^ c) t
+
+(** [concat a b] joins two schemas side by side.
+    @raise Invalid_argument on a column name clash. *)
+let concat (a : t) (b : t) : t = of_list (columns a @ columns b)
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 String.equal a b
+
+let pp ppf t =
+  Format.fprintf ppf "(%s)" (String.concat ", " (columns t))

@@ -1,0 +1,30 @@
+(** Relation schemas: an ordered list of column names.  Base tables use
+    bare names ("start"); aliased relations inside plans use qualified
+    names ("T1.start"). *)
+
+type t
+
+(** @raise Invalid_argument on duplicate columns. *)
+val of_list : string list -> t
+
+val columns : t -> string list
+
+val arity : t -> int
+
+(** @raise Not_found when absent. *)
+val index_of : t -> string -> int
+
+val index_of_opt : t -> string -> int option
+
+val mem : t -> string -> bool
+
+(** [qualify alias t] prefixes every column with [alias ^ "."]. *)
+val qualify : string -> t -> t
+
+(** Side-by-side concatenation.
+    @raise Invalid_argument on a name clash. *)
+val concat : t -> t -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+(** A recursive-descent parser for the SQL subset printed by
+    {!Sql_print}: select-from-where blocks with conjunctive WHERE
+    clauses, combined by UNION, with parenthesized blocks.  Keywords are
+    case-insensitive; numeric literals beyond the native integer range
+    parse to big integers. *)
+
+exception Error of string
+
+(** @raise Error on malformed input or trailing tokens. *)
+val parse : string -> Sql_ast.t

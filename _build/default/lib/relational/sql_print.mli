@@ -1,0 +1,10 @@
+(** Rendering {!Sql_ast} queries as SQL text.  The output is accepted by
+    {!Sql_parse} (the round trip is checked by the test suite). *)
+
+val pp_expr : Format.formatter -> Sql_ast.expr -> unit
+
+val pp_cond : Format.formatter -> Sql_ast.cond -> unit
+
+val pp : Format.formatter -> Sql_ast.t -> unit
+
+val to_string : Sql_ast.t -> string

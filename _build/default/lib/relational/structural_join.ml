@@ -1,0 +1,45 @@
+(** The merge-based structural join (stack-tree algorithm of Al-Khalifa
+    et al., ICDE 2002) used to execute D-joins.
+
+    Both inputs are interval lists over the same document, so any two
+    intervals are either nested or disjoint.  Sweeping both sides in
+    [start] order while keeping the currently open ancestor intervals on
+    a stack yields every (ancestor, descendant) pair in
+    O(|anc| + |desc| + |output|), instead of the nested-loop join a naive
+    engine would run. *)
+
+type side = { start_col : int; end_col : int }
+
+let int_at tuple col = Value.to_int (Tuple.get tuple col)
+
+(** [pairs ~anc ~desc ~anc_side ~desc_side ~keep] returns all concatenated
+    tuples [a @ d] where the interval of [a] strictly contains the
+    interval of [d] and [keep a d] holds (the level-gap filter).  Inputs
+    need not be sorted. *)
+let pairs ~anc ~desc ~anc_side ~desc_side ~keep =
+  let by_start side a b =
+    Stdlib.compare (int_at a side.start_col) (int_at b side.start_col)
+  in
+  let anc = List.sort (by_start anc_side) anc in
+  let desc = List.sort (by_start desc_side) desc in
+  let out = ref [] in
+  (* The stack holds ancestors whose interval contains the sweep point;
+     with nested-or-disjoint intervals, every stack survivor at a
+     descendant's start position strictly contains that descendant. *)
+  let rec sweep anc stack desc =
+    match desc with
+    | [] -> ()
+    | d :: drest ->
+      let dstart = int_at d desc_side.start_col in
+      (match anc with
+      | a :: arest when int_at a anc_side.start_col < dstart ->
+        let astart = int_at a anc_side.start_col in
+        let stack = List.filter (fun s -> int_at s anc_side.end_col > astart) stack in
+        sweep arest (a :: stack) desc
+      | _ ->
+        let stack = List.filter (fun s -> int_at s anc_side.end_col > dstart) stack in
+        List.iter (fun a -> if keep a d then out := Tuple.concat a d :: !out) stack;
+        sweep anc stack drest)
+  in
+  sweep anc [] desc;
+  List.rev !out

@@ -1,0 +1,135 @@
+(** Base tables: a relation stored in clustered order with secondary B+
+    tree indexes, mirroring the paper's storage setup (Section 5.2.1):
+    relations SP(plabel, start, end, level, data) clustered by
+    {plabel, start} and SD(tag, start, end, level, data) clustered by
+    {tag, start}, with indexes on every queried attribute.
+
+    Every access method charges {!Counters} with the tuples it fetches —
+    this is the "visited elements" / disk-access proxy of the paper's
+    figures (rows are fetched in clustered order, so fetched tuples and
+    page reads are proportional). *)
+
+module Value_btree = Btree.Make (Value)
+
+type t = {
+  name : string;
+  relation : Relation.t;  (* tuples in clustered order *)
+  cluster_key : string list;
+  indexes : (string, int Value_btree.t) Hashtbl.t;  (* column -> row ids *)
+  pool : Buffer_pool.t option;  (* shared page cache, when disk modelling is on *)
+  page_rows : int;  (* tuples per page *)
+}
+
+let name t = t.name
+
+let schema t = Relation.schema t.relation
+
+let relation t = t.relation
+
+let cardinality t = Relation.cardinality t.relation
+
+let cluster_key t = t.cluster_key
+
+let has_index t column = Hashtbl.mem t.indexes column
+
+let indexed_columns t =
+  List.sort String.compare (Hashtbl.fold (fun c _ acc -> c :: acc) t.indexes [])
+
+(** [create ?pool ?page_rows ~name ~schema ~cluster_key ~indexes tuples]
+    sorts [tuples] by [cluster_key] and builds a B+ tree for each column
+    in [indexes] (the cluster key's leading column always gets one).
+    With a [pool], every tuple fetch requests its page, charging page
+    misses as disk accesses; [page_rows] (default 64) is the page size
+    in tuples. *)
+let create ?pool ?(page_rows = 64) ~name ~schema ~cluster_key ~indexes tuples =
+  if page_rows < 1 then invalid_arg "Table.create: page_rows must be >= 1";
+  let relation =
+    Relation.sort_by (Relation.make schema (Array.of_list tuples)) cluster_key
+  in
+  let table =
+    { name; relation; cluster_key; indexes = Hashtbl.create 8; pool; page_rows }
+  in
+  let wanted =
+    match cluster_key with
+    | leading :: _ when not (List.mem leading indexes) -> leading :: indexes
+    | _ -> indexes
+  in
+  List.iter
+    (fun column ->
+      let i = Schema.index_of schema column in
+      let index = Value_btree.create () in
+      Array.iteri
+        (fun row tuple -> Value_btree.insert index (Tuple.get tuple i) row)
+        (Relation.tuples relation);
+      Hashtbl.replace table.indexes column index)
+    wanted;
+  table
+
+(* Requests the pages behind a list of row ids (already sorted, so
+   consecutive clustered rows coalesce into one request per page). *)
+let touch_pages t rows =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+    let last = ref (-1) in
+    List.iter
+      (fun row ->
+        let page = row / t.page_rows in
+        if page <> !last then begin
+          last := page;
+          ignore (Buffer_pool.access pool ~table:t.name ~page)
+        end)
+      rows
+
+let fetch_rows t counters rows =
+  counters.Counters.tuples_read <- counters.Counters.tuples_read + List.length rows;
+  touch_pages t rows;
+  let tuples = Relation.tuples t.relation in
+  List.map (fun row -> tuples.(row)) rows
+
+(** Full scan: reads every tuple (and every page). *)
+let scan t counters =
+  let tuples = Relation.tuples t.relation in
+  counters.Counters.tuples_read <- counters.Counters.tuples_read + Array.length tuples;
+  (match t.pool with
+  | None -> ()
+  | Some pool ->
+    for page = 0 to (Array.length tuples - 1) / t.page_rows do
+      ignore (Buffer_pool.access pool ~table:t.name ~page)
+    done);
+  Array.to_list tuples
+
+(** Equality lookup through the index on [column].
+    @raise Not_found if the column has no index. *)
+let index_eq t counters ~column value =
+  let index = Hashtbl.find t.indexes column in
+  counters.Counters.index_seeks <- counters.Counters.index_seeks + 1;
+  let rows = Value_btree.find index value in
+  fetch_rows t counters (List.sort Stdlib.compare rows)
+
+(** Range lookup [lo <= column <= hi] through the index ([None] bounds are
+    open).  Row ids are returned in clustered order.
+    @raise Not_found if the column has no index. *)
+let index_range t counters ~column ~lo ~hi =
+  let index = Hashtbl.find t.indexes column in
+  counters.Counters.index_seeks <- counters.Counters.index_seeks + 1;
+  let rows =
+    Value_btree.fold_range index ~lo ~hi ~init:[] ~f:(fun acc _ row -> row :: acc)
+  in
+  fetch_rows t counters (List.sort Stdlib.compare rows)
+
+(** [index_count t ~column ~lo ~hi] — how many rows an index range
+    access would fetch, computed from the index alone.  This is an
+    optimizer probe: it charges no counters and touches no pages (a
+    real system would consult statistics here; our indexes are exact).
+    @raise Not_found if the column has no index. *)
+let index_count t ~column ~lo ~hi =
+  let index = Hashtbl.find t.indexes column in
+  Value_btree.count_range index ~lo ~hi
+
+(** The table's buffer pool, when disk modelling is on. *)
+let pool t = t.pool
+
+(** Pages occupied by the clustered tuples. *)
+let page_count t =
+  (Relation.cardinality t.relation + t.page_rows - 1) / t.page_rows

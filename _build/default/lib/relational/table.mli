@@ -1,0 +1,71 @@
+(** Base tables: a relation stored in clustered order with secondary B+
+    tree indexes, mirroring the paper's storage setup (Section 5.2.1):
+    SP(plabel, start, end, level, data) clustered by {plabel, start} and
+    SD(tag, start, end, level, data) clustered by {tag, start}, indexed
+    on every queried attribute.
+
+    Every access method charges {!Counters} with the tuples it fetches —
+    the paper's "visited elements" / disk-access proxy. *)
+
+type t
+
+(** [create ?pool ?page_rows ~name ~schema ~cluster_key ~indexes tuples]
+    sorts the tuples by [cluster_key] and builds a B+ tree for every
+    column in [indexes]; the cluster key's leading column always gets
+    one.  With a [pool], every tuple fetch requests its page, charging
+    misses as disk accesses; [page_rows] (default 64) is the page size
+    in tuples. *)
+val create :
+  ?pool:Buffer_pool.t ->
+  ?page_rows:int ->
+  name:string ->
+  schema:Schema.t ->
+  cluster_key:string list ->
+  indexes:string list ->
+  Tuple.t list ->
+  t
+
+(** The shared buffer pool, when disk modelling is on. *)
+val pool : t -> Buffer_pool.t option
+
+(** Pages occupied by the clustered tuples. *)
+val page_count : t -> int
+
+val name : t -> string
+
+val schema : t -> Schema.t
+
+val relation : t -> Relation.t
+
+val cardinality : t -> int
+
+val cluster_key : t -> string list
+
+val has_index : t -> string -> bool
+
+val indexed_columns : t -> string list
+
+(** Full scan: reads every tuple, in clustered order. *)
+val scan : t -> Counters.t -> Tuple.t list
+
+(** Equality lookup through the index on [column]; rows come back in
+    clustered order.
+    @raise Not_found if the column has no index. *)
+val index_eq : t -> Counters.t -> column:string -> Value.t -> Tuple.t list
+
+(** [index_count t ~column ~lo ~hi] — how many rows a range access
+    would fetch, from the index alone (an optimizer probe: no counters,
+    no page requests).
+    @raise Not_found if the column has no index. *)
+val index_count :
+  t -> column:string -> lo:Value.t option -> hi:Value.t option -> int
+
+(** Range lookup [lo <= column <= hi] ([None] bounds are open).
+    @raise Not_found if the column has no index. *)
+val index_range :
+  t ->
+  Counters.t ->
+  column:string ->
+  lo:Value.t option ->
+  hi:Value.t option ->
+  Tuple.t list

@@ -1,0 +1,31 @@
+(** Tuples: flat value arrays positioned by a {!Schema.t}. *)
+
+type t = Value.t array
+
+let of_list = Array.of_list
+
+let get (t : t) i = t.(i)
+
+let arity (t : t) = Array.length t
+
+(** [project indices t] builds a narrower tuple from selected positions. *)
+let project indices (t : t) : t = Array.map (fun i -> t.(i)) indices
+
+let concat (a : t) (b : t) : t = Array.append a b
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la || i >= lb then Stdlib.compare la lb
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", " (Array.to_list (Array.map Value.to_string t)))

@@ -1,0 +1,1 @@
+lib/twigjoin/entry.ml: Array Format Stdlib

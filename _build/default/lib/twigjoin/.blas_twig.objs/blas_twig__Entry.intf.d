@@ -1,0 +1,1 @@
+lib/twigjoin/entry.mli: Format

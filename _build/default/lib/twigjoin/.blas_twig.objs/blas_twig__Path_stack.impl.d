@@ -1,0 +1,1 @@
+lib/twigjoin/path_stack.ml: Array Entry List Pattern

@@ -1,0 +1,1 @@
+lib/twigjoin/path_stack.mli: Entry Pattern

@@ -1,0 +1,1 @@
+lib/twigjoin/pattern.ml: Array Entry Format List Printf

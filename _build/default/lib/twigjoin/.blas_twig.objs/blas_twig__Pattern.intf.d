@@ -1,0 +1,1 @@
+lib/twigjoin/pattern.mli: Entry Format

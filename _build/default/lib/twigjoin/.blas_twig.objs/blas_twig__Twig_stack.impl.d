@@ -1,0 +1,1 @@
+lib/twigjoin/twig_stack.ml: Array Entry List Pattern

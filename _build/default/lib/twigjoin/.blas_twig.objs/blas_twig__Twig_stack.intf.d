@@ -1,0 +1,1 @@
+lib/twigjoin/twig_stack.mli: Entry Pattern

@@ -1,0 +1,1 @@
+lib/twigjoin/twig_stack_classic.ml: Array Entry List Pattern Twig_stack

@@ -1,0 +1,1 @@
+lib/twigjoin/twig_stack_classic.mli: Pattern Twig_stack

@@ -1,0 +1,18 @@
+(** Stream elements of the twig-join engine: bare D-labels.  Streams are
+    arrays sorted by [start]; intervals from one document are nested or
+    disjoint, which the stack discipline of {!Twig_stack} relies on. *)
+
+type t = { start : int; fin : int; level : int }
+
+let compare_start a b = Stdlib.compare a.start b.start
+
+(** Strict interval containment = the ancestor relationship
+    (Definition 3.1). *)
+let contains ~anc ~desc = anc.start < desc.start && anc.fin > desc.fin
+
+let pp ppf { start; fin; level } = Format.fprintf ppf "<%d,%d,%d>" start fin level
+
+let sort_stream entries =
+  let a = Array.of_list entries in
+  Array.sort compare_start a;
+  a

@@ -1,0 +1,15 @@
+(** Stream elements of the twig-join engine: bare D-labels.  Streams are
+    arrays sorted by [start]; intervals from one document are nested or
+    disjoint, which the stack discipline of {!Twig_stack} relies on. *)
+
+type t = { start : int; fin : int; level : int }
+
+val compare_start : t -> t -> int
+
+(** Strict interval containment = the ancestor relationship. *)
+val contains : anc:t -> desc:t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Sorts a list into a [start]-ordered stream. *)
+val sort_stream : t list -> t array

@@ -1,0 +1,108 @@
+(** PathStack (Bruno, Koudas & Srivastava, SIGMOD 2002, Algorithm 1):
+    the holistic join for {e linear} patterns, enumerating complete
+    path solutions — one tuple of document nodes per embedding of the
+    whole chain, not just output-node bindings.
+
+    Elements are merged in global start order; each pattern node keeps
+    a stack, and every pushed entry records the top of its parent's
+    stack at push time.  A push onto the leaf stack emits all solutions
+    it completes: the chains obtained by following parent pointers,
+    taking any entry at or below the recorded position in each ancestor
+    stack.  Exact-gap (child) edges are checked during expansion, as in
+    the original's post-filtering. *)
+
+type solution = Entry.t array  (** one entry per chain node, root first *)
+
+(* An entry on stack [i] with the index of the parent-stack top at push
+   time (-1 when the parent stack was empty; only possible for the
+   root). *)
+type slot = { entry : Entry.t; parent_top : int }
+
+let linear_chain (p : Pattern.node) =
+  let rec go (p : Pattern.node) =
+    match p.children with
+    | [] -> [ p ]
+    | [ c ] -> p :: go c
+    | _ :: _ :: _ ->
+      invalid_arg "Path_stack: the pattern must be a linear chain"
+  in
+  Array.of_list (go p)
+
+(** [solutions pattern] — every embedding of the chain, in leaf-push
+    order.
+    @raise Invalid_argument on branching patterns. *)
+let solutions (pattern : Pattern.node) =
+  let chain = linear_chain pattern in
+  let k = Array.length chain in
+  (* Stacks are kept as slot lists with a live-top index: "popped"
+     entries survive until the next push so that pointer-based
+     expansion can still reach them. *)
+  let slots : slot list array = Array.make k [] in
+  let depth = Array.make k 0 in
+  let cursors = Array.make k 0 in
+  let out = ref [] in
+  (* Expansion: chains ending at slot index [j] of stack [i]. *)
+  let rec expand i j (suffix : Entry.t list) =
+    if i < 0 then out := Array.of_list suffix :: !out
+    else begin
+      let arr = Array.of_list (List.rev slots.(i)) in
+      (* Any slot at position <= j works; positions index pushes. *)
+      for pos = 0 to j do
+        let slot = arr.(pos) in
+        let ok =
+          match suffix with
+          | [] -> true
+          | child :: _ ->
+            Pattern.gap_ok chain.(i + 1).Pattern.gap ~anc:slot.entry ~desc:child
+        in
+        if ok then expand (i - 1) slot.parent_top (slot.entry :: suffix)
+      done
+    end
+  in
+  let clean i start =
+    (* Lower the live top past entries whose interval has closed. *)
+    let arr = Array.of_list (List.rev slots.(i)) in
+    while
+      depth.(i) > 0 && (arr.(depth.(i) - 1)).entry.Entry.fin < start
+    do
+      depth.(i) <- depth.(i) - 1
+    done
+  in
+  let rec step () =
+    (* The non-exhausted stream whose head starts first. *)
+    let best = ref (-1) in
+    for i = 0 to k - 1 do
+      if cursors.(i) < Array.length chain.(i).Pattern.entries then begin
+        let s = chain.(i).Pattern.entries.(cursors.(i)).Entry.start in
+        if
+          !best < 0
+          || s < chain.(!best).Pattern.entries.(cursors.(!best)).Entry.start
+        then best := i
+      end
+    done;
+    if !best >= 0 then begin
+      let i = !best in
+      let entry = chain.(i).Pattern.entries.(cursors.(i)) in
+      cursors.(i) <- cursors.(i) + 1;
+      if i > 0 then clean (i - 1) entry.Entry.start;
+      clean i entry.Entry.start;
+      let pushable = i = 0 || depth.(i - 1) > 0 in
+      if pushable then begin
+        (* Truncate the logical stack to the live top, then push. *)
+        let keep = depth.(i) in
+        let arr = Array.of_list (List.rev slots.(i)) in
+        slots.(i) <- List.rev (Array.to_list (Array.sub arr 0 keep));
+        let parent_top = if i = 0 then -1 else depth.(i - 1) - 1 in
+        slots.(i) <- { entry; parent_top } :: slots.(i);
+        depth.(i) <- keep + 1;
+        if i = k - 1 then expand (k - 2) parent_top [ entry ]
+      end;
+      step ()
+    end
+  in
+  step ();
+  List.rev !out
+
+(** Number of embeddings, without materializing them beyond the
+    enumeration itself. *)
+let solution_count pattern = List.length (solutions pattern)

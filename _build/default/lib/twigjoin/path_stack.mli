@@ -1,0 +1,14 @@
+(** PathStack (Bruno, Koudas & Srivastava, SIGMOD 2002): the holistic
+    join for linear patterns, enumerating complete {e path solutions} —
+    one tuple of document entries per embedding of the whole chain,
+    where the twig-join entry points report only output-node
+    bindings. *)
+
+type solution = Entry.t array  (** one entry per chain node, root first *)
+
+(** [solutions pattern] — every embedding of the chain.
+    @raise Invalid_argument on branching patterns. *)
+val solutions : Pattern.node -> solution list
+
+(** Number of embeddings. *)
+val solution_count : Pattern.node -> int

@@ -1,0 +1,54 @@
+(** Twig patterns: the tree-shaped join structure the holistic engine
+    executes.  A pattern node carries its input stream (already filtered
+    by tag for the D-labeling baseline, or by P-label range for BLAS
+    items) and the structural constraint on the edge from its parent. *)
+
+(** [Exact k]: the node binds exactly [k] levels below its parent's
+    binding (child and grandchild constraints from branch elimination);
+    [At_least k]: at least [k] levels below (descendant cuts; [At_least 1]
+    is the plain ancestor-descendant edge). *)
+type gap = Exact of int | At_least of int
+
+type node = {
+  label : string;  (** for diagnostics and plan printing *)
+  entries : Entry.t array;  (** sorted by start *)
+  gap : gap;  (** constraint on the edge from the parent; the root's is ignored *)
+  children : node list;
+  is_output : bool;
+}
+
+let make ~label ~entries ~gap ~children ~is_output =
+  let entries = Entry.sort_stream entries in
+  { label; entries; gap; children; is_output }
+
+let gap_ok gap ~(anc : Entry.t) ~(desc : Entry.t) =
+  Entry.contains ~anc ~desc
+  &&
+  match gap with
+  | Exact k -> desc.level = anc.level + k
+  | At_least k -> desc.level >= anc.level + k
+
+let rec fold f acc node = List.fold_left (fold f) (f acc node) node.children
+
+(** Total stream elements — the "visited elements" metric of Figures
+    14-18: the holistic join reads every element of every input stream
+    exactly once. *)
+let visited_elements root = fold (fun acc n -> acc + Array.length n.entries) 0 root
+
+let output_node root =
+  let outputs = fold (fun acc n -> if n.is_output then n :: acc else acc) [] root in
+  match outputs with
+  | [ n ] -> n
+  | _ -> invalid_arg "Pattern.output_node: exactly one output node required"
+
+let rec pp ppf node =
+  Format.fprintf ppf "@[<v 2>%s%s [%d entries]%s"
+    node.label
+    (match node.gap with
+    | Exact k -> Printf.sprintf " (=%d)" k
+    | At_least 1 -> ""
+    | At_least k -> Printf.sprintf " (>=%d)" k)
+    (Array.length node.entries)
+    (if node.is_output then " *" else "");
+  List.iter (fun c -> Format.fprintf ppf "@,%a" pp c) node.children;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Twig patterns: the tree-shaped join structure the holistic engine
+    executes.  A pattern node carries its input stream (already filtered
+    by tag or P-label range) and the structural constraint on the edge
+    from its parent. *)
+
+(** [Exact k]: binds exactly [k] levels below the parent's binding;
+    [At_least k]: at least [k] levels below ([At_least 1] is the plain
+    ancestor-descendant edge). *)
+type gap = Exact of int | At_least of int
+
+type node = {
+  label : string;  (** for diagnostics *)
+  entries : Entry.t array;  (** sorted by start *)
+  gap : gap;  (** edge from the parent; ignored on the root *)
+  children : node list;
+  is_output : bool;
+}
+
+(** [make] sorts the entries into stream order. *)
+val make :
+  label:string ->
+  entries:Entry.t list ->
+  gap:gap ->
+  children:node list ->
+  is_output:bool ->
+  node
+
+(** Containment plus the level-gap constraint. *)
+val gap_ok : gap -> anc:Entry.t -> desc:Entry.t -> bool
+
+val fold : ('a -> node -> 'a) -> 'a -> node -> 'a
+
+(** Total stream elements — the "visited elements" metric of the paper's
+    Figures 14-18. *)
+val visited_elements : node -> int
+
+(** @raise Invalid_argument unless exactly one node is the output. *)
+val output_node : node -> node
+
+val pp : Format.formatter -> node -> unit

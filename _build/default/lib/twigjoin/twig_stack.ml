@@ -1,0 +1,208 @@
+(** A holistic twig join over {!Pattern} trees, reconstructing the
+    engine of Bruno, Koudas & Srivastava (SIGMOD 2002) that the paper
+    uses as its second query engine.
+
+    The algorithm runs in two linear phases:
+
+    {b Phase 1 — stack filter.}  All streams are merged in global
+    [start] order.  Each pattern node keeps a stack of its currently
+    open intervals; an element is pushed (and recorded as a candidate)
+    only when its parent's stack is non-empty after popping closed
+    intervals — the push discipline of PathStack/TwigStack.  Elements
+    with no open potential ancestor are discarded on the spot.  Unlike
+    the original getNext formulation we do not skip ahead within
+    streams, so every stream element is read exactly once; the "visited
+    elements" metric of the paper's figures is the total stream length
+    either way, and the candidate sets differ only by TwigStack's
+    look-ahead pruning (DESIGN.md discusses the substitution).
+
+    {b Phase 2 — semijoin passes.}  A bottom-up sweep keeps a candidate
+    alive iff every pattern child has an alive candidate below it
+    satisfying the edge's level gap; a top-down sweep keeps a candidate
+    iff an alive parent candidate spans it.  For tree patterns the two
+    passes leave exactly the elements that participate in at least one
+    full embedding, so the output node's survivors are the query answer.
+    Each sweep is a merge with stack depth bounded by the document
+    height. *)
+
+type stats = {
+  visited : int;  (** total stream elements read *)
+  candidates : int;  (** elements surviving the phase-1 stack filter *)
+  results : int;
+}
+
+type cand = { entry : Entry.t; mutable alive : bool; mutable mark : bool }
+
+type node_state = {
+  pattern : Pattern.node;
+  children : node_state list;
+  mutable cands : cand array;  (** phase-1 survivors, sorted by start *)
+}
+
+let rec build_state (p : Pattern.node) =
+  { pattern = p; children = List.map build_state p.children; cands = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1                                                            *)
+
+let phase1 (root_state : node_state) =
+  (* Collect nodes with their parent; the root has none. *)
+  let rec collect parent acc st =
+    let acc = (st, parent) :: acc in
+    List.fold_left (collect (Some st)) acc st.children
+  in
+  let nodes = Array.of_list (List.rev (collect None [] root_state)) in
+  let n = Array.length nodes in
+  let cursors = Array.make n 0 in
+  let stacks : Entry.t list array = Array.make n [] in
+  let out : cand list array = Array.make n [] in
+  let index_of st =
+    let rec go i = if fst nodes.(i) == st then i else go (i + 1) in
+    go 0
+  in
+  let parent_index = Array.map (function _, Some p -> index_of p | _, None -> -1) nodes in
+  let rec step () =
+    (* Pick the non-exhausted stream whose head starts first. *)
+    let best = ref (-1) in
+    for i = 0 to n - 1 do
+      let stream = (fst nodes.(i)).pattern.entries in
+      if cursors.(i) < Array.length stream then
+        let s = stream.(cursors.(i)).start in
+        if !best < 0 || s < (fst nodes.(!best)).pattern.entries.(cursors.(!best)).start
+        then best := i
+    done;
+    if !best >= 0 then begin
+      let i = !best in
+      let entry = (fst nodes.(i)).pattern.entries.(cursors.(i)) in
+      cursors.(i) <- cursors.(i) + 1;
+      let clean j =
+        stacks.(j) <-
+          List.filter (fun (e : Entry.t) -> e.fin > entry.start) stacks.(j)
+      in
+      let pushable =
+        if parent_index.(i) < 0 then true
+        else begin
+          clean parent_index.(i);
+          stacks.(parent_index.(i)) <> []
+        end
+      in
+      if pushable then begin
+        clean i;
+        stacks.(i) <- entry :: stacks.(i);
+        out.(i) <- { entry; alive = true; mark = false } :: out.(i)
+      end;
+      step ()
+    end
+  in
+  step ();
+  Array.iteri
+    (fun i (st, _) ->
+      (* Candidates were consed in start order, so reverse restores it. *)
+      st.cands <- Array.of_list (List.rev out.(i)))
+    nodes
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2                                                            *)
+
+(* Sweeps parent intervals and child points in global start order,
+   calling [visit] with the open-parent stack for every alive child
+   candidate.  Both inputs are sorted by start. *)
+let sweep (parents : cand array) (children : cand array) ~visit =
+  let np = Array.length parents and nc = Array.length children in
+  let stack = ref [] in
+  let pi = ref 0 and ci = ref 0 in
+  while !pi < np || !ci < nc do
+    let next_parent =
+      if !pi < np then Some parents.(!pi).entry.start else None
+    in
+    let next_child = if !ci < nc then Some children.(!ci).entry.start else None in
+    let take_parent =
+      match next_parent, next_child with
+      | Some p, Some c -> p < c
+      | Some _, None -> true
+      | None, _ -> false
+    in
+    if take_parent then begin
+      let p = parents.(!pi) in
+      incr pi;
+      if p.alive then begin
+        stack := List.filter (fun (s : cand) -> s.entry.fin > p.entry.start) !stack;
+        stack := p :: !stack
+      end
+    end
+    else begin
+      let c = children.(!ci) in
+      incr ci;
+      if c.alive then begin
+        stack := List.filter (fun (s : cand) -> s.entry.fin > c.entry.start) !stack;
+        visit !stack c
+      end
+    end
+  done
+
+(* Bottom-up: a candidate stays alive iff every pattern child has an
+   alive candidate below it satisfying the gap. *)
+let rec bottom_up (st : node_state) =
+  List.iter bottom_up st.children;
+  List.iter
+    (fun (child : node_state) ->
+      Array.iter (fun c -> c.mark <- false) st.cands;
+      sweep st.cands child.cands ~visit:(fun open_parents c ->
+          List.iter
+            (fun (p : cand) ->
+              if Pattern.gap_ok child.pattern.gap ~anc:p.entry ~desc:c.entry then
+                p.mark <- true)
+            open_parents);
+      Array.iter (fun p -> if not p.mark then p.alive <- false) st.cands)
+    st.children
+
+(* Top-down: a candidate stays alive iff some alive parent candidate
+   spans it with the right gap. *)
+let rec top_down (st : node_state) =
+  List.iter
+    (fun (child : node_state) ->
+      Array.iter (fun c -> c.mark <- false) child.cands;
+      sweep st.cands child.cands ~visit:(fun open_parents c ->
+          if
+            List.exists
+              (fun (p : cand) ->
+                Pattern.gap_ok child.pattern.gap ~anc:p.entry ~desc:c.entry)
+              open_parents
+          then c.mark <- true);
+      Array.iter (fun c -> if not c.mark then c.alive <- false) child.cands;
+      top_down child)
+    st.children
+
+(* ------------------------------------------------------------------ *)
+
+(** [run pattern] executes the twig join and returns the start positions
+    of the output node's bindings (sorted, duplicate-free) plus
+    statistics. *)
+let run (pattern : Pattern.node) =
+  let root = build_state pattern in
+  phase1 root;
+  bottom_up root;
+  top_down root;
+  let rec count st =
+    Array.length st.cands + List.fold_left (fun acc c -> acc + count c) 0 st.children
+  in
+  let candidates = count root in
+  let rec find_output st =
+    if st.pattern.Pattern.is_output then Some st
+    else List.find_map find_output st.children
+  in
+  let output =
+    match find_output root with
+    | Some st -> st
+    | None -> invalid_arg "Twig_stack.run: pattern has no output node"
+  in
+  let results =
+    Array.to_list output.cands
+    |> List.filter_map (fun c -> if c.alive then Some c.entry.Entry.start else None)
+  in
+  ( results,
+    {
+      visited = Pattern.visited_elements pattern;
+      candidates;
+      results = List.length results;
+    } )

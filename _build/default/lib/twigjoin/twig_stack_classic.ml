@@ -1,0 +1,183 @@
+(** The original TwigStack formulation (Bruno, Koudas & Srivastava,
+    SIGMOD 2002, Algorithm 2), driven by [getNext].
+
+    Differences from {!Twig_stack}: instead of merging all streams in
+    global start order, [getNext] chooses the next stream to advance and
+    {e skips} head elements that provably participate in no solution —
+    an element of an internal node is advanced over while its interval
+    ends before the latest child head begins ([nextR(q) < nextL(qmax)]),
+    since sorted streams guarantee no entry of that child can fall
+    inside it.  For ancestor-descendant-only patterns every pushed
+    element participates in a solution (the paper's optimality theorem);
+    with child (exact-gap) edges the push set is a superset, exactly as
+    in the original.
+
+    Output bindings are computed from the pushed candidates by the same
+    semijoin passes as {!Twig_stack}; the test suite checks both
+    implementations against each other and against brute force.  The
+    candidate sets here are never larger (usually smaller); the visited
+    element count is identical, since skipping still reads each
+    element. *)
+
+type stats = Twig_stack.stats = {
+  visited : int;
+  candidates : int;
+  results : int;
+}
+
+type node_state = {
+  pattern : Pattern.node;
+  mutable children : node_state list;
+  mutable parent : node_state option;
+  mutable cursor : int;
+  mutable stack : Entry.t list;
+  mutable pushed : Twig_stack.cand list;  (* reverse start order *)
+}
+
+let rec build (p : Pattern.node) =
+  let st =
+    { pattern = p; children = []; parent = None; cursor = 0; stack = []; pushed = [] }
+  in
+  st.children <-
+    List.map
+      (fun c ->
+        let child = build c in
+        child.parent <- Some st;
+        child)
+      p.children;
+  st
+
+let eof st = st.cursor >= Array.length st.pattern.Pattern.entries
+
+let head st = st.pattern.Pattern.entries.(st.cursor)
+
+let next_l st = if eof st then max_int else (head st).Entry.start
+
+let next_r st = if eof st then max_int else (head st).Entry.fin
+
+let advance st = st.cursor <- st.cursor + 1
+
+let is_leaf st = st.children = []
+
+(* Algorithm 2's getNext: returns the node whose head element should be
+   processed next, or an exhausted node when a required subtree has run
+   dry. *)
+let rec get_next st =
+  if is_leaf st then st
+  else begin
+    let rec check = function
+      | [] -> None
+      | c :: rest ->
+        let n = get_next c in
+        if n != c then Some n else check rest
+    in
+    match check st.children with
+    | Some deeper -> deeper
+    | None ->
+      let qmin =
+        List.fold_left
+          (fun acc c -> if next_l c < next_l acc then c else acc)
+          (List.hd st.children) (List.tl st.children)
+      in
+      let qmax =
+        List.fold_left
+          (fun acc c -> if next_l c > next_l acc then c else acc)
+          (List.hd st.children) (List.tl st.children)
+      in
+      (* Skip head elements of st that end before qmax's head begins:
+         no element of qmax's stream can fall inside them. *)
+      while (not (eof st)) && next_r st < next_l qmax do
+        advance st
+      done;
+      if (not (eof st)) && next_l st < next_l qmin then st else qmin
+  end
+
+let clean st upto =
+  st.stack <- List.filter (fun (e : Entry.t) -> e.fin > upto) st.stack
+
+let push st =
+  let entry = head st in
+  st.stack <- entry :: st.stack;
+  st.pushed <- { Twig_stack.entry; alive = true; mark = false } :: st.pushed;
+  advance st
+
+(* The main loop runs until every stream is exhausted: even after one
+   node's stream ends, other nodes' later elements can still combine
+   with its recorded candidates, and the semijoin passes need them. *)
+let phase1 root =
+  let rec nodes st = st :: List.concat_map nodes st.children in
+  let all = nodes root in
+  let exists_live () = List.exists (fun st -> not (eof st)) all in
+  let earliest_live () =
+    List.fold_left
+      (fun acc st ->
+        if eof st then acc
+        else
+          match acc with
+          | Some best when next_l best <= next_l st -> acc
+          | _ -> Some st)
+      None all
+  in
+  let continue = ref true in
+  while !continue && exists_live () do
+    let q = get_next root in
+    (* getNext's skipping may exhaust streams, including the one it
+       returns; when a required subtree has run dry, fall back to the
+       earliest live stream so its elements still reach the candidate
+       sets (later elements can combine with already-recorded ones). *)
+    let q = if eof q then earliest_live () else Some q in
+    match q with
+    | None -> continue := false
+    | Some q -> (
+      match q.parent with
+      | None ->
+        clean q (next_l q);
+        push q
+      | Some parent ->
+        clean parent (next_l q);
+        clean q (next_l q);
+        if parent.stack <> [] then push q else advance q)
+  done
+
+(** [run pattern] — same contract as {!Twig_stack.run}. *)
+let run (pattern : Pattern.node) =
+  let root = build pattern in
+  phase1 root;
+  (* Hand the candidates to the shared semijoin passes. *)
+  let rec to_shared st =
+    let shared =
+      {
+        Twig_stack.pattern = st.pattern;
+        children = List.map to_shared st.children;
+        cands = Array.of_list (List.rev st.pushed);
+      }
+    in
+    shared
+  in
+  let shared = to_shared root in
+  Twig_stack.bottom_up shared;
+  Twig_stack.top_down shared;
+  let rec count st =
+    Array.length st.Twig_stack.cands
+    + List.fold_left (fun acc c -> acc + count c) 0 st.Twig_stack.children
+  in
+  let rec find_output st =
+    if st.Twig_stack.pattern.Pattern.is_output then Some st
+    else List.find_map find_output st.Twig_stack.children
+  in
+  let output =
+    match find_output shared with
+    | Some st -> st
+    | None -> invalid_arg "Twig_stack_classic.run: pattern has no output node"
+  in
+  let results =
+    Array.to_list output.Twig_stack.cands
+    |> List.filter_map (fun (c : Twig_stack.cand) ->
+           if c.alive then Some c.entry.Entry.start else None)
+  in
+  ( results,
+    {
+      visited = Pattern.visited_elements pattern;
+      candidates = count shared;
+      results = List.length results;
+    } )

@@ -1,0 +1,18 @@
+(** The original TwigStack formulation (Bruno, Koudas & Srivastava,
+    SIGMOD 2002), driven by [getNext]: streams are advanced selectively
+    and head elements that provably participate in no solution are
+    skipped, so the candidate sets handed to the semijoin passes are
+    never larger than {!Twig_stack}'s (and are solution-tight on
+    ancestor-descendant-only patterns, the paper's optimality theorem).
+    Answers and visited-element counts are identical to
+    {!Twig_stack.run}; the test suite cross-checks the two. *)
+
+type stats = Twig_stack.stats = {
+  visited : int;
+  candidates : int;
+  results : int;
+}
+
+(** Same contract as {!Twig_stack.run}.
+    @raise Invalid_argument if the pattern has no output node. *)
+val run : Pattern.node -> int list * stats

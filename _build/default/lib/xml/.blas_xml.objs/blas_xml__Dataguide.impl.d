@@ -1,0 +1,1 @@
+lib/xml/dataguide.ml: Dom List Map Set String

@@ -1,0 +1,1 @@
+lib/xml/dataguide.mli: Types

@@ -1,0 +1,1 @@
+lib/xml/doc_stats.ml: Dataguide Format List Printer Printf Types

@@ -1,0 +1,1 @@
+lib/xml/dom.ml: List Sax String Types

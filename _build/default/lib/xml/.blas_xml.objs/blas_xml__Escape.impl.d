@@ -1,0 +1,1 @@
+lib/xml/escape.ml: Buffer String Uchar

@@ -1,0 +1,1 @@
+lib/xml/printer.mli: Buffer Types

@@ -1,0 +1,1 @@
+lib/xml/replicate.ml: Types

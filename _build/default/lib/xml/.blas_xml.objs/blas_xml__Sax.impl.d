@@ -1,0 +1,1 @@
+lib/xml/sax.ml: Buffer Char Escape List Printf String Types

@@ -1,0 +1,1 @@
+lib/xml/types.ml: Buffer List Printf String

@@ -1,0 +1,68 @@
+(** A DataGuide: the trie of all source paths occurring in a document.
+
+    The Unfold translator (paper Section 4.1.3) needs schema information
+    to enumerate the simple paths matched by [p//q].  A DataGuide built
+    from the instance is a sound and complete substitute for a DTD for
+    that purpose: it contains exactly the simple paths that have a
+    non-empty answer on the document, so unfolding against it returns the
+    same results while generating no useless subqueries. *)
+
+module String_map = Map.Make (String)
+
+type t = { children : t String_map.t }
+
+let empty = { children = String_map.empty }
+
+let rec add_path guide = function
+  | [] -> guide
+  | tag :: rest ->
+    let child =
+      match String_map.find_opt tag guide.children with
+      | Some c -> c
+      | None -> empty
+    in
+    { children = String_map.add tag (add_path child rest) guide.children }
+
+(** [of_tree tree] builds the DataGuide of all source paths in [tree]. *)
+let of_tree tree =
+  Dom.fold_elements (fun g path _ -> add_path g path) empty tree
+
+let find_child guide tag = String_map.find_opt tag guide.children
+
+let child_tags guide = List.map fst (String_map.bindings guide.children)
+
+(** [all_paths guide] enumerates every source path in the guide, shortest
+    first, each as a list of tags from the root. *)
+let all_paths guide =
+  let rec go prefix guide acc =
+    String_map.fold
+      (fun tag child acc ->
+        let path = tag :: prefix in
+        go path child (List.rev path :: acc))
+      guide.children acc
+  in
+  List.rev (go [] guide [])
+
+(** [mem_path guide path] tests whether [path] (root tag first) occurs. *)
+let mem_path guide path =
+  let rec go guide = function
+    | [] -> true
+    | tag :: rest -> (
+      match find_child guide tag with None -> false | Some c -> go c rest)
+  in
+  go guide path
+
+(** [max_depth guide] is the length of the longest source path. *)
+let max_depth guide =
+  let rec go guide =
+    String_map.fold (fun _ child acc -> max acc (1 + go child)) guide.children 0
+  in
+  go guide
+
+(** [distinct_tags guide] is the sorted list of tags occurring anywhere. *)
+let distinct_tags guide =
+  let module S = Set.Make (String) in
+  let rec go guide acc =
+    String_map.fold (fun tag child acc -> go child (S.add tag acc)) guide.children acc
+  in
+  S.elements (go guide S.empty)

@@ -1,0 +1,35 @@
+(** A DataGuide: the trie of all source paths occurring in a document.
+
+    The Unfold translator (paper Section 4.1.3) needs schema information
+    to enumerate the simple paths matched by [p//q]; a DataGuide built
+    from the instance is a sound and complete substitute for a DTD for
+    that purpose. *)
+
+type t
+
+val empty : t
+
+(** [add_path guide path] inserts one source path (root tag first). *)
+val add_path : t -> string list -> t
+
+(** [of_tree tree] builds the DataGuide of all source paths in
+    [tree]. *)
+val of_tree : Types.tree -> t
+
+(** [find_child guide tag] descends one level. *)
+val find_child : t -> string -> t option
+
+(** Tags of the immediate children, sorted. *)
+val child_tags : t -> string list
+
+(** Every source path, shortest first, each as tags from the root. *)
+val all_paths : t -> string list list
+
+(** [mem_path guide path] — does [path] (root tag first) occur? *)
+val mem_path : t -> string list -> bool
+
+(** Length of the longest source path. *)
+val max_depth : t -> int
+
+(** Sorted list of tags occurring anywhere in the guide. *)
+val distinct_tags : t -> string list

@@ -1,0 +1,24 @@
+(** Document characteristics, matching the paper's Figure 12 columns:
+    Size (bytes of the serialized file), Nodes (element and attribute
+    nodes), Tags (distinct tags) and Depth (longest simple path). *)
+
+type t = { size : int; nodes : int; tags : int; depth : int }
+
+let of_tree tree =
+  let guide = Dataguide.of_tree tree in
+  {
+    size = Printer.byte_size tree;
+    nodes = Types.element_count tree;
+    tags = List.length (Dataguide.distinct_tags guide);
+    depth = Types.depth tree;
+  }
+
+let pp ppf { size; nodes; tags; depth } =
+  Format.fprintf ppf "size=%dB nodes=%d tags=%d depth=%d" size nodes tags depth
+
+(** [size_human bytes] renders a size the way the paper labels its x-axes
+    (e.g. "34.8M"). *)
+let size_human bytes =
+  if bytes >= 1_000_000 then Printf.sprintf "%.1fM" (float_of_int bytes /. 1e6)
+  else if bytes >= 1_000 then Printf.sprintf "%.1fK" (float_of_int bytes /. 1e3)
+  else Printf.sprintf "%dB" bytes

@@ -1,0 +1,16 @@
+(** Document characteristics, matching the paper's Figure 12 columns. *)
+
+type t = {
+  size : int;  (** bytes of the compact serialization *)
+  nodes : int;  (** element and attribute nodes *)
+  tags : int;  (** distinct tags *)
+  depth : int;  (** longest simple path *)
+}
+
+val of_tree : Types.tree -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** [size_human bytes] renders a byte count the way the paper labels its
+    x-axes (e.g. ["34.8M"]). *)
+val size_human : int -> string

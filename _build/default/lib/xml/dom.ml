@@ -1,0 +1,99 @@
+(** Building in-memory trees from SAX events, and basic navigation.
+
+    Attributes reported by the SAX layer become leading child elements
+    tagged ["@name"] with one text child, per the convention described in
+    {!Types}. *)
+
+open Types
+
+let attribute_children attrs =
+  List.map (fun (name, value) -> Element ("@" ^ name, [ Content value ])) attrs
+
+(** [of_events events] builds the document tree.  The event stream must
+    describe exactly one root element (leading/trailing text is ignored,
+    matching the XML prolog rules).
+    @raise Failure if the stream is empty or ill-nested. *)
+let of_events events =
+  (* Each stack frame holds a tag and its children in reverse order. *)
+  let rec go stack roots events =
+    match events with
+    | [] -> (
+      match stack with
+      | [] -> (
+        match List.rev roots with
+        | [ root ] -> root
+        | [] -> failwith "Dom.of_events: no root element"
+        | _ -> failwith "Dom.of_events: multiple root elements")
+      | (tag, _) :: _ -> failwith ("Dom.of_events: unclosed <" ^ tag ^ ">"))
+    | Start_element (tag, attrs) :: rest ->
+      go ((tag, List.rev (attribute_children attrs)) :: stack) roots rest
+    | End_element _ :: rest -> (
+      match stack with
+      | [] -> failwith "Dom.of_events: stray end element"
+      | (tag, children) :: stack' ->
+        let node = Element (tag, List.rev children) in
+        (match stack' with
+        | [] -> go [] (node :: roots) rest
+        | (ptag, pchildren) :: up -> go ((ptag, node :: pchildren) :: up) roots rest))
+    | Text s :: rest -> (
+      match stack with
+      | [] -> go [] roots rest (* text outside the root: ignore *)
+      | (tag, children) :: up -> go ((tag, Content s :: children) :: up) roots rest)
+  in
+  go [] [] events
+
+(** [parse input] parses an XML document into a tree.
+    @raise Types.Parse_error on malformed input. *)
+let parse ?keep_whitespace input = of_events (Sax.events ?keep_whitespace input)
+
+(** [iter_events tree ~on_event] replays [tree] as a SAX event stream;
+    attribute children (tag ["@x"]) are folded back into the enclosing
+    [Start_element] so that [parse] and [iter_events] are inverses. *)
+let iter_events tree ~on_event =
+  let rec go = function
+    | Content s -> on_event (Text s)
+    | Element (tag, children) ->
+      let rec split attrs = function
+        | Element (atag, [ Content v ]) :: rest when is_attribute_tag atag ->
+          split ((String.sub atag 1 (String.length atag - 1), v) :: attrs) rest
+        | rest -> (List.rev attrs, rest)
+      in
+      let attrs, rest = split [] children in
+      on_event (Start_element (tag, attrs));
+      List.iter go rest;
+      on_event (End_element tag)
+  in
+  go tree
+
+(** [select_children tag node] returns the children of [node] tagged
+    [tag], in document order. *)
+let select_children tag node =
+  List.filter
+    (fun c -> match tag_of c with Some t -> String.equal t tag | None -> false)
+    (children_of node)
+
+(** [descendants node] lists every element node strictly below [node] in
+    document order. *)
+let descendants node =
+  let rec go acc = function
+    | Content _ -> acc
+    | Element (_, cs) ->
+      List.fold_left
+        (fun acc c ->
+          match c with Element _ -> go (c :: acc) c | Content _ -> acc)
+        acc cs
+  in
+  List.rev (go [] node)
+
+(** [fold_elements f init tree] folds [f] over every element node in
+    document order, passing the node's source path (root tag first). *)
+let fold_elements f init tree =
+  let rec go acc path node =
+    match node with
+    | Content _ -> acc
+    | Element (tag, cs) ->
+      let path = tag :: path in
+      let acc = f acc (List.rev path) node in
+      List.fold_left (fun acc c -> go acc path c) acc cs
+  in
+  go init [] tree

@@ -1,0 +1,33 @@
+(** Building in-memory trees from SAX events, and basic navigation.
+
+    Attributes reported by the SAX layer become leading child elements
+    tagged ["@name"] with one text child (the convention of
+    {!Types}). *)
+
+(** [of_events events] builds the document tree from a SAX stream
+    describing exactly one root element.
+    @raise Failure on an empty or ill-nested stream. *)
+val of_events : Types.event list -> Types.tree
+
+(** [parse input] parses an XML document into a tree.
+    @raise Types.Parse_error on malformed input. *)
+val parse : ?keep_whitespace:bool -> string -> Types.tree
+
+(** [iter_events tree ~on_event] replays [tree] as a SAX event stream;
+    attribute children are folded back into the enclosing
+    [Start_element], so [parse] and [iter_events] are inverses. *)
+val iter_events : Types.tree -> on_event:(Types.event -> unit) -> unit
+
+(** [select_children tag node] — children of [node] tagged [tag], in
+    document order. *)
+val select_children : string -> Types.tree -> Types.tree list
+
+(** [descendants node] — every element strictly below [node], in
+    document order. *)
+val descendants : Types.tree -> Types.tree list
+
+(** [fold_elements f init tree] folds [f] over every element node in
+    document order; [f] receives the node's source path (root tag
+    first). *)
+val fold_elements :
+  ('a -> string list -> Types.tree -> 'a) -> 'a -> Types.tree -> 'a

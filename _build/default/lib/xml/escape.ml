@@ -1,0 +1,51 @@
+(** Entity escaping and unescaping for XML character data and attribute
+    values.  Only the five predefined entities and decimal/hexadecimal
+    character references are supported, which is all the generators emit
+    and all the data sets in the paper require. *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape s =
+  let special = function '&' | '<' | '>' | '"' | '\'' -> true | _ -> false in
+  if String.exists special s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    escape_into buf s;
+    Buffer.contents buf
+  end
+  else s
+
+(** [decode_entity name] resolves the payload of [&name;]. *)
+let decode_entity name =
+  match name with
+  | "amp" -> Some "&"
+  | "lt" -> Some "<"
+  | "gt" -> Some ">"
+  | "quot" -> Some "\""
+  | "apos" -> Some "'"
+  | _ ->
+    let len = String.length name in
+    if len >= 2 && name.[0] = '#' then begin
+      let code =
+        if name.[1] = 'x' || name.[1] = 'X' then
+          int_of_string_opt ("0x" ^ String.sub name 2 (len - 2))
+        else int_of_string_opt (String.sub name 1 (len - 1))
+      in
+      match code with
+      | Some c when c >= 0 && c < 0x110000 ->
+        (* Encode the scalar value as UTF-8. *)
+        let buf = Buffer.create 4 in
+        Buffer.add_utf_8_uchar buf (Uchar.of_int c);
+        Some (Buffer.contents buf)
+      | Some _ | None -> None
+    end
+    else None

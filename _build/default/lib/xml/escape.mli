@@ -1,0 +1,16 @@
+(** Entity escaping and unescaping for XML character data and attribute
+    values.  Only the five predefined entities and decimal/hexadecimal
+    character references are supported. *)
+
+(** [escape_into buf s] appends [s] to [buf], escaping the five special
+    characters. *)
+val escape_into : Buffer.t -> string -> unit
+
+(** [escape s] is [s] with the five special characters replaced by
+    entities.  Returns [s] itself when nothing needs escaping. *)
+val escape : string -> string
+
+(** [decode_entity name] resolves the payload of [&name;]: a predefined
+    entity name, or a [#ddd] / [#xHH] character reference.  [None] for
+    anything unknown or out of range. *)
+val decode_entity : string -> string option

@@ -1,0 +1,96 @@
+(** Serialization of XML trees.
+
+    Two modes: [compact] emits no insignificant whitespace (the canonical
+    form used throughout the benchmarks, so that byte sizes are
+    reproducible), and [pretty] indents nested elements for human
+    consumption in the examples and the CLI. *)
+
+open Types
+
+let add_attr buf (name, value) =
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf name;
+  Buffer.add_string buf "=\"";
+  Escape.escape_into buf value;
+  Buffer.add_char buf '"'
+
+(* Splits leading attribute children off an element's child list. *)
+let split_attrs children =
+  let rec go attrs = function
+    | Element (atag, [ Content v ]) :: rest when is_attribute_tag atag ->
+      go ((String.sub atag 1 (String.length atag - 1), v) :: attrs) rest
+    | rest -> (List.rev attrs, rest)
+  in
+  go [] children
+
+let to_buffer buf tree =
+  let rec go = function
+    | Content s -> Escape.escape_into buf s
+    | Element (tag, children) ->
+      let attrs, rest = split_attrs children in
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter (add_attr buf) attrs;
+      if rest = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter go rest;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>'
+      end
+  in
+  go tree
+
+(** [compact tree] serializes without extra whitespace. *)
+let compact tree =
+  let buf = Buffer.create 4096 in
+  to_buffer buf tree;
+  Buffer.contents buf
+
+(** [pretty tree] serializes with two-space indentation.  Elements whose
+    children are all text are kept on one line. *)
+let pretty tree =
+  let buf = Buffer.create 4096 in
+  let indent n =
+    for _ = 1 to n do
+      Buffer.add_string buf "  "
+    done
+  in
+  let all_text = List.for_all (function Content _ -> true | _ -> false) in
+  let rec go level = function
+    | Content s ->
+      indent level;
+      Escape.escape_into buf s;
+      Buffer.add_char buf '\n'
+    | Element (tag, children) ->
+      let attrs, rest = split_attrs children in
+      indent level;
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter (add_attr buf) attrs;
+      if rest = [] then Buffer.add_string buf "/>\n"
+      else if all_text rest then begin
+        Buffer.add_char buf '>';
+        List.iter
+          (function Content s -> Escape.escape_into buf s | _ -> ())
+          rest;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_string buf ">\n"
+      end
+      else begin
+        Buffer.add_string buf ">\n";
+        List.iter (go (level + 1)) rest;
+        indent level;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_string buf ">\n"
+      end
+  in
+  go 0 tree;
+  Buffer.contents buf
+
+(** [byte_size tree] is the length of the compact serialization — the
+    "Size" column of the paper's Figure 12. *)
+let byte_size tree = String.length (compact tree)

@@ -1,0 +1,16 @@
+(** Serialization of XML trees.
+
+    [compact] emits no insignificant whitespace (the canonical form used
+    by the benchmarks, so byte sizes are reproducible); [pretty] indents
+    nested elements for human consumption. *)
+
+val compact : Types.tree -> string
+
+val pretty : Types.tree -> string
+
+(** [to_buffer buf tree] appends the compact form to [buf]. *)
+val to_buffer : Buffer.t -> Types.tree -> unit
+
+(** [byte_size tree] is the length of the compact serialization — the
+    "Size" column of the paper's Figure 12. *)
+val byte_size : Types.tree -> int

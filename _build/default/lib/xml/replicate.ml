@@ -1,0 +1,22 @@
+(** Document replication, the paper's scaling device (Section 5.3):
+    "we test queries on larger data sets by repeating the original data
+    set 20 times" and "replicated the Auction data set between 10 and 60
+    times".
+
+    Replication keeps the root element and repeats its children [k]
+    times, so every source path of the original document is preserved
+    (tag inventory, depth and query answers scale linearly while plans
+    stay identical). *)
+
+open Types
+
+(** [by_factor k tree] repeats the children of the root [k] times.
+    [by_factor 1 tree] is [tree] itself.
+    @raise Invalid_argument if [k < 1] or the root is a text node. *)
+let by_factor k tree =
+  if k < 1 then invalid_arg "Replicate.by_factor: factor must be >= 1";
+  match tree with
+  | Content _ -> invalid_arg "Replicate.by_factor: root must be an element"
+  | Element (tag, children) ->
+    let rec repeat n acc = if n = 0 then acc else repeat (n - 1) (children @ acc) in
+    Element (tag, repeat k [])

@@ -1,0 +1,10 @@
+(** Document replication, the paper's scaling device (Section 5.3):
+    repeat the children of the root [k] times.  Every source path of the
+    original document is preserved, so tag inventory, depth and query
+    plans stay identical while data volume and answers scale
+    linearly. *)
+
+(** [by_factor k tree] repeats the root's children [k] times;
+    [by_factor 1 tree] is [tree].
+    @raise Invalid_argument if [k < 1] or the root is a text node. *)
+val by_factor : int -> Types.tree -> Types.tree

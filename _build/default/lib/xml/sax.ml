@@ -1,0 +1,257 @@
+(** A streaming (SAX-style) XML parser.
+
+    The parser handles the XML subset needed for the paper's data sets and
+    generators: elements, attributes, character data, the five predefined
+    entities plus numeric character references, comments, CDATA sections,
+    processing instructions and a DOCTYPE declaration (both skipped).
+
+    Namespaces are not interpreted: a qualified name is kept verbatim as
+    the tag.  Attributes are reported with [Start_element] and, per the
+    convention of {!Types}, downstream consumers turn each attribute into
+    a child node tagged ["@name"].
+
+    By default whitespace-only text between elements is dropped so that
+    pretty-printed input and compact input produce the same node counts;
+    pass [~keep_whitespace:true] to retain it. *)
+
+open Types
+
+type state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the beginning of the current line *)
+  keep_whitespace : bool;
+  on_event : event -> unit;
+}
+
+let position st =
+  { line = st.line; column = st.pos - st.bol + 1; offset = st.pos }
+
+let fail st msg = raise (Parse_error (position st, msg))
+
+let at_end st = st.pos >= String.length st.input
+
+let peek st = if at_end st then '\000' else st.input.[st.pos]
+
+let advance st =
+  if not (at_end st) then begin
+    if st.input.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+    end;
+    st.pos <- st.pos + 1
+  end
+
+let expect st c =
+  if peek st = c then advance st
+  else fail st (Printf.sprintf "expected %C but found %C" c (peek st))
+
+let expect_string st s =
+  String.iter (fun c -> expect st c) s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (not (at_end st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c
+  || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (at_end st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Reads [&entity;] with the cursor on ['&']; appends the decoded text. *)
+let parse_entity st buf =
+  expect st '&';
+  let start = st.pos in
+  while (not (at_end st)) && peek st <> ';' do
+    advance st
+  done;
+  if at_end st then fail st "unterminated entity reference";
+  let name = String.sub st.input start (st.pos - start) in
+  expect st ';';
+  match Escape.decode_entity name with
+  | Some text -> Buffer.add_string buf text
+  | None -> fail st (Printf.sprintf "unknown entity &%s;" name)
+
+let parse_attribute_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then
+    fail st "expected a quoted attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if at_end st then fail st "unterminated attribute value";
+    match peek st with
+    | c when c = quote -> advance st
+    | '&' ->
+      parse_entity st buf;
+      go ()
+    | '<' -> fail st "'<' is not allowed in attribute values"
+    | c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let rec parse_attributes st acc =
+  skip_spaces st;
+  match peek st with
+  | '>' | '/' | '?' -> List.rev acc
+  | _ ->
+    let name = parse_name st in
+    skip_spaces st;
+    expect st '=';
+    skip_spaces st;
+    let value = parse_attribute_value st in
+    parse_attributes st ((name, value) :: acc)
+
+(* Skips until the terminator string [stop]; the cursor starts after the
+   opening delimiter and ends after [stop]. *)
+let skip_until st stop =
+  let n = String.length stop in
+  let rec go () =
+    if st.pos + n > String.length st.input then fail st "unexpected end of input"
+    else if String.sub st.input st.pos n = stop then expect_string st stop
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let parse_cdata st buf =
+  expect_string st "[CDATA[";
+  let rec go () =
+    if st.pos + 3 > String.length st.input then fail st "unterminated CDATA"
+    else if String.sub st.input st.pos 3 = "]]>" then expect_string st "]]>"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+(* DOCTYPE may contain an internal subset in brackets; the declaration
+   ends at the first '>' outside the brackets. *)
+let skip_doctype st =
+  let closed = ref false in
+  let bracket = ref 0 in
+  while not !closed do
+    if at_end st then fail st "unterminated DOCTYPE";
+    (match peek st with
+    | '>' -> if !bracket = 0 then closed := true
+    | '[' -> incr bracket
+    | ']' -> decr bracket
+    | _ -> ());
+    advance st
+  done
+
+let flush_text st buf =
+  if Buffer.length buf > 0 then begin
+    let text = Buffer.contents buf in
+    Buffer.clear buf;
+    let only_space = String.for_all is_space text in
+    if st.keep_whitespace || not only_space then st.on_event (Text text)
+  end
+
+(* The element stack is used only to verify well-nestedness. *)
+let run st =
+  let stack = ref [] in
+  let text = Buffer.create 256 in
+  let rec go () =
+    if at_end st then ()
+    else
+      match peek st with
+      | '<' ->
+        flush_text st text;
+        advance st;
+        (match peek st with
+        | '/' ->
+          advance st;
+          let name = parse_name st in
+          skip_spaces st;
+          expect st '>';
+          (match !stack with
+          | top :: rest when String.equal top name ->
+            stack := rest;
+            st.on_event (End_element name)
+          | top :: _ ->
+            fail st
+              (Printf.sprintf "mismatched end tag </%s>, expected </%s>" name
+                 top)
+          | [] -> fail st (Printf.sprintf "stray end tag </%s>" name));
+          go ()
+        | '?' ->
+          advance st;
+          skip_until st "?>";
+          go ()
+        | '!' ->
+          advance st;
+          (match peek st with
+          | '-' ->
+            expect_string st "--";
+            skip_until st "-->"
+          | '[' -> parse_cdata st text
+          | _ ->
+            let keyword = parse_name st in
+            if String.equal keyword "DOCTYPE" then skip_doctype st
+            else fail st (Printf.sprintf "unsupported declaration <!%s" keyword));
+          go ()
+        | _ ->
+          let name = parse_name st in
+          let attrs = parse_attributes st [] in
+          skip_spaces st;
+          (match peek st with
+          | '/' ->
+            advance st;
+            expect st '>';
+            st.on_event (Start_element (name, attrs));
+            st.on_event (End_element name)
+          | '>' ->
+            advance st;
+            stack := name :: !stack;
+            st.on_event (Start_element (name, attrs))
+          | _ -> fail st "malformed start tag");
+          go ())
+      | '&' ->
+        parse_entity st text;
+        go ()
+      | c ->
+        Buffer.add_char text c;
+        advance st;
+        go ()
+  in
+  go ();
+  flush_text st text;
+  match !stack with
+  | [] -> ()
+  | top :: _ -> fail st (Printf.sprintf "unclosed element <%s>" top)
+
+(** [parse ?keep_whitespace ~on_event input] parses [input] and calls
+    [on_event] for every event in document order.
+    @raise Types.Parse_error on malformed input. *)
+let parse ?(keep_whitespace = false) ~on_event input =
+  run { input; pos = 0; line = 1; bol = 0; keep_whitespace; on_event }
+
+(** [events input] collects all events of [input] into a list. *)
+let events ?keep_whitespace input =
+  let acc = ref [] in
+  parse ?keep_whitespace ~on_event:(fun e -> acc := e :: !acc) input;
+  List.rev !acc

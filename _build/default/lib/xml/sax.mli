@@ -1,0 +1,20 @@
+(** A streaming (SAX-style) XML parser.
+
+    Handles the XML subset needed for the paper's data sets: elements,
+    attributes, character data, the five predefined entities plus
+    numeric character references, comments, CDATA sections, processing
+    instructions and DOCTYPE declarations (the last three are skipped).
+    Namespaces are not interpreted; qualified names are kept verbatim.
+
+    Whitespace-only text between elements is dropped by default so that
+    pretty-printed and compact input produce the same node counts. *)
+
+(** [parse ?keep_whitespace ~on_event input] parses [input], calling
+    [on_event] for every event in document order.
+    @raise Types.Parse_error on malformed input, with a position. *)
+val parse :
+  ?keep_whitespace:bool -> on_event:(Types.event -> unit) -> string -> unit
+
+(** [events input] collects all events of [input] into a list.
+    @raise Types.Parse_error on malformed input. *)
+val events : ?keep_whitespace:bool -> string -> Types.event list

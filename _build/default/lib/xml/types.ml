@@ -1,0 +1,67 @@
+(** Shared types for the XML substrate.
+
+    Attributes are normalized into child elements whose tag starts with
+    ["@"], holding a single text child.  This mirrors the paper's node
+    accounting, where "Nodes is the number of nodes in the XML file,
+    including element and attribute nodes" (Section 5.1.1), and lets every
+    downstream component (labeling, query translation, engines) treat
+    attributes uniformly as tree nodes. *)
+
+type event =
+  | Start_element of string * (string * string) list
+      (** [Start_element (tag, attrs)] for [<tag a1="v1" ...>]. *)
+  | End_element of string  (** [End_element tag] for [</tag>]. *)
+  | Text of string  (** Character data between tags, entity-decoded. *)
+
+type tree =
+  | Element of string * tree list
+      (** [Element (tag, children)].  Attribute children come first and
+          are tagged ["@name"]. *)
+  | Content of string  (** A text node. *)
+
+type position = { line : int; column : int; offset : int }
+
+exception Parse_error of position * string
+
+let position_to_string { line; column; offset } =
+  Printf.sprintf "line %d, column %d (offset %d)" line column offset
+
+let tag_of = function Element (tag, _) -> Some tag | Content _ -> None
+
+let children_of = function Element (_, cs) -> cs | Content _ -> []
+
+let is_attribute_tag tag = String.length tag > 0 && tag.[0] = '@'
+
+(** [text_content t] concatenates all text beneath [t] in document order. *)
+let text_content t =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Content s -> Buffer.add_string buf s
+    | Element (_, cs) -> List.iter go cs
+  in
+  go t;
+  Buffer.contents buf
+
+(** [element_count t] counts element nodes (including attribute nodes,
+    which are represented as elements); text nodes are not counted. *)
+let element_count t =
+  let rec go acc = function
+    | Content _ -> acc
+    | Element (_, cs) -> List.fold_left go (acc + 1) cs
+  in
+  go 0 t
+
+(** [depth t] is the length of the longest simple path, counting the root
+    as depth 1; text nodes do not add depth. *)
+let rec depth = function
+  | Content _ -> 0
+  | Element (_, cs) -> 1 + List.fold_left (fun m c -> max m (depth c)) 0 cs
+
+let rec equal a b =
+  match a, b with
+  | Content s, Content s' -> String.equal s s'
+  | Element (t, cs), Element (t', cs') ->
+    String.equal t t'
+    && List.length cs = List.length cs'
+    && List.for_all2 equal cs cs'
+  | Content _, Element _ | Element _, Content _ -> false

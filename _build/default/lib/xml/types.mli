@@ -1,0 +1,52 @@
+(** Shared types for the XML substrate.
+
+    Attributes are normalized into child elements whose tag starts with
+    ["@"], holding a single text child.  This mirrors the paper's node
+    accounting (Section 5.1.1 counts element {e and} attribute nodes)
+    and lets every downstream component — labeling, query translation,
+    engines — treat attributes uniformly as tree nodes. *)
+
+(** SAX events, in document order. *)
+type event =
+  | Start_element of string * (string * string) list
+      (** [Start_element (tag, attrs)] for [<tag a1="v1" ...>]. *)
+  | End_element of string  (** [End_element tag] for [</tag>]. *)
+  | Text of string  (** Character data between tags, entity-decoded. *)
+
+(** Document trees. *)
+type tree =
+  | Element of string * tree list
+      (** [Element (tag, children)].  Attribute children come first and
+          are tagged ["@name"]. *)
+  | Content of string  (** A text node. *)
+
+(** Source positions for parse errors (1-based line and column). *)
+type position = { line : int; column : int; offset : int }
+
+exception Parse_error of position * string
+
+val position_to_string : position -> string
+
+(** [tag_of t] is the element tag, or [None] for a text node. *)
+val tag_of : tree -> string option
+
+val children_of : tree -> tree list
+
+(** [is_attribute_tag tag] — does [tag] denote a normalized attribute
+    (i.e. start with ["@"])? *)
+val is_attribute_tag : string -> bool
+
+(** [text_content t] concatenates all text beneath [t] in document
+    order. *)
+val text_content : tree -> string
+
+(** [element_count t] counts element nodes, including attribute nodes;
+    text nodes are not counted. *)
+val element_count : tree -> int
+
+(** [depth t] is the length of the longest simple path; the root has
+    depth 1, text nodes add none. *)
+val depth : tree -> int
+
+(** Structural equality. *)
+val equal : tree -> tree -> bool

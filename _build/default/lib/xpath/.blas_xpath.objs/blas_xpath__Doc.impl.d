@@ -1,0 +1,1 @@
+lib/xpath/doc.ml: Array Blas_label Blas_xml List Option Stdlib String

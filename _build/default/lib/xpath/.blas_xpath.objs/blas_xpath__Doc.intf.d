@@ -1,0 +1,1 @@
+lib/xpath/doc.mli: Blas_label Blas_xml

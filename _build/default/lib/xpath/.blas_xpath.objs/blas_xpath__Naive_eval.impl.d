@@ -1,0 +1,1 @@
+lib/xpath/naive_eval.ml: Ast Doc Int List Set Stdlib String

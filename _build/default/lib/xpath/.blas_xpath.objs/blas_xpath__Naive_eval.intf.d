@@ -1,0 +1,1 @@
+lib/xpath/naive_eval.mli: Ast Doc

@@ -1,0 +1,1 @@
+lib/xpath/pretty.ml: Ast Buffer Format List Printf String

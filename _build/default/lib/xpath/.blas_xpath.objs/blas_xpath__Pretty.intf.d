@@ -1,0 +1,1 @@
+lib/xpath/pretty.mli: Ast Format

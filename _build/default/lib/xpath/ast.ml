@@ -1,0 +1,93 @@
+(** Abstract syntax for the paper's XPath subset (Section 2): child axis
+    navigation [/], descendant axis navigation [//], branches [\[..\]]
+    with [and], equality value predicates, and (as an extension beyond
+    the paper's experiments) the wildcard node test [*].
+
+    A query is the tree of Figure 3: every query node carries the axis of
+    its incoming edge, a node test, an optional value-equality constraint
+    on the node's text, and child edges for both the main path
+    continuation and branch predicates.  Exactly one node — the last step
+    of the main path — is the {e return node}. *)
+
+type axis = Child | Descendant
+
+type test = Tag of string | Any
+
+(** A comparison between a node's text value and a literal.  [Differs]
+    follows SQL three-valued logic collapsed to two values: a node with
+    no text satisfies neither constraint. *)
+type value_constraint = Equals of string | Differs of string
+
+type node = {
+  axis : axis;  (** the edge from this node's parent (or the document) *)
+  test : test;
+  value : value_constraint option;  (** for [step = "v"] / [step != "v"] *)
+  children : node list;  (** branch and main-path continuations *)
+  is_output : bool;
+}
+
+type t = node  (** the query root; its [axis] is the leading [/] or [//] *)
+
+let rec output_count q =
+  (if q.is_output then 1 else 0)
+  + List.fold_left (fun acc c -> acc + output_count c) 0 q.children
+
+(** Structural well-formedness: exactly one return node. *)
+let is_well_formed q = output_count q = 1
+
+(** [on_main_path q child] — does [child]'s subtree hold the return node? *)
+let on_main_path child = output_count child > 0
+
+let tag_of_test = function Tag t -> Some t | Any -> None
+
+(** [is_path q] — no branching points: the query is a path query
+    (Section 2 distinguishes tree queries from path queries). *)
+let rec is_path q =
+  match q.children with
+  | [] -> true
+  | [ c ] -> is_path c
+  | _ :: _ :: _ -> false
+
+(** [is_suffix_path q] — a path query whose descendant axis, if any, is
+    only the leading one (Definition 2.3), with concrete node tests and a
+    value constraint at most on the leaf return node. *)
+let is_suffix_path q =
+  let rec tail_ok q =
+    q.test <> Any
+    &&
+    match q.children with
+    | [] -> q.is_output
+    | [ c ] -> c.axis = Child && q.value = None && not q.is_output && tail_ok c
+    | _ :: _ :: _ -> false
+  in
+  tail_ok q
+
+(** All tags mentioned by the query, in preorder with duplicates. *)
+let rec tags q =
+  (match q.test with Tag t -> [ t ] | Any -> [])
+  @ List.concat_map tags q.children
+
+(** Number of axis steps (query nodes). *)
+let rec step_count q = 1 + List.fold_left (fun acc c -> acc + step_count c) 0 q.children
+
+(** Number of descendant-axis edges — the [d] of the Section 4.2 join
+    bound [(b + d)].  A leading [//] is part of the suffix path
+    (Definition 2.3) and induces no join, so the root's own axis is not
+    counted. *)
+let descendant_edge_count q =
+  let rec below q =
+    (match q.axis with Descendant -> 1 | Child -> 0)
+    + List.fold_left (fun acc c -> acc + below c) 0 q.children
+  in
+  List.fold_left (fun acc c -> acc + below c) 0 q.children
+
+(** Sum over branching points of their child-axis out-edges — the [b] of
+    the Section 4.2 join bound.  The return node counts as a branching
+    point when it is internal (Section 2). *)
+let rec branch_edge_count q =
+  let here =
+    if List.length q.children > 1 || (q.is_output && q.children <> []) then
+      List.length (List.filter (fun c -> c.axis = Child) q.children)
+    else 0
+  in
+  here + List.fold_left (fun acc c -> acc + branch_edge_count c) 0 q.children

@@ -1,0 +1,59 @@
+(** Abstract syntax for the paper's XPath subset (Section 2): child axis
+    [/], descendant axis [//], branches with [and], equality value
+    predicates, and (as an extension) the wildcard node test [*].
+
+    A query is the tree of the paper's Figure 3: every node carries the
+    axis of its incoming edge, a node test, an optional value-equality
+    constraint, and children covering both branch predicates and the
+    main-path continuation.  Exactly one node — the last step of the
+    main path — is the return node. *)
+
+type axis = Child | Descendant
+
+type test = Tag of string | Any
+
+(** A comparison between a node's text value and a literal.  [Differs]
+    follows SQL three-valued logic collapsed to two values: a node with
+    no text satisfies neither constraint. *)
+type value_constraint = Equals of string | Differs of string
+
+type node = {
+  axis : axis;  (** the edge from the parent (or the document root) *)
+  test : test;
+  value : value_constraint option;  (** for [step = "v"] / [step != "v"] *)
+  children : node list;
+  is_output : bool;
+}
+
+type t = node
+
+val output_count : t -> int
+
+(** Exactly one return node. *)
+val is_well_formed : t -> bool
+
+(** Does this child's subtree hold the return node? *)
+val on_main_path : node -> bool
+
+val tag_of_test : test -> string option
+
+(** No branching points (Section 2's path queries). *)
+val is_path : t -> bool
+
+(** A path query whose descendant axis, if any, is only the leading one
+    (Definition 2.3). *)
+val is_suffix_path : t -> bool
+
+(** All tags mentioned, preorder, with duplicates. *)
+val tags : t -> string list
+
+(** Number of query nodes. *)
+val step_count : t -> int
+
+(** The [d] of the Section 4.2 join bound: descendant-axis edges,
+    excluding a leading [//] (which belongs to the suffix path). *)
+val descendant_edge_count : t -> int
+
+(** The [b] of the Section 4.2 join bound: child-axis out-edges of
+    branching points (a non-leaf return node counts as branching). *)
+val branch_edge_count : t -> int

@@ -1,0 +1,72 @@
+(** The reference evaluator: direct tree-pattern matching over the
+    labeled document, with no labeling tricks and no indexes.  Quadratic
+    in the worst case — it exists as the correctness oracle every engine
+    and translator is tested against, and as the "store XML natively and
+    traverse the file" strawman of Section 6. *)
+
+let test_ok (test : Ast.test) (node : Doc.node) =
+  match test with Ast.Tag t -> String.equal t node.tag | Ast.Any -> true
+
+let value_ok (q : Ast.node) (node : Doc.node) =
+  match q.value with
+  | None -> true
+  | Some (Ast.Equals v) -> (
+    match node.data with Some d -> String.equal d v | None -> false)
+  | Some (Ast.Differs v) -> (
+    (* SQL-style: a node without text satisfies neither = nor !=. *)
+    match node.data with Some d -> not (String.equal d v) | None -> false)
+
+let axis_candidates (axis : Ast.axis) (node : Doc.node) =
+  match axis with Ast.Child -> node.children | Ast.Descendant -> Doc.descendants node
+
+(* Does [dnode] match the whole pattern subtree rooted at [q]? *)
+let rec full_match (q : Ast.node) (dnode : Doc.node) =
+  test_ok q.test dnode && value_ok q dnode
+  && List.for_all
+       (fun qc -> List.exists (full_match qc) (axis_candidates qc.axis dnode))
+       q.children
+
+(* Bindings of the return node, given that [dnode] is a candidate binding
+   for [q]. *)
+let rec solutions (q : Ast.node) (dnode : Doc.node) =
+  if not (test_ok q.test dnode && value_ok q dnode) then []
+  else begin
+    let mains, branches = List.partition Ast.on_main_path q.children in
+    let branches_ok =
+      List.for_all
+        (fun qc -> List.exists (full_match qc) (axis_candidates qc.axis dnode))
+        branches
+    in
+    if not branches_ok then []
+    else
+      match mains with
+      | [] -> if q.is_output then [ dnode ] else []
+      | [ qc ] -> List.concat_map (solutions qc) (axis_candidates qc.axis dnode)
+      | _ :: _ :: _ -> invalid_arg "Naive_eval: more than one return node"
+  end
+
+(** [eval doc query] returns the return-node bindings in document order,
+    without duplicates.  The query root binds against the document root
+    for a leading [/], or against any element for a leading [//]
+    (Definition 2.1 evaluates from the root of the tree; the document
+    node is the root's virtual parent). *)
+let eval (doc : Doc.t) (query : Ast.t) =
+  let candidates =
+    match query.axis with
+    | Ast.Child -> [ doc.root ]
+    | Ast.Descendant -> doc.all
+  in
+  let module Int_set = Set.Make (Int) in
+  let seen = ref Int_set.empty in
+  List.concat_map (solutions query) candidates
+  |> List.filter (fun (n : Doc.node) ->
+         if Int_set.mem n.start !seen then false
+         else begin
+           seen := Int_set.add n.start !seen;
+           true
+         end)
+  |> List.sort (fun (a : Doc.node) b -> Stdlib.compare a.start b.start)
+
+(** [starts doc query] — the result as a set of start positions, the
+    node identity every engine reports. *)
+let starts doc query = List.map (fun (n : Doc.node) -> n.start) (eval doc query)

@@ -1,0 +1,13 @@
+(** The reference evaluator: direct tree-pattern matching over the
+    labeled document, with no labeling tricks and no indexes — the
+    correctness oracle every engine and translator is tested against,
+    and the "traverse the native file" strawman of Section 6. *)
+
+(** [eval doc query] — the return-node bindings in document order,
+    without duplicates.  A leading [/] binds the query root against the
+    document root; a leading [//] against any element. *)
+val eval : Doc.t -> Ast.t -> Doc.node list
+
+(** [starts doc query] — the result as start positions, the node
+    identity every engine reports. *)
+val starts : Doc.t -> Ast.t -> int list

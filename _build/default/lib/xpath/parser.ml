@@ -1,0 +1,326 @@
+(** Parsing the XPath subset of Section 2.
+
+    Grammar (whitespace is insignificant outside literals):
+    {v
+      query     ::= axis step (axis step)*
+      axis      ::= "/" | "//"
+      step      ::= test predicate* ("=" literal)?
+      test      ::= NAME | "@" NAME | "*"
+      predicate ::= "[" path ("and" path)* "]"
+      path      ::= axis? step (axis step)*        (leading axis defaults to "/")
+      literal   ::= '"' chars '"' | "'" chars "'" | NUMBER
+    v}
+
+    The last step of the outermost path is the return node.  A value
+    equality is allowed on any step without a path continuation, e.g.
+    [/site/people/person\[profile/age = "32"\]/name]. *)
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+type token =
+  | Slash
+  | Dslash
+  | Lbracket
+  | Rbracket
+  | Star
+  | Equals
+  | Nequals
+  | And
+  | Or
+  | Name of string
+  | Literal of string
+
+let token_to_string = function
+  | Slash -> "/"
+  | Dslash -> "//"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Star -> "*"
+  | Equals -> "="
+  | Nequals -> "!="
+  | And -> "and"
+  | Or -> "or"
+  | Name n -> n
+  | Literal l -> Printf.sprintf "%S" l
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    match input.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '/' ->
+      if !i + 1 < n && input.[!i + 1] = '/' then begin
+        emit Dslash;
+        i := !i + 2
+      end
+      else begin
+        emit Slash;
+        incr i
+      end
+    | '[' ->
+      emit Lbracket;
+      incr i
+    | ']' ->
+      emit Rbracket;
+      incr i
+    | '*' ->
+      emit Star;
+      incr i
+    | '=' ->
+      emit Equals;
+      incr i
+    | '!' ->
+      if !i + 1 < n && input.[!i + 1] = '=' then begin
+        emit Nequals;
+        i := !i + 2
+      end
+      else error "expected = after !"
+    | ('"' | '\'') as quote ->
+      let start = !i + 1 in
+      let close =
+        match String.index_from_opt input start quote with
+        | Some j -> j
+        | None -> error "unterminated %c-quoted literal" quote
+      in
+      emit (Literal (String.sub input start (close - start)));
+      i := close + 1
+    | '0' .. '9' ->
+      let start = !i in
+      while !i < n && (match input.[!i] with '0' .. '9' | '.' -> true | _ -> false) do
+        incr i
+      done;
+      emit (Literal (String.sub input start (!i - start)))
+    | '@' ->
+      let start = !i in
+      incr i;
+      while !i < n && is_name_char input.[!i] do
+        incr i
+      done;
+      emit (Name (String.sub input start (!i - start)))
+    | c when is_name_char c ->
+      let start = !i in
+      while !i < n && is_name_char input.[!i] do
+        incr i
+      done;
+      let text = String.sub input start (!i - start) in
+      emit
+        (if String.equal text "and" then And
+         else if String.equal text "or" then Or
+         else Name text)
+    | c -> error "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.tokens with [] -> error "unexpected end of query" | _ :: rest ->
+    st.tokens <- rest
+
+let expect st t =
+  match peek st with
+  | Some t' when t = t' -> advance st
+  | Some t' -> error "expected %s but found %s" (token_to_string t) (token_to_string t')
+  | None -> error "expected %s at end of query" (token_to_string t)
+
+let parse_axis_opt st =
+  match peek st with
+  | Some Slash ->
+    advance st;
+    Some Ast.Child
+  | Some Dslash ->
+    advance st;
+    Some Ast.Descendant
+  | _ -> None
+
+let parse_test st =
+  match peek st with
+  | Some (Name tag) ->
+    advance st;
+    Ast.Tag tag
+  | Some Star ->
+    advance st;
+    Ast.Any
+  | Some t -> error "expected a node test, found %s" (token_to_string t)
+  | None -> error "expected a node test at end of query"
+
+(* Disjunctive predicates ([p or q]) turn one syntactic query into a
+   union of tree queries (or is distributed out to the top).  Parsing
+   therefore carries {e alternatives}: each step's predicates resolve to
+   a list of possible branch-lists, and queries expand by cross
+   product. *)
+
+(* Cross product of alternative lists: one choice from each. *)
+let cross (alternatives : 'a list list) : 'a list list =
+  List.fold_right
+    (fun alts acc ->
+      List.concat_map (fun a -> List.map (fun rest -> a :: rest) acc) alts)
+    alternatives [ [] ]
+
+(* A parsed step, before the output node is decided. *)
+type raw_step = {
+  raxis : Ast.axis;
+  rtest : Ast.test;
+  rpreds : Ast.node list list;  (* alternatives for the whole branch list *)
+  rvalue : Ast.value_constraint option;
+}
+
+(* steps: (axis step)* with the first axis supplied by the caller. *)
+let rec parse_steps st first_axis =
+  let rtest = parse_test st in
+  let rpreds = parse_predicates st [ [] ] in
+  let literal_after what =
+    advance st;
+    match peek st with
+    | Some (Literal v) ->
+      advance st;
+      v
+    | Some t -> error "expected a literal after %s, found %s" what (token_to_string t)
+    | None -> error "expected a literal after %s" what
+  in
+  let rvalue =
+    match peek st with
+    | Some Equals -> Some (Ast.Equals (literal_after "="))
+    | Some Nequals -> Some (Ast.Differs (literal_after "!="))
+    | _ -> None
+  in
+  let step = { raxis = first_axis; rtest; rpreds; rvalue } in
+  match parse_axis_opt st with
+  | Some axis when rvalue = None -> step :: parse_steps st axis
+  | Some _ -> error "a value comparison must end its path"
+  | None -> [ step ]
+
+(* Predicates accumulate alternatives: [acc] holds the possible branch
+   lists so far; each further predicate multiplies them by its own
+   disjuncts. *)
+and parse_predicates st acc =
+  match peek st with
+  | Some Lbracket ->
+    advance st;
+    (* andarm := path (and path)*; each path may itself expand. *)
+    let rec andarm conj_alts =
+      let axis = match parse_axis_opt st with Some a -> a | None -> Ast.Child in
+      let path_alts = to_branches (parse_steps st axis) in
+      let conj_alts = conj_alts @ [ path_alts ] in
+      match peek st with
+      | Some And ->
+        advance st;
+        andarm conj_alts
+      | _ -> cross conj_alts
+    in
+    (* orexpr := andarm (or andarm)* — union of the arms' expansions. *)
+    let rec orexpr arms =
+      let arms = arms @ andarm [] in
+      match peek st with
+      | Some Or ->
+        advance st;
+        orexpr arms
+      | _ -> arms
+    in
+    let pred_alts = orexpr [] in
+    expect st Rbracket;
+    let acc =
+      List.concat_map
+        (fun existing -> List.map (fun branch -> existing @ branch) pred_alts)
+        acc
+    in
+    parse_predicates st acc
+  | _ -> acc
+
+(* Branch subqueries carry no return node; the result is the list of
+   alternatives arising from nested disjunctions. *)
+and to_branches = function
+  | [] -> assert false
+  | [ step ] ->
+    List.map
+      (fun children ->
+        {
+          Ast.axis = step.raxis;
+          test = step.rtest;
+          value = step.rvalue;
+          children;
+          is_output = false;
+        })
+      step.rpreds
+  | step :: rest ->
+    let tails = to_branches rest in
+    List.concat_map
+      (fun children ->
+        List.map
+          (fun tail ->
+            {
+              Ast.axis = step.raxis;
+              test = step.rtest;
+              value = step.rvalue;
+              children = children @ [ tail ];
+              is_output = false;
+            })
+          tails)
+      step.rpreds
+
+(* The main path: the last step is the return node. *)
+let rec to_mains = function
+  | [] -> assert false
+  | [ step ] ->
+    List.map
+      (fun children ->
+        {
+          Ast.axis = step.raxis;
+          test = step.rtest;
+          value = step.rvalue;
+          children;
+          is_output = true;
+        })
+      step.rpreds
+  | step :: rest ->
+    let tails = to_mains rest in
+    List.concat_map
+      (fun children ->
+        List.map
+          (fun tail ->
+            {
+              Ast.axis = step.raxis;
+              test = step.rtest;
+              value = step.rvalue;
+              children = children @ [ tail ];
+              is_output = false;
+            })
+          tails)
+      step.rpreds
+
+(** [parse_union input] parses a query possibly containing [or]
+    predicates into the equivalent union of tree queries (disjunction
+    distributed to the top).
+    @raise Error on malformed input. *)
+let parse_union input =
+  let st = { tokens = tokenize input } in
+  let axis =
+    match parse_axis_opt st with
+    | Some a -> a
+    | None -> error "a query must start with / or //"
+  in
+  let steps = parse_steps st axis in
+  if st.tokens <> [] then
+    error "trailing tokens after query: %s"
+      (String.concat " " (List.map token_to_string st.tokens));
+  to_mains steps
+
+(** [parse input] parses a single tree query.
+    @raise Error on malformed input or when [or] predicates make the
+    query a union (use {!parse_union}). *)
+let parse input =
+  match parse_union input with
+  | [ q ] -> q
+  | _ :: _ :: _ -> error "query contains 'or'; use parse_union"
+  | [] -> assert false

@@ -1,0 +1,29 @@
+(** Parsing the XPath subset of Section 2, extended with disjunctive
+    predicates.
+
+    Grammar (whitespace is insignificant outside literals):
+    {v
+      query     ::= axis step (axis step)*
+      axis      ::= "/" | "//"
+      step      ::= test predicate* ("=" literal)?
+      test      ::= NAME | "@" NAME | "*"
+      predicate ::= "[" orexpr "]"
+      orexpr    ::= andexpr ("or" andexpr)*
+      andexpr   ::= path ("and" path)*
+      path      ::= axis? step (axis step)*     (default leading "/")
+      literal   ::= '"' chars '"' | "'" chars "'" | NUMBER
+    v} *)
+
+exception Error of string
+
+(** [parse input] parses a single tree query.
+    @raise Error on malformed input, or when [or] predicates make the
+    query a union (use {!parse_union}). *)
+val parse : string -> Ast.t
+
+(** [parse_union input] parses a query possibly containing [or]
+    predicates into the equivalent union of tree queries (the
+    disjunction distributed to the top — one tree per combination of
+    disjunct choices).
+    @raise Error on malformed input. *)
+val parse_union : string -> Ast.t list

@@ -1,0 +1,79 @@
+(** Rendering query trees back to XPath strings.  [Parser.parse] is a
+    left inverse of [to_string] (checked by the test suite): branches are
+    normalized to one predicate each, which parses back to the same
+    tree. *)
+
+let axis_to_string = function Ast.Child -> "/" | Ast.Descendant -> "//"
+
+let test_to_string = function Ast.Tag t -> t | Ast.Any -> "*"
+
+let quote v =
+  if String.contains v '"' then Printf.sprintf "'%s'" v else Printf.sprintf "%S" v
+
+let rec node_to_buffer buf (q : Ast.node) =
+  Buffer.add_string buf (axis_to_string q.axis);
+  Buffer.add_string buf (test_to_string q.test);
+  (* The main-path continuation (the child leading to the return node) is
+     printed last as a path step; all other children become predicates. *)
+  let branches, main =
+    List.partition (fun c -> not (Ast.on_main_path c)) q.children
+  in
+  List.iter
+    (fun c ->
+      Buffer.add_char buf '[';
+      branch_to_buffer buf c;
+      Buffer.add_char buf ']')
+    branches;
+  (match q.value with
+  | Some (Ast.Equals v) ->
+    Buffer.add_string buf " = ";
+    Buffer.add_string buf (quote v)
+  | Some (Ast.Differs v) ->
+    Buffer.add_string buf " != ";
+    Buffer.add_string buf (quote v)
+  | None -> ());
+  match main with
+  | [] -> ()
+  | [ c ] -> node_to_buffer buf c
+  | _ :: _ :: _ -> invalid_arg "Pretty: more than one return node"
+
+and branch_to_buffer buf (q : Ast.node) =
+  (match q.axis with
+  | Ast.Child -> ()  (* the leading child axis is implicit in a predicate *)
+  | Ast.Descendant -> Buffer.add_string buf "//");
+  branch_tail_to_buffer buf q
+
+and branch_tail_to_buffer buf (q : Ast.node) =
+  Buffer.add_string buf (test_to_string q.test);
+  (* Inside a branch a single child prints as a path continuation and
+     multiple children print as predicates; both notations are
+     equivalent conjunctions. *)
+  (match q.children with
+  | [ c ] ->
+    (match q.value with
+    | Some _ -> invalid_arg "Pretty: value comparison must end its path"
+    | None -> ());
+    Buffer.add_string buf (axis_to_string c.axis);
+    branch_tail_to_buffer buf c
+  | children ->
+    List.iter
+      (fun c ->
+        Buffer.add_char buf '[';
+        branch_to_buffer buf c;
+        Buffer.add_char buf ']')
+      children);
+  match q.value with
+  | Some (Ast.Equals v) ->
+    Buffer.add_string buf " = ";
+    Buffer.add_string buf (quote v)
+  | Some (Ast.Differs v) ->
+    Buffer.add_string buf " != ";
+    Buffer.add_string buf (quote v)
+  | None -> ()
+
+let to_string q =
+  let buf = Buffer.create 64 in
+  node_to_buffer buf q;
+  Buffer.contents buf
+
+let pp ppf q = Format.pp_print_string ppf (to_string q)

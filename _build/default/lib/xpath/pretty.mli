@@ -1,0 +1,7 @@
+(** Rendering query trees back to XPath strings.  [Parser.parse] is a
+    left inverse of {!to_string}: branches are normalized to one
+    predicate each, which parses back to the same tree. *)
+
+val to_string : Ast.t -> string
+
+val pp : Format.formatter -> Ast.t -> unit

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Blas_label Gen List QCheck2 QCheck_alcotest Stdlib Test Test_util

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Blas_rel Int List QCheck2 Stdlib String Test_util

@@ -1,0 +1,1 @@
+test/test_collection.ml: Alcotest Blas Blas_xml Lazy List Printf Test_util

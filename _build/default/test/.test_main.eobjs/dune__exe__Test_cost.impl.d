@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Blas Blas_datagen Lazy List Printf Test_util

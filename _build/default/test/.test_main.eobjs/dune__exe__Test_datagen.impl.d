@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Auction Blas_datagen Blas_xml Blas_xpath Fun Lazy List Protein Rng Shakespeare Test_util

@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Blas Blas_label Blas_xml Blas_xpath Format List Test_util

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Blas Blas_rel Blas_xml Lazy List Option Printf QCheck2 Test_util

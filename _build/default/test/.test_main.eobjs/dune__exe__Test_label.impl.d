@@ -1,0 +1,1 @@
+test/test_label.ml: Alcotest Bignum Blas_label Blas_xml Dlabel Interval List Plabel QCheck2 String Tag_table Test_util

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Algebra Blas Blas_label Blas_rel Counters Format List Option Schema String Table Test_util Value

@@ -1,0 +1,1 @@
+test/test_nav.ml: Alcotest Blas Blas_datagen Blas_label Blas_rel Blas_xpath List QCheck2 Test_util

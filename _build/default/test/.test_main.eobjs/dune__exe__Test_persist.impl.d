@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Blas Blas_datagen Blas_label Blas_rel Blas_xml Blas_xpath Filename Fun List String Sys Test_util

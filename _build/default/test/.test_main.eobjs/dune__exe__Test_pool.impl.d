@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Blas Blas_datagen Blas_rel Buffer_pool Counters List QCheck2 Schema Table Test_util Tuple Value

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Blas_label Blas_rel Counters Executor List QCheck2 Relation Schema Structural_join Table Test_util Tuple Value

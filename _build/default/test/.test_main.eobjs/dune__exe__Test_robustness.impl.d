@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Blas Blas_datagen Blas_xml List Printf Test_util

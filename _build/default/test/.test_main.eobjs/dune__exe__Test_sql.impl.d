@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Algebra Blas_label Blas_rel Executor List Printf QCheck2 Relation Schema Sql_ast Sql_compile Sql_parse Sql_print String Table Test_util Tuple Value

@@ -1,0 +1,1 @@
+test/test_twig.ml: Alcotest Array Blas_label Blas_twig Entry List Option Path_stack Pattern Printf QCheck2 Stdlib String Test_util Twig_stack Twig_stack_classic

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Blas_xml Blas_xpath QCheck2 QCheck_alcotest

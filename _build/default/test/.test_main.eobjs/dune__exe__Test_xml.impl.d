@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Blas_xml Dataguide Doc_stats Dom List Printer Replicate String Test_util Types

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Ast Blas_label Blas_xml Blas_xpath Doc List Naive_eval Parser Pretty QCheck2 Stdlib Test_util

@@ -1,0 +1,122 @@
+(** Unit and model-based tests for the B+ tree. *)
+
+module T = Blas_rel.Btree.Make (Int)
+
+let build bindings =
+  let t = T.create () in
+  List.iter (fun (k, v) -> T.insert t k v) bindings;
+  t
+
+let range t lo hi =
+  List.rev (T.fold_range t ~lo ~hi ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+(* The reference model: a sorted association list (stable for equal
+   keys). *)
+let model_range bindings lo hi =
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> Stdlib.compare a b) bindings in
+  List.filter
+    (fun (k, _) ->
+      (match lo with None -> true | Some l -> k >= l)
+      && match hi with None -> true | Some h -> k <= h)
+    sorted
+
+let unit_tests =
+  [
+    ( "empty tree",
+      fun () ->
+        let t = T.create () in
+        Test_util.check_int "length" 0 (T.length t);
+        Test_util.check_bool "find" true (T.find t 5 = []);
+        Test_util.check_bool "min" true (T.min_binding t = None);
+        Test_util.check_bool "invariants" true (T.check_invariants t) );
+    ( "single binding",
+      fun () ->
+        let t = build [ (7, "x") ] in
+        Test_util.check_bool "find" true (T.find t 7 = [ "x" ]);
+        Test_util.check_bool "miss" true (T.find t 8 = []);
+        Test_util.check_bool "min" true (T.min_binding t = Some (7, "x")) );
+    ( "duplicate keys keep insertion order",
+      fun () ->
+        let t = build [ (1, "a"); (1, "b"); (1, "c") ] in
+        Test_util.check_bool "all three" true (T.find t 1 = [ "a"; "b"; "c" ]) );
+    ( "range over splits",
+      fun () ->
+        (* Enough keys to force several leaf and internal splits. *)
+        let bindings = List.init 5000 (fun i -> (i * 3 mod 1000, i)) in
+        let t = build bindings in
+        Test_util.check_bool "invariants" true (T.check_invariants t);
+        Test_util.check_bool "range matches model" true
+          (range t (Some 100) (Some 200) = model_range bindings (Some 100) (Some 200)) );
+    ( "delete one of several",
+      fun () ->
+        let t = build [ (1, "a"); (1, "b"); (2, "c") ] in
+        Test_util.check_bool "deleted" true (T.delete t ~eq:(String.equal "b") 1);
+        Test_util.check_bool "remaining" true (T.find t 1 = [ "a" ]);
+        Test_util.check_int "length" 2 (T.length t);
+        Test_util.check_bool "gone" false (T.delete t ~eq:(String.equal "b") 1) );
+    ( "mem",
+      fun () ->
+        let t = build [ (3, ()) ] in
+        Test_util.check_bool "present" true (T.mem t 3);
+        Test_util.check_bool "absent" false (T.mem t 4) );
+    ( "iter visits in key order",
+      fun () ->
+        let t = build [ (3, ()); (1, ()); (2, ()) ] in
+        let seen = ref [] in
+        T.iter t ~f:(fun k () -> seen := k :: !seen);
+        Test_util.check_int_list "order" [ 1; 2; 3 ] (List.rev !seen) );
+    ( "of_seq",
+      fun () ->
+        let t = T.of_seq (List.to_seq [ (1, "a"); (2, "b") ]) in
+        Test_util.check_int "length" 2 (T.length t) );
+  ]
+
+module Gen = QCheck2.Gen
+
+let bindings_gen =
+  Gen.list_size (Gen.int_range 0 400) (Gen.pair (Gen.int_range 0 50) Gen.nat)
+
+let suite =
+  List.map (fun (name, f) -> Alcotest.test_case name `Quick f) unit_tests
+  @ [
+      Test_util.qtest "invariants hold after random inserts" bindings_gen
+        (fun bindings ->
+          let t = build bindings in
+          T.check_invariants t && T.length t = List.length bindings);
+      Test_util.qtest "to_list matches sorted model" bindings_gen (fun bindings ->
+          let t = build bindings in
+          (* Order within equal keys is not part of the contract for
+             to_list; compare as multisets per key. *)
+          let group l =
+            List.map (fun (k, v) -> (k, List.sort compare [ v ])) l
+            |> List.fold_left
+                 (fun acc (k, vs) ->
+                   match acc with
+                   | (k', vs') :: rest when k = k' ->
+                     (k, List.sort compare (vs @ vs')) :: rest
+                   | _ -> (k, vs) :: acc)
+                 []
+          in
+          group (T.to_list t) = group (model_range bindings None None));
+      Test_util.qtest "range queries match model"
+        (Gen.triple bindings_gen (Gen.opt (Gen.int_range 0 50)) (Gen.opt (Gen.int_range 0 50)))
+        (fun (bindings, lo, hi) ->
+          let t = build bindings in
+          List.sort compare (range t lo hi)
+          = List.sort compare (model_range bindings lo hi));
+      Test_util.qtest "find agrees with model"
+        (Gen.pair bindings_gen (Gen.int_range 0 50))
+        (fun (bindings, k) ->
+          let t = build bindings in
+          T.find t k = List.map snd (List.filter (fun (k', _) -> k' = k) (model_range bindings None None)));
+      Test_util.qtest "delete removes exactly one binding"
+        (Gen.pair bindings_gen (Gen.int_range 0 50))
+        (fun (bindings, k) ->
+          let t = build bindings in
+          let had = List.length (T.find t k) in
+          let deleted = T.delete t ~eq:(fun _ -> true) k in
+          let remaining = List.length (T.find t k) in
+          T.check_invariants t
+          && if had = 0 then (not deleted) && remaining = 0
+             else deleted && remaining = had - 1);
+    ]

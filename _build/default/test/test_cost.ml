@@ -1,0 +1,102 @@
+(** Tests for the cost model: estimates must match what the engines
+    actually read, and the Auto policy must pick the cheaper
+    translation. *)
+
+let protein = lazy (Blas.index_of_tree (Blas_datagen.Protein.generate ~entries:60 ()))
+
+let auction = lazy (Blas.index_of_tree (Blas_datagen.Auction.generate ~scale:8 ()))
+
+let estimate storage translator qs =
+  Blas.Cost.of_decomposition storage
+    (Blas.decompose storage translator (Blas.query qs))
+
+let unit_tests =
+  [
+    ( "estimated visited equals actual visited (twig engine)",
+      fun () ->
+        let storage = Lazy.force protein in
+        List.iter
+          (fun qs ->
+            List.iter
+              (fun translator ->
+                let est = estimate storage translator qs in
+                let actual =
+                  (Blas.run storage ~engine:Blas.Twig ~translator (Blas.query qs))
+                    .Blas.visited
+                in
+                Test_util.check_int
+                  (Printf.sprintf "%s/%s" qs (Blas.translator_name translator))
+                  est.Blas.Cost.visited actual)
+              [ Blas.Split; Blas.Pushup; Blas.Unfold ])
+          [
+            "/ProteinDatabase/ProteinEntry/protein/name";
+            "//refinfo[citation]/title";
+            "/ProteinDatabase//authors/author";
+          ] );
+    ( "page estimate bounds the cold-cache reads",
+      fun () ->
+        let storage = Lazy.force protein in
+        List.iter
+          (fun qs ->
+            let est = estimate storage Blas.Pushup qs in
+            Blas.Storage.cold_cache storage;
+            let actual =
+              (Blas.run storage ~engine:Blas.Twig ~translator:Blas.Pushup
+                 (Blas.query qs))
+                .Blas.page_reads
+            in
+            Test_util.check_bool qs true (actual <= est.Blas.Cost.pages))
+          [ "//protein/name"; "//refinfo[year]/title" ] );
+    ( "djoins and branches are priced from the decomposition",
+      fun () ->
+        let storage = Lazy.force protein in
+        let est = estimate storage Blas.Pushup "/ProteinDatabase//author" in
+        Test_util.check_int "djoins" 1 est.Blas.Cost.djoins;
+        Test_util.check_int "branches" 1 est.Blas.Cost.branches;
+        let est = estimate storage Blas.Unfold "/ProteinDatabase//author" in
+        Test_util.check_int "unfold djoins" 0 est.Blas.Cost.djoins );
+    ( "choose picks the cheaper translation",
+      fun () ->
+        let storage = Lazy.force protein in
+        let _, branches, unfold_cost, pushup_cost =
+          Blas.Cost.choose storage (Blas.query "/ProteinDatabase//author")
+        in
+        (* Tree-shaped schema: Unfold wins (equality instead of range,
+           no D-join). *)
+        Test_util.check_bool "unfold cheaper" true
+          (Blas.Cost.compare_cost unfold_cost pushup_cost <= 0);
+        Test_util.check_bool "branches all absolute" true
+          (List.for_all
+             (fun (b : Blas.Suffix_query.t) ->
+               List.for_all
+                 (fun (i : Blas.Suffix_query.item) -> i.path.absolute)
+                 b.items)
+             branches) );
+    ( "Auto never reads more than both fixed policies",
+      fun () ->
+        let storage = Lazy.force auction in
+        List.iter
+          (fun qs ->
+            let q = Blas.query qs in
+            let visited translator =
+              (Blas.run storage ~engine:Blas.Twig ~translator q).Blas.visited
+            in
+            let auto = visited Blas.Auto in
+            Test_util.check_bool qs true
+              (auto <= max (visited Blas.Pushup) (visited Blas.Unfold)))
+          [
+            "//category/description/parlist/listitem";
+            "/site/regions//item/description";
+            "/site/regions/asia/item[shipping]/description";
+            "//listitem//text";
+          ] );
+    ( "zero and add",
+      fun () ->
+        let a = { Blas.Cost.visited = 1; pages = 2; djoins = 3; branches = 4 } in
+        Test_util.check_bool "left identity" true (Blas.Cost.add Blas.Cost.zero a = a);
+        let b = Blas.Cost.add a a in
+        Test_util.check_int "visited" 2 b.Blas.Cost.visited;
+        Test_util.check_int "branches" 8 b.Blas.Cost.branches );
+  ]
+
+let suite = List.map (fun (n, f) -> Alcotest.test_case n `Quick f) unit_tests

@@ -1,0 +1,118 @@
+(** Tests for the data generators: determinism, Figure 12 calibration,
+    and the planted structures the benchmark queries rely on. *)
+
+open Blas_datagen
+
+let stats tree = Blas_xml.Doc_stats.of_tree tree
+
+let has_answer tree query =
+  Blas_xpath.Naive_eval.starts (Blas_xpath.Doc.of_tree tree) (Blas_xpath.Parser.parse query)
+  <> []
+
+(* Small scales keep the oracle affordable. *)
+let small_shakespeare = lazy (Shakespeare.generate ~plays:2 ())
+
+let small_protein = lazy (Protein.generate ~entries:30 ())
+
+let small_auction = lazy (Auction.generate ~scale:6 ())
+
+let unit_tests =
+  [
+    ( "rng determinism and basic ranges",
+      fun () ->
+        let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+        let xs g = List.init 50 (fun _ -> Rng.int g 100) in
+        Test_util.check_bool "same stream" true (xs a = xs b);
+        let g = Rng.create ~seed:9 in
+        List.iter
+          (fun _ ->
+            let v = Rng.range g 3 7 in
+            Test_util.check_bool "in range" true (v >= 3 && v <= 7))
+          (List.init 100 Fun.id) );
+    ( "generators are deterministic",
+      fun () ->
+        Test_util.check_bool "shakespeare" true
+          (Blas_xml.Types.equal
+             (Shakespeare.generate ~plays:2 ())
+             (Shakespeare.generate ~plays:2 ()));
+        Test_util.check_bool "different seeds differ" false
+          (Blas_xml.Types.equal
+             (Shakespeare.generate ~seed:1 ~plays:2 ())
+             (Shakespeare.generate ~seed:2 ~plays:2 ())) );
+    ( "shakespeare shape (Figure 12 row 1)",
+      fun () ->
+        let s = stats (Lazy.force small_shakespeare) in
+        Test_util.check_int "tags" 19 s.Blas_xml.Doc_stats.tags;
+        Test_util.check_int "depth" 7 s.Blas_xml.Doc_stats.depth );
+    ( "protein shape (Figure 12 row 2)",
+      fun () ->
+        let s = stats (Lazy.force small_protein) in
+        Test_util.check_int "tags" 66 s.Blas_xml.Doc_stats.tags;
+        Test_util.check_int "depth" 7 s.Blas_xml.Doc_stats.depth );
+    ( "auction shape (Figure 12 row 3)",
+      fun () ->
+        let s = stats (Lazy.force small_auction) in
+        Test_util.check_bool "tags close to 77" true
+          (abs (s.Blas_xml.Doc_stats.tags - 77) <= 4);
+        Test_util.check_int "depth" 12 s.Blas_xml.Doc_stats.depth );
+    ( "default scales approximate Figure 12 node counts",
+      fun () ->
+        (* Within 10% of the paper's Nodes column; checked at full scale
+           so this test is the slowest in the datagen suite. *)
+        let close target n = abs (n - target) * 10 <= target in
+        Test_util.check_bool "shakespeare ~31975" true
+          (close 31975 (stats (Shakespeare.default ())).Blas_xml.Doc_stats.nodes);
+        Test_util.check_bool "auction ~61890" true
+          (close 61890 (stats (Auction.default ())).Blas_xml.Doc_stats.nodes) );
+    ( "planted shakespeare structures",
+      fun () ->
+        let t = Lazy.force small_shakespeare in
+        Test_util.check_bool "QS1 nonempty" true
+          (has_answer t "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE");
+        Test_util.check_bool "QS2 nonempty" true
+          (has_answer t "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR");
+        Test_util.check_bool "QS3 nonempty" true
+          (has_answer t
+             "/PLAYS/PLAY/ACT/SCENE[TITLE = \"SCENE III. A public place.\"]//LINE") );
+    ( "planted protein structures",
+      fun () ->
+        let t = Lazy.force small_protein in
+        Test_util.check_bool "QP1 nonempty" true
+          (has_answer t "/ProteinDatabase/ProteinEntry/protein/name");
+        Test_util.check_bool "running example planted" true
+          (has_answer t "//refinfo[year = \"2001\"][//author = \"Evans, M.J.\"]/title");
+        Test_util.check_bool "QP3 nonempty" true
+          (has_answer t
+             "/ProteinDatabase/ProteinEntry[reference/refinfo[citation][year]]/protein/name") );
+    ( "planted auction structures",
+      fun () ->
+        let t = Lazy.force small_auction in
+        Test_util.check_bool "QA1 nonempty" true
+          (has_answer t "//category/description/parlist/listitem");
+        Test_util.check_bool "QA2 nonempty" true
+          (has_answer t "/site/regions//item/description");
+        Test_util.check_bool "QA3 nonempty" true
+          (has_answer t "/site/regions/asia/item[shipping]/description");
+        Test_util.check_bool "benchmark Q1 skeleton nonempty" true
+          (has_answer t "/site/people/person/name");
+        Test_util.check_bool "benchmark Q5 skeleton nonempty" true
+          (has_answer t "/site/closed_auctions/closed_auction/price") );
+    ( "auction attributes are @-nodes",
+      fun () ->
+        let t = Lazy.force small_auction in
+        Test_util.check_bool "person ids" true (has_answer t "//person/@id") );
+    ( "replicated generator output parses and scales",
+      fun () ->
+        let t = Lazy.force small_auction in
+        let n = (stats t).Blas_xml.Doc_stats.nodes in
+        let r = Blas_xml.Replicate.by_factor 4 t in
+        Test_util.check_int "nodes" ((4 * (n - 1)) + 1)
+          (stats r).Blas_xml.Doc_stats.nodes );
+    ( "generated XML survives a print/parse round trip",
+      fun () ->
+        let t = Lazy.force small_protein in
+        Test_util.check_bool "round trip" true
+          (Blas_xml.Types.equal t (Blas_xml.Dom.parse (Blas_xml.Printer.compact t))) );
+  ]
+
+let suite = List.map (fun (n, f) -> Alcotest.test_case n `Quick f) unit_tests

@@ -1,0 +1,24 @@
+(** Test runner: one Alcotest section per library. *)
+
+let () =
+  Alcotest.run "blas"
+    [
+      ("bignum", Test_bignum.suite);
+      ("btree", Test_btree.suite);
+      ("xml", Test_xml.suite);
+      ("labeling", Test_label.suite);
+      ("xpath", Test_xpath.suite);
+      ("relational", Test_relational.suite);
+      ("buffer-pool", Test_pool.suite);
+      ("sql", Test_sql.suite);
+      ("twigjoin", Test_twig.suite);
+      ("decompose", Test_decompose.suite);
+      ("engines", Test_engines.suite);
+      ("collection", Test_collection.suite);
+      ("cost", Test_cost.suite);
+      ("persist", Test_persist.suite);
+      ("navigation", Test_nav.suite);
+      ("robustness", Test_robustness.suite);
+      ("misc", Test_misc.suite);
+      ("datagen", Test_datagen.suite);
+    ]

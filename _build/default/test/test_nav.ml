@@ -1,0 +1,124 @@
+(** Tests for the interval index and label-based navigation. *)
+
+module I = Blas_rel.Interval_index
+
+let idx items = I.build items
+
+let interval_unit_tests =
+  [
+    ( "empty index",
+      fun () ->
+        let t = idx [] in
+        Test_util.check_int "length" 0 (I.length t);
+        Test_util.check_bool "containing" true (I.containing t 5 = []);
+        Test_util.check_bool "contained" true (I.contained_in t ~start:0 ~fin:10 = []) );
+    ( "stabbing returns outermost first",
+      fun () ->
+        (* a(1,10) > b(2,7) > c(3,5); d(8,9) sibling of b *)
+        let t = idx [ (1, 10, "a"); (2, 7, "b"); (3, 5, "c"); (8, 9, "d") ] in
+        Test_util.check_bool "chain at c's start" true (I.containing t 3 = [ "a"; "b" ]);
+        Test_util.check_bool "inside c" true (I.containing t 4 = [ "a"; "b"; "c" ]);
+        Test_util.check_bool "inside d" true (I.containing t 8 = [ "a" ]) );
+    ( "stabbing is strict at endpoints",
+      fun () ->
+        let t = idx [ (1, 10, "a") ] in
+        Test_util.check_bool "at start" true (I.containing t 1 = []);
+        Test_util.check_bool "at end" true (I.containing t 10 = []);
+        Test_util.check_bool "inside" true (I.containing t 5 = [ "a" ]) );
+    ( "containment query",
+      fun () ->
+        let t = idx [ (1, 10, "a"); (2, 7, "b"); (3, 4, "c"); (8, 9, "d") ] in
+        Test_util.check_bool "under a" true
+          (I.contained_in t ~start:1 ~fin:10 = [ "b"; "c"; "d" ]);
+        Test_util.check_bool "under b" true
+          (I.contained_in t ~start:2 ~fin:7 = [ "c" ]) );
+    ( "invalid interval rejected",
+      fun () ->
+        Alcotest.check_raises "backwards"
+          (Invalid_argument "Interval_index.build: start > end") (fun () ->
+            ignore (idx [ (5, 4, ()) ])) );
+  ]
+
+(* Properties against brute force over real documents' labels. *)
+let doc_index_gen =
+  let open QCheck2.Gen in
+  let* tree = Test_util.doc_gen in
+  let labels = Blas_label.Dlabel.label_tree tree in
+  let items =
+    List.map (fun ((l : Blas_label.Dlabel.t), _, _) -> (l.start, l.fin, l.start)) labels
+  in
+  let* p = int_range 0 (2 * (List.length labels + 2)) in
+  return (items, p)
+
+let interval_props =
+  [
+    Test_util.qtest "stabbing matches brute force" doc_index_gen
+      (fun (items, p) ->
+        let t = idx items in
+        let naive =
+          List.filter_map
+            (fun (s, f, payload) -> if s < p && p < f then Some payload else None)
+            items
+          |> List.sort compare
+        in
+        List.sort compare (I.containing t p) = naive);
+    Test_util.qtest "containment matches brute force" doc_index_gen
+      (fun (items, p) ->
+        let t = idx items in
+        (* Use each item's own interval as the probe, plus a synthetic
+           one around p. *)
+        List.for_all
+          (fun (s, f, _) ->
+            let naive =
+              List.filter_map
+                (fun (s', f', payload) ->
+                  if s < s' && f' < f then Some payload else None)
+                items
+            in
+            I.contained_in t ~start:s ~fin:f = naive)
+          ((p, p + 3, -1) :: items));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let nav_tests =
+  [
+    ( "ancestors equal the source path",
+      fun () ->
+        let storage =
+          Blas.index_of_tree (Blas_datagen.Auction.generate ~scale:3 ())
+        in
+        let nav = Blas.Nav.of_storage storage in
+        List.iter
+          (fun (n : Blas_xpath.Doc.node) ->
+            let chain =
+              List.map
+                (fun (a : Blas_xpath.Doc.node) -> a.tag)
+                (Blas.Nav.ancestors nav n.start)
+            in
+            Test_util.check_bool "chain = source path minus self" true
+              (chain @ [ n.tag ] = n.source_path))
+          storage.Blas.Storage.doc.Blas_xpath.Doc.all );
+    ( "context string",
+      fun () ->
+        let storage = Blas.index "<a><b><c/></b></a>" in
+        let nav = Blas.Nav.of_storage storage in
+        Test_util.check_string "path" "/a/b/c" (Blas.Nav.context nav 3) );
+    ( "parent and descendants",
+      fun () ->
+        let storage = Blas.index "<a><b><c/></b><d/></a>" in
+        let nav = Blas.Nav.of_storage storage in
+        (match Blas.Nav.parent nav 3 with
+        | Some p -> Test_util.check_string "parent of c" "b" p.Blas_xpath.Doc.tag
+        | None -> Alcotest.fail "expected a parent");
+        Test_util.check_bool "root has no parent" true (Blas.Nav.parent nav 1 = None);
+        Test_util.check_int "descendants of root" 3
+          (List.length (Blas.Nav.descendants nav 1));
+        Test_util.check_int "descendants of leaf" 0
+          (List.length (Blas.Nav.descendants nav 3)) );
+  ]
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f) interval_unit_tests
+  @ interval_props
+  @ List.map (fun (n, f) -> Alcotest.test_case n `Quick f) nav_tests

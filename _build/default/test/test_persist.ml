@@ -1,0 +1,139 @@
+(** Tests for index persistence: a loaded storage must behave exactly
+    like the one that was saved. *)
+
+module P = Blas.Persist
+
+let relation_rows table =
+  Array.to_list (Blas_rel.Relation.tuples (Blas_rel.Table.relation table))
+
+let same_storage (a : Blas.Storage.t) (b : Blas.Storage.t) =
+  List.for_all2 Blas_rel.Tuple.equal (relation_rows a.sp) (relation_rows b.sp)
+  && List.for_all2 Blas_rel.Tuple.equal (relation_rows a.sd) (relation_rows b.sd)
+
+let roundtrip storage = P.of_string (P.to_string storage)
+
+let unit_tests =
+  [
+    ( "round trip preserves both relations",
+      fun () ->
+        let storage =
+          Blas.index_of_tree (Blas_datagen.Protein.generate ~entries:40 ())
+        in
+        Test_util.check_bool "identical" true (same_storage storage (roundtrip storage)) );
+    ( "round trip preserves mixed content positions",
+      fun () ->
+        let storage = Blas.index "<a>one<b>x</b>two<c/>three</a>" in
+        let loaded = roundtrip storage in
+        Test_util.check_bool "identical" true (same_storage storage loaded);
+        (* The shifted-position trap: b starts at 3 (after <a> and the
+           text unit), which naive re-labeling of a rebuilt tree would
+           get wrong. *)
+        match Blas.node_at loaded 3 with
+        | Some node -> Test_util.check_string "tag" "b" node.Blas_xpath.Doc.tag
+        | None -> Alcotest.fail "expected node at 3" );
+    ( "queries agree after a round trip",
+      fun () ->
+        let storage =
+          Blas.index_of_tree (Blas_datagen.Auction.generate ~scale:5 ())
+        in
+        let loaded = roundtrip storage in
+        List.iter
+          (fun qs ->
+            let q = Blas.query qs in
+            Alcotest.(check (list int))
+              qs
+              (Blas.answers storage ~engine:Blas.Rdbms ~translator:Blas.Pushup q)
+              (Blas.answers loaded ~engine:Blas.Twig ~translator:Blas.Unfold q))
+          [
+            "//category/description/parlist/listitem";
+            "/site/regions//item/description";
+            "/site/regions/asia/item[shipping]/description";
+          ] );
+    ( "save/load through a file",
+      fun () ->
+        let storage = Blas.index "<r><a>x</a><b/></r>" in
+        let path = Filename.temp_file "blas" ".idx" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            P.save storage path;
+            Test_util.check_bool "identical" true
+              (same_storage storage (P.load path))) );
+    ( "malformed inputs are rejected",
+      fun () ->
+        let bad s =
+          match P.of_string s with
+          | exception P.Format_error _ -> ()
+          | _ -> Alcotest.fail "expected Format_error"
+        in
+        bad "";
+        bad "not an index";
+        bad "BLAS1\n";
+        (* Truncate a valid image at several points. *)
+        let image = P.to_string (Blas.index "<r><a>x</a></r>") in
+        List.iter
+          (fun k -> bad (String.sub image 0 (String.length image - k)))
+          [ 1; 3; 7 ];
+        (* Trailing garbage. *)
+        bad (image ^ "x") );
+  ]
+
+let property =
+  Test_util.qtest ~count:150 "round trip on random documents" Test_util.doc_gen
+    (fun tree ->
+      let storage = Blas.index_of_tree tree in
+      same_storage storage (roundtrip storage))
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f) unit_tests @ [ property ]
+
+(* The streaming index generator must emit exactly the rows the tree
+   pipeline stores; registered here since both concern alternate paths
+   into the same storage. *)
+let sax_index_tests =
+  [
+    ( "streaming rows equal the tree pipeline's",
+      fun () ->
+        let tree = Blas_datagen.Protein.generate ~entries:15 () in
+        let xml = Blas_xml.Printer.compact tree in
+        let events = Blas_xml.Sax.events xml in
+        let _table, sp_rows, sd_rows = Blas.Sax_index.relations_of_events events in
+        let storage = Blas.index xml in
+        let sorted rows = List.sort Blas_rel.Tuple.compare rows in
+        let stored table =
+          List.sort Blas_rel.Tuple.compare
+            (Array.to_list (Blas_rel.Relation.tuples (Blas_rel.Table.relation table)))
+        in
+        Test_util.check_bool "sp" true
+          (sorted sp_rows = stored storage.Blas.Storage.sp);
+        Test_util.check_bool "sd" true
+          (sorted sd_rows = stored storage.Blas.Storage.sd) );
+    ( "streaming generator validates its input",
+      fun () ->
+        (match Blas.Sax_index.scan_parameters [] with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+        let table = Blas_label.Tag_table.create ~tags:[ "a" ] ~height:1 in
+        match
+          Blas.Sax_index.label_events table
+            [ Blas_xml.Types.Start_element ("zzz", []) ]
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument" );
+  ]
+
+let sax_property =
+  Test_util.qtest ~count:150 "streaming rows equal tree rows on random docs"
+    Test_util.doc_gen (fun tree ->
+      let events = Blas_xml.Sax.events (Blas_xml.Printer.compact tree) in
+      let _, sp_rows, _ = Blas.Sax_index.relations_of_events events in
+      let storage = Blas.index_of_tree tree in
+      List.sort Blas_rel.Tuple.compare sp_rows
+      = List.sort Blas_rel.Tuple.compare
+          (Array.to_list
+             (Blas_rel.Relation.tuples (Blas_rel.Table.relation storage.Blas.Storage.sp))))
+
+let suite =
+  suite
+  @ List.map (fun (n, f) -> Alcotest.test_case n `Quick f) sax_index_tests
+  @ [ sax_property ]

@@ -1,0 +1,233 @@
+(** Tests for the relational substrate: schemas, tuples, relations,
+    tables with indexes and counters, the executor, and the structural
+    join. *)
+
+open Blas_rel
+
+let v_int i = Value.Int i
+
+let v_str s = Value.Str s
+
+let mk_table ?(name = "t") ?(cluster = [ "k" ]) ?(indexes = [ "k" ]) columns rows =
+  Table.create ~name
+    ~schema:(Schema.of_list columns)
+    ~cluster_key:cluster ~indexes
+    (List.map (fun r -> Tuple.of_list r) rows)
+
+let unit_tests =
+  [
+    ( "schema rejects duplicates",
+      fun () ->
+        Alcotest.check_raises "dup" (Invalid_argument "Schema.of_list: duplicate column a")
+          (fun () -> ignore (Schema.of_list [ "a"; "a" ])) );
+    ( "schema lookup and qualify",
+      fun () ->
+        let s = Schema.of_list [ "a"; "b" ] in
+        Test_util.check_int "index" 1 (Schema.index_of s "b");
+        Test_util.check_bool "mem" false (Schema.mem s "c");
+        Test_util.check_bool "qualified" true
+          (Schema.columns (Schema.qualify "T" s) = [ "T.a"; "T.b" ]) );
+    ( "value ordering",
+      fun () ->
+        Test_util.check_bool "ints" true (Value.compare (v_int 1) (v_int 2) < 0);
+        Test_util.check_bool "strings" true (Value.compare (v_str "a") (v_str "b") < 0);
+        Test_util.check_bool "null first" true (Value.compare Value.Null (v_int 0) < 0);
+        let b = Value.Big (Blas_label.Bignum.of_int 5) in
+        Test_util.check_bool "big eq" true (Value.equal b b) );
+    ( "relation sort and distinct",
+      fun () ->
+        let r =
+          Relation.make (Schema.of_list [ "a" ])
+            [|
+              Tuple.of_list [ v_int 3 ];
+              Tuple.of_list [ v_int 1 ];
+              Tuple.of_list [ v_int 3 ];
+            |]
+        in
+        let sorted = Relation.sort_by r [ "a" ] in
+        Test_util.check_bool "sorted" true
+          (Relation.column sorted "a" = [ v_int 1; v_int 3; v_int 3 ]);
+        Test_util.check_int "distinct" 2 (Relation.cardinality (Relation.distinct r)) );
+    ( "table clusters rows and serves index lookups",
+      fun () ->
+        let t =
+          mk_table [ "k"; "v" ]
+            [ [ v_int 3; v_str "c" ]; [ v_int 1; v_str "a" ]; [ v_int 2; v_str "b" ] ]
+        in
+        let c = Counters.create () in
+        let rows = Table.scan t c in
+        Test_util.check_int "scan reads all" 3 c.Counters.tuples_read;
+        Test_util.check_bool "clustered order" true
+          (List.map (fun r -> Tuple.get r 0) rows = [ v_int 1; v_int 2; v_int 3 ]);
+        Counters.reset c;
+        let hit = Table.index_eq t c ~column:"k" (v_int 2) in
+        Test_util.check_int "eq reads one" 1 c.Counters.tuples_read;
+        Test_util.check_int "one seek" 1 c.Counters.index_seeks;
+        Test_util.check_bool "right row" true
+          (match hit with [ r ] -> Tuple.get r 1 = v_str "b" | _ -> false);
+        Counters.reset c;
+        let range = Table.index_range t c ~column:"k" ~lo:(Some (v_int 2)) ~hi:None in
+        Test_util.check_int "range reads two" 2 (List.length range) );
+    ( "missing index raises Not_found",
+      fun () ->
+        let t = mk_table [ "k"; "v" ] [ [ v_int 1; v_str "a" ] ] in
+        let c = Counters.create () in
+        match Table.index_eq t c ~column:"v" (v_str "a") with
+        | exception Not_found -> ()
+        | _ -> Alcotest.fail "expected Not_found" );
+    ( "executor: select and project",
+      fun () ->
+        let t = mk_table [ "k"; "v" ] [ [ v_int 1; v_str "a" ]; [ v_int 2; v_str "b" ] ] in
+        let plan =
+          Algebra.Project
+            ( [ "T.v" ],
+              Algebra.Select
+                ( Algebra.Cmp (Algebra.Ge, Algebra.Col "T.k", Algebra.Const (v_int 2)),
+                  Algebra.Access
+                    { table = t; alias = "T"; path = Algebra.Full_scan; residual = Algebra.True } ) )
+        in
+        let r = Executor.run plan in
+        Test_util.check_bool "value" true (Relation.column r "T.v" = [ v_str "b" ]) );
+    ( "executor: theta join",
+      fun () ->
+        let t1 = mk_table ~name:"t1" [ "k"; "v" ] [ [ v_int 1; v_str "a" ]; [ v_int 2; v_str "b" ] ] in
+        let t2 = mk_table ~name:"t2" [ "k"; "w" ] [ [ v_int 1; v_str "x" ]; [ v_int 3; v_str "y" ] ] in
+        let access t alias =
+          Algebra.Access { table = t; alias; path = Algebra.Full_scan; residual = Algebra.True }
+        in
+        let plan =
+          Algebra.Theta_join
+            ( Algebra.Cmp (Algebra.Eq, Algebra.Col "A.k", Algebra.Col "B.k"),
+              access t1 "A", access t2 "B" )
+        in
+        let c = Counters.create () in
+        let r = Executor.run ~counters:c plan in
+        Test_util.check_int "one match" 1 (Relation.cardinality r);
+        Test_util.check_int "join counted" 1 c.Counters.theta_joins );
+    ( "executor: union and distinct",
+      fun () ->
+        let t = mk_table [ "k" ] [ [ v_int 1 ]; [ v_int 2 ] ] in
+        let access =
+          Algebra.Access { table = t; alias = "T"; path = Algebra.Full_scan; residual = Algebra.True }
+        in
+        let r = Executor.run (Algebra.Union [ access; access ]) in
+        Test_util.check_int "duplicates kept" 4 (Relation.cardinality r);
+        let r = Executor.run (Algebra.Distinct (Algebra.Union [ access; access ])) in
+        Test_util.check_int "distinct" 2 (Relation.cardinality r) );
+    ( "executor: NULL comparisons are false",
+      fun () ->
+        let t = mk_table [ "k"; "v" ] [ [ v_int 1; Value.Null ] ] in
+        let plan =
+          Algebra.Select
+            ( Algebra.Cmp (Algebra.Eq, Algebra.Col "T.v", Algebra.Const (v_str "a")),
+              Algebra.Access
+                { table = t; alias = "T"; path = Algebra.Full_scan; residual = Algebra.True } )
+        in
+        Test_util.check_int "no rows" 0 (Relation.cardinality (Executor.run plan)) );
+    ( "executor: unknown column fails",
+      fun () ->
+        let t = mk_table [ "k" ] [ [ v_int 1 ] ] in
+        let plan =
+          Algebra.Project
+            ( [ "T.zzz" ],
+              Algebra.Access
+                { table = t; alias = "T"; path = Algebra.Full_scan; residual = Algebra.True } )
+        in
+        match Executor.run plan with
+        | exception Executor.Error _ -> ()
+        | _ -> Alcotest.fail "expected Executor.Error" );
+    ( "plan inspection counts joins and selections",
+      fun () ->
+        let t = mk_table [ "k" ] [ [ v_int 1 ] ] in
+        let acc path = Algebra.Access { table = t; alias = "T"; path; residual = Algebra.True } in
+        let spec =
+          {
+            Algebra.anc_start = "a";
+            anc_end = "b";
+            desc_start = "c";
+            desc_end = "d";
+            gap = Algebra.Any_gap;
+          }
+        in
+        let plan =
+          Algebra.Djoin
+            ( spec,
+              acc (Algebra.Index_eq { column = "k"; value = v_int 1 }),
+              acc (Algebra.Index_range { column = "k"; lo = None; hi = Some (v_int 3) }) )
+        in
+        Test_util.check_int "djoins" 1 (Algebra.count_djoins plan);
+        Test_util.check_int "joins" 1 (Algebra.count_joins plan);
+        let profile = Algebra.selection_profile plan in
+        Test_util.check_int "equalities" 1 profile.Algebra.equality;
+        Test_util.check_int "ranges" 1 profile.Algebra.range );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural join vs the naive nested loop                           *)
+
+module Gen = QCheck2.Gen
+
+(* Random interval sets come from real documents so intervals nest. *)
+let intervals_of_tree tree =
+  List.map
+    (fun ((l : Blas_label.Dlabel.t), _, _) ->
+      Tuple.of_list [ v_int l.start; v_int l.fin; v_int l.level ])
+    (Blas_label.Dlabel.label_tree tree)
+
+let side = { Structural_join.start_col = 0; end_col = 1 }
+
+let int_at t i = Value.to_int (Tuple.get t i)
+
+let naive_pairs anc desc keep =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun d ->
+          if int_at a 0 < int_at d 0 && int_at a 1 > int_at d 1 && keep a d then
+            Some (Tuple.concat a d)
+          else None)
+        desc)
+    anc
+
+let random_subset =
+  let open Gen in
+  fun items ->
+    let* keep = list_size (return (List.length items)) bool in
+    return (List.filteri (fun i _ -> List.nth keep i) items)
+
+let structural_join_prop =
+  let gen =
+    let open Gen in
+    let* tree = Test_util.doc_gen in
+    let intervals = intervals_of_tree tree in
+    let* anc = random_subset intervals in
+    let* desc = random_subset intervals in
+    return (anc, desc)
+  in
+  Test_util.qtest "structural join matches nested loop" gen (fun (anc, desc) ->
+      let keep _ _ = true in
+      let fast = Structural_join.pairs ~anc ~desc ~anc_side:side ~desc_side:side ~keep in
+      let slow = naive_pairs anc desc keep in
+      List.sort Tuple.compare fast = List.sort Tuple.compare slow)
+
+let structural_join_gap_prop =
+  let gen =
+    let open Gen in
+    let* tree = Test_util.doc_gen in
+    let intervals = intervals_of_tree tree in
+    let* k = int_range 1 3 in
+    return (intervals, k)
+  in
+  Test_util.qtest "structural join with level filter matches nested loop" gen
+    (fun (intervals, k) ->
+      let keep a d = int_at d 2 = int_at a 2 + k in
+      let fast =
+        Structural_join.pairs ~anc:intervals ~desc:intervals ~anc_side:side
+          ~desc_side:side ~keep
+      in
+      let slow = naive_pairs intervals intervals keep in
+      List.sort Tuple.compare fast = List.sort Tuple.compare slow)
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f) unit_tests
+  @ [ structural_join_prop; structural_join_gap_prop ]

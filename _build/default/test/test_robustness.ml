@@ -1,0 +1,109 @@
+(** Robustness tests: extreme document shapes, tiny resources, and
+    unusual values, end to end through the full system. *)
+
+let all_translators = [ Blas.D_labeling; Blas.Split; Blas.Pushup; Blas.Unfold ]
+
+let check_all storage qs =
+  let q = Blas.query qs in
+  let expected = Blas.oracle storage q in
+  List.iter
+    (fun translator ->
+      List.iter
+        (fun engine ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s %s/%s" qs
+               (Blas.translator_name translator)
+               (Blas.engine_name engine))
+            expected
+            (Blas.answers storage ~engine ~translator q))
+        [ Blas.Rdbms; Blas.Twig ])
+    all_translators
+
+(* A chain <a><a>...<a>x</a>...</a></a> of the given depth. *)
+let chain depth =
+  let rec go d =
+    if d = 0 then Blas_xml.Types.Content "x"
+    else Blas_xml.Types.Element ("a", [ go (d - 1) ])
+  in
+  go depth
+
+let wide n =
+  Blas_xml.Types.Element
+    ("r", List.init n (fun i -> Blas_xml.Types.Element ((if i mod 2 = 0 then "a" else "b"), [])))
+
+let unit_tests =
+  [
+    ( "single-element document",
+      fun () ->
+        let storage = Blas.index "<only/>" in
+        check_all storage "/only";
+        check_all storage "//only";
+        check_all storage "/other" );
+    ( "deep recursive chain (depth 500)",
+      fun () ->
+        (* P-labels at this depth need ~500 * log2(2) extra bits; the
+           big-integer arithmetic and the stack-based algorithms must
+           hold up. *)
+        let storage = Blas.index_of_tree (chain 500) in
+        check_all storage "//a/a/a";
+        check_all storage "//a = \"x\"";
+        let deep = Blas.run storage ~engine:Blas.Rdbms ~translator:Blas.Pushup
+            (Blas.query "//a/a/a/a/a/a/a/a/a/a") in
+        Test_util.check_int "bindings" (500 - 9) (List.length deep.Blas.starts) );
+    ( "wide flat document (5000 siblings)",
+      fun () ->
+        let storage = Blas.index_of_tree (wide 5000) in
+        check_all storage "/r/a";
+        check_all storage "//b";
+        Test_util.check_int "half are a" 2500
+          (List.length (Blas.answers storage ~engine:Blas.Twig ~translator:Blas.Split
+               (Blas.query "/r/a"))) );
+    ( "pool capacity 1 still answers correctly",
+      fun () ->
+        let storage =
+          Blas.Storage.of_tree ~pool_capacity:1
+            (Blas_datagen.Protein.generate ~entries:20 ())
+        in
+        check_all storage "/ProteinDatabase/ProteinEntry/protein/name";
+        check_all storage "//refinfo[citation]/title" );
+    ( "values with XML specials and unicode",
+      fun () ->
+        let xml = "<r><a>&lt;tag&gt; &amp; stuff</a><b>caf\xc3\xa9</b></r>" in
+        let storage = Blas.index xml in
+        let hits =
+          Blas.answers storage ~engine:Blas.Rdbms ~translator:Blas.Pushup
+            (Blas.query "/r/a = \"<tag> & stuff\"")
+        in
+        Test_util.check_int "entity-decoded match" 1 (List.length hits);
+        let cafe =
+          Blas.answers storage ~engine:Blas.Twig ~translator:Blas.Unfold
+            (Blas.query "/r/b = \"caf\xc3\xa9\"")
+        in
+        Test_util.check_int "utf-8 match" 1 (List.length cafe) );
+    ( "every node shares one tag (maximal plabel collisions per depth)",
+      fun () ->
+        let storage = Blas.index "<a><a><a/><a><a/></a></a><a><a/></a></a>" in
+        check_all storage "//a[a/a]";
+        check_all storage "/a/a/a";
+        check_all storage "//a//a//a" );
+    ( "query deeper than the document is provably empty",
+      fun () ->
+        let storage = Blas.index "<a><b/></a>" in
+        check_all storage "/a/b/a/b/a/b";
+        Test_util.check_bool "sql is None" true
+          (Blas.sql_for storage Blas.Pushup (Blas.query "//a/b/a/b/a/b") = None) );
+    ( "many union branches",
+      fun () ->
+        let storage = Blas.index_of_tree (Blas_datagen.Auction.generate ~scale:3 ()) in
+        let queries =
+          Blas.query_union
+            "//item[shipping or mailbox or incategory]/description"
+        in
+        let report =
+          Blas.run_union storage ~engine:Blas.Rdbms ~translator:Blas.Pushup queries
+        in
+        Test_util.check_bool "matches oracle" true
+          (report.Blas.starts = Blas.oracle_union storage queries) );
+  ]
+
+let suite = List.map (fun (n, f) -> Alcotest.test_case n `Quick f) unit_tests
