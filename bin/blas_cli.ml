@@ -144,6 +144,19 @@ let stats path =
       (List.length (Blas_xml.Dataguide.distinct_tags guide))
       (Blas_xml.Dataguide.max_depth guide)
       (List.length (Blas_xml.Dataguide.all_paths guide));
+    (* Index mutability: how much room updates have before a localized
+       renumbering, and what the P-label inventory can still absorb. *)
+    let table = storage.Blas.Storage.table in
+    let free, span = Blas.Update.gap_budget storage in
+    Printf.printf "update headroom:\n";
+    Printf.printf "  free D-label positions: %d of %d (%.1f%%)\n" free span
+      (100.0 *. float_of_int free /. float_of_int (max span 1));
+    Printf.printf "  tag inventory: %d tags, height %d, m = %s\n"
+      (Blas_label.Tag_table.tag_count table)
+      (Blas_label.Tag_table.height table)
+      (Blas_label.Bignum.to_string (Blas_label.Tag_table.m table));
+    Printf.printf "  P-label intervals allocated: %d\n"
+      (List.length (Blas_xml.Dataguide.all_paths guide));
     `Ok ()
 
 let stats_cmd =
@@ -302,6 +315,122 @@ let index_cmd =
     Term.(ret (const build $ input_arg $ output))
 
 (* ------------------------------------------------------------------ *)
+(* update                                                              *)
+
+let update insert_xml parent pos delete rtext data output verbose path =
+  setup_logs verbose;
+  match load_storage path with
+  | Error msg -> `Error (false, msg)
+  | Ok storage -> (
+    let op =
+      match (insert_xml, delete, rtext) with
+      | Some xml, None, None -> (
+        match parent with
+        | None -> Error "--insert requires --parent"
+        | Some parent -> (
+          try
+            let tree = Blas_xml.Dom.parse xml in
+            (* Without --pos the fragment is appended after the last
+               element child. *)
+            let pos =
+              match pos with
+              | Some pos -> pos
+              | None -> (
+                match Blas.node_at storage parent with
+                | Some node -> List.length node.Blas_xpath.Doc.children
+                | None -> 0)
+            in
+            Ok (fun () -> Blas.Update.insert_subtree storage ~parent ~pos tree)
+          with
+          | Blas_xml.Types.Parse_error (p, msg) ->
+            Error
+              (Printf.sprintf "--insert: %s at %s" msg
+                 (Blas_xml.Types.position_to_string p))
+          | Failure msg -> Error (Printf.sprintf "--insert: %s" msg)))
+      | None, Some start, None ->
+        Ok (fun () -> Blas.Update.delete_subtree storage ~start)
+      | None, None, Some start ->
+        Ok (fun () -> Blas.Update.replace_text storage ~start data)
+      | _ -> Error "exactly one of --insert, --delete, --replace-text is required"
+    in
+    match op with
+    | Error msg -> `Error (false, msg)
+    | Ok run -> (
+      match run () with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | report ->
+        Format.printf "%a@." Blas.Update.pp_report report;
+        let free, span = Blas.Update.gap_budget storage in
+        Printf.printf "gap budget now: %d of %d positions free\n" free span;
+        (match output with
+        | Some out ->
+          Blas.Persist.save storage out;
+          Printf.printf "wrote %s (%d nodes)\n" out
+            (Blas.Storage.node_count storage)
+        | None -> ());
+        `Ok ()))
+
+let update_cmd =
+  let insert =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "insert" ] ~docv:"XML"
+          ~doc:"Insert this XML fragment as a child of --parent (at --pos).")
+  in
+  let parent =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "parent" ] ~docv:"POS"
+          ~doc:"Start position of the parent node for --insert.")
+  in
+  let pos =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pos" ] ~docv:"N"
+          ~doc:"Child position for --insert (default: append last).")
+  in
+  let delete =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "delete" ] ~docv:"POS"
+          ~doc:"Delete the subtree rooted at this start position.")
+  in
+  let rtext =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replace-text" ] ~docv:"POS"
+          ~doc:"Replace the text value of the node at this start position.")
+  in
+  let data =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data" ] ~docv:"TEXT"
+          ~doc:"New text value for --replace-text (omit to clear).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the updated index to this file.")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Edit an indexed document in place: insert or delete a subtree, or \
+          replace a text value, with incremental D-/P-label maintenance.")
+    Term.(
+      ret
+        (const update $ insert $ parent $ pos $ delete $ rtext $ data $ output
+       $ verbose_arg $ input_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "BLAS: a bi-labeling based XPath processing system (SIGMOD 2004)" in
@@ -309,4 +438,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; index_cmd; stats_cmd; translate_cmd; plan_cmd; run_cmd ]))
+          [
+            generate_cmd;
+            index_cmd;
+            stats_cmd;
+            translate_cmd;
+            plan_cmd;
+            run_cmd;
+            update_cmd;
+          ]))

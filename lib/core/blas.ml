@@ -22,6 +22,7 @@ module Cost = Cost
 module Persist = Persist
 module Nav = Nav
 module Sax_index = Sax_index
+module Update = Update
 
 type translator = Exec.translator =
   | D_labeling

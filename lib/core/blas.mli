@@ -23,6 +23,10 @@ module Persist = Persist
 module Nav = Nav
 module Sax_index = Sax_index
 
+(** Incremental updates: insert/delete subtrees, replace text values —
+    in place, with label maintenance (see {!Update}). *)
+module Update = Update
+
 type translator = Exec.translator =
   | D_labeling  (** the baseline: one D-join per query edge over SD *)
   | Split  (** Section 4.1.1 *)

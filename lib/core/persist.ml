@@ -189,7 +189,9 @@ let of_string ?pool_capacity data =
   then format_error "bad magic (not a BLAS index file)";
   let r = { data; pos = String.length magic } in
   let stored_height = read_varint r in
+  if stored_height < 1 then format_error "invalid height";
   let tag_count = read_varint r in
+  if tag_count < 1 then format_error "empty tag inventory";
   let tags = List.init tag_count (fun _ -> read_string r) in
   let tag_array = Array.of_list tags in
   let node_count = read_varint r in
@@ -214,15 +216,20 @@ let of_string ?pool_capacity data =
   in
   if r.pos <> String.length data then format_error "trailing bytes";
   let doc = rebuild_doc rows in
-  let storage = Storage.of_doc ?pool_capacity doc in
-  (* Validate the labeling parameters against the stored ones; the tag
-     inventory determines the P-labels, so a mismatch means the file
-     was corrupted in a way the structural checks missed. *)
-  if Blas_label.Tag_table.height storage.table <> stored_height then
-    format_error "stored height %d does not match the document" stored_height;
-  if Blas_label.Tag_table.tags storage.table <> tags then
-    format_error "stored tag inventory does not match the document";
-  storage
+  (* The stored inventory is authoritative — it determines every
+     P-label.  An updated index's inventory may strictly contain the
+     instance's (retired tags are kept, height grows monotonically), so
+     require only that it covers the document; anything short of that
+     means corruption the structural checks missed. *)
+  let table = Blas_label.Tag_table.create ~tags ~height:stored_height in
+  if Blas_xml.Dataguide.max_depth doc.Blas_xpath.Doc.guide > stored_height then
+    format_error "stored height %d does not cover the document" stored_height;
+  List.iter
+    (fun tag ->
+      if Blas_label.Tag_table.index table tag = None then
+        format_error "stored tag inventory does not cover the document")
+    (Blas_xml.Dataguide.distinct_tags doc.Blas_xpath.Doc.guide);
+  Storage.of_doc ?pool_capacity ~table doc
 
 (** [save storage path] writes the index file. *)
 let save storage path =

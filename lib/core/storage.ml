@@ -12,11 +12,14 @@
     Both relations describe the same element nodes with the same D-labels,
     so results are comparable across approaches. *)
 
+(* The first four fields are mutable so that the update subsystem
+   ({!Update}) can edit a storage in place; queries always read the
+   current components. *)
 type t = {
-  doc : Blas_xpath.Doc.t;
-  table : Blas_label.Tag_table.t;
-  sp : Blas_rel.Table.t;
-  sd : Blas_rel.Table.t;
+  mutable doc : Blas_xpath.Doc.t;
+  mutable table : Blas_label.Tag_table.t;
+  mutable sp : Blas_rel.Table.t;
+  mutable sd : Blas_rel.Table.t;
   pool : Blas_rel.Buffer_pool.t;
 }
 
@@ -32,9 +35,17 @@ let default_pool_capacity = 1024
 
 (** [of_doc doc] builds both relations; P-labels come from the node's
     source path (Definition 3.3), which the test suite checks against the
-    streaming Algorithm 2. *)
-let of_doc ?(pool_capacity = default_pool_capacity) (doc : Blas_xpath.Doc.t) =
-  let table = Blas_label.Tag_table.of_dataguide doc.guide in
+    streaming Algorithm 2.  [table] overrides the tag inventory (it must
+    cover the document's tags and depth) — {!Persist} passes the stored
+    inventory so that an updated index, whose inventory may strictly
+    contain the instance's, round-trips. *)
+let of_doc ?(pool_capacity = default_pool_capacity) ?table
+    (doc : Blas_xpath.Doc.t) =
+  let table =
+    match table with
+    | Some table -> table
+    | None -> Blas_label.Tag_table.of_dataguide doc.guide
+  in
   let sp_rows =
     List.map
       (fun (n : Blas_xpath.Doc.node) ->

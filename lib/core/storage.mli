@@ -9,17 +9,23 @@
     The record is deliberately transparent: benches and ablations swap
     out tables to measure storage variants. *)
 
+(** The components are mutable so that {!Update} can edit a built index
+    in place; queries read the current fields on every run. *)
 type t = {
-  doc : Blas_xpath.Doc.t;
-  table : Blas_label.Tag_table.t;
-  sp : Blas_rel.Table.t;
-  sd : Blas_rel.Table.t;
+  mutable doc : Blas_xpath.Doc.t;
+  mutable table : Blas_label.Tag_table.t;
+  mutable sp : Blas_rel.Table.t;
+  mutable sd : Blas_rel.Table.t;
   pool : Blas_rel.Buffer_pool.t;  (** page cache shared by SP and SD *)
 }
 
 (** [pool_capacity] is the buffer pool size in pages (default 1024
-    pages of 64 tuples). *)
-val of_doc : ?pool_capacity:int -> Blas_xpath.Doc.t -> t
+    pages of 64 tuples).  [table] overrides the tag inventory derived
+    from the document (it must cover the document's tags and depth) —
+    {!Persist} passes the stored inventory so updated indexes, whose
+    inventory may strictly contain the instance's, round-trip. *)
+val of_doc :
+  ?pool_capacity:int -> ?table:Blas_label.Tag_table.t -> Blas_xpath.Doc.t -> t
 
 val of_tree : ?pool_capacity:int -> Blas_xml.Types.tree -> t
 

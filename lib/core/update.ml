@@ -1,0 +1,71 @@
+(** Incremental updates on a built storage — [Blas.Update].
+
+    The heavy lifting lives in {!Blas_update.Update_engine}; this
+    module binds the engine's mutable target to {!Storage.t} so edits
+    apply in place and every subsequent {!Blas.run} (any translator,
+    any engine) sees the updated document, labels and relations.
+
+    {[
+      let storage = Blas.index "<r><a>x</a></r>" in
+      let report =
+        Blas.Update.insert_subtree storage ~parent:1 ~pos:1
+          (Blas_xml.Dom.parse "<b>new</b>")
+      in
+      report.nodes_relabeled  (* labels moved by this edit *)
+    ]} *)
+
+module Engine = Blas_update.Update_engine
+
+type report = Engine.report = {
+  nodes_inserted : int;
+  nodes_deleted : int;
+  nodes_relabeled : int;  (** existing nodes whose D-label moved *)
+  plabels_allocated : int;  (** P-labels computed for this edit *)
+  pages_written : int;  (** pages written through the buffer pool *)
+  table_rebuilt : bool;
+      (** the tag inventory changed, so every P-label was recomputed *)
+}
+
+let pp_report = Engine.pp_report
+
+let target_of (storage : Storage.t) : Engine.target =
+  {
+    doc = storage.doc;
+    table = storage.table;
+    sp = storage.sp;
+    sd = storage.sd;
+    pool = storage.pool;
+  }
+
+let apply storage op =
+  let target = target_of storage in
+  let report = op target in
+  storage.Storage.doc <- target.Engine.doc;
+  storage.Storage.table <- target.Engine.table;
+  storage.Storage.sp <- target.Engine.sp;
+  storage.Storage.sd <- target.Engine.sd;
+  report
+
+(** [insert_subtree storage ~parent ~pos tree] inserts [tree] as the
+    [pos]-th element child of the node starting at position [parent].
+    @raise Invalid_argument on an unknown parent, out-of-range [pos] or
+    a text-node root. *)
+let insert_subtree storage ~parent ~pos tree =
+  apply storage (fun t -> Engine.insert_subtree t ~parent ~pos tree)
+
+(** [delete_subtree storage ~start] removes the node at [start] with
+    all its descendants; the freed positions become gap budget.
+    @raise Invalid_argument on an unknown position or the root. *)
+let delete_subtree storage ~start =
+  apply storage (fun t -> Engine.delete_subtree t ~start)
+
+(** [replace_text storage ~start data] replaces the node's text value
+    ([None] clears it).
+    @raise Invalid_argument on an unknown position. *)
+let replace_text storage ~start data =
+  apply storage (fun t -> Engine.replace_text t ~start data)
+
+(** [gap_budget storage] — [(free, span)]: unlabeled positions inside
+    the root's interval vs. the interval size — the insert headroom
+    before any renumbering. *)
+let gap_budget (storage : Storage.t) = Engine.gap_budget storage.doc

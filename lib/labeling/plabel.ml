@@ -79,6 +79,25 @@ let node_label table source_path =
   | Some interval -> Interval.lo interval
   | None -> invalid_arg "Plabel.node_label: tag missing from the table"
 
+(** [alloc_path table source_path] — the P-label for a source path that
+    may never have been materialized before (the update subsystem
+    inserting a subtree).  Because a label is the left endpoint of the
+    path's interval and intervals are carved by pure subdivision of the
+    parent path's interval (Algorithm 1), allocating a label for a new
+    path never moves any existing label: labels are a function of the
+    fixed tag inventory, not of the document instance.  Diagnosed
+    errors instead of exceptions: [`Unknown_tag] when a tag is outside
+    the inventory, [`Too_deep] when the path exceeds the table height —
+    both mean the inventory must be rebuilt (a full relabel). *)
+let alloc_path table source_path =
+  if List.length source_path > Tag_table.height table then Error `Too_deep
+  else
+    match
+      List.find_opt (fun tag -> Tag_table.index table tag = None) source_path
+    with
+    | Some tag -> Error (`Unknown_tag tag)
+    | None -> Ok (node_label table source_path)
+
 (** Algorithm 2: label every element node of a tree by a single
     depth-first pass maintaining the interval stack.  Returns nodes in
     document order as [(plabel, source_path, node)].  Agreement with

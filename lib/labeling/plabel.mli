@@ -31,6 +31,17 @@ val suffix_path_interval : Tag_table.t -> suffix_path -> Interval.t option
     @raise Invalid_argument if a tag is missing from the table. *)
 val node_label : Tag_table.t -> string list -> Bignum.t
 
+(** [alloc_path table source_path] — the P-label for a source path that
+    may be newly materialized (an inserted subtree): interval
+    subdivision is a pure function of the tag inventory, so allocating
+    a label for a new path leaves every existing label valid.
+    [`Unknown_tag] / [`Too_deep] signal that the inventory cannot label
+    the path and must be rebuilt. *)
+val alloc_path :
+  Tag_table.t ->
+  string list ->
+  (Bignum.t, [ `Unknown_tag of string | `Too_deep ]) result
+
 (** Algorithm 2: label every element node in one depth-first pass with
     the interval stack.  Returns document order as
     [(plabel, source_path, node)].  Agrees with {!node_label} on every

@@ -26,6 +26,7 @@ type t = {
   mutable tail : node option;  (** least recently used *)
   mutable requests : int;
   mutable misses : int;
+  mutable writes : int;
 }
 
 let create ~capacity =
@@ -37,6 +38,7 @@ let create ~capacity =
     tail = None;
     requests = 0;
     misses = 0;
+    writes = 0;
   }
 
 let capacity t = t.capacity
@@ -94,15 +96,27 @@ let flush t =
   t.head <- None;
   t.tail <- None
 
+(** [write t ~table ~page] requests one page for writing: the page is
+    brought in like a read (a miss is a disk access) and the write is
+    counted as one page written — the dirty-page flush a clustered
+    B+-tree update would eventually pay. *)
+let write t ~table ~page =
+  t.writes <- t.writes + 1;
+  access t ~table ~page
+
 let requests t = t.requests
 
 (** Physical page reads ("disk accesses"). *)
 let misses t = t.misses
 
+(** Pages written by update operations. *)
+let writes t = t.writes
+
 let reset_stats t =
   t.requests <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.writes <- 0
 
 let pp ppf t =
-  Format.fprintf ppf "requests=%d misses=%d resident=%d/%d" t.requests t.misses
-    (resident t) t.capacity
+  Format.fprintf ppf "requests=%d misses=%d writes=%d resident=%d/%d" t.requests
+    t.misses t.writes (resident t) t.capacity

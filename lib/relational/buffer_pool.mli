@@ -18,6 +18,11 @@ val resident : t -> int
     (evicting the LRU page when full). *)
 val access : t -> table:string -> page:int -> [ `Hit | `Miss ]
 
+(** [write t ~table ~page] requests one page for writing: like
+    {!access}, plus the write is counted as one page written (the dirty
+    page a clustered B+-tree update flushes). *)
+val write : t -> table:string -> page:int -> [ `Hit | `Miss ]
+
 (** Empties the pool; statistics are kept. *)
 val flush : t -> unit
 
@@ -26,6 +31,9 @@ val requests : t -> int
 
 (** Physical page reads ("disk accesses"). *)
 val misses : t -> int
+
+(** Pages written by update operations. *)
+val writes : t -> int
 
 val reset_stats : t -> unit
 

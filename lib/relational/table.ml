@@ -13,7 +13,7 @@ module Value_btree = Btree.Make (Value)
 
 type t = {
   name : string;
-  relation : Relation.t;  (* tuples in clustered order *)
+  mutable relation : Relation.t;  (* tuples in clustered order *)
   cluster_key : string list;
   indexes : (string, int Value_btree.t) Hashtbl.t;  (* column -> row ids *)
   pool : Buffer_pool.t option;  (* shared page cache, when disk modelling is on *)
@@ -126,6 +126,140 @@ let index_range t counters ~column ~lo ~hi =
 let index_count t ~column ~lo ~hi =
   let index = Hashtbl.find t.indexes column in
   Value_btree.count_range index ~lo ~hi
+
+(* ------------------------------------------------------------------ *)
+(* In-place edits (the update subsystem)                               *)
+
+(* Lexicographic comparison on the cluster-key columns — the same order
+   Relation.sort_by establishes at build time. *)
+let cluster_cmp t =
+  let idx = List.map (Schema.index_of (schema t)) t.cluster_key in
+  fun a b ->
+    let rec go = function
+      | [] -> 0
+      | i :: rest ->
+        let c = Value.compare (Tuple.get a i) (Tuple.get b i) in
+        if c <> 0 then c else go rest
+    in
+    go idx
+
+let rebuild_indexes t =
+  let sch = schema t in
+  let columns = indexed_columns t in
+  Hashtbl.reset t.indexes;
+  List.iter
+    (fun column ->
+      let i = Schema.index_of sch column in
+      let index = Value_btree.create () in
+      Array.iteri
+        (fun row tuple -> Value_btree.insert index (Tuple.get tuple i) row)
+        (Relation.tuples t.relation);
+      Hashtbl.replace t.indexes column index)
+    columns
+
+(* Writes the distinct pages behind a list of row ids through the pool;
+   returns how many pages that is. *)
+let write_pages t rows =
+  let pages =
+    List.sort_uniq Stdlib.compare (List.map (fun row -> row / t.page_rows) rows)
+  in
+  (match t.pool with
+  | None -> ()
+  | Some pool ->
+    List.iter
+      (fun page -> ignore (Buffer_pool.write pool ~table:t.name ~page))
+      pages);
+  List.length pages
+
+(** [apply_edits t counters ~deletes ~inserts] removes each tuple of
+    [deletes] (matched by {!Tuple.equal}, one occurrence per listed
+    tuple), inserts every tuple of [inserts] at its clustered position,
+    and maintains the secondary indexes over the new row numbering.
+
+    Costing mirrors a clustered B+-tree: every page holding a deleted
+    row (old layout) or an inserted row (new layout) is written through
+    the buffer pool, and every secondary index charges one descent per
+    affected row.  Returns the number of page writes.
+    @raise Invalid_argument if some delete is not present. *)
+let apply_edits t counters ~deletes ~inserts =
+  let cmp = cluster_cmp t in
+  let old = Relation.tuples t.relation in
+  let n = Array.length old in
+  let del =
+    Array.of_list
+      (List.sort
+         (fun a b ->
+           let c = cmp a b in
+           if c <> 0 then c else Tuple.compare a b)
+         deletes)
+  in
+  let nd = Array.length del in
+  let matched = Array.make (max nd 1) false in
+  let kept = ref [] (* reversed *) in
+  let deleted_rows = ref [] (* old row ids *) in
+  let i = ref 0 and j = ref 0 in
+  let missing () = invalid_arg "Table.apply_edits: delete not present" in
+  while !i < n do
+    while !j < nd && cmp del.(!j) old.(!i) < 0 do
+      if not matched.(!j) then missing ();
+      incr j
+    done;
+    if !j < nd && cmp del.(!j) old.(!i) = 0 then begin
+      (* Runs of rows and deletes sharing this cluster key; match the
+         multisets pairwise by full-tuple equality. *)
+      let run_key = old.(!i) in
+      let run_start = !i in
+      while !i < n && cmp old.(!i) run_key = 0 do
+        incr i
+      done;
+      let dstart = !j in
+      while !j < nd && cmp del.(!j) run_key = 0 do
+        incr j
+      done;
+      for r = run_start to !i - 1 do
+        let row = old.(r) in
+        let hit = ref false in
+        for d = dstart to !j - 1 do
+          if (not !hit) && (not matched.(d)) && Tuple.equal del.(d) row then begin
+            matched.(d) <- true;
+            hit := true;
+            deleted_rows := r :: !deleted_rows
+          end
+        done;
+        if not !hit then kept := row :: !kept
+      done
+    end
+    else begin
+      kept := old.(!i) :: !kept;
+      incr i
+    end
+  done;
+  Array.iteri (fun d m -> if d < nd && not m then missing ()) matched;
+  let kept = Array.of_list (List.rev !kept) in
+  let ins = Array.of_list (List.stable_sort cmp inserts) in
+  (* Merge the surviving rows with the sorted inserts, tracking where
+     each insert lands in the new clustered layout. *)
+  let merged = ref [] and inserted_rows = ref [] in
+  let ai = ref 0 and bi = ref 0 and pos = ref 0 in
+  let ka = Array.length kept and kb = Array.length ins in
+  while !ai < ka || !bi < kb do
+    if !bi < kb && (!ai >= ka || cmp ins.(!bi) kept.(!ai) <= 0) then begin
+      merged := ins.(!bi) :: !merged;
+      inserted_rows := !pos :: !inserted_rows;
+      incr bi
+    end
+    else begin
+      merged := kept.(!ai) :: !merged;
+      incr ai
+    end;
+    incr pos
+  done;
+  t.relation <- Relation.make (schema t) (Array.of_list (List.rev !merged));
+  rebuild_indexes t;
+  counters.Counters.index_seeks <-
+    counters.Counters.index_seeks
+    + ((nd + kb) * List.length (indexed_columns t));
+  write_pages t (List.rev !deleted_rows) + write_pages t (List.rev !inserted_rows)
 
 (** The table's buffer pool, when disk modelling is on. *)
 let pool t = t.pool

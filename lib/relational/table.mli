@@ -60,6 +60,18 @@ val index_eq : t -> Counters.t -> column:string -> Value.t -> Tuple.t list
 val index_count :
   t -> column:string -> lo:Value.t option -> hi:Value.t option -> int
 
+(** In-place edits (the update subsystem): [apply_edits t counters
+    ~deletes ~inserts] removes each tuple of [deletes] (matched by
+    {!Tuple.equal}, one occurrence per listed tuple), inserts every
+    tuple of [inserts] at its clustered position, and maintains the
+    secondary indexes.  Every page holding an affected row is written
+    through the buffer pool and every secondary index charges one
+    descent per affected row, so updates are paged and counted like
+    reads.  Returns the number of page writes.
+    @raise Invalid_argument if some delete is not present. *)
+val apply_edits :
+  t -> Counters.t -> deletes:Tuple.t list -> inserts:Tuple.t list -> int
+
 (** Range lookup [lo <= column <= hi] ([None] bounds are open).
     @raise Not_found if the column has no index. *)
 val index_range :

@@ -18,6 +18,7 @@ let () =
       ("cost", Test_cost.suite);
       ("persist", Test_persist.suite);
       ("navigation", Test_nav.suite);
+      ("update", Test_update.suite);
       ("robustness", Test_robustness.suite);
       ("misc", Test_misc.suite);
       ("datagen", Test_datagen.suite);

@@ -1,0 +1,307 @@
+(** Tests for the incremental update subsystem ({!Blas.Update}).
+
+    The integration property is the update analogue of the
+    engine-vs-oracle property: apply a random edit script to a built
+    index, then require every translator x engine combination on the
+    updated storage to agree with the naive oracle, and the oracle
+    itself to agree — up to document-order rank, since incremental
+    labels are sparse — with an index rebuilt from scratch on the
+    edited tree. *)
+
+open Test_util
+
+let translators =
+  Blas.[ D_labeling; Split; Pushup; Unfold; Auto ]
+
+let engines = Blas.[ Rdbms; Twig ]
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let storage_of s = Blas.index s
+
+let all_nodes (storage : Blas.Storage.t) =
+  storage.Blas.Storage.doc.Blas_xpath.Doc.all
+
+(** Start position of the [i]-th node with tag [tag], document order. *)
+let start_of_tag storage tag i =
+  let matching =
+    List.filter
+      (fun (n : Blas_xpath.Doc.node) -> n.tag = tag)
+      (all_nodes storage)
+  in
+  (List.nth matching i).Blas_xpath.Doc.start
+
+(** Document-order ranks of a start-position answer set: position of
+    each answer node in [doc.all].  Rank survives relabeling, so it is
+    the right currency for comparing an incrementally updated index
+    against one rebuilt from scratch. *)
+let ranks_of storage starts =
+  let tbl = Hashtbl.create 64 in
+  List.iteri
+    (fun rank (n : Blas_xpath.Doc.node) -> Hashtbl.add tbl n.start rank)
+    (all_nodes storage);
+  List.sort Stdlib.compare (List.map (Hashtbl.find tbl) starts)
+
+let rebuilt_from_scratch storage =
+  Blas.index_of_tree
+    (Blas_xpath.Doc.subtree storage.Blas.Storage.doc.Blas_xpath.Doc.root)
+
+let raises_invalid f =
+  match f () with exception Invalid_argument _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+
+let test_insert_into_gap () =
+  (* Deleting [b] frees its positions; re-inserting a same-size
+     fragment in its place must fit the gap without touching any
+     existing label. *)
+  let storage = storage_of "<r><a>x</a><b>y</b><a>z</a></r>" in
+  let before = List.map (fun (n : Blas_xpath.Doc.node) -> (n.tag, n.start)) (all_nodes storage) in
+  let b = start_of_tag storage "b" 0 in
+  let del = Blas.Update.delete_subtree storage ~start:b in
+  check_int "deleted" 1 del.nodes_deleted;
+  check_int "delete never relabels" 0 del.nodes_relabeled;
+  let free_after_delete, _ = Blas.Update.gap_budget storage in
+  check_bool "delete frees gap budget" true (free_after_delete >= 2);
+  let ins =
+    Blas.Update.insert_subtree storage ~parent:1 ~pos:1
+      (Blas_xml.Types.Element ("b", [ Blas_xml.Types.Content "y" ]))
+  in
+  check_int "inserted" 1 ins.nodes_inserted;
+  check_int "gap insert relabels nothing" 0 ins.nodes_relabeled;
+  check_bool "no inventory rebuild" false ins.table_rebuilt;
+  let after = List.map (fun (n : Blas_xpath.Doc.node) -> (n.tag, n.start)) (all_nodes storage) in
+  List.iter
+    (fun (tag, start) ->
+      if tag <> "b" then
+        check_bool "old labels unchanged" true (List.mem (tag, start) after))
+    before;
+  check_int_list "answers correct" [ start_of_tag storage "b" 0 ]
+    (Blas.oracle storage (Blas.query "/r/b"))
+
+let test_localized_relabel () =
+  (* The gap between [a] and [b]'s end is one position — too narrow for
+     an element — but [b]'s own interval has just enough slack, so only
+     [b]'s subtree is renumbered and the root label survives. *)
+  let storage = storage_of "<r>x<b>y<a/>z</b>w</r>" in
+  let root_before = (List.hd (all_nodes storage)).Blas_xpath.Doc.start in
+  let b = start_of_tag storage "b" 0 in
+  let report =
+    Blas.Update.insert_subtree storage ~parent:b ~pos:1
+      (Blas_xml.Types.Element ("a", []))
+  in
+  check_int "one node relabeled" 1 report.nodes_relabeled;
+  check_bool "no inventory rebuild" false report.table_rebuilt;
+  let root_after = (List.hd (all_nodes storage)).Blas_xpath.Doc.start in
+  check_int "root label untouched" root_before root_after;
+  check_int "two a nodes now" 2
+    (List.length (Blas.oracle storage (Blas.query "//a")))
+
+let test_whole_document_relabel () =
+  (* A dense document with no gap anywhere: insertion escalates to a
+     full renumber with headroom, so the next insert fits a gap. *)
+  let storage = storage_of "<r><a/><b/></r>" in
+  let report =
+    Blas.Update.insert_subtree storage ~parent:1 ~pos:1
+      (Blas_xml.Types.Element ("a", []))
+  in
+  check_int "every old node relabeled" 3 report.nodes_relabeled;
+  let free, _ = Blas.Update.gap_budget storage in
+  check_bool "headroom after full renumber" true (free > 0);
+  let again =
+    Blas.Update.insert_subtree storage ~parent:(List.hd (all_nodes storage)).Blas_xpath.Doc.start
+      ~pos:0
+      (Blas_xml.Types.Element ("b", []))
+  in
+  check_int "second insert uses the headroom" 0 again.nodes_relabeled
+
+let test_new_tag_rebuilds_inventory () =
+  let storage = storage_of "<r><a/></r>" in
+  let report =
+    Blas.Update.insert_subtree storage ~parent:1 ~pos:1
+      (Blas_xml.Types.Element ("zzz", []))
+  in
+  check_bool "new tag forces inventory rebuild" true report.table_rebuilt;
+  check_bool "every plabel recomputed" true
+    (report.plabels_allocated >= Blas.Storage.node_count storage);
+  check_int "query finds the new tag" 1
+    (List.length (Blas.oracle storage (Blas.query "/r/zzz")))
+
+let test_depth_growth_rebuilds_inventory () =
+  let storage = storage_of "<r><a/></r>" in
+  let deep =
+    Blas_xml.Types.(Element ("a", [ Element ("b", [ Element ("a", []) ]) ]))
+  in
+  let report = Blas.Update.insert_subtree storage ~parent:1 ~pos:0 deep in
+  check_bool "depth growth forces inventory rebuild" true report.table_rebuilt;
+  check_int "deep path reachable" 1
+    (List.length (Blas.oracle storage (Blas.query "/r/a/b/a")))
+
+let test_delete_subtree () =
+  let storage = storage_of "<r><a><b/><b/></a><b/></r>" in
+  let a = start_of_tag storage "a" 0 in
+  let report = Blas.Update.delete_subtree storage ~start:a in
+  check_int "subtree counted" 3 report.nodes_deleted;
+  check_int "one b left" 1 (List.length (Blas.oracle storage (Blas.query "//b")));
+  check_int "a gone" 0 (List.length (Blas.oracle storage (Blas.query "//a")))
+
+let test_replace_text () =
+  let storage = storage_of "<r><a>x</a><a>y</a></r>" in
+  let first = start_of_tag storage "a" 0 in
+  let report = Blas.Update.replace_text storage ~start:first (Some "y") in
+  check_int "no structural change" 0
+    (report.nodes_inserted + report.nodes_deleted + report.nodes_relabeled);
+  check_int "both match now" 2
+    (List.length (Blas.oracle storage (Blas.query "/r/a = \"y\"")));
+  ignore (Blas.Update.replace_text storage ~start:first None);
+  check_int "cleared" 1
+    (List.length (Blas.oracle storage (Blas.query "/r/a = \"y\"")))
+
+let test_errors () =
+  let storage = storage_of "<r><a>x</a></r>" in
+  let frag = Blas_xml.Types.Element ("b", []) in
+  check_bool "unknown parent" true
+    (raises_invalid (fun () ->
+         Blas.Update.insert_subtree storage ~parent:999 ~pos:0 frag));
+  check_bool "pos out of range" true
+    (raises_invalid (fun () ->
+         Blas.Update.insert_subtree storage ~parent:1 ~pos:2 frag));
+  check_bool "negative pos" true
+    (raises_invalid (fun () ->
+         Blas.Update.insert_subtree storage ~parent:1 ~pos:(-1) frag));
+  check_bool "text fragment root" true
+    (raises_invalid (fun () ->
+         Blas.Update.insert_subtree storage ~parent:1 ~pos:0
+           (Blas_xml.Types.Content "oops")));
+  check_bool "delete root" true
+    (raises_invalid (fun () -> Blas.Update.delete_subtree storage ~start:1));
+  check_bool "delete unknown" true
+    (raises_invalid (fun () -> Blas.Update.delete_subtree storage ~start:999));
+  check_bool "replace unknown" true
+    (raises_invalid (fun () ->
+         Blas.Update.replace_text storage ~start:999 (Some "x")))
+
+let test_persist_round_trip () =
+  let storage = storage_of "<r><a>x</a><b/></r>" in
+  ignore
+    (Blas.Update.insert_subtree storage ~parent:1 ~pos:2
+       (Blas_xml.Types.Element ("c", [ Blas_xml.Types.Content "y" ])));
+  let b = start_of_tag storage "b" 0 in
+  ignore (Blas.Update.delete_subtree storage ~start:b);
+  let reloaded = Blas.Persist.of_string (Blas.Persist.to_string storage) in
+  (* Persist preserves positions exactly, so answers match on raw
+     starts; the reloaded inventory must honour the updated one. *)
+  List.iter
+    (fun q ->
+      let query = Blas.query q in
+      check_int_list ("reloaded answers: " ^ q)
+        (Blas.oracle storage query)
+        (Blas.oracle reloaded query))
+    [ "//a"; "//b"; "/r/c"; "//c = \"y\"" ]
+
+(* ------------------------------------------------------------------ *)
+(* Property: random edit scripts keep every engine consistent          *)
+
+(** Abstract edit instruction; integers are resolved against the
+    document state at application time, so any instruction is valid on
+    any document. *)
+type edit =
+  | Insert of int * int * Blas_xml.Types.tree
+  | Delete of int
+  | Retext of int * string option
+
+let edit_gen =
+  let open QCheck2.Gen in
+  frequency
+    [
+      ( 3,
+        let* parent = nat and* pos = nat and* tree = tree_gen in
+        return (Insert (parent, pos, tree)) );
+      (2, map (fun i -> Delete i) nat);
+      ( 1,
+        let* i = nat and* v = opt value in
+        return (Retext (i, v)) );
+    ]
+
+let apply_edit storage edit =
+  let nodes = Array.of_list (all_nodes storage) in
+  let n = Array.length nodes in
+  match edit with
+  | Insert (parent, pos, tree) ->
+    let parent = nodes.(parent mod n) in
+    let pos = pos mod (List.length parent.Blas_xpath.Doc.children + 1) in
+    ignore
+      (Blas.Update.insert_subtree storage ~parent:parent.Blas_xpath.Doc.start
+         ~pos tree)
+  | Delete i ->
+    (* Never delete the root; skip when it is the only node. *)
+    if n > 1 then
+      let node = nodes.(1 + (i mod (n - 1))) in
+      ignore (Blas.Update.delete_subtree storage ~start:node.Blas_xpath.Doc.start)
+  | Retext (i, v) ->
+    let node = nodes.(i mod n) in
+    ignore (Blas.Update.replace_text storage ~start:node.Blas_xpath.Doc.start v)
+
+let script_gen =
+  let open QCheck2.Gen in
+  let* doc = doc_gen in
+  let* edits = list_size (int_range 1 6) edit_gen in
+  let* queries = list_size (return 3) (query_gen ~wildcards:true ()) in
+  return (doc, edits, queries)
+
+let prop_edits_consistent =
+  qtest ~count:120 "edited index agrees with oracle and rebuild" script_gen
+    (fun (doc, edits, queries) ->
+      let storage = Blas.index_of_tree doc in
+      List.iter (apply_edit storage) edits;
+      let scratch = rebuilt_from_scratch storage in
+      List.for_all
+        (fun query ->
+          let expected = Blas.oracle storage query in
+          (* Incremental labels are sparse, so compare the from-scratch
+             rebuild by document-order rank. *)
+          ranks_of storage expected
+          = ranks_of scratch (Blas.oracle scratch query)
+          && List.for_all
+               (fun translator ->
+                 List.for_all
+                   (fun engine ->
+                     Blas.answers storage ~engine ~translator query = expected)
+                   engines)
+               translators)
+        queries)
+
+let prop_persist_survives_edits =
+  qtest ~count:60 "updated index survives save/load" script_gen
+    (fun (doc, edits, queries) ->
+      let storage = Blas.index_of_tree doc in
+      List.iter (apply_edit storage) edits;
+      let reloaded = Blas.Persist.of_string (Blas.Persist.to_string storage) in
+      List.for_all
+        (fun query ->
+          Blas.oracle reloaded query = Blas.oracle storage query)
+        queries)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "insert into freed gap" `Quick test_insert_into_gap;
+    Alcotest.test_case "gap exhaustion: localized relabel" `Quick
+      test_localized_relabel;
+    Alcotest.test_case "gap exhaustion: whole-document relabel" `Quick
+      test_whole_document_relabel;
+    Alcotest.test_case "new tag rebuilds inventory" `Quick
+      test_new_tag_rebuilds_inventory;
+    Alcotest.test_case "depth growth rebuilds inventory" `Quick
+      test_depth_growth_rebuilds_inventory;
+    Alcotest.test_case "delete subtree" `Quick test_delete_subtree;
+    Alcotest.test_case "replace text" `Quick test_replace_text;
+    Alcotest.test_case "invalid arguments" `Quick test_errors;
+    Alcotest.test_case "persist round-trip after edits" `Quick
+      test_persist_round_trip;
+    prop_edits_consistent;
+    prop_persist_survives_edits;
+  ]
