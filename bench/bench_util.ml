@@ -56,10 +56,60 @@ let render { header; rows } =
   in
   String.concat "\n" (line header :: sep :: List.map line rows)
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_results.json)
+
+   With [json_enabled], every printed table is also recorded as a JSON
+   object tagged with the section that produced it; [write_results]
+   dumps the collection. *)
+
+let json_enabled = ref false
+
+let current_section = ref ""
+
+let recorded : Blas_obs.Json.t list ref = ref []
+
+let json_of_table ?title { header; rows } =
+  Blas_obs.Json.Obj
+    [
+      ("section", Blas_obs.Json.Str !current_section);
+      ( "title",
+        match title with
+        | Some t -> Blas_obs.Json.Str t
+        | None -> Blas_obs.Json.Null );
+      ("header", Blas_obs.Json.List (List.map (fun s -> Blas_obs.Json.Str s) header));
+      ( "rows",
+        Blas_obs.Json.List
+          (List.map
+             (fun row ->
+               Blas_obs.Json.List (List.map (fun s -> Blas_obs.Json.Str s) row))
+             rows) );
+    ]
+
+let record_table ?title t =
+  if !json_enabled then recorded := json_of_table ?title t :: !recorded
+
+let write_results path =
+  let doc =
+    Blas_obs.Json.Obj
+      [
+        ("benchmark", Blas_obs.Json.Str "blas");
+        ("results", Blas_obs.Json.List (List.rev !recorded));
+      ]
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Blas_obs.Json.to_string_pretty doc);
+      output_char oc '\n');
+  Printf.printf "wrote %s (%d tables)\n" path (List.length !recorded)
+
 let print_table ?title t =
   (match title with Some title -> Printf.printf "\n%s\n" title | None -> ());
   print_endline (render t);
-  print_newline ()
+  print_newline ();
+  record_table ?title t
 
 let seconds s = Printf.sprintf "%.4f" s
 

@@ -1,9 +1,14 @@
 (** Benchmark harness entry point.
 
-    With no argument every figure of the paper's evaluation section is
-    regenerated in order, followed by the join-count table, the
-    ablations and the bechamel micro-benchmarks; a single argument
-    selects one section (fig10 ... fig18, joins, ablate, bechamel). *)
+    With no section argument every figure of the paper's evaluation
+    section is regenerated in order, followed by the join-count table,
+    the ablations, the micro-benchmarks and the instrumentation
+    overhead check; section arguments (fig10 ... fig18, joins, disk,
+    space, build, ablate, bechamel, overhead) select a subset.
+
+    Flags: [--json] also writes every printed table to
+    BENCH_results.json; [--check] makes the overhead section enforce its
+    regression threshold (non-zero exit on failure). *)
 
 let sections =
   [
@@ -22,18 +27,41 @@ let sections =
     ("build", Figures.build);
     ("ablate", Ablations.all);
     ("bechamel", Micro.run);
+    ("overhead", Overhead.run);
   ]
 
+let results_file = "BENCH_results.json"
+
+let usage () =
+  Printf.eprintf "usage: %s [--json] [--check] [section...]\navailable: %s\n"
+    Sys.argv.(0)
+    (String.concat " " (List.map fst sections));
+  exit 1
+
 let () =
-  match Sys.argv with
-  | [| _ |] -> List.iter (fun (_, f) -> f ()) sections
-  | [| _; name |] -> (
-    match List.assoc_opt name sections with
-    | Some f -> f ()
-    | None ->
-      Printf.eprintf "unknown section %s; available: %s\n" name
-        (String.concat " " (List.map fst sections));
-      exit 1)
-  | _ ->
-    Printf.eprintf "usage: %s [section]\n" Sys.argv.(0);
-    exit 1
+  (* The span/analyze clock follows the same monotonic source bechamel
+     measures with. *)
+  Blas_obs.Clock.set_source (fun () -> Monotonic_clock.now ());
+  let json = ref false in
+  let chosen = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | "--check" -> Overhead.check_mode := true
+        | name when List.mem_assoc name sections ->
+          chosen := (name, List.assoc name sections) :: !chosen
+        | unknown ->
+          Printf.eprintf "unknown section %s\n" unknown;
+          usage ())
+    Sys.argv;
+  Bench_util.json_enabled := !json;
+  let to_run = match List.rev !chosen with [] -> sections | some -> some in
+  List.iter
+    (fun (name, f) ->
+      Bench_util.current_section := name;
+      f ())
+    to_run;
+  if !json then Bench_util.write_results results_file;
+  if !Overhead.failed then exit 1

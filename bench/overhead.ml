@@ -1,0 +1,125 @@
+(** Instrumentation overhead check.
+
+    The observability layer claims to be zero-cost when disabled: a run
+    with the default no-op tracer and no metrics sink should time the
+    same as the bare engine path with no instrumentation entry points.
+    This section measures both with bechamel (OLS over the monotonic
+    clock) on the Figure 13a headline query (QS3, Push-up, RDBMS) and
+    reports the relative overhead; with {!check_mode} (the CI gate,
+    [overhead --check]) an overhead above {!threshold_percent} marks the
+    run failed.  An enabled tracer + registry is measured too, for
+    scale. *)
+
+open Bechamel
+
+(* Set by main's --check flag; failures are deferred to [failed] so the
+   harness can still write BENCH_results.json before exiting non-zero. *)
+let check_mode = ref false
+
+let failed = ref false
+
+let threshold_percent = 5.0
+
+let estimates tests =
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"overhead" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun test_name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ e ] -> out := (test_name, e) :: !out
+      | _ -> ())
+    results;
+  !out
+
+let find name results =
+  List.find_map
+    (fun (n, e) ->
+      (* Bechamel names tests "overhead/<name>". *)
+      let suffix = "/" ^ name in
+      let nl = String.length n and sl = String.length suffix in
+      if nl >= sl && String.equal (String.sub n (nl - sl) sl) suffix then Some e
+      else None)
+    results
+
+let run () =
+  Bench_util.heading
+    "Instrumentation overhead (QS3, Push-up, RDBMS; bechamel OLS)";
+  let storage = Datasets.shakespeare_full () in
+  let query = Blas.query Bench_queries.qs3 in
+  let translator = Blas.Pushup in
+  (* The bare path: translate, compile and execute with no tracer, no
+     metrics dereference, no phase spans — the pre-instrumentation
+     pipeline. *)
+  let bare =
+    Test.make ~name:"bare"
+      (Staged.stage (fun () ->
+           Blas.Engine_rdbms.run_opt storage
+             (Blas.sql_for storage translator query)))
+  in
+  (* The instrumented path with everything off (the library default). *)
+  let disabled =
+    Test.make ~name:"disabled"
+      (Staged.stage (fun () ->
+           Blas.run storage ~engine:Blas.Rdbms ~translator query))
+  in
+  (* Fully on: enabled tracer and a live metrics registry — for scale,
+     not gated. *)
+  let tracer = Blas_obs.Trace.create () in
+  let registry = Blas_obs.Metrics.create () in
+  let enabled =
+    Test.make ~name:"enabled"
+      (Staged.stage (fun () ->
+           Blas.set_metrics (Some registry);
+           let r = Blas.run ~tracer storage ~engine:Blas.Rdbms ~translator query in
+           Blas.set_metrics None;
+           Blas_obs.Trace.clear tracer;
+           r))
+  in
+  let results = estimates [ bare; disabled; enabled ] in
+  match (find "bare" results, find "disabled" results, find "enabled" results) with
+  | Some bare_ns, Some disabled_ns, enabled_ns ->
+    let overhead = (disabled_ns -. bare_ns) /. bare_ns *. 100.0 in
+    Bench_util.print_table ~title:"disabled instrumentation must be free"
+      {
+        Bench_util.header = [ "variant"; "ns/query"; "overhead" ];
+        rows =
+          [
+            [ "bare (no instrumentation)"; Printf.sprintf "%.0f" bare_ns; "-" ];
+            [
+              "disabled (default)";
+              Printf.sprintf "%.0f" disabled_ns;
+              Printf.sprintf "%+.1f%%" overhead;
+            ];
+            [
+              "enabled (tracer+metrics)";
+              (match enabled_ns with
+              | Some e -> Printf.sprintf "%.0f" e
+              | None -> "-");
+              (match enabled_ns with
+              | Some e -> Printf.sprintf "%+.1f%%" ((e -. bare_ns) /. bare_ns *. 100.0)
+              | None -> "-");
+            ];
+          ];
+      };
+    if !check_mode then
+      if overhead > threshold_percent then begin
+        Printf.eprintf
+          "FAIL: disabled instrumentation costs %+.1f%% (threshold %.1f%%)\n%!"
+          overhead threshold_percent;
+        failed := true
+      end
+      else
+        Printf.printf "OK: disabled overhead %+.1f%% <= %.1f%%\n" overhead
+          threshold_percent
+  | _ ->
+    Printf.eprintf "overhead: bechamel produced no estimates\n%!";
+    if !check_mode then failed := true

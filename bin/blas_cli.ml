@@ -12,12 +12,68 @@
 
 open Cmdliner
 
-let setup_logs verbose =
+(* ------------------------------------------------------------------ *)
+(* Logging setup, shared by every command.
+
+   Level resolution: --quiet silences everything, -v forces Debug
+   everywhere; otherwise $BLAS_LOG applies ("debug", or a per-source
+   list like "blas_rel=debug,blas=info" — sources: blas, blas_rel,
+   blas_twig, blas_update); the default is Warning. *)
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Ok (Some Logs.Debug)
+  | "info" -> Ok (Some Logs.Info)
+  | "warning" | "warn" -> Ok (Some Logs.Warning)
+  | "error" -> Ok (Some Logs.Error)
+  | "app" -> Ok (Some Logs.App)
+  | "off" | "none" | "quiet" -> Ok None
+  | _ -> Error s
+
+let apply_blas_log spec =
+  List.iter
+    (fun entry ->
+      let entry = String.trim entry in
+      if entry <> "" then
+        match String.index_opt entry '=' with
+        | None -> (
+          match level_of_string entry with
+          | Ok level -> Logs.set_level ~all:true level
+          | Error s -> Printf.eprintf "BLAS_LOG: unknown level %S\n%!" s)
+        | Some i -> (
+          let name = String.sub entry 0 i in
+          let level = String.sub entry (i + 1) (String.length entry - i - 1) in
+          match level_of_string level with
+          | Error s -> Printf.eprintf "BLAS_LOG: unknown level %S\n%!" s
+          | Ok level -> (
+            match
+              List.find_opt
+                (fun src -> String.equal (Logs.Src.name src) name)
+                (Logs.Src.list ())
+            with
+            | Some src -> Logs.Src.set_level src level
+            | None -> Printf.eprintf "BLAS_LOG: unknown log source %S\n%!" name)))
+    (String.split_on_char ',' spec)
+
+let setup_logs ~quiet ~verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+  Logs.set_level ~all:true (Some Logs.Warning);
+  (match Sys.getenv_opt "BLAS_LOG" with
+  | Some spec -> apply_blas_log spec
+  | None -> ());
+  if verbose then Logs.set_level ~all:true (Some Logs.Debug);
+  if quiet then Logs.set_level ~all:true None
 
 let verbose_arg =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging everywhere (overrides $(b,BLAS_LOG)).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Silence all logging (overrides $(b,-v) and $(b,BLAS_LOG)).")
+
+(* Evaluates first in every command, so library logging is configured
+   before any work runs. *)
+let logs_term =
+  Term.(const (fun quiet verbose -> setup_logs ~quiet ~verbose) $ quiet_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -85,7 +141,7 @@ let load_storage path =
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 
-let generate dataset scale seed output =
+let generate () dataset scale seed output =
   let tree =
     match dataset with
     | `Shakespeare -> Blas_datagen.Shakespeare.generate ?seed ~plays:(max 1 scale) ()
@@ -128,12 +184,12 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic data set in the paper's three shapes.")
-    Term.(ret (const generate $ dataset $ scale $ seed $ output))
+    Term.(ret (const generate $ logs_term $ dataset $ scale $ seed $ output))
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 
-let stats path =
+let stats () path =
   match load_storage path with
   | Error msg -> `Error (false, msg)
   | Ok storage ->
@@ -162,12 +218,12 @@ let stats path =
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Print document characteristics (Figure 12 columns).")
-    Term.(ret (const stats $ input_arg))
+    Term.(ret (const stats $ logs_term $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* translate                                                           *)
 
-let translate query_string translator path =
+let translate () query_string translator path =
   match load_storage path, parse_query query_string with
   | Error msg, _ | _, Error msg -> `Error (false, msg)
   | Ok storage, Ok query ->
@@ -191,12 +247,12 @@ let translate_cmd =
   Cmd.v
     (Cmd.info "translate"
        ~doc:"Decompose an XPath query into suffix path subqueries and show the SQL.")
-    Term.(ret (const translate $ query_arg $ translator_arg $ input_arg))
+    Term.(ret (const translate $ logs_term $ query_arg $ translator_arg $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
 
-let plan query_string translator path =
+let plan () query_string translator path =
   match load_storage path, parse_query query_string with
   | Error msg, _ | _, Error msg -> `Error (false, msg)
   | Ok storage, Ok query ->
@@ -218,24 +274,56 @@ let plan query_string translator path =
 let plan_cmd =
   Cmd.v
     (Cmd.info "plan" ~doc:"Show the compiled physical plan (Figure 11 style).")
-    Term.(ret (const plan $ query_arg $ translator_arg $ input_arg))
+    Term.(ret (const plan $ logs_term $ query_arg $ translator_arg $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 
-let run query_string translator engine verify show_limit as_xml explain verbose path =
-  setup_logs verbose;
+(* Merge per-query reports the way {!Blas.run_union} does — used when
+   --analyze already ran each query and a second execution would skew
+   the buffer pool. *)
+let merge_reports (reports : Blas.report list) =
+  let counters = Blas_rel.Counters.create () in
+  List.iter (fun (r : Blas.report) -> Blas_rel.Counters.add ~into:counters r.counters) reports;
+  {
+    Blas.starts =
+      List.sort_uniq Stdlib.compare
+        (List.concat_map (fun (r : Blas.report) -> r.starts) reports);
+    visited = List.fold_left (fun acc (r : Blas.report) -> acc + r.visited) 0 reports;
+    page_reads =
+      List.fold_left (fun acc (r : Blas.report) -> acc + r.page_reads) 0 reports;
+    plan_djoins =
+      List.fold_left (fun acc (r : Blas.report) -> acc + r.plan_djoins) 0 reports;
+    sql = None;
+    counters;
+  }
+
+let run () query_string translator engine verify show_limit as_xml explain
+    analyze show_stats path =
   match load_storage path, parse_query_union query_string with
   | Error msg, _ | _, Error msg -> `Error (false, msg)
   | Ok storage, Ok queries ->
     let t0 = Sys.time () in
-    let report = Blas.run_union storage ~engine ~translator queries in
+    let report =
+      if analyze then begin
+        let analyzed =
+          List.map (Blas.run_analyze storage ~engine ~translator) queries
+        in
+        List.iter
+          (fun (_, tree) -> Format.printf "%a@." Blas_obs.Analyze.pp tree)
+          analyzed;
+        merge_reports (List.map fst analyzed)
+      end
+      else Blas.run_union storage ~engine ~translator queries
+    in
     let dt = Sys.time () -. t0 in
     Printf.printf "%d answers in %.4fs (%s on %s), %d elements visited, %d D-joins\n"
       (List.length report.Blas.starts)
       dt
       (Blas.translator_name translator)
       (Blas.engine_name engine) report.visited report.plan_djoins;
+    if show_stats then
+      Format.printf "counters: %a@." Blas_rel.Counters.pp report.counters;
     let by_start =
       List.map
         (fun (n : Blas_xpath.Doc.node) -> (n.start, n))
@@ -282,12 +370,25 @@ let run_cmd =
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Print each answer's ancestor path.")
   in
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "EXPLAIN ANALYZE: print the executed operator tree with actual \
+             row counts, elapsed time and I/O per operator.")
+  in
+  let show_stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print the run's full cost-counter vector.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an XPath query end to end.")
     Term.(
       ret
-        (const run $ query_arg $ translator_arg $ engine_arg $ verify $ show
-       $ as_xml $ explain $ verbose_arg $ input_arg))
+        (const run $ logs_term $ query_arg $ translator_arg $ engine_arg
+       $ verify $ show $ as_xml $ explain $ analyze $ show_stats $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* index                                                               *)
@@ -299,7 +400,7 @@ let index_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Index file to write.")
   in
-  let build input output =
+  let build () input output =
     match load_storage input with
     | Error msg -> `Error (false, msg)
     | Ok storage ->
@@ -312,13 +413,12 @@ let index_cmd =
        ~doc:
          "Build and save an index; other commands accept the saved file in \
           place of XML.")
-    Term.(ret (const build $ input_arg $ output))
+    Term.(ret (const build $ logs_term $ input_arg $ output))
 
 (* ------------------------------------------------------------------ *)
 (* update                                                              *)
 
-let update insert_xml parent pos delete rtext data output verbose path =
-  setup_logs verbose;
+let update () insert_xml parent pos delete rtext data output path =
   match load_storage path with
   | Error msg -> `Error (false, msg)
   | Ok storage -> (
@@ -427,8 +527,89 @@ let update_cmd =
           replace a text value, with incremental D-/P-label maintenance.")
     Term.(
       ret
-        (const update $ insert $ parent $ pos $ delete $ rtext $ data $ output
-       $ verbose_arg $ input_arg))
+        (const update $ logs_term $ insert $ parent $ pos $ delete $ rtext
+       $ data $ output $ input_arg))
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+
+let profile () query_string translator engine repeat json path =
+  match load_storage path, parse_query_union query_string with
+  | Error msg, _ | _, Error msg -> `Error (false, msg)
+  | Ok storage, Ok queries ->
+    if repeat < 1 then `Error (false, "--repeat must be >= 1")
+    else begin
+      let registry = Blas_obs.Metrics.create () in
+      let tracer = Blas_obs.Trace.create () in
+      Blas.set_metrics (Some registry);
+      (* Warm-up repetitions populate the latency histograms; the final
+         repetition runs in EXPLAIN ANALYZE mode for the operator tree. *)
+      for _ = 2 to repeat do
+        List.iter
+          (fun q -> ignore (Blas.run ~tracer storage ~engine ~translator q))
+          queries
+      done;
+      let analyzed =
+        List.map (Blas.run_analyze ~tracer storage ~engine ~translator) queries
+      in
+      Blas.set_metrics None;
+      let report = merge_reports (List.map fst analyzed) in
+      if json then
+        print_endline
+          (Blas_obs.Json.to_string_pretty
+             (Blas_obs.Json.Obj
+                [
+                  ("query", Blas_obs.Json.Str query_string);
+                  ("translator", Blas_obs.Json.Str (Blas.translator_name translator));
+                  ("engine", Blas_obs.Json.Str (Blas.engine_name engine));
+                  ("repeat", Blas_obs.Json.Int repeat);
+                  ("answers", Blas_obs.Json.Int (List.length report.Blas.starts));
+                  ( "analyze",
+                    Blas_obs.Json.List
+                      (List.map
+                         (fun (_, tree) -> Blas_obs.Analyze.to_json tree)
+                         analyzed) );
+                  ("trace", Blas_obs.Trace.to_json tracer);
+                  ("metrics", Blas_obs.Metrics.to_json registry);
+                ]))
+      else begin
+        Printf.printf "%d answers (%s on %s)\n\n"
+          (List.length report.Blas.starts)
+          (Blas.translator_name translator)
+          (Blas.engine_name engine);
+        print_endline "-- EXPLAIN ANALYZE --";
+        List.iter
+          (fun (_, tree) -> Format.printf "%a@." Blas_obs.Analyze.pp tree)
+          analyzed;
+        print_endline "\n-- trace --";
+        Format.printf "%a@." Blas_obs.Trace.pp tracer;
+        print_endline "\n-- metrics --";
+        Format.printf "%a@." Blas_obs.Metrics.pp registry
+      end;
+      `Ok ()
+    end
+
+let profile_cmd =
+  let repeat =
+    Arg.(
+      value & opt int 5
+      & info [ "repeat"; "n" ] ~docv:"N"
+          ~doc:"Run the query N times (populates the latency histograms).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the whole profile as a JSON document.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a query: EXPLAIN ANALYZE operator tree, lifecycle span \
+          trace, and a metrics registry (latency percentiles, I/O totals).")
+    Term.(
+      ret
+        (const profile $ logs_term $ query_arg $ translator_arg $ engine_arg
+       $ repeat $ json $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 
@@ -445,5 +626,6 @@ let () =
             translate_cmd;
             plan_cmd;
             run_cmd;
+            profile_cmd;
             update_cmd;
           ]))

@@ -76,7 +76,9 @@ let to_sql (query : Blas_xpath.Ast.t) =
     applied while the stream is materialized; the visited-element count
     still charges every element of the tag (the engine must read them,
     as the paper's Figures 14-18 count). *)
-let to_pattern (storage : Storage.t) ?counters (query : Blas_xpath.Ast.t) =
+let to_pattern (storage : Storage.t) ?counters
+    ?(wrap : Engine_twig.wrap = fun ~label:_ f -> f ())
+    (query : Blas_xpath.Ast.t) =
   let counters =
     match counters with Some c -> c | None -> Blas_rel.Counters.create ()
   in
@@ -120,8 +122,11 @@ let to_pattern (storage : Storage.t) ?counters (query : Blas_xpath.Ast.t) =
       rows
   in
   let rec build ~root (q : Blas_xpath.Ast.node) =
-    Blas_twig.Pattern.make
-      ~label:(match q.test with Blas_xpath.Ast.Tag t -> t | Blas_xpath.Ast.Any -> "*")
+    let label =
+      match q.test with Blas_xpath.Ast.Tag t -> t | Blas_xpath.Ast.Any -> "*"
+    in
+    wrap ~label @@ fun () ->
+    Blas_twig.Pattern.make ~label
       ~entries:(stream q ~root)
       ~gap:
         (match q.axis with

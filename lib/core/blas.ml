@@ -39,6 +39,7 @@ type report = Exec.report = {
   page_reads : int;
   plan_djoins : int;
   sql : Blas_rel.Sql_ast.t option;
+  counters : Blas_rel.Counters.t;
 }
 
 let translator_name = Exec.translator_name
@@ -62,6 +63,10 @@ let plan_for = Exec.plan_for
 
 let run = Exec.run
 
+let run_analyze = Exec.run_analyze
+
+let set_metrics = Exec.set_metrics
+
 let answers = Exec.answers
 
 let oracle = Exec.oracle
@@ -79,12 +84,15 @@ let query_union s = Blas_xpath.Parser.parse_union s
 let run_union storage ~engine ~translator queries =
   let reports = List.map (run storage ~engine ~translator) queries in
   let sqls = List.filter_map (fun r -> r.sql) reports in
+  let counters = Blas_rel.Counters.create () in
+  List.iter (fun r -> Blas_rel.Counters.add ~into:counters r.counters) reports;
   {
     starts =
       List.sort_uniq Stdlib.compare (List.concat_map (fun r -> r.starts) reports);
     visited = List.fold_left (fun acc r -> acc + r.visited) 0 reports;
     page_reads = List.fold_left (fun acc r -> acc + r.page_reads) 0 reports;
     plan_djoins = List.fold_left (fun acc r -> acc + r.plan_djoins) 0 reports;
+    counters;
     sql =
       (match sqls with
       | [] -> None

@@ -53,6 +53,9 @@ type report = Exec.report = {
   sql : Blas_rel.Sql_ast.t option;
       (** the generated SQL; [None] for twig runs or provably empty
           queries *)
+  counters : Blas_rel.Counters.t;
+      (** the full cost vector of this run (tuples, seeks, joins,
+          intermediate results, page traffic) *)
 }
 
 (** [index xml] parses [xml] and builds the SP and SD storage.
@@ -80,9 +83,33 @@ val sql_for :
 val plan_for :
   Storage.t -> translator -> Blas_xpath.Ast.t -> Blas_rel.Algebra.plan option
 
-(** Translate and execute. *)
+(** Translate and execute.  With an enabled [tracer] the run is recorded
+    as a [query] span over its lifecycle phases. *)
 val run :
-  Storage.t -> engine:engine -> translator:translator -> Blas_xpath.Ast.t -> report
+  ?tracer:Blas_obs.Trace.t ->
+  Storage.t ->
+  engine:engine ->
+  translator:translator ->
+  Blas_xpath.Ast.t ->
+  report
+
+(** [run_analyze storage ~engine ~translator q] — EXPLAIN ANALYZE: like
+    {!run}, also returning the annotated operator tree (actual rows,
+    elapsed time and I/O per executed operator).  Summing the tree's
+    [self] stats reconciles exactly with [report.counters]. *)
+val run_analyze :
+  ?tracer:Blas_obs.Trace.t ->
+  Storage.t ->
+  engine:engine ->
+  translator:translator ->
+  Blas_xpath.Ast.t ->
+  report * Blas_obs.Analyze.node
+
+(** [set_metrics (Some registry)] installs the registry that receives
+    per-query metrics ([blas.queries], [blas.query.latency_ns] labelled
+    by engine and translator, [blas.tuples.read], [blas.pages.read]);
+    [set_metrics None] (the default) disables recording. *)
+val set_metrics : Blas_obs.Metrics.t option -> unit
 
 (** Just the result set. *)
 val answers :

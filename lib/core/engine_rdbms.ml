@@ -48,3 +48,19 @@ let run_sql (storage : Storage.t) sql =
 let run_opt storage = function
   | None -> empty_result ()
   | Some sql -> run_sql storage sql
+
+(** [run_sql_analyze storage sql] — like {!run_sql}, also returning the
+    EXPLAIN ANALYZE tree of the executed physical plan. *)
+let run_sql_analyze (storage : Storage.t) sql =
+  let plan = Sql_compile.compile ~catalog:(Storage.catalog storage) sql in
+  let counters = Counters.create () in
+  let relation, tree = Executor.run_analyze ~counters plan in
+  ({ starts = starts_of_relation relation; counters; plan = Some plan }, tree)
+
+(** [run_opt_analyze storage sql] treats [None] as the empty query (no
+    tree — nothing executed). *)
+let run_opt_analyze storage = function
+  | None -> (empty_result (), None)
+  | Some sql ->
+    let result, tree = run_sql_analyze storage sql in
+    (result, Some tree)

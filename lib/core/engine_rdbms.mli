@@ -10,9 +10,24 @@ type result = {
 
 val empty_result : unit -> result
 
+(** The answer column of an executed plan — the only projected column,
+    or the first ".start" column of a wider projection.
+    @raise Invalid_argument when no answer column exists. *)
+val starts_of_relation : Blas_rel.Relation.t -> int list
+
 (** [run_sql storage sql] plans and executes [sql] against the storage's
     SP and SD tables. *)
 val run_sql : Storage.t -> Blas_rel.Sql_ast.t -> result
 
 (** [run_opt storage sql] treats [None] as the empty query. *)
 val run_opt : Storage.t -> Blas_rel.Sql_ast.t option -> result
+
+(** [run_sql_analyze storage sql] — like {!run_sql}, also returning the
+    EXPLAIN ANALYZE tree of the executed physical plan. *)
+val run_sql_analyze :
+  Storage.t -> Blas_rel.Sql_ast.t -> result * Blas_obs.Analyze.node
+
+(** [run_opt_analyze storage sql] treats [None] as the empty query (no
+    tree — nothing executed). *)
+val run_opt_analyze :
+  Storage.t -> Blas_rel.Sql_ast.t option -> result * Blas_obs.Analyze.node option

@@ -67,18 +67,28 @@ let gap_of = function
   | Suffix_query.Exact k -> Blas_twig.Pattern.Exact k
   | Suffix_query.At_least k -> Blas_twig.Pattern.At_least k
 
+(* EXPLAIN ANALYZE hook: intercepts the construction of each pattern
+   node (children nest inside), so a collector can charge every stream's
+   counter delta to its own node.  The default is a no-op. *)
+type wrap =
+  label:string -> (unit -> Blas_twig.Pattern.node) -> Blas_twig.Pattern.node
+
+let no_wrap ~label:_ f = f ()
+
 (** [pattern_of_branch storage counters branch] roots the join tree and
     materializes every item's stream. *)
-let pattern_of_branch (storage : Storage.t) counters (branch : Suffix_query.t) =
+let pattern_of_branch ?(wrap = no_wrap) (storage : Storage.t) counters
+    (branch : Suffix_query.t) =
   let rec build ~gap (item : Suffix_query.item) =
+    let label = Format.asprintf "%a" Blas_label.Plabel.pp_suffix_path item.path in
+    wrap ~label @@ fun () ->
     let children =
       List.map
         (fun (j : Suffix_query.join) ->
           build ~gap:(gap_of j.gap) (Suffix_query.find_item branch j.desc))
         (Suffix_query.children_of branch item.id)
     in
-    Blas_twig.Pattern.make
-      ~label:(Format.asprintf "%a" Blas_label.Plabel.pp_suffix_path item.path)
+    Blas_twig.Pattern.make ~label
       ~entries:(item_stream storage counters item)
       ~gap ~children
       ~is_output:(item.id = branch.output)
@@ -123,3 +133,90 @@ let run_pattern ?(algorithm = `Classic) pattern counters =
     candidates = stats.Blas_twig.Twig_stack.candidates;
     counters;
   }
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE                                                     *)
+
+let snapshot_of counters () =
+  {
+    Blas_obs.Analyze.read = counters.Counters.tuples_read;
+    seeks = counters.Counters.index_seeks;
+    page_requests = counters.Counters.page_requests;
+    page_reads = counters.Counters.page_reads;
+  }
+
+(* Wraps pattern-node construction in a collector frame: rows = stream
+   length, self = the counter delta of materializing this stream. *)
+let stream_wrap collector ~label f =
+  Blas_obs.Analyze.Collector.wrap collector ~kind:"stream" ~label
+    ~rows:(fun (node : Blas_twig.Pattern.node) -> Array.length node.entries)
+    f
+
+let branch_label (branch : Suffix_query.t) =
+  Format.asprintf "twig join %a" Blas_label.Plabel.pp_suffix_path
+    (Suffix_query.find_item branch branch.output).path
+
+(** [run_analyze ?algorithm storage branches] — like {!run}, also
+    returning one annotated tree per union branch: a [twig-join] root
+    (rows = branch answers) over one [stream] node per suffix-path item
+    (rows = stream entries, I/O = that stream's scan). *)
+let run_analyze ?(algorithm = `Classic) (storage : Storage.t)
+    (branches : Suffix_query.t list) =
+  let counters = Counters.create () in
+  let collector =
+    Blas_obs.Analyze.Collector.create ~snapshot:(snapshot_of counters)
+  in
+  let starts, candidates =
+    List.fold_left
+      (fun (starts, candidates) branch ->
+        let s, stats =
+          Blas_obs.Analyze.Collector.wrap collector ~kind:"twig-join"
+            ~label:(branch_label branch)
+            ~rows:(fun (s, _) -> List.length s)
+            (fun () ->
+              let pattern =
+                pattern_of_branch ~wrap:(stream_wrap collector) storage counters
+                  branch
+              in
+              execute algorithm pattern)
+        in
+        (List.rev_append s starts, candidates + stats.Blas_twig.Twig_stack.candidates))
+      ([], 0) branches
+  in
+  let result =
+    {
+      starts = List.sort_uniq Stdlib.compare starts;
+      visited = counters.Counters.tuples_read;
+      candidates;
+      counters;
+    }
+  in
+  (result, Blas_obs.Analyze.Collector.roots collector)
+
+(** [run_build_analyze ?algorithm ~label counters build] — analyze a
+    pattern built by [build] (the D-labeling baseline path): [build]
+    receives the wrap hook to install around each pattern node it
+    constructs, and must charge its reads to [counters]. *)
+let run_build_analyze ?(algorithm = `Classic) ~label counters build =
+  let collector =
+    Blas_obs.Analyze.Collector.create ~snapshot:(snapshot_of counters)
+  in
+  let starts, stats =
+    Blas_obs.Analyze.Collector.wrap collector ~kind:"twig-join" ~label
+      ~rows:(fun (s, _) -> List.length s)
+      (fun () -> execute algorithm (build ~wrap:(stream_wrap collector)))
+  in
+  let result =
+    {
+      starts = List.sort_uniq Stdlib.compare starts;
+      visited = counters.Counters.tuples_read;
+      candidates = stats.Blas_twig.Twig_stack.candidates;
+      counters;
+    }
+  in
+  let root =
+    match Blas_obs.Analyze.Collector.roots collector with
+    | [ root ] -> root
+    | _ -> assert false
+  in
+  (result, root)

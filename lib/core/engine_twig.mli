@@ -14,10 +14,19 @@ type result = {
   counters : Blas_rel.Counters.t;
 }
 
+(** EXPLAIN ANALYZE hook installed around each pattern node's
+    construction (children nest inside the parent's call). *)
+type wrap =
+  label:string -> (unit -> Blas_twig.Pattern.node) -> Blas_twig.Pattern.node
+
 (** [pattern_of_branch storage counters branch] roots the join tree and
     materializes every item's stream. *)
 val pattern_of_branch :
-  Storage.t -> Blas_rel.Counters.t -> Suffix_query.t -> Blas_twig.Pattern.node
+  ?wrap:wrap ->
+  Storage.t ->
+  Blas_rel.Counters.t ->
+  Suffix_query.t ->
+  Blas_twig.Pattern.node
 
 (** [run ?algorithm storage branches] executes a decomposed query (a
     union of branches).  [`Classic] (default) is the original
@@ -35,3 +44,25 @@ val run_pattern :
   Blas_twig.Pattern.node ->
   Blas_rel.Counters.t ->
   result
+
+(** [run_analyze ?algorithm storage branches] — like {!run}, also
+    returning one annotated tree per union branch: a [twig-join] root
+    (rows = branch answers) over one [stream] node per suffix-path item
+    (rows = stream entries; I/O = that stream's scan).  Summing [self]
+    over all trees reconciles with [result.counters]. *)
+val run_analyze :
+  ?algorithm:[ `Classic | `Merge ] ->
+  Storage.t ->
+  Suffix_query.t list ->
+  result * Blas_obs.Analyze.node list
+
+(** [run_build_analyze ?algorithm ~label counters build] — analyze a
+    pattern built by [build] (the D-labeling baseline path): [build]
+    receives the wrap hook to install around each pattern node it
+    constructs and must charge its stream reads to [counters]. *)
+val run_build_analyze :
+  ?algorithm:[ `Classic | `Merge ] ->
+  label:string ->
+  Blas_rel.Counters.t ->
+  (wrap:wrap -> Blas_twig.Pattern.node) ->
+  result * Blas_obs.Analyze.node

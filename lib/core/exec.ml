@@ -1,6 +1,13 @@
 (** Translator and engine dispatch — the execution machinery shared by
     the {!Blas} facade and {!Collection}.  See {!Blas} for the
-    user-facing documentation of these types and functions. *)
+    user-facing documentation of these types and functions.
+
+    Observability: every run can be traced ({!run}'s [?tracer] wraps the
+    translate / compile / execute phases in {!Blas_obs.Trace} spans),
+    recorded ({!set_metrics} installs a registry that receives query
+    counts, latency histograms and I/O totals), or analyzed
+    ({!run_analyze} returns the annotated operator tree).  All three are
+    off by default and cost nothing when off. *)
 
 let log_src = Logs.Src.create "blas" ~doc:"BLAS query processing"
 
@@ -30,7 +37,43 @@ type report = {
   page_reads : int;  (** buffer-pool misses — modelled disk accesses *)
   plan_djoins : int;  (** D-joins in the executed plan *)
   sql : Blas_rel.Sql_ast.t option;  (** the generated SQL ([None]: provably empty) *)
+  counters : Blas_rel.Counters.t;  (** the full cost vector of this run *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics sink                                                       *)
+
+(* [None] (the default) means fully disabled: {!record_metrics} is one
+   dereference and a match. *)
+let metrics_sink : Blas_obs.Metrics.t option ref = ref None
+
+(** [set_metrics registry] installs (or, with [None], removes) the
+    registry that receives per-query metrics: [blas.queries],
+    [blas.query.latency_ns] (both labelled by engine and translator),
+    [blas.tuples.read] and [blas.pages.read]. *)
+let set_metrics registry = metrics_sink := registry
+
+let record_metrics ~engine ~translator ~elapsed_ns
+    (counters : Blas_rel.Counters.t) =
+  match !metrics_sink with
+  | None -> ()
+  | Some registry ->
+    let labels =
+      [ ("engine", engine_name engine); ("translator", translator_name translator) ]
+    in
+    Blas_obs.Metrics.incr (Blas_obs.Metrics.counter registry ~labels "blas.queries");
+    Blas_obs.Metrics.observe
+      (Blas_obs.Metrics.histogram registry ~labels "blas.query.latency_ns")
+      (Int64.to_float elapsed_ns);
+    Blas_obs.Metrics.add
+      (Blas_obs.Metrics.counter registry "blas.tuples.read")
+      counters.Blas_rel.Counters.tuples_read;
+    Blas_obs.Metrics.add
+      (Blas_obs.Metrics.counter registry "blas.pages.read")
+      counters.Blas_rel.Counters.page_reads
+
+(* ------------------------------------------------------------------ *)
+(* Translation                                                        *)
 
 (** [decompose storage translator q] — the suffix-path decomposition
     (union branches) a BLAS translator produces.
@@ -79,52 +122,184 @@ let plan_for storage translator q =
     (Blas_rel.Sql_compile.compile ~catalog:(Storage.catalog storage))
     (sql_for storage translator q)
 
-(** [run storage ~engine ~translator q] — translate and execute. *)
-let run storage ~engine ~translator q =
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+
+let empty_report sql =
+  {
+    starts = [];
+    visited = 0;
+    page_reads = 0;
+    plan_djoins = 0;
+    sql;
+    counters = Blas_rel.Counters.create ();
+  }
+
+let report_of_counters ~starts ~plan_djoins ~sql (counters : Blas_rel.Counters.t)
+    =
+  {
+    starts;
+    visited = counters.Blas_rel.Counters.tuples_read;
+    page_reads = counters.Blas_rel.Counters.page_reads;
+    plan_djoins;
+    sql;
+    counters;
+  }
+
+let twig_plan_djoins branches =
+  List.fold_left (fun acc b -> acc + Suffix_query.djoin_count b) 0 branches
+
+(** [run ?tracer storage ~engine ~translator q] — translate and execute.
+    With an enabled [tracer], the run is recorded as a [query] span over
+    [translate] / [compile] / [execute] (RDBMS) or [decompose] /
+    [execute] ([build-streams] / [execute] for the D-labeling baseline)
+    child spans. *)
+let run ?(tracer = Blas_obs.Trace.disabled) storage ~engine ~translator q =
   Log.debug (fun m ->
       m "run %s on %s: %s" (translator_name translator) (engine_name engine)
         (Blas_xpath.Pretty.to_string q));
-  let misses_before = Blas_rel.Buffer_pool.misses (Storage.pool storage) in
-  let page_reads () =
-    Blas_rel.Buffer_pool.misses (Storage.pool storage) - misses_before
+  let span name f = Blas_obs.Trace.with_span tracer name f in
+  let t0 = Blas_obs.Clock.now_ns () in
+  let report =
+    Blas_obs.Trace.with_span tracer "query"
+      ~attrs:
+        [
+          ("engine", engine_name engine);
+          ("translator", translator_name translator);
+          ("query", Blas_xpath.Pretty.to_string q);
+        ]
+    @@ fun () ->
+    match engine with
+    | Rdbms -> (
+      let sql = span "translate" (fun () -> sql_for storage translator q) in
+      match sql with
+      | None -> empty_report None
+      | Some s ->
+        let plan =
+          span "compile" (fun () ->
+              Blas_rel.Sql_compile.compile ~catalog:(Storage.catalog storage) s)
+        in
+        let counters = Blas_rel.Counters.create () in
+        let relation =
+          span "execute" (fun () -> Blas_rel.Executor.run ~counters plan)
+        in
+        let starts =
+          span "materialize" (fun () -> Engine_rdbms.starts_of_relation relation)
+        in
+        report_of_counters ~starts
+          ~plan_djoins:(Blas_rel.Algebra.count_djoins plan)
+          ~sql counters)
+    | Twig -> (
+      match translator with
+      | D_labeling ->
+        let counters = Blas_rel.Counters.create () in
+        let pattern =
+          span "build-streams" (fun () ->
+              fst (Baseline.to_pattern storage ~counters q))
+        in
+        let result =
+          span "execute" (fun () -> Engine_twig.run_pattern pattern counters)
+        in
+        report_of_counters ~starts:result.Engine_twig.starts
+          ~plan_djoins:(Blas_xpath.Ast.step_count q - 1)
+          ~sql:None counters
+      | _ ->
+        let branches =
+          span "decompose" (fun () -> decompose storage translator q)
+        in
+        let result = span "execute" (fun () -> Engine_twig.run storage branches) in
+        report_of_counters ~starts:result.Engine_twig.starts
+          ~plan_djoins:(twig_plan_djoins branches)
+          ~sql:None result.Engine_twig.counters)
   in
+  record_metrics ~engine ~translator
+    ~elapsed_ns:(Blas_obs.Clock.elapsed_ns t0)
+    report.counters;
+  report
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE                                                    *)
+
+(** [run_analyze ?tracer storage ~engine ~translator q] — like {!run},
+    also returning the annotated operator tree: a [query] root (rows =
+    answers) over the executed physical plan (RDBMS) or the per-branch
+    twig joins (twig engine).  Summing [self] over the tree reconciles
+    exactly with [report.counters]. *)
+let run_analyze ?(tracer = Blas_obs.Trace.disabled) storage ~engine ~translator
+    q =
+  let span name f = Blas_obs.Trace.with_span tracer name f in
+  let t0 = Blas_obs.Clock.now_ns () in
+  let finish report children =
+    let root =
+      Blas_obs.Analyze.make
+        ~label:
+          (Format.sprintf "query %s [%s on %s]"
+             (Blas_xpath.Pretty.to_string q)
+             (translator_name translator)
+             (engine_name engine))
+        ~kind:"query"
+        ~rows:(List.length report.starts)
+        ~elapsed_ns:(Blas_obs.Clock.elapsed_ns t0)
+        children
+    in
+    record_metrics ~engine ~translator ~elapsed_ns:root.Blas_obs.Analyze.elapsed_ns
+      report.counters;
+    (report, root)
+  in
+  Blas_obs.Trace.with_span tracer "query"
+    ~attrs:
+      [
+        ("engine", engine_name engine);
+        ("translator", translator_name translator);
+        ("query", Blas_xpath.Pretty.to_string q);
+        ("mode", "analyze");
+      ]
+  @@ fun () ->
   match engine with
-  | Rdbms ->
-    let sql = sql_for storage translator q in
-    let result = Engine_rdbms.run_opt storage sql in
-    {
-      starts = result.Engine_rdbms.starts;
-      visited = result.counters.Blas_rel.Counters.tuples_read;
-      page_reads = page_reads ();
-      plan_djoins =
-        (match result.plan with
-        | Some p -> Blas_rel.Algebra.count_djoins p
-        | None -> 0);
-      sql;
-    }
+  | Rdbms -> (
+    let sql = span "translate" (fun () -> sql_for storage translator q) in
+    match sql with
+    | None -> finish (empty_report None) []
+    | Some s ->
+      let plan =
+        span "compile" (fun () ->
+            Blas_rel.Sql_compile.compile ~catalog:(Storage.catalog storage) s)
+      in
+      let counters = Blas_rel.Counters.create () in
+      let relation, tree =
+        span "execute" (fun () -> Blas_rel.Executor.run_analyze ~counters plan)
+      in
+      let starts = Engine_rdbms.starts_of_relation relation in
+      finish
+        (report_of_counters ~starts
+           ~plan_djoins:(Blas_rel.Algebra.count_djoins plan)
+           ~sql counters)
+        [ tree ])
   | Twig -> (
     match translator with
     | D_labeling ->
-      let pattern, counters = Baseline.to_pattern storage q in
-      let result = Engine_twig.run_pattern pattern counters in
-      {
-        starts = result.Engine_twig.starts;
-        visited = result.visited;
-        page_reads = page_reads ();
-        plan_djoins = Blas_xpath.Ast.step_count q - 1;
-        sql = None;
-      }
+      let counters = Blas_rel.Counters.create () in
+      let result, tree =
+        span "execute" (fun () ->
+            Engine_twig.run_build_analyze ~label:"twig join (D-labeling)"
+              counters (fun ~wrap ->
+                fst (Baseline.to_pattern storage ~counters ~wrap q)))
+      in
+      finish
+        (report_of_counters ~starts:result.Engine_twig.starts
+           ~plan_djoins:(Blas_xpath.Ast.step_count q - 1)
+           ~sql:None counters)
+        [ tree ]
     | _ ->
-      let branches = decompose storage translator q in
-      let result = Engine_twig.run storage branches in
-      {
-        starts = result.Engine_twig.starts;
-        visited = result.visited;
-        page_reads = page_reads ();
-        plan_djoins =
-          List.fold_left (fun acc b -> acc + Suffix_query.djoin_count b) 0 branches;
-        sql = None;
-      })
+      let branches = span "decompose" (fun () -> decompose storage translator q) in
+      let result, trees =
+        span "execute" (fun () -> Engine_twig.run_analyze storage branches)
+      in
+      finish
+        (report_of_counters ~starts:result.Engine_twig.starts
+           ~plan_djoins:(twig_plan_djoins branches)
+           ~sql:None result.Engine_twig.counters)
+        trees)
 
 (** [answers storage ~engine ~translator q] — just the result set. *)
 let answers storage ~engine ~translator q = (run storage ~engine ~translator q).starts
@@ -132,4 +307,3 @@ let answers storage ~engine ~translator q = (run storage ~engine ~translator q).
 (** [oracle storage q] — the naive tree-pattern evaluator, the
     correctness reference. *)
 let oracle (storage : Storage.t) q = Blas_xpath.Naive_eval.starts storage.doc q
-

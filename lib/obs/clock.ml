@@ -1,0 +1,37 @@
+(** The nanosecond clock behind spans, histograms and EXPLAIN ANALYZE.
+
+    The default source derives nanoseconds from [Unix.gettimeofday] and
+    clamps it to be monotone (a wall-clock step backwards never produces
+    a negative duration).  Harnesses with access to a real monotonic
+    clock — the benchmark suite links bechamel's — install it with
+    {!set_source} so every observability timestamp shares one clock. *)
+
+let last = ref 0L
+
+let default_source () =
+  Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let source = ref default_source
+
+let set_source f = source := f
+
+(** [now_ns ()] — current time in nanoseconds, monotone non-decreasing. *)
+let now_ns () =
+  let t = !source () in
+  if Int64.compare t !last > 0 then last := t;
+  !last
+
+(** [elapsed_ns since] — nanoseconds from [since] to now (>= 0). *)
+let elapsed_ns since = Int64.sub (now_ns ()) since
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+(** Human-readable duration: picks ns/us/ms/s by magnitude. *)
+let pp_duration ppf ns =
+  let f = Int64.to_float ns in
+  if f < 1e3 then Format.fprintf ppf "%.0fns" f
+  else if f < 1e6 then Format.fprintf ppf "%.1fus" (f /. 1e3)
+  else if f < 1e9 then Format.fprintf ppf "%.2fms" (f /. 1e6)
+  else Format.fprintf ppf "%.3fs" (f /. 1e9)

@@ -1,0 +1,112 @@
+(** A minimal JSON document type and printer.
+
+    The observability exporters (metrics snapshots, span trees, EXPLAIN
+    ANALYZE output, the benchmark harness's [BENCH_results.json]) need
+    to emit machine-readable output; the toolchain has no JSON library
+    baked in, so this is the small value type plus a standards-compliant
+    serializer (RFC 8259 string escaping, no NaN/Infinity leakage). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* JSON has no NaN or Infinity; map them to null so the document stays
+   parseable whatever a benchmark measured. *)
+let float_repr f =
+  if Float.is_nan f || Float.abs f = Float.infinity then None
+  else Some (Printf.sprintf "%.17g" f)
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> (
+    match float_repr f with
+    | None -> Buffer.add_string b "null"
+    | Some s -> Buffer.add_string b s)
+  | Str s -> escape_string b s
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char b ',';
+        write b item)
+      items;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape_string b k;
+        Buffer.add_char b ':';
+        write b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string json =
+  let b = Buffer.create 256 in
+  write b json;
+  Buffer.contents b
+
+(* Pretty printer: two-space indentation, one field per line — the shape
+   a human diffing two BENCH_results.json files wants. *)
+let rec write_pretty b indent = function
+  | (Null | Bool _ | Int _ | Float _ | Str _) as atom -> write b atom
+  | List [] -> Buffer.add_string b "[]"
+  | Obj [] -> Buffer.add_string b "{}"
+  | List items ->
+    let pad = String.make (indent + 2) ' ' in
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad;
+        write_pretty b (indent + 2) item)
+      items;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (String.make indent ' ');
+    Buffer.add_char b ']'
+  | Obj fields ->
+    let pad = String.make (indent + 2) ' ' in
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad;
+        escape_string b k;
+        Buffer.add_string b ": ";
+        write_pretty b (indent + 2) v)
+      fields;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (String.make indent ' ');
+    Buffer.add_char b '}'
+
+let to_string_pretty json =
+  let b = Buffer.create 1024 in
+  write_pretty b 0 json;
+  Buffer.contents b
+
+let pp ppf json = Format.pp_print_string ppf (to_string json)

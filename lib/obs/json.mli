@@ -1,0 +1,21 @@
+(** A minimal JSON document type and printer (no external dependency).
+
+    Serialization is RFC 8259 compliant: strings are escaped, and NaN or
+    infinite floats — which JSON cannot represent — become [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact single-line serialization. *)
+val to_string : t -> string
+
+(** Two-space-indented serialization, one field per line. *)
+val to_string_pretty : t -> string
+
+val pp : Format.formatter -> t -> unit

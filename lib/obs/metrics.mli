@@ -1,0 +1,71 @@
+(** The metrics registry: named counters, gauges and log-scale latency
+    histograms (p50/p95/p99), with aligned-text and JSON exporters.
+
+    Metrics are identified by name plus an optional label set.  Resolve
+    the handle once ({!counter}, {!gauge}, {!histogram} are hash-table
+    probes) and record through it (a single field update). *)
+
+type t
+
+val create : unit -> t
+
+(** The process-wide default registry. *)
+val default : t
+
+(** Drops every registered metric. *)
+val clear : t -> unit
+
+(** {2 Counters} *)
+
+type counter
+
+(** [counter t name] — the counter registered under [name] (+ labels),
+    created at zero on first use.
+    @raise Invalid_argument if the name is taken by another kind. *)
+val counter : t -> ?labels:(string * string) list -> string -> counter
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+(** {2 Gauges} *)
+
+type gauge
+
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+(** {2 Histograms} *)
+
+type histogram
+
+(** [histogram t name] — a geometric-bucket histogram
+    ([buckets_per_decade] defaults to 4, i.e. a factor ~1.78 between
+    bucket bounds) covering 10^0 .. 10^15 — nanoseconds to ~11 days. *)
+val histogram :
+  t -> ?buckets_per_decade:int -> ?labels:(string * string) list -> string -> histogram
+
+val observe : histogram -> float -> unit
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> float
+
+val hist_mean : histogram -> float
+
+(** [percentile h p] — the estimated [p]-th percentile (0 < p <= 100),
+    accurate to one bucket ratio and clamped to the observed min/max;
+    [nan] when empty. *)
+val percentile : histogram -> float -> float
+
+(** {2 Exporters} *)
+
+(** Aligned-text dump, one metric per line in registration order. *)
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t

@@ -1,0 +1,108 @@
+(** Hierarchical span tracing for the query lifecycle.
+
+    A tracer owns a stack of open spans; {!with_span} opens a child of
+    the innermost open span (or a new root), runs the thunk, and records
+    the monotonic-clock duration.  The intended taxonomy for one query
+    is [query] > [parse] / [load] / [decompose] / [translate] /
+    [compile] / [execute] / [materialize] — see DESIGN.md Section 9.
+
+    A disabled tracer is a no-op sink: {!with_span} costs one boolean
+    test and no allocation, so instrumentation can stay in place on
+    production paths (the benchmark harness's overhead check holds this
+    to < 5% on the Figure 13 headline query). *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_ns : int64;
+  mutable duration_ns : int64;
+  mutable sub : span list;  (* children, newest first while open *)
+}
+
+let children span = List.rev span.sub
+
+type t = {
+  mutable on : bool;
+  mutable stack : span list;  (* open spans, innermost first *)
+  mutable finished : span list;  (* completed roots, newest first *)
+}
+
+let create ?(enabled = true) () = { on = enabled; stack = []; finished = [] }
+
+(** The shared no-op sink. *)
+let disabled = create ~enabled:false ()
+
+let enabled t = t.on
+
+let set_enabled t on = t.on <- on
+
+let clear t =
+  t.stack <- [];
+  t.finished <- []
+
+(** Completed root spans, oldest first. *)
+let roots t = List.rev t.finished
+
+let with_span t ?(attrs = []) name f =
+  if not t.on then f ()
+  else begin
+    let span =
+      { name; attrs; start_ns = Clock.now_ns (); duration_ns = 0L; sub = [] }
+    in
+    t.stack <- span :: t.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        span.duration_ns <- Clock.elapsed_ns span.start_ns;
+        (match t.stack with
+        | top :: rest when top == span -> t.stack <- rest
+        | _ -> () (* a nested span leaked; leave the stack alone *));
+        match t.stack with
+        | parent :: _ -> parent.sub <- span :: parent.sub
+        | [] -> t.finished <- span :: t.finished)
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                          *)
+
+let rec pp_span ~total_ns ppf span =
+  let pct =
+    if Int64.compare total_ns 0L > 0 then
+      100. *. Int64.to_float span.duration_ns /. Int64.to_float total_ns
+    else 0.
+  in
+  Format.fprintf ppf "@[<v 2>%s  %a (%.1f%%)%s" span.name Clock.pp_duration
+    span.duration_ns pct
+    (match span.attrs with
+    | [] -> ""
+    | attrs ->
+      "  "
+      ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs));
+  List.iter
+    (fun child -> Format.fprintf ppf "@,%a" (pp_span ~total_ns) child)
+    (children span);
+  Format.fprintf ppf "@]"
+
+(** Renders every completed root span as an indented tree; percentages
+    are relative to each root's duration. *)
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut
+    (fun ppf root -> pp_span ~total_ns:root.duration_ns ppf root)
+    ppf (roots t)
+
+let rec span_to_json span =
+  Json.Obj
+    ([
+       ("name", Json.Str span.name);
+       ("duration_ns", Json.Int (Int64.to_int span.duration_ns));
+     ]
+    @ (match span.attrs with
+      | [] -> []
+      | attrs ->
+        [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)) ])
+    @
+    match children span with
+    | [] -> []
+    | kids -> [ ("children", Json.List (List.map span_to_json kids)) ])
+
+let to_json t = Json.List (List.map span_to_json (roots t))

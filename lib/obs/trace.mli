@@ -1,0 +1,41 @@
+(** Hierarchical span tracing for the query lifecycle
+    (query > parse / load / decompose / translate / compile / execute /
+    materialize).  A disabled tracer is a no-op sink: {!with_span} costs
+    one boolean test and no allocation. *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_ns : int64;
+  mutable duration_ns : int64;
+  mutable sub : span list;
+}
+
+(** A span's children, oldest first. *)
+val children : span -> span list
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+
+(** The shared no-op sink. *)
+val disabled : t
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+(** [with_span t name f] runs [f] inside a span named [name], nested
+    under the innermost open span.  The span is recorded even if [f]
+    raises.  On a disabled tracer this is exactly [f ()]. *)
+val with_span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Completed root spans, oldest first. *)
+val roots : t -> span list
+
+val clear : t -> unit
+
+(** Indented span tree with durations and percent-of-root. *)
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t

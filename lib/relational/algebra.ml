@@ -196,3 +196,41 @@ let rec pp ppf = function
   | Distinct p -> Format.fprintf ppf "δ(%a)" pp p
 
 let to_string plan = Format.asprintf "%a" pp plan
+
+(* ------------------------------------------------------------------ *)
+(* Shallow, one-line descriptions for EXPLAIN ANALYZE trees            *)
+
+let node_kind = function
+  | Access _ -> "access"
+  | Select _ -> "select"
+  | Project _ -> "project"
+  | Theta_join _ -> "theta-join"
+  | Djoin _ -> "djoin"
+  | Union _ -> "union"
+  | Distinct _ -> "distinct"
+
+(** [describe plan] — a one-line label for [plan]'s topmost operator
+    (children are not rendered; an analyze tree shows them as child
+    nodes). *)
+let describe = function
+  | Access { table; alias; path; residual } ->
+    Format.asprintf "%s %a(%s)%s" alias pp_path path (Table.name table)
+      (match residual with
+      | True -> ""
+      | p -> Format.asprintf " ^ %a" pp_pred p)
+  | Select (p, _) -> Format.asprintf "σ[%a]" pp_pred p
+  | Project (cols, _) -> Format.sprintf "π[%s]" (String.concat ", " cols)
+  | Theta_join (p, _, _) -> Format.asprintf "⋈[%a]" pp_pred p
+  | Djoin (d, _, _) ->
+    let gap =
+      match d.gap with
+      | Any_gap -> ""
+      | Exact_gap { anc_level; desc_level; k } ->
+        Format.sprintf " ^ %s = %s + %d" desc_level anc_level k
+      | Min_gap { anc_level; desc_level; k } ->
+        Format.sprintf " ^ %s >= %s + %d" desc_level anc_level k
+    in
+    Format.sprintf "⋈D[%s < %s ^ %s > %s%s]" d.anc_start d.desc_start d.anc_end
+      d.desc_end gap
+  | Union ps -> Format.sprintf "∪ (%d branches)" (List.length ps)
+  | Distinct _ -> "δ"

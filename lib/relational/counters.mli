@@ -3,7 +3,9 @@
     The paper's evaluation reports two engine-independent costs next to
     wall-clock time: the number of joins in a plan and the number of
     elements read ("Visited elements" in Figures 14-18).  Every access
-    method and join operator charges these counters. *)
+    method and join operator charges these counters; buffer-pool page
+    traffic is charged to the same vector, so every report shares one
+    coherent cost model. *)
 
 type t = {
   mutable tuples_read : int;  (** tuples fetched from base tables *)
@@ -11,6 +13,9 @@ type t = {
   mutable djoins : int;  (** structural (D-) joins executed *)
   mutable theta_joins : int;  (** generic joins executed *)
   mutable intermediate : int;  (** tuples materialized between operators *)
+  mutable page_requests : int;  (** buffer-pool page requests *)
+  mutable page_reads : int;  (** pool misses — modelled disk reads *)
+  mutable page_writes : int;  (** pages written through the pool *)
 }
 
 val create : unit -> t

@@ -1,6 +1,12 @@
 (** Plan execution: materialized, operator-at-a-time evaluation of
     {!Algebra.plan}, charging {!Counters} for base-table reads, joins and
-    intermediate results. *)
+    intermediate results.
+
+    {!run_analyze} evaluates the same way but wraps every operator in an
+    {!Blas_obs.Analyze.Collector} frame, producing an annotated plan
+    tree with actual row counts, elapsed time, index seeks and
+    buffer-pool traffic per node.  The plain {!run} path pays only one
+    no-op closure call per plan node for this hook. *)
 
 exception Error of string
 
@@ -11,8 +17,11 @@ let find_col schema name =
   | Some i -> i
   | None -> error "unknown column %s in schema %a" name Schema.pp schema
 
-(* Evaluates to (schema, tuple list). *)
-let rec eval counters plan =
+(* Evaluates to (schema, tuple list).  [wrap] intercepts every operator
+   evaluation — the identity for plain runs, a collector frame for
+   EXPLAIN ANALYZE. *)
+let rec eval_wrapped wrap counters plan =
+  wrap plan @@ fun () ->
   match plan with
   | Algebra.Access { table; alias; path; residual } ->
     let base_schema = Table.schema table in
@@ -36,15 +45,15 @@ let rec eval counters plan =
     in
     (qualified, tuples)
   | Algebra.Select (pred, sub) ->
-    let schema, tuples = eval counters sub in
+    let schema, tuples = eval_wrapped wrap counters sub in
     (schema, List.filter (Algebra.eval_pred schema pred) tuples)
   | Algebra.Project (columns, sub) ->
-    let schema, tuples = eval counters sub in
+    let schema, tuples = eval_wrapped wrap counters sub in
     let indices = Array.of_list (List.map (find_col schema) columns) in
     (Schema.of_list columns, List.map (Tuple.project indices) tuples)
   | Algebra.Theta_join (pred, left, right) ->
-    let ls, lt = eval counters left in
-    let rs, rt = eval counters right in
+    let ls, lt = eval_wrapped wrap counters left in
+    let rs, rt = eval_wrapped wrap counters right in
     counters.Counters.theta_joins <- counters.Counters.theta_joins + 1;
     let schema = Schema.concat ls rs in
     let out =
@@ -60,8 +69,8 @@ let rec eval counters plan =
     counters.Counters.intermediate <- counters.Counters.intermediate + List.length out;
     (schema, out)
   | Algebra.Djoin (spec, left, right) ->
-    let ls, lt = eval counters left in
-    let rs, rt = eval counters right in
+    let ls, lt = eval_wrapped wrap counters left in
+    let rs, rt = eval_wrapped wrap counters right in
     counters.Counters.djoins <- counters.Counters.djoins + 1;
     let side schema start_col end_col =
       {
@@ -91,11 +100,11 @@ let rec eval counters plan =
     (Schema.concat ls rs, out)
   | Algebra.Union [] -> error "empty union"
   | Algebra.Union (first :: rest) ->
-    let schema, tuples = eval counters first in
+    let schema, tuples = eval_wrapped wrap counters first in
     let tuples =
       List.fold_left
         (fun acc sub ->
-          let s, t = eval counters sub in
+          let s, t = eval_wrapped wrap counters sub in
           if not (Schema.equal s schema) then
             error "union schema mismatch: %a vs %a" Schema.pp schema Schema.pp s;
           acc @ t)
@@ -103,11 +112,47 @@ let rec eval counters plan =
     in
     (schema, tuples)
   | Algebra.Distinct sub ->
-    let schema, tuples = eval counters sub in
+    let schema, tuples = eval_wrapped wrap counters sub in
     let relation = Relation.distinct (Relation.make schema (Array.of_list tuples)) in
     (schema, Array.to_list (Relation.tuples relation))
+
+let no_wrap _plan f = f ()
+
+let eval counters plan = eval_wrapped no_wrap counters plan
 
 (** [run ?counters plan] executes [plan] and materializes the result. *)
 let run ?(counters = Counters.create ()) plan =
   let schema, tuples = eval counters plan in
+  Rel_log.Log.debug (fun m ->
+      m "executed plan: %d rows, %a" (List.length tuples) Counters.pp counters);
   Relation.make schema (Array.of_list tuples)
+
+(** The stats snapshot EXPLAIN ANALYZE diffs around each operator. *)
+let snapshot_of counters () =
+  {
+    Blas_obs.Analyze.read = counters.Counters.tuples_read;
+    seeks = counters.Counters.index_seeks;
+    page_requests = counters.Counters.page_requests;
+    page_reads = counters.Counters.page_reads;
+  }
+
+(** [run_analyze ?counters plan] — like {!run}, also returning the
+    annotated plan tree: per node, actual output rows, elapsed time,
+    and the tuples/seeks/pages charged by that node itself. *)
+let run_analyze ?(counters = Counters.create ()) plan =
+  let collector =
+    Blas_obs.Analyze.Collector.create ~snapshot:(snapshot_of counters)
+  in
+  let wrap node f =
+    Blas_obs.Analyze.Collector.wrap collector ~kind:(Algebra.node_kind node)
+      ~label:(Algebra.describe node)
+      ~rows:(fun (_, tuples) -> List.length tuples)
+      f
+  in
+  let schema, tuples = eval_wrapped wrap counters plan in
+  let root =
+    match Blas_obs.Analyze.Collector.roots collector with
+    | [ root ] -> root
+    | _ -> assert false (* eval wraps exactly one top-level operator *)
+  in
+  (Relation.make schema (Array.of_list tuples), root)

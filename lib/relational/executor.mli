@@ -8,3 +8,11 @@ exception Error of string
     @raise Error on unknown columns, empty unions or schema
     mismatches. *)
 val run : ?counters:Counters.t -> Algebra.plan -> Relation.t
+
+(** [run_analyze ?counters plan] — like {!run}, also returning the
+    EXPLAIN ANALYZE tree: one {!Blas_obs.Analyze.node} per executed
+    operator with actual rows, elapsed time, seeks and page traffic.
+    The per-node [self] charges sum exactly to the totals charged to
+    [counters] by this run. *)
+val run_analyze :
+  ?counters:Counters.t -> Algebra.plan -> Relation.t * Blas_obs.Analyze.node

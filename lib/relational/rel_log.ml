@@ -1,0 +1,6 @@
+(** The [blas_rel] log source — one {!Logs.Src} per library, so
+    [BLAS_LOG=blas_rel=debug] can turn on just the relational engine. *)
+
+let src = Logs.Src.create "blas_rel" ~doc:"BLAS relational engine"
+
+module Log = (val Logs.src_log src)

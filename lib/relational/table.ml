@@ -65,25 +65,36 @@ let create ?pool ?(page_rows = 64) ~name ~schema ~cluster_key ~indexes tuples =
     wanted;
   table
 
-(* Requests the pages behind a list of row ids (already sorted, so
-   consecutive clustered rows coalesce into one request per page). *)
-let touch_pages t rows =
+(* Charges one page request (and, on a miss, one page read) to the
+   run's counters — the unified cost vector of {!Counters}. *)
+let request_page t counters page =
   match t.pool with
   | None -> ()
   | Some pool ->
+    counters.Counters.page_requests <- counters.Counters.page_requests + 1;
+    (match Buffer_pool.access pool ~table:t.name ~page with
+    | `Hit -> ()
+    | `Miss -> counters.Counters.page_reads <- counters.Counters.page_reads + 1)
+
+(* Requests the pages behind a list of row ids (already sorted, so
+   consecutive clustered rows coalesce into one request per page). *)
+let touch_pages t counters rows =
+  match t.pool with
+  | None -> ()
+  | Some _ ->
     let last = ref (-1) in
     List.iter
       (fun row ->
         let page = row / t.page_rows in
         if page <> !last then begin
           last := page;
-          ignore (Buffer_pool.access pool ~table:t.name ~page)
+          request_page t counters page
         end)
       rows
 
 let fetch_rows t counters rows =
   counters.Counters.tuples_read <- counters.Counters.tuples_read + List.length rows;
-  touch_pages t rows;
+  touch_pages t counters rows;
   let tuples = Relation.tuples t.relation in
   List.map (fun row -> tuples.(row)) rows
 
@@ -93,9 +104,9 @@ let scan t counters =
   counters.Counters.tuples_read <- counters.Counters.tuples_read + Array.length tuples;
   (match t.pool with
   | None -> ()
-  | Some pool ->
+  | Some _ ->
     for page = 0 to (Array.length tuples - 1) / t.page_rows do
-      ignore (Buffer_pool.access pool ~table:t.name ~page)
+      request_page t counters page
     done);
   Array.to_list tuples
 
@@ -159,7 +170,7 @@ let rebuild_indexes t =
 
 (* Writes the distinct pages behind a list of row ids through the pool;
    returns how many pages that is. *)
-let write_pages t rows =
+let write_pages t counters rows =
   let pages =
     List.sort_uniq Stdlib.compare (List.map (fun row -> row / t.page_rows) rows)
   in
@@ -167,7 +178,12 @@ let write_pages t rows =
   | None -> ()
   | Some pool ->
     List.iter
-      (fun page -> ignore (Buffer_pool.write pool ~table:t.name ~page))
+      (fun page ->
+        counters.Counters.page_writes <- counters.Counters.page_writes + 1;
+        counters.Counters.page_requests <- counters.Counters.page_requests + 1;
+        match Buffer_pool.write pool ~table:t.name ~page with
+        | `Hit -> ()
+        | `Miss -> counters.Counters.page_reads <- counters.Counters.page_reads + 1)
       pages);
   List.length pages
 
@@ -259,7 +275,8 @@ let apply_edits t counters ~deletes ~inserts =
   counters.Counters.index_seeks <-
     counters.Counters.index_seeks
     + ((nd + kb) * List.length (indexed_columns t));
-  write_pages t (List.rev !deleted_rows) + write_pages t (List.rev !inserted_rows)
+  write_pages t counters (List.rev !deleted_rows)
+  + write_pages t counters (List.rev !inserted_rows)
 
 (** The table's buffer pool, when disk modelling is on. *)
 let pool t = t.pool

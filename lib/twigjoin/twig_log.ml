@@ -1,0 +1,6 @@
+(** The [blas_twig] log source — one {!Logs.Src} per library, so
+    [BLAS_LOG=blas_twig=debug] can turn on just the twig-join engine. *)
+
+let src = Logs.Src.create "blas_twig" ~doc:"BLAS holistic twig-join engine"
+
+module Log = (val Logs.src_log src)

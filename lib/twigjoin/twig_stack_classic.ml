@@ -175,9 +175,14 @@ let run (pattern : Pattern.node) =
     |> List.filter_map (fun (c : Twig_stack.cand) ->
            if c.alive then Some c.entry.Entry.start else None)
   in
-  ( results,
+  let stats =
     {
       visited = Pattern.visited_elements pattern;
       candidates = count shared;
       results = List.length results;
-    } )
+    }
+  in
+  Twig_log.Log.debug (fun m ->
+      m "twig join %s: visited=%d candidates=%d results=%d"
+        pattern.Pattern.label stats.visited stats.candidates stats.results);
+  (results, stats)

@@ -60,6 +60,44 @@ let pp_report ppf r =
     (if r.table_rebuilt then " (tag table rebuilt)" else "")
 
 (* ------------------------------------------------------------------ *)
+(* Metrics sink                                                       *)
+
+(* [None] (the default) disables recording entirely. *)
+let metrics_sink : Blas_obs.Metrics.t option ref = ref None
+
+(** [set_metrics (Some registry)] installs the registry that receives
+    per-edit metrics: [blas.update.ops] and [blas.update.latency_ns]
+    (labelled by op), [blas.update.pages_written],
+    [blas.update.nodes_relabeled], [blas.update.relabel_escalations]
+    (labelled localized/whole) and [blas.update.table_rebuilds]. *)
+let set_metrics registry = metrics_sink := registry
+
+(* Finishes an edit: logs its report and, with a sink installed, charges
+   the update metrics.  [escalation] says how far the D-label
+   renumbering had to reach (None: the gap sufficed). *)
+let record ~op ?escalation t0 (report : report) =
+  Update_log.Log.debug (fun m -> m "%s: %a" op pp_report report);
+  (match !metrics_sink with
+  | None -> ()
+  | Some registry ->
+    let open Blas_obs.Metrics in
+    incr (counter registry ~labels:[ ("op", op) ] "blas.update.ops");
+    observe
+      (histogram registry ~labels:[ ("op", op) ] "blas.update.latency_ns")
+      (Int64.to_float (Blas_obs.Clock.elapsed_ns t0));
+    add (counter registry "blas.update.pages_written") report.pages_written;
+    add (counter registry "blas.update.nodes_relabeled") report.nodes_relabeled;
+    (match escalation with
+    | None -> ()
+    | Some scope ->
+      incr
+        (counter registry ~labels:[ ("scope", scope) ]
+           "blas.update.relabel_escalations"));
+    if report.table_rebuilt then
+      incr (counter registry "blas.update.table_rebuilds"));
+  report
+
+(* ------------------------------------------------------------------ *)
 (* Row builders — the same layouts Storage.of_doc produces (SP
    clustered by {plabel, start}, SD by {tag, start}, indexed on the
    queried attributes; page size 64 tuples).                           *)
@@ -327,6 +365,7 @@ let rebuild_tables t (doc : Doc.t) =
 (* insert_subtree                                                      *)
 
 let insert_subtree t ~parent ~pos tree =
+  let t0 = Blas_obs.Clock.now_ns () in
   let doc = t.doc in
   let parent_node = find_node doc parent in
   let nkids = List.length parent_node.children in
@@ -438,19 +477,27 @@ let insert_subtree t ~parent ~pos tree =
          ~inserts:(moved_sd_ins @ List.map sd_row fresh_nodes))
   end;
   t.doc <- new_doc;
-  {
-    nodes_inserted = k;
-    nodes_deleted = 0;
-    nodes_relabeled = Hashtbl.length relabel;
-    plabels_allocated = (if table_rebuilt then List.length new_doc.all else k);
-    pages_written = Pool.writes t.pool - writes0;
-    table_rebuilt;
-  }
+  let escalation =
+    match alloc with
+    | From_gap -> None
+    | Inside _ -> Some "localized"
+    | Whole -> Some "whole"
+  in
+  record ~op:"insert" ?escalation t0
+    {
+      nodes_inserted = k;
+      nodes_deleted = 0;
+      nodes_relabeled = Hashtbl.length relabel;
+      plabels_allocated = (if table_rebuilt then List.length new_doc.all else k);
+      pages_written = Pool.writes t.pool - writes0;
+      table_rebuilt;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* delete_subtree                                                      *)
 
 let delete_subtree t ~start =
+  let t0 = Blas_obs.Clock.now_ns () in
   let doc = t.doc in
   let node = find_node doc start in
   if node.start = doc.root.start then
@@ -481,19 +528,21 @@ let delete_subtree t ~start =
     }
   in
   t.doc <- doc_of_root (prune doc.root);
-  {
-    nodes_inserted = 0;
-    nodes_deleted = List.length removed;
-    nodes_relabeled = 0;
-    plabels_allocated = 0;
-    pages_written = Pool.writes t.pool - writes0;
-    table_rebuilt = false;
-  }
+  record ~op:"delete" t0
+    {
+      nodes_inserted = 0;
+      nodes_deleted = List.length removed;
+      nodes_relabeled = 0;
+      plabels_allocated = 0;
+      pages_written = Pool.writes t.pool - writes0;
+      table_rebuilt = false;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* replace_text                                                        *)
 
 let replace_text t ~start data =
+  let t0 = Blas_obs.Clock.now_ns () in
   let doc = t.doc in
   let node = find_node doc start in
   let writes0 = Pool.writes t.pool in
@@ -511,14 +560,15 @@ let replace_text t ~start data =
     else { n with children = rev_map_children retext n }
   in
   t.doc <- doc_of_root (retext doc.root);
-  {
-    nodes_inserted = 0;
-    nodes_deleted = 0;
-    nodes_relabeled = 0;
-    plabels_allocated = 0;
-    pages_written = Pool.writes t.pool - writes0;
-    table_rebuilt = false;
-  }
+  record ~op:"replace_text" t0
+    {
+      nodes_inserted = 0;
+      nodes_deleted = 0;
+      nodes_relabeled = 0;
+      plabels_allocated = 0;
+      pages_written = Pool.writes t.pool - writes0;
+      table_rebuilt = false;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Headroom observability (the CLI's stats view)                       *)

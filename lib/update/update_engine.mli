@@ -28,6 +28,14 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+(** [set_metrics (Some registry)] installs the registry that receives
+    per-edit metrics: [blas.update.ops] and [blas.update.latency_ns]
+    (labelled by op), [blas.update.pages_written],
+    [blas.update.nodes_relabeled], [blas.update.relabel_escalations]
+    (labelled localized/whole) and [blas.update.table_rebuilds];
+    [set_metrics None] (the default) disables recording. *)
+val set_metrics : Blas_obs.Metrics.t option -> unit
+
 (** [insert_subtree t ~parent ~pos tree] inserts [tree] as the [pos]-th
     element child of the node whose start position is [parent].
     D-labels come from the gap between the new subtree's neighbours

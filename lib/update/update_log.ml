@@ -1,0 +1,6 @@
+(** The [blas_update] log source — one {!Logs.Src} per library, so
+    [BLAS_LOG=blas_update=debug] can turn on just the update engine. *)
+
+let src = Logs.Src.create "blas_update" ~doc:"BLAS incremental update engine"
+
+module Log = (val Logs.src_log src)

@@ -20,6 +20,7 @@ let () =
       ("navigation", Test_nav.suite);
       ("update", Test_update.suite);
       ("robustness", Test_robustness.suite);
+      ("observability", Test_obs.suite);
       ("misc", Test_misc.suite);
       ("datagen", Test_datagen.suite);
     ]
