@@ -4,11 +4,12 @@
     section is regenerated in order, followed by the join-count table,
     the ablations, the micro-benchmarks and the instrumentation
     overhead check; section arguments (fig10 ... fig18, joins, disk,
-    space, build, ablate, bechamel, overhead) select a subset.
+    space, build, ablate, bechamel, overhead, scaling) select a subset.
 
     Flags: [--json] also writes every printed table to
     BENCH_results.json; [--check] makes the overhead section enforce its
-    regression threshold (non-zero exit on failure). *)
+    regression thresholds (non-zero exit on failure); [-j N] caps the
+    domain levels the scaling section sweeps. *)
 
 let sections =
   [
@@ -28,12 +29,14 @@ let sections =
     ("ablate", Ablations.all);
     ("bechamel", Micro.run);
     ("overhead", Overhead.run);
+    ("scaling", Scaling.run);
   ]
 
 let results_file = "BENCH_results.json"
 
 let usage () =
-  Printf.eprintf "usage: %s [--json] [--check] [section...]\navailable: %s\n"
+  Printf.eprintf
+    "usage: %s [--json] [--check] [-j N] [section...]\navailable: %s\n"
     Sys.argv.(0)
     (String.concat " " (List.map fst sections));
   exit 1
@@ -44,18 +47,32 @@ let () =
   Blas_obs.Clock.set_source (fun () -> Monotonic_clock.now ());
   let json = ref false in
   let chosen = ref [] in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--json" -> json := true
-        | "--check" -> Overhead.check_mode := true
-        | name when List.mem_assoc name sections ->
-          chosen := (name, List.assoc name sections) :: !chosen
-        | unknown ->
-          Printf.eprintf "unknown section %s\n" unknown;
-          usage ())
-    Sys.argv;
+  let rec parse i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | "--json" ->
+        json := true;
+        parse (i + 1)
+      | "--check" ->
+        Overhead.check_mode := true;
+        parse (i + 1)
+      | "-j" | "--jobs" ->
+        (match
+           if i + 1 < Array.length Sys.argv then
+             int_of_string_opt Sys.argv.(i + 1)
+           else None
+         with
+        | Some n when n >= 1 -> Scaling.set_max_domains n
+        | _ -> usage ());
+        parse (i + 2)
+      | name when List.mem_assoc name sections ->
+        chosen := (name, List.assoc name sections) :: !chosen;
+        parse (i + 1)
+      | unknown ->
+        Printf.eprintf "unknown section %s\n" unknown;
+        usage ()
+  in
+  parse 1;
   Bench_util.json_enabled := !json;
   let to_run = match List.rev !chosen with [] -> sections | some -> some in
   List.iter

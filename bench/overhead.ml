@@ -8,7 +8,12 @@
     reports the relative overhead; with {!check_mode} (the CI gate,
     [overhead --check]) an overhead above {!threshold_percent} marks the
     run failed.  An enabled tracer + registry is measured too, for
-    scale. *)
+    scale.
+
+    The parallel layer makes the same claim for [-j 1]: a run routed
+    through a single-lane pool must cost within {!threshold_percent} of
+    the direct sequential run (the pool dispatches inline with no
+    synchronization), and [--check] gates that too. *)
 
 open Bechamel
 
@@ -84,11 +89,26 @@ let run () =
            Blas_obs.Trace.clear tracer;
            r))
   in
-  let results = estimates [ bare; disabled; enabled ] in
+  (* The -j 1 path: same run, routed through a single-lane pool.  The
+     pool must dispatch inline, so this prices the option plumbing and
+     the lane checks, not synchronization. *)
+  let pool = Blas.Par.create ~domains:1 in
+  let pool_j1 =
+    Test.make ~name:"pool-j1"
+      (Staged.stage (fun () ->
+           Blas.run ~pool storage ~engine:Blas.Rdbms ~translator query))
+  in
+  let results = estimates [ bare; disabled; enabled; pool_j1 ] in
+  Blas.Par.shutdown pool;
   match (find "bare" results, find "disabled" results, find "enabled" results) with
   | Some bare_ns, Some disabled_ns, enabled_ns ->
+    let pool_ns = find "pool-j1" results in
     let overhead = (disabled_ns -. bare_ns) /. bare_ns *. 100.0 in
-    Bench_util.print_table ~title:"disabled instrumentation must be free"
+    let pool_overhead =
+      Option.map (fun p -> (p -. disabled_ns) /. disabled_ns *. 100.0) pool_ns
+    in
+    Bench_util.print_table
+      ~title:"disabled instrumentation and the -j 1 pool must be free"
       {
         Bench_util.header = [ "variant"; "ns/query"; "overhead" ];
         rows =
@@ -108,9 +128,18 @@ let run () =
               | Some e -> Printf.sprintf "%+.1f%%" ((e -. bare_ns) /. bare_ns *. 100.0)
               | None -> "-");
             ];
+            [
+              "pool -j 1 (vs disabled)";
+              (match pool_ns with
+              | Some p -> Printf.sprintf "%.0f" p
+              | None -> "-");
+              (match pool_overhead with
+              | Some po -> Printf.sprintf "%+.1f%%" po
+              | None -> "-");
+            ];
           ];
       };
-    if !check_mode then
+    if !check_mode then begin
       if overhead > threshold_percent then begin
         Printf.eprintf
           "FAIL: disabled instrumentation costs %+.1f%% (threshold %.1f%%)\n%!"
@@ -119,7 +148,20 @@ let run () =
       end
       else
         Printf.printf "OK: disabled overhead %+.1f%% <= %.1f%%\n" overhead
+          threshold_percent;
+      match pool_overhead with
+      | Some po when po > threshold_percent ->
+        Printf.eprintf
+          "FAIL: -j 1 pool costs %+.1f%% over sequential (threshold %.1f%%)\n%!"
+          po threshold_percent;
+        failed := true
+      | Some po ->
+        Printf.printf "OK: -j 1 pool overhead %+.1f%% <= %.1f%%\n" po
           threshold_percent
+      | None ->
+        Printf.eprintf "overhead: no pool-j1 estimate\n%!";
+        failed := true
+    end
   | _ ->
     Printf.eprintf "overhead: bechamel produced no estimates\n%!";
     if !check_mode then failed := true

@@ -1,0 +1,83 @@
+(** Multicore scaling: the Figure 10 queries at 1/2/4/8 domains.
+
+    Each dataset's three queries (and the batched union of all three)
+    run sequentially and then through pools of growing size; the table
+    reports wall-clock per variant and the speedup over the sequential
+    run.  On a single hardware thread the curve is flat (the pool adds
+    only its dispatch overhead, which the overhead section gates);
+    speedups materialize with the core count.  [-j N] caps the domain
+    levels swept. *)
+
+let levels = ref [ 1; 2; 4; 8 ]
+
+(** [set_max_domains n] sweeps the default power-of-two levels up to
+    [n], always including [n] itself. *)
+let set_max_domains n =
+  levels :=
+    List.sort_uniq compare (n :: List.filter (fun d -> d <= n) [ 1; 2; 4; 8 ])
+
+let repetitions = 5
+
+let run () =
+  Bench_util.heading "Multicore scaling (Figure 10 queries, Push-up, RDBMS)";
+  let datasets =
+    [
+      ("shakespeare", Datasets.shakespeare_full, Bench_queries.shakespeare);
+      ("protein", Datasets.protein_full, Bench_queries.protein);
+      ("auction", Datasets.auction_full, Bench_queries.auction);
+    ]
+  in
+  let translator = Blas.Pushup and engine = Blas.Rdbms in
+  List.iter
+    (fun (name, storage, queries) ->
+      let storage = storage () in
+      let parsed = List.map (fun (qn, qs) -> (qn, Blas.query qs)) queries in
+      let workloads =
+        List.map
+          (fun (qn, q) ->
+            ( qn,
+              fun pool -> ignore (Blas.run ?pool storage ~engine ~translator q)
+            ))
+          parsed
+        @ [
+            ( Printf.sprintf "batch(%d)" (List.length parsed),
+              fun pool ->
+                ignore
+                  (Blas.run_union ?pool storage ~engine ~translator
+                     (List.map snd parsed)) );
+          ]
+      in
+      let rows =
+        List.map
+          (fun (wname, work) ->
+            let _, t_seq =
+              Bench_util.measure ~repetitions (fun () -> work None)
+            in
+            let cells =
+              List.concat_map
+                (fun domains ->
+                  let t =
+                    Blas.Par.with_pool ~domains (fun pool ->
+                        snd
+                          (Bench_util.measure ~repetitions (fun () ->
+                               work (Some pool))))
+                  in
+                  [
+                    Bench_util.seconds t;
+                    Printf.sprintf "%.2fx" (t_seq /. t);
+                  ])
+                !levels
+            in
+            wname :: Bench_util.seconds t_seq :: cells)
+          workloads
+      in
+      let header =
+        "query" :: "seq (s)"
+        :: List.concat_map
+             (fun d -> [ Printf.sprintf "-j%d (s)" d; "speedup" ])
+             !levels
+      in
+      Bench_util.print_table
+        ~title:(Printf.sprintf "%s: wall-clock by domain count" name)
+        { Bench_util.header; rows })
+    datasets

@@ -115,6 +115,20 @@ let engine_arg =
     & opt (enum [ ("rdbms", Blas.Rdbms); ("twig", Blas.Twig) ]) Blas.Rdbms
     & info [ "engine"; "e" ] ~doc)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Execution domains for parallel query evaluation (default 1 = \
+           sequential).  Results are identical to a sequential run.")
+
+(* Runs [f] with the domain pool -j asked for ([None] when sequential),
+   shutting the workers down on the way out. *)
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Blas.Par.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
 let parse_query s =
   try Ok (Blas.query s) with
   | Blas_xpath.Parser.Error msg -> Error (Printf.sprintf "query error: %s" msg)
@@ -299,13 +313,16 @@ let merge_reports (reports : Blas.report list) =
   }
 
 let run () query_string translator engine verify show_limit as_xml explain
-    analyze show_stats path =
+    analyze show_stats jobs path =
   match load_storage path, parse_query_union query_string with
   | Error msg, _ | _, Error msg -> `Error (false, msg)
   | Ok storage, Ok queries ->
-    let t0 = Sys.time () in
+    let t0 = Blas_obs.Clock.now_ns () in
     let report =
       if analyze then begin
+        (* EXPLAIN ANALYZE is always sequential — its per-operator
+           snapshot diffs would tear under concurrency — so -j is
+           ignored here. *)
         let analyzed =
           List.map (Blas.run_analyze storage ~engine ~translator) queries
         in
@@ -314,9 +331,13 @@ let run () query_string translator engine verify show_limit as_xml explain
           analyzed;
         merge_reports (List.map fst analyzed)
       end
-      else Blas.run_union storage ~engine ~translator queries
+      else
+        with_jobs jobs (fun pool ->
+            Blas.run_union ?pool storage ~engine ~translator queries)
     in
-    let dt = Sys.time () -. t0 in
+    (* Wall clock, not CPU time — otherwise -j N would report the summed
+       domain time and parallel runs would look slower, not faster. *)
+    let dt = Int64.to_float (Blas_obs.Clock.elapsed_ns t0) /. 1e9 in
     Printf.printf "%d answers in %.4fs (%s on %s), %d elements visited, %d D-joins\n"
       (List.length report.Blas.starts)
       dt
@@ -388,7 +409,8 @@ let run_cmd =
     Term.(
       ret
         (const run $ logs_term $ query_arg $ translator_arg $ engine_arg
-       $ verify $ show $ as_xml $ explain $ analyze $ show_stats $ input_arg))
+       $ verify $ show $ as_xml $ explain $ analyze $ show_stats $ jobs_arg
+       $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* index                                                               *)
@@ -533,7 +555,7 @@ let update_cmd =
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
 
-let profile () query_string translator engine repeat json path =
+let profile () query_string translator engine repeat json jobs path =
   match load_storage path, parse_query_union query_string with
   | Error msg, _ | _, Error msg -> `Error (false, msg)
   | Ok storage, Ok queries ->
@@ -542,13 +564,16 @@ let profile () query_string translator engine repeat json path =
       let registry = Blas_obs.Metrics.create () in
       let tracer = Blas_obs.Trace.create () in
       Blas.set_metrics (Some registry);
-      (* Warm-up repetitions populate the latency histograms; the final
-         repetition runs in EXPLAIN ANALYZE mode for the operator tree. *)
-      for _ = 2 to repeat do
-        List.iter
-          (fun q -> ignore (Blas.run ~tracer storage ~engine ~translator q))
-          queries
-      done;
+      (* Warm-up repetitions populate the latency histograms (with -j,
+         in parallel — the registry and tracer are domain-safe); the
+         final repetition runs in EXPLAIN ANALYZE mode for the operator
+         tree, always sequentially. *)
+      with_jobs jobs (fun pool ->
+          for _ = 2 to repeat do
+            List.iter
+              (fun q -> ignore (Blas.run ~tracer ?pool storage ~engine ~translator q))
+              queries
+          done);
       let analyzed =
         List.map (Blas.run_analyze ~tracer storage ~engine ~translator) queries
       in
@@ -609,7 +634,7 @@ let profile_cmd =
     Term.(
       ret
         (const profile $ logs_term $ query_arg $ translator_arg $ engine_arg
-       $ repeat $ json $ input_arg))
+       $ repeat $ json $ jobs_arg $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 

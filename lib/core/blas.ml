@@ -23,6 +23,7 @@ module Persist = Persist
 module Nav = Nav
 module Sax_index = Sax_index
 module Update = Update
+module Par = Blas_par.Pool
 
 type translator = Exec.translator =
   | D_labeling
@@ -78,11 +79,21 @@ let oracle = Exec.oracle
     into the equivalent union of tree queries. *)
 let query_union s = Blas_xpath.Parser.parse_union s
 
-(** [run_union storage ~engine ~translator queries] executes a union of
-    tree queries and merges results and costs; the SQL of the combined
-    plan is the UNION of the per-query SQL. *)
-let run_union storage ~engine ~translator queries =
-  let reports = List.map (run storage ~engine ~translator) queries in
+(** [run_union ?pool storage ~engine ~translator queries] executes a
+    union of tree queries and merges results and costs; the SQL of the
+    combined plan is the UNION of the per-query SQL.  With a
+    multi-domain [pool], the queries of the batch run concurrently
+    (each run may fan out further when the batch is narrower than the
+    pool); reports merge in query order, so the merged report matches
+    the sequential one. *)
+let run_union ?pool storage ~engine ~translator queries =
+  let run_one q = run ?pool storage ~engine ~translator q in
+  let reports =
+    match pool with
+    | Some p when Blas_par.Pool.size p > 1 && List.length queries > 1 ->
+      Blas_par.Pool.map_list p run_one queries
+    | _ -> List.map run_one queries
+  in
   let sqls = List.filter_map (fun r -> r.sql) reports in
   let counters = Blas_rel.Counters.create () in
   List.iter (fun r -> Blas_rel.Counters.add ~into:counters r.counters) reports;

@@ -27,6 +27,13 @@ module Sax_index = Sax_index
     in place, with label maintenance (see {!Update}). *)
 module Update = Update
 
+(** The domain pool behind parallel execution ([-j N]): create one with
+    [Par.create ~domains:n] and pass it to {!run} / {!run_union} /
+    {!Collection.run}.  Parallel runs return exactly the sequential
+    answer set and counter totals (page reads aside, which depend on
+    buffer-pool interleaving). *)
+module Par = Blas_par.Pool
+
 type translator = Exec.translator =
   | D_labeling  (** the baseline: one D-join per query edge over SD *)
   | Split  (** Section 4.1.1 *)
@@ -84,9 +91,13 @@ val plan_for :
   Storage.t -> translator -> Blas_xpath.Ast.t -> Blas_rel.Algebra.plan option
 
 (** Translate and execute.  With an enabled [tracer] the run is recorded
-    as a [query] span over its lifecycle phases. *)
+    as a [query] span over its lifecycle phases.  With a multi-domain
+    [pool] the execute phase fans out (union branches, join sides,
+    partitioned D-joins, chunked index fetches); answers and counter
+    totals match the sequential run. *)
 val run :
   ?tracer:Blas_obs.Trace.t ->
+  ?pool:Par.t ->
   Storage.t ->
   engine:engine ->
   translator:translator ->
@@ -124,8 +135,10 @@ val oracle : Storage.t -> Blas_xpath.Ast.t -> int list
 val query_union : string -> Blas_xpath.Ast.t list
 
 (** Executes a union of tree queries, merging results and costs; the
-    combined SQL is the UNION of the per-query plans. *)
+    combined SQL is the UNION of the per-query plans.  With a
+    multi-domain [pool], the batch runs concurrently. *)
 val run_union :
+  ?pool:Par.t ->
   Storage.t ->
   engine:engine ->
   translator:translator ->

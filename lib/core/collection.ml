@@ -38,12 +38,16 @@ let document_count t = List.length t.docs
 let node_count t =
   List.fold_left (fun acc (_, s) -> acc + Storage.node_count s) 0 t.docs
 
-(** [run t ~engine ~translator query] evaluates [query] on every
-    document; per-document reports come back in insertion order. *)
-let run t ~engine ~translator query =
-  List.map
-    (fun (name, s) -> (name, Exec.run s ~engine ~translator query))
-    t.docs
+(** [run ?pool t ~engine ~translator query] evaluates [query] on every
+    document; per-document reports come back in insertion order.  With a
+    multi-domain [pool], documents evaluate concurrently (they share no
+    storage, so this parallelism is embarrassingly safe). *)
+let run ?pool t ~engine ~translator query =
+  let run_one (name, s) = (name, Exec.run ?pool s ~engine ~translator query) in
+  match pool with
+  | Some p when Blas_par.Pool.size p > 1 && List.length t.docs > 1 ->
+    Blas_par.Pool.map_list p run_one t.docs
+  | _ -> List.map run_one t.docs
 
 (** [answers t ~engine ~translator query] — the merged answer list,
     document order within each document, documents in insertion

@@ -28,8 +28,10 @@ val document_count : t -> int
 
 val node_count : t -> int
 
-(** Per-document reports, in insertion order. *)
+(** Per-document reports, in insertion order.  With a multi-domain
+    [pool], documents evaluate concurrently. *)
 val run :
+  ?pool:Blas_par.Pool.t ->
   t ->
   engine:Exec.engine ->
   translator:Exec.translator ->

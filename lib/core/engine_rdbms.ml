@@ -36,18 +36,19 @@ let starts_of_relation relation =
     |> List.sort_uniq Stdlib.compare
   | None -> invalid_arg "Engine_rdbms: no answer column (project a start column)"
 
-(** [run_sql storage sql] plans and executes [sql] against the storage's
-    SP and SD tables. *)
-let run_sql (storage : Storage.t) sql =
+(** [run_sql ?pool storage sql] plans and executes [sql] against the
+    storage's SP and SD tables; a multi-domain [pool] parallelizes the
+    plan (see {!Blas_rel.Executor.run}). *)
+let run_sql ?pool (storage : Storage.t) sql =
   let plan = Sql_compile.compile ~catalog:(Storage.catalog storage) sql in
   let counters = Counters.create () in
-  let relation = Executor.run ~counters plan in
+  let relation = Executor.run ~counters ?pool plan in
   { starts = starts_of_relation relation; counters; plan = Some plan }
 
-(** [run_opt storage sql] treats [None] as the empty query. *)
-let run_opt storage = function
+(** [run_opt ?pool storage sql] treats [None] as the empty query. *)
+let run_opt ?pool storage = function
   | None -> empty_result ()
-  | Some sql -> run_sql storage sql
+  | Some sql -> run_sql ?pool storage sql
 
 (** [run_sql_analyze storage sql] — like {!run_sql}, also returning the
     EXPLAIN ANALYZE tree of the executed physical plan. *)

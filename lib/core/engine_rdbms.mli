@@ -15,12 +15,14 @@ val empty_result : unit -> result
     @raise Invalid_argument when no answer column exists. *)
 val starts_of_relation : Blas_rel.Relation.t -> int list
 
-(** [run_sql storage sql] plans and executes [sql] against the storage's
-    SP and SD tables. *)
-val run_sql : Storage.t -> Blas_rel.Sql_ast.t -> result
+(** [run_sql ?pool storage sql] plans and executes [sql] against the
+    storage's SP and SD tables; a multi-domain [pool] parallelizes the
+    plan (see {!Blas_rel.Executor.run}). *)
+val run_sql : ?pool:Blas_par.Pool.t -> Storage.t -> Blas_rel.Sql_ast.t -> result
 
-(** [run_opt storage sql] treats [None] as the empty query. *)
-val run_opt : Storage.t -> Blas_rel.Sql_ast.t option -> result
+(** [run_opt ?pool storage sql] treats [None] as the empty query. *)
+val run_opt :
+  ?pool:Blas_par.Pool.t -> Storage.t -> Blas_rel.Sql_ast.t option -> result
 
 (** [run_sql_analyze storage sql] — like {!run_sql}, also returning the
     EXPLAIN ANALYZE tree of the executed physical plan. *)

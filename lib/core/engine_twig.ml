@@ -29,8 +29,9 @@ let entry_of_tuple schema =
     }
 
 (* The stream of one suffix-path item: a clustered P-label range (or
-   equality) scan, with the value predicate applied on the fly. *)
-let item_stream (storage : Storage.t) counters (item : Suffix_query.item) =
+   equality) scan, with the value predicate applied on the fly.  [par]
+   chunks the fetch over a domain pool. *)
+let item_stream ?par (storage : Storage.t) counters (item : Suffix_query.item) =
   match Blas_label.Plabel.suffix_path_interval storage.table item.path with
   | None -> []
   | Some interval ->
@@ -39,10 +40,10 @@ let item_stream (storage : Storage.t) counters (item : Suffix_query.item) =
     let to_entry = entry_of_tuple schema in
     let rows =
       if item.path.absolute then
-        Table.index_eq storage.sp counters ~column:"plabel"
+        Table.index_eq storage.sp ?par counters ~column:"plabel"
           (Value.Big (Blas_label.Interval.lo interval))
       else
-        Table.index_range storage.sp counters ~column:"plabel"
+        Table.index_range storage.sp ?par counters ~column:"plabel"
           ~lo:(Some (Value.Big (Blas_label.Interval.lo interval)))
           ~hi:(Some (Value.Big (Blas_label.Interval.hi interval)))
     in
@@ -76,8 +77,9 @@ type wrap =
 let no_wrap ~label:_ f = f ()
 
 (** [pattern_of_branch storage counters branch] roots the join tree and
-    materializes every item's stream. *)
-let pattern_of_branch ?(wrap = no_wrap) (storage : Storage.t) counters
+    materializes every item's stream.  [par] chunks each stream's fetch
+    over a domain pool. *)
+let pattern_of_branch ?(wrap = no_wrap) ?par (storage : Storage.t) counters
     (branch : Suffix_query.t) =
   let rec build ~gap (item : Suffix_query.item) =
     let label = Format.asprintf "%a" Blas_label.Plabel.pp_suffix_path item.path in
@@ -89,7 +91,7 @@ let pattern_of_branch ?(wrap = no_wrap) (storage : Storage.t) counters
         (Suffix_query.children_of branch item.id)
     in
     Blas_twig.Pattern.make ~label
-      ~entries:(item_stream storage counters item)
+      ~entries:(item_stream ?par storage counters item)
       ~gap ~children
       ~is_output:(item.id = branch.output)
   in
@@ -102,17 +104,39 @@ let execute algorithm pattern =
   | `Classic -> Blas_twig.Twig_stack_classic.run pattern
   | `Merge -> Blas_twig.Twig_stack.run pattern
 
-(** [run ?algorithm storage branches] executes a decomposed query (union
-    of branches) on the twig engine. *)
-let run ?(algorithm = `Classic) (storage : Storage.t) (branches : Suffix_query.t list) =
+(** [run ?algorithm ?pool storage branches] executes a decomposed query
+    (union of branches) on the twig engine.  With a multi-domain [pool],
+    branches run concurrently, each charging a fresh counter vector
+    merged back in branch order — the answer set and counter totals
+    match the sequential run. *)
+let run ?(algorithm = `Classic) ?pool (storage : Storage.t)
+    (branches : Suffix_query.t list) =
   let counters = Counters.create () in
+  let branch_results =
+    match pool with
+    | Some p when Blas_par.Pool.size p > 1 && List.length branches > 1 ->
+      Blas_par.Pool.map_list p
+        (fun branch ->
+          let c = Counters.create () in
+          let pattern = pattern_of_branch ?par:pool storage c branch in
+          let s, stats = execute algorithm pattern in
+          (c, s, stats.Blas_twig.Twig_stack.candidates))
+        branches
+    | _ ->
+      List.map
+        (fun branch ->
+          let c = Counters.create () in
+          let pattern = pattern_of_branch ?par:pool storage c branch in
+          let s, stats = execute algorithm pattern in
+          (c, s, stats.Blas_twig.Twig_stack.candidates))
+        branches
+  in
   let starts, candidates =
     List.fold_left
-      (fun (starts, candidates) branch ->
-        let pattern = pattern_of_branch storage counters branch in
-        let s, stats = execute algorithm pattern in
-        (List.rev_append s starts, candidates + stats.Blas_twig.Twig_stack.candidates))
-      ([], 0) branches
+      (fun (starts, candidates) (c, s, cand) ->
+        Counters.add ~into:counters c;
+        (List.rev_append s starts, candidates + cand))
+      ([], 0) branch_results
   in
   (* "Visited elements" counts what the engine read from storage, before
      any value filtering — the cost the paper's figures report. *)

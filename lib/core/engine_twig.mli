@@ -20,19 +20,24 @@ type wrap =
   label:string -> (unit -> Blas_twig.Pattern.node) -> Blas_twig.Pattern.node
 
 (** [pattern_of_branch storage counters branch] roots the join tree and
-    materializes every item's stream. *)
+    materializes every item's stream.  [par] chunks each stream's fetch
+    over a domain pool. *)
 val pattern_of_branch :
   ?wrap:wrap ->
+  ?par:Blas_par.Pool.t ->
   Storage.t ->
   Blas_rel.Counters.t ->
   Suffix_query.t ->
   Blas_twig.Pattern.node
 
-(** [run ?algorithm storage branches] executes a decomposed query (a
-    union of branches).  [`Classic] (default) is the original
-    getNext-driven TwigStack; [`Merge] the global-merge variant. *)
+(** [run ?algorithm ?pool storage branches] executes a decomposed query
+    (a union of branches).  [`Classic] (default) is the original
+    getNext-driven TwigStack; [`Merge] the global-merge variant.  With a
+    multi-domain [pool], branches run concurrently; the answer set and
+    counter totals match the sequential run. *)
 val run :
   ?algorithm:[ `Classic | `Merge ] ->
+  ?pool:Blas_par.Pool.t ->
   Storage.t ->
   Suffix_query.t list ->
   result

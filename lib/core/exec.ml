@@ -149,12 +149,15 @@ let report_of_counters ~starts ~plan_djoins ~sql (counters : Blas_rel.Counters.t
 let twig_plan_djoins branches =
   List.fold_left (fun acc b -> acc + Suffix_query.djoin_count b) 0 branches
 
-(** [run ?tracer storage ~engine ~translator q] — translate and execute.
-    With an enabled [tracer], the run is recorded as a [query] span over
-    [translate] / [compile] / [execute] (RDBMS) or [decompose] /
-    [execute] ([build-streams] / [execute] for the D-labeling baseline)
-    child spans. *)
-let run ?(tracer = Blas_obs.Trace.disabled) storage ~engine ~translator q =
+(** [run ?tracer ?pool storage ~engine ~translator q] — translate and
+    execute.  With an enabled [tracer], the run is recorded as a [query]
+    span over [translate] / [compile] / [execute] (RDBMS) or
+    [decompose] / [execute] ([build-streams] / [execute] for the
+    D-labeling baseline) child spans.  With a multi-domain [pool], the
+    execute phase fans out (union branches, join sides, partitioned
+    D-joins and chunked index fetches); answers and counter totals match
+    the sequential run. *)
+let run ?(tracer = Blas_obs.Trace.disabled) ?pool storage ~engine ~translator q =
   Log.debug (fun m ->
       m "run %s on %s: %s" (translator_name translator) (engine_name engine)
         (Blas_xpath.Pretty.to_string q));
@@ -181,7 +184,7 @@ let run ?(tracer = Blas_obs.Trace.disabled) storage ~engine ~translator q =
         in
         let counters = Blas_rel.Counters.create () in
         let relation =
-          span "execute" (fun () -> Blas_rel.Executor.run ~counters plan)
+          span "execute" (fun () -> Blas_rel.Executor.run ~counters ?pool plan)
         in
         let starts =
           span "materialize" (fun () -> Engine_rdbms.starts_of_relation relation)
@@ -207,7 +210,9 @@ let run ?(tracer = Blas_obs.Trace.disabled) storage ~engine ~translator q =
         let branches =
           span "decompose" (fun () -> decompose storage translator q)
         in
-        let result = span "execute" (fun () -> Engine_twig.run storage branches) in
+        let result =
+          span "execute" (fun () -> Engine_twig.run ?pool storage branches)
+        in
         report_of_counters ~starts:result.Engine_twig.starts
           ~plan_djoins:(twig_plan_djoins branches)
           ~sql:None result.Engine_twig.counters)

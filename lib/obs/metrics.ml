@@ -5,8 +5,14 @@
     [blas.query.latency_ns{engine=RDBMS,translator=Push-up}]); looking a
     metric up is a hash-table probe, so callers on hot paths should
     resolve the handle once and hold on to it — recording through a
-    handle is a single field update (counters, gauges) or one array
-    increment (histograms). *)
+    handle is one atomic update (counters, gauges) or one short
+    critical section (histograms).
+
+    Domain safety: registration and the exporters serialize on a
+    per-registry mutex, counters and gauges are atomics, and each
+    histogram carries its own mutex, so concurrent query domains can
+    register and record without tearing the registry (the parallel
+    execution layer's [profile -j N] depends on this). *)
 
 (* ------------------------------------------------------------------ *)
 (* Histograms                                                         *)
@@ -23,6 +29,7 @@ let hi_decade = 15
 type histogram = {
   bpd : int;  (* buckets per decade *)
   buckets : int array;
+  h_lock : Mutex.t;  (* guards every mutable field below *)
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
@@ -34,11 +41,22 @@ let make_histogram bpd =
   {
     bpd;
     buckets = Array.make (bpd * (hi_decade - lo_decade)) 0;
+    h_lock = Mutex.create ();
     h_count = 0;
     h_sum = 0.;
     h_min = Float.infinity;
     h_max = Float.neg_infinity;
   }
+
+let hist_locked h f =
+  Mutex.lock h.h_lock;
+  match f () with
+  | v ->
+    Mutex.unlock h.h_lock;
+    v
+  | exception e ->
+    Mutex.unlock h.h_lock;
+    raise e
 
 let bucket_index h v =
   if v <= 10. ** float_of_int lo_decade then 0
@@ -55,6 +73,7 @@ let bucket_mid h i =
   10. ** ((float_of_int i +. 0.5) /. float_of_int h.bpd +. float_of_int lo_decade)
 
 let observe h v =
+  hist_locked h @@ fun () ->
   let i = bucket_index h v in
   h.buckets.(i) <- h.buckets.(i) + 1;
   h.h_count <- h.h_count + 1;
@@ -62,17 +81,20 @@ let observe h v =
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v
 
-let hist_count h = h.h_count
+let hist_count h = hist_locked h (fun () -> h.h_count)
 
-let hist_sum h = h.h_sum
+let hist_sum h = hist_locked h (fun () -> h.h_sum)
 
-let hist_mean h = if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count
+let hist_mean h =
+  hist_locked h @@ fun () ->
+  if h.h_count = 0 then 0. else h.h_sum /. float_of_int h.h_count
 
 (** [percentile h p] — the estimated [p]-th percentile (0 < p <= 100):
     the geometric midpoint of the bucket holding the rank-[p] sample,
     clamped to the observed min/max (so single-valued histograms are
     exact).  Returns [nan] for an empty histogram. *)
 let percentile h p =
+  hist_locked h @@ fun () ->
   if h.h_count = 0 then Float.nan
   else begin
     let rank =
@@ -90,25 +112,37 @@ let percentile h p =
 (* ------------------------------------------------------------------ *)
 (* Registry                                                           *)
 
-type counter = int ref
+type counter = int Atomic.t
 
-type gauge = float ref
+type gauge = float Atomic.t
 
 type cell = Counter of counter | Gauge of gauge | Histogram of histogram
 
 type key = { name : string; labels : (string * string) list }
 
 type t = {
+  r_lock : Mutex.t;  (* guards [cells] and [order] *)
   cells : (key, cell) Hashtbl.t;
   mutable order : key list;  (* registration order, newest first *)
 }
 
-let create () = { cells = Hashtbl.create 32; order = [] }
+let create () = { r_lock = Mutex.create (); cells = Hashtbl.create 32; order = [] }
+
+let reg_locked t f =
+  Mutex.lock t.r_lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.r_lock;
+    v
+  | exception e ->
+    Mutex.unlock t.r_lock;
+    raise e
 
 (** The process-wide default registry. *)
 let default = create ()
 
 let clear t =
+  reg_locked t @@ fun () ->
   Hashtbl.reset t.cells;
   t.order <- []
 
@@ -121,13 +155,17 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 let intern t k make_cell cast =
-  match Hashtbl.find_opt t.cells k with
-  | Some cell -> cast cell
-  | None ->
-    let cell = make_cell () in
-    Hashtbl.replace t.cells k cell;
-    t.order <- k :: t.order;
-    cast cell
+  let cell =
+    reg_locked t @@ fun () ->
+    match Hashtbl.find_opt t.cells k with
+    | Some cell -> cell
+    | None ->
+      let cell = make_cell () in
+      Hashtbl.replace t.cells k cell;
+      t.order <- k :: t.order;
+      cell
+  in
+  cast cell
 
 let wrong_kind k cell =
   invalid_arg
@@ -140,25 +178,25 @@ let wrong_kind k cell =
 let counter t ?labels name =
   let k = key ?labels name in
   intern t k
-    (fun () -> Counter (ref 0))
+    (fun () -> Counter (Atomic.make 0))
     (function Counter c -> c | cell -> wrong_kind k cell)
 
-let incr c = Stdlib.incr c
+let incr c = Atomic.incr c
 
-let add c n = c := !c + n
+let add c n = ignore (Atomic.fetch_and_add c n)
 
-let counter_value c = !c
+let counter_value c = Atomic.get c
 
 (** [gauge t name] — the gauge registered under [name] (+ labels). *)
 let gauge t ?labels name =
   let k = key ?labels name in
   intern t k
-    (fun () -> Gauge (ref 0.))
+    (fun () -> Gauge (Atomic.make 0.))
     (function Gauge g -> g | cell -> wrong_kind k cell)
 
-let set g v = g := v
+let set g v = Atomic.set g v
 
-let gauge_value g = !g
+let gauge_value g = Atomic.get g
 
 (** [histogram t name] — the log-scale histogram registered under
     [name] (+ labels); [buckets_per_decade] (default 4) fixes the
@@ -172,7 +210,11 @@ let histogram t ?(buckets_per_decade = 4) ?labels name =
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                          *)
 
-let keys t = List.rev t.order
+(* Snapshot of the registry in registration order, taken under the
+   registry lock so exporters never race a concurrent [intern]. *)
+let entries t =
+  reg_locked t @@ fun () ->
+  List.rev_map (fun k -> (k, Hashtbl.find t.cells k)) t.order
 
 let pp_key ppf k =
   Format.pp_print_string ppf k.name;
@@ -187,19 +229,19 @@ let pp_key ppf k =
 let pp ppf t =
   let entries =
     List.map
-      (fun k ->
+      (fun (k, cell) ->
         let label = Format.asprintf "%a" pp_key k in
         let value =
-          match Hashtbl.find t.cells k with
-          | Counter c -> string_of_int !c
-          | Gauge g -> Printf.sprintf "%g" !g
+          match cell with
+          | Counter c -> string_of_int (Atomic.get c)
+          | Gauge g -> Printf.sprintf "%g" (Atomic.get g)
           | Histogram h ->
             Printf.sprintf "count=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f"
-              h.h_count (hist_mean h) (percentile h 50.) (percentile h 95.)
-              (percentile h 99.)
+              (hist_count h) (hist_mean h) (percentile h 50.)
+              (percentile h 95.) (percentile h 99.)
         in
         (label, value))
-      (keys t)
+      (entries t)
   in
   let width = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries in
   Format.pp_print_list ~pp_sep:Format.pp_print_cut
@@ -209,8 +251,7 @@ let pp ppf t =
 let to_json t =
   Json.List
     (List.map
-       (fun k ->
-         let cell = Hashtbl.find t.cells k in
+       (fun (k, cell) ->
          Json.Obj
            ([ ("name", Json.Str k.name) ]
            @ (match k.labels with
@@ -223,17 +264,20 @@ let to_json t =
            @ [ ("kind", Json.Str (kind_name cell)) ]
            @
            match cell with
-           | Counter c -> [ ("value", Json.Int !c) ]
-           | Gauge g -> [ ("value", Json.Float !g) ]
+           | Counter c -> [ ("value", Json.Int (Atomic.get c)) ]
+           | Gauge g -> [ ("value", Json.Float (Atomic.get g)) ]
            | Histogram h ->
+             let count, sum, min_v, max_v =
+               hist_locked h (fun () -> (h.h_count, h.h_sum, h.h_min, h.h_max))
+             in
              [
-               ("count", Json.Int h.h_count);
-               ("sum", Json.Float h.h_sum);
-               ("min", Json.Float (if h.h_count = 0 then 0. else h.h_min));
-               ("max", Json.Float (if h.h_count = 0 then 0. else h.h_max));
+               ("count", Json.Int count);
+               ("sum", Json.Float sum);
+               ("min", Json.Float (if count = 0 then 0. else min_v));
+               ("max", Json.Float (if count = 0 then 0. else max_v));
                ("mean", Json.Float (hist_mean h));
                ("p50", Json.Float (percentile h 50.));
                ("p95", Json.Float (percentile h 95.));
                ("p99", Json.Float (percentile h 99.));
              ]))
-       (keys t))
+       (entries t))

@@ -1,8 +1,10 @@
 (** Hierarchical span tracing for the query lifecycle.
 
-    A tracer owns a stack of open spans; {!with_span} opens a child of
-    the innermost open span (or a new root), runs the thunk, and records
-    the monotonic-clock duration.  The intended taxonomy for one query
+    A tracer owns a stack of open spans per domain; {!with_span} opens a
+    child of the innermost open span of the calling domain (or a new
+    root), runs the thunk, and records the monotonic-clock duration.
+    Domains sharing one tracer therefore each build well-formed span
+    trees instead of mis-nesting into each other's open spans.  The intended taxonomy for one query
     is [query] > [parse] / [load] / [decompose] / [translate] /
     [compile] / [execute] / [materialize] — see DESIGN.md Section 9.
 
@@ -22,12 +24,32 @@ type span = {
 let children span = List.rev span.sub
 
 type t = {
+  t_lock : Mutex.t;  (* guards [stacks] and [finished] *)
   mutable on : bool;
-  mutable stack : span list;  (* open spans, innermost first *)
+  stacks : (int, span list) Hashtbl.t;
+      (* open spans per domain, innermost first: spans nest within the
+         domain that opened them, so concurrent queries sharing one
+         tracer each build their own well-formed tree *)
   mutable finished : span list;  (* completed roots, newest first *)
 }
 
-let create ?(enabled = true) () = { on = enabled; stack = []; finished = [] }
+let create ?(enabled = true) () =
+  {
+    t_lock = Mutex.create ();
+    on = enabled;
+    stacks = Hashtbl.create 7;
+    finished = [];
+  }
+
+let locked t f =
+  Mutex.lock t.t_lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.t_lock;
+    v
+  | exception e ->
+    Mutex.unlock t.t_lock;
+    raise e
 
 (** The shared no-op sink. *)
 let disabled = create ~enabled:false ()
@@ -37,26 +59,39 @@ let enabled t = t.on
 let set_enabled t on = t.on <- on
 
 let clear t =
-  t.stack <- [];
+  locked t @@ fun () ->
+  Hashtbl.reset t.stacks;
   t.finished <- []
 
 (** Completed root spans, oldest first. *)
-let roots t = List.rev t.finished
+let roots t = locked t (fun () -> List.rev t.finished)
 
 let with_span t ?(attrs = []) name f =
   if not t.on then f ()
   else begin
+    let dom = (Domain.self () :> int) in
     let span =
       { name; attrs; start_ns = Clock.now_ns (); duration_ns = 0L; sub = [] }
     in
-    t.stack <- span :: t.stack;
+    locked t (fun () ->
+        let open_spans =
+          Option.value ~default:[] (Hashtbl.find_opt t.stacks dom)
+        in
+        Hashtbl.replace t.stacks dom (span :: open_spans));
     Fun.protect
       ~finally:(fun () ->
         span.duration_ns <- Clock.elapsed_ns span.start_ns;
-        (match t.stack with
-        | top :: rest when top == span -> t.stack <- rest
-        | _ -> () (* a nested span leaked; leave the stack alone *));
-        match t.stack with
+        locked t @@ fun () ->
+        let open_spans =
+          Option.value ~default:[] (Hashtbl.find_opt t.stacks dom)
+        in
+        let open_spans =
+          match open_spans with
+          | top :: rest when top == span -> rest
+          | other -> other (* a nested span leaked; leave the stack alone *)
+        in
+        Hashtbl.replace t.stacks dom open_spans;
+        match open_spans with
         | parent :: _ -> parent.sub <- span :: parent.sub
         | [] -> t.finished <- span :: t.finished)
       f

@@ -1,7 +1,10 @@
 (** Hierarchical span tracing for the query lifecycle
     (query > parse / load / decompose / translate / compile / execute /
     materialize).  A disabled tracer is a no-op sink: {!with_span} costs
-    one boolean test and no allocation. *)
+    one boolean test and no allocation.
+
+    Tracers are domain-safe: open spans nest per domain, so concurrent
+    work sharing one tracer records separate well-formed trees. *)
 
 type span = {
   name : string;

@@ -1,0 +1,168 @@
+(** A reusable domain pool with chunked fan-out/join.
+
+    The pool owns [domains - 1] worker domains; the caller is the
+    remaining domain, so a pool of size N runs N tasks concurrently
+    without oversubscribing.  {!run} hands every worker (and the
+    caller) the same index-stealing loop over a task array, so the fan
+    out is self-balancing: a worker that finishes a cheap task steals
+    the next index.  Results land in a preallocated slot array indexed
+    by task position, so joins are deterministic — the output order is
+    the input order no matter which domain ran which task.
+
+    A pool of size 1 (and any empty or single-task batch) runs inline
+    on the caller with no synchronization, which is what lets the CLI's
+    [-j 1] path stay within the instrumentation-overhead budget.  A
+    {!run} issued while another fan-out is already in flight — a task
+    that itself tries to parallelize — also runs inline, so nested
+    parallelism degrades to sequential execution instead of
+    deadlocking on the worker set. *)
+
+type t = {
+  size : int;  (** total domains, caller included *)
+  mutable workers : unit Domain.t list;
+  lock : Mutex.t;
+  work : Condition.t;  (* a new batch was published, or shutdown *)
+  finished : Condition.t;  (* a worker completed the current batch *)
+  mutable epoch : int;  (* batch sequence number *)
+  mutable job : unit -> unit;  (* the current batch's index-stealing loop *)
+  mutable pending : int;  (* workers still inside the current batch *)
+  mutable stopping : bool;
+  busy : bool Atomic.t;  (* a fan-out is in flight: nested runs go inline *)
+}
+
+let size t = t.size
+
+(* Each worker sleeps until the epoch moves past the last batch it ran,
+   executes the published job to exhaustion, then reports completion. *)
+let rec worker_loop t seen =
+  Mutex.lock t.lock;
+  while (not t.stopping) && t.epoch = seen do
+    Condition.wait t.work t.lock
+  done;
+  if t.stopping then Mutex.unlock t.lock
+  else begin
+    let epoch = t.epoch in
+    let job = t.job in
+    Mutex.unlock t.lock;
+    (* The job captures its own error slot; it never raises. *)
+    job ();
+    Mutex.lock t.lock;
+    t.pending <- t.pending - 1;
+    if t.pending = 0 then Condition.broadcast t.finished;
+    Mutex.unlock t.lock;
+    worker_loop t epoch
+  end
+
+(** [create ~domains] — a pool presenting [domains] execution lanes
+    ([domains - 1] spawned workers plus the caller).  Counts are clamped
+    to [1 .. 64]. *)
+let create ~domains =
+  let domains = max 1 (min domains 64) in
+  let t =
+    {
+      size = domains;
+      workers = [];
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      epoch = 0;
+      job = ignore;
+      pending = 0;
+      stopping = false;
+      busy = Atomic.make false;
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+(** [shutdown t] joins the workers; idempotent.  Pending batches finish
+    first (shutdown only wins the lock between batches). *)
+let shutdown t =
+  Mutex.lock t.lock;
+  let workers = t.workers in
+  t.workers <- [];
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join workers
+
+(** [with_pool ~domains f] runs [f] with a fresh pool, shutting it down
+    on the way out. *)
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(** [run t tasks] executes every task and returns their results in task
+    order.  The first exception any task raises is re-raised on the
+    caller after the batch drains (remaining tasks still run). *)
+let run (type a) t (tasks : (unit -> a) array) : a array =
+  let n = Array.length tasks in
+  let inline () = Array.map (fun task -> task ()) tasks in
+  if n <= 1 || t.size <= 1 || t.stopping then inline ()
+  else if not (Atomic.compare_and_set t.busy false true) then inline ()
+  else
+    Fun.protect ~finally:(fun () -> Atomic.set t.busy false) @@ fun () ->
+    let results : a option array = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let steal () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          match tasks.(i) () with
+          | v -> results.(i) <- Some v
+          | exception e ->
+            ignore (Atomic.compare_and_set error None (Some e))
+      done
+    in
+    Mutex.lock t.lock;
+    t.job <- steal;
+    t.pending <- List.length t.workers;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    steal ();
+    Mutex.lock t.lock;
+    while t.pending > 0 do
+      Condition.wait t.finished t.lock
+    done;
+    Mutex.unlock t.lock;
+    match Atomic.get error with
+    | Some e -> raise e
+    | None ->
+      Array.map
+        (function Some v -> v | None -> invalid_arg "Pool.run: missing result")
+        results
+
+(** [map t f xs] — parallel array map, order-preserving. *)
+let map t f xs = run t (Array.map (fun x () -> f x) xs)
+
+(** [map_list t f xs] — parallel list map, order-preserving. *)
+let map_list t f xs =
+  Array.to_list (map t f (Array.of_list xs))
+
+(** [both t f g] — run two thunks concurrently, returning both. *)
+let both t f g =
+  match run t [| (fun () -> `L (f ())); (fun () -> `R (g ())) |] with
+  | [| `L a; `R b |] -> (a, b)
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Chunking helpers                                                   *)
+
+(** [chunks ~lanes n] splits the index range [0, n) into at most
+    [lanes] contiguous [(offset, length)] chunks of near-equal size,
+    in order. *)
+let chunks ~lanes n =
+  if n <= 0 then []
+  else begin
+    let lanes = max 1 (min lanes n) in
+    let base = n / lanes and extra = n mod lanes in
+    List.init lanes (fun i ->
+        let len = base + if i < extra then 1 else 0 in
+        let off = (i * base) + min i extra in
+        (off, len))
+    |> List.filter (fun (_, len) -> len > 0)
+  end

@@ -1,0 +1,44 @@
+(** A reusable domain pool with chunked fan-out/join.
+
+    A pool of size N ([create ~domains:N]) owns N-1 worker domains; the
+    caller participates as the Nth lane.  {!run} fans a task array out
+    over all lanes with an index-stealing loop and joins results into
+    task order, so output is deterministic regardless of scheduling.
+
+    A pool of size 1 runs everything inline with no synchronization, as
+    does any {!run} issued while another fan-out is already in flight
+    (nested parallelism degrades to sequential execution instead of
+    deadlocking). *)
+
+type t
+
+(** [create ~domains] — a pool with [domains] execution lanes
+    (clamped to 1..64); [domains - 1] worker domains are spawned. *)
+val create : domains:int -> t
+
+(** Total lanes, caller included. *)
+val size : t -> int
+
+(** Joins the workers; idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~domains f] — {!create}, run [f], {!shutdown}. *)
+val with_pool : domains:int -> (t -> 'a) -> 'a
+
+(** [run t tasks] executes every task (concurrently when the pool and
+    batch allow) and returns the results in task order.  The first
+    exception raised by any task is re-raised after the batch drains. *)
+val run : t -> (unit -> 'a) array -> 'a array
+
+(** Parallel array map, order-preserving. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Parallel list map, order-preserving. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [both t f g] — run two thunks concurrently. *)
+val both : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+
+(** [chunks ~lanes n] — at most [lanes] contiguous [(offset, length)]
+    chunks covering [0, n), in order, near-equal sizes. *)
+val chunks : lanes:int -> int -> (int * int) list

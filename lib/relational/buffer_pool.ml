@@ -8,8 +8,15 @@
     counts as one disk access.  {!flush} empties the pool, modelling the
     paper's cold-cache protocol.
 
-    The LRU list is a doubly-linked list over a hash table, so requests
-    are O(1). *)
+    Domain safety: the pool is lock-striped.  Each stripe owns a
+    disjoint hash partition of the page keys with its own LRU list,
+    statistics and mutex, so concurrent query domains contend only when
+    they touch the same stripe.  The default is a single stripe — one
+    global LRU, observationally identical to the sequential pool (the
+    LRU model test depends on this) — and multi-domain runs stay safe
+    because every stripe operation holds that stripe's lock.  Each
+    stripe's LRU list is a doubly-linked list over a hash table, so
+    requests are O(1). *)
 
 type key = string * int  (** table name, page number *)
 
@@ -19,8 +26,9 @@ type node = {
   mutable next : node option;
 }
 
-type t = {
-  capacity : int;
+type stripe = {
+  lock : Mutex.t;
+  s_capacity : int;
   table : (key, node) Hashtbl.t;
   mutable head : node option;  (** most recently used *)
   mutable tail : node option;  (** least recently used *)
@@ -29,10 +37,12 @@ type t = {
   mutable writes : int;
 }
 
-let create ~capacity =
-  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
+type t = { stripes : stripe array }
+
+let make_stripe capacity =
   {
-    capacity;
+    lock = Mutex.create ();
+    s_capacity = capacity;
     table = Hashtbl.create (capacity * 2);
     head = None;
     tail = None;
@@ -41,82 +51,132 @@ let create ~capacity =
     writes = 0;
   }
 
-let capacity t = t.capacity
+(** [create_striped ~stripes ~capacity] — a pool of [capacity] pages
+    split over [stripes] independently locked LRU partitions.  With one
+    stripe the pool is a single global LRU. *)
+let create_striped ~stripes ~capacity =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
+  if stripes < 1 then invalid_arg "Buffer_pool.create: stripes must be >= 1";
+  let stripes = min stripes capacity in
+  let base = capacity / stripes and extra = capacity mod stripes in
+  {
+    stripes =
+      Array.init stripes (fun i ->
+          make_stripe (base + if i < extra then 1 else 0));
+  }
 
-let resident t = Hashtbl.length t.table
+(** [create ~capacity] — a single-stripe pool: one global LRU. *)
+let create ~capacity = create_striped ~stripes:1 ~capacity
 
-(* Unlinks [node] from the LRU list. *)
-let unlink t node =
+let stripe_count t = Array.length t.stripes
+
+let stripe_of t key =
+  if Array.length t.stripes = 1 then t.stripes.(0)
+  else t.stripes.(Hashtbl.hash key mod Array.length t.stripes)
+
+let locked stripe f =
+  Mutex.lock stripe.lock;
+  match f stripe with
+  | v ->
+    Mutex.unlock stripe.lock;
+    v
+  | exception e ->
+    Mutex.unlock stripe.lock;
+    raise e
+
+let sum_over t f = Array.fold_left (fun acc s -> acc + locked s f) 0 t.stripes
+
+let capacity t = Array.fold_left (fun acc s -> acc + s.s_capacity) 0 t.stripes
+
+let resident t = sum_over t (fun s -> Hashtbl.length s.table)
+
+(* Unlinks [node] from the stripe's LRU list. *)
+let unlink s node =
   (match node.prev with
   | Some p -> p.next <- node.next
-  | None -> t.head <- node.next);
+  | None -> s.head <- node.next);
   (match node.next with
   | Some n -> n.prev <- node.prev
-  | None -> t.tail <- node.prev);
+  | None -> s.tail <- node.prev);
   node.prev <- None;
   node.next <- None
 
 (* Pushes [node] to the most-recently-used end. *)
-let push_front t node =
-  node.next <- t.head;
+let push_front s node =
+  node.next <- s.head;
   node.prev <- None;
-  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
-  t.head <- Some node
+  (match s.head with Some h -> h.prev <- Some node | None -> s.tail <- Some node);
+  s.head <- Some node
 
-let evict_lru t =
-  match t.tail with
+let evict_lru s =
+  match s.tail with
   | None -> ()
   | Some node ->
-    unlink t node;
-    Hashtbl.remove t.table node.key
+    unlink s node;
+    Hashtbl.remove s.table node.key
 
-(** [access t ~table ~page] requests one page; returns whether it was
-    already resident.  A miss loads the page (evicting the least
-    recently used page if the pool is full). *)
-let access t ~table ~page =
-  let key = (table, page) in
-  t.requests <- t.requests + 1;
-  match Hashtbl.find_opt t.table key with
+let access_stripe s key =
+  s.requests <- s.requests + 1;
+  match Hashtbl.find_opt s.table key with
   | Some node ->
-    unlink t node;
-    push_front t node;
+    unlink s node;
+    push_front s node;
     `Hit
   | None ->
-    t.misses <- t.misses + 1;
-    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    s.misses <- s.misses + 1;
+    if Hashtbl.length s.table >= s.s_capacity then evict_lru s;
     let node = { key; prev = None; next = None } in
-    Hashtbl.replace t.table key node;
-    push_front t node;
+    Hashtbl.replace s.table key node;
+    push_front s node;
     `Miss
+
+(** [access t ~table ~page] requests one page; returns whether it was
+    already resident.  A miss loads the page (evicting the stripe's
+    least recently used page if the stripe is full). *)
+let access t ~table ~page =
+  let key = (table, page) in
+  let stripe = stripe_of t key in
+  locked stripe (fun s -> access_stripe s key)
 
 (** [flush t] empties the pool — the cold-cache protocol of Section
     5.1.  Statistics are kept. *)
 let flush t =
-  Hashtbl.reset t.table;
-  t.head <- None;
-  t.tail <- None
+  Array.iter
+    (fun stripe ->
+      locked stripe (fun s ->
+          Hashtbl.reset s.table;
+          s.head <- None;
+          s.tail <- None))
+    t.stripes
 
 (** [write t ~table ~page] requests one page for writing: the page is
     brought in like a read (a miss is a disk access) and the write is
     counted as one page written — the dirty-page flush a clustered
     B+-tree update would eventually pay. *)
 let write t ~table ~page =
-  t.writes <- t.writes + 1;
-  access t ~table ~page
+  let key = (table, page) in
+  let stripe = stripe_of t key in
+  locked stripe (fun s ->
+      s.writes <- s.writes + 1;
+      access_stripe s key)
 
-let requests t = t.requests
+let requests t = sum_over t (fun s -> s.requests)
 
 (** Physical page reads ("disk accesses"). *)
-let misses t = t.misses
+let misses t = sum_over t (fun s -> s.misses)
 
 (** Pages written by update operations. *)
-let writes t = t.writes
+let writes t = sum_over t (fun s -> s.writes)
 
 let reset_stats t =
-  t.requests <- 0;
-  t.misses <- 0;
-  t.writes <- 0
+  Array.iter
+    (fun stripe ->
+      locked stripe (fun s ->
+          s.requests <- 0;
+          s.misses <- 0;
+          s.writes <- 0))
+    t.stripes
 
 let pp ppf t =
-  Format.fprintf ppf "requests=%d misses=%d writes=%d resident=%d/%d" t.requests
-    t.misses t.writes (resident t) t.capacity
+  Format.fprintf ppf "requests=%d misses=%d writes=%d resident=%d/%d"
+    (requests t) (misses t) (writes t) (resident t) (capacity t)

@@ -2,14 +2,30 @@
     tables of one storage instance.  Tables request a tuple's page on
     every fetch; misses count as disk accesses — the cost the paper's
     evaluation appeals to.  {!flush} models the cold-cache protocol of
-    Section 5.1. *)
+    Section 5.1.
+
+    The pool is lock-striped and safe to share across query domains:
+    each stripe owns a disjoint hash partition of the page keys with
+    its own LRU list and mutex.  The default single stripe is one
+    global, observationally sequential LRU. *)
 
 type t
 
-(** @raise Invalid_argument if [capacity < 1]. *)
+(** [create ~capacity] — a single-stripe pool: one global LRU,
+    observationally identical to the sequential pool.
+    @raise Invalid_argument if [capacity < 1]. *)
 val create : capacity:int -> t
 
+(** [create_striped ~stripes ~capacity] — [capacity] pages split over
+    [stripes] independently locked LRU partitions ([stripes] is clamped
+    to [capacity]).
+    @raise Invalid_argument if [capacity < 1] or [stripes < 1]. *)
+val create_striped : stripes:int -> capacity:int -> t
+
 val capacity : t -> int
+
+(** Lock stripes in this pool. *)
+val stripe_count : t -> int
 
 (** Pages currently resident. *)
 val resident : t -> int

@@ -4,15 +4,23 @@
 
 exception Error of string
 
-(** [run ?counters plan] executes [plan] and materializes the result.
+(** [run ?counters ?pool plan] executes [plan] and materializes the
+    result.  With a multi-domain [pool], union branches, join sides,
+    index fetches and the structural-join sweep evaluate concurrently;
+    the result relation (tuples and order) and the counter totals are
+    identical to the sequential run, except that page {e reads} can
+    differ when concurrent regions race into the shared buffer pool.
     @raise Error on unknown columns, empty unions or schema
     mismatches. *)
-val run : ?counters:Counters.t -> Algebra.plan -> Relation.t
+val run :
+  ?counters:Counters.t -> ?pool:Blas_par.Pool.t -> Algebra.plan -> Relation.t
 
 (** [run_analyze ?counters plan] — like {!run}, also returning the
     EXPLAIN ANALYZE tree: one {!Blas_obs.Analyze.node} per executed
     operator with actual rows, elapsed time, seeks and page traffic.
     The per-node [self] charges sum exactly to the totals charged to
-    [counters] by this run. *)
+    [counters] by this run.  Always sequential — the collector diffs a
+    shared counter snapshot around each operator, which concurrent
+    evaluation would tear. *)
 val run_analyze :
   ?counters:Counters.t -> Algebra.plan -> Relation.t * Blas_obs.Analyze.node

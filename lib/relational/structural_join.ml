@@ -6,40 +6,134 @@
     [start] order while keeping the currently open ancestor intervals on
     a stack yields every (ancestor, descendant) pair in
     O(|anc| + |desc| + |output|), instead of the nested-loop join a naive
-    engine would run. *)
+    engine would run.
+
+    Inputs coming out of a clustered index scan are already in [start]
+    order, so the join first verifies sortedness in O(n) and only sorts
+    (stably, preserving tie order) when the check fails.  The sweep
+    itself runs over arrays: the ancestor stack is an array with a top
+    index — open intervals are nested, so their [end]s strictly decrease
+    bottom-to-top and closing an interval is a pop from the top, not a
+    list rebuild — and output tuples accumulate in a preallocated,
+    doubling buffer instead of a consed list.
+
+    With a domain {!Blas_par.Pool}, the descendant side is partitioned
+    into contiguous chunks swept concurrently.  Chunking descendants is
+    safe at any boundary: each chunk replays the ancestor prefix whose
+    starts precede its own descendants (ancestors are nested or
+    disjoint, so no match straddles a chunk), and concatenating chunk
+    outputs in chunk order reproduces the sequential output exactly. *)
 
 type side = { start_col : int; end_col : int }
 
 let int_at tuple col = Value.to_int (Tuple.get tuple col)
 
-(** [pairs ~anc ~desc ~anc_side ~desc_side ~keep] returns all concatenated
-    tuples [a @ d] where the interval of [a] strictly contains the
-    interval of [d] and [keep a d] holds (the level-gap filter).  Inputs
-    need not be sorted. *)
-let pairs ~anc ~desc ~anc_side ~desc_side ~keep =
-  let by_start side a b =
-    Stdlib.compare (int_at a side.start_col) (int_at b side.start_col)
-  in
-  let anc = List.sort (by_start anc_side) anc in
-  let desc = List.sort (by_start desc_side) desc in
-  let out = ref [] in
-  (* The stack holds ancestors whose interval contains the sweep point;
-     with nested-or-disjoint intervals, every stack survivor at a
-     descendant's start position strictly contains that descendant. *)
-  let rec sweep anc stack desc =
-    match desc with
-    | [] -> ()
-    | d :: drest ->
+(* O(n) sortedness check on [start]; the common case after a clustered
+   index scan. *)
+let sorted_on side arr =
+  let n = Array.length arr in
+  let ok = ref true in
+  if n > 1 then begin
+    let prev = ref (int_at arr.(0) side.start_col) in
+    let i = ref 1 in
+    while !ok && !i < n do
+      let s = int_at arr.(!i) side.start_col in
+      if s < !prev then ok := false
+      else begin
+        prev := s;
+        incr i
+      end
+    done
+  end;
+  !ok
+
+let to_sorted_array side tuples =
+  let arr = Array.of_list tuples in
+  if not (sorted_on side arr) then
+    (* Stable, so tuples tied on [start] keep their input order — the
+       order the sorting path has always produced. *)
+    Array.stable_sort
+      (fun a b -> Stdlib.compare (int_at a side.start_col) (int_at b side.start_col))
+      arr;
+  arr
+
+(* Sweeps descendants [off, off + len) of [desc] against [anc] (both
+   sorted by start), emitting matches for those descendants only.  The
+   stack holds ancestors whose interval contains the sweep point; with
+   nested-or-disjoint intervals every stack survivor at a descendant's
+   start strictly contains that descendant, and closed intervals sit on
+   top (ends decrease bottom-to-top), so expiring them is a pop. *)
+let sweep ~anc ~desc ~anc_side ~desc_side ~keep off len =
+  let na = Array.length anc in
+  if na = 0 || len = 0 then []
+  else begin
+    let stack = Array.make na anc.(0) in
+    let top = ref 0 in
+    let out = ref (Array.make (max 16 len) anc.(0)) in
+    let out_len = ref 0 in
+    let push v =
+      if !out_len = Array.length !out then begin
+        let bigger = Array.make (2 * Array.length !out) v in
+        Array.blit !out 0 bigger 0 !out_len;
+        out := bigger
+      end;
+      !out.(!out_len) <- v;
+      incr out_len
+    in
+    let ai = ref 0 and di = ref off in
+    let last = off + len in
+    while !di < last do
+      let d = desc.(!di) in
       let dstart = int_at d desc_side.start_col in
-      (match anc with
-      | a :: arest when int_at a anc_side.start_col < dstart ->
+      if !ai < na && int_at anc.(!ai) anc_side.start_col < dstart then begin
+        let a = anc.(!ai) in
         let astart = int_at a anc_side.start_col in
-        let stack = List.filter (fun s -> int_at s anc_side.end_col > astart) stack in
-        sweep arest (a :: stack) desc
-      | _ ->
-        let stack = List.filter (fun s -> int_at s anc_side.end_col > dstart) stack in
-        List.iter (fun a -> if keep a d then out := Tuple.concat a d :: !out) stack;
-        sweep anc stack drest)
-  in
-  sweep anc [] desc;
-  List.rev !out
+        while !top > 0 && int_at stack.(!top - 1) anc_side.end_col <= astart do
+          decr top
+        done;
+        stack.(!top) <- a;
+        incr top;
+        incr ai
+      end
+      else begin
+        while !top > 0 && int_at stack.(!top - 1) anc_side.end_col <= dstart do
+          decr top
+        done;
+        (* Innermost ancestor first, matching the sequential order. *)
+        for i = !top - 1 downto 0 do
+          let a = stack.(i) in
+          if keep a d then push (Tuple.concat a d)
+        done;
+        incr di
+      end
+    done;
+    List.init !out_len (fun i -> !out.(i))
+  end
+
+(* Below this many descendants a partitioned sweep costs more in fan-out
+   than it saves. *)
+let parallel_threshold = 128
+
+(** [pairs ?pool ~anc ~desc ~anc_side ~desc_side keep] returns all
+    concatenated tuples [a @ d] where the interval of [a] strictly
+    contains the interval of [d] and [keep a d] holds (the level-gap
+    filter).  Inputs need not be sorted.  With a [pool] of more than one
+    domain, large descendant sides are partitioned and swept
+    concurrently; the result is identical to the sequential sweep. *)
+let pairs ?pool ~anc ~desc ~anc_side ~desc_side keep =
+  let anc = to_sorted_array anc_side anc in
+  let desc = to_sorted_array desc_side desc in
+  let nd = Array.length desc in
+  let lanes = match pool with Some p -> Blas_par.Pool.size p | None -> 1 in
+  if lanes <= 1 || nd < parallel_threshold then
+    sweep ~anc ~desc ~anc_side ~desc_side ~keep 0 nd
+  else begin
+    let pool = Option.get pool in
+    let tasks =
+      Blas_par.Pool.chunks ~lanes nd
+      |> List.map (fun (off, len) () ->
+             sweep ~anc ~desc ~anc_side ~desc_side ~keep off len)
+      |> Array.of_list
+    in
+    List.concat (Array.to_list (Blas_par.Pool.run pool tasks))
+  end

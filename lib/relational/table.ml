@@ -98,6 +98,58 @@ let fetch_rows t counters rows =
   let tuples = Relation.tuples t.relation in
   List.map (fun row -> tuples.(row)) rows
 
+(* Splits sorted row ids into at most [lanes] contiguous chunks whose
+   boundaries fall on page boundaries, so no page's rows straddle two
+   chunks: per-chunk page coalescing then charges exactly the requests
+   the sequential fetch would, and concurrent chunks never contend for
+   the same page. *)
+let page_aligned_chunks t ~lanes rows =
+  let arr = Array.of_list rows in
+  let n = Array.length arr in
+  let lanes = max 1 (min lanes n) in
+  let chunks = ref [] in
+  let start = ref 0 in
+  for lane = 0 to lanes - 1 do
+    let target = (lane + 1) * n / lanes in
+    let stop = ref (max target !start) in
+    (* Extend to the next page boundary. *)
+    while
+      !stop > !start && !stop < n
+      && arr.(!stop) / t.page_rows = arr.(!stop - 1) / t.page_rows
+    do
+      incr stop
+    done;
+    if !stop > !start then begin
+      chunks := Array.to_list (Array.sub arr !start (!stop - !start)) :: !chunks;
+      start := !stop
+    end
+  done;
+  List.rev !chunks
+
+(* Fetches [rows] through [par] when it buys parallelism, charging each
+   chunk to a fresh counter vector merged back in chunk order — totals
+   equal the sequential fetch (page reads aside, which depend on what
+   other domains race into the buffer pool meanwhile). *)
+let fetch_rows_par t par counters rows =
+  match par with
+  | Some pool when Blas_par.Pool.size pool > 1 && List.length rows > 1 -> (
+    match page_aligned_chunks t ~lanes:(Blas_par.Pool.size pool) rows with
+    | [] | [ _ ] -> fetch_rows t counters rows
+    | chunks ->
+      let tasks =
+        Array.of_list
+          (List.map
+             (fun chunk () ->
+               let c = Counters.create () in
+               let tuples = fetch_rows t c chunk in
+               (c, tuples))
+             chunks)
+      in
+      let results = Blas_par.Pool.run pool tasks in
+      Array.iter (fun (c, _) -> Counters.add ~into:counters c) results;
+      List.concat_map snd (Array.to_list results))
+  | _ -> fetch_rows t counters rows
+
 (** Full scan: reads every tuple (and every page). *)
 let scan t counters =
   let tuples = Relation.tuples t.relation in
@@ -110,24 +162,27 @@ let scan t counters =
     done);
   Array.to_list tuples
 
-(** Equality lookup through the index on [column].
+(** Equality lookup through the index on [column].  With a multi-domain
+    [par] pool, the fetch is partitioned over page-aligned chunks.
     @raise Not_found if the column has no index. *)
-let index_eq t counters ~column value =
+let index_eq t ?par counters ~column value =
   let index = Hashtbl.find t.indexes column in
   counters.Counters.index_seeks <- counters.Counters.index_seeks + 1;
   let rows = Value_btree.find index value in
-  fetch_rows t counters (List.sort Stdlib.compare rows)
+  fetch_rows_par t par counters (List.sort Stdlib.compare rows)
 
 (** Range lookup [lo <= column <= hi] through the index ([None] bounds are
-    open).  Row ids are returned in clustered order.
+    open).  Row ids are returned in clustered order.  With a
+    multi-domain [par] pool, the fetch is partitioned over page-aligned
+    chunks.
     @raise Not_found if the column has no index. *)
-let index_range t counters ~column ~lo ~hi =
+let index_range t ?par counters ~column ~lo ~hi =
   let index = Hashtbl.find t.indexes column in
   counters.Counters.index_seeks <- counters.Counters.index_seeks + 1;
   let rows =
     Value_btree.fold_range index ~lo ~hi ~init:[] ~f:(fun acc _ row -> row :: acc)
   in
-  fetch_rows t counters (List.sort Stdlib.compare rows)
+  fetch_rows_par t par counters (List.sort Stdlib.compare rows)
 
 (** [index_count t ~column ~lo ~hi] — how many rows an index range
     access would fetch, computed from the index alone.  This is an

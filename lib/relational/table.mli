@@ -49,9 +49,13 @@ val indexed_columns : t -> string list
 val scan : t -> Counters.t -> Tuple.t list
 
 (** Equality lookup through the index on [column]; rows come back in
-    clustered order.
+    clustered order.  With a multi-domain [par] pool, the fetch is
+    partitioned over page-aligned chunks (results and counter totals
+    match the sequential fetch; page {e reads} can differ only through
+    buffer-pool races with other domains).
     @raise Not_found if the column has no index. *)
-val index_eq : t -> Counters.t -> column:string -> Value.t -> Tuple.t list
+val index_eq :
+  t -> ?par:Blas_par.Pool.t -> Counters.t -> column:string -> Value.t -> Tuple.t list
 
 (** [index_count t ~column ~lo ~hi] — how many rows a range access
     would fetch, from the index alone (an optimizer probe: no counters,
@@ -72,10 +76,13 @@ val index_count :
 val apply_edits :
   t -> Counters.t -> deletes:Tuple.t list -> inserts:Tuple.t list -> int
 
-(** Range lookup [lo <= column <= hi] ([None] bounds are open).
+(** Range lookup [lo <= column <= hi] ([None] bounds are open).  With a
+    multi-domain [par] pool, the fetch is partitioned over page-aligned
+    chunks.
     @raise Not_found if the column has no index. *)
 val index_range :
   t ->
+  ?par:Blas_par.Pool.t ->
   Counters.t ->
   column:string ->
   lo:Value.t option ->

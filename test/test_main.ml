@@ -21,6 +21,7 @@ let () =
       ("update", Test_update.suite);
       ("robustness", Test_robustness.suite);
       ("observability", Test_obs.suite);
+      ("parallel", Test_par.suite);
       ("misc", Test_misc.suite);
       ("datagen", Test_datagen.suite);
     ]

@@ -206,7 +206,7 @@ let structural_join_prop =
   in
   Test_util.qtest "structural join matches nested loop" gen (fun (anc, desc) ->
       let keep _ _ = true in
-      let fast = Structural_join.pairs ~anc ~desc ~anc_side:side ~desc_side:side ~keep in
+      let fast = Structural_join.pairs ~anc ~desc ~anc_side:side ~desc_side:side keep in
       let slow = naive_pairs anc desc keep in
       List.sort Tuple.compare fast = List.sort Tuple.compare slow)
 
@@ -223,7 +223,7 @@ let structural_join_gap_prop =
       let keep a d = int_at d 2 = int_at a 2 + k in
       let fast =
         Structural_join.pairs ~anc:intervals ~desc:intervals ~anc_side:side
-          ~desc_side:side ~keep
+          ~desc_side:side keep
       in
       let slow = naive_pairs intervals intervals keep in
       List.sort Tuple.compare fast = List.sort Tuple.compare slow)
