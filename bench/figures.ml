@@ -65,9 +65,9 @@ let fig12 () =
       Bench_util.header = [ "data set"; "size"; "nodes"; "tags"; "depth" ];
       rows =
         [
-          row "Shakespeare" (Blas_datagen.Shakespeare.default ());
-          row "Protein" (Blas_datagen.Protein.default ());
-          row "Auction" (Blas_datagen.Auction.default ());
+          row "Shakespeare" (Datasets.shakespeare_tree ());
+          row "Protein" (Datasets.protein_tree ());
+          row "Auction" (Datasets.auction_tree ());
         ];
     };
   print_endline
@@ -235,9 +235,9 @@ let build () =
           Printf.sprintf "%.0f" (float_of_int nodes /. t);
         ])
       [
-        ("Shakespeare", Blas_datagen.Shakespeare.default ());
-        ("Protein", Blas_datagen.Protein.default ());
-        ("Auction", Blas_datagen.Auction.default ());
+        ("Shakespeare", Datasets.shakespeare_tree ());
+        ("Protein", Datasets.protein_tree ());
+        ("Auction", Datasets.auction_tree ());
       ]
   in
   Bench_util.print_table
@@ -274,9 +274,9 @@ let space () =
           Printf.sprintf "%.2fx" (float_of_int sp_bytes /. float_of_int xml_bytes);
         ])
       [
-        ("Shakespeare", Blas_datagen.Shakespeare.default ());
-        ("Protein", Blas_datagen.Protein.default ());
-        ("Auction", Blas_datagen.Auction.default ());
+        ("Shakespeare", Datasets.shakespeare_tree ());
+        ("Protein", Datasets.protein_tree ());
+        ("Auction", Datasets.auction_tree ());
       ]
   in
   Bench_util.print_table

@@ -4,7 +4,8 @@
     section is regenerated in order, followed by the join-count table,
     the ablations, the micro-benchmarks and the instrumentation
     overhead check; section arguments (fig10 ... fig18, joins, disk,
-    space, build, ablate, bechamel, overhead, scaling) select a subset.
+    space, build, cache, ablate, bechamel, overhead, scaling) select a
+    subset.
 
     Flags: [--json] also writes every printed table to
     BENCH_results.json; [--check] makes the overhead section enforce its
@@ -26,6 +27,7 @@ let sections =
     ("disk", Figures.disk);
     ("space", Figures.space);
     ("build", Figures.build);
+    ("cache", Workload.run);
     ("ablate", Ablations.all);
     ("bechamel", Micro.run);
     ("overhead", Overhead.run);

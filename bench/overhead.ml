@@ -98,14 +98,36 @@ let run () =
       (Staged.stage (fun () ->
            Blas.run ~pool storage ~engine:Blas.Rdbms ~translator query))
   in
-  let results = estimates [ bare; disabled; enabled; pool_j1 ] in
+  (* The query cache makes the same claim when bypassed: [~cache:false]
+     must price like the uncached pipeline (one option match per run).
+     The warm-cache variant is measured for scale, not gated — it
+     prices the memo hit path. *)
+  let cache_off =
+    Test.make ~name:"cache-off"
+      (Staged.stage (fun () ->
+           Blas.run ~cache:false storage ~engine:Blas.Rdbms ~translator query))
+  in
+  let cache_warm =
+    Test.make ~name:"cache-warm"
+      (Staged.stage (fun () ->
+           Blas.run ~cache:true storage ~engine:Blas.Rdbms ~translator query))
+  in
+  let results =
+    estimates [ bare; disabled; enabled; pool_j1; cache_off; cache_warm ]
+  in
   Blas.Par.shutdown pool;
+  Blas.Cache.clear (Blas.Storage.cache storage);
   match (find "bare" results, find "disabled" results, find "enabled" results) with
   | Some bare_ns, Some disabled_ns, enabled_ns ->
     let pool_ns = find "pool-j1" results in
     let overhead = (disabled_ns -. bare_ns) /. bare_ns *. 100.0 in
     let pool_overhead =
       Option.map (fun p -> (p -. disabled_ns) /. disabled_ns *. 100.0) pool_ns
+    in
+    let cache_off_ns = find "cache-off" results in
+    let cache_warm_ns = find "cache-warm" results in
+    let cache_overhead =
+      Option.map (fun c -> (c -. bare_ns) /. bare_ns *. 100.0) cache_off_ns
     in
     Bench_util.print_table
       ~title:"disabled instrumentation and the -j 1 pool must be free"
@@ -137,6 +159,24 @@ let run () =
               | Some po -> Printf.sprintf "%+.1f%%" po
               | None -> "-");
             ];
+            [
+              "cache off (forced)";
+              (match cache_off_ns with
+              | Some c -> Printf.sprintf "%.0f" c
+              | None -> "-");
+              (match cache_overhead with
+              | Some co -> Printf.sprintf "%+.1f%%" co
+              | None -> "-");
+            ];
+            [
+              "cache warm (memo hit)";
+              (match cache_warm_ns with
+              | Some c -> Printf.sprintf "%.0f" c
+              | None -> "-");
+              (match cache_warm_ns with
+              | Some c -> Printf.sprintf "%.2fx bare" (c /. bare_ns)
+              | None -> "-");
+            ];
           ];
       };
     if !check_mode then begin
@@ -149,7 +189,7 @@ let run () =
       else
         Printf.printf "OK: disabled overhead %+.1f%% <= %.1f%%\n" overhead
           threshold_percent;
-      match pool_overhead with
+      (match pool_overhead with
       | Some po when po > threshold_percent ->
         Printf.eprintf
           "FAIL: -j 1 pool costs %+.1f%% over sequential (threshold %.1f%%)\n%!"
@@ -160,6 +200,20 @@ let run () =
           threshold_percent
       | None ->
         Printf.eprintf "overhead: no pool-j1 estimate\n%!";
+        failed := true);
+      match cache_overhead with
+      | Some co when co > threshold_percent ->
+        Printf.eprintf
+          "FAIL: cache-disabled path costs %+.1f%% over bare (threshold \
+           %.1f%%)\n\
+           %!"
+          co threshold_percent;
+        failed := true
+      | Some co ->
+        Printf.printf "OK: cache-disabled overhead %+.1f%% <= %.1f%%\n" co
+          threshold_percent
+      | None ->
+        Printf.eprintf "overhead: no cache-off estimate\n%!";
         failed := true
     end
   | _ ->

@@ -123,6 +123,14 @@ let jobs_arg =
           "Execution domains for parallel query evaluation (default 1 = \
            sequential).  Results are identical to a sequential run.")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the semantic query cache for this invocation (the CLI \
+           enables it by default; the library default is off).")
+
 (* Runs [f] with the domain pool -j asked for ([None] when sequential),
    shutting the workers down on the way out. *)
 let with_jobs jobs f =
@@ -313,10 +321,11 @@ let merge_reports (reports : Blas.report list) =
   }
 
 let run () query_string translator engine verify show_limit as_xml explain
-    analyze show_stats jobs path =
+    analyze show_stats jobs no_cache path =
   match load_storage path, parse_query_union query_string with
   | Error msg, _ | _, Error msg -> `Error (false, msg)
   | Ok storage, Ok queries ->
+    Blas.Storage.set_cache_enabled storage (not no_cache);
     let t0 = Blas_obs.Clock.now_ns () in
     let report =
       if analyze then begin
@@ -410,7 +419,7 @@ let run_cmd =
       ret
         (const run $ logs_term $ query_arg $ translator_arg $ engine_arg
        $ verify $ show $ as_xml $ explain $ analyze $ show_stats $ jobs_arg
-       $ input_arg))
+       $ no_cache_arg $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* index                                                               *)
@@ -555,12 +564,13 @@ let update_cmd =
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
 
-let profile () query_string translator engine repeat json jobs path =
+let profile () query_string translator engine repeat json jobs no_cache path =
   match load_storage path, parse_query_union query_string with
   | Error msg, _ | _, Error msg -> `Error (false, msg)
   | Ok storage, Ok queries ->
     if repeat < 1 then `Error (false, "--repeat must be >= 1")
     else begin
+      Blas.Storage.set_cache_enabled storage (not no_cache);
       let registry = Blas_obs.Metrics.create () in
       let tracer = Blas_obs.Trace.create () in
       Blas.set_metrics (Some registry);
@@ -634,7 +644,73 @@ let profile_cmd =
     Term.(
       ret
         (const profile $ logs_term $ query_arg $ translator_arg $ engine_arg
-       $ repeat $ json $ jobs_arg $ input_arg))
+       $ repeat $ json $ jobs_arg $ no_cache_arg $ input_arg))
+
+(* ------------------------------------------------------------------ *)
+(* cache                                                               *)
+
+let cache_view () query_string translator engine repeat jobs path =
+  match load_storage path, parse_query_union query_string with
+  | Error msg, _ | _, Error msg -> `Error (false, msg)
+  | Ok storage, Ok queries ->
+    if repeat < 1 then `Error (false, "--repeat must be >= 1")
+    else begin
+      with_jobs jobs (fun pool ->
+          let time f =
+            let t0 = Blas_obs.Clock.now_ns () in
+            f ();
+            Int64.to_float (Blas_obs.Clock.elapsed_ns t0) /. 1e6
+          in
+          let run_all ~cache =
+            List.iter
+              (fun q ->
+                ignore (Blas.run ?pool ~cache storage ~engine ~translator q))
+              queries
+          in
+          let cold_ms =
+            time (fun () ->
+                for _ = 1 to repeat do
+                  run_all ~cache:false
+                done)
+          in
+          let warm_ms =
+            time (fun () ->
+                for _ = 1 to repeat do
+                  run_all ~cache:true
+                done)
+          in
+          let stats = Blas.Storage.cache_stats storage in
+          Printf.printf
+            "%d queries x %d repetitions (%s on %s)\n\
+             cold (cache bypassed): %8.3f ms\n\
+             warm (cache enabled):  %8.3f ms   speedup %.2fx\n\n"
+            (List.length queries) repeat
+            (Blas.translator_name translator)
+            (Blas.engine_name engine) cold_ms warm_ms
+            (cold_ms /. Float.max warm_ms 1e-6);
+          Format.printf "%a@." Blas.Cache.pp_stats stats;
+          Printf.printf "hit rate: %.1f%%\n"
+            (100. *. Blas.Cache.hit_rate stats));
+      `Ok ()
+    end
+
+let cache_cmd =
+  let repeat =
+    Arg.(
+      value & opt int 5
+      & info [ "repeat"; "n" ] ~docv:"N"
+          ~doc:"Run the workload N times cold, then N times warm.")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Exercise the semantic query cache: run a workload cold (cache \
+          bypassed) and warm (cache enabled), and print the timing ratio \
+          plus the cache's hit/miss/eviction statistics.")
+    Term.(
+      ret
+        (const cache_view $ logs_term $ query_arg $ translator_arg
+       $ engine_arg $ repeat $ jobs_arg $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 
@@ -652,5 +728,6 @@ let () =
             plan_cmd;
             run_cmd;
             profile_cmd;
+            cache_cmd;
             update_cmd;
           ]))

@@ -1,0 +1,289 @@
+(** The semantic result cache — see the interface for the hit and
+    invalidation rules. *)
+
+module Interval = Blas_label.Interval
+module Bignum = Blas_label.Bignum
+module Tuple = Blas_rel.Tuple
+module Value = Blas_rel.Value
+
+type pred = Blas_xpath.Ast.value_constraint option
+
+type entry = {
+  e_interval : Interval.t;
+  e_pred : pred;
+  e_rows : Tuple.t list;  (* clustered order, predicate already applied *)
+  e_count : int;
+  e_dlo : int;  (* min start over rows; e_dlo > e_dhi when empty *)
+  e_dhi : int;  (* max end over rows *)
+  e_weight : int;
+  e_benefit : int;
+  mutable e_tick : int;  (* guarded by the stripe lock *)
+}
+
+type stripe = {
+  lock : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  mutable bytes : int;
+}
+
+type t = {
+  stripes : stripe array;
+  stripe_capacity : int;
+  clock : int Atomic.t;
+  stats : Stats.t;
+  plabel_i : int;
+  start_i : int;
+  end_i : int;
+  data_i : int;
+}
+
+(* Weight model: a fixed entry overhead plus a flat per-tuple estimate
+   (five boxed values and the list cell). *)
+let entry_overhead = 128
+
+let row_bytes = 120
+
+let default_stripes = 8
+
+let default_capacity = 16 * 1024 * 1024
+
+let create ?(stripes = default_stripes) ?(capacity_bytes = default_capacity)
+    ?(stats = Stats.create ()) ~plabel_index ~start_index ~end_index
+    ~data_index () =
+  if stripes < 1 then invalid_arg "Semantic.create: stripes must be >= 1";
+  {
+    stripes =
+      Array.init stripes (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 16; bytes = 0 });
+    stripe_capacity = max 1 (capacity_bytes / stripes);
+    clock = Atomic.make 0;
+    stats;
+    plabel_i = plabel_index;
+    start_i = start_index;
+    end_i = end_index;
+    data_i = data_index;
+  }
+
+let locked stripe f =
+  Mutex.lock stripe.lock;
+  match f () with
+  | v ->
+    Mutex.unlock stripe.lock;
+    v
+  | exception e ->
+    Mutex.unlock stripe.lock;
+    raise e
+
+let tick t = Atomic.fetch_and_add t.clock 1
+
+let pred_key = function
+  | None -> ""
+  | Some (Blas_xpath.Ast.Equals v) -> "=" ^ v
+  | Some (Blas_xpath.Ast.Differs v) -> "!" ^ v
+
+let key_of interval pred =
+  Bignum.to_string (Interval.lo interval)
+  ^ ","
+  ^ Bignum.to_string (Interval.hi interval)
+  ^ "|" ^ pred_key pred
+
+let stripe_of t key = t.stripes.(Hashtbl.hash key mod Array.length t.stripes)
+
+let pred_equal (a : pred) (b : pred) = a = b
+
+(* A cached entry answers a probe's predicate when the predicates match,
+   or when the entry is predicate-free (its rows are a superset that the
+   probe's predicate can filter). *)
+let pred_serves ~cached ~probe =
+  pred_equal cached probe || cached = None
+
+let row_matches_pred t pred tuple =
+  match pred with
+  | None -> true
+  | Some (Blas_xpath.Ast.Equals v) -> (
+    match Tuple.get tuple t.data_i with
+    | Value.Str d -> String.equal d v
+    | _ -> false)
+  | Some (Blas_xpath.Ast.Differs v) -> (
+    match Tuple.get tuple t.data_i with
+    | Value.Str d -> not (String.equal d v)
+    | _ -> false)
+
+let row_plabel t tuple =
+  match Tuple.get tuple t.plabel_i with
+  | Value.Big b -> Some b
+  | _ -> None
+
+(* Containment hit (Proposition 3.2): keep the covering entry's rows
+   whose P-label falls inside the probe interval, applying the probe's
+   predicate when the entry was cached predicate-free. *)
+let filter_rows t (e : entry) ~interval ~pred =
+  let narrow_pred = not (pred_equal e.e_pred pred) in
+  List.filter
+    (fun tuple ->
+      (match row_plabel t tuple with
+      | Some p -> Interval.mem p interval
+      | None -> false)
+      && ((not narrow_pred) || row_matches_pred t pred tuple))
+    e.e_rows
+
+let find t ~interval ~pred =
+  let key = key_of interval pred in
+  let stripe = stripe_of t key in
+  let exact =
+    locked stripe @@ fun () ->
+    match Hashtbl.find_opt stripe.tbl key with
+    | Some e ->
+      e.e_tick <- tick t;
+      Some e.e_rows
+    | None -> None
+  in
+  match exact with
+  | Some rows ->
+    Stats.hit t.stats;
+    Some rows
+  | None -> (
+    (* Containment probe: scan the stripes for the smallest covering
+       entry.  Each stripe is locked in turn; the chosen entry's row
+       list is immutable, so it can be filtered outside the lock. *)
+    let best = ref None in
+    Array.iter
+      (fun s ->
+        locked s @@ fun () ->
+        Hashtbl.iter
+          (fun _ e ->
+            if
+              Interval.contains ~outer:e.e_interval ~inner:interval
+              && pred_serves ~cached:e.e_pred ~probe:pred
+            then
+              match !best with
+              | Some b when b.e_count <= e.e_count -> ()
+              | _ ->
+                e.e_tick <- tick t;
+                best := Some e)
+          s.tbl)
+      t.stripes;
+    match !best with
+    | Some e ->
+      Stats.containment_hit t.stats;
+      Some (filter_rows t e ~interval ~pred)
+    | None ->
+      Stats.miss t.stats;
+      None)
+
+(* Evicts the lowest-(benefit, tick) entry until the stripe fits. *)
+let shrink t stripe =
+  while stripe.bytes > t.stripe_capacity do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, best)
+            when (best.e_benefit, best.e_tick) <= (e.e_benefit, e.e_tick) ->
+            acc
+          | _ -> Some (k, e))
+        stripe.tbl None
+    in
+    match victim with
+    | None -> stripe.bytes <- 0
+    | Some (k, e) ->
+      Hashtbl.remove stripe.tbl k;
+      stripe.bytes <- stripe.bytes - e.e_weight;
+      Stats.evict t.stats ~bytes:e.e_weight
+  done
+
+let store t ~interval ~pred ~benefit rows =
+  let count = List.length rows in
+  let weight = entry_overhead + (row_bytes * count) in
+  if benefit > 0 && weight <= t.stripe_capacity then begin
+    let dlo, dhi =
+      List.fold_left
+        (fun (lo, hi) tuple ->
+          let s = Value.to_int (Tuple.get tuple t.start_i) in
+          let e = Value.to_int (Tuple.get tuple t.end_i) in
+          (min lo s, max hi e))
+        (max_int, min_int) rows
+    in
+    let key = key_of interval pred in
+    let stripe = stripe_of t key in
+    locked stripe @@ fun () ->
+    (match Hashtbl.find_opt stripe.tbl key with
+    | Some old ->
+      stripe.bytes <- stripe.bytes - old.e_weight + weight;
+      Stats.replace t.stats ~old_bytes:old.e_weight ~bytes:weight
+    | None ->
+      stripe.bytes <- stripe.bytes + weight;
+      Stats.insert t.stats ~bytes:weight);
+    Hashtbl.replace stripe.tbl key
+      {
+        e_interval = interval;
+        e_pred = pred;
+        e_rows = rows;
+        e_count = count;
+        e_dlo = dlo;
+        e_dhi = dhi;
+        e_weight = weight;
+        e_benefit = benefit;
+        e_tick = tick t;
+      };
+    shrink t stripe
+  end
+
+let stale ~plabels ~drange (e : entry) =
+  List.exists (fun p -> Interval.mem p e.e_interval) plabels
+  || (match drange with
+     | Some (lo, hi) -> e.e_count > 0 && not (hi < e.e_dlo || e.e_dhi < lo)
+     | None -> false)
+
+let invalidate t ~plabels ~drange =
+  Array.fold_left
+    (fun removed stripe ->
+      locked stripe @@ fun () ->
+      let dead =
+        Hashtbl.fold
+          (fun k e acc -> if stale ~plabels ~drange e then (k, e) :: acc else acc)
+          stripe.tbl []
+      in
+      List.iter
+        (fun (k, e) ->
+          Hashtbl.remove stripe.tbl k;
+          stripe.bytes <- stripe.bytes - e.e_weight;
+          Stats.invalidate t.stats ~bytes:e.e_weight)
+        dead;
+      removed + List.length dead)
+    0 t.stripes
+
+let clear t =
+  Array.iter
+    (fun stripe ->
+      locked stripe @@ fun () ->
+      Hashtbl.iter
+        (fun _ e -> Stats.invalidate t.stats ~bytes:e.e_weight)
+        stripe.tbl;
+      Hashtbl.reset stripe.tbl;
+      stripe.bytes <- 0)
+    t.stripes
+
+let entry_count t =
+  Array.fold_left
+    (fun acc stripe -> acc + locked stripe (fun () -> Hashtbl.length stripe.tbl))
+    0 t.stripes
+
+let bytes_used t =
+  Array.fold_left
+    (fun acc stripe -> acc + locked stripe (fun () -> stripe.bytes))
+    0 t.stripes
+
+let stats t = t.stats
+
+let validate t =
+  Array.iteri
+    (fun i stripe ->
+      locked stripe @@ fun () ->
+      let total = Hashtbl.fold (fun _ e acc -> acc + e.e_weight) stripe.tbl 0 in
+      if total <> stripe.bytes || stripe.bytes < 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Semantic.validate: stripe %d accounts %d bytes but holds %d" i
+             stripe.bytes total))
+    t.stripes

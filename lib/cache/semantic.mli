@@ -1,0 +1,76 @@
+(** The semantic result cache: suffix-path scan results keyed by their
+    P-label interval and value predicate.
+
+    An entry remembers the exact tuple set of one clustered SP scan —
+    the rows whose P-label lies in the signature interval, filtered by
+    the signature predicate.  Lookups serve two kinds of hits:
+
+    - {b exact}: same interval, same predicate — the rows verbatim;
+    - {b containment}: a cached interval that {e contains} the probe
+      interval can answer it by filtering the cached rows on P-label
+      membership (Definition 3.2/Proposition 3.2: path containment is
+      interval containment, so the covering entry is a superset of the
+      probe's answer).  A predicate-free entry additionally serves
+      predicated probes by applying the predicate during the filter.
+
+    Entries are striped, size-bounded and cost-admitted exactly like
+    {!Lru}; [benefit] should be the cost model's page estimate for the
+    scan a hit avoids.  {!invalidate} implements the update protocol:
+    an entry dies when a touched P-label lands in its interval or when
+    its D-range overlaps the edited subtree's window. *)
+
+type t
+
+(** [create ~plabel_index ~start_index ~end_index ~data_index ()] fixes
+    the column layout of the cached tuples (the SP schema).  [stripes],
+    [capacity_bytes] and [stats] as in {!Lru.create}. *)
+val create :
+  ?stripes:int ->
+  ?capacity_bytes:int ->
+  ?stats:Stats.t ->
+  plabel_index:int ->
+  start_index:int ->
+  end_index:int ->
+  data_index:int ->
+  unit ->
+  t
+
+(** [find t ~interval ~pred] — the rows of the signature scan, or
+    [None].  Containment hits allocate a fresh filtered list; exact
+    hits return the stored list. *)
+val find :
+  t ->
+  interval:Blas_label.Interval.t ->
+  pred:Blas_xpath.Ast.value_constraint option ->
+  Blas_rel.Tuple.t list option
+
+(** [store t ~interval ~pred ~benefit rows] admits the result of a
+    completed scan.  [rows] must be exactly the scan's post-predicate
+    result, in clustered order. *)
+val store :
+  t ->
+  interval:Blas_label.Interval.t ->
+  pred:Blas_xpath.Ast.value_constraint option ->
+  benefit:int ->
+  Blas_rel.Tuple.t list ->
+  unit
+
+(** [invalidate t ~plabels ~drange] removes every entry whose interval
+    contains one of the touched [plabels], or whose cached D-range
+    overlaps [drange] (the edited subtree's window).  Returns how many
+    entries died. *)
+val invalidate :
+  t -> plabels:Blas_label.Bignum.t list -> drange:(int * int) option -> int
+
+(** [clear t] empties the cache (counted as invalidations). *)
+val clear : t -> unit
+
+val entry_count : t -> int
+
+val bytes_used : t -> int
+
+val stats : t -> Stats.t
+
+(** Internal-accounting check for the [-j N] stress tests.
+    @raise Invalid_argument on a torn stripe. *)
+val validate : t -> unit

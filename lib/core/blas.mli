@@ -34,6 +34,12 @@ module Update = Update
     buffer-pool interleaving). *)
 module Par = Blas_par.Pool
 
+(** The semantic query cache (plan memo, whole-query result memo,
+    containment-aware scan cache) attached to every {!Storage.t}.
+    Disabled by default; switch it on per storage with
+    {!Storage.set_cache_enabled} or per run with {!run}'s [?cache]. *)
+module Cache = Qcache
+
 type translator = Exec.translator =
   | D_labeling  (** the baseline: one D-join per query edge over SD *)
   | Split  (** Section 4.1.1 *)
@@ -94,10 +100,20 @@ val plan_for :
     as a [query] span over its lifecycle phases.  With a multi-domain
     [pool] the execute phase fans out (union branches, join sides,
     partitioned D-joins, chunked index fetches); answers and counter
-    totals match the sequential run. *)
+    totals match the sequential run.
+
+    [?cache] overrides the storage's cache switch for this run only
+    ([Some false] forces a cold reference run without flushing the
+    cache; the default follows {!Storage.cache_enabled}, which starts
+    off).  With caching active, translation stages are memoized per
+    schema epoch, P-label scans are served from the semantic result
+    cache (exact or containment hits), and suffix-path queries replay
+    memoized answers with zero I/O until an update touches their
+    footprint. *)
 val run :
   ?tracer:Blas_obs.Trace.t ->
   ?pool:Par.t ->
+  ?cache:bool ->
   Storage.t ->
   engine:engine ->
   translator:translator ->
@@ -107,9 +123,13 @@ val run :
 (** [run_analyze storage ~engine ~translator q] — EXPLAIN ANALYZE: like
     {!run}, also returning the annotated operator tree (actual rows,
     elapsed time and I/O per executed operator).  Summing the tree's
-    [self] stats reconciles exactly with [report.counters]. *)
+    [self] stats reconciles exactly with [report.counters].  With
+    caching active the root label reports this run's cache delta; the
+    whole-query memo is bypassed so the tree is always a real
+    execution. *)
 val run_analyze :
   ?tracer:Blas_obs.Trace.t ->
+  ?cache:bool ->
   Storage.t ->
   engine:engine ->
   translator:translator ->
@@ -139,6 +159,7 @@ val query_union : string -> Blas_xpath.Ast.t list
     multi-domain [pool], the batch runs concurrently. *)
 val run_union :
   ?pool:Par.t ->
+  ?cache:bool ->
   Storage.t ->
   engine:engine ->
   translator:translator ->

@@ -38,12 +38,37 @@ let document_count t = List.length t.docs
 let node_count t =
   List.fold_left (fun acc (_, s) -> acc + Storage.node_count s) 0 t.docs
 
+(** [set_cache_enabled t on] flips the query cache of every document's
+    storage (each partition has its own cache, so per-document caching
+    stays domain-safe under a concurrent {!run}). *)
+let set_cache_enabled t on =
+  List.iter (fun (_, s) -> Storage.set_cache_enabled s on) t.docs
+
+(** Summed cache statistics across the collection's partitions. *)
+let cache_stats t =
+  List.fold_left
+    (fun acc (_, s) ->
+      let st = Qcache.stats (Storage.cache s) in
+      {
+        Qcache.plans = Blas_cache.Stats.sum acc.Qcache.plans st.Qcache.plans;
+        results = Blas_cache.Stats.sum acc.Qcache.results st.Qcache.results;
+        streams = Blas_cache.Stats.sum acc.Qcache.streams st.Qcache.streams;
+      })
+    {
+      Qcache.plans = Blas_cache.Stats.zero;
+      results = Blas_cache.Stats.zero;
+      streams = Blas_cache.Stats.zero;
+    }
+    t.docs
+
 (** [run ?pool t ~engine ~translator query] evaluates [query] on every
     document; per-document reports come back in insertion order.  With a
     multi-domain [pool], documents evaluate concurrently (they share no
     storage, so this parallelism is embarrassingly safe). *)
-let run ?pool t ~engine ~translator query =
-  let run_one (name, s) = (name, Exec.run ?pool s ~engine ~translator query) in
+let run ?pool ?cache t ~engine ~translator query =
+  let run_one (name, s) =
+    (name, Exec.run ?pool ?cache s ~engine ~translator query)
+  in
   match pool with
   | Some p when Blas_par.Pool.size p > 1 && List.length t.docs > 1 ->
     Blas_par.Pool.map_list p run_one t.docs

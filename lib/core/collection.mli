@@ -28,10 +28,19 @@ val document_count : t -> int
 
 val node_count : t -> int
 
+(** [set_cache_enabled t on] flips the query cache of every document's
+    storage. *)
+val set_cache_enabled : t -> bool -> unit
+
+(** Summed cache statistics across the collection's partitions. *)
+val cache_stats : t -> Qcache.stats
+
 (** Per-document reports, in insertion order.  With a multi-domain
-    [pool], documents evaluate concurrently. *)
+    [pool], documents evaluate concurrently.  [?cache] overrides every
+    partition's cache switch for this run. *)
 val run :
   ?pool:Blas_par.Pool.t ->
+  ?cache:bool ->
   t ->
   engine:Exec.engine ->
   translator:Exec.translator ->

@@ -15,6 +15,15 @@ val zero : t
 
 val add : t -> t -> t
 
+(** The clustered page size the model prices against (the {!Blas_rel.Table}
+    default, 64 tuples). *)
+val page_rows : int
+
+(** [pages_for tuples ~page_rows] — conservative page count of a
+    clustered fetch of [tuples] contiguous rows.  The cache layer uses
+    this as the benefit score of a memoized scan. *)
+val pages_for : int -> page_rows:int -> int
+
 (** Prices one decomposition branch. *)
 val of_branch : Storage.t -> Suffix_query.t -> t
 

@@ -30,39 +30,70 @@ let entry_of_tuple schema =
 
 (* The stream of one suffix-path item: a clustered P-label range (or
    equality) scan, with the value predicate applied on the fly.  [par]
-   chunks the fetch over a domain pool. *)
-let item_stream ?par (storage : Storage.t) counters (item : Suffix_query.item) =
+   chunks the fetch over a domain pool.  [cache] is the storage's
+   semantic scan cache: the post-predicate stream is looked up (exact
+   or by interval containment) before touching the index, and stored
+   after a real scan.  The cache signature is the interval actually
+   fetched — a point for absolute paths, whose matches carry exactly
+   the interval's left endpoint as their P-label. *)
+let item_stream ?par ?cache (storage : Storage.t) counters
+    (item : Suffix_query.item) =
   match Blas_label.Plabel.suffix_path_interval storage.table item.path with
   | None -> []
   | Some interval ->
     let schema = Table.schema storage.sp in
     let data_i = Schema.index_of schema "data" in
     let to_entry = entry_of_tuple schema in
-    let rows =
+    let signature =
       if item.path.absolute then
-        Table.index_eq storage.sp ?par counters ~column:"plabel"
-          (Value.Big (Blas_label.Interval.lo interval))
-      else
-        Table.index_range storage.sp ?par counters ~column:"plabel"
-          ~lo:(Some (Value.Big (Blas_label.Interval.lo interval)))
-          ~hi:(Some (Value.Big (Blas_label.Interval.hi interval)))
+        Blas_label.Interval.make
+          (Blas_label.Interval.lo interval)
+          (Blas_label.Interval.lo interval)
+      else interval
     in
-    List.filter_map
-      (fun tuple ->
-        let keep =
-          match item.value with
-          | None -> true
-          | Some (Blas_xpath.Ast.Equals v) -> (
-            match Tuple.get tuple data_i with
-            | Value.Str d -> String.equal d v
-            | _ -> false)
-          | Some (Blas_xpath.Ast.Differs v) -> (
-            match Tuple.get tuple data_i with
-            | Value.Str d -> not (String.equal d v)
-            | _ -> false)
+    let cached =
+      match cache with
+      | None -> None
+      | Some sem ->
+        Blas_cache.Semantic.find sem ~interval:signature ~pred:item.value
+    in
+    let kept =
+      match cached with
+      | Some rows -> rows
+      | None ->
+        let rows =
+          if item.path.absolute then
+            Table.index_eq storage.sp ?par counters ~column:"plabel"
+              (Value.Big (Blas_label.Interval.lo interval))
+          else
+            Table.index_range storage.sp ?par counters ~column:"plabel"
+              ~lo:(Some (Value.Big (Blas_label.Interval.lo interval)))
+              ~hi:(Some (Value.Big (Blas_label.Interval.hi interval)))
         in
-        if keep then Some (to_entry tuple) else None)
-      rows
+        let kept =
+          List.filter
+            (fun tuple ->
+              match item.value with
+              | None -> true
+              | Some (Blas_xpath.Ast.Equals v) -> (
+                match Tuple.get tuple data_i with
+                | Value.Str d -> String.equal d v
+                | _ -> false)
+              | Some (Blas_xpath.Ast.Differs v) -> (
+                match Tuple.get tuple data_i with
+                | Value.Str d -> not (String.equal d v)
+                | _ -> false))
+            rows
+        in
+        Option.iter
+          (fun sem ->
+            Blas_cache.Semantic.store sem ~interval:signature ~pred:item.value
+              ~benefit:(Cost.pages_for (List.length rows) ~page_rows:Cost.page_rows)
+              kept)
+          cache;
+        kept
+    in
+    List.map to_entry kept
 
 let gap_of = function
   | Suffix_query.Exact k -> Blas_twig.Pattern.Exact k
@@ -79,8 +110,8 @@ let no_wrap ~label:_ f = f ()
 (** [pattern_of_branch storage counters branch] roots the join tree and
     materializes every item's stream.  [par] chunks each stream's fetch
     over a domain pool. *)
-let pattern_of_branch ?(wrap = no_wrap) ?par (storage : Storage.t) counters
-    (branch : Suffix_query.t) =
+let pattern_of_branch ?(wrap = no_wrap) ?par ?cache (storage : Storage.t)
+    counters (branch : Suffix_query.t) =
   let rec build ~gap (item : Suffix_query.item) =
     let label = Format.asprintf "%a" Blas_label.Plabel.pp_suffix_path item.path in
     wrap ~label @@ fun () ->
@@ -91,7 +122,7 @@ let pattern_of_branch ?(wrap = no_wrap) ?par (storage : Storage.t) counters
         (Suffix_query.children_of branch item.id)
     in
     Blas_twig.Pattern.make ~label
-      ~entries:(item_stream ?par storage counters item)
+      ~entries:(item_stream ?par ?cache storage counters item)
       ~gap ~children
       ~is_output:(item.id = branch.output)
   in
@@ -109,7 +140,7 @@ let execute algorithm pattern =
     branches run concurrently, each charging a fresh counter vector
     merged back in branch order — the answer set and counter totals
     match the sequential run. *)
-let run ?(algorithm = `Classic) ?pool (storage : Storage.t)
+let run ?(algorithm = `Classic) ?pool ?cache (storage : Storage.t)
     (branches : Suffix_query.t list) =
   let counters = Counters.create () in
   let branch_results =
@@ -118,7 +149,7 @@ let run ?(algorithm = `Classic) ?pool (storage : Storage.t)
       Blas_par.Pool.map_list p
         (fun branch ->
           let c = Counters.create () in
-          let pattern = pattern_of_branch ?par:pool storage c branch in
+          let pattern = pattern_of_branch ?par:pool ?cache storage c branch in
           let s, stats = execute algorithm pattern in
           (c, s, stats.Blas_twig.Twig_stack.candidates))
         branches
@@ -126,7 +157,7 @@ let run ?(algorithm = `Classic) ?pool (storage : Storage.t)
       List.map
         (fun branch ->
           let c = Counters.create () in
-          let pattern = pattern_of_branch ?par:pool storage c branch in
+          let pattern = pattern_of_branch ?par:pool ?cache storage c branch in
           let s, stats = execute algorithm pattern in
           (c, s, stats.Blas_twig.Twig_stack.candidates))
         branches
@@ -184,7 +215,7 @@ let branch_label (branch : Suffix_query.t) =
     returning one annotated tree per union branch: a [twig-join] root
     (rows = branch answers) over one [stream] node per suffix-path item
     (rows = stream entries, I/O = that stream's scan). *)
-let run_analyze ?(algorithm = `Classic) (storage : Storage.t)
+let run_analyze ?(algorithm = `Classic) ?cache (storage : Storage.t)
     (branches : Suffix_query.t list) =
   let counters = Counters.create () in
   let collector =
@@ -199,8 +230,8 @@ let run_analyze ?(algorithm = `Classic) (storage : Storage.t)
             ~rows:(fun (s, _) -> List.length s)
             (fun () ->
               let pattern =
-                pattern_of_branch ~wrap:(stream_wrap collector) storage counters
-                  branch
+                pattern_of_branch ~wrap:(stream_wrap collector) ?cache storage
+                  counters branch
               in
               execute algorithm pattern)
         in

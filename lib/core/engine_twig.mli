@@ -25,6 +25,7 @@ type wrap =
 val pattern_of_branch :
   ?wrap:wrap ->
   ?par:Blas_par.Pool.t ->
+  ?cache:Blas_cache.Semantic.t ->
   Storage.t ->
   Blas_rel.Counters.t ->
   Suffix_query.t ->
@@ -38,6 +39,7 @@ val pattern_of_branch :
 val run :
   ?algorithm:[ `Classic | `Merge ] ->
   ?pool:Blas_par.Pool.t ->
+  ?cache:Blas_cache.Semantic.t ->
   Storage.t ->
   Suffix_query.t list ->
   result
@@ -57,6 +59,7 @@ val run_pattern :
     over all trees reconciles with [result.counters]. *)
 val run_analyze :
   ?algorithm:[ `Classic | `Merge ] ->
+  ?cache:Blas_cache.Semantic.t ->
   Storage.t ->
   Suffix_query.t list ->
   result * Blas_obs.Analyze.node list

@@ -149,18 +149,190 @@ let report_of_counters ~starts ~plan_djoins ~sql (counters : Blas_rel.Counters.t
 let twig_plan_djoins branches =
   List.fold_left (fun acc b -> acc + Suffix_query.djoin_count b) 0 branches
 
-(** [run ?tracer ?pool storage ~engine ~translator q] — translate and
-    execute.  With an enabled [tracer], the run is recorded as a [query]
-    span over [translate] / [compile] / [execute] (RDBMS) or
-    [decompose] / [execute] ([build-streams] / [execute] for the
-    D-labeling baseline) child spans.  With a multi-domain [pool], the
-    execute phase fans out (union branches, join sides, partitioned
+(* ------------------------------------------------------------------ *)
+(* Query cache                                                        *)
+
+(* The per-run caching decision: an explicit [?cache] overrides the
+   storage's switch (so `--no-cache` and cold-reference runs bypass a
+   warm cache without flushing it). *)
+let qcache_for ?cache storage =
+  let qc = Storage.cache storage in
+  let on = match cache with Some b -> b | None -> Qcache.enabled qc in
+  if on then Some qc else None
+
+(* Translation-pipeline memos.  Each stage is keyed by
+   (schema epoch, stage, translator, query); a [None] qcache falls
+   through to the uncached pipeline unchanged. *)
+let decompose_cached qc storage translator q qstr =
+  match qc with
+  | None -> decompose storage translator q
+  | Some qcv -> (
+    let key =
+      Qcache.plan_key qcv ~stage:"branches"
+        ~translator:(translator_name translator) ~query:qstr
+    in
+    match Qcache.find_plan qcv key with
+    | Some (Qcache.Branches b) -> b
+    | _ ->
+      let b = decompose storage translator q in
+      Qcache.put_plan qcv key (Qcache.Branches b);
+      b)
+
+let sql_cached qc storage translator q qstr =
+  let translate () =
+    match translator with
+    | D_labeling -> Some (Baseline.to_sql q)
+    | _ -> Translate.to_sql storage (decompose_cached qc storage translator q qstr)
+  in
+  match qc with
+  | None -> translate ()
+  | Some qcv -> (
+    let key =
+      Qcache.plan_key qcv ~stage:"sql" ~translator:(translator_name translator)
+        ~query:qstr
+    in
+    match Qcache.find_plan qcv key with
+    | Some (Qcache.Sql s) -> s
+    | _ ->
+      let s = translate () in
+      Qcache.put_plan qcv key (Qcache.Sql s);
+      s)
+
+let plan_cached qc storage translator qstr sql =
+  let compile () =
+    Blas_rel.Sql_compile.compile ~catalog:(Storage.catalog storage) sql
+  in
+  match qc with
+  | None -> compile ()
+  | Some qcv -> (
+    let key =
+      Qcache.plan_key qcv ~stage:"plan" ~translator:(translator_name translator)
+        ~query:qstr
+    in
+    match Qcache.find_plan qcv key with
+    | Some (Qcache.Plan (Some p)) -> p
+    | _ ->
+      let p = compile () in
+      Qcache.put_plan qcv key (Qcache.Plan (Some p));
+      p)
+
+(* The P-label signature of an indexed SP access, shared by the scan
+   memo and the footprint: a point interval for equality probes
+   (absolute paths match exactly the interval's left endpoint), the
+   fetched range otherwise. *)
+let point v = Blas_label.Interval.make v v
+
+let scan_signature table path =
+  if String.equal (Blas_rel.Table.name table) "sp" then
+    match path with
+    | Blas_rel.Algebra.Index_eq
+        { column = "plabel"; value = Blas_rel.Value.Big v } ->
+      Some (point v)
+    | Blas_rel.Algebra.Index_range
+        {
+          column = "plabel";
+          lo = Some (Blas_rel.Value.Big lo);
+          hi = Some (Blas_rel.Value.Big hi);
+        } ->
+      Some (Blas_label.Interval.make lo hi)
+    | _ -> None
+  else None
+
+(* The RDBMS engine's hook into the semantic cache: indexed SP accesses
+   on the P-label column look up their pre-residual tuple list (exact
+   or containment) before the B+ tree, and feed it after a real fetch.
+   Accesses on other columns or tables pass through untouched. *)
+let scan_cache_of qc =
+  let sem = Qcache.semantic qc in
+  {
+    Blas_rel.Executor.probe =
+      (fun table path ->
+        Option.bind (scan_signature table path) (fun interval ->
+            Blas_cache.Semantic.find sem ~interval ~pred:None));
+    store =
+      (fun table path rows ->
+        match scan_signature table path with
+        | Some interval ->
+          Blas_cache.Semantic.store sem ~interval ~pred:None
+            ~benefit:
+              (Cost.pages_for (List.length rows) ~page_rows:Cost.page_rows)
+            rows
+        | None -> ());
+  }
+
+(* The P-intervals every item of a decomposition scans — the whole-query
+   memo entry dies when an update touches a P-label inside any of them
+   (a row can influence the answer only by entering some item's
+   stream). *)
+let footprint (storage : Storage.t) branches =
+  List.concat_map
+    (fun (b : Suffix_query.t) ->
+      List.filter_map
+        (fun (it : Suffix_query.item) ->
+          Option.map
+            (fun iv ->
+              if it.path.Blas_label.Plabel.absolute then
+                point (Blas_label.Interval.lo iv)
+              else iv)
+            (Blas_label.Plabel.suffix_path_interval storage.Storage.table
+               it.path))
+        b.Suffix_query.items)
+    branches
+
+let report_of_result_entry (e : Qcache.result_entry) =
+  {
+    starts = e.Qcache.r_starts;
+    visited = 0;
+    page_reads = 0;
+    plan_djoins = e.Qcache.r_plan_djoins;
+    sql = e.Qcache.r_sql;
+    counters = Blas_rel.Counters.create ();
+  }
+
+(* Re-publishes the cache's own atomics into the installed registry
+   after each cached run: entry/byte/hit-rate gauges plus mirrored
+   counters (see ISSUE/DESIGN §11; `bench --json` picks these up). *)
+let record_cache_metrics qc =
+  match !metrics_sink with
+  | None -> ()
+  | Some registry ->
+    let open Blas_obs.Metrics in
+    let s = Qcache.stats qc in
+    let tot : Blas_cache.Stats.snapshot = Qcache.totals s in
+    set (gauge registry "blas.cache.entries") (float_of_int tot.entries);
+    set (gauge registry "blas.cache.bytes") (float_of_int tot.bytes);
+    set (gauge registry "blas.cache.hit_rate") (Qcache.hit_rate s);
+    set_counter (counter registry "blas.cache.hits")
+      (tot.hits + tot.containment_hits);
+    set_counter (counter registry "blas.cache.containment_hits")
+      tot.containment_hits;
+    set_counter (counter registry "blas.cache.misses") tot.misses;
+    set_counter (counter registry "blas.cache.evictions") tot.evictions;
+    set_counter (counter registry "blas.cache.invalidations") tot.invalidations
+
+(** [run ?tracer ?pool ?cache storage ~engine ~translator q] —
+    translate and execute.  With an enabled [tracer], the run is
+    recorded as a [query] span over [translate] / [compile] / [execute]
+    (RDBMS) or [decompose] / [execute] ([build-streams] / [execute] for
+    the D-labeling baseline) child spans.  With a multi-domain [pool],
+    the execute phase fans out (union branches, join sides, partitioned
     D-joins and chunked index fetches); answers and counter totals match
-    the sequential run. *)
-let run ?(tracer = Blas_obs.Trace.disabled) ?pool storage ~engine ~translator q =
+    the sequential run.
+
+    [?cache] overrides the storage's cache switch for this run only
+    ([Some false] is a guaranteed-cold reference run; the default
+    follows {!Storage.cache_enabled}).  When caching is active, the
+    translation stages are memoized per schema epoch, P-label scans go
+    through the semantic result cache, and — for the suffix-path
+    translators — the whole answer is memoized and replayed with zero
+    I/O until an update touches the query's footprint. *)
+let run ?(tracer = Blas_obs.Trace.disabled) ?pool ?cache storage ~engine
+    ~translator q =
   Log.debug (fun m ->
       m "run %s on %s: %s" (translator_name translator) (engine_name engine)
         (Blas_xpath.Pretty.to_string q));
+  let qc = qcache_for ?cache storage in
+  let qstr = Blas_xpath.Pretty.to_string q in
   let span name f = Blas_obs.Trace.with_span tracer name f in
   let t0 = Blas_obs.Clock.now_ns () in
   let report =
@@ -169,79 +341,149 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?pool storage ~engine ~translator q 
         [
           ("engine", engine_name engine);
           ("translator", translator_name translator);
-          ("query", Blas_xpath.Pretty.to_string q);
+          ("query", qstr);
+          ("cache", match qc with Some _ -> "on" | None -> "off");
         ]
     @@ fun () ->
-    match engine with
-    | Rdbms -> (
-      let sql = span "translate" (fun () -> sql_for storage translator q) in
-      match sql with
-      | None -> empty_report None
-      | Some s ->
-        let plan =
-          span "compile" (fun () ->
-              Blas_rel.Sql_compile.compile ~catalog:(Storage.catalog storage) s)
-        in
-        let counters = Blas_rel.Counters.create () in
-        let relation =
-          span "execute" (fun () -> Blas_rel.Executor.run ~counters ?pool plan)
-        in
-        let starts =
-          span "materialize" (fun () -> Engine_rdbms.starts_of_relation relation)
-        in
-        report_of_counters ~starts
-          ~plan_djoins:(Blas_rel.Algebra.count_djoins plan)
-          ~sql counters)
-    | Twig -> (
-      match translator with
-      | D_labeling ->
-        let counters = Blas_rel.Counters.create () in
-        let pattern =
-          span "build-streams" (fun () ->
-              fst (Baseline.to_pattern storage ~counters q))
-        in
-        let result =
-          span "execute" (fun () -> Engine_twig.run_pattern pattern counters)
-        in
-        report_of_counters ~starts:result.Engine_twig.starts
-          ~plan_djoins:(Blas_xpath.Ast.step_count q - 1)
-          ~sql:None counters
-      | _ ->
-        let branches =
-          span "decompose" (fun () -> decompose storage translator q)
-        in
-        let result =
-          span "execute" (fun () -> Engine_twig.run ?pool storage branches)
-        in
-        report_of_counters ~starts:result.Engine_twig.starts
-          ~plan_djoins:(twig_plan_djoins branches)
-          ~sql:None result.Engine_twig.counters)
+    (* The whole-query memo applies to the suffix-path translators only:
+       D-labeling answers carry no P-interval footprint to invalidate
+       against. *)
+    let memo =
+      match (qc, translator) with
+      | Some qcv, (Split | Pushup | Unfold | Auto) ->
+        Some
+          ( qcv,
+            Qcache.result_key qcv ~engine:(engine_name engine)
+              ~translator:(translator_name translator) ~query:qstr )
+      | _ -> None
+    in
+    let memo_hit =
+      Option.bind memo (fun (qcv, key) -> Qcache.find_result qcv key)
+    in
+    match memo_hit with
+    | Some entry -> report_of_result_entry entry
+    | None ->
+      let execute () =
+        match engine with
+        | Rdbms -> (
+          let sql =
+            span "translate" (fun () -> sql_cached qc storage translator q qstr)
+          in
+          match sql with
+          | None -> (empty_report None, Some [])
+          | Some s ->
+            let plan =
+              span "compile" (fun () -> plan_cached qc storage translator qstr s)
+            in
+            let counters = Blas_rel.Counters.create () in
+            let relation =
+              span "execute" (fun () ->
+                  Blas_rel.Executor.run ~counters ?pool
+                    ?cache:(Option.map scan_cache_of qc)
+                    plan)
+            in
+            let starts =
+              span "materialize" (fun () ->
+                  Engine_rdbms.starts_of_relation relation)
+            in
+            let branches =
+              match translator with
+              | D_labeling -> None
+              | _ -> Some (decompose_cached qc storage translator q qstr)
+            in
+            ( report_of_counters ~starts
+                ~plan_djoins:(Blas_rel.Algebra.count_djoins plan)
+                ~sql counters,
+              branches ))
+        | Twig -> (
+          match translator with
+          | D_labeling ->
+            let counters = Blas_rel.Counters.create () in
+            let pattern =
+              span "build-streams" (fun () ->
+                  fst (Baseline.to_pattern storage ~counters q))
+            in
+            let result =
+              span "execute" (fun () -> Engine_twig.run_pattern pattern counters)
+            in
+            ( report_of_counters ~starts:result.Engine_twig.starts
+                ~plan_djoins:(Blas_xpath.Ast.step_count q - 1)
+                ~sql:None counters,
+              None )
+          | _ ->
+            let branches =
+              span "decompose" (fun () ->
+                  decompose_cached qc storage translator q qstr)
+            in
+            let result =
+              span "execute" (fun () ->
+                  Engine_twig.run ?pool
+                    ?cache:(Option.map Qcache.semantic qc)
+                    storage branches)
+            in
+            ( report_of_counters ~starts:result.Engine_twig.starts
+                ~plan_djoins:(twig_plan_djoins branches)
+                ~sql:None result.Engine_twig.counters,
+              Some branches ))
+      in
+      let report, branches = execute () in
+      (match (memo, branches) with
+      | Some (qcv, key), Some branches ->
+        Qcache.put_result qcv key
+          ~benefit:
+            (max 1 (Cost.pages_for report.visited ~page_rows:Cost.page_rows))
+          {
+            Qcache.r_starts = report.starts;
+            r_plan_djoins = report.plan_djoins;
+            r_sql = report.sql;
+            r_footprint = footprint storage branches;
+          }
+      | _ -> ());
+      report
   in
   record_metrics ~engine ~translator
     ~elapsed_ns:(Blas_obs.Clock.elapsed_ns t0)
     report.counters;
+  Option.iter record_cache_metrics qc;
   report
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN ANALYZE                                                    *)
 
-(** [run_analyze ?tracer storage ~engine ~translator q] — like {!run},
-    also returning the annotated operator tree: a [query] root (rows =
-    answers) over the executed physical plan (RDBMS) or the per-branch
-    twig joins (twig engine).  Summing [self] over the tree reconciles
-    exactly with [report.counters]. *)
-let run_analyze ?(tracer = Blas_obs.Trace.disabled) storage ~engine ~translator
-    q =
+(** [run_analyze ?tracer ?cache storage ~engine ~translator q] — like
+    {!run}, also returning the annotated operator tree: a [query] root
+    (rows = answers) over the executed physical plan (RDBMS) or the
+    per-branch twig joins (twig engine).  Summing [self] over the tree
+    reconciles exactly with [report.counters].
+
+    With caching active, the translation memos and the semantic scan
+    cache participate (served scans show zero I/O in their nodes) and
+    the root label reports this run's cache delta; the whole-query memo
+    is deliberately bypassed so the tree always reflects a real
+    execution. *)
+let run_analyze ?(tracer = Blas_obs.Trace.disabled) ?cache storage ~engine
+    ~translator q =
+  let qc = qcache_for ?cache storage in
+  let qstr = Blas_xpath.Pretty.to_string q in
+  let stats_before = Option.map (fun qcv -> Qcache.stats qcv) qc in
   let span name f = Blas_obs.Trace.with_span tracer name f in
   let t0 = Blas_obs.Clock.now_ns () in
   let finish report children =
+    let cache_note =
+      match (qc, stats_before) with
+      | Some qcv, Some before ->
+        let d = Qcache.diff_stats ~before ~after:(Qcache.stats qcv) in
+        let tot : Blas_cache.Stats.snapshot = Qcache.totals d in
+        Format.sprintf " (cache: %d hits, %d containment, %d misses)" tot.hits
+          tot.containment_hits tot.misses
+      | _ -> ""
+    in
     let root =
       Blas_obs.Analyze.make
         ~label:
-          (Format.sprintf "query %s [%s on %s]"
-             (Blas_xpath.Pretty.to_string q)
+          (Format.sprintf "query %s [%s on %s]%s" qstr
              (translator_name translator)
-             (engine_name engine))
+             (engine_name engine) cache_note)
         ~kind:"query"
         ~rows:(List.length report.starts)
         ~elapsed_ns:(Blas_obs.Clock.elapsed_ns t0)
@@ -249,6 +491,7 @@ let run_analyze ?(tracer = Blas_obs.Trace.disabled) storage ~engine ~translator
     in
     record_metrics ~engine ~translator ~elapsed_ns:root.Blas_obs.Analyze.elapsed_ns
       report.counters;
+    Option.iter record_cache_metrics qc;
     (report, root)
   in
   Blas_obs.Trace.with_span tracer "query"
@@ -256,23 +499,28 @@ let run_analyze ?(tracer = Blas_obs.Trace.disabled) storage ~engine ~translator
       [
         ("engine", engine_name engine);
         ("translator", translator_name translator);
-        ("query", Blas_xpath.Pretty.to_string q);
+        ("query", qstr);
         ("mode", "analyze");
+        ("cache", (match qc with Some _ -> "on" | None -> "off"));
       ]
   @@ fun () ->
   match engine with
   | Rdbms -> (
-    let sql = span "translate" (fun () -> sql_for storage translator q) in
+    let sql =
+      span "translate" (fun () -> sql_cached qc storage translator q qstr)
+    in
     match sql with
     | None -> finish (empty_report None) []
     | Some s ->
       let plan =
-        span "compile" (fun () ->
-            Blas_rel.Sql_compile.compile ~catalog:(Storage.catalog storage) s)
+        span "compile" (fun () -> plan_cached qc storage translator qstr s)
       in
       let counters = Blas_rel.Counters.create () in
       let relation, tree =
-        span "execute" (fun () -> Blas_rel.Executor.run_analyze ~counters plan)
+        span "execute" (fun () ->
+            Blas_rel.Executor.run_analyze ~counters
+              ?cache:(Option.map scan_cache_of qc)
+              plan)
       in
       let starts = Engine_rdbms.starts_of_relation relation in
       finish
@@ -296,9 +544,14 @@ let run_analyze ?(tracer = Blas_obs.Trace.disabled) storage ~engine ~translator
            ~sql:None counters)
         [ tree ]
     | _ ->
-      let branches = span "decompose" (fun () -> decompose storage translator q) in
+      let branches =
+        span "decompose" (fun () -> decompose_cached qc storage translator q qstr)
+      in
       let result, trees =
-        span "execute" (fun () -> Engine_twig.run_analyze storage branches)
+        span "execute" (fun () ->
+            Engine_twig.run_analyze
+              ?cache:(Option.map Qcache.semantic qc)
+              storage branches)
       in
       finish
         (report_of_counters ~starts:result.Engine_twig.starts

@@ -1,0 +1,134 @@
+(** The per-storage query cache — see the interface for the layer and
+    epoch design. *)
+
+module Lru = Blas_cache.Lru
+module Semantic = Blas_cache.Semantic
+module Stats = Blas_cache.Stats
+
+type plan_entry =
+  | Branches of Suffix_query.t list
+  | Sql of Blas_rel.Sql_ast.t option
+  | Plan of Blas_rel.Algebra.plan option
+
+type result_entry = {
+  r_starts : int list;
+  r_plan_djoins : int;
+  r_sql : Blas_rel.Sql_ast.t option;
+  r_footprint : Blas_label.Interval.t list;
+}
+
+type t = {
+  sem : Semantic.t;
+  plans : (string, plan_entry) Lru.t;
+  results : (string, result_entry) Lru.t;
+  enabled : bool Atomic.t;
+  (* Epoch bumps happen only inside update application, which is
+     single-writer; queries read it racily, which at worst misses a
+     concurrent edit the caller was racing anyway. *)
+  mutable epoch : int;
+}
+
+(* Weight models: plan entries are structure-only (no tuples), so a flat
+   estimate per branch/node is enough for the size bound; result
+   entries carry the answer list and the footprint. *)
+let plan_weight = function
+  | Branches bs -> 256 + (192 * List.length bs)
+  | Sql _ -> 512
+  | Plan _ -> 1024
+
+let result_weight e =
+  128 + (16 * List.length e.r_starts) + (48 * List.length e.r_footprint)
+
+let create ?stripes ?capacity_bytes () =
+  {
+    (* SP column layout: plabel, start, end, level, data. *)
+    sem =
+      Semantic.create ?stripes ?capacity_bytes ~plabel_index:0 ~start_index:1
+        ~end_index:2 ~data_index:4 ();
+    plans = Lru.create ?stripes ?capacity_bytes ~weight:plan_weight ();
+    results = Lru.create ?stripes ?capacity_bytes ~weight:result_weight ();
+    enabled = Atomic.make false;
+    epoch = 0;
+  }
+
+let enabled t = Atomic.get t.enabled
+
+let set_enabled t on = Atomic.set t.enabled on
+
+let clear t =
+  Semantic.clear t.sem;
+  Lru.clear t.plans;
+  Lru.clear t.results;
+  t.epoch <- t.epoch + 1
+
+let schema_epoch t = t.epoch
+
+let plan_key t ~stage ~translator ~query =
+  Printf.sprintf "%d|%s|%s|%s" t.epoch stage translator query
+
+let find_plan t key = Lru.find t.plans key
+
+let put_plan t key entry = Lru.put t.plans key entry
+
+let result_key t ~engine ~translator ~query =
+  Printf.sprintf "%d|%s|%s|%s" t.epoch engine translator query
+
+let find_result t key = Lru.find t.results key
+
+let put_result t key ~benefit entry = Lru.put t.results ~benefit key entry
+
+let semantic t = t.sem
+
+let result_touched ~plabels (e : result_entry) =
+  List.exists
+    (fun p -> List.exists (Blas_label.Interval.mem p) e.r_footprint)
+    plabels
+
+let invalidate t ~full ~schema_changed ~plabels ~drange =
+  if full then clear t
+  else begin
+    if schema_changed then begin
+      Lru.clear t.plans;
+      Lru.clear t.results;
+      t.epoch <- t.epoch + 1
+    end
+    else if plabels <> [] then
+      ignore
+        (Lru.filter_in_place t.results (fun _ e ->
+             not (result_touched ~plabels e)));
+    if plabels <> [] || drange <> None then
+      ignore (Semantic.invalidate t.sem ~plabels ~drange)
+  end
+
+type stats = {
+  plans : Stats.snapshot;
+  results : Stats.snapshot;
+  streams : Stats.snapshot;
+}
+
+let stats (t : t) =
+  {
+    plans = Stats.snapshot (Lru.stats t.plans);
+    results = Stats.snapshot (Lru.stats t.results);
+    streams = Stats.snapshot (Semantic.stats t.sem);
+  }
+
+let totals s = Stats.sum s.plans (Stats.sum s.results s.streams)
+
+let hit_rate s = Stats.hit_rate (Stats.sum s.results s.streams)
+
+let diff_stats ~before ~after =
+  {
+    plans = Stats.diff ~before:before.plans ~after:after.plans;
+    results = Stats.diff ~before:before.results ~after:after.results;
+    streams = Stats.diff ~before:before.streams ~after:after.streams;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "@[<v>plans:   %a@,results: %a@,streams: %a@]" Stats.pp
+    s.plans Stats.pp s.results Stats.pp s.streams
+
+let validate t =
+  Semantic.validate t.sem;
+  Lru.validate t.plans;
+  Lru.validate t.results

@@ -1,0 +1,116 @@
+(** The per-storage query cache — [Blas.Cache].
+
+    Three layers, all built on {!Blas_cache}:
+
+    - a {b plan cache} memoizing the translation pipeline (decomposed
+      branches, generated SQL, compiled physical plan) per
+      [(stage, translator, query)] under the current {e schema epoch};
+    - a {b whole-query result memo} keyed by
+      [(engine, translator, query)], remembering the answer set plus the
+      P-label {e footprint} of the decomposition's items — the update
+      protocol kills an entry only when a touched P-label lands in its
+      footprint;
+    - the {b semantic scan cache} ({!Blas_cache.Semantic}) shared by
+      both engines' suffix-path scans, serving exact and containment
+      hits.
+
+    The cache starts {e disabled}: the library-level default keeps every
+    existing entry point bit-identical in cost and counters (the
+    parallel determinism suite depends on that).  The CLI and the
+    repeated-workload bench opt in per storage with {!set_enabled}.
+
+    Epochs: the schema epoch advances whenever the translation inputs
+    change — a tag-inventory rebuild or any edit that changes the
+    DataGuide's path set — which orphans (and flushes) plan and result
+    entries wholesale; semantic entries survive schema changes (their
+    signatures depend only on the tag inventory) and die individually
+    through {!invalidate}. *)
+
+type t
+
+(** One memoized stage of the translation pipeline. *)
+type plan_entry =
+  | Branches of Suffix_query.t list
+  | Sql of Blas_rel.Sql_ast.t option
+  | Plan of Blas_rel.Algebra.plan option
+
+(** A memoized whole-query answer. *)
+type result_entry = {
+  r_starts : int list;
+  r_plan_djoins : int;
+  r_sql : Blas_rel.Sql_ast.t option;
+  r_footprint : Blas_label.Interval.t list;
+      (** the P-intervals of every item the decomposition scans *)
+}
+
+val create : ?stripes:int -> ?capacity_bytes:int -> unit -> t
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+(** Flushes every layer (counts as invalidations) and advances the
+    schema epoch. *)
+val clear : t -> unit
+
+val schema_epoch : t -> int
+
+(* Plan cache *)
+
+val plan_key : t -> stage:string -> translator:string -> query:string -> string
+
+val find_plan : t -> string -> plan_entry option
+
+val put_plan : t -> string -> plan_entry -> unit
+
+(* Whole-query result memo *)
+
+val result_key : t -> engine:string -> translator:string -> query:string -> string
+
+val find_result : t -> string -> result_entry option
+
+val put_result : t -> string -> benefit:int -> result_entry -> unit
+
+(* Semantic scan cache *)
+
+val semantic : t -> Blas_cache.Semantic.t
+
+(** [invalidate t ~full ~schema_changed ~plabels ~drange] — the update
+    protocol.  [full] flushes everything (labels were recomputed);
+    [schema_changed] flushes plans and results and advances the epoch
+    (the DataGuide changed, so decompositions may differ); [plabels]
+    and [drange] kill the semantic and result entries the edit can
+    reach, leaving the rest warm. *)
+val invalidate :
+  t ->
+  full:bool ->
+  schema_changed:bool ->
+  plabels:Blas_label.Bignum.t list ->
+  drange:(int * int) option ->
+  unit
+
+(* Reporting *)
+
+type stats = {
+  plans : Blas_cache.Stats.snapshot;
+  results : Blas_cache.Stats.snapshot;
+  streams : Blas_cache.Stats.snapshot;
+}
+
+val stats : t -> stats
+
+(** Fieldwise sum of the three layers. *)
+val totals : stats -> Blas_cache.Stats.snapshot
+
+(** Result + stream hits over result + stream lookups — the headline
+    rate (plan hits excluded: they are near-free and would inflate
+    it). *)
+val hit_rate : stats -> float
+
+val diff_stats : before:stats -> after:stats -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Accounting check for the [-j N] stress suite.
+    @raise Invalid_argument on a torn stripe. *)
+val validate : t -> unit

@@ -21,6 +21,7 @@ type t = {
   mutable sp : Blas_rel.Table.t;
   mutable sd : Blas_rel.Table.t;
   pool : Blas_rel.Buffer_pool.t;
+  cache : Qcache.t;
 }
 
 let data_value = function None -> Blas_rel.Value.Null | Some d -> Blas_rel.Value.Str d
@@ -85,7 +86,7 @@ let of_doc ?(pool_capacity = default_pool_capacity) ?table
       ~indexes:[ "tag"; "start"; "data" ]
       sd_rows
   in
-  { doc; table; sp; sd; pool }
+  { doc; table; sp; sd; pool; cache = Qcache.create () }
 
 (** [of_tree tree] parses nothing; it labels the already-built tree. *)
 let of_tree ?pool_capacity tree = of_doc ?pool_capacity (Blas_xpath.Doc.of_tree tree)
@@ -106,3 +107,12 @@ let guide t = t.doc.guide
 let cold_cache t = Blas_rel.Buffer_pool.flush t.pool
 
 let pool t = t.pool
+
+(** The per-storage query cache (disabled by default; see {!Qcache}). *)
+let cache t = t.cache
+
+let set_cache_enabled t on = Qcache.set_enabled t.cache on
+
+let cache_enabled t = Qcache.enabled t.cache
+
+let cache_stats t = Qcache.stats t.cache

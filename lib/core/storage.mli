@@ -17,6 +17,7 @@ type t = {
   mutable sp : Blas_rel.Table.t;
   mutable sd : Blas_rel.Table.t;
   pool : Blas_rel.Buffer_pool.t;  (** page cache shared by SP and SD *)
+  cache : Qcache.t;  (** the query cache (disabled by default) *)
 }
 
 (** [pool_capacity] is the buffer pool size in pages (default 1024
@@ -36,6 +37,18 @@ val of_string : ?pool_capacity:int -> string -> t
 val cold_cache : t -> unit
 
 val pool : t -> Blas_rel.Buffer_pool.t
+
+(** The per-storage query cache.  It starts disabled, so every run is
+    bit-identical to the uncached pipeline until {!set_cache_enabled}
+    turns it on (or a per-run [~cache:true] override does). *)
+val cache : t -> Qcache.t
+
+val set_cache_enabled : t -> bool -> unit
+
+val cache_enabled : t -> bool
+
+(** Per-layer hit/miss/size snapshot of this storage's cache. *)
+val cache_stats : t -> Qcache.stats
 
 (** The catalog the SQL planner resolves table names against ("sp" and
     "sd"). *)

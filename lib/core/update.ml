@@ -16,6 +16,13 @@
 
 module Engine = Blas_update.Update_engine
 
+type invalidation = Engine.invalidation = {
+  inv_full : bool;
+  inv_schema_changed : bool;
+  inv_plabels : Blas_label.Bignum.t list;
+  inv_drange : (int * int) option;
+}
+
 type report = Engine.report = {
   nodes_inserted : int;
   nodes_deleted : int;
@@ -24,6 +31,7 @@ type report = Engine.report = {
   pages_written : int;  (** pages written through the buffer pool *)
   table_rebuilt : bool;
       (** the tag inventory changed, so every P-label was recomputed *)
+  invalidation : invalidation;  (** what the query cache dropped *)
 }
 
 let pp_report = Engine.pp_report
@@ -44,6 +52,15 @@ let apply storage op =
   storage.Storage.table <- target.Engine.table;
   storage.Storage.sp <- target.Engine.sp;
   storage.Storage.sd <- target.Engine.sd;
+  (* Fine-grained cache invalidation: drop exactly what the edit can
+     have made stale (entries whose P-interval contains a touched
+     P-label or whose D-range overlaps the edited window), keeping the
+     rest warm.  Runs even with the cache switched off — entries stored
+     while it was on must not survive an edit made while it is off. *)
+  let inv = report.invalidation in
+  Qcache.invalidate (Storage.cache storage) ~full:inv.inv_full
+    ~schema_changed:inv.inv_schema_changed ~plabels:inv.inv_plabels
+    ~drange:inv.inv_drange;
   report
 
 (** [insert_subtree storage ~parent ~pos tree] inserts [tree] as the

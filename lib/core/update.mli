@@ -5,6 +5,15 @@
     clustered SP/SD relations with their indexes through the buffer
     pool.  See {!Blas_update.Update_engine} for the mechanics. *)
 
+(** What the edit invalidated in the storage's query cache (see
+    {!Blas_update.Update_engine.invalidation}). *)
+type invalidation = Blas_update.Update_engine.invalidation = {
+  inv_full : bool;
+  inv_schema_changed : bool;
+  inv_plabels : Blas_label.Bignum.t list;
+  inv_drange : (int * int) option;
+}
+
 type report = Blas_update.Update_engine.report = {
   nodes_inserted : int;
   nodes_deleted : int;
@@ -13,6 +22,7 @@ type report = Blas_update.Update_engine.report = {
   pages_written : int;  (** pages written through the buffer pool *)
   table_rebuilt : bool;
       (** the tag inventory changed, so every P-label was recomputed *)
+  invalidation : invalidation;  (** what the query cache dropped *)
 }
 
 val pp_report : Format.formatter -> report -> unit

@@ -185,6 +185,10 @@ let incr c = Atomic.incr c
 
 let add c n = ignore (Atomic.fetch_and_add c n)
 
+(* For counters that mirror an externally-accumulated total (the query
+   cache keeps its own atomics and is re-reported after every run). *)
+let set_counter c n = Atomic.set c n
+
 let counter_value c = Atomic.get c
 
 (** [gauge t name] — the gauge registered under [name] (+ labels). *)

@@ -28,6 +28,11 @@ val incr : counter -> unit
 
 val add : counter -> int -> unit
 
+(** [set_counter c n] overwrites the count — for counters mirroring an
+    externally-accumulated total (e.g. the query cache's own atomics,
+    re-reported after every run). *)
+val set_counter : counter -> int -> unit
+
 val counter_value : counter -> int
 
 (** {2 Gauges} *)

@@ -17,6 +17,17 @@ let find_col schema name =
   | Some i -> i
   | None -> error "unknown column %s in schema %a" name Schema.pp schema
 
+(** External scan memo consulted before indexed base-table accesses.
+    [probe] returns the remembered pre-residual tuple list of an
+    identical access, or [None]; [store] is offered the tuples an
+    actual access fetched.  Full scans are never offered — the memo
+    exists to save index work, and a full scan is the signature of a
+    plan that will touch everything anyway. *)
+type scan_cache = {
+  probe : Table.t -> Algebra.access_path -> Tuple.t list option;
+  store : Table.t -> Algebra.access_path -> Tuple.t list -> unit;
+}
+
 (* Evaluates to (schema, tuple list).  [wrap] intercepts every operator
    evaluation — the identity for plain runs, a collector frame for
    EXPLAIN ANALYZE.  [par] is the domain pool of a parallel run ([None]
@@ -26,13 +37,13 @@ let find_col schema name =
    partitions its descendant side.  Every concurrent subtask charges a
    fresh counter vector merged back in plan order, so totals equal the
    sequential run's. *)
-let rec eval_wrapped wrap par counters plan =
+let rec eval_wrapped wrap par cache counters plan =
   wrap plan @@ fun () ->
   match plan with
   | Algebra.Access { table; alias; path; residual } ->
     let base_schema = Table.schema table in
     let qualified = Schema.qualify alias base_schema in
-    let tuples =
+    let fetch () =
       match path with
       | Algebra.Full_scan -> Table.scan table counters
       | Algebra.Index_eq { column; value } -> (
@@ -45,20 +56,31 @@ let rec eval_wrapped wrap par counters plan =
         | exception Not_found -> error "no index on %s.%s" (Table.name table) column)
     in
     let tuples =
+      match (cache, path) with
+      | Some c, (Algebra.Index_eq _ | Algebra.Index_range _) -> (
+        match c.probe table path with
+        | Some rows -> rows
+        | None ->
+          let rows = fetch () in
+          c.store table path rows;
+          rows)
+      | _ -> fetch ()
+    in
+    let tuples =
       match residual with
       | Algebra.True -> tuples
       | pred -> List.filter (Algebra.eval_pred qualified pred) tuples
     in
     (qualified, tuples)
   | Algebra.Select (pred, sub) ->
-    let schema, tuples = eval_wrapped wrap par counters sub in
+    let schema, tuples = eval_wrapped wrap par cache counters sub in
     (schema, List.filter (Algebra.eval_pred schema pred) tuples)
   | Algebra.Project (columns, sub) ->
-    let schema, tuples = eval_wrapped wrap par counters sub in
+    let schema, tuples = eval_wrapped wrap par cache counters sub in
     let indices = Array.of_list (List.map (find_col schema) columns) in
     (Schema.of_list columns, List.map (Tuple.project indices) tuples)
   | Algebra.Theta_join (pred, left, right) ->
-    let (ls, lt), (rs, rt) = eval_sides wrap par counters left right in
+    let (ls, lt), (rs, rt) = eval_sides wrap par cache counters left right in
     counters.Counters.theta_joins <- counters.Counters.theta_joins + 1;
     let schema = Schema.concat ls rs in
     let out =
@@ -74,7 +96,7 @@ let rec eval_wrapped wrap par counters plan =
     counters.Counters.intermediate <- counters.Counters.intermediate + List.length out;
     (schema, out)
   | Algebra.Djoin (spec, left, right) ->
-    let (ls, lt), (rs, rt) = eval_sides wrap par counters left right in
+    let (ls, lt), (rs, rt) = eval_sides wrap par cache counters left right in
     counters.Counters.djoins <- counters.Counters.djoins + 1;
     let side schema start_col end_col =
       {
@@ -117,7 +139,7 @@ let rec eval_wrapped wrap par counters plan =
         Blas_par.Pool.map_list pool
           (fun sub ->
             let c = Counters.create () in
-            let res = eval_wrapped wrap par c sub in
+            let res = eval_wrapped wrap par cache c sub in
             (c, res))
           (first :: rest)
       in
@@ -132,44 +154,44 @@ let rec eval_wrapped wrap par counters plan =
       in
       (schema, tuples)
     | _ ->
-      let schema, tuples = eval_wrapped wrap par counters first in
+      let schema, tuples = eval_wrapped wrap par cache counters first in
       let tuples =
         List.fold_left
           (fun acc sub ->
-            let s, t = eval_wrapped wrap par counters sub in
+            let s, t = eval_wrapped wrap par cache counters sub in
             check_schema schema s;
             acc @ t)
           tuples rest
       in
       (schema, tuples))
   | Algebra.Distinct sub ->
-    let schema, tuples = eval_wrapped wrap par counters sub in
+    let schema, tuples = eval_wrapped wrap par cache counters sub in
     let relation = Relation.distinct (Relation.make schema (Array.of_list tuples)) in
     (schema, Array.to_list (Relation.tuples relation))
 
 (* Evaluates the two sides of a join — concurrently when a multi-domain
    pool is available, each side charging a fresh counter vector merged
    back left-then-right (the sequential order). *)
-and eval_sides wrap par counters left right =
+and eval_sides wrap par cache counters left right =
   match par with
   | Some pool when Blas_par.Pool.size pool > 1 ->
     let cl = Counters.create () and cr = Counters.create () in
     let l, r =
       Blas_par.Pool.both pool
-        (fun () -> eval_wrapped wrap par cl left)
-        (fun () -> eval_wrapped wrap par cr right)
+        (fun () -> eval_wrapped wrap par cache cl left)
+        (fun () -> eval_wrapped wrap par cache cr right)
     in
     Counters.add ~into:counters cl;
     Counters.add ~into:counters cr;
     (l, r)
   | _ ->
-    let l = eval_wrapped wrap par counters left in
-    let r = eval_wrapped wrap par counters right in
+    let l = eval_wrapped wrap par cache counters left in
+    let r = eval_wrapped wrap par cache counters right in
     (l, r)
 
 let no_wrap _plan f = f ()
 
-let eval ?pool counters plan = eval_wrapped no_wrap pool counters plan
+let eval ?pool ?cache counters plan = eval_wrapped no_wrap pool cache counters plan
 
 (** [run ?counters ?pool plan] executes [plan] and materializes the
     result.  With a multi-domain [pool], independent plan regions
@@ -177,8 +199,8 @@ let eval ?pool counters plan = eval_wrapped no_wrap pool counters plan
     the counter totals are identical to the sequential run, except that
     page {e reads} can differ when concurrent regions race into the
     shared buffer pool. *)
-let run ?(counters = Counters.create ()) ?pool plan =
-  let schema, tuples = eval ?pool counters plan in
+let run ?(counters = Counters.create ()) ?pool ?cache plan =
+  let schema, tuples = eval ?pool ?cache counters plan in
   Rel_log.Log.debug (fun m ->
       m "executed plan: %d rows, %a" (List.length tuples) Counters.pp counters);
   Relation.make schema (Array.of_list tuples)
@@ -195,7 +217,7 @@ let snapshot_of counters () =
 (** [run_analyze ?counters plan] — like {!run}, also returning the
     annotated plan tree: per node, actual output rows, elapsed time,
     and the tuples/seeks/pages charged by that node itself. *)
-let run_analyze ?(counters = Counters.create ()) plan =
+let run_analyze ?(counters = Counters.create ()) ?cache plan =
   let collector =
     Blas_obs.Analyze.Collector.create ~snapshot:(snapshot_of counters)
   in
@@ -207,7 +229,7 @@ let run_analyze ?(counters = Counters.create ()) plan =
   in
   (* Always sequential ([par = None]): collector frames diff one shared
      counter snapshot, which concurrent operators would tear. *)
-  let schema, tuples = eval_wrapped wrap None counters plan in
+  let schema, tuples = eval_wrapped wrap None cache counters plan in
   let root =
     match Blas_obs.Analyze.Collector.roots collector with
     | [ root ] -> root

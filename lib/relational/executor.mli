@@ -4,6 +4,17 @@
 
 exception Error of string
 
+(** External scan memo consulted before indexed base-table accesses
+    ([Index_eq] / [Index_range]; full scans are never offered).
+    [probe] may return the pre-residual tuple list of an identical
+    earlier access — the executor then charges no read counters for
+    it; [store] is offered what an actual access fetched.  The
+    semantic query cache installs its containment-aware probe here. *)
+type scan_cache = {
+  probe : Table.t -> Algebra.access_path -> Tuple.t list option;
+  store : Table.t -> Algebra.access_path -> Tuple.t list -> unit;
+}
+
 (** [run ?counters ?pool plan] executes [plan] and materializes the
     result.  With a multi-domain [pool], union branches, join sides,
     index fetches and the structural-join sweep evaluate concurrently;
@@ -13,7 +24,11 @@ exception Error of string
     @raise Error on unknown columns, empty unions or schema
     mismatches. *)
 val run :
-  ?counters:Counters.t -> ?pool:Blas_par.Pool.t -> Algebra.plan -> Relation.t
+  ?counters:Counters.t ->
+  ?pool:Blas_par.Pool.t ->
+  ?cache:scan_cache ->
+  Algebra.plan ->
+  Relation.t
 
 (** [run_analyze ?counters plan] — like {!run}, also returning the
     EXPLAIN ANALYZE tree: one {!Blas_obs.Analyze.node} per executed
@@ -23,4 +38,7 @@ val run :
     shared counter snapshot around each operator, which concurrent
     evaluation would tear. *)
 val run_analyze :
-  ?counters:Counters.t -> Algebra.plan -> Relation.t * Blas_obs.Analyze.node
+  ?counters:Counters.t ->
+  ?cache:scan_cache ->
+  Algebra.plan ->
+  Relation.t * Blas_obs.Analyze.node

@@ -42,6 +42,20 @@ type target = {
   pool : Pool.t;
 }
 
+(** What this edit can have made stale, for the query cache (the core
+    layer feeds it to [Qcache.invalidate]; cache entries outside the
+    reach described here are provably still correct).  [inv_plabels]
+    are the P-labels of every node the edit created, removed, moved or
+    re-valued; [inv_drange] is the D-label window the edit wrote into,
+    in pre-edit coordinates (what cached entries carry). *)
+type invalidation = {
+  inv_full : bool;  (** labels were recomputed wholesale — flush everything *)
+  inv_schema_changed : bool;
+      (** the DataGuide's path set changed, so decompositions may differ *)
+  inv_plabels : Blas_label.Bignum.t list;
+  inv_drange : (int * int) option;
+}
+
 type report = {
   nodes_inserted : int;
   nodes_deleted : int;
@@ -50,6 +64,7 @@ type report = {
   pages_written : int;  (** pages written through the buffer pool *)
   table_rebuilt : bool;
       (** the tag inventory changed, so every P-label was recomputed *)
+  invalidation : invalidation;  (** what the query cache must drop *)
 }
 
 let pp_report ppf r =
@@ -173,6 +188,15 @@ let splice lst pos x =
 
 let rev_map_children f (n : Doc.node) =
   List.rev (List.fold_left (fun acc c -> f c :: acc) [] n.children)
+
+(* The DataGuide's path-set size: inserts only ever add paths and
+   deletes only remove them, so comparing sizes before and after an
+   edit detects any change to the guide — the signal that memoized
+   decompositions (which consult the guide) may have gone stale. *)
+let guide_paths (doc : Doc.t) =
+  List.length (Blas_xml.Dataguide.all_paths doc.guide)
+
+let node_plabel table (n : Doc.node) = Plabel.node_label table n.source_path
 
 (* Reassembles a Doc.t around an edited root: recollect the nodes,
    rebuild the DataGuide (paths can appear or disappear), re-sort by
@@ -483,6 +507,36 @@ let insert_subtree t ~parent ~pos tree =
     | Inside _ -> Some "localized"
     | Whole -> Some "whole"
   in
+  let invalidation =
+    (* A tag-inventory rebuild moves every P-label and a whole-document
+       renumbering moves every D-label: both leave nothing for a cache
+       to stand on.  Otherwise only the spliced subtree and the nodes
+       the renumbering moved are touched; the D-window is the gap the
+       labels came from (resp. the renumbered ancestor interval, whose
+       endpoints the renumbering preserves). *)
+    if table_rebuilt || (match alloc with Whole -> true | _ -> false) then
+      {
+        inv_full = true;
+        inv_schema_changed = true;
+        inv_plabels = [];
+        inv_drange = None;
+      }
+    else
+      let touched =
+        (new_sub :: Doc.descendants new_sub)
+        @ List.filter (fun (n : Doc.node) -> Hashtbl.mem relabel n.start) doc.all
+      in
+      {
+        inv_full = false;
+        inv_schema_changed = guide_paths new_doc <> guide_paths doc;
+        inv_plabels = List.map (node_plabel t.table) touched;
+        inv_drange =
+          (match alloc with
+          | From_gap -> Some (lo, hi)
+          | Inside anchor -> Some (anchor.start, anchor.fin)
+          | Whole -> None);
+      }
+  in
   record ~op:"insert" ?escalation t0
     {
       nodes_inserted = k;
@@ -491,6 +545,7 @@ let insert_subtree t ~parent ~pos tree =
       plabels_allocated = (if table_rebuilt then List.length new_doc.all else k);
       pages_written = Pool.writes t.pool - writes0;
       table_rebuilt;
+      invalidation;
     }
 
 (* ------------------------------------------------------------------ *)
@@ -527,7 +582,8 @@ let delete_subtree t ~start =
           n.children;
     }
   in
-  t.doc <- doc_of_root (prune doc.root);
+  let new_doc = doc_of_root (prune doc.root) in
+  t.doc <- new_doc;
   record ~op:"delete" t0
     {
       nodes_inserted = 0;
@@ -536,6 +592,13 @@ let delete_subtree t ~start =
       plabels_allocated = 0;
       pages_written = Pool.writes t.pool - writes0;
       table_rebuilt = false;
+      invalidation =
+        {
+          inv_full = false;
+          inv_schema_changed = guide_paths new_doc <> guide_paths doc;
+          inv_plabels = List.map (node_plabel t.table) removed;
+          inv_drange = Some (node.start, node.fin);
+        };
     }
 
 (* ------------------------------------------------------------------ *)
@@ -568,6 +631,13 @@ let replace_text t ~start data =
       plabels_allocated = 0;
       pages_written = Pool.writes t.pool - writes0;
       table_rebuilt = false;
+      invalidation =
+        {
+          inv_full = false;
+          inv_schema_changed = false;
+          inv_plabels = [ node_plabel t.table node ];
+          inv_drange = Some (node.start, node.fin);
+        };
     }
 
 (* ------------------------------------------------------------------ *)

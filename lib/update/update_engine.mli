@@ -16,6 +16,20 @@ type target = {
   pool : Blas_rel.Buffer_pool.t;
 }
 
+(** What this edit can have made stale, for the query cache: entries
+    outside the reach described here are provably still correct.
+    [inv_plabels] are the P-labels of every node the edit created,
+    removed, moved or re-valued; [inv_drange] is the D-label window the
+    edit wrote into, in pre-edit coordinates (what cached entries
+    carry). *)
+type invalidation = {
+  inv_full : bool;  (** labels were recomputed wholesale — flush everything *)
+  inv_schema_changed : bool;
+      (** the DataGuide's path set changed, so decompositions may differ *)
+  inv_plabels : Blas_label.Bignum.t list;
+  inv_drange : (int * int) option;
+}
+
 type report = {
   nodes_inserted : int;
   nodes_deleted : int;
@@ -24,6 +38,7 @@ type report = {
   pages_written : int;  (** pages written through the buffer pool *)
   table_rebuilt : bool;
       (** the tag inventory changed, so every P-label was recomputed *)
+  invalidation : invalidation;  (** what the query cache must drop *)
 }
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,444 @@
+(** Tests for the semantic query cache ({!Blas.Cache} /
+    {!Blas_cache}).
+
+    Three layers are covered: the lock-striped LRU and the semantic
+    (containment-aware) scan cache as units, the cached execution
+    pipeline end to end (warm answers bit-identical to cold, memo hits
+    with zero I/O), and the update-aware invalidation protocol —
+    including the coherence property that interleaves random edit
+    scripts with repeated queries across every suffix-path translator
+    and both engines, and a [-j N] stress run that hammers one cache
+    from several domains and then checks its internal accounting. *)
+
+open Test_util
+module Cache = Blas.Cache
+module Stats = Blas_cache.Stats
+module Lru = Blas_cache.Lru
+module Semantic = Blas_cache.Semantic
+module Interval = Blas_label.Interval
+module Bignum = Blas_label.Bignum
+
+let suffix_translators = Blas.[ Split; Pushup; Unfold ]
+
+let engines = Blas.[ Rdbms; Twig ]
+
+let par_jobs =
+  match Sys.getenv_opt "BLAS_TEST_JOBS" with
+  | None | Some "" -> [ 4 ]
+  | Some s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
+
+(* ------------------------------------------------------------------ *)
+(* LRU unit tests                                                      *)
+
+let test_lru_basics () =
+  let t = Lru.create ~stripes:1 ~capacity_bytes:1000 ~weight:String.length () in
+  check_bool "miss on empty" true (Lru.find t 1 = None);
+  Lru.put t 1 "abc";
+  check_bool "hit" true (Lru.find t 1 = Some "abc");
+  check_int "bytes" 3 (Lru.bytes_used t);
+  Lru.put t 1 "abcdef";
+  check_bool "replaced" true (Lru.find t 1 = Some "abcdef");
+  check_int "bytes after replace" 6 (Lru.bytes_used t);
+  Lru.remove t 1;
+  check_int "empty again" 0 (Lru.length t);
+  Lru.validate t
+
+let test_lru_eviction_prefers_low_benefit () =
+  (* One stripe, room for ~10 bytes: the low-benefit entry must go
+     first when a new admission overflows the budget. *)
+  let t = Lru.create ~stripes:1 ~capacity_bytes:10 ~weight:String.length () in
+  Lru.put t ~benefit:100 "hot" "aaaa";
+  Lru.put t ~benefit:1 "cold" "bbbb";
+  Lru.put t ~benefit:50 "new" "cccc";
+  check_bool "high-benefit entry survives" true (Lru.mem t "hot");
+  check_bool "low-benefit entry evicted" false (Lru.mem t "cold");
+  let s = Stats.snapshot (Lru.stats t) in
+  check_int "one eviction" 1 s.Stats.evictions;
+  Lru.validate t
+
+let test_lru_oversized_rejected () =
+  let t = Lru.create ~stripes:1 ~capacity_bytes:4 ~weight:String.length () in
+  Lru.put t "big" "way too wide";
+  check_int "not admitted" 0 (Lru.length t);
+  Lru.put t ~benefit:0 "zero" "ab";
+  check_int "zero benefit not admitted" 0 (Lru.length t)
+
+let test_lru_filter_in_place () =
+  let t = Lru.create ~weight:String.length () in
+  List.iter (fun k -> Lru.put t k (string_of_int k)) [ 1; 2; 3; 4; 5 ];
+  let removed = Lru.filter_in_place t (fun k _ -> k mod 2 = 0) in
+  check_int "three removed" 3 removed;
+  check_int "two left" 2 (Lru.length t);
+  let s = Stats.snapshot (Lru.stats t) in
+  check_int "counted as invalidations" 3 s.Stats.invalidations;
+  Lru.validate t
+
+(* ------------------------------------------------------------------ *)
+(* Semantic cache unit tests                                           *)
+
+(* Tuples in the SP layout used by the executor (plabel, start, end,
+   level, data). *)
+let sp_tuple ~plabel ~start ~fin ?data () =
+  Blas_rel.Tuple.of_list
+    [
+      Blas_rel.Value.Big (Bignum.of_int plabel);
+      Blas_rel.Value.Int start;
+      Blas_rel.Value.Int fin;
+      Blas_rel.Value.Int 1;
+      (match data with
+      | Some d -> Blas_rel.Value.Str d
+      | None -> Blas_rel.Value.Null);
+    ]
+
+let semantic () =
+  Semantic.create ~plabel_index:0 ~start_index:1 ~end_index:2 ~data_index:4 ()
+
+let iv lo hi = Interval.make (Bignum.of_int lo) (Bignum.of_int hi)
+
+let test_semantic_exact_hit () =
+  let t = semantic () in
+  let rows = [ sp_tuple ~plabel:5 ~start:1 ~fin:2 () ] in
+  Semantic.store t ~interval:(iv 0 10) ~pred:None ~benefit:3 rows;
+  (match Semantic.find t ~interval:(iv 0 10) ~pred:None with
+  | Some r -> check_int "exact rows returned" 1 (List.length r)
+  | None -> Alcotest.fail "expected exact hit");
+  check_bool "different interval misses" true
+    (Semantic.find t ~interval:(iv 0 11) ~pred:None = None);
+  let s = Stats.snapshot (Semantic.stats t) in
+  check_int "one exact hit" 1 s.Stats.hits;
+  check_int "one miss" 1 s.Stats.misses
+
+let test_semantic_containment_hit () =
+  let t = semantic () in
+  let rows =
+    [
+      sp_tuple ~plabel:2 ~start:1 ~fin:2 ();
+      sp_tuple ~plabel:5 ~start:3 ~fin:4 ();
+      sp_tuple ~plabel:9 ~start:5 ~fin:6 ();
+    ]
+  in
+  Semantic.store t ~interval:(iv 0 10) ~pred:None ~benefit:3 rows;
+  (match Semantic.find t ~interval:(iv 4 9) ~pred:None with
+  | Some r -> check_int "filtered to the probe interval" 2 (List.length r)
+  | None -> Alcotest.fail "expected containment hit");
+  let s = Stats.snapshot (Semantic.stats t) in
+  check_int "containment hit counted" 1 s.Stats.containment_hits
+
+let test_semantic_pred_handling () =
+  let t = semantic () in
+  let rows =
+    [
+      sp_tuple ~plabel:1 ~start:1 ~fin:2 ~data:"x" ();
+      sp_tuple ~plabel:2 ~start:3 ~fin:4 ~data:"y" ();
+    ]
+  in
+  Semantic.store t ~interval:(iv 0 10) ~pred:None ~benefit:3 rows;
+  (* A predicate-free covering entry serves a predicated probe by
+     filtering. *)
+  (match
+     Semantic.find t ~interval:(iv 0 5) ~pred:(Some (Blas_xpath.Ast.Equals "x"))
+   with
+  | Some r -> check_int "predicate applied" 1 (List.length r)
+  | None -> Alcotest.fail "expected pred-filtered containment hit");
+  (* A predicated entry never serves a predicate-free probe (it already
+     dropped rows). *)
+  let t2 = semantic () in
+  Semantic.store t2 ~interval:(iv 0 10)
+    ~pred:(Some (Blas_xpath.Ast.Equals "x"))
+    ~benefit:3
+    [ sp_tuple ~plabel:1 ~start:1 ~fin:2 ~data:"x" () ];
+  check_bool "predicated entry cannot serve unpredicated probe" true
+    (Semantic.find t2 ~interval:(iv 0 5) ~pred:None = None)
+
+let test_semantic_invalidate () =
+  let t = semantic () in
+  Semantic.store t ~interval:(iv 0 10) ~pred:None ~benefit:3
+    [ sp_tuple ~plabel:5 ~start:10 ~fin:20 () ];
+  Semantic.store t ~interval:(iv 20 30) ~pred:None ~benefit:3
+    [ sp_tuple ~plabel:25 ~start:50 ~fin:60 () ];
+  (* A P-label inside the first interval kills only the first entry. *)
+  let died = Semantic.invalidate t ~plabels:[ Bignum.of_int 7 ] ~drange:None in
+  check_int "one entry died by plabel" 1 died;
+  check_int "one survives" 1 (Semantic.entry_count t);
+  (* A D-range overlapping the survivor's rows kills it too. *)
+  let died = Semantic.invalidate t ~plabels:[] ~drange:(Some (55, 58)) in
+  check_int "one entry died by drange" 1 died;
+  check_int "none left" 0 (Semantic.entry_count t);
+  Semantic.validate t
+
+(* ------------------------------------------------------------------ *)
+(* Cached pipeline end to end                                          *)
+
+let storage_of s = Blas.index s
+
+let doc_xml =
+  "<r><a><b>x</b><b>y</b></a><a><b>x</b></a><c><b>z</b></c><c>w</c></r>"
+
+let test_warm_equals_cold () =
+  let storage = storage_of doc_xml in
+  List.iter
+    (fun translator ->
+      List.iter
+        (fun engine ->
+          List.iter
+            (fun qs ->
+              let q = Blas.query qs in
+              let cold =
+                (Blas.run ~cache:false storage ~engine ~translator q).Blas.starts
+              in
+              let warm1 =
+                (Blas.run ~cache:true storage ~engine ~translator q).Blas.starts
+              in
+              let warm2 =
+                (Blas.run ~cache:true storage ~engine ~translator q).Blas.starts
+              in
+              let where =
+                Printf.sprintf "%s %s %s"
+                  (Blas.translator_name translator)
+                  (Blas.engine_name engine) qs
+              in
+              check_int_list (where ^ ": warm fill = cold") cold warm1;
+              check_int_list (where ^ ": warm hit = cold") cold warm2)
+            [ "//b"; "/r/a/b"; "//b = \"x\""; "//a[b = \"x\"]"; "/r/*/b" ])
+        engines)
+    suffix_translators;
+  Cache.validate (Blas.Storage.cache storage)
+
+let test_memo_hit_zero_io () =
+  let storage = storage_of doc_xml in
+  let q = Blas.query "//a/b" in
+  let translator = Blas.Pushup and engine = Blas.Rdbms in
+  let cold = Blas.run ~cache:true storage ~engine ~translator q in
+  check_bool "cold run touches storage" true (cold.Blas.visited > 0);
+  let warm = Blas.run ~cache:true storage ~engine ~translator q in
+  check_int_list "same answers" cold.Blas.starts warm.Blas.starts;
+  check_int "memo hit reads nothing" 0 warm.Blas.visited;
+  check_int "memo hit pages nothing" 0 warm.Blas.page_reads;
+  let s = Blas.Storage.cache_stats storage in
+  check_bool "a result hit was recorded" true (s.Cache.results.Stats.hits >= 1)
+
+let test_cache_disabled_by_default () =
+  let storage = storage_of doc_xml in
+  let q = Blas.query "//a/b" in
+  ignore (Blas.run storage ~engine:Blas.Rdbms ~translator:Blas.Pushup q);
+  ignore (Blas.run storage ~engine:Blas.Rdbms ~translator:Blas.Pushup q);
+  let tot = Cache.totals (Blas.Storage.cache_stats storage) in
+  check_int "no lookups with cache off" 0 (tot.Stats.hits + tot.Stats.misses);
+  check_int "nothing stored" 0 tot.Stats.entries
+
+(* ------------------------------------------------------------------ *)
+(* Update-aware invalidation                                           *)
+
+let first_start_of_tag storage tag =
+  (List.find
+     (fun (n : Blas_xpath.Doc.node) -> n.Blas_xpath.Doc.tag = tag)
+     storage.Blas.Storage.doc.Blas_xpath.Doc.all)
+    .Blas_xpath.Doc.start
+
+(** Every suffix translator x engine on the (possibly cached) storage
+    must agree with the naive oracle. *)
+let oracle_check storage q =
+  let expected = Blas.oracle storage q in
+  List.iter
+    (fun translator ->
+      List.iter
+        (fun engine ->
+          check_int_list
+            (Printf.sprintf "post-edit %s/%s"
+               (Blas.translator_name translator)
+               (Blas.engine_name engine))
+            expected
+            (Blas.run ~cache:true storage ~engine ~translator q).Blas.starts)
+        engines)
+    suffix_translators
+
+let test_invalidation_on_edit () =
+  let storage = storage_of doc_xml in
+  let qa = Blas.query "//a/b" and qc = Blas.query "//c" in
+  let warm q =
+    ignore
+      (Blas.run ~cache:true storage ~engine:Blas.Rdbms ~translator:Blas.Pushup q);
+    ignore
+      (Blas.run ~cache:true storage ~engine:Blas.Twig ~translator:Blas.Pushup q)
+  in
+  warm qa;
+  warm qc;
+  (* Re-text a b node: //a/b entries must die, //c entries survive. *)
+  let b_start = first_start_of_tag storage "b" in
+  let before = Blas.Storage.cache_stats storage in
+  ignore (Blas.Update.replace_text storage ~start:b_start (Some "q"));
+  let after = Blas.Storage.cache_stats storage in
+  check_bool "some entries were invalidated" true
+    ((Cache.totals (Cache.diff_stats ~before ~after)).Stats.invalidations > 0);
+  (* //c still hits (its footprint was untouched)... *)
+  let before = Blas.Storage.cache_stats storage in
+  ignore
+    (Blas.run ~cache:true storage ~engine:Blas.Rdbms ~translator:Blas.Pushup qc);
+  let after = Blas.Storage.cache_stats storage in
+  check_bool "untouched query still served from cache" true
+    ((Cache.totals (Cache.diff_stats ~before ~after)).Stats.hits > 0);
+  (* ... and the edited query returns the new truth. *)
+  oracle_check storage qa;
+  oracle_check storage qc
+
+let test_full_flush_on_new_tag () =
+  let storage = storage_of doc_xml in
+  let q = Blas.query "//b" in
+  ignore
+    (Blas.run ~cache:true storage ~engine:Blas.Rdbms ~translator:Blas.Pushup q);
+  (* A new tag rebuilds the inventory: every P-label moves, so the
+     whole cache must flush and warm answers must match the oracle. *)
+  let report =
+    Blas.Update.insert_subtree storage ~parent:1 ~pos:0
+      (Blas_xml.Types.Element
+         ("zz", [ Blas_xml.Types.Element ("b", [ Blas_xml.Types.Content "n" ]) ]))
+  in
+  check_bool "inventory rebuilt" true report.Blas.Update.table_rebuilt;
+  check_bool "full invalidation" true
+    report.Blas.Update.invalidation.Blas.Update.inv_full;
+  check_int "cache emptied" 0
+    (Cache.totals (Blas.Storage.cache_stats storage)).Stats.entries;
+  oracle_check storage q;
+  oracle_check storage (Blas.query "//zz/b")
+
+let test_unfold_survives_guide_change () =
+  (* Unfold decompositions depend on the DataGuide: an insert that
+     materializes a previously-absent path (existing tags only — no
+     inventory rebuild) must flush the plan memo, or the stale
+     decomposition misses the new branch. *)
+  let storage = storage_of "<r><a><b>x</b></a><c>w</c></r>" in
+  let q = Blas.query "//b" in
+  ignore
+    (Blas.run ~cache:true storage ~engine:Blas.Rdbms ~translator:Blas.Unfold q);
+  let report =
+    Blas.Update.insert_subtree storage
+      ~parent:(first_start_of_tag storage "c") ~pos:0
+      (Blas_xml.Types.Element ("b", [ Blas_xml.Types.Content "fresh" ]))
+  in
+  check_bool "no inventory rebuild" false report.Blas.Update.table_rebuilt;
+  check_bool "guide change detected" true
+    report.Blas.Update.invalidation.Blas.Update.inv_schema_changed;
+  oracle_check storage q
+
+let test_delete_invalidates () =
+  let storage = storage_of doc_xml in
+  let q = Blas.query "//b" in
+  ignore
+    (Blas.run ~cache:true storage ~engine:Blas.Rdbms ~translator:Blas.Pushup q);
+  ignore
+    (Blas.run ~cache:true storage ~engine:Blas.Twig ~translator:Blas.Pushup q);
+  let b_start = first_start_of_tag storage "b" in
+  ignore (Blas.Update.delete_subtree storage ~start:b_start);
+  oracle_check storage q
+
+(* ------------------------------------------------------------------ *)
+(* Coherence property: edits interleaved with repeated queries         *)
+
+let prop_coherence =
+  qtest ~count:40 "cache coherent across random edit scripts"
+    Test_update.script_gen (fun (doc, edits, queries) ->
+      let storage = Blas.index_of_tree doc in
+      List.for_all
+        (fun edit ->
+          Test_update.apply_edit storage edit;
+          Cache.validate (Blas.Storage.cache storage);
+          List.for_all
+            (fun q ->
+              List.for_all
+                (fun translator ->
+                  List.for_all
+                    (fun engine ->
+                      let warm1 =
+                        (Blas.run ~cache:true storage ~engine ~translator q)
+                          .Blas.starts
+                      in
+                      let warm2 =
+                        (Blas.run ~cache:true storage ~engine ~translator q)
+                          .Blas.starts
+                      in
+                      let cold =
+                        (Blas.run ~cache:false storage ~engine ~translator q)
+                          .Blas.starts
+                      in
+                      warm1 = cold && warm2 = cold)
+                    engines)
+                suffix_translators)
+            queries)
+        edits)
+
+(* ------------------------------------------------------------------ *)
+(* -j N stress: one cache hammered from several domains                *)
+
+let test_parallel_stress () =
+  let storage = storage_of doc_xml in
+  let queries =
+    List.map Blas.query [ "//b"; "/r/a/b"; "//a[b = \"x\"]"; "//c"; "/r/*/b" ]
+  in
+  let expected =
+    List.map
+      (fun q ->
+        (Blas.run ~cache:false storage ~engine:Blas.Rdbms
+           ~translator:Blas.Pushup q)
+          .Blas.starts)
+      queries
+  in
+  List.iter
+    (fun domains ->
+      Cache.clear (Blas.Storage.cache storage);
+      Blas.Par.with_pool ~domains (fun pool ->
+          (* Hammer the shared cache: every lane runs the whole workload
+             on both engines several times concurrently. *)
+          let tasks =
+            List.concat_map
+              (fun _ ->
+                List.map
+                  (fun engine () ->
+                    List.map
+                      (fun q ->
+                        (Blas.run ~cache:true storage ~engine
+                           ~translator:Blas.Pushup q)
+                          .Blas.starts)
+                      queries)
+                  engines)
+              [ 1; 2; 3; 4 ]
+          in
+          let results = Blas.Par.map_list pool (fun f -> f ()) tasks in
+          List.iteri
+            (fun i answers ->
+              check_bool
+                (Printf.sprintf "-j %d run %d: answers correct" domains i)
+                true (answers = expected))
+            results);
+      Cache.validate (Blas.Storage.cache storage))
+    par_jobs
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "lru basics" `Quick test_lru_basics;
+    Alcotest.test_case "lru eviction prefers low benefit" `Quick
+      test_lru_eviction_prefers_low_benefit;
+    Alcotest.test_case "lru rejects oversized and zero-benefit" `Quick
+      test_lru_oversized_rejected;
+    Alcotest.test_case "lru filter_in_place" `Quick test_lru_filter_in_place;
+    Alcotest.test_case "semantic exact hit" `Quick test_semantic_exact_hit;
+    Alcotest.test_case "semantic containment hit" `Quick
+      test_semantic_containment_hit;
+    Alcotest.test_case "semantic predicate handling" `Quick
+      test_semantic_pred_handling;
+    Alcotest.test_case "semantic invalidation" `Quick test_semantic_invalidate;
+    Alcotest.test_case "warm answers equal cold" `Quick test_warm_equals_cold;
+    Alcotest.test_case "memo hit has zero I/O" `Quick test_memo_hit_zero_io;
+    Alcotest.test_case "cache disabled by default" `Quick
+      test_cache_disabled_by_default;
+    Alcotest.test_case "edits invalidate precisely" `Quick
+      test_invalidation_on_edit;
+    Alcotest.test_case "new tag flushes everything" `Quick
+      test_full_flush_on_new_tag;
+    Alcotest.test_case "unfold survives guide change" `Quick
+      test_unfold_survives_guide_change;
+    Alcotest.test_case "delete invalidates" `Quick test_delete_invalidates;
+    prop_coherence;
+    Alcotest.test_case "parallel stress" `Quick test_parallel_stress;
+  ]

@@ -24,4 +24,5 @@ let () =
       ("parallel", Test_par.suite);
       ("misc", Test_misc.suite);
       ("datagen", Test_datagen.suite);
+      ("cache", Test_cache.suite);
     ]
