@@ -4,8 +4,8 @@
     section is regenerated in order, followed by the join-count table,
     the ablations, the micro-benchmarks and the instrumentation
     overhead check; section arguments (fig10 ... fig18, joins, disk,
-    space, build, cache, ablate, bechamel, overhead, scaling) select a
-    subset.
+    space, build, cache, ablate, bechamel, overhead, scaling, serve)
+    select a subset.
 
     Flags: [--json] also writes every printed table to
     BENCH_results.json; [--check] makes the overhead section enforce its
@@ -32,6 +32,7 @@ let sections =
     ("bechamel", Micro.run);
     ("overhead", Overhead.run);
     ("scaling", Scaling.run);
+    ("serve", Serve.run);
   ]
 
 let results_file = "BENCH_results.json"

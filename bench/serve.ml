@@ -1,0 +1,136 @@
+(** bench serve: closed-loop multi-client workload against a live
+    in-process server.
+
+    Four client threads run the Figure 10 Shakespeare and auction
+    queries (warm cache) with one live update mixed in every eighth
+    operation, each over its own TCP connection against an
+    ephemeral-port server.  The table reports client-observed
+    throughput and p50/p95/p99 latency per verb; with [--json] it lands
+    in BENCH_results.json, and with [--check] any non-OK reply fails
+    the run (the CI smoke). *)
+
+module Srv = Blas_server.Server
+module C = Blas_server.Client
+module P = Blas_server.Proto
+
+let n_clients = 4
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let root_start (storage : Blas.Storage.t) =
+  List.fold_left
+    (fun acc (n : Blas_xpath.Doc.node) -> min acc n.start)
+    max_int storage.Blas.Storage.doc.Blas_xpath.Doc.all
+
+let run () =
+  Bench_util.heading "Serving: multi-client closed loop against a live server";
+  let check = !Overhead.check_mode in
+  let shakespeare = Datasets.storage_of (Datasets.shakespeare_base ()) in
+  let auction = Datasets.storage_of (Datasets.auction_base ()) in
+  let docs = [ ("shakespeare", shakespeare); ("auction", auction) ] in
+  let roots = List.map (fun (name, s) -> (name, root_start s)) docs in
+  let workload =
+    Array.of_list
+      (List.map (fun (_, q) -> ("shakespeare", q)) Bench_queries.shakespeare
+      @ List.map (fun (_, q) -> ("auction", q)) Bench_queries.auction)
+  in
+  let jobs = min 4 (List.fold_left max 1 !Scaling.levels) in
+  let config =
+    {
+      Srv.default_config with
+      port = 0;
+      jobs;
+      max_inflight = n_clients;
+      queue_depth = 64;
+    }
+  in
+  let per_client = if check then 24 else 160 in
+  Srv.with_server config ~docs @@ fun srv ->
+  let port = Srv.port srv in
+  (* Warm: every query once per engine, so the steady state measures
+     the resident server, not first-touch indexing and cache misses. *)
+  C.with_client port (fun c ->
+      Array.iter
+        (fun (doc, q) ->
+          List.iter
+            (fun engine ->
+              ignore (C.query c ~doc ~translator:Blas.Pushup ~engine q))
+            [ Blas.Rdbms; Blas.Twig ])
+        workload);
+  let query_ns = Array.make (n_clients * per_client) nan in
+  let update_ns = Array.make (n_clients * per_client) nan in
+  let non_ok = Atomic.make 0 in
+  let client k =
+    C.with_client port (fun c ->
+        let engine = if k mod 2 = 0 then Blas.Rdbms else Blas.Twig in
+        for i = 0 to per_client - 1 do
+          let slot = (k * per_client) + i in
+          let t0 = Bench_util.now_ns () in
+          let reply, is_update =
+            if i mod 8 = 7 then begin
+              (* A live edit: retext the root — invalidates the cache,
+                 exercising the exclusive-writer path under load. *)
+              let doc, start = List.nth roots ((i + k) mod List.length roots) in
+              ( C.update c ~doc
+                  (P.Retext
+                     { start; data = Some (if k mod 2 = 0 then "w1" else "w2") }),
+                true )
+            end
+            else
+              let doc, q = workload.((i + (k * 3)) mod Array.length workload) in
+              (C.query c ~doc ~translator:Blas.Pushup ~engine q, false)
+          in
+          let dt = Int64.to_float (Int64.sub (Bench_util.now_ns ()) t0) in
+          (match reply with
+          | P.Ok_payload _ -> ()
+          | _ -> Atomic.incr non_ok);
+          if is_update then update_ns.(slot) <- dt else query_ns.(slot) <- dt
+        done)
+  in
+  let t0 = Bench_util.now_ns () in
+  let threads = List.init n_clients (fun k -> Thread.create client k) in
+  List.iter Thread.join threads;
+  let wall_s =
+    Int64.to_float (Int64.sub (Bench_util.now_ns ()) t0) /. 1e9
+  in
+  let finite a =
+    let l = Array.to_list a |> List.filter (fun x -> not (Float.is_nan x)) in
+    let s = Array.of_list l in
+    Array.sort compare s;
+    s
+  in
+  let queries = finite query_ns and updates = finite update_ns in
+  let total_ops = Array.length queries + Array.length updates in
+  let row verb (sorted : float array) =
+    [
+      verb;
+      string_of_int (Array.length sorted);
+      Printf.sprintf "%.3f" (percentile sorted 50. /. 1e6);
+      Printf.sprintf "%.3f" (percentile sorted 95. /. 1e6);
+      Printf.sprintf "%.3f" (percentile sorted 99. /. 1e6);
+    ]
+  in
+  Bench_util.print_table
+    ~title:
+      (Printf.sprintf
+         "%d clients x %d ops (1 update per 8 ops), -j %d, wall %.3fs, %.0f \
+          ops/s"
+         n_clients per_client jobs wall_s
+         (float_of_int total_ops /. wall_s))
+    {
+      Bench_util.header = [ "verb"; "ops"; "p50 ms"; "p95 ms"; "p99 ms" ];
+      rows = [ row "query" queries; row "update" updates ];
+    };
+  if Atomic.get non_ok > 0 then begin
+    Printf.eprintf "serve: %d non-OK replies under closed-loop load\n%!"
+      (Atomic.get non_ok);
+    if check then Overhead.failed := true
+  end
+  else if check then
+    Printf.printf "OK: %d requests over %d clients, all replies OK\n" total_ops
+      n_clients

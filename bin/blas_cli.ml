@@ -78,12 +78,6 @@ let logs_term =
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let input_arg =
   let doc = "XML input file." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
@@ -145,19 +139,10 @@ let parse_query_union s =
   try Ok (Blas.query_union s) with
   | Blas_xpath.Parser.Error msg -> Error (Printf.sprintf "query error: %s" msg)
 
-(* XML files and saved index files (magic "BLAS1") both load. *)
-let load_storage path =
-  try
-    let contents = read_file path in
-    if String.length contents >= 5 && String.sub contents 0 5 = "BLAS1" then
-      Ok (Blas.Persist.of_string contents)
-    else Ok (Blas.index contents)
-  with
-  | Blas_xml.Types.Parse_error (pos, msg) ->
-    Error
-      (Printf.sprintf "%s: %s at %s" path msg (Blas_xml.Types.position_to_string pos))
-  | Blas.Persist.Format_error msg -> Error (Printf.sprintf "%s: %s" path msg)
-  | Sys_error msg -> Error msg
+(* XML files and saved index files (magic "BLAS1") both load — through
+   the same memoized sniff-and-parse helper the server's document
+   collection uses. *)
+let load_storage = Blas.Loader.load
 
 
 (* ------------------------------------------------------------------ *)
@@ -713,6 +698,199 @@ let cache_cmd =
        $ engine_arg $ repeat $ jobs_arg $ input_arg))
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve () host port docs_dir jobs max_inflight queue_depth timeout_ms
+    no_cache allow_sleep =
+  match Blas.Loader.load_dir docs_dir with
+  | Error msg -> `Error (false, msg)
+  | Ok [] -> `Error (false, Printf.sprintf "no *.xml or *.blas files in %s" docs_dir)
+  | Ok docs ->
+    let config =
+      {
+        Blas_server.Server.host;
+        port;
+        jobs;
+        max_inflight;
+        queue_depth;
+        default_deadline_ms = timeout_ms;
+        cache = not no_cache;
+        allow_sleep;
+      }
+    in
+    let server = Blas_server.Server.start config ~docs in
+    (* The handler must stay async-signal-safe: one atomic store.  The
+       drain itself runs below, on the main thread. *)
+    let request _ = Blas_server.Server.request_shutdown server in
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request));
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle request));
+    ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+    Printf.printf "serving %d document(s) on %s:%d\n%!" (List.length docs) host
+      (Blas_server.Server.port server);
+    Blas_server.Server.wait server;
+    prerr_endline "draining...";
+    Blas_server.Server.stop server;
+    print_endline (Blas_server.Server.stats_payload server);
+    `Ok ()
+
+let serve_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let port =
+    Arg.(
+      value & opt int 4004
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port (0 picks an ephemeral port).")
+  in
+  let docs_dir =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "docs" ] ~docv:"DIR"
+          ~doc:"Directory of documents to host (every *.xml and *.blas file).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 4
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Worker threads executing requests concurrently.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission slots beyond the workers; past that, requests get an \
+             immediate BUSY instead of queueing.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline; requests running past it answer \
+             TIMEOUT.  A client's DEADLINE header overrides it per request.")
+  in
+  let allow_sleep =
+    Arg.(
+      value & flag
+      & info [ "allow-sleep" ]
+          ~doc:"Accept the debug SLEEP verb (tests and benchmarks only).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a document collection over TCP: concurrent queries, exclusive \
+          live updates, bounded admission with BUSY backpressure, deadlines, \
+          and a graceful drain on SIGTERM.")
+    Term.(
+      ret
+        (const serve $ logs_term $ host $ port $ docs_dir $ jobs_arg
+       $ max_inflight $ queue_depth $ timeout_ms $ no_cache_arg $ allow_sleep))
+
+(* ------------------------------------------------------------------ *)
+(* connect / query (network clients)                                   *)
+
+let endpoint_arg =
+  let doc = "Server endpoint, $(i,HOST:PORT) or bare $(i,PORT)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+
+let endpoint_pos_arg =
+  let doc = "Server endpoint, $(i,HOST:PORT) or bare $(i,PORT)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"HOST:PORT" ~doc)
+
+let with_endpoint endpoint f =
+  match Blas_server.Client.parse_endpoint endpoint with
+  | exception Invalid_argument msg -> `Error (false, msg)
+  | host, port -> (
+    match Blas_server.Client.with_client ~host port f with
+    | result -> result
+    | exception Unix.Unix_error (e, _, _) ->
+      `Error
+        (false, Printf.sprintf "cannot reach %s: %s" endpoint (Unix.error_message e)))
+
+let connect () endpoint =
+  with_endpoint endpoint (fun client ->
+      (* A line-oriented REPL: raw protocol in, rendered replies out. *)
+      let rec loop () =
+        (match Sys.getenv_opt "BLAS_NO_PROMPT" with
+        | Some _ -> ()
+        | None -> print_string "blas> ");
+        flush stdout;
+        match input_line stdin with
+        | exception End_of_file -> ()
+        | "" -> loop ()
+        | line when
+            (match Blas_server.Proto.parse_command line with
+            | Ok (Blas_server.Proto.Deadline _) -> true
+            | _ -> false) ->
+          (* Headers carry no reply frame — send and keep reading. *)
+          Blas_server.Client.send_line client line;
+          loop ()
+        | line -> (
+          match Blas_server.Client.raw client line with
+          | reply ->
+            print_endline (Blas_server.Proto.reply_to_string reply);
+            (match reply with Blas_server.Proto.Bye -> () | _ -> loop ())
+          | exception Blas_server.Client.Closed ->
+            prerr_endline "server closed the connection")
+      in
+      loop ();
+      `Ok ())
+
+let connect_cmd =
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:
+         "Interactive REPL against a running blas server (raw wire protocol; \
+          try PING, LIST, STATS, QUERY, UPDATE, QUIT).")
+    Term.(ret (const connect $ logs_term $ endpoint_pos_arg))
+
+let net_query () endpoint doc_name query_string translator engine deadline_ms =
+  with_endpoint endpoint (fun client ->
+      match
+        Blas_server.Client.query ?deadline_ms client ~doc:doc_name ~translator
+          ~engine query_string
+      with
+      | Blas_server.Proto.Ok_payload payload ->
+        print_endline payload;
+        `Ok ()
+      | Blas_server.Proto.Err msg -> `Error (false, msg)
+      | Blas_server.Proto.Busy -> `Error (false, "server busy (admission queue full)")
+      | Blas_server.Proto.Timeout -> `Error (false, "deadline exceeded")
+      | Blas_server.Proto.Bye -> `Error (false, "server hung up")
+      | exception Blas_server.Client.Closed -> `Error (false, "server hung up"))
+
+let query_cmd =
+  let doc_name =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "doc" ] ~docv:"NAME"
+          ~doc:"Hosted document name (see LIST / blas connect).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline; a late answer becomes TIMEOUT.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"One-shot query against a running blas server.")
+    Term.(
+      ret
+        (const net_query $ logs_term $ endpoint_arg $ doc_name $ query_arg
+       $ translator_arg $ engine_arg $ deadline_ms))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "BLAS: a bi-labeling based XPath processing system (SIGMOD 2004)" in
@@ -730,4 +908,7 @@ let () =
             profile_cmd;
             cache_cmd;
             update_cmd;
+            serve_cmd;
+            connect_cmd;
+            query_cmd;
           ]))

@@ -111,6 +111,22 @@ let sum a b =
     bytes = a.bytes + b.bytes;
   }
 
+(** [fields s] — the snapshot as named integers, in declaration order.
+    Exporters (the server's STATS command, JSON dumps) iterate this
+    instead of pattern-matching the record, so a new field can never be
+    silently dropped from a wire format. *)
+let fields s =
+  [
+    ("hits", s.hits);
+    ("containment_hits", s.containment_hits);
+    ("misses", s.misses);
+    ("inserts", s.inserts);
+    ("evictions", s.evictions);
+    ("invalidations", s.invalidations);
+    ("entries", s.entries);
+    ("bytes", s.bytes);
+  ]
+
 let hit_rate s =
   let lookups = s.hits + s.containment_hits + s.misses in
   if lookups = 0 then 0.

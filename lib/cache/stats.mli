@@ -51,6 +51,11 @@ val diff : before:snapshot -> after:snapshot -> snapshot
 (** Fieldwise sum (gauges included) — for aggregating several caches. *)
 val sum : snapshot -> snapshot -> snapshot
 
+(** The snapshot as named integers, in declaration order — for
+    exporters (wire formats, JSON) that must not silently drop a
+    field. *)
+val fields : snapshot -> (string * int) list
+
 (** Hits (exact + containment) over lookups; 0 when no lookups. *)
 val hit_rate : snapshot -> float
 

@@ -25,6 +25,7 @@ module Sax_index = Sax_index
 module Update = Update
 module Par = Blas_par.Pool
 module Cache = Qcache
+module Loader = Loader
 
 type translator = Exec.translator =
   | D_labeling
@@ -87,8 +88,8 @@ let query_union s = Blas_xpath.Parser.parse_union s
     (each run may fan out further when the batch is narrower than the
     pool); reports merge in query order, so the merged report matches
     the sequential one. *)
-let run_union ?pool ?cache storage ~engine ~translator queries =
-  let run_one q = run ?pool ?cache storage ~engine ~translator q in
+let run_union ?cancel ?pool ?cache storage ~engine ~translator queries =
+  let run_one q = run ?cancel ?pool ?cache storage ~engine ~translator q in
   let reports =
     match pool with
     | Some p when Blas_par.Pool.size p > 1 && List.length queries > 1 ->

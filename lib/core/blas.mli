@@ -40,6 +40,11 @@ module Par = Blas_par.Pool
     {!Storage.set_cache_enabled} or per run with {!run}'s [?cache]. *)
 module Cache = Qcache
 
+(** The one storage loader behind the CLI and the network server:
+    sniffs saved-index vs XML files and memoizes unchanged loads per
+    process. *)
+module Loader = Loader
+
 type translator = Exec.translator =
   | D_labeling  (** the baseline: one D-join per query edge over SD *)
   | Split  (** Section 4.1.1 *)
@@ -109,9 +114,15 @@ val plan_for :
     schema epoch, P-label scans are served from the semantic result
     cache (exact or containment hits), and suffix-path queries replay
     memoized answers with zero I/O until an update touches their
-    footprint. *)
+    footprint.
+
+    [?cancel] is the cooperative cancellation hook: called at every
+    phase and operator boundary of the run (across concurrent regions
+    too), it aborts by raising — deadline enforcement passes
+    [fun () -> Par.Token.check token] and catches {!Par.Cancelled}. *)
 val run :
   ?tracer:Blas_obs.Trace.t ->
+  ?cancel:(unit -> unit) ->
   ?pool:Par.t ->
   ?cache:bool ->
   Storage.t ->
@@ -158,6 +169,7 @@ val query_union : string -> Blas_xpath.Ast.t list
     combined SQL is the UNION of the per-query plans.  With a
     multi-domain [pool], the batch runs concurrently. *)
 val run_union :
+  ?cancel:(unit -> unit) ->
   ?pool:Par.t ->
   ?cache:bool ->
   Storage.t ->

@@ -110,9 +110,12 @@ let no_wrap ~label:_ f = f ()
 (** [pattern_of_branch storage counters branch] roots the join tree and
     materializes every item's stream.  [par] chunks each stream's fetch
     over a domain pool. *)
-let pattern_of_branch ?(wrap = no_wrap) ?par ?cache (storage : Storage.t)
-    counters (branch : Suffix_query.t) =
+let pattern_of_branch ?(wrap = no_wrap) ?(cancel = ignore) ?par ?cache
+    (storage : Storage.t) counters (branch : Suffix_query.t) =
   let rec build ~gap (item : Suffix_query.item) =
+    (* Cooperative cancellation point: one check per pattern node, i.e.
+       before each item's stream is materialized. *)
+    cancel ();
     let label = Format.asprintf "%a" Blas_label.Plabel.pp_suffix_path item.path in
     wrap ~label @@ fun () ->
     let children =
@@ -140,27 +143,23 @@ let execute algorithm pattern =
     branches run concurrently, each charging a fresh counter vector
     merged back in branch order — the answer set and counter totals
     match the sequential run. *)
-let run ?(algorithm = `Classic) ?pool ?cache (storage : Storage.t)
-    (branches : Suffix_query.t list) =
+let run ?(algorithm = `Classic) ?(cancel = ignore) ?pool ?cache
+    (storage : Storage.t) (branches : Suffix_query.t list) =
   let counters = Counters.create () in
+  let run_branch branch =
+    (* Cancellation points: before each branch's streams build (the
+       build itself checks per pattern node) and before its join runs. *)
+    let c = Counters.create () in
+    let pattern = pattern_of_branch ~cancel ?par:pool ?cache storage c branch in
+    cancel ();
+    let s, stats = execute algorithm pattern in
+    (c, s, stats.Blas_twig.Twig_stack.candidates)
+  in
   let branch_results =
     match pool with
     | Some p when Blas_par.Pool.size p > 1 && List.length branches > 1 ->
-      Blas_par.Pool.map_list p
-        (fun branch ->
-          let c = Counters.create () in
-          let pattern = pattern_of_branch ?par:pool ?cache storage c branch in
-          let s, stats = execute algorithm pattern in
-          (c, s, stats.Blas_twig.Twig_stack.candidates))
-        branches
-    | _ ->
-      List.map
-        (fun branch ->
-          let c = Counters.create () in
-          let pattern = pattern_of_branch ?par:pool ?cache storage c branch in
-          let s, stats = execute algorithm pattern in
-          (c, s, stats.Blas_twig.Twig_stack.candidates))
-        branches
+      Blas_par.Pool.map_list p run_branch branches
+    | _ -> List.map run_branch branches
   in
   let starts, candidates =
     List.fold_left

@@ -24,6 +24,7 @@ type wrap =
     over a domain pool. *)
 val pattern_of_branch :
   ?wrap:wrap ->
+  ?cancel:(unit -> unit) ->
   ?par:Blas_par.Pool.t ->
   ?cache:Blas_cache.Semantic.t ->
   Storage.t ->
@@ -35,9 +36,12 @@ val pattern_of_branch :
     (a union of branches).  [`Classic] (default) is the original
     getNext-driven TwigStack; [`Merge] the global-merge variant.  With a
     multi-domain [pool], branches run concurrently; the answer set and
-    counter totals match the sequential run. *)
+    counter totals match the sequential run.  [cancel] is the
+    cooperative cancellation hook, called before every branch and every
+    stream materialization; it aborts the run by raising. *)
 val run :
   ?algorithm:[ `Classic | `Merge ] ->
+  ?cancel:(unit -> unit) ->
   ?pool:Blas_par.Pool.t ->
   ?cache:Blas_cache.Semantic.t ->
   Storage.t ->

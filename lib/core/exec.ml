@@ -326,8 +326,8 @@ let record_cache_metrics qc =
     through the semantic result cache, and — for the suffix-path
     translators — the whole answer is memoized and replayed with zero
     I/O until an update touches the query's footprint. *)
-let run ?(tracer = Blas_obs.Trace.disabled) ?pool ?cache storage ~engine
-    ~translator q =
+let run ?(tracer = Blas_obs.Trace.disabled) ?(cancel = ignore) ?pool ?cache
+    storage ~engine ~translator q =
   Log.debug (fun m ->
       m "run %s on %s: %s" (translator_name translator) (engine_name engine)
         (Blas_xpath.Pretty.to_string q));
@@ -364,6 +364,9 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?pool ?cache storage ~engine
     | Some entry -> report_of_result_entry entry
     | None ->
       let execute () =
+        (* Phase-boundary cancellation checks; the engines add one per
+           operator / stream below. *)
+        cancel ();
         match engine with
         | Rdbms -> (
           let sql =
@@ -375,10 +378,11 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?pool ?cache storage ~engine
             let plan =
               span "compile" (fun () -> plan_cached qc storage translator qstr s)
             in
+            cancel ();
             let counters = Blas_rel.Counters.create () in
             let relation =
               span "execute" (fun () ->
-                  Blas_rel.Executor.run ~counters ?pool
+                  Blas_rel.Executor.run ~counters ~cancel ?pool
                     ?cache:(Option.map scan_cache_of qc)
                     plan)
             in
@@ -417,7 +421,7 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?pool ?cache storage ~engine
             in
             let result =
               span "execute" (fun () ->
-                  Engine_twig.run ?pool
+                  Engine_twig.run ~cancel ?pool
                     ?cache:(Option.map Qcache.semantic qc)
                     storage branches)
             in

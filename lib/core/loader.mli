@@ -1,0 +1,15 @@
+(** The one storage loader behind every entry point ([Blas.Loader]):
+    CLI subcommands and the network server's document collection load
+    through the same sniff-and-parse helper, memoized per process while
+    the file is unchanged on disk (path + mtime + size). *)
+
+(** [load path] — the storage for [path]: a saved index when the file
+    starts with the "BLAS1" magic, parsed XML otherwise.  Memoized. *)
+val load : string -> (Storage.t, string) result
+
+(** [load_dir dir] — every [*.xml] / [*.blas] file of [dir] as a named
+    document list (basename without extension), sorted by name. *)
+val load_dir : string -> ((string * Storage.t) list, string) result
+
+(** Drops the process-level memo. *)
+val clear_memo : unit -> unit

@@ -136,6 +136,42 @@ let run (type a) t (tasks : (unit -> a) array) : a array =
         (function Some v -> v | None -> invalid_arg "Pool.run: missing result")
         results
 
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation                                           *)
+
+exception Cancelled
+
+(** Cancellation tokens: an atomic flag plus an optional [expired]
+    predicate (the deadline hook).  {!Token.check} is the cooperative
+    cancellation point long computations poll at operator boundaries. *)
+module Token = struct
+  type t = { flag : bool Atomic.t; expired : unit -> bool }
+
+  let create ?(expired = fun () -> false) () =
+    { flag = Atomic.make false; expired }
+
+  let none = create ()
+
+  let cancel t = Atomic.set t.flag true
+
+  let cancelled t = Atomic.get t.flag || t.expired ()
+
+  let check t = if cancelled t then raise Cancelled
+end
+
+(** [run_cancellable t ~token tasks] — {!run} with a cancellation gate
+    before every task body: once [token] cancels, the remaining tasks
+    raise {!Cancelled} instead of running, so the fan-out stops within
+    one task boundary per lane; the exception is re-raised on the caller
+    after the batch drains. *)
+let run_cancellable t ~token tasks =
+  run t
+    (Array.map
+       (fun task () ->
+         Token.check token;
+         task ())
+       tasks)
+
 (** [map t f xs] — parallel array map, order-preserving. *)
 let map t f xs = run t (Array.map (fun x () -> f x) xs)
 

@@ -30,6 +30,40 @@ val with_pool : domains:int -> (t -> 'a) -> 'a
     exception raised by any task is re-raised after the batch drains. *)
 val run : t -> (unit -> 'a) array -> 'a array
 
+(** Raised (on the caller of {!run_cancellable}) when the batch's token
+    was cancelled before every task ran. *)
+exception Cancelled
+
+(** Cooperative cancellation tokens.  A token is cancelled explicitly
+    ({!Token.cancel}) or implicitly by its [expired] predicate — the
+    deadline hook: a server arms it with "now past the request's
+    deadline".  Checking is cheap (one atomic load plus the predicate),
+    so long computations can poll at every operator boundary. *)
+module Token : sig
+  type t
+
+  (** [create ?expired ()] — a fresh token; [expired] (default: never)
+      is consulted on every {!cancelled} check. *)
+  val create : ?expired:(unit -> bool) -> unit -> t
+
+  (** A token that is never cancelled. *)
+  val none : t
+
+  val cancel : t -> unit
+
+  val cancelled : t -> bool
+
+  (** @raise Cancelled when the token is cancelled or expired. *)
+  val check : t -> unit
+end
+
+(** [run_cancellable t ~token tasks] — like {!run}, but every lane
+    checks [token] before starting each task: once the token cancels,
+    no further task body begins (at most one in-flight task per lane
+    finishes), and {!Cancelled} is re-raised on the caller after the
+    batch drains. *)
+val run_cancellable : t -> token:Token.t -> (unit -> 'a) array -> 'a array
+
 (** Parallel array map, order-preserving. *)
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 

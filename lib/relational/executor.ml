@@ -37,7 +37,12 @@ type scan_cache = {
    partitions its descendant side.  Every concurrent subtask charges a
    fresh counter vector merged back in plan order, so totals equal the
    sequential run's. *)
-let rec eval_wrapped wrap par cache counters plan =
+let rec eval_wrapped ?(cancel = ignore) wrap par cache counters plan =
+  (* Cooperative cancellation point: one check per operator boundary,
+     so a deadline or client disconnect stops the plan between
+     operators (and, through the pool's error slot, across concurrent
+     regions). *)
+  cancel ();
   wrap plan @@ fun () ->
   match plan with
   | Algebra.Access { table; alias; path; residual } ->
@@ -73,14 +78,14 @@ let rec eval_wrapped wrap par cache counters plan =
     in
     (qualified, tuples)
   | Algebra.Select (pred, sub) ->
-    let schema, tuples = eval_wrapped wrap par cache counters sub in
+    let schema, tuples = eval_wrapped ~cancel wrap par cache counters sub in
     (schema, List.filter (Algebra.eval_pred schema pred) tuples)
   | Algebra.Project (columns, sub) ->
-    let schema, tuples = eval_wrapped wrap par cache counters sub in
+    let schema, tuples = eval_wrapped ~cancel wrap par cache counters sub in
     let indices = Array.of_list (List.map (find_col schema) columns) in
     (Schema.of_list columns, List.map (Tuple.project indices) tuples)
   | Algebra.Theta_join (pred, left, right) ->
-    let (ls, lt), (rs, rt) = eval_sides wrap par cache counters left right in
+    let (ls, lt), (rs, rt) = eval_sides ~cancel wrap par cache counters left right in
     counters.Counters.theta_joins <- counters.Counters.theta_joins + 1;
     let schema = Schema.concat ls rs in
     let out =
@@ -96,7 +101,7 @@ let rec eval_wrapped wrap par cache counters plan =
     counters.Counters.intermediate <- counters.Counters.intermediate + List.length out;
     (schema, out)
   | Algebra.Djoin (spec, left, right) ->
-    let (ls, lt), (rs, rt) = eval_sides wrap par cache counters left right in
+    let (ls, lt), (rs, rt) = eval_sides ~cancel wrap par cache counters left right in
     counters.Counters.djoins <- counters.Counters.djoins + 1;
     let side schema start_col end_col =
       {
@@ -139,7 +144,7 @@ let rec eval_wrapped wrap par cache counters plan =
         Blas_par.Pool.map_list pool
           (fun sub ->
             let c = Counters.create () in
-            let res = eval_wrapped wrap par cache c sub in
+            let res = eval_wrapped ~cancel wrap par cache c sub in
             (c, res))
           (first :: rest)
       in
@@ -154,44 +159,45 @@ let rec eval_wrapped wrap par cache counters plan =
       in
       (schema, tuples)
     | _ ->
-      let schema, tuples = eval_wrapped wrap par cache counters first in
+      let schema, tuples = eval_wrapped ~cancel wrap par cache counters first in
       let tuples =
         List.fold_left
           (fun acc sub ->
-            let s, t = eval_wrapped wrap par cache counters sub in
+            let s, t = eval_wrapped ~cancel wrap par cache counters sub in
             check_schema schema s;
             acc @ t)
           tuples rest
       in
       (schema, tuples))
   | Algebra.Distinct sub ->
-    let schema, tuples = eval_wrapped wrap par cache counters sub in
+    let schema, tuples = eval_wrapped ~cancel wrap par cache counters sub in
     let relation = Relation.distinct (Relation.make schema (Array.of_list tuples)) in
     (schema, Array.to_list (Relation.tuples relation))
 
 (* Evaluates the two sides of a join — concurrently when a multi-domain
    pool is available, each side charging a fresh counter vector merged
    back left-then-right (the sequential order). *)
-and eval_sides wrap par cache counters left right =
+and eval_sides ?(cancel = ignore) wrap par cache counters left right =
   match par with
   | Some pool when Blas_par.Pool.size pool > 1 ->
     let cl = Counters.create () and cr = Counters.create () in
     let l, r =
       Blas_par.Pool.both pool
-        (fun () -> eval_wrapped wrap par cache cl left)
-        (fun () -> eval_wrapped wrap par cache cr right)
+        (fun () -> eval_wrapped ~cancel wrap par cache cl left)
+        (fun () -> eval_wrapped ~cancel wrap par cache cr right)
     in
     Counters.add ~into:counters cl;
     Counters.add ~into:counters cr;
     (l, r)
   | _ ->
-    let l = eval_wrapped wrap par cache counters left in
-    let r = eval_wrapped wrap par cache counters right in
+    let l = eval_wrapped ~cancel wrap par cache counters left in
+    let r = eval_wrapped ~cancel wrap par cache counters right in
     (l, r)
 
 let no_wrap _plan f = f ()
 
-let eval ?pool ?cache counters plan = eval_wrapped no_wrap pool cache counters plan
+let eval ?cancel ?pool ?cache counters plan =
+  eval_wrapped ?cancel no_wrap pool cache counters plan
 
 (** [run ?counters ?pool plan] executes [plan] and materializes the
     result.  With a multi-domain [pool], independent plan regions
@@ -199,8 +205,8 @@ let eval ?pool ?cache counters plan = eval_wrapped no_wrap pool cache counters p
     the counter totals are identical to the sequential run, except that
     page {e reads} can differ when concurrent regions race into the
     shared buffer pool. *)
-let run ?(counters = Counters.create ()) ?pool ?cache plan =
-  let schema, tuples = eval ?pool ?cache counters plan in
+let run ?(counters = Counters.create ()) ?cancel ?pool ?cache plan =
+  let schema, tuples = eval ?cancel ?pool ?cache counters plan in
   Rel_log.Log.debug (fun m ->
       m "executed plan: %d rows, %a" (List.length tuples) Counters.pp counters);
   Relation.make schema (Array.of_list tuples)

@@ -21,10 +21,16 @@ type scan_cache = {
     the result relation (tuples and order) and the counter totals are
     identical to the sequential run, except that page {e reads} can
     differ when concurrent regions race into the shared buffer pool.
+
+    [cancel] is the cooperative cancellation hook: it is called before
+    every operator evaluation (including operators of concurrent plan
+    regions) and aborts the run by raising — deadline enforcement
+    typically passes [fun () -> Blas_par.Pool.Token.check token].
     @raise Error on unknown columns, empty unions or schema
     mismatches. *)
 val run :
   ?counters:Counters.t ->
+  ?cancel:(unit -> unit) ->
   ?pool:Blas_par.Pool.t ->
   ?cache:scan_cache ->
   Algebra.plan ->

@@ -1,0 +1,95 @@
+(** The OCaml client for the wire protocol: one blocking connection,
+    one request/reply exchange at a time.  The typed wrappers cover
+    every verb; {!request} sends an already-formed command (the REPL
+    path sends raw lines with {!raw}). *)
+
+type t = { fd : Unix.file_descr; io : Proto.Io.t }
+
+(** [parse_endpoint s] — ["host:port"] or bare ["port"], defaulting the
+    host to 127.0.0.1. *)
+let parse_endpoint s =
+  match String.rindex_opt s ':' with
+  | Some i ->
+    let host = String.sub s 0 i
+    and port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+    | Some p -> ((if host = "" then "127.0.0.1" else host), p)
+    | None -> invalid_arg (Printf.sprintf "bad endpoint %S" s))
+  | None -> (
+    match int_of_string_opt s with
+    | Some p -> ("127.0.0.1", p)
+    | None -> invalid_arg (Printf.sprintf "bad endpoint %S" s))
+
+let connect ?(host = "127.0.0.1") port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; io = Proto.Io.of_fd fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_client ?host port f =
+  let t = connect ?host port in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+exception Closed
+
+(** [send_line t line] — send one raw line without awaiting a reply
+    (header lines like [DEADLINE] carry no reply frame). *)
+let send_line t line = Proto.Io.write t.io (line ^ "\n")
+
+(** [raw t line] — send one raw request line, read one reply frame.
+    @raise Closed when the server hung up. *)
+let raw t line =
+  send_line t line;
+  match Proto.read_reply t.io with
+  | Ok reply -> reply
+  | Error msg when String.starts_with ~prefix:"connection closed" msg ->
+    raise Closed
+  | Error msg -> failwith ("bad reply frame: " ^ msg)
+
+(** [request ?deadline_ms t cmd] — one exchange; [deadline_ms] sends a
+    DEADLINE header first (headers carry no reply frame). *)
+let request ?deadline_ms t cmd =
+  (match deadline_ms with
+  | Some ms -> Proto.Io.write t.io (Proto.command_to_line (Proto.Deadline ms) ^ "\n")
+  | None -> ());
+  raw t (Proto.command_to_line cmd)
+
+let ping t =
+  match request t Proto.Ping with
+  | Proto.Ok_payload "pong" -> ()
+  | reply -> failwith ("unexpected PING reply: " ^ Proto.reply_to_string reply)
+
+let list_docs t =
+  match request t Proto.List_docs with
+  | Proto.Ok_payload "" -> []
+  | Proto.Ok_payload p -> String.split_on_char '\n' p
+  | reply -> failwith ("unexpected LIST reply: " ^ Proto.reply_to_string reply)
+
+let stats t =
+  match request t Proto.Stats with
+  | Proto.Ok_payload p -> p
+  | reply -> failwith ("unexpected STATS reply: " ^ Proto.reply_to_string reply)
+
+let query ?deadline_ms t ~doc ~translator ~engine xpath =
+  request ?deadline_ms t (Proto.Query { doc; translator; engine; xpath })
+
+let update ?deadline_ms t ~doc edit =
+  request ?deadline_ms t (Proto.Update { doc; edit })
+
+let sleep ?deadline_ms t ms = request ?deadline_ms t (Proto.Sleep ms)
+
+let quit t =
+  match request t Proto.Quit with
+  | Proto.Bye -> close t
+  | reply -> failwith ("unexpected QUIT reply: " ^ Proto.reply_to_string reply)
+
+let shutdown t =
+  match request t Proto.Shutdown with
+  | Proto.Bye -> close t
+  | reply ->
+    failwith ("unexpected SHUTDOWN reply: " ^ Proto.reply_to_string reply)

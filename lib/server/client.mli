@@ -1,0 +1,58 @@
+(** The OCaml client for the wire protocol: one blocking connection,
+    one request/reply exchange at a time. *)
+
+type t
+
+(** ["host:port"] or bare ["port"]; the host defaults to 127.0.0.1.
+    @raise Invalid_argument on malformed input. *)
+val parse_endpoint : string -> string * int
+
+(** @raise Unix.Unix_error when the server is unreachable. *)
+val connect : ?host:string -> int -> t
+
+val close : t -> unit
+
+(** [with_client ?host port f] — {!connect}, run [f], {!close}. *)
+val with_client : ?host:string -> int -> (t -> 'a) -> 'a
+
+(** The server hung up (raised by any exchange). *)
+exception Closed
+
+(** [send_line t line] — send one raw line without awaiting a reply
+    (header lines like [DEADLINE] carry no reply frame). *)
+val send_line : t -> string -> unit
+
+(** [raw t line] — send one raw request line, read one reply frame
+    (the REPL path). *)
+val raw : t -> string -> Proto.reply
+
+(** [request ?deadline_ms t cmd] — one exchange; [deadline_ms] sends a
+    [DEADLINE] header first. *)
+val request : ?deadline_ms:int -> t -> Proto.command -> Proto.reply
+
+val ping : t -> unit
+
+val list_docs : t -> string list
+
+(** The raw STATS payload (pretty-printed JSON). *)
+val stats : t -> string
+
+val query :
+  ?deadline_ms:int ->
+  t ->
+  doc:string ->
+  translator:Blas.translator ->
+  engine:Blas.engine ->
+  string ->
+  Proto.reply
+
+val update : ?deadline_ms:int -> t -> doc:string -> Proto.edit -> Proto.reply
+
+(** Debug servers only (see [allow_sleep]). *)
+val sleep : ?deadline_ms:int -> t -> int -> Proto.reply
+
+(** Polite hangup: QUIT, await BYE, close. *)
+val quit : t -> unit
+
+(** Request a server-side graceful shutdown, then close. *)
+val shutdown : t -> unit

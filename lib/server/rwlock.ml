@@ -1,0 +1,78 @@
+(** A writer-preferring reader–writer lock — the per-document
+    discipline of the query service: any number of concurrent queries
+    (readers) OR one exclusive update (writer).
+
+    Writer preference: once a writer is waiting, new readers queue
+    behind it, so a steady query stream cannot starve updates.  Both
+    sections release on exceptions (a client disconnecting mid-query
+    must never leak the lock). *)
+
+type t = {
+  lock : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable readers : int;  (** readers inside the critical section *)
+  mutable writer : bool;  (** a writer inside the critical section *)
+  mutable waiting_writers : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
+
+let acquire_read t =
+  Mutex.lock t.lock;
+  while t.writer || t.waiting_writers > 0 do
+    Condition.wait t.can_read t.lock
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.lock
+
+let release_read t =
+  Mutex.lock t.lock;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.signal t.can_write;
+  Mutex.unlock t.lock
+
+let acquire_write t =
+  Mutex.lock t.lock;
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.can_write t.lock
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.writer <- true;
+  Mutex.unlock t.lock
+
+let release_write t =
+  Mutex.lock t.lock;
+  t.writer <- false;
+  (* Wake everyone: the next writer if one waits, otherwise all queued
+     readers.  Readers re-check the writer-preference guard anyway. *)
+  Condition.signal t.can_write;
+  Condition.broadcast t.can_read;
+  Mutex.unlock t.lock
+
+(** [read t f] — run [f] holding the lock in shared mode. *)
+let read t f =
+  acquire_read t;
+  Fun.protect ~finally:(fun () -> release_read t) f
+
+(** [write t f] — run [f] holding the lock exclusively. *)
+let write t f =
+  acquire_write t;
+  Fun.protect ~finally:(fun () -> release_write t) f
+
+(** Instantaneous occupancy [(readers, writer)] — for STATS only; the
+    values may be stale by the time the caller looks. *)
+let occupancy t =
+  Mutex.lock t.lock;
+  let r = t.readers and w = t.writer in
+  Mutex.unlock t.lock;
+  (r, w)

@@ -1,0 +1,16 @@
+(** A writer-preferring reader–writer lock: any number of concurrent
+    readers OR one exclusive writer; once a writer waits, new readers
+    queue behind it.  Sections release on exceptions. *)
+
+type t
+
+val create : unit -> t
+
+(** Run [f] holding the lock in shared mode. *)
+val read : t -> (unit -> 'a) -> 'a
+
+(** Run [f] holding the lock exclusively. *)
+val write : t -> (unit -> 'a) -> 'a
+
+(** Instantaneous [(readers, writer)] occupancy (reporting only). *)
+val occupancy : t -> int * bool

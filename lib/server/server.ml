@@ -1,0 +1,530 @@
+(** The resident TCP query server.
+
+    One accept thread, one handler thread per connection, and a fixed
+    pool of [max_inflight] worker threads draining a bounded admission
+    queue.  Handler threads parse frames and answer the cheap verbs
+    (PING, LIST, STATS) inline; QUERY / UPDATE / SLEEP are {e admitted}:
+
+    - at most [max_inflight + queue_depth] requests are outstanding;
+      past that the reply is an immediate [BUSY] — overload never
+      blocks the socket;
+    - every admitted request carries an absolute deadline (the
+      connection's [DEADLINE] header, else [default_deadline_ms]); a
+      request that is already past it when a worker picks it up — or
+      whose cooperative cancellation token fires mid-run at an operator
+      boundary — answers [TIMEOUT];
+    - workers execute through {!Service}, i.e. under the per-document
+      reader–writer locks, on the shared domain pool.
+
+    Drain ({!stop}, or SIGTERM via {!request_shutdown} + {!wait}):
+    stop accepting, reject new admissions, finish the queued and
+    in-flight work (each still bounded by its own deadline), close the
+    remaining connections, join every thread, shut the pool down and
+    flush final gauges.  {!stop} is idempotent. *)
+
+let log_src = Logs.Src.create "blas_server" ~doc:"BLAS network server"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  max_inflight : int;  (** worker threads executing requests *)
+  queue_depth : int;  (** admission slots beyond the workers *)
+  default_deadline_ms : int option;  (** per-request budget; [None] = none *)
+  jobs : int;  (** domain-pool lanes for query execution *)
+  cache : bool;  (** per-document semantic query cache *)
+  allow_sleep : bool;  (** accept the debug SLEEP verb (tests, bench) *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 4004;
+    max_inflight = 4;
+    queue_depth = 16;
+    default_deadline_ms = None;
+    jobs = 1;
+    cache = true;
+    allow_sleep = false;
+  }
+
+type phase = Running | Draining | Stopped
+
+type job = {
+  run : token:Blas.Par.Token.t -> Proto.reply;
+  verb : string;
+  deadline_ns : int64 option;  (** absolute, on {!Blas_obs.Clock} *)
+  enqueued_ns : int64;
+  mutable result : Proto.reply option;
+}
+
+type t = {
+  config : config;
+  service : Service.t;
+  registry : Blas_obs.Metrics.t;
+  listen_fd : Unix.file_descr;
+  port : int;
+  lock : Mutex.t;
+  nonempty : Condition.t;  (* a job was queued, or drain began *)
+  job_done : Condition.t;  (* some job completed *)
+  queue : job Queue.t;
+  mutable inflight : int;
+  mutable phase : phase;
+  shutdown_requested : bool Atomic.t;
+  mutable workers : Thread.t list;
+  mutable accepter : Thread.t option;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+  owned_pool : Blas.Par.t option;
+  started_ns : int64;
+  (* resolved metric handles — one hash probe each at startup *)
+  m_outcome : string -> Blas_obs.Metrics.counter;
+  m_latency : string -> Blas_obs.Metrics.histogram;
+  m_queue : Blas_obs.Metrics.gauge;
+  m_inflight : Blas_obs.Metrics.gauge;
+  m_conns : Blas_obs.Metrics.counter;
+}
+
+let port t = t.port
+
+let registry t = t.registry
+
+let service t = t.service
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                          *)
+
+let now_ns = Blas_obs.Clock.now_ns
+
+let set_gauges_locked t =
+  Blas_obs.Metrics.set t.m_queue (float_of_int (Queue.length t.queue));
+  Blas_obs.Metrics.set t.m_inflight (float_of_int t.inflight)
+
+let outcome_of_reply = function
+  | Proto.Ok_payload _ | Proto.Bye -> "ok"
+  | Proto.Err _ -> "error"
+  | Proto.Busy -> "busy"
+  | Proto.Timeout -> "timeout"
+
+let record_outcome t reply =
+  Blas_obs.Metrics.incr (t.m_outcome (outcome_of_reply reply))
+
+(** [submit t job] — admission control: reject with [BUSY] when
+    [max_inflight + queue_depth] requests are already outstanding,
+    with [ERR] when draining; otherwise block until a worker finishes
+    the job and return its reply. *)
+let submit t job =
+  Mutex.lock t.lock;
+  let reject reply =
+    Mutex.unlock t.lock;
+    record_outcome t reply;
+    reply
+  in
+  if t.phase <> Running then reject (Proto.Err "server is shutting down")
+  else if
+    Queue.length t.queue + t.inflight
+    >= t.config.max_inflight + t.config.queue_depth
+  then reject Proto.Busy
+  else begin
+    Queue.push job t.queue;
+    set_gauges_locked t;
+    Condition.signal t.nonempty;
+    while job.result = None do
+      Condition.wait t.job_done t.lock
+    done;
+    let reply = Option.get job.result in
+    Mutex.unlock t.lock;
+    reply
+  end
+
+(* Runs one admitted job: deadline pre-check, then the job body under a
+   token that expires at the deadline.  Outcome and latency are
+   recorded here, so the counters reconcile with what clients saw. *)
+let execute t job =
+  let reply =
+    let expired_now () =
+      match job.deadline_ns with
+      | Some d -> Int64.compare (now_ns ()) d >= 0
+      | None -> false
+    in
+    if expired_now () then Proto.Timeout
+    else
+      let token = Blas.Par.Token.create ~expired:expired_now () in
+      match job.run ~token with
+      | reply -> reply
+      | exception Blas_par.Pool.Cancelled -> Proto.Timeout
+      | exception e ->
+        Log.warn (fun m ->
+            m "%s request failed: %s" job.verb (Printexc.to_string e));
+        Proto.Err (Printexc.to_string e)
+  in
+  record_outcome t reply;
+  Blas_obs.Metrics.observe
+    (t.m_latency job.verb)
+    (Int64.to_float (Int64.sub (now_ns ()) job.enqueued_ns));
+  reply
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while t.phase = Running && Queue.is_empty t.queue do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* Draining and nothing left: exit.  Workers only stop once the
+         queue is empty, so every admitted job gets a real reply. *)
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      t.inflight <- t.inflight + 1;
+      set_gauges_locked t;
+      Mutex.unlock t.lock;
+      let reply = execute t job in
+      Mutex.lock t.lock;
+      job.result <- Some reply;
+      t.inflight <- t.inflight - 1;
+      set_gauges_locked t;
+      Condition.broadcast t.job_done;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* STATS                                                              *)
+
+let requests_json t =
+  Blas_obs.Json.Obj
+    (List.map
+       (fun outcome ->
+         ( outcome,
+           Blas_obs.Json.Int
+             (Blas_obs.Metrics.counter_value (t.m_outcome outcome)) ))
+       [ "ok"; "error"; "busy"; "timeout" ])
+
+let stats_payload t =
+  Mutex.lock t.lock;
+  let queued = Queue.length t.queue
+  and inflight = t.inflight
+  and phase = t.phase in
+  Mutex.unlock t.lock;
+  Blas_obs.Json.to_string_pretty
+    (Blas_obs.Json.Obj
+       [
+         ( "server",
+           Blas_obs.Json.Obj
+             [
+               ( "phase",
+                 Blas_obs.Json.Str
+                   (match phase with
+                   | Running -> "running"
+                   | Draining -> "draining"
+                   | Stopped -> "stopped") );
+               ("uptime_ns", Blas_obs.Json.Int
+                  (Int64.to_int (Int64.sub (now_ns ()) t.started_ns)));
+               ("inflight", Blas_obs.Json.Int inflight);
+               ("queued", Blas_obs.Json.Int queued);
+               ("max_inflight", Blas_obs.Json.Int t.config.max_inflight);
+               ("queue_depth", Blas_obs.Json.Int t.config.queue_depth);
+               ("jobs", Blas_obs.Json.Int t.config.jobs);
+               ( "connections",
+                 Blas_obs.Json.Int
+                   (Blas_obs.Metrics.counter_value t.m_conns) );
+               ("requests", requests_json t);
+             ] );
+         ("docs", Service.docs_json t.service);
+         ("metrics", Blas_obs.Metrics.to_json t.registry);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                *)
+
+let sleep_job t ms ~token =
+  ignore t;
+  (* 1 ms naps with a cancellation check between them: the debug verb
+     behaves like an adversarially slow query with perfect manners. *)
+  let deadline = Int64.add (now_ns ()) (Int64.of_int (ms * 1_000_000)) in
+  while Int64.compare (now_ns ()) deadline < 0 do
+    Blas.Par.Token.check token;
+    Thread.delay 0.001
+  done;
+  Proto.Ok_payload (Printf.sprintf "slept %d" ms)
+
+let deadline_of t header_ms =
+  let ms =
+    match header_ms with Some ms -> Some ms | None -> t.config.default_deadline_ms
+  in
+  Option.map
+    (fun ms -> Int64.add (now_ns ()) (Int64.of_int (ms * 1_000_000)))
+    ms
+
+let admitted t ~verb ~header_ms run =
+  submit t
+    {
+      run;
+      verb;
+      deadline_ns = deadline_of t header_ms;
+      enqueued_ns = now_ns ();
+      result = None;
+    }
+
+let handle_connection t fd =
+  let io = Proto.Io.of_fd fd in
+  Blas_obs.Metrics.incr t.m_conns;
+  (* The connection's one-shot DEADLINE header (ms): consumed by the
+     next QUERY / UPDATE / SLEEP. *)
+  let header = ref None in
+  let take_header () =
+    let h = !header in
+    header := None;
+    h
+  in
+  let rec loop () =
+    match Proto.Io.read_line io ~max:Proto.max_frame with
+    | `Eof -> ()
+    | `Too_long ->
+      (* The stream cannot be resynchronized past an oversized frame:
+         answer and hang up. *)
+      Proto.write_reply io (Proto.Err "frame too large")
+    | `Line line -> (
+      match Proto.parse_command line with
+      | Error msg ->
+        (* Garbage is survivable frame by frame — answer ERR, keep the
+           connection. *)
+        Proto.write_reply io (Proto.Err msg);
+        loop ()
+      | Ok cmd -> (
+        match cmd with
+        | Proto.Ping ->
+          Proto.write_reply io (Proto.Ok_payload "pong");
+          loop ()
+        | Proto.List_docs ->
+          Proto.write_reply io (Proto.Ok_payload (Service.list_payload t.service));
+          loop ()
+        | Proto.Stats ->
+          Proto.write_reply io (Proto.Ok_payload (stats_payload t));
+          loop ()
+        | Proto.Deadline ms ->
+          (* A header, not a request: no reply frame. *)
+          header := Some ms;
+          loop ()
+        | Proto.Quit -> Proto.write_reply io Proto.Bye
+        | Proto.Shutdown ->
+          Proto.write_reply io Proto.Bye;
+          Atomic.set t.shutdown_requested true
+        | Proto.Sleep ms when not t.config.allow_sleep ->
+          ignore ms;
+          Proto.write_reply io (Proto.Err "SLEEP is disabled on this server");
+          loop ()
+        | Proto.Sleep ms ->
+          Proto.write_reply io
+            (admitted t ~verb:"sleep" ~header_ms:(take_header ())
+               (fun ~token -> sleep_job t ms ~token));
+          loop ()
+        | Proto.Query { doc; translator; engine; xpath } ->
+          Proto.write_reply io
+            (admitted t ~verb:"query" ~header_ms:(take_header ())
+               (fun ~token ->
+                 Service.query t.service ~token ~doc ~translator ~engine xpath));
+          loop ()
+        | Proto.Update { doc; edit } ->
+          Proto.write_reply io
+            (admitted t ~verb:"update" ~header_ms:(take_header ())
+               (fun ~token:_ -> Service.update t.service ~doc edit));
+          loop ()))
+  in
+  (try loop () with
+  | Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+    (* Peer vanished mid-reply; admitted work already ran to completion
+       under its own locks, nothing leaks. *)
+    ()
+  | e ->
+    Log.warn (fun m -> m "connection handler: %s" (Printexc.to_string e)));
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (* Deregister before closing: {!stop} only shuts down fds still in
+     [conns] (under the lock), so it never touches a closed — possibly
+     reused — descriptor. *)
+  Mutex.lock t.lock;
+  t.conns <- List.filter (fun (c, _) -> c != fd) t.conns;
+  Mutex.unlock t.lock;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* The listen socket is non-blocking and polled: a thread parked inside
+   a blocking [Unix.accept] would not be woken by another thread closing
+   the descriptor, and the drain would hang on its join. *)
+let accept_loop t =
+  let rec loop () =
+    if t.phase <> Running then ()
+    else
+      match Unix.accept t.listen_fd with
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        Thread.delay 0.02;
+        loop ()
+      | exception Unix.Unix_error (ECONNABORTED, _, _) -> loop ()
+      | exception Unix.Unix_error ((EBADF | EINVAL), _, _) ->
+        (* The listen socket was closed: drain began. *)
+        ()
+      | exception e ->
+        if t.phase = Running then
+          Log.err (fun m -> m "accept: %s" (Printexc.to_string e))
+      | fd, _ ->
+        (* The connection socket itself stays blocking; {!stop} wakes
+           parked reads with [Unix.shutdown], which does interrupt. *)
+        Unix.clear_nonblock fd;
+        let thread = Thread.create (fun () -> handle_connection t fd) () in
+        Mutex.lock t.lock;
+        t.conns <- (fd, thread) :: t.conns;
+        Mutex.unlock t.lock;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+
+(** [start ?registry config ~docs] — bind, spawn workers and the accept
+    thread, and return immediately.  [registry] receives all server
+    metrics (fresh by default). *)
+let start ?(registry = Blas_obs.Metrics.create ()) config ~docs =
+  let config =
+    {
+      config with
+      max_inflight = max 1 config.max_inflight;
+      queue_depth = max 0 config.queue_depth;
+    }
+  in
+  let owned_pool =
+    if config.jobs > 1 then Some (Blas.Par.create ~domains:config.jobs)
+    else None
+  in
+  let service = Service.create ?pool:owned_pool ~cache:config.cache docs in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+  (try Unix.bind listen_fd addr
+   with e ->
+     Unix.close listen_fd;
+     Option.iter Blas.Par.shutdown owned_pool;
+     raise e);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  (* Writes to vanished peers are routine for a server; they must
+     surface as EPIPE, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let outcome_counter o =
+    Blas_obs.Metrics.counter registry ~labels:[ ("outcome", o) ]
+      "server.requests"
+  in
+  let latency_hist v =
+    Blas_obs.Metrics.histogram registry ~labels:[ ("verb", v) ]
+      "server.request.latency_ns"
+  in
+  (* Touch every outcome so STATS always shows all four. *)
+  List.iter (fun o -> ignore (outcome_counter o)) [ "ok"; "error"; "busy"; "timeout" ];
+  let t =
+    {
+      config;
+      service;
+      registry;
+      listen_fd;
+      port;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      job_done = Condition.create ();
+      queue = Queue.create ();
+      inflight = 0;
+      phase = Running;
+      shutdown_requested = Atomic.make false;
+      workers = [];
+      accepter = None;
+      conns = [];
+      owned_pool;
+      started_ns = now_ns ();
+      m_outcome = outcome_counter;
+      m_latency = latency_hist;
+      m_queue = Blas_obs.Metrics.gauge registry "server.queue.depth";
+      m_inflight = Blas_obs.Metrics.gauge registry "server.inflight";
+      m_conns = Blas_obs.Metrics.counter registry "server.connections";
+    }
+  in
+  t.workers <-
+    List.init config.max_inflight (fun _ -> Thread.create worker_loop t);
+  t.accepter <- Some (Thread.create accept_loop t);
+  Log.info (fun m ->
+      m "serving %d document(s) on %s:%d (-j %d, %d workers, queue %d)"
+        (List.length docs) config.host port config.jobs config.max_inflight
+        config.queue_depth);
+  t
+
+(** [request_shutdown t] — flag a graceful shutdown; async-signal-safe
+    (one atomic store), so a SIGTERM handler may call it directly.
+    {!wait} observes the flag; the owner then runs {!stop}. *)
+let request_shutdown t = Atomic.set t.shutdown_requested true
+
+(** [wait t] — block until {!stop} completed or a shutdown was
+    requested (SHUTDOWN verb or {!request_shutdown}). *)
+let wait t =
+  while t.phase <> Stopped && not (Atomic.get t.shutdown_requested) do
+    Thread.delay 0.05
+  done
+
+(** [stop t] — graceful drain; idempotent.  Stops accepting, rejects
+    new admissions, lets queued and in-flight requests finish (each
+    still bounded by its own deadline), closes connections, joins all
+    threads, shuts the owned pool down and flushes final gauges. *)
+let stop t =
+  Mutex.lock t.lock;
+  let already = t.phase <> Running in
+  if not already then t.phase <- Draining;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  if not already then begin
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.accepter;
+    t.accepter <- None;
+    List.iter Thread.join t.workers;
+    t.workers <- [];
+    (* Every admitted job has a reply now; unstick handlers blocked in
+       read (shutdown interrupts a parked read; close would not) and
+       let them run their cleanup.  Receive side only: a handler still
+       flushing its last reply must get to finish the write.  Shutting
+       down under the lock keeps us off descriptors a handler already
+       closed. *)
+    Mutex.lock t.lock;
+    let conns = t.conns in
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      conns;
+    Mutex.unlock t.lock;
+    List.iter (fun (_, thread) -> Thread.join thread) conns;
+    Option.iter Blas.Par.shutdown t.owned_pool;
+    Mutex.lock t.lock;
+    set_gauges_locked t;
+    t.phase <- Stopped;
+    Condition.broadcast t.job_done;
+    Mutex.unlock t.lock;
+    Log.info (fun m ->
+        m "drained: %s"
+          (String.concat ", "
+             (List.map
+                (fun o ->
+                  Printf.sprintf "%s=%d" o
+                    (Blas_obs.Metrics.counter_value (t.m_outcome o)))
+                [ "ok"; "error"; "busy"; "timeout" ])))
+  end
+
+(** [with_server ?registry config ~docs f] — {!start}, run [f],
+    {!stop} (tests and benches). *)
+let with_server ?registry config ~docs f =
+  let t = start ?registry config ~docs in
+  Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

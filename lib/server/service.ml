@@ -1,0 +1,140 @@
+(** The hosted document collection behind the server — everything the
+    wire protocol does, minus the sockets (directly unit-testable).
+
+    Each document pairs a {!Blas.Storage.t} with a {!Rwlock.t}:
+    queries run under the shared lock (any number concurrently — the
+    buffer pool, semantic cache and metrics are all domain-safe), edits
+    under the exclusive lock.  Cache invalidation needs no extra wiring
+    here: {!Blas.Update} already routes every edit through
+    [Update.invalidation] into the storage's own {!Blas.Cache}, which
+    the server shares across all connections by construction.
+
+    Query answers are rendered by {!payload_of_report}; the soak tests
+    compare these bytes against a fresh in-process run, so the payload
+    must be a deterministic function of the report. *)
+
+type doc = { name : string; storage : Blas.Storage.t; lock : Rwlock.t }
+
+type t = {
+  docs : (string * doc) list;  (** in load order; names unique *)
+  pool : Blas.Par.t option;  (** shared execution pool ([-j N]) *)
+}
+
+(** [create ?pool ?cache docs] — host [docs] (caching on by default:
+    a resident server is exactly the repeated-workload case the
+    semantic cache exists for). *)
+let create ?pool ?(cache = true) docs =
+  List.iter (fun (_, s) -> Blas.Storage.set_cache_enabled s cache) docs;
+  {
+    docs =
+      List.map
+        (fun (name, storage) ->
+          (name, { name; storage; lock = Rwlock.create () }))
+        docs;
+    pool;
+  }
+
+let names t = List.map fst t.docs
+
+let find t name = List.assoc_opt name t.docs
+
+let pool t = t.pool
+
+(* ------------------------------------------------------------------ *)
+(* Payload rendering                                                  *)
+
+(** [payload_of_report r] — the QUERY reply body: a header line with
+    the answer count, then (when non-empty) one line of space-separated
+    start positions.  Deterministic in the report, so a server reply is
+    byte-identical to a sequential in-process run of the same query. *)
+let payload_of_report (r : Blas.report) =
+  match r.Blas.starts with
+  | [] -> "answers 0"
+  | starts ->
+    Printf.sprintf "answers %d\n%s" (List.length starts)
+      (String.concat " " (List.map string_of_int starts))
+
+let payload_of_update (report : Blas.Update.report) storage =
+  let free, span = Blas.Update.gap_budget storage in
+  Format.asprintf "%a@\ngap budget: %d of %d positions free"
+    Blas.Update.pp_report report free span
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                          *)
+
+let unknown_doc t name =
+  Proto.Err
+    (Printf.sprintf "unknown document %S (hosted: %s)" name
+       (String.concat ", " (names t)))
+
+(** [query t ~token ~doc ~translator ~engine xpath] — parse, then run
+    under [doc]'s shared lock with cooperative cancellation from
+    [token]; [TIMEOUT] when the token cancelled the run. *)
+let query t ~token ~doc ~translator ~engine xpath =
+  match find t doc with
+  | None -> unknown_doc t doc
+  | Some d -> (
+    match Blas.query_union xpath with
+    | exception Blas_xpath.Parser.Error msg ->
+      Proto.Err (Printf.sprintf "query error: %s" msg)
+    | queries -> (
+      let cancel () = Blas.Par.Token.check token in
+      match
+        Rwlock.read d.lock (fun () ->
+            Blas.run_union ~cancel ?pool:t.pool d.storage ~engine ~translator
+              queries)
+      with
+      | report -> Proto.Ok_payload (payload_of_report report)
+      | exception Blas.Par.Cancelled -> Proto.Timeout))
+
+(** [update t ~doc edit] — apply one edit under the exclusive lock.
+    Updates are not cancellable mid-flight: label maintenance must
+    never be torn, and edits are short. *)
+let update t ~doc (edit : Proto.edit) =
+  match find t doc with
+  | None -> unknown_doc t doc
+  | Some d -> (
+    let apply () =
+      match edit with
+      | Proto.Insert { parent; pos; xml } ->
+        let tree = Blas_xml.Dom.parse xml in
+        Blas.Update.insert_subtree d.storage ~parent ~pos tree
+      | Proto.Delete { start } -> Blas.Update.delete_subtree d.storage ~start
+      | Proto.Retext { start; data } ->
+        Blas.Update.replace_text d.storage ~start data
+    in
+    match Rwlock.write d.lock apply with
+    | report -> Proto.Ok_payload (payload_of_update report d.storage)
+    | exception Invalid_argument msg -> Proto.Err msg
+    | exception Blas_xml.Types.Parse_error (pos, msg) ->
+      Proto.Err
+        (Printf.sprintf "%s at %s" msg (Blas_xml.Types.position_to_string pos)))
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                          *)
+
+let list_payload t = String.concat "\n" (names t)
+
+(** Per-document block of the STATS payload: node counts, lock
+    occupancy and cache stats. *)
+let docs_json t =
+  Blas_obs.Json.Obj
+    (List.map
+       (fun (name, d) ->
+         let readers, writer = Rwlock.occupancy d.lock in
+         let cache =
+           Blas.Cache.totals (Blas.Storage.cache_stats d.storage)
+         in
+         ( name,
+           Blas_obs.Json.Obj
+             [
+               ("nodes", Blas_obs.Json.Int (Blas.Storage.node_count d.storage));
+               ("readers", Blas_obs.Json.Int readers);
+               ("writer", Blas_obs.Json.Bool writer);
+               ( "cache",
+                 Blas_obs.Json.Obj
+                   (List.map
+                      (fun (k, v) -> (k, Blas_obs.Json.Int v))
+                      (Blas_cache.Stats.fields cache)) );
+             ] ))
+       t.docs)

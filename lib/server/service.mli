@@ -1,0 +1,46 @@
+(** The hosted document collection behind the server: per-document
+    reader–writer discipline (concurrent queries, exclusive updates),
+    shared execution pool and shared per-document query cache.  The
+    wire protocol minus the sockets — directly unit-testable. *)
+
+type doc = { name : string; storage : Blas.Storage.t; lock : Rwlock.t }
+
+type t
+
+(** [create ?pool ?cache docs] — host [docs]; the per-storage semantic
+    query cache is enabled by default (a resident server is the
+    repeated-workload case it exists for). *)
+val create :
+  ?pool:Blas.Par.t -> ?cache:bool -> (string * Blas.Storage.t) list -> t
+
+val names : t -> string list
+
+val find : t -> string -> doc option
+
+val pool : t -> Blas.Par.t option
+
+(** The QUERY reply body for a report — deterministic, so a server
+    reply is byte-identical to a sequential in-process run. *)
+val payload_of_report : Blas.report -> string
+
+(** [query t ~token ~doc ~translator ~engine xpath] — run under the
+    document's shared lock, cancelling cooperatively through [token];
+    [Timeout] when the token fired. *)
+val query :
+  t ->
+  token:Blas.Par.Token.t ->
+  doc:string ->
+  translator:Blas.translator ->
+  engine:Blas.engine ->
+  string ->
+  Proto.reply
+
+(** [update t ~doc edit] — apply one edit under the exclusive lock
+    (cache invalidation rides on {!Blas.Update}). *)
+val update : t -> doc:string -> Proto.edit -> Proto.reply
+
+(** The LIST reply body: one hosted name per line. *)
+val list_payload : t -> string
+
+(** The per-document block of the STATS payload. *)
+val docs_json : t -> Blas_obs.Json.t

@@ -22,6 +22,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("observability", Test_obs.suite);
       ("parallel", Test_par.suite);
+      ("server", Test_server.suite);
       ("misc", Test_misc.suite);
       ("datagen", Test_datagen.suite);
       ("cache", Test_cache.suite);

@@ -106,6 +106,39 @@ let pool_tests =
         Test_util.check_int_list "after shutdown"
           [ 7 ]
           (Array.to_list (Pool.run pool [| (fun () -> 7) |])) );
+    ( "cancellation stops a fan-out at the next task boundary",
+      fun () ->
+        Pool.with_pool ~domains:4 @@ fun pool ->
+        let token = Pool.Token.create () in
+        let executed = Atomic.make 0 in
+        let total = 2_000 in
+        (* Cancel once a few tasks have run: the batch must stop at a
+           task boundary — far short of the full fan-out — and re-raise
+           Cancelled on the caller. *)
+        (try
+           ignore
+             (Pool.run_cancellable pool ~token
+                (Array.init total (fun _ ->
+                     fun () ->
+                       if Atomic.fetch_and_add executed 1 = 10 then
+                         Pool.Token.cancel token;
+                       Thread.delay 0.0002)));
+           Alcotest.fail "expected Cancelled"
+         with Pool.Cancelled -> ());
+        Test_util.check_bool "stopped well short of the fan-out" true
+          (Atomic.get executed < total / 2);
+        (* An expired-predicate token (the deadline path) behaves the
+           same, and the pool survives a cancelled batch. *)
+        let expired = Pool.Token.create ~expired:(fun () -> true) () in
+        (try
+           ignore (Pool.run_cancellable pool ~token:expired [| (fun () -> ()) |]);
+           Alcotest.fail "expected Cancelled from expiry"
+         with Pool.Cancelled -> ());
+        Test_util.check_int_list "pool usable after cancellation"
+          [ 1; 2 ]
+          (Array.to_list
+             (Pool.run_cancellable pool ~token:(Pool.Token.create ())
+                [| (fun () -> 1); (fun () -> 2) |])) );
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,641 @@
+(** Tests for the query service layer: wire-protocol grammar, the
+    reader–writer lock, the socket-free {!Blas_server.Service}, and a
+    live in-process TCP server — protocol robustness (oversized frames,
+    garbage, half-closed sockets, mid-query disconnects), admission
+    control (BUSY), deadlines (TIMEOUT), a multi-client soak against
+    live edits, and the graceful drain.
+
+    Every live test binds port 0 (ephemeral), so the suite runs in
+    parallel with anything. *)
+
+module P = Blas_server.Proto
+module Srv = Blas_server.Server
+module C = Blas_server.Client
+module Svc = Blas_server.Service
+module Rwlock = Blas_server.Rwlock
+
+let jobs =
+  match Sys.getenv_opt "BLAS_TEST_JOBS" with
+  | None | Some "" -> 2
+  | Some s -> (
+    match List.filter_map int_of_string_opt (String.split_on_char ',' s) with
+    | j :: _ -> j
+    | [] -> 2)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol grammar                                                   *)
+
+let roundtrip_commands =
+  [
+    P.Ping;
+    P.List_docs;
+    P.Stats;
+    P.Quit;
+    P.Shutdown;
+    P.Deadline 250;
+    P.Sleep 10;
+    P.Query
+      {
+        doc = "plays";
+        translator = Blas.Split;
+        engine = Blas.Twig;
+        xpath = "/PLAYS/PLAY/ACT/SCENE[TITLE = \"x y\"]//LINE";
+      };
+    P.Update
+      {
+        doc = "plays";
+        edit = P.Insert { parent = 7; pos = 0; xml = "<a>x y</a>" };
+      };
+    P.Update { doc = "plays"; edit = P.Delete { start = 42 } };
+    P.Update { doc = "d"; edit = P.Retext { start = 3; data = Some "x y" } };
+    P.Update { doc = "d"; edit = P.Retext { start = 3; data = None } };
+  ]
+
+let proto_roundtrip () =
+  List.iter
+    (fun cmd ->
+      match P.parse_command (P.command_to_line cmd) with
+      | Ok parsed ->
+        Test_util.check_bool (P.command_to_line cmd) true (parsed = cmd)
+      | Error msg -> Alcotest.failf "%s: %s" (P.command_to_line cmd) msg)
+    roundtrip_commands;
+  (* Case-insensitive verbs, tolerated \r, surrounding whitespace. *)
+  Test_util.check_bool "lowercase verb" true
+    (P.parse_command "ping" = Ok P.Ping);
+  Test_util.check_bool "trailing cr" true (P.parse_command "PING\r" = Ok P.Ping)
+
+let proto_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match P.parse_command line with
+      | Ok cmd ->
+        Alcotest.failf "%S parsed as %s" line (P.command_to_line cmd)
+      | Error msg -> Test_util.check_bool line true (String.length msg > 0))
+    [
+      "";
+      "   ";
+      "FROBNICATE";
+      "QUERY plays pushup";
+      "QUERY plays pushup rdbms";
+      "QUERY plays nosuch rdbms //a";
+      "QUERY plays pushup nosuch //a";
+      "UPDATE plays";
+      "UPDATE plays INSERT 1";
+      "UPDATE plays INSERT x 0 <a/>";
+      "UPDATE plays DELETE";
+      "UPDATE plays DELETE 1 2";
+      "UPDATE plays EXPLODE 1";
+      "DEADLINE";
+      "DEADLINE -5";
+      "SLEEP x";
+      "\x00\x01\xff binary junk";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The reader-writer lock                                              *)
+
+let rwlock_discipline () =
+  let lock = Rwlock.create () in
+  (* Two readers overlap: both must be inside before either leaves. *)
+  let both_inside = ref false in
+  let inside = Atomic.make 0 in
+  let reader () =
+    Rwlock.read lock (fun () ->
+        ignore (Atomic.fetch_and_add inside 1);
+        let deadline = Unix.gettimeofday () +. 2.0 in
+        while Atomic.get inside < 2 && Unix.gettimeofday () < deadline do
+          Thread.yield ()
+        done;
+        if Atomic.get inside >= 2 then both_inside := true)
+  in
+  let r1 = Thread.create reader () and r2 = Thread.create reader () in
+  Thread.join r1;
+  Thread.join r2;
+  Test_util.check_bool "readers overlap" true !both_inside;
+  (* Writers are exclusive: concurrent writers never overlap. *)
+  let in_write = Atomic.make 0 and overlapped = ref false in
+  let writer () =
+    Rwlock.write lock (fun () ->
+        if Atomic.fetch_and_add in_write 1 > 0 then overlapped := true;
+        Thread.delay 0.005;
+        ignore (Atomic.fetch_and_add in_write (-1)))
+  in
+  let ws = List.init 4 (fun _ -> Thread.create writer ()) in
+  List.iter Thread.join ws;
+  Test_util.check_bool "writers exclusive" false !overlapped;
+  (* An exception inside a section releases the lock. *)
+  (try Rwlock.write lock (fun () -> failwith "boom") with Failure _ -> ());
+  (try Rwlock.read lock (fun () -> failwith "boom") with Failure _ -> ());
+  Rwlock.write lock (fun () -> ());
+  Rwlock.read lock (fun () -> ());
+  Test_util.check_bool "lock released after exceptions" true true
+
+(* ------------------------------------------------------------------ *)
+(* Service equivalence (no sockets)                                    *)
+
+let small_plays () = Blas_datagen.Shakespeare.generate ~plays:1 ()
+
+let small_auction () = Blas_datagen.Auction.generate ~scale:4 ()
+
+let translators =
+  [ Blas.D_labeling; Blas.Split; Blas.Pushup; Blas.Unfold; Blas.Auto ]
+
+let engines = [ Blas.Rdbms; Blas.Twig ]
+
+(* The Figure 10 queries for the two datasets the live tests host. *)
+let plays_queries =
+  [
+    "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE";
+    "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR";
+    "//SPEECH[SPEAKER]/LINE";
+  ]
+
+let auction_queries =
+  [
+    "//category/description/parlist/listitem";
+    "/site/regions//item/description";
+    "/site/regions/asia/item[shipping]/description";
+  ]
+
+let service_matches_inprocess () =
+  let tree = small_plays () in
+  let hosted = Blas.index_of_tree tree in
+  let local = Blas.index_of_tree tree in
+  let service = Svc.create ~cache:true [ ("plays", hosted) ] in
+  let token = Blas.Par.Token.create () in
+  List.iter
+    (fun translator ->
+      List.iter
+        (fun engine ->
+          List.iter
+            (fun q ->
+              let expected =
+                Svc.payload_of_report
+                  (Blas.run_union local ~engine ~translator
+                     (Blas.query_union q))
+              in
+              match Svc.query service ~token ~doc:"plays" ~translator ~engine q with
+              | P.Ok_payload payload ->
+                Test_util.check_string
+                  (Printf.sprintf "%s (%s on %s)" q
+                     (Blas.translator_name translator)
+                     (Blas.engine_name engine))
+                  expected payload
+              | reply -> Alcotest.failf "%s: %s" q (P.reply_to_string reply))
+            plays_queries)
+        engines)
+    translators;
+  (* Unknown documents and bad queries answer ERR, not an exception. *)
+  (match
+     Svc.query service ~token ~doc:"nosuch" ~translator:Blas.Pushup
+       ~engine:Blas.Rdbms "//a"
+   with
+  | P.Err _ -> ()
+  | reply -> Alcotest.failf "unknown doc: %s" (P.reply_to_string reply));
+  match
+    Svc.query service ~token ~doc:"plays" ~translator:Blas.Pushup
+      ~engine:Blas.Rdbms "///["
+  with
+  | P.Err _ -> ()
+  | reply -> Alcotest.failf "bad query: %s" (P.reply_to_string reply)
+
+(* ------------------------------------------------------------------ *)
+(* Live server helpers                                                 *)
+
+let live_config =
+  {
+    Srv.default_config with
+    port = 0;
+    jobs;
+    allow_sleep = true;
+    default_deadline_ms = None;
+  }
+
+let with_live ?(config = live_config) docs f =
+  Srv.with_server { config with Srv.port = 0 } ~docs (fun srv ->
+      f srv (Srv.port srv))
+
+let expect_ok name = function
+  | P.Ok_payload p -> p
+  | reply -> Alcotest.failf "%s: expected OK, got %s" name (P.reply_to_string reply)
+
+(* ------------------------------------------------------------------ *)
+(* Live: basics and byte-identical concurrent queries                  *)
+
+let live_basics () =
+  let docs =
+    [
+      ("auction", Blas.index_of_tree (small_auction ()));
+      ("plays", Blas.index_of_tree (small_plays ()));
+    ]
+  in
+  with_live docs (fun srv port ->
+      C.with_client port (fun c ->
+          C.ping c;
+          Test_util.check_bool "list" true
+            (C.list_docs c = [ "auction"; "plays" ]);
+          let stats = C.stats c in
+          Test_util.check_bool "stats mentions phase" true
+            (String.length stats > 0
+            && String.index_opt stats '{' = Some 0);
+          (* DEADLINE is consumed by the next command only. *)
+          let r1 = C.sleep ~deadline_ms:1 c 200 in
+          Test_util.check_bool "deadline fires" true (r1 = P.Timeout);
+          let r2 = C.sleep c 1 in
+          Test_util.check_bool "deadline was one-shot" true
+            (match r2 with P.Ok_payload _ -> true | _ -> false));
+      ignore srv)
+
+let live_concurrent_queries () =
+  let plays_tree = small_plays () and auction_tree = small_auction () in
+  let docs =
+    [
+      ("plays", Blas.index_of_tree plays_tree);
+      ("auction", Blas.index_of_tree auction_tree);
+    ]
+  in
+  (* Expected payloads from fresh sequential in-process runs. *)
+  let locals =
+    [
+      ("plays", Blas.index_of_tree plays_tree, plays_queries);
+      ("auction", Blas.index_of_tree auction_tree, auction_queries);
+    ]
+  in
+  let expected =
+    List.concat_map
+      (fun (doc, local, queries) ->
+        List.concat_map
+          (fun q ->
+            List.concat_map
+              (fun translator ->
+                List.map
+                  (fun engine ->
+                    ( (doc, q, translator, engine),
+                      Svc.payload_of_report
+                        (Blas.run_union local ~engine ~translator
+                           (Blas.query_union q)) ))
+                  engines)
+              [ Blas.Pushup; Blas.Auto ])
+          queries)
+      locals
+  in
+  with_live docs (fun _srv port ->
+      let failures = ref [] in
+      let failures_lock = Mutex.create () in
+      let fail msg =
+        Mutex.lock failures_lock;
+        failures := msg :: !failures;
+        Mutex.unlock failures_lock
+      in
+      let client_thread k =
+        C.with_client port (fun c ->
+            (* Each client walks the whole workload from a different
+               offset, so distinct queries overlap in flight. *)
+            let items = Array.of_list expected in
+            let n = Array.length items in
+            for i = 0 to n - 1 do
+              let (doc, q, translator, engine), want =
+                items.((i + (k * 7)) mod n)
+              in
+              match C.query c ~doc ~translator ~engine q with
+              | P.Ok_payload got ->
+                if got <> want then
+                  fail (Printf.sprintf "%s %s: divergent payload" doc q)
+              | reply ->
+                fail
+                  (Printf.sprintf "%s %s: %s" doc q (P.reply_to_string reply))
+            done)
+      in
+      let clients = List.init 4 (fun k -> Thread.create client_thread k) in
+      List.iter Thread.join clients;
+      match !failures with
+      | [] -> ()
+      | msgs -> Alcotest.failf "%d failures: %s" (List.length msgs) (List.hd msgs))
+
+(* ------------------------------------------------------------------ *)
+(* Live: admission control and deadlines                               *)
+
+let live_busy () =
+  let docs = [ ("plays", Blas.index_of_tree (small_plays ())) ] in
+  let config = { live_config with Srv.max_inflight = 1; queue_depth = 0 } in
+  with_live ~config docs (fun _srv port ->
+      let slow = C.connect port in
+      let slow_reply = ref P.Busy in
+      let holder =
+        Thread.create (fun () -> slow_reply := C.sleep slow 600) ()
+      in
+      (* Let the slow request occupy the only worker. *)
+      Thread.delay 0.15;
+      let t0 = Unix.gettimeofday () in
+      C.with_client port (fun c ->
+          match C.sleep c 10 with
+          | P.Busy ->
+            Test_util.check_bool "BUSY is immediate, not a hang" true
+              (Unix.gettimeofday () -. t0 < 0.4)
+          | reply -> Alcotest.failf "expected BUSY, got %s" (P.reply_to_string reply));
+      Thread.join holder;
+      C.close slow;
+      Test_util.check_bool "slow request still finished" true
+        (match !slow_reply with P.Ok_payload _ -> true | _ -> false))
+
+let live_timeout () =
+  let docs = [ ("plays", Blas.index_of_tree (small_plays ())) ] in
+  with_live docs (fun _srv port ->
+      C.with_client port (fun c ->
+          let t0 = Unix.gettimeofday () in
+          (match C.sleep ~deadline_ms:50 c 500 with
+          | P.Timeout -> ()
+          | reply ->
+            Alcotest.failf "expected TIMEOUT, got %s" (P.reply_to_string reply));
+          Test_util.check_bool "timeout well before the sleep ends" true
+            (Unix.gettimeofday () -. t0 < 0.4);
+          (* An already-expired deadline answers TIMEOUT without
+             touching a worker for long. *)
+          match C.sleep ~deadline_ms:0 c 500 with
+          | P.Timeout -> ()
+          | reply ->
+            Alcotest.failf "expected immediate TIMEOUT, got %s"
+              (P.reply_to_string reply)))
+
+(* ------------------------------------------------------------------ *)
+(* Live: protocol robustness                                           *)
+
+let raw_socket port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let live_oversized_frame () =
+  let docs = [ ("plays", Blas.index_of_tree (small_plays ())) ] in
+  with_live docs (fun _srv port ->
+      let fd = raw_socket port in
+      let io = P.Io.of_fd fd in
+      (* 72 KiB with no terminator: over max_frame.  The server may
+         reset the connection while we are still sending. *)
+      let junk = String.make 72_000 'a' in
+      (try P.Io.write io junk
+       with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ());
+      (match P.read_reply io with
+      | Ok (P.Err msg) ->
+        Test_util.check_bool "names the frame bound" true
+          (String.length msg > 0)
+      | Ok reply -> Alcotest.failf "expected ERR, got %s" (P.reply_to_string reply)
+      | Error _ ->
+        (* Connection already torn down — also an acceptable rejection. *)
+        ());
+      Unix.close fd;
+      (* The server survived. *)
+      C.with_client port (fun c -> C.ping c))
+
+let live_garbage_keeps_connection () =
+  let docs = [ ("plays", Blas.index_of_tree (small_plays ())) ] in
+  with_live docs (fun _srv port ->
+      let fd = raw_socket port in
+      let io = P.Io.of_fd fd in
+      P.Io.write io "\x00\x01\xfe binary garbage\n";
+      (match P.read_reply io with
+      | Ok (P.Err _) -> ()
+      | other ->
+        Alcotest.failf "expected ERR for garbage, got %s"
+          (match other with
+          | Ok r -> P.reply_to_string r
+          | Error e -> "error " ^ e));
+      (* Same connection still answers. *)
+      P.Io.write io "PING\n";
+      (match P.read_reply io with
+      | Ok (P.Ok_payload "pong") -> ()
+      | _ -> Alcotest.fail "connection did not survive garbage");
+      Unix.close fd)
+
+let live_half_close_and_disconnect () =
+  let hosted = Blas.index_of_tree (small_plays ()) in
+  let root_start =
+    List.fold_left
+      (fun acc (n : Blas_xpath.Doc.node) -> min acc n.start)
+      max_int hosted.Blas.Storage.doc.Blas_xpath.Doc.all
+  in
+  let docs = [ ("plays", hosted) ] in
+  with_live docs (fun _srv port ->
+      (* Half-close: send side shut down, reply still readable. *)
+      let fd = raw_socket port in
+      let io = P.Io.of_fd fd in
+      P.Io.write io "PING\n";
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      (match P.read_reply io with
+      | Ok (P.Ok_payload "pong") -> ()
+      | _ -> Alcotest.fail "no reply after half-close");
+      Unix.close fd;
+      (* Disconnect mid-query: the read lock must not leak — an UPDATE
+         right after must go through. *)
+      let fd = raw_socket port in
+      P.Io.write (P.Io.of_fd fd) "QUERY plays pushup rdbms //SPEECH//LINE\n";
+      Unix.close fd;
+      C.with_client port (fun c ->
+          let reply =
+            C.update c ~doc:"plays"
+              (P.Insert { parent = root_start; pos = 0; xml = "<PROBE/>" })
+          in
+          ignore (expect_ok "update after disconnect" reply));
+      (* And the server still answers queries. *)
+      C.with_client port (fun c ->
+          ignore
+            (expect_ok "query after disconnect"
+               (C.query c ~doc:"plays" ~translator:Blas.Pushup
+                  ~engine:Blas.Rdbms "//PROBE"))))
+
+(* ------------------------------------------------------------------ *)
+(* Live: soak with live edits                                          *)
+
+(* Resolves one abstract edit (the update suite's generator) into a
+   concrete protocol edit against [shadow]'s current state — the same
+   mod-node-count discipline as Test_update.apply_edit. *)
+let resolve_edit shadow (edit : Test_update.edit) =
+  let nodes = Array.of_list (Test_update.all_nodes shadow) in
+  let n = Array.length nodes in
+  match edit with
+  | Test_update.Insert (parent, pos, tree) ->
+    let parent = nodes.(parent mod n) in
+    let pos = pos mod (List.length parent.Blas_xpath.Doc.children + 1) in
+    let xml = Blas_xml.Printer.compact tree in
+    if String.contains xml '\n' then None
+    else Some (P.Insert { parent = parent.Blas_xpath.Doc.start; pos; xml })
+  | Test_update.Delete i ->
+    if n > 1 then
+      Some (P.Delete { start = nodes.(1 + (i mod (n - 1))).Blas_xpath.Doc.start })
+    else None
+  | Test_update.Retext (i, v) ->
+    let v = match v with Some "" -> None | v -> v in
+    Some (P.Retext { start = nodes.(i mod n).Blas_xpath.Doc.start; data = v })
+
+let apply_concrete shadow = function
+  | P.Insert { parent; pos; xml } ->
+    ignore
+      (Blas.Update.insert_subtree shadow ~parent ~pos (Blas_xml.Dom.parse xml))
+  | P.Delete { start } -> ignore (Blas.Update.delete_subtree shadow ~start)
+  | P.Retext { start; data } ->
+    ignore (Blas.Update.replace_text shadow ~start data)
+
+let outcome_count srv outcome =
+  Blas_obs.Metrics.counter_value
+    (Blas_obs.Metrics.counter (Srv.registry srv)
+       ~labels:[ ("outcome", outcome) ]
+       "server.requests")
+
+let live_soak () =
+  let tree = small_auction () in
+  let hosted = Blas.index_of_tree tree in
+  let shadow = Blas.index_of_tree tree in
+  let queries = auction_queries @ [ "//item/name"; "//person" ] in
+  let config = { live_config with Srv.max_inflight = 4; queue_depth = 64 } in
+  with_live ~config [ ("auction", hosted) ] (fun srv port ->
+      let n_clients = 4 and per_client = 20 in
+      let ok_queries = Atomic.make 0 in
+      let failures = ref [] in
+      let failures_lock = Mutex.create () in
+      let fail msg =
+        Mutex.lock failures_lock;
+        failures := msg :: !failures;
+        Mutex.unlock failures_lock
+      in
+      (* Concurrent phase: query clients hammer the document while the
+         edit script runs against the live server.  Replies reflect
+         some consistent document version, so here they only need to
+         succeed; byte-level equivalence is checked once quiesced. *)
+      let query_client k =
+        C.with_client port (fun c ->
+            let translator = List.nth translators (k mod List.length translators)
+            and engine = List.nth engines (k mod 2) in
+            for i = 0 to per_client - 1 do
+              let q = List.nth queries ((i + k) mod List.length queries) in
+              match C.query c ~doc:"auction" ~translator ~engine q with
+              | P.Ok_payload _ -> ignore (Atomic.fetch_and_add ok_queries 1)
+              | reply ->
+                fail (Printf.sprintf "%s: %s" q (P.reply_to_string reply))
+            done)
+      in
+      (* The edit script: abstract edits from the update suite's
+         generator, resolved against the shadow, applied to the shadow
+         and sent to the server in the same order.  Edits serialize
+         under the document's write lock, so hosted and shadow storages
+         see identical edit sequences. *)
+      let rand = Random.State.make [| 0xB1A5; 2024 |] in
+      let abstract_edits =
+        List.init 12 (fun _ ->
+            QCheck2.Gen.generate1 ~rand Test_update.edit_gen)
+      in
+      let applied_edits = ref 0 in
+      let edit_client () =
+        C.with_client port (fun c ->
+            List.iter
+              (fun edit ->
+                match resolve_edit shadow edit with
+                | None -> ()
+                | Some concrete ->
+                  (match C.update c ~doc:"auction" concrete with
+                  | P.Ok_payload _ -> incr applied_edits
+                  | reply ->
+                    fail
+                      (Printf.sprintf "edit: %s" (P.reply_to_string reply)));
+                  apply_concrete shadow concrete;
+                  Thread.delay 0.002)
+              abstract_edits)
+      in
+      let editors = Thread.create edit_client () in
+      let clients = List.init n_clients (fun k -> Thread.create query_client k) in
+      List.iter Thread.join clients;
+      Thread.join editors;
+      (match !failures with
+      | [] -> ()
+      | msgs ->
+        Alcotest.failf "soak: %d failures: %s" (List.length msgs) (List.hd msgs));
+      (* Quiesced: every reply must be byte-identical to a fresh
+         sequential run against the shadow. *)
+      let compared = ref 0 in
+      C.with_client port (fun c ->
+          List.iter
+            (fun q ->
+              List.iter
+                (fun engine ->
+                  let want =
+                    Svc.payload_of_report
+                      (Blas.run_union shadow ~engine ~translator:Blas.Pushup
+                         (Blas.query_union q))
+                  in
+                  let got =
+                    expect_ok q
+                      (C.query c ~doc:"auction" ~translator:Blas.Pushup ~engine q)
+                  in
+                  Test_util.check_string
+                    (Printf.sprintf "quiesced %s (%s)" q (Blas.engine_name engine))
+                    want got;
+                  incr compared)
+                engines)
+            queries);
+      (* STATS reconciliation: the server counted exactly what the
+         clients observed. *)
+      Test_util.check_int "ok counter reconciles"
+        (Atomic.get ok_queries + !applied_edits + !compared)
+        (outcome_count srv "ok");
+      Test_util.check_int "no errors" 0 (outcome_count srv "error");
+      Test_util.check_int "no busy" 0 (outcome_count srv "busy");
+      Test_util.check_int "no timeouts" 0 (outcome_count srv "timeout"))
+
+(* ------------------------------------------------------------------ *)
+(* Live: graceful drain                                                *)
+
+let live_drain () =
+  let docs = [ ("plays", Blas.index_of_tree (small_plays ())) ] in
+  let srv = Srv.start { live_config with Srv.port = 0 } ~docs in
+  let port = Srv.port srv in
+  (* An in-flight request across the drain still gets its reply. *)
+  let straggler = C.connect port in
+  let straggler_reply = ref P.Busy in
+  let straggler_thread =
+    Thread.create (fun () -> straggler_reply := C.sleep straggler 150) ()
+  in
+  Thread.delay 0.05;
+  Srv.stop srv;
+  Thread.join straggler_thread;
+  C.close straggler;
+  Test_util.check_bool "in-flight request completed across the drain" true
+    (match !straggler_reply with P.Ok_payload _ -> true | _ -> false);
+  (* The port is released and new connections are refused. *)
+  (match raw_socket port with
+  | fd ->
+    (* A lingering listener backlog can accept once; it must at least
+       not answer. *)
+    Unix.close fd
+  | exception Unix.Unix_error (ECONNREFUSED, _, _) -> ());
+  (* stop is idempotent. *)
+  Srv.stop srv
+
+let live_shutdown_verb () =
+  let docs = [ ("plays", Blas.index_of_tree (small_plays ())) ] in
+  let srv = Srv.start { live_config with Srv.port = 0 } ~docs in
+  C.with_client (Srv.port srv) (fun c -> C.shutdown c);
+  (* wait returns because the verb requested shutdown. *)
+  Srv.wait srv;
+  Srv.stop srv;
+  Test_util.check_bool "drained after SHUTDOWN verb" true true
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("protocol round-trips", proto_roundtrip);
+      ("protocol rejects garbage", proto_rejects_garbage);
+      ("rwlock discipline", rwlock_discipline);
+      ("service replies match in-process runs", service_matches_inprocess);
+      ("live: basics", live_basics);
+      ("live: 4 concurrent clients, byte-identical replies", live_concurrent_queries);
+      ("live: BUSY when the admission queue is full", live_busy);
+      ("live: deadlines answer TIMEOUT", live_timeout);
+      ("live: oversized frame rejected", live_oversized_frame);
+      ("live: garbage keeps the connection", live_garbage_keeps_connection);
+      ("live: half-close and mid-query disconnect", live_half_close_and_disconnect);
+      ("live: soak with live edits", live_soak);
+      ("live: graceful drain", live_drain);
+      ("live: SHUTDOWN verb", live_shutdown_verb);
+    ]
