@@ -265,7 +265,7 @@ let space () =
             (fun acc (n : Blas_xpath.Doc.node) ->
               acc + 16 + (3 * 4)
               + (match n.data with Some d -> String.length d + 1 | None -> 1))
-            0 storage.Blas.Storage.doc.Blas_xpath.Doc.all
+            0 (Blas.Storage.doc storage).Blas_xpath.Doc.all
         in
         [
           label;

@@ -24,7 +24,7 @@ let sections =
     ("fig17", Figures.fig17);
     ("fig18", Figures.fig18);
     ("joins", Figures.joins);
-    ("disk", Figures.disk);
+    ("disk", Disk.run);
     ("space", Figures.space);
     ("build", Figures.build);
     ("cache", Workload.run);

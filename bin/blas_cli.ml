@@ -142,7 +142,16 @@ let parse_query_union s =
 (* XML files and saved index files (magic "BLAS1") both load — through
    the same memoized sniff-and-parse helper the server's document
    collection uses. *)
-let load_storage = Blas.Loader.load
+let load_storage ?rw ?cache_pages path = Blas.Loader.load ?rw ?cache_pages path
+
+let pages_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pages" ] ~docv:"N"
+        ~doc:
+          "Page-cache capacity, in pages, when the input is a database file \
+           (default 256).  Ignored for XML and saved-index inputs.")
 
 
 (* ------------------------------------------------------------------ *)
@@ -196,11 +205,11 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 
-let stats () path =
-  match load_storage path with
+let stats () ?cache_pages path =
+  match load_storage ?cache_pages path with
   | Error msg -> `Error (false, msg)
   | Ok storage ->
-    let doc = storage.Blas.Storage.doc in
+    let doc = Blas.Storage.doc storage in
     let guide = Blas.Storage.guide storage in
     Printf.printf "nodes:  %d\ntags:   %d\ndepth:  %d\npaths:  %d\n"
       (Blas_xpath.Doc.node_count doc)
@@ -220,12 +229,33 @@ let stats () path =
       (Blas_label.Bignum.to_string (Blas_label.Tag_table.m table));
     Printf.printf "  P-label intervals allocated: %d\n"
       (List.length (Blas_xml.Dataguide.all_paths guide));
+    (match Blas.Storage.disk storage with
+    | None -> ()
+    | Some d ->
+      let s = d.Blas.Storage.dk_stats () in
+      let pct num den = 100.0 *. float_of_int num /. float_of_int (max den 1) in
+      Printf.printf "on-disk storage:\n";
+      Printf.printf "  file: %s (%d bytes, %d pages of %d)\n"
+        s.Blas.Storage.dstat_path s.dstat_file_bytes s.dstat_page_count
+        s.dstat_page_size;
+      Printf.printf "  page utilization: %d/%d pages live (%.1f%%), %d payload bytes (%.1f%% of file)\n"
+        s.dstat_live_pages s.dstat_page_count
+        (pct s.dstat_live_pages s.dstat_page_count)
+        s.dstat_live_bytes
+        (pct s.dstat_live_bytes s.dstat_file_bytes);
+      Printf.printf "  wal: %d bytes pending checkpoint\n" s.dstat_wal_bytes;
+      Printf.printf "  page cache: %d/%d pages resident (%.1f%%)\n"
+        s.dstat_cache_resident s.dstat_cache_pages
+        (pct s.dstat_cache_resident s.dstat_cache_pages));
     `Ok ()
 
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"Print document characteristics (Figure 12 columns).")
-    Term.(ret (const stats $ logs_term $ input_arg))
+    Term.(
+      ret
+        (const (fun () pages path -> stats () ?cache_pages:pages path)
+        $ logs_term $ pages_arg $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* translate                                                           *)
@@ -306,8 +336,8 @@ let merge_reports (reports : Blas.report list) =
   }
 
 let run () query_string translator engine verify show_limit as_xml explain
-    analyze show_stats jobs no_cache path =
-  match load_storage path, parse_query_union query_string with
+    analyze show_stats jobs no_cache pages path =
+  match load_storage ?cache_pages:pages path, parse_query_union query_string with
   | Error msg, _ | _, Error msg -> `Error (false, msg)
   | Ok storage, Ok queries ->
     Blas.Storage.set_cache_enabled storage (not no_cache);
@@ -342,7 +372,7 @@ let run () query_string translator engine verify show_limit as_xml explain
     let by_start =
       List.map
         (fun (n : Blas_xpath.Doc.node) -> (n.start, n))
-        storage.Blas.Storage.doc.Blas_xpath.Doc.all
+        (Blas.Storage.doc storage).Blas_xpath.Doc.all
     in
     let nav = if explain then Some (Blas.Nav.of_storage storage) else None in
     List.iteri
@@ -404,7 +434,7 @@ let run_cmd =
       ret
         (const run $ logs_term $ query_arg $ translator_arg $ engine_arg
        $ verify $ show $ as_xml $ explain $ analyze $ show_stats $ jobs_arg
-       $ no_cache_arg $ input_arg))
+       $ no_cache_arg $ pages_arg $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* index                                                               *)
@@ -414,28 +444,51 @@ let index_cmd =
     Arg.(
       required
       & opt (some string) None
-      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Index file to write.")
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Output file.  A $(b,.blasdb) suffix writes a paged database \
+             file (the on-disk storage engine); anything else writes a \
+             flat saved index.")
   in
-  let build () input output =
+  let page_size =
+    Arg.(
+      value & opt int 4096
+      & info [ "page-size" ] ~docv:"BYTES"
+          ~doc:"Page size for $(b,.blasdb) output (power-of-two sizes work best).")
+  in
+  let build () input output page_size =
     match load_storage input with
     | Error msg -> `Error (false, msg)
     | Ok storage ->
-      Blas.Persist.save storage output;
-      Printf.printf "indexed %d nodes -> %s\n" (Blas.Storage.node_count storage) output;
-      `Ok ()
+      if Filename.check_suffix output ".blasdb" then begin
+        match Blas.Database.create ~page_size ~path:output storage with
+        | () ->
+          Printf.printf "indexed %d nodes -> %s (database, %d-byte pages)\n"
+            (Blas.Storage.node_count storage) output page_size;
+          `Ok ()
+        | exception Invalid_argument msg -> `Error (false, msg)
+      end
+      else begin
+        Blas.Persist.save storage output;
+        Printf.printf "indexed %d nodes -> %s\n"
+          (Blas.Storage.node_count storage) output;
+        `Ok ()
+      end
   in
   Cmd.v
     (Cmd.info "index"
        ~doc:
          "Build and save an index; other commands accept the saved file in \
           place of XML.")
-    Term.(ret (const build $ logs_term $ input_arg $ output))
+    Term.(ret (const build $ logs_term $ input_arg $ output $ page_size))
 
 (* ------------------------------------------------------------------ *)
 (* update                                                              *)
 
 let update () insert_xml parent pos delete rtext data output path =
-  match load_storage path with
+  (* Database files are edited in place (each edit is one committed
+     transaction), so they need a writable open. *)
+  match load_storage ~rw:true path with
   | Error msg -> `Error (false, msg)
   | Ok storage -> (
     let op =
@@ -478,6 +531,10 @@ let update () insert_xml parent pos delete rtext data output path =
         Format.printf "%a@." Blas.Update.pp_report report;
         let free, span = Blas.Update.gap_budget storage in
         Printf.printf "gap budget now: %d of %d positions free\n" free span;
+        (match Blas.Storage.disk storage with
+        | Some d ->
+          Printf.printf "committed to %s\n" d.Blas.Storage.dk_path
+        | None -> ());
         (match output with
         | Some out ->
           Blas.Persist.save storage out;
@@ -701,10 +758,14 @@ let cache_cmd =
 (* serve                                                               *)
 
 let serve () host port docs_dir jobs max_inflight queue_depth timeout_ms
-    no_cache allow_sleep =
-  match Blas.Loader.load_dir docs_dir with
+    no_cache allow_sleep pages =
+  (* Writable: live UPDATE verbs against database files commit to the
+     file; XML-backed documents are unaffected. *)
+  match Blas.Loader.load_dir ~rw:true ?cache_pages:pages docs_dir with
   | Error msg -> `Error (false, msg)
-  | Ok [] -> `Error (false, Printf.sprintf "no *.xml or *.blas files in %s" docs_dir)
+  | Ok [] ->
+    `Error
+      (false, Printf.sprintf "no *.xml, *.blas or *.blasdb files in %s" docs_dir)
   | Ok docs ->
     let config =
       {
@@ -789,7 +850,8 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ logs_term $ host $ port $ docs_dir $ jobs_arg
-       $ max_inflight $ queue_depth $ timeout_ms $ no_cache_arg $ allow_sleep))
+       $ max_inflight $ queue_depth $ timeout_ms $ no_cache_arg $ allow_sleep
+       $ pages_arg))
 
 (* ------------------------------------------------------------------ *)
 (* connect / query (network clients)                                   *)

@@ -57,7 +57,7 @@ let () =
     [ Blas.D_labeling; Blas.Split; Blas.Pushup; Blas.Unfold ];
 
   (* Show the title the biologist was after. *)
-  let all_nodes = storage.Blas.Storage.doc.Blas_xpath.Doc.all in
+  let all_nodes = (Blas.Storage.doc storage).Blas_xpath.Doc.all in
   print_endline "\n=== answer ===";
   List.iter
     (fun start ->

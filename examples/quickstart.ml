@@ -31,7 +31,7 @@ let () =
     report.visited report.plan_djoins;
 
   (* 4. Map answers back to document nodes for display. *)
-  let all_nodes = storage.Blas.Storage.doc.Blas_xpath.Doc.all in
+  let all_nodes = (Blas.Storage.doc storage).Blas_xpath.Doc.all in
   List.iter
     (fun start ->
       match

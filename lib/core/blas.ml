@@ -26,6 +26,7 @@ module Update = Update
 module Par = Blas_par.Pool
 module Cache = Qcache
 module Loader = Loader
+module Database = Database
 
 type translator = Exec.translator =
   | D_labeling
@@ -49,10 +50,42 @@ let translator_name = Exec.translator_name
 
 let engine_name = Exec.engine_name
 
-(** [index xml] parses [xml] and builds the SP and SD storage. *)
-let index xml = Storage.of_string xml
+(* BLAS_TEST_DISK=1 reroutes every [index] through a temporary database
+   file (small pages, small cache), so whole existing suites exercise
+   the disk engine end to end.  Temp files are cleaned up at exit. *)
+let test_disk_enabled =
+  match Sys.getenv_opt "BLAS_TEST_DISK" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
 
-let index_of_tree tree = Storage.of_tree tree
+let test_disk_lock = Mutex.create ()
+let test_disk_files : string list ref = ref []
+
+let () =
+  at_exit (fun () ->
+      List.iter
+        (fun path ->
+          (try Sys.remove path with Sys_error _ -> ());
+          try Sys.remove (path ^ ".wal") with Sys_error _ -> ())
+        !test_disk_files)
+
+let maybe_disk storage =
+  if not test_disk_enabled then storage
+  else begin
+    let path = Filename.temp_file "blas_test_" ".blasdb" in
+    Mutex.lock test_disk_lock;
+    test_disk_files := path :: !test_disk_files;
+    Mutex.unlock test_disk_lock;
+    Database.create ~page_size:4096 ~path storage;
+    Database.open_ ~cache_pages:512 ~mode:Database.Rw ~path ()
+  end
+
+(** [index xml] parses [xml] and builds the SP and SD storage.  With
+    BLAS_TEST_DISK set, the storage is round-tripped through a
+    temporary database file (disk-backed test mode). *)
+let index xml = maybe_disk (Storage.of_string xml)
+
+let index_of_tree tree = maybe_disk (Storage.of_tree tree)
 
 (** [query s] parses an XPath string.
     @raise Blas_xpath.Parser.Error on malformed input. *)
@@ -124,9 +157,10 @@ let oracle_union storage queries =
 (* ------------------------------------------------------------------ *)
 (* Answer materialization                                             *)
 
-(** [node_at storage start] — the document node behind an answer. *)
+(** [node_at storage start] — the document node behind an answer.
+    Forces the (lazy) document model of a disk-backed storage. *)
 let node_at (storage : Storage.t) start =
-  Blas_xpath.Doc.find_by_start storage.doc start
+  Blas_xpath.Doc.find_by_start (Storage.doc storage) start
 
 (** [materialize storage starts] rebuilds the answer subtrees in
     document order (the output-generation step the paper's measurements

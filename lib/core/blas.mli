@@ -41,9 +41,15 @@ module Par = Blas_par.Pool
 module Cache = Qcache
 
 (** The one storage loader behind the CLI and the network server:
-    sniffs saved-index vs XML files and memoizes unchanged loads per
-    process. *)
+    sniffs database / saved-index / XML files and memoizes unchanged
+    loads per process. *)
 module Loader = Loader
+
+(** Disk-backed databases: bulk-load a storage into a `.blasdb` file,
+    reopen it in O(pages touched) through a bounded page cache, run
+    updates as WAL-protected transactions, recover from crashes on
+    open (see {!Database}). *)
+module Database = Database
 
 type translator = Exec.translator =
   | D_labeling  (** the baseline: one D-join per query edge over SD *)
@@ -76,7 +82,10 @@ type report = Exec.report = {
           intermediate results, page traffic) *)
 }
 
-(** [index xml] parses [xml] and builds the SP and SD storage.
+(** [index xml] parses [xml] and builds the SP and SD storage.  With
+    the BLAS_TEST_DISK environment variable set (disk-backed test
+    mode), the storage is round-tripped through a temporary database
+    file so existing suites exercise the disk engine.
     @raise Blas_xml.Types.Parse_error on malformed XML. *)
 val index : string -> Storage.t
 

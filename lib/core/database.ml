@@ -1,0 +1,588 @@
+(** Disk-backed databases: bulk-load a storage into a single database
+    file, reopen it in O(pages touched), and run every update as one
+    WAL-protected transaction.
+
+    File layout (see DESIGN.md §13): page zero is the {!Blas_disk.Pager}
+    superblock whose root blob points at the catalog chain; every other
+    page is either an SP/SD data page (a {!Blas_rel.Codec} tuple run), a
+    {!Blas_rel.Paged_index} leaf, a catalog chain page, or free.  The
+    catalog — tag inventory, dataguide paths, free list, clustered page
+    directories and index leaf directories — is small and fully
+    resident, so opening a database reads only the superblock and the
+    chain; everything else is paged in on demand through the
+    {!Blas_rel.Buffer_pool}.
+
+    Transactions are no-steal/force-to-WAL: table edits accumulate as
+    dirty pages in the pool, commit pushes them into the store's
+    transaction buffer ({!Blas_rel.Buffer_pool.flush_dirty}), rewrites
+    the catalog chain, and hands the whole write set to
+    {!Blas_disk.Store.commit} (WAL append + fsync, then in-place
+    apply).  A crash at any byte boundary recovers to the last
+    committed state on the next open. *)
+
+module Store = Blas_disk.Store
+module Pager = Blas_disk.Pager
+module Wire = Blas_disk.Wire
+module Pool = Blas_rel.Buffer_pool
+module Table = Blas_rel.Table
+module Pidx = Blas_rel.Paged_index
+module Codec = Blas_rel.Codec
+module Value = Blas_rel.Value
+module Tuple = Blas_rel.Tuple
+module Schema = Blas_rel.Schema
+module Tag_table = Blas_label.Tag_table
+module Dataguide = Blas_xml.Dataguide
+
+type mode = Store.mode = Ro | Rw
+
+exception Corrupt = Pager.Corrupt
+
+let sp_schema = Schema.of_list [ "plabel"; "start"; "end"; "level"; "data" ]
+let sd_schema = Schema.of_list [ "tag"; "start"; "end"; "level"; "data" ]
+let sp_cluster = [ "plabel"; "start" ]
+let sd_cluster = [ "tag"; "start" ]
+let default_fill = 0.9
+let default_cache_pages = 256
+
+(** [looks_like_db path] sniffs the superblock magic without taking
+    locks — the {!Loader} uses it to route between database files and
+    XML / index-file inputs. *)
+let looks_like_db = Pager.looks_like_db
+
+(* ------------------------------------------------------------------ *)
+(* Catalog codec                                                      *)
+
+let cat_version = 1
+
+type tlayout = {
+  l_dir : Table.dir_entry array;
+  l_indexes : (string * Pidx.meta array) list;
+}
+
+type cat = {
+  c_height : int;
+  c_tags : string list;
+  c_paths : string list list;
+  c_free : int list;  (** recorded before chain placement; see below *)
+  c_sp : tlayout;
+  c_sd : tlayout;
+}
+
+let encode_layout buf { l_dir; l_indexes } =
+  Wire.write_varint buf (Array.length l_dir);
+  Array.iter
+    (fun (de : Table.dir_entry) ->
+      Wire.write_varint buf de.de_page;
+      Wire.write_varint buf de.de_nrows;
+      Codec.add_tuple buf de.de_first)
+    l_dir;
+  Wire.write_varint buf (List.length l_indexes);
+  List.iter
+    (fun (col, metas) ->
+      Wire.write_string buf col;
+      Wire.write_varint buf (Array.length metas);
+      Array.iter
+        (fun (m : Pidx.meta) ->
+          Wire.write_varint buf m.m_page;
+          Wire.write_varint buf m.m_entries;
+          Wire.write_varint buf m.m_rows;
+          Codec.add_value buf m.m_first)
+        metas)
+    l_indexes
+
+let read_layout r =
+  let ndir = Wire.read_varint r in
+  let l_dir =
+    Array.init ndir (fun _ ->
+        let de_page = Wire.read_varint r in
+        let de_nrows = Wire.read_varint r in
+        let de_first = Codec.read_tuple r in
+        { Table.de_page; de_nrows; de_first })
+  in
+  let nidx = Wire.read_varint r in
+  let l_indexes =
+    List.init nidx (fun _ ->
+        let col = Wire.read_string r in
+        let nleaves = Wire.read_varint r in
+        let metas =
+          Array.init nleaves (fun _ ->
+              let m_page = Wire.read_varint r in
+              let m_entries = Wire.read_varint r in
+              let m_rows = Wire.read_varint r in
+              let m_first = Codec.read_value r in
+              { Pidx.m_page; m_entries; m_rows; m_first })
+        in
+        (col, metas))
+  in
+  { l_dir; l_indexes }
+
+let encode_catalog ~table ~guide ~free ~sp ~sd =
+  let buf = Buffer.create 4096 in
+  Wire.write_u8 buf cat_version;
+  Wire.write_varint buf (Tag_table.height table);
+  let tags = Tag_table.tags table in
+  Wire.write_varint buf (List.length tags);
+  List.iter (Wire.write_string buf) tags;
+  let paths = Dataguide.all_paths guide in
+  Wire.write_varint buf (List.length paths);
+  List.iter
+    (fun path ->
+      Wire.write_varint buf (List.length path);
+      List.iter (Wire.write_string buf) path)
+    paths;
+  Wire.write_varint buf (List.length free);
+  List.iter (Wire.write_varint buf) free;
+  encode_layout buf sp;
+  encode_layout buf sd;
+  Buffer.contents buf
+
+let decode_catalog body =
+  let r = Wire.reader body in
+  let v = Wire.read_u8 r in
+  if v <> cat_version then
+    raise (Corrupt (Printf.sprintf "unsupported catalog version %d" v));
+  let c_height = Wire.read_varint r in
+  let c_tags = List.init (Wire.read_varint r) (fun _ -> Wire.read_string r) in
+  let c_paths =
+    List.init (Wire.read_varint r) (fun _ ->
+        List.init (Wire.read_varint r) (fun _ -> Wire.read_string r))
+  in
+  let c_free = List.init (Wire.read_varint r) (fun _ -> Wire.read_varint r) in
+  let c_sp = read_layout r in
+  let c_sd = read_layout r in
+  { c_height; c_tags; c_paths; c_free; c_sp; c_sd }
+
+(* ------------------------------------------------------------------ *)
+(* Catalog chain: the body split over linked pages.  Each chain page
+   is [varint next-page (0 = end)][chunk]; the root blob is
+   [varint body-length][varint first-page]. *)
+
+let chain_chunk_capacity store =
+  (* a varint page id never exceeds 5 bytes *)
+  Store.capacity store - 5
+
+let read_catalog store =
+  let root = Store.root store in
+  if String.length root = 0 then raise (Corrupt "missing catalog root");
+  let r = Wire.reader root in
+  let body_len = Wire.read_varint r in
+  let first = Wire.read_varint r in
+  let buf = Buffer.create body_len in
+  let chain = ref [] in
+  let page = ref first in
+  while !page <> 0 do
+    chain := !page :: !chain;
+    let payload = Store.read_page store !page in
+    let pr = Wire.reader payload in
+    let next = Wire.read_varint pr in
+    Buffer.add_string buf (Wire.read_bytes pr (Wire.remaining pr));
+    page := next
+  done;
+  if Buffer.length buf <> body_len then
+    raise
+      (Corrupt
+         (Printf.sprintf "catalog chain holds %d bytes, root promises %d"
+            (Buffer.length buf) body_len));
+  (decode_catalog (Buffer.contents buf), List.rev !chain)
+
+(* Splits [body] into chain chunks and writes them through [alloc]/
+   [write]; returns the chain pages in order.  Pages are allocated
+   up-front so each chunk can point at its successor. *)
+let write_chain ~chunk_cap ~alloc ~write body =
+  let len = String.length body in
+  let npages = max 1 ((len + chunk_cap - 1) / chunk_cap) in
+  let pages = Array.init npages (fun _ -> alloc ()) in
+  Array.iteri
+    (fun i page ->
+      let off = i * chunk_cap in
+      let chunk = String.sub body off (min chunk_cap (len - off)) in
+      let next = if i + 1 < npages then pages.(i + 1) else 0 in
+      let buf = Buffer.create (String.length chunk + 5) in
+      Wire.write_varint buf next;
+      Buffer.add_string buf chunk;
+      write page (Buffer.contents buf))
+    pages;
+  Array.to_list pages
+
+let encode_root ~body ~first =
+  let buf = Buffer.create 10 in
+  Wire.write_varint buf (String.length body);
+  Wire.write_varint buf first;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Bulk packing: a clustered tuple run into data pages + index leaves  *)
+
+(* Splits [tuples] page-by-page following the directory row counts. *)
+let rec split_rows tuples = function
+  | [] -> []
+  | (de : Table.dir_entry) :: rest ->
+    let rec take n acc = function
+      | tail when n = 0 -> (List.rev acc, tail)
+      | [] -> invalid_arg "Database: directory row count exceeds tuples"
+      | t :: tail -> take (n - 1) (t :: acc) tail
+    in
+    let page_rows, tail = take de.de_nrows [] tuples in
+    (de.de_page, page_rows) :: split_rows tail rest
+
+(* Aggregates [(value, page, 1)] occurrences into sorted index
+   entries. *)
+let index_entries pages_rows pos =
+  let raw =
+    List.concat_map
+      (fun (page, rows) -> List.map (fun t -> (Tuple.get t pos, page, 1)) rows)
+      pages_rows
+  in
+  let sorted = List.sort Pidx.entry_cmp raw in
+  let rec merge = function
+    | (v1, p1, n1) :: (v2, p2, n2) :: rest
+      when Pidx.entry_cmp (v1, p1, 0) (v2, p2, 0) = 0 ->
+      merge ((v1, p1, n1 + n2) :: rest)
+    | e :: rest -> e :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+(* Packs one clustered tuple run: writes data pages and index leaves
+   through [alloc]/[write], returns the resident layout. *)
+let pack_table ~capacity ~fill ~alloc ~write ~schema ~index_columns tuples =
+  let chunks = Codec.pack_pages ~capacity ~fill tuples in
+  let l_dir =
+    Array.of_list
+      (List.map
+         (fun (payload, first, nrows) ->
+           let page = alloc () in
+           write page payload;
+           { Table.de_page = page; de_nrows = nrows; de_first = first })
+         chunks)
+  in
+  let pages_rows = split_rows tuples (Array.to_list l_dir) in
+  let l_indexes =
+    List.map
+      (fun col ->
+        let entries = index_entries pages_rows (Schema.index_of schema col) in
+        let metas =
+          List.map
+            (fun (payload, es) ->
+              let page = alloc () in
+              write page payload;
+              Pidx.meta_of ~page es)
+            (Pidx.pack ~capacity ~fill entries)
+        in
+        (col, Array.of_list metas))
+      index_columns
+  in
+  { l_dir; l_indexes }
+
+(* ------------------------------------------------------------------ *)
+(* The open database handle                                           *)
+
+type db = {
+  store : Store.t;
+  pool : Pool.t;
+  mutable free : int list;  (** allocatable page ids *)
+  mutable chain : int list;  (** current catalog chain *)
+  mutable storage : Storage.t option;  (** back-reference, set at open *)
+  tx_lock : Mutex.t;
+}
+
+let db_alloc db () =
+  match db.free with
+  | page :: rest ->
+    db.free <- rest;
+    page
+  | [] -> Store.alloc_page db.store
+
+let db_free db page = db.free <- page :: db.free
+
+let mk_table db name schema cluster_key layout =
+  let capacity = Store.capacity db.store in
+  let alloc () = db_alloc db () in
+  let free page = db_free db page in
+  let indexes =
+    List.map
+      (fun (col, metas) ->
+        ( col,
+          Pidx.create ~pool:db.pool ~alloc ~free
+            ~name:(name ^ "." ^ col)
+            ~capacity ~leaves:metas ))
+      layout.l_indexes
+  in
+  Table.create_paged ~pool:db.pool ~alloc ~free ~capacity ~name ~schema
+    ~cluster_key ~dir:layout.l_dir ~indexes
+
+(* Installs the components described by the (committed) catalog into
+   [db] and its storage: the abort/reload path and the tail of open. *)
+let install db (storage : Storage.t) (cat, chain) =
+  db.chain <- chain;
+  db.free <- List.filter (fun p -> not (List.mem p chain)) cat.c_free;
+  storage.Storage.table <-
+    Tag_table.create ~tags:cat.c_tags ~height:cat.c_height;
+  storage.Storage.guide <-
+    List.fold_left Dataguide.add_path Dataguide.empty cat.c_paths;
+  storage.Storage.sp <- mk_table db "sp" sp_schema sp_cluster cat.c_sp;
+  storage.Storage.sd <- mk_table db "sd" sd_schema sd_cluster cat.c_sd
+
+(* ------------------------------------------------------------------ *)
+(* Catalog writer (inside a transaction)                              *)
+
+let write_catalog db (storage : Storage.t) =
+  let sp =
+    match Table.paged_layout storage.Storage.sp with
+    | Some (l_dir, l_indexes) -> { l_dir; l_indexes }
+    | None -> invalid_arg "Database.write_catalog: sp is not paged"
+  in
+  let sd =
+    match Table.paged_layout storage.Storage.sd with
+    | Some (l_dir, l_indexes) -> { l_dir; l_indexes }
+    | None -> invalid_arg "Database.write_catalog: sd is not paged"
+  in
+  (* The old chain is reusable; the recorded free list is taken BEFORE
+     chain placement (open subtracts the walked chain), avoiding a
+     free-list/chain fixpoint. *)
+  db.free <- List.sort_uniq compare (db.chain @ db.free);
+  let body =
+    encode_catalog ~table:storage.Storage.table ~guide:storage.Storage.guide
+      ~free:db.free ~sp ~sd
+  in
+  let chain =
+    write_chain
+      ~chunk_cap:(chain_chunk_capacity db.store)
+      ~alloc:(db_alloc db)
+      ~write:(fun page payload -> Store.write_page db.store page payload)
+      body
+  in
+  db.chain <- chain;
+  Store.set_root db.store (encode_root ~body ~first:(List.hd chain))
+
+(* ------------------------------------------------------------------ *)
+(* Escalation: the update engine rebuilt the tables as heap relations
+   (tag-inventory change); repack the whole file inside the same
+   transaction, reusing every page the old layout owned. *)
+
+let repack db (storage : Storage.t) ~owned_before =
+  db.free <- List.sort_uniq compare (owned_before @ db.free);
+  let capacity = Store.capacity db.store in
+  let alloc () = db_alloc db () in
+  let write page payload = Store.write_page db.store page payload in
+  let pack (table : Table.t) schema =
+    let tuples =
+      Array.to_list (Blas_rel.Relation.tuples (Table.relation table))
+    in
+    pack_table ~capacity ~fill:default_fill ~alloc ~write ~schema
+      ~index_columns:(Table.indexed_columns table)
+      tuples
+  in
+  let sp_layout = pack storage.Storage.sp sp_schema in
+  let sd_layout = pack storage.Storage.sd sd_schema in
+  storage.Storage.sp <- mk_table db "sp" sp_schema sp_cluster sp_layout;
+  storage.Storage.sd <- mk_table db "sd" sd_schema sd_cluster sd_layout;
+  (* The repack bypassed the pool; drop every cached payload (clean
+     entries may alias reused page ids). *)
+  Pool.flush db.pool
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                       *)
+
+let reload db =
+  match db.storage with
+  | None -> ()
+  | Some storage ->
+    Pool.flush db.pool;
+    install db storage (read_catalog db.store);
+    Storage.drop_doc storage;
+    Qcache.invalidate (Storage.cache storage) ~full:true ~schema_changed:true
+      ~plabels:[] ~drange:None
+
+let with_tx db f =
+  if Store.mode db.store = Ro then
+    invalid_arg "Database.with_tx: database opened read-only";
+  let storage =
+    match db.storage with Some s -> s | None -> assert false
+  in
+  Mutex.lock db.tx_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock db.tx_lock)
+    (fun () ->
+      let owned_before =
+        Table.owned_pages storage.Storage.sp
+        @ Table.owned_pages storage.Storage.sd
+      in
+      Store.begin_tx db.store;
+      match f () with
+      | result ->
+        if
+          (not (Table.is_paged storage.Storage.sp))
+          || not (Table.is_paged storage.Storage.sd)
+        then repack db storage ~owned_before;
+        write_catalog db storage;
+        Pool.flush_dirty db.pool;
+        Store.commit db.store;
+        result
+      | exception e ->
+        (* Roll back: dirty pages vanish, the store forgets the
+           transaction buffer, and the resident components are rebuilt
+           from the committed catalog.  Clean cached payloads may have
+           been read through the transaction buffer, so the whole pool
+           goes.  Each step is best-effort — under fault injection the
+           file descriptors themselves may refuse writes. *)
+        (try Pool.drop_dirty db.pool with _ -> ());
+        (try Store.abort db.store with _ -> ());
+        (try reload db with _ -> ());
+        raise e)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+
+let stats db () =
+  let storage =
+    match db.storage with Some s -> s | None -> assert false
+  in
+  let owned =
+    Table.owned_pages storage.Storage.sp
+    @ Table.owned_pages storage.Storage.sd
+    @ db.chain
+  in
+  let live_bytes =
+    List.fold_left
+      (fun acc page -> acc + String.length (Store.read_page db.store page))
+      0 owned
+  in
+  {
+    Storage.dstat_path = Store.path db.store;
+    dstat_file_bytes = Store.file_size db.store;
+    dstat_page_size = Store.page_size db.store;
+    dstat_page_count = Store.page_count db.store;
+    dstat_live_pages = List.length owned;
+    dstat_live_bytes = live_bytes;
+    dstat_wal_bytes = Store.wal_size db.store;
+    dstat_cache_pages = Pool.capacity db.pool;
+    dstat_cache_resident = Pool.resident_data db.pool;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bulk load                                                          *)
+
+(** [create ?page_size ?fill ~path storage] bulk-loads [storage] into a
+    fresh database file at [path]: data pages and index leaves in
+    cluster order at [fill] occupancy, catalog chain, superblock,
+    one fsync at the end.  Any existing file at [path] is replaced. *)
+let create ?(page_size = 4096) ?(fill = default_fill) ~path
+    (storage : Storage.t) =
+  let store = Store.create ~path ~page_size () in
+  Fun.protect
+    ~finally:(fun () -> Store.close store)
+    (fun () ->
+      Store.bulk_load store (fun () ->
+          let capacity = Store.capacity store in
+          let alloc () = Store.alloc_page store in
+          let write page payload = Store.write_page store page payload in
+          let pack (table : Table.t) schema =
+            let tuples =
+              Array.to_list (Blas_rel.Relation.tuples (Table.relation table))
+            in
+            pack_table ~capacity ~fill ~alloc ~write ~schema
+              ~index_columns:(Table.indexed_columns table)
+              tuples
+          in
+          let sp = pack storage.Storage.sp sp_schema in
+          let sd = pack storage.Storage.sd sd_schema in
+          let body =
+            encode_catalog ~table:storage.Storage.table
+              ~guide:(Storage.guide storage) ~free:[] ~sp ~sd
+          in
+          let chain =
+            write_chain
+              ~chunk_cap:(chain_chunk_capacity store)
+              ~alloc ~write body
+          in
+          Store.set_root store (encode_root ~body ~first:(List.hd chain))))
+
+(* ------------------------------------------------------------------ *)
+(* Open                                                               *)
+
+let data_of_value = function
+  | Value.Null -> None
+  | Value.Str s -> Some s
+  | v ->
+    raise
+      (Corrupt (Format.asprintf "unexpected data value %a" Value.pp v))
+
+let row_of_sd_tuple t =
+  match
+    ( Tuple.get t 0, Tuple.get t 1, Tuple.get t 2, Tuple.get t 3, Tuple.get t 4 )
+  with
+  | Value.Str tag, Value.Int s, Value.Int e, Value.Int l, d ->
+    (tag, s, e, l, data_of_value d)
+  | _ -> raise (Corrupt "malformed SD row")
+
+(** [open_ ?cache_pages ?stripes ~mode ~path ()] opens a database file:
+    read-write opens replay any committed WAL tail first (crash
+    recovery); read-only opens never write and overlay the WAL in
+    memory.  Only the catalog becomes resident — the document model is
+    materialized lazily (a full SD scan) if something forces it.
+    [cache_pages] bounds the buffer pool (default 256 pages). *)
+let open_ ?(cache_pages = default_cache_pages) ?(stripes = 1) ~mode ~path () =
+  let store = Store.open_path ~path ~mode () in
+  match read_catalog store with
+  | exception e ->
+    Store.close store;
+    raise e
+  | cat_chain ->
+    let pool = Pool.create_striped ~stripes ~capacity:cache_pages in
+    Pool.set_backing pool
+      {
+        Pool.back_read = (fun ~table:_ ~page -> Store.read_page store page);
+        back_write = (fun ~table:_ ~page data -> Store.write_page store page data);
+      };
+    let db =
+      {
+        store;
+        pool;
+        free = [];
+        chain = [];
+        storage = None;
+        tx_lock = Mutex.create ();
+      }
+    in
+    let storage_cell = ref None in
+    let build_doc () =
+      let storage =
+        match !storage_cell with Some s -> s | None -> assert false
+      in
+      let rows =
+        List.map row_of_sd_tuple
+          (Table.scan storage.Storage.sd (Blas_rel.Counters.create ()))
+      in
+      let rows =
+        List.sort (fun (_, s1, _, _, _) (_, s2, _, _, _) -> compare s1 s2) rows
+      in
+      Persist.rebuild_doc rows
+    in
+    (* Placeholder components; [install] swaps in the real ones. *)
+    let storage =
+      Storage.assemble ~build_doc
+        ~guide:Dataguide.empty
+        ~table:(Tag_table.create ~tags:[ "?" ] ~height:1)
+        ~sp:
+          (Table.create ~name:"sp" ~schema:sp_schema ~cluster_key:sp_cluster
+             ~indexes:[] [])
+        ~sd:
+          (Table.create ~name:"sd" ~schema:sd_schema ~cluster_key:sd_cluster
+             ~indexes:[] [])
+        ~pool
+    in
+    storage_cell := Some storage;
+    db.storage <- Some storage;
+    install db storage cat_chain;
+    Storage.set_disk storage
+      {
+        Storage.dk_path = path;
+        dk_readonly = (mode = Ro);
+        dk_stats = stats db;
+        dk_with_tx = (fun f -> with_tx db f);
+        dk_checkpoint = (fun () -> Store.checkpoint db.store);
+        dk_close = (fun () -> Store.close db.store);
+        dk_crash = (fun () -> Store.crash db.store);
+      };
+    storage

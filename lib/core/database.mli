@@ -1,0 +1,37 @@
+(** Disk-backed databases (DESIGN.md §13): bulk-load a storage into a
+    single `.blasdb` file, reopen it in O(pages touched), and run every
+    update as one WAL-protected transaction with crash recovery on
+    open. *)
+
+type mode = Blas_disk.Store.mode = Ro | Rw
+
+(** Structural damage in the file (bad checksum, bad magic, catalog
+    that does not decode). *)
+exception Corrupt of string
+
+(** [looks_like_db path] sniffs the superblock magic without locking —
+    distinguishes database files from XML and index files. *)
+val looks_like_db : string -> bool
+
+(** [create ?page_size ?fill ~path storage] bulk-loads [storage] into a
+    fresh database file: data pages and index leaves in cluster order
+    at [fill] occupancy (default 0.9, leaving per-page headroom for
+    in-place edits), then the catalog and superblock, then one fsync.
+    Replaces any existing file at [path].
+    @raise Invalid_argument on a bad page size. *)
+val create : ?page_size:int -> ?fill:float -> path:string -> Storage.t -> unit
+
+(** [open_ ?cache_pages ?stripes ~mode ~path ()] opens a database file
+    as a storage whose tables read through a bounded page cache of
+    [cache_pages] pages (default 256).  Read-write opens replay any
+    committed WAL tail first (crash recovery) and truncate the WAL;
+    read-only opens never write to either file.  Only the catalog
+    becomes resident; the document model stays lazy.
+    The returned storage answers queries, serves updates (each wrapped
+    in one WAL transaction via [Storage.disk]), and must be released
+    with {!Storage.close}.
+    @raise Corrupt on structural damage
+    @raise Sys_error on IO errors *)
+val open_ :
+  ?cache_pages:int -> ?stripes:int -> mode:mode -> path:string -> unit ->
+  Storage.t

@@ -568,4 +568,5 @@ let answers storage ~engine ~translator q = (run storage ~engine ~translator q).
 
 (** [oracle storage q] — the naive tree-pattern evaluator, the
     correctness reference. *)
-let oracle (storage : Storage.t) q = Blas_xpath.Naive_eval.starts storage.doc q
+let oracle (storage : Storage.t) q =
+  Blas_xpath.Naive_eval.starts (Storage.doc storage) q

@@ -6,17 +6,20 @@
     now route through {!load}, so a format change (or a new on-disk
     representation) lands in exactly one place.
 
-    [load] accepts both XML documents and saved index files (magic
-    "BLAS1", see {!Persist}); {!load_dir} hosts a directory the way
-    [blas serve --docs DIR] does — every [*.xml] and [*.blas] file,
-    named by basename without extension.
+    [load] accepts XML documents, saved index files (magic "BLAS1", see
+    {!Persist}) and database files (magic "BLASDB1", see {!Database} —
+    sniffed first, since opening one must NOT slurp the whole file);
+    {!load_dir} hosts a directory the way [blas serve --docs DIR] does —
+    every [*.xml], [*.blas] and [*.blasdb] file, named by basename
+    without extension.
 
     Loads are memoized per process, keyed by absolute path + mtime +
-    size: a resident process that loads the same unchanged file twice
-    (a server re-reading its docs directory, a REPL re-opening an
-    index) reuses the built storage instead of re-parsing.  The memo
-    holds storages alive, which is exactly what a resident server
-    wants; one-shot CLI invocations load each file once anyway. *)
+    size (+ open mode): a resident process that loads the same
+    unchanged file twice (a server re-reading its docs directory, a
+    REPL re-opening an index) reuses the built storage instead of
+    re-parsing.  The memo holds storages alive, which is exactly what a
+    resident server wants; one-shot CLI invocations load each file once
+    anyway. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -30,39 +33,52 @@ let has_magic contents =
   String.length contents >= String.length magic
   && String.sub contents 0 (String.length magic) = magic
 
-(* (absolute path, mtime, size) -> storage.  A mutex rather than a
+(* (absolute path, mtime, size, rw) -> storage.  A mutex rather than a
    lock-free structure: loads are rare and heavy, contention is nil. *)
-let memo : (string * float * int, Storage.t) Hashtbl.t = Hashtbl.create 8
+let memo : (string * float * int * bool, Storage.t) Hashtbl.t =
+  Hashtbl.create 8
+
 let memo_lock = Mutex.create ()
 
-let memo_key path =
+let memo_key ~rw path =
   try
     let st = Unix.stat path in
     let abs =
       if Filename.is_relative path then Filename.concat (Sys.getcwd ()) path
       else path
     in
-    Some (abs, st.Unix.st_mtime, st.Unix.st_size)
+    Some (abs, st.Unix.st_mtime, st.Unix.st_size, rw)
   with Unix.Unix_error _ | Sys_error _ -> None
 
-let load_uncached path =
+let load_uncached ~rw ~cache_pages path =
   try
-    let contents = read_file path in
-    if has_magic contents then Ok (Persist.of_string contents)
-    else Ok (Storage.of_string contents)
+    if Database.looks_like_db path then
+      Ok
+        (Database.open_ ?cache_pages
+           ~mode:(if rw then Database.Rw else Database.Ro)
+           ~path ())
+    else
+      let contents = read_file path in
+      if has_magic contents then Ok (Persist.of_string contents)
+      else Ok (Storage.of_string contents)
   with
   | Blas_xml.Types.Parse_error (pos, msg) ->
     Error
       (Printf.sprintf "%s: %s at %s" path msg
          (Blas_xml.Types.position_to_string pos))
   | Persist.Format_error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Database.Corrupt msg -> Error (Printf.sprintf "%s: %s" path msg)
   | Sys_error msg -> Error msg
+  | Unix.Unix_error (err, fn, _) ->
+    Error (Printf.sprintf "%s: %s (%s)" path (Unix.error_message err) fn)
 
-(** [load path] — the storage for [path] (XML or saved index), memoized
-    while the file is unchanged on disk. *)
-let load path =
-  match memo_key path with
-  | None -> load_uncached path
+(** [load ?rw ?cache_pages path] — the storage for [path] (XML, saved
+    index, or database file), memoized while the file is unchanged on
+    disk.  [rw] (default false) opens database files read-write so
+    updates reach the file; [cache_pages] bounds their page cache. *)
+let load ?(rw = false) ?cache_pages path =
+  match memo_key ~rw path with
+  | None -> load_uncached ~rw ~cache_pages path
   | Some key -> (
     Mutex.lock memo_lock;
     let cached = Hashtbl.find_opt memo key in
@@ -70,7 +86,7 @@ let load path =
     match cached with
     | Some storage -> Ok storage
     | None -> (
-      match load_uncached path with
+      match load_uncached ~rw ~cache_pages path with
       | Error _ as e -> e
       | Ok storage ->
         Mutex.lock memo_lock;
@@ -78,30 +94,35 @@ let load path =
         Mutex.unlock memo_lock;
         Ok storage))
 
-(** Drops the process-level memo (tests; also frees the storages). *)
+(** Drops the process-level memo (tests; also frees the storages —
+    disk-backed ones are closed). *)
 let clear_memo () =
   Mutex.lock memo_lock;
+  Hashtbl.iter (fun _ storage -> try Storage.close storage with _ -> ()) memo;
   Hashtbl.reset memo;
   Mutex.unlock memo_lock
 
 let doc_name path = Filename.remove_extension (Filename.basename path)
 
-(** [load_dir dir] — every [*.xml] / [*.blas] file of [dir] as a named
-    document list, sorted by name; errors name the failing file. *)
-let load_dir dir =
+(** [load_dir ?rw ?cache_pages dir] — every [*.xml] / [*.blas] /
+    [*.blasdb] file of [dir] as a named document list, sorted by name;
+    errors name the failing file. *)
+let load_dir ?rw ?cache_pages dir =
   match Sys.readdir dir with
   | exception Sys_error msg -> Error msg
   | entries ->
     let files =
       Array.to_list entries
       |> List.filter (fun f ->
-             Filename.check_suffix f ".xml" || Filename.check_suffix f ".blas")
+             Filename.check_suffix f ".xml"
+             || Filename.check_suffix f ".blas"
+             || Filename.check_suffix f ".blasdb")
       |> List.sort compare
     in
     let rec go acc = function
       | [] -> Ok (List.rev acc)
       | f :: rest -> (
-        match load (Filename.concat dir f) with
+        match load ?rw ?cache_pages (Filename.concat dir f) with
         | Error msg -> Error msg
         | Ok storage -> go ((doc_name f, storage) :: acc) rest)
     in

@@ -1,15 +1,23 @@
 (** The one storage loader behind every entry point ([Blas.Loader]):
     CLI subcommands and the network server's document collection load
     through the same sniff-and-parse helper, memoized per process while
-    the file is unchanged on disk (path + mtime + size). *)
+    the file is unchanged on disk (path + mtime + size + open mode). *)
 
-(** [load path] — the storage for [path]: a saved index when the file
-    starts with the "BLAS1" magic, parsed XML otherwise.  Memoized. *)
-val load : string -> (Storage.t, string) result
+(** [load ?rw ?cache_pages path] — the storage for [path]: a database
+    file when it starts with the "BLASDB1" magic (opened read-only
+    unless [rw]; [cache_pages] bounds its page cache), a saved index
+    when it starts with "BLAS1", parsed XML otherwise.  Memoized. *)
+val load :
+  ?rw:bool -> ?cache_pages:int -> string -> (Storage.t, string) result
 
-(** [load_dir dir] — every [*.xml] / [*.blas] file of [dir] as a named
-    document list (basename without extension), sorted by name. *)
-val load_dir : string -> ((string * Storage.t) list, string) result
+(** [load_dir ?rw ?cache_pages dir] — every [*.xml] / [*.blas] /
+    [*.blasdb] file of [dir] as a named document list (basename without
+    extension), sorted by name. *)
+val load_dir :
+  ?rw:bool ->
+  ?cache_pages:int ->
+  string ->
+  ((string * Storage.t) list, string) result
 
-(** Drops the process-level memo. *)
+(** Drops the process-level memo, closing disk-backed storages. *)
 val clear_memo : unit -> unit

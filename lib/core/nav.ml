@@ -13,7 +13,7 @@ type t = {
 }
 
 let of_storage (storage : Storage.t) =
-  let doc = storage.Storage.doc in
+  let doc = Storage.doc storage in
   {
     doc;
     index =

@@ -76,7 +76,7 @@ let to_string (storage : Storage.t) =
   let tags = Blas_label.Tag_table.tags table in
   write_varint buf (List.length tags);
   List.iter (write_string buf) tags;
-  let nodes = storage.doc.Blas_xpath.Doc.all in
+  let nodes = (Storage.doc storage).Blas_xpath.Doc.all in
   write_varint buf (List.length nodes);
   List.iter
     (fun (n : Blas_xpath.Doc.node) ->

@@ -9,6 +9,14 @@ exception Format_error of string
 (** In-memory serialization. *)
 val to_string : Storage.t -> string
 
+(** [rebuild_doc rows] reconstructs the labeled document model from
+    [(tag, start, end, level, data)] rows in document (start) order —
+    the shared bulk path of {!of_string} and the lazy document
+    materialization of disk-backed storages.
+    @raise Format_error on rows that do not nest into one document. *)
+val rebuild_doc :
+  (string * int * int * int * string option) list -> Blas_xpath.Doc.t
+
 (** @raise Format_error on malformed or truncated input. *)
 val of_string : ?pool_capacity:int -> string -> Storage.t
 

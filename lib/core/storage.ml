@@ -10,19 +10,106 @@
       baseline relation.
 
     Both relations describe the same element nodes with the same D-labels,
-    so results are comparable across approaches. *)
+    so results are comparable across approaches.
 
-(* The first four fields are mutable so that the update subsystem
+    A storage is either memory-resident (built from a document) or
+    disk-backed (opened from a database file by {!Database}).  For a
+    disk-backed storage the labeled document model is {e lazy}: queries
+    run entirely from the paged tables and the resident catalog, and
+    the [Doc.t] is only materialized — by scanning SD — when something
+    genuinely needs the tree (naive-oracle verification, XML output,
+    navigation).  Use {!doc} to read it; never assume it is resident. *)
+
+(* The document slot: either a resident model or a thunk that rebuilds
+   it on demand (disk-backed storages scan SD).  Guarded by a global
+   mutex so concurrent query domains materialize it once. *)
+type doc_slot = {
+  mutable dv : Blas_xpath.Doc.t option;
+  mutable dbuild : (unit -> Blas_xpath.Doc.t) option;
+}
+
+(** Observability snapshot of a disk-backed storage (see
+    [Blas.Database]). *)
+type disk_stats = {
+  dstat_path : string;
+  dstat_file_bytes : int;
+  dstat_page_size : int;
+  dstat_page_count : int;  (** pages in the file (excluding superblock) *)
+  dstat_live_pages : int;  (** pages referenced by tables + catalog *)
+  dstat_live_bytes : int;  (** payload bytes across live pages *)
+  dstat_wal_bytes : int;
+  dstat_cache_pages : int;  (** buffer pool capacity *)
+  dstat_cache_resident : int;  (** resident pages carrying payloads *)
+}
+
+(** The disk half of a storage, as closures so {!Storage} need not know
+    the database module (which is layered above it). *)
+type disk = {
+  dk_path : string;
+  dk_readonly : bool;
+  dk_stats : unit -> disk_stats;
+  dk_with_tx :
+    (unit -> Blas_update.Update_engine.report) ->
+    Blas_update.Update_engine.report;
+      (** wrap one update in a WAL-protected transaction *)
+  dk_checkpoint : unit -> unit;
+  dk_close : unit -> unit;
+  dk_crash : unit -> unit;
+      (** drop descriptors without syncing — simulated kill for the
+          crash-recovery tests *)
+}
+
+(* The index components are mutable so that the update subsystem
    ({!Update}) can edit a storage in place; queries always read the
    current components. *)
 type t = {
-  mutable doc : Blas_xpath.Doc.t;
+  doc_slot : doc_slot;
+  mutable guide : Blas_xml.Dataguide.t;
+      (* resident copy of the dataguide: the planner must not force the
+         document of a disk-backed storage just to read path structure *)
   mutable table : Blas_label.Tag_table.t;
   mutable sp : Blas_rel.Table.t;
   mutable sd : Blas_rel.Table.t;
   pool : Blas_rel.Buffer_pool.t;
   cache : Qcache.t;
+  mutable disk : disk option;
 }
+
+let doc_lock = Mutex.create ()
+
+(** The labeled document model, materializing it on first use for
+    disk-backed storages (a full SD scan — avoid on the query path). *)
+let doc t =
+  match t.doc_slot.dv with
+  | Some d -> d
+  | None ->
+    Mutex.lock doc_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock doc_lock)
+      (fun () ->
+        match t.doc_slot.dv with
+        | Some d -> d
+        | None ->
+          let build =
+            match t.doc_slot.dbuild with
+            | Some b -> b
+            | None -> assert false (* a slot always has a value or a builder *)
+          in
+          let d = build () in
+          t.doc_slot.dv <- Some d;
+          d)
+
+let set_doc t d =
+  t.doc_slot.dv <- Some d;
+  t.guide <- d.Blas_xpath.Doc.guide
+
+(** Whether the document model is currently materialized. *)
+let doc_resident t = t.doc_slot.dv <> None
+
+(** Drop a lazily rebuilt document model (disk-backed storages only; a
+    memory-resident storage has no builder to fall back on). *)
+let drop_doc t =
+  if t.doc_slot.dbuild <> None then t.doc_slot.dv <- None
 
 let data_value = function None -> Blas_rel.Value.Null | Some d -> Blas_rel.Value.Str d
 
@@ -86,7 +173,31 @@ let of_doc ?(pool_capacity = default_pool_capacity) ?table
       ~indexes:[ "tag"; "start"; "data" ]
       sd_rows
   in
-  { doc; table; sp; sd; pool; cache = Qcache.create () }
+  {
+    doc_slot = { dv = Some doc; dbuild = None };
+    guide = doc.guide;
+    table;
+    sp;
+    sd;
+    pool;
+    cache = Qcache.create ();
+    disk = None;
+  }
+
+(** [assemble] wires a storage from already-built components — the
+    disk-open path ({!Database}): the document model stays lazy behind
+    [build_doc]. *)
+let assemble ~build_doc ~guide ~table ~sp ~sd ~pool =
+  {
+    doc_slot = { dv = None; dbuild = Some build_doc };
+    guide;
+    table;
+    sp;
+    sd;
+    pool;
+    cache = Qcache.create ();
+    disk = None;
+  }
 
 (** [of_tree tree] parses nothing; it labels the already-built tree. *)
 let of_tree ?pool_capacity tree = of_doc ?pool_capacity (Blas_xpath.Doc.of_tree tree)
@@ -100,13 +211,23 @@ let catalog t name =
 
 let node_count t = Blas_rel.Table.cardinality t.sp
 
-let guide t = t.doc.guide
+let guide t = t.guide
 
 (** [cold_cache t] flushes the buffer pool — the paper's experiments run
     each query on a cold cache (Section 5.1). *)
 let cold_cache t = Blas_rel.Buffer_pool.flush t.pool
 
 let pool t = t.pool
+
+(** The disk half of a disk-backed storage; [None] for memory-resident
+    ones. *)
+let disk t = t.disk
+
+let set_disk t d = t.disk <- Some d
+
+(** Close the underlying database file (disk-backed storages; no-op
+    otherwise).  The storage must not be used afterwards. *)
+let close t = match t.disk with None -> () | Some d -> d.dk_close ()
 
 (** The per-storage query cache (disabled by default; see {!Qcache}). *)
 let cache t = t.cache

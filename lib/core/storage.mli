@@ -6,19 +6,73 @@
     D-labeling baseline.  Both describe the same nodes with the same
     D-labels, so results are comparable across approaches.
 
+    A storage is either memory-resident or disk-backed (opened from a
+    database file by [Blas.Database]).  For disk-backed storages the
+    labeled document model is lazy — read it through {!doc}, never
+    assume it is materialized.
+
     The record is deliberately transparent: benches and ablations swap
     out tables to measure storage variants. *)
 
-(** The components are mutable so that {!Update} can edit a built index
-    in place; queries read the current fields on every run. *)
+type doc_slot
+
+(** Observability snapshot of a disk-backed storage. *)
+type disk_stats = {
+  dstat_path : string;
+  dstat_file_bytes : int;
+  dstat_page_size : int;
+  dstat_page_count : int;  (** pages in the file (excluding superblock) *)
+  dstat_live_pages : int;  (** pages referenced by tables + catalog *)
+  dstat_live_bytes : int;  (** payload bytes across live pages *)
+  dstat_wal_bytes : int;
+  dstat_cache_pages : int;  (** buffer pool capacity *)
+  dstat_cache_resident : int;  (** resident pages carrying payloads *)
+}
+
+(** The disk half of a storage, as closures so this module need not
+    know the database layer above it. *)
+type disk = {
+  dk_path : string;
+  dk_readonly : bool;
+  dk_stats : unit -> disk_stats;
+  dk_with_tx :
+    (unit -> Blas_update.Update_engine.report) ->
+    Blas_update.Update_engine.report;
+      (** wrap one update in a WAL-protected transaction *)
+  dk_checkpoint : unit -> unit;
+  dk_close : unit -> unit;
+  dk_crash : unit -> unit;
+      (** drop descriptors without syncing — simulated kill for the
+          crash-recovery tests *)
+}
+
+(** The index components are mutable so that {!Update} can edit a built
+    index in place; queries read the current fields on every run. *)
 type t = {
-  mutable doc : Blas_xpath.Doc.t;
+  doc_slot : doc_slot;  (** lazy document model — read via {!doc} *)
+  mutable guide : Blas_xml.Dataguide.t;
+      (** resident dataguide (planning must not force the document) *)
   mutable table : Blas_label.Tag_table.t;
   mutable sp : Blas_rel.Table.t;
   mutable sd : Blas_rel.Table.t;
   pool : Blas_rel.Buffer_pool.t;  (** page cache shared by SP and SD *)
   cache : Qcache.t;  (** the query cache (disabled by default) *)
+  mutable disk : disk option;  (** present on disk-backed storages *)
 }
+
+(** The labeled document model, materializing it on first use for
+    disk-backed storages (a full SD scan — avoid on the query path). *)
+val doc : t -> Blas_xpath.Doc.t
+
+(** Install an updated document model (and its dataguide). *)
+val set_doc : t -> Blas_xpath.Doc.t -> unit
+
+(** Whether the document model is currently materialized. *)
+val doc_resident : t -> bool
+
+(** Drop a lazily rebuilt document model to free memory (no-op on
+    memory-resident storages). *)
+val drop_doc : t -> unit
 
 (** [pool_capacity] is the buffer pool size in pages (default 1024
     pages of 64 tuples).  [table] overrides the tag inventory derived
@@ -33,10 +87,32 @@ val of_tree : ?pool_capacity:int -> Blas_xml.Types.tree -> t
 (** @raise Blas_xml.Types.Parse_error on malformed XML. *)
 val of_string : ?pool_capacity:int -> string -> t
 
-(** Flushes the buffer pool — the cold-cache protocol of Section 5.1. *)
+(** [assemble] wires a storage from already-built components — the
+    disk-open path: the document model stays lazy behind [build_doc]. *)
+val assemble :
+  build_doc:(unit -> Blas_xpath.Doc.t) ->
+  guide:Blas_xml.Dataguide.t ->
+  table:Blas_label.Tag_table.t ->
+  sp:Blas_rel.Table.t ->
+  sd:Blas_rel.Table.t ->
+  pool:Blas_rel.Buffer_pool.t ->
+  t
+
+(** Flushes the buffer pool — the cold-cache protocol of Section 5.1.
+    (Dirty pages are written back through the backing store first.) *)
 val cold_cache : t -> unit
 
 val pool : t -> Blas_rel.Buffer_pool.t
+
+(** The disk half of a disk-backed storage; [None] for memory-resident
+    ones. *)
+val disk : t -> disk option
+
+val set_disk : t -> disk -> unit
+
+(** Close the underlying database file (no-op on memory-resident
+    storages).  The storage must not be used afterwards. *)
+val close : t -> unit
 
 (** The per-storage query cache.  It starts disabled, so every run is
     bit-identical to the uncached pipeline until {!set_cache_enabled}

@@ -38,7 +38,7 @@ let pp_report = Engine.pp_report
 
 let target_of (storage : Storage.t) : Engine.target =
   {
-    doc = storage.doc;
+    doc = Storage.doc storage;
     table = storage.table;
     sp = storage.sp;
     sd = storage.sd;
@@ -46,22 +46,30 @@ let target_of (storage : Storage.t) : Engine.target =
   }
 
 let apply storage op =
-  let target = target_of storage in
-  let report = op target in
-  storage.Storage.doc <- target.Engine.doc;
-  storage.Storage.table <- target.Engine.table;
-  storage.Storage.sp <- target.Engine.sp;
-  storage.Storage.sd <- target.Engine.sd;
-  (* Fine-grained cache invalidation: drop exactly what the edit can
-     have made stale (entries whose P-interval contains a touched
-     P-label or whose D-range overlaps the edited window), keeping the
-     rest warm.  Runs even with the cache switched off — entries stored
-     while it was on must not survive an edit made while it is off. *)
-  let inv = report.invalidation in
-  Qcache.invalidate (Storage.cache storage) ~full:inv.inv_full
-    ~schema_changed:inv.inv_schema_changed ~plabels:inv.inv_plabels
-    ~drange:inv.inv_drange;
-  report
+  let run () =
+    let target = target_of storage in
+    let report = op target in
+    Storage.set_doc storage target.Engine.doc;
+    storage.Storage.table <- target.Engine.table;
+    storage.Storage.sp <- target.Engine.sp;
+    storage.Storage.sd <- target.Engine.sd;
+    (* Fine-grained cache invalidation: drop exactly what the edit can
+       have made stale (entries whose P-interval contains a touched
+       P-label or whose D-range overlaps the edited window), keeping the
+       rest warm.  Runs even with the cache switched off — entries stored
+       while it was on must not survive an edit made while it is off. *)
+    let inv = report.invalidation in
+    Qcache.invalidate (Storage.cache storage) ~full:inv.inv_full
+      ~schema_changed:inv.inv_schema_changed ~plabels:inv.inv_plabels
+      ~drange:inv.inv_drange;
+    report
+  in
+  (* Disk-backed storages wrap the whole edit — table writes, catalog,
+     superblock — in one WAL transaction: fsync on commit, recovery to
+     the committed state if the process dies mid-edit. *)
+  match Storage.disk storage with
+  | None -> run ()
+  | Some d -> d.Storage.dk_with_tx run
 
 (** [insert_subtree storage ~parent ~pos tree] inserts [tree] as the
     [pos]-th element child of the node starting at position [parent].
@@ -85,4 +93,4 @@ let replace_text storage ~start data =
 (** [gap_budget storage] — [(free, span)]: unlabeled positions inside
     the root's interval vs. the interval size — the insert headroom
     before any renumbering. *)
-let gap_budget (storage : Storage.t) = Engine.gap_budget storage.doc
+let gap_budget (storage : Storage.t) = Engine.gap_budget (Storage.doc storage)

@@ -1,0 +1,31 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected) over byte strings.
+
+    Every page and WAL record carries a CRC so that recovery can tell a
+    torn or bit-rotted write from a valid one.  The implementation is
+    the classic one-byte-at-a-time table walk: fast enough for page
+    traffic here and dependency-free. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 1 to 8 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(** [update crc s] folds the bytes of [s] into a running CRC (start
+    from {!empty}). *)
+let update crc s =
+  let table = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch ->
+      crc := table.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xFFFFFFFF
+
+let empty = 0
+
+(** CRC-32 of a whole string. *)
+let digest s = update empty s

@@ -1,0 +1,3 @@
+let src = Logs.Src.create "blas_disk" ~doc:"BLAS on-disk storage engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)

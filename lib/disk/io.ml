@@ -1,0 +1,75 @@
+(** Syscall shim with fault injection.
+
+    All durable writes performed by the disk subsystem go through this
+    module so that tests can simulate a process being killed mid-write:
+    arm a byte budget with {!set_fault} and once the budget is spent the
+    shim writes only the remaining prefix and raises {!Crash}.  A torn
+    page or WAL record on disk is exactly what a real kill at that byte
+    offset would leave behind.
+
+    Reads are never faulted — recovery code must be able to inspect
+    whatever the "crash" left on disk. *)
+
+exception Crash
+
+(* Remaining writable bytes before the simulated kill; [max_int] means
+   fault injection is off. *)
+let budget = Atomic.make max_int
+
+let set_fault = function
+  | None -> Atomic.set budget max_int
+  | Some n ->
+      if n < 0 then invalid_arg "Io.set_fault: negative budget";
+      Atomic.set budget n
+
+let fault_armed () = Atomic.get budget <> max_int
+
+(* Consume up to [want] bytes of budget; returns how many may actually
+   be written.  Not linearizable against concurrent writers, but fault
+   injection is only ever used single-threaded in tests. *)
+let take want =
+  let b = Atomic.get budget in
+  if b = max_int then want
+  else begin
+    let allowed = min b want in
+    Atomic.set budget (b - allowed);
+    allowed
+  end
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n = Unix.write fd buf pos len in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+(** [pwrite fd ~off s] writes all of [s] at absolute offset [off],
+    honoring the fault budget.  The caller must serialize access to
+    [fd] (we use [lseek]). *)
+let pwrite fd ~off s =
+  let len = String.length s in
+  let allowed = take len in
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int off) Unix.SEEK_SET);
+  write_all fd (Bytes.unsafe_of_string s) 0 allowed;
+  if allowed < len then raise Crash
+
+(** [pread fd ~off len] reads up to [len] bytes at offset [off];
+    returns fewer on EOF.  Caller serializes access to [fd]. *)
+let pread fd ~off len =
+  ignore (Unix.LargeFile.lseek fd (Int64.of_int off) Unix.SEEK_SET);
+  let buf = Bytes.create len in
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let n = Unix.read fd buf !got (len - !got) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  Bytes.sub_string buf 0 !got
+
+(** Durability barrier; counts as a zero-byte write for fault purposes:
+    if the budget is exhausted the sync does not happen and {!Crash} is
+    raised, modelling a kill just before the fsync completed. *)
+let fsync fd =
+  if fault_armed () && take 1 < 1 then raise Crash;
+  Unix.fsync fd
+
+let ftruncate fd len = Unix.ftruncate fd len

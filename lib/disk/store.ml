@@ -1,0 +1,310 @@
+(** Transactional page store: pager + WAL + recovery.
+
+    This is the layer the database above actually talks to.  It follows
+    a no-steal / force-to-log discipline:
+
+    - During a transaction every page write lands in an in-memory
+      transaction buffer; the main file is untouched.
+    - {!commit} first appends all buffered page images, the new root
+      and a commit marker to the WAL and fsyncs it; only then are the
+      pages and superblock applied to the main file (unsynced — the WAL
+      protects them until the next checkpoint).
+    - {!checkpoint} fsyncs the main file and truncates the WAL; it runs
+      automatically when the WAL grows past a threshold and at close.
+
+    Opening read-write replays any committed WAL tail into the main
+    file (crash recovery), discarding torn records.  Opening read-only
+    replays the WAL into an in-memory overlay instead, so a reader sees
+    committed state without writing anything.
+
+    Reads go transaction buffer → read-only overlay → pager, so a
+    transaction always sees its own writes. *)
+
+type mode = Pager.mode = Ro | Rw
+
+type tx = {
+  writes : (int, string) Hashtbl.t;
+  mutable order : int list;  (** distinct page ids, most recent first *)
+  mutable tx_root : string option;
+  mutable tx_count : int;  (** page count including in-tx allocations *)
+}
+
+type t = {
+  pager : Pager.t;
+  wal : Wal.t option;  (** [None] in read-only mode *)
+  overlay : (int, string) Hashtbl.t;  (** committed-but-unapplied (Ro) *)
+  mutable overlay_root : string option;
+  mutable overlay_count : int option;
+  mutable tx : tx option;
+  mutable bulk : bool;  (** initial load: direct writes, no WAL *)
+  checkpoint_bytes : int;
+  mutable closed : bool;
+}
+
+let default_checkpoint_bytes = 4 * 1024 * 1024
+
+let recover_rw pager wal =
+  let applied =
+    Wal.replay wal ~apply:(fun ~pages ~root ~count ->
+        List.iter (fun (id, payload) -> Pager.write_page pager id payload) pages;
+        (match root with None -> () | Some r -> Pager.set_root pager r);
+        Pager.set_count pager count;
+        Pager.flush_superblock pager)
+  in
+  if applied > 0 then begin
+    Disk_log.Log.info (fun m ->
+        m "%s: recovered %d committed transaction(s) from WAL" (Pager.path pager)
+          applied);
+    Pager.sync pager
+  end;
+  Wal.reset wal;
+  applied
+
+let open_path ?(checkpoint_bytes = default_checkpoint_bytes) ~path ~mode () =
+  let pager =
+    try Pager.open_path ~path ~mode
+    with Pager.Corrupt _ as e -> (
+      (* A crash while commit rewrote the superblock can tear it.  The
+         fsync'd WAL holds everything needed to rebuild: the page size
+         (log header) plus the last committed root and count.  Only a
+         writer may repair the file. *)
+      match
+        if mode = Rw then Wal.recovery_page_size ~db_path:path else None
+      with
+      | Some page_size ->
+          Disk_log.Log.warn (fun m ->
+              m "%s: superblock unreadable; rebuilding from WAL" path);
+          Pager.open_for_recovery ~path ~page_size
+      | None -> raise e)
+  in
+  match mode with
+  | Rw ->
+      let wal = Wal.open_rw ~db_path:path ~page_size:(Pager.page_size pager) in
+      ignore (recover_rw pager wal);
+      {
+        pager;
+        wal = Some wal;
+        overlay = Hashtbl.create 16;
+        overlay_root = None;
+        overlay_count = None;
+        tx = None;
+        bulk = false;
+        checkpoint_bytes;
+        closed = false;
+      }
+  | Ro ->
+      let overlay = Hashtbl.create 16 in
+      let overlay_root = ref None in
+      let overlay_count = ref None in
+      (match Wal.open_ro_opt ~db_path:path with
+      | None -> ()
+      | Some wal ->
+          let n =
+            Wal.replay wal ~apply:(fun ~pages ~root ~count ->
+                List.iter
+                  (fun (id, payload) -> Hashtbl.replace overlay id payload)
+                  pages;
+                (match root with None -> () | Some r -> overlay_root := Some r);
+                overlay_count := Some count)
+          in
+          if n > 0 then
+            Disk_log.Log.info (fun m ->
+                m "%s: read-only open overlaying %d WAL transaction(s)" path n);
+          Wal.close wal);
+      {
+        pager;
+        wal = None;
+        overlay;
+        overlay_root = !overlay_root;
+        overlay_count = !overlay_count;
+        tx = None;
+        bulk = false;
+        checkpoint_bytes;
+        closed = false;
+      }
+
+let create ?(checkpoint_bytes = default_checkpoint_bytes) ~path ~page_size () =
+  (* A leftover WAL from a previous incarnation must not replay into
+     the fresh file. *)
+  Wal.remove_for ~db_path:path;
+  let pager = Pager.create ~path ~page_size in
+  let wal = Wal.open_rw ~db_path:path ~page_size in
+  Wal.reset wal;
+  {
+    pager;
+    wal = Some wal;
+    overlay = Hashtbl.create 16;
+    overlay_root = None;
+    overlay_count = None;
+    tx = None;
+    bulk = false;
+    checkpoint_bytes;
+    closed = false;
+  }
+
+let mode t = Pager.mode t.pager
+let path t = Pager.path t.pager
+let page_size t = Pager.page_size t.pager
+let capacity t = Pager.capacity t.pager
+let file_size t = Pager.file_size t.pager
+let wal_size t = match t.wal with None -> 0 | Some w -> Wal.size w
+let in_tx t = t.tx <> None
+
+let page_count t =
+  match t.tx with
+  | Some tx -> tx.tx_count
+  | None -> (
+      match t.overlay_count with
+      | Some n -> n
+      | None -> Pager.count t.pager)
+
+let root t =
+  match t.tx with
+  | Some { tx_root = Some r; _ } -> r
+  | _ -> (
+      match t.overlay_root with Some r -> r | None -> Pager.root t.pager)
+
+let read_page t id =
+  let from_tx =
+    match t.tx with Some tx -> Hashtbl.find_opt tx.writes id | None -> None
+  in
+  match from_tx with
+  | Some payload -> payload
+  | None -> (
+      match Hashtbl.find_opt t.overlay id with
+      | Some payload -> payload
+      | None -> Pager.read_page t.pager id)
+
+let begin_tx t =
+  if mode t <> Rw then invalid_arg "Store.begin_tx: read-only store";
+  if t.bulk then invalid_arg "Store.begin_tx: bulk load in progress";
+  if t.tx <> None then invalid_arg "Store.begin_tx: transaction already open";
+  t.tx <-
+    Some
+      {
+        writes = Hashtbl.create 64;
+        order = [];
+        tx_root = None;
+        tx_count = Pager.count t.pager;
+      }
+
+let require_tx t what =
+  match t.tx with
+  | Some tx -> tx
+  | None -> invalid_arg (Printf.sprintf "Store.%s: no open transaction" what)
+
+(** Allocate a fresh page id past the end of the file.  The caller must
+    write the page before commit (the store never leaves allocated
+    holes because every allocation is immediately paired with a
+    write by the layers above). *)
+let alloc_page t =
+  if t.bulk then begin
+    let id = Pager.count t.pager + 1 in
+    Pager.set_count t.pager id;
+    id
+  end
+  else begin
+    let tx = require_tx t "alloc_page" in
+    tx.tx_count <- tx.tx_count + 1;
+    tx.tx_count
+  end
+
+let write_page t id payload =
+  if String.length payload > capacity t then
+    invalid_arg "Store.write_page: payload exceeds page capacity";
+  if t.bulk then Pager.write_page t.pager id payload
+  else begin
+    let tx = require_tx t "write_page" in
+    if id < 1 || id > tx.tx_count then
+      invalid_arg "Store.write_page: page id out of bounds";
+    if not (Hashtbl.mem tx.writes id) then tx.order <- id :: tx.order;
+    Hashtbl.replace tx.writes id payload
+  end
+
+let set_root t root =
+  if t.bulk then Pager.set_root t.pager root
+  else begin
+    let tx = require_tx t "set_root" in
+    tx.tx_root <- Some root
+  end
+
+let checkpoint t =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+      if t.tx <> None then invalid_arg "Store.checkpoint: transaction open";
+      Pager.sync t.pager;
+      Wal.reset wal
+
+let commit t =
+  let tx = require_tx t "commit" in
+  let wal =
+    match t.wal with Some w -> w | None -> assert false (* Rw implies wal *)
+  in
+  let pages =
+    List.rev_map (fun id -> (id, Hashtbl.find tx.writes id)) tx.order
+  in
+  (* 1. Force to log.  The root is always included — even unchanged —
+     so that a torn superblock can be rebuilt from the WAL alone. *)
+  let root =
+    match tx.tx_root with Some r -> Some r | None -> Some (Pager.root t.pager)
+  in
+  Wal.append_tx wal ~pages ~root ~count:tx.tx_count;
+  (* 2. Apply to the main file; the fsync'd WAL redoes this on crash. *)
+  List.iter (fun (id, payload) -> Pager.write_page t.pager id payload) pages;
+  (match tx.tx_root with None -> () | Some r -> Pager.set_root t.pager r);
+  Pager.set_count t.pager tx.tx_count;
+  Pager.flush_superblock t.pager;
+  t.tx <- None;
+  (* 3. Bound the WAL. *)
+  if Wal.size wal > t.checkpoint_bytes then checkpoint t
+
+let abort t =
+  match t.tx with
+  | None -> ()
+  | Some _ -> t.tx <- None
+
+(** [bulk_load t f] runs [f] with page writes going straight to the
+    file, bypassing the WAL — valid only on a fresh (empty) store,
+    where a crash mid-load just leaves a file the caller re-creates.
+    Ends with superblock flush + fsync so the result is durable. *)
+let bulk_load t f =
+  if mode t <> Rw then invalid_arg "Store.bulk_load: read-only store";
+  if Pager.count t.pager <> 0 then
+    invalid_arg "Store.bulk_load: store is not empty";
+  if t.tx <> None then invalid_arg "Store.bulk_load: transaction open";
+  t.bulk <- true;
+  Fun.protect
+    ~finally:(fun () -> t.bulk <- false)
+    (fun () ->
+      let v = f () in
+      Pager.flush_superblock t.pager;
+      Pager.sync t.pager;
+      v)
+
+(** Simulate a process kill (fault-injection tests): drop the
+    descriptors without syncing, truncating or writing anything, so
+    the next [open_path] sees exactly the bytes that reached the
+    files. *)
+let crash t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.tx <- None;
+    (match t.wal with Some wal -> Wal.close wal | None -> ());
+    Pager.close t.pager
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (match t.wal with
+    | Some wal ->
+        if t.tx <> None then abort t;
+        (* Make the main file self-contained so a later read-only open
+           needs no WAL overlay. *)
+        Pager.sync t.pager;
+        Wal.reset wal;
+        Wal.close wal
+    | None -> ());
+    Pager.close t.pager
+  end

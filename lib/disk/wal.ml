@@ -1,0 +1,243 @@
+(** Redo-only write-ahead log.
+
+    The file starts with a fixed 16-byte header
+
+    {v "BLASWAL1" [u32 page_size] [u32 crc of page_size] v}
+
+    written when the log is created and preserved across {!reset}.  The
+    page size duplicates the superblock's so that a crash which tears
+    the superblock itself can still be recovered: the WAL header plus
+    the last committed root/count rebuild it (see
+    {!recovery_page_size}).
+
+    A transaction is appended as a run of records followed by a commit
+    marker, then fsync'd; only after the fsync returns does {!Store}
+    touch the main file.  Each record is framed as
+
+    {v [u32 crc][u32 len][u8 kind][payload, len bytes] v}
+
+    with the CRC covering kind plus payload.  Record kinds:
+
+    - [1] page image: [varint page_id][page payload]
+    - [2] root blob: the new superblock root
+    - [3] commit: [u32 new page count] — makes the preceding records
+      of this transaction durable as a unit
+
+    Replay scans from past the header, buffering records until a
+    commit marker, and applies only complete transactions; a torn or
+    checksum-failing record ends the scan, which is exactly the
+    discard-the-torn-tail semantics recovery needs.  Uncommitted
+    records before the tear are never applied because their commit
+    marker is missing or follows the tear. *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  writable : bool;
+  mutable pos : int;  (** append offset = bytes of valid log *)
+  mutable closed : bool;
+}
+
+type record =
+  | Page of int * string
+  | Root of string
+  | Commit of int  (** new page count *)
+
+let kind_byte = function Page _ -> 1 | Root _ -> 2 | Commit _ -> 3
+
+let encode_payload = function
+  | Page (id, payload) ->
+      let buf = Buffer.create (String.length payload + 4) in
+      Wire.write_varint buf id;
+      Buffer.add_string buf payload;
+      Buffer.contents buf
+  | Root root -> root
+  | Commit count -> Wire.u32_to_string count
+
+let add_record buf record =
+  let payload = encode_payload record in
+  let kind = kind_byte record in
+  let crc =
+    Checksum.update (Checksum.digest (String.make 1 (Char.chr kind))) payload
+  in
+  Wire.write_u32 buf crc;
+  Wire.write_u32 buf (String.length payload);
+  Wire.write_u8 buf kind;
+  Buffer.add_string buf payload
+
+let wal_path db_path = db_path ^ ".wal"
+let header_magic = "BLASWAL1"
+let header_len = String.length header_magic + 8
+
+let encode_header ~page_size =
+  let ps = Wire.u32_to_string page_size in
+  let buf = Buffer.create header_len in
+  Buffer.add_string buf header_magic;
+  Buffer.add_string buf ps;
+  Wire.write_u32 buf (Checksum.digest ps);
+  Buffer.contents buf
+
+(** Validates the log header and returns the recorded page size; [None]
+    for a missing, short or torn header (possible only if the process
+    died while creating the log, i.e. before any transaction could
+    commit). *)
+let header_page_size src =
+  if String.length src < header_len then None
+  else
+    let m = String.length header_magic in
+    if String.sub src 0 m <> header_magic then None
+    else
+      let r = Wire.reader (String.sub src m 8) in
+      let page_size = Wire.read_u32 r in
+      let crc = Wire.read_u32 r in
+      if crc = Checksum.digest (Wire.u32_to_string page_size) then
+        Some page_size
+      else None
+
+(** Opens the WAL next to a database file for read-only recovery;
+    [None] when no WAL file exists (nothing to replay). *)
+let open_ro_opt ~db_path =
+  let path = wal_path db_path in
+  if Sys.file_exists path then
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    let pos = (Unix.fstat fd).st_size in
+    Some { path; fd; writable = false; pos; closed = false }
+  else None
+
+let open_rw ~db_path ~page_size =
+  let path = wal_path db_path in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).st_size in
+  let header =
+    if size < header_len then None
+    else header_page_size (Io.pread fd ~off:0 header_len)
+  in
+  let pos =
+    match header with
+    | Some ps when ps = page_size -> size
+    | _ ->
+        (* Missing or torn header, or a stale log from a different
+           incarnation of the file: such a log cannot hold commits for
+           this database, so start it fresh. *)
+        Io.ftruncate fd 0;
+        Io.pwrite fd ~off:0 (encode_header ~page_size);
+        Io.fsync fd;
+        header_len
+  in
+  { path; fd; writable = true; pos; closed = false }
+
+(** Bytes of committed log payload past the header. *)
+let size t = max 0 (t.pos - header_len)
+
+(** Appends a whole transaction (page images, optional root, commit
+    marker carrying the new page count) as one write, then fsyncs. *)
+let append_tx t ~pages ~root ~count =
+  if not t.writable then invalid_arg "Wal.append_tx: read-only";
+  let buf = Buffer.create 4096 in
+  List.iter (fun (id, payload) -> add_record buf (Page (id, payload))) pages;
+  (match root with None -> () | Some r -> add_record buf (Root r));
+  add_record buf (Commit count);
+  let s = Buffer.contents buf in
+  Io.pwrite t.fd ~off:t.pos s;
+  Io.fsync t.fd;
+  t.pos <- t.pos + String.length s
+
+(** [replay t ~apply] scans the log and calls [apply] once per fully
+    committed transaction, in order.  Returns the number of committed
+    transactions.  Also rewinds [pos] to the end of the last committed
+    transaction so that a writable log discards the torn tail on the
+    next append/reset. *)
+let rec replay t ~apply =
+  let len = (Unix.fstat t.fd).st_size in
+  let src = Io.pread t.fd ~off:0 len in
+  match header_page_size src with
+  | None ->
+      (* A log without a valid header never held a commit. *)
+      if len > 0 then
+        Disk_log.Log.info (fun m -> m "%s: ignoring headerless WAL" t.path);
+      0
+  | Some _ -> replay_body t src ~apply
+
+and replay_body t src ~apply =
+  let r = Wire.reader src in
+  r.Wire.pos <- header_len;
+  let committed = ref 0 in
+  let last_good = ref header_len in
+  let pending = ref [] in
+  let pending_root = ref None in
+  (try
+     while not (Wire.eof r) do
+       let crc = Wire.read_u32 r in
+       let plen = Wire.read_u32 r in
+       let kind = Wire.read_u8 r in
+       let payload = Wire.read_bytes r plen in
+       let expect =
+         Checksum.update
+           (Checksum.digest (String.make 1 (Char.chr kind)))
+           payload
+       in
+       if crc <> expect then raise Exit;
+       (match kind with
+       | 1 ->
+           let pr = Wire.reader payload in
+           let id = Wire.read_varint pr in
+           let page = Wire.read_bytes pr (Wire.remaining pr) in
+           pending := (id, page) :: !pending
+       | 2 -> pending_root := Some payload
+       | 3 ->
+           let cr = Wire.reader payload in
+           let count = Wire.read_u32 cr in
+           apply ~pages:(List.rev !pending) ~root:!pending_root ~count;
+           pending := [];
+           pending_root := None;
+           incr committed;
+           last_good := r.Wire.pos
+       | _ -> raise Exit)
+     done
+   with Wire.Truncated | Exit ->
+     Disk_log.Log.info (fun m ->
+         m "%s: discarding torn WAL tail after byte %d" t.path !last_good));
+  t.pos <- !last_good;
+  !committed
+
+(** Truncate the log to empty — just the header — after a checkpoint
+    has made the main file durable. *)
+let reset t =
+  if not t.writable then invalid_arg "Wal.reset: read-only";
+  Io.ftruncate t.fd header_len;
+  Io.fsync t.fd;
+  t.pos <- header_len
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.fd
+  end
+
+(** [recovery_page_size ~db_path] returns the page size recorded in the
+    WAL header when the log can rebuild a torn superblock: its header is
+    valid and at least one committed transaction carries a root record
+    (commit always logs the root, so any committed tail qualifies).
+    [None] means the superblock cannot be reconstructed from the log. *)
+let recovery_page_size ~db_path =
+  match open_ro_opt ~db_path with
+  | None -> None
+  | Some wal ->
+      Fun.protect
+        ~finally:(fun () -> close wal)
+        (fun () ->
+          let src = Io.pread wal.fd ~off:0 (Unix.fstat wal.fd).st_size in
+          match header_page_size src with
+          | None -> None
+          | Some page_size ->
+              let have_root = ref false in
+              ignore
+                (replay_body wal src ~apply:(fun ~pages:_ ~root ~count:_ ->
+                     if root <> None then have_root := true));
+              if !have_root then Some page_size else None)
+
+(** Remove a stale WAL file (used when re-creating a database from
+    scratch so a leftover log cannot replay into the new file). *)
+let remove_for ~db_path =
+  let path = wal_path db_path in
+  if Sys.file_exists path then Sys.remove path

@@ -8,6 +8,18 @@
     counts as one disk access.  {!flush} empties the pool, modelling the
     paper's cold-cache protocol.
 
+    The pool runs in one of two regimes, per entry:
+
+    - {b Accounting} (heap-backed tables): {!access}/{!write} track hit
+      ratios only; the "pages" carry no bytes and a miss costs nothing
+      but a counter bump.
+    - {b Caching} (disk-backed tables): the pool is wired to a backing
+      store with {!set_backing}; {!get} returns the page payload,
+      reading from the backing file on a miss, and {!store} installs a
+      dirty payload.  Eviction is real: when a stripe is full the least
+      recently used page is dropped, and if it is dirty its payload is
+      first written back through the backing store.
+
     Domain safety: the pool is lock-striped.  Each stripe owns a
     disjoint hash partition of the page keys with its own LRU list,
     statistics and mutex, so concurrent query domains contend only when
@@ -22,8 +34,15 @@ type key = string * int  (** table name, page number *)
 
 type node = {
   key : key;
+  mutable data : string option;  (** page payload; [None] = accounting *)
+  mutable dirty : bool;
   mutable prev : node option;
   mutable next : node option;
+}
+
+type backing = {
+  back_read : table:string -> page:int -> string;
+  back_write : table:string -> page:int -> string -> unit;
 }
 
 type stripe = {
@@ -37,7 +56,7 @@ type stripe = {
   mutable writes : int;
 }
 
-type t = { stripes : stripe array }
+type t = { stripes : stripe array; mutable backing : backing option }
 
 let make_stripe capacity =
   {
@@ -63,10 +82,18 @@ let create_striped ~stripes ~capacity =
     stripes =
       Array.init stripes (fun i ->
           make_stripe (base + if i < extra then 1 else 0));
+    backing = None;
   }
 
 (** [create ~capacity] — a single-stripe pool: one global LRU. *)
 let create ~capacity = create_striped ~stripes:1 ~capacity
+
+(** Wire the pool to a backing store; required before {!get}/{!store}.
+    Misses read through [back_read]; dirty evictions write back through
+    [back_write]. *)
+let set_backing t backing = t.backing <- Some backing
+
+let has_backing t = t.backing <> None
 
 let stripe_count t = Array.length t.stripes
 
@@ -108,14 +135,30 @@ let push_front s node =
   (match s.head with Some h -> h.prev <- Some node | None -> s.tail <- Some node);
   s.head <- Some node
 
-let evict_lru s =
+(* Write a dirty node's payload back through the backing store.  Called
+   with the stripe lock held; the backing store must not re-enter the
+   pool (it never does — it writes into the transaction buffer). *)
+let write_back t node =
+  match (node.dirty, node.data, t.backing) with
+  | false, _, _ -> ()
+  | true, Some data, Some b ->
+    let table, page = node.key in
+    b.back_write ~table ~page data;
+    node.dirty <- false
+  | true, _, _ ->
+    (* A dirty node always carries data and a backing (only [store]
+       sets dirty, and [store] requires a backing). *)
+    assert false
+
+let evict_lru t s =
   match s.tail with
   | None -> ()
   | Some node ->
+    write_back t node;
     unlink s node;
     Hashtbl.remove s.table node.key
 
-let access_stripe s key =
+let access_stripe t s key =
   s.requests <- s.requests + 1;
   match Hashtbl.find_opt s.table key with
   | Some node ->
@@ -124,8 +167,8 @@ let access_stripe s key =
     `Hit
   | None ->
     s.misses <- s.misses + 1;
-    if Hashtbl.length s.table >= s.s_capacity then evict_lru s;
-    let node = { key; prev = None; next = None } in
+    if Hashtbl.length s.table >= s.s_capacity then evict_lru t s;
+    let node = { key; data = None; dirty = false; prev = None; next = None } in
     Hashtbl.replace s.table key node;
     push_front s node;
     `Miss
@@ -136,18 +179,137 @@ let access_stripe s key =
 let access t ~table ~page =
   let key = (table, page) in
   let stripe = stripe_of t key in
-  locked stripe (fun s -> access_stripe s key)
+  locked stripe (fun s -> access_stripe t s key)
+
+(** [get t ~table ~page] returns the page payload, reading it through
+    the backing store on a miss (and evicting — with write-back for
+    dirty pages — when the stripe is full).  Requires {!set_backing}. *)
+let get t ~table ~page =
+  let b =
+    match t.backing with
+    | Some b -> b
+    | None -> invalid_arg "Buffer_pool.get: no backing store wired"
+  in
+  let key = (table, page) in
+  let stripe = stripe_of t key in
+  locked stripe (fun s ->
+      s.requests <- s.requests + 1;
+      match Hashtbl.find_opt s.table key with
+      | Some ({ data = Some data; _ } as node) ->
+        unlink s node;
+        push_front s node;
+        (data, `Hit)
+      | Some node ->
+        (* Resident as an accounting entry only: the bytes still have
+           to come from disk. *)
+        s.misses <- s.misses + 1;
+        let data = b.back_read ~table ~page in
+        node.data <- Some data;
+        unlink s node;
+        push_front s node;
+        (data, `Miss)
+      | None ->
+        s.misses <- s.misses + 1;
+        if Hashtbl.length s.table >= s.s_capacity then evict_lru t s;
+        let data = b.back_read ~table ~page in
+        let node =
+          { key; data = Some data; dirty = false; prev = None; next = None }
+        in
+        Hashtbl.replace s.table key node;
+        push_front s node;
+        (data, `Miss))
+
+(** [store t ~table ~page data] installs a freshly written page payload
+    as dirty (counted as one page written).  The payload reaches the
+    backing store when the page is evicted or on {!flush_dirty} —
+    no-steal within a transaction is the caller's concern (the backing
+    store buffers writes until commit). *)
+let store t ~table ~page data =
+  if t.backing = None then
+    invalid_arg "Buffer_pool.store: no backing store wired";
+  let key = (table, page) in
+  let stripe = stripe_of t key in
+  locked stripe (fun s ->
+      s.requests <- s.requests + 1;
+      s.writes <- s.writes + 1;
+      match Hashtbl.find_opt s.table key with
+      | Some node ->
+        node.data <- Some data;
+        node.dirty <- true;
+        unlink s node;
+        push_front s node
+      | None ->
+        if Hashtbl.length s.table >= s.s_capacity then evict_lru t s;
+        let node =
+          { key; data = Some data; dirty = true; prev = None; next = None }
+        in
+        Hashtbl.replace s.table key node;
+        push_front s node)
+
+(** [invalidate t ~table ~page] drops a page without write-back (the
+    caller has freed or rewritten it behind the pool's back). *)
+let invalidate t ~table ~page =
+  let key = (table, page) in
+  let stripe = stripe_of t key in
+  locked stripe (fun s ->
+      match Hashtbl.find_opt s.table key with
+      | None -> ()
+      | Some node ->
+        unlink s node;
+        Hashtbl.remove s.table key)
 
 (** [flush t] empties the pool — the cold-cache protocol of Section
-    5.1.  Statistics are kept. *)
+    5.1.  Statistics are kept.  Dirty pages are written back through
+    the backing store first, so no committed-but-cached data is lost. *)
 let flush t =
   Array.iter
     (fun stripe ->
       locked stripe (fun s ->
+          Hashtbl.iter (fun _ node -> write_back t node) s.table;
           Hashtbl.reset s.table;
           s.head <- None;
           s.tail <- None))
     t.stripes
+
+(** Write back every dirty page (keeping it resident and clean).  The
+    transaction commit path calls this so the backing store's buffer
+    holds the complete write set. *)
+let flush_dirty t =
+  Array.iter
+    (fun stripe ->
+      locked stripe (fun s ->
+          Hashtbl.iter (fun _ node -> write_back t node) s.table))
+    t.stripes
+
+(** Drop every dirty page without writing it back (transaction abort). *)
+let drop_dirty t =
+  Array.iter
+    (fun stripe ->
+      locked stripe (fun s ->
+          let doomed =
+            Hashtbl.fold
+              (fun _ node acc -> if node.dirty then node :: acc else acc)
+              s.table []
+          in
+          List.iter
+            (fun node ->
+              unlink s node;
+              Hashtbl.remove s.table node.key)
+            doomed))
+    t.stripes
+
+let dirty_count t =
+  sum_over t (fun s ->
+      Hashtbl.fold (fun _ node acc -> if node.dirty then acc + 1 else acc)
+        s.table 0)
+
+(** Resident pages that carry actual payload bytes (cache residency for
+    disk-backed storage; accounting entries excluded). *)
+let resident_data t =
+  sum_over t (fun s ->
+      Hashtbl.fold
+        (fun _ node acc -> if node.data <> None then acc + 1 else acc)
+        s.table 0)
 
 (** [write t ~table ~page] requests one page for writing: the page is
     brought in like a read (a miss is a disk access) and the write is
@@ -158,7 +320,7 @@ let write t ~table ~page =
   let stripe = stripe_of t key in
   locked stripe (fun s ->
       s.writes <- s.writes + 1;
-      access_stripe s key)
+      access_stripe t s key)
 
 let requests t = sum_over t (fun s -> s.requests)
 

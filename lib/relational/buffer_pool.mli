@@ -4,12 +4,24 @@
     evaluation appeals to.  {!flush} models the cold-cache protocol of
     Section 5.1.
 
+    The pool runs in one of two regimes, per entry: {e accounting}
+    (heap tables — {!access}/{!write} track hit ratios, no bytes move)
+    and {e caching} (disk-backed tables — wire a backing store with
+    {!set_backing}; {!get} returns payloads, reading from the file on a
+    miss, {!store} installs dirty payloads, and a full stripe really
+    evicts, writing dirty pages back first).
+
     The pool is lock-striped and safe to share across query domains:
     each stripe owns a disjoint hash partition of the page keys with
     its own LRU list and mutex.  The default single stripe is one
     global, observationally sequential LRU. *)
 
 type t
+
+type backing = {
+  back_read : table:string -> page:int -> string;
+  back_write : table:string -> page:int -> string -> unit;
+}
 
 (** [create ~capacity] — a single-stripe pool: one global LRU,
     observationally identical to the sequential pool.
@@ -39,7 +51,45 @@ val access : t -> table:string -> page:int -> [ `Hit | `Miss ]
     page a clustered B+-tree update flushes). *)
 val write : t -> table:string -> page:int -> [ `Hit | `Miss ]
 
-(** Empties the pool; statistics are kept. *)
+(** Wire the pool to a backing store; required before {!get}/{!store}.
+    Misses read through [back_read]; dirty evictions write back
+    through [back_write]. *)
+val set_backing : t -> backing -> unit
+
+val has_backing : t -> bool
+
+(** [get t ~table ~page] returns the page payload, reading it through
+    the backing store on a miss (evicting, with write-back for dirty
+    pages, when the stripe is full).
+    @raise Invalid_argument without a backing store. *)
+val get : t -> table:string -> page:int -> string * [ `Hit | `Miss ]
+
+(** [store t ~table ~page data] installs a freshly written page payload
+    as dirty; counted as one page written.  The payload reaches the
+    backing store on eviction or {!flush_dirty}.
+    @raise Invalid_argument without a backing store. *)
+val store : t -> table:string -> page:int -> string -> unit
+
+(** Drop one page without write-back (it was freed or rewritten behind
+    the pool's back). *)
+val invalidate : t -> table:string -> page:int -> unit
+
+(** Write back every dirty page, keeping it resident and clean (commit
+    path: completes the backing store's write set). *)
+val flush_dirty : t -> unit
+
+(** Drop every dirty page without write-back (transaction abort). *)
+val drop_dirty : t -> unit
+
+(** Dirty pages currently resident. *)
+val dirty_count : t -> int
+
+(** Resident pages carrying actual payload bytes (cache residency of
+    disk-backed storage; accounting-only entries excluded). *)
+val resident_data : t -> int
+
+(** Empties the pool; statistics are kept.  Dirty pages are written
+    back through the backing store first. *)
 val flush : t -> unit
 
 (** Logical page requests. *)

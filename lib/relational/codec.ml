@@ -1,0 +1,121 @@
+(** Binary codec for values, tuples and data pages.
+
+    Disk-backed tables store their clustered tuple runs as page
+    payloads; this module defines that representation and the greedy
+    packer the bulk loader and page splits share.
+
+    Value encoding (one tag byte, then):
+    - [0] NULL — nothing
+    - [1] non-negative int — varint
+    - [2] negative int — varint of [-n-1]
+    - [3] big integer — length-prefixed decimal string
+    - [4] string — length-prefixed bytes
+
+    A tuple is its arity (varint) followed by its values; a data page
+    payload is a row count (varint) followed by that many tuples.
+    Pages are CRC-framed by the pager below us, so decode errors here
+    mean a software bug, not disk corruption — they surface as
+    {!Blas_disk.Wire.Truncated} or [Failure]. *)
+
+module Wire = Blas_disk.Wire
+
+let add_value buf v =
+  match (v : Value.t) with
+  | Null -> Wire.write_u8 buf 0
+  | Int n when n >= 0 ->
+      Wire.write_u8 buf 1;
+      Wire.write_varint buf n
+  | Int n ->
+      Wire.write_u8 buf 2;
+      Wire.write_varint buf (-n - 1)
+  | Big b ->
+      Wire.write_u8 buf 3;
+      Wire.write_string buf (Blas_label.Bignum.to_string b)
+  | Str s ->
+      Wire.write_u8 buf 4;
+      Wire.write_string buf s
+
+let read_value r : Value.t =
+  match Wire.read_u8 r with
+  | 0 -> Null
+  | 1 -> Int (Wire.read_varint r)
+  | 2 -> Int (-Wire.read_varint r - 1)
+  | 3 -> Big (Blas_label.Bignum.of_string (Wire.read_string r))
+  | 4 -> Str (Wire.read_string r)
+  | tag -> failwith (Printf.sprintf "Codec.read_value: unknown tag %d" tag)
+
+let add_tuple buf t =
+  let n = Tuple.arity t in
+  Wire.write_varint buf n;
+  for i = 0 to n - 1 do
+    add_value buf (Tuple.get t i)
+  done
+
+let read_tuple r =
+  let n = Wire.read_varint r in
+  Tuple.of_list (List.init n (fun _ -> read_value r))
+
+let encode_value v =
+  let buf = Buffer.create 16 in
+  add_value buf v;
+  Buffer.contents buf
+
+let encode_tuple t =
+  let buf = Buffer.create 32 in
+  add_tuple buf t;
+  Buffer.contents buf
+
+(** Encoded size of one tuple in bytes (the packer's currency). *)
+let tuple_bytes t = String.length (encode_tuple t)
+
+(** A data page payload: [varint nrows][tuples…]. *)
+let encode_page tuples =
+  let buf = Buffer.create 512 in
+  Wire.write_varint buf (List.length tuples);
+  List.iter (add_tuple buf) tuples;
+  Buffer.contents buf
+
+let decode_page payload =
+  let r = Wire.reader payload in
+  let n = Wire.read_varint r in
+  List.init n (fun _ -> read_tuple r)
+
+(* Row-count prefix cost, conservatively. *)
+let page_overhead = 5
+
+(** [pack_pages ~capacity ~fill tuples] greedily packs the (already
+    clustered) tuples into page payloads of at most [capacity * fill]
+    bytes — at least one tuple per page regardless, so an oversized
+    fill target cannot stall.  Returns [(payload, first, nrows)] per
+    page in order.
+    @raise Invalid_argument if a single tuple exceeds [capacity]. *)
+let pack_pages ~capacity ~fill tuples =
+  let target =
+    max 1 (min (capacity - page_overhead)
+             (int_of_float (float_of_int capacity *. fill) - page_overhead))
+  in
+  let pages = ref [] in
+  let cur = ref [] in
+  let cur_bytes = ref 0 in
+  let flush_page () =
+    match !cur with
+    | [] -> ()
+    | rev ->
+        let rows = List.rev rev in
+        pages := (encode_page rows, List.hd rows, List.length rows) :: !pages;
+        cur := [];
+        cur_bytes := 0
+  in
+  List.iter
+    (fun t ->
+      let sz = tuple_bytes t in
+      if sz + page_overhead > capacity then
+        invalid_arg
+          (Printf.sprintf "Codec.pack_pages: tuple of %d bytes exceeds page capacity %d"
+             sz capacity);
+      if !cur <> [] && !cur_bytes + sz > target then flush_page ();
+      cur := t :: !cur;
+      cur_bytes := !cur_bytes + sz)
+    tuples;
+  flush_page ();
+  List.rev !pages

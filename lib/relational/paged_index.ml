@@ -1,0 +1,387 @@
+(** Disk-backed secondary index: a two-level B+-tree.
+
+    The leaf level lives on disk pages; each leaf holds sorted
+    [(value, data_page, nrows)] entries — "rows with this column value
+    sit on that data page, [nrows] of them".  The root level is the
+    resident [meta] directory: one routing entry per leaf (page id,
+    entry count, total rows, first value), kept in memory like a real
+    B+-tree's root/interior nodes would be after first touch.
+
+    Lookups binary-search the directory, read only the leaves whose
+    value range intersects the probe (through the shared buffer pool,
+    charging page traffic to the run's counters), and return candidate
+    {e data} pages; the table layer then fetches those pages and
+    filters exactly.  [count_range] answers the optimizer's probe from
+    the directory sums for interior leaves and decodes only the two
+    boundary leaves — uncharged, like the statistics lookup it
+    models.
+
+    Leaf payload layout: [varint nentries] then per entry
+    [value][varint data_page][varint nrows], sorted by (value, page).
+
+    Duplicate values may span adjacent leaves, so a range probe starts
+    one leaf before the first directory entry ≥ lo. *)
+
+module Wire = Blas_disk.Wire
+
+type meta = {
+  m_page : int;  (** file page holding the leaf *)
+  m_entries : int;
+  m_rows : int;  (** sum of nrows over the leaf's entries *)
+  m_first : Value.t;
+}
+
+type entry = Value.t * int * int  (** value, data page, nrows *)
+
+type t = {
+  x_name : string;  (** buffer-pool namespace, e.g. "sp.plabel" *)
+  x_pool : Buffer_pool.t;
+  x_alloc : unit -> int;
+  x_free : int -> unit;
+  x_capacity : int;  (** page payload capacity in bytes *)
+  mutable x_leaves : meta array;  (** sorted by [m_first] *)
+}
+
+let entry_cmp (v1, p1, _) (v2, p2, _) =
+  let c = Value.compare v1 v2 in
+  if c <> 0 then c else Int.compare p1 p2
+
+let encode_leaf entries =
+  let buf = Buffer.create 512 in
+  Wire.write_varint buf (List.length entries);
+  List.iter
+    (fun (v, page, nrows) ->
+      Codec.add_value buf v;
+      Wire.write_varint buf page;
+      Wire.write_varint buf nrows)
+    entries;
+  Buffer.contents buf
+
+let decode_leaf payload =
+  let r = Wire.reader payload in
+  let n = Wire.read_varint r in
+  List.init n (fun _ ->
+      let v = Codec.read_value r in
+      let page = Wire.read_varint r in
+      let nrows = Wire.read_varint r in
+      (v, page, nrows))
+
+let meta_of ~page entries =
+  match entries with
+  | [] -> invalid_arg "Paged_index: empty leaf"
+  | (first, _, _) :: _ ->
+      {
+        m_page = page;
+        m_entries = List.length entries;
+        m_rows = List.fold_left (fun acc (_, _, n) -> acc + n) 0 entries;
+        m_first = first;
+      }
+
+(* Greedy packer: splits a sorted entry list into leaf payload chunks of
+   at most [capacity *. fill] bytes (at least one entry per leaf). *)
+let pack ~capacity ~fill entries =
+  let entry_bytes e = String.length (encode_leaf [ e ]) in
+  let target =
+    max 1 (int_of_float (float_of_int capacity *. fill) - 5)
+  in
+  let chunks = ref [] and cur = ref [] and cur_bytes = ref 0 in
+  let flush () =
+    match !cur with
+    | [] -> ()
+    | rev ->
+        chunks := List.rev rev :: !chunks;
+        cur := [];
+        cur_bytes := 0
+  in
+  List.iter
+    (fun e ->
+      let sz = entry_bytes e in
+      if sz + 5 > capacity then
+        invalid_arg "Paged_index.pack: entry exceeds page capacity";
+      if !cur <> [] && !cur_bytes + sz > target then flush ();
+      cur := e :: !cur;
+      cur_bytes := !cur_bytes + sz)
+    entries;
+  flush ();
+  (* [!chunks] is newest-first; rev_map restores entry order. *)
+  List.rev_map (fun es -> (encode_leaf es, es)) !chunks
+
+let create ~pool ~alloc ~free ~name ~capacity ~leaves =
+  {
+    x_name = name;
+    x_pool = pool;
+    x_alloc = alloc;
+    x_free = free;
+    x_capacity = capacity;
+    x_leaves = leaves;
+  }
+
+let layout t = t.x_leaves
+let leaf_count t = Array.length t.x_leaves
+
+(** Total rows the index covers (directory sums; no I/O). *)
+let total_rows t =
+  Array.fold_left (fun acc m -> acc + m.m_rows) 0 t.x_leaves
+
+(* Reads one leaf through the pool.  [counters = None] is the
+   statistics-probe path: pool stats still move, the cost vector does
+   not. *)
+let read_leaf t counters (m : meta) =
+  (match counters with
+  | Some c -> c.Counters.page_requests <- c.Counters.page_requests + 1
+  | None -> ());
+  let payload, result = Buffer_pool.get t.x_pool ~table:t.x_name ~page:m.m_page in
+  (match (result, counters) with
+  | `Miss, Some c -> c.Counters.page_reads <- c.Counters.page_reads + 1
+  | _ -> ());
+  decode_leaf payload
+
+(* First directory index whose first value is >= v; [Array.length] when
+   none. *)
+let lower_bound t v =
+  let lo = ref 0 and hi = ref (Array.length t.x_leaves) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Value.compare t.x_leaves.(mid).m_first v < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* Directory range [s, e] of leaves that can hold values in [lo, hi]
+   ([None] bounds are open); empty when s > e.  Duplicates can spill
+   across a leaf boundary, so the start backs up one leaf. *)
+let leaf_range t ~lo ~hi =
+  let n = Array.length t.x_leaves in
+  let s = match lo with None -> 0 | Some v -> max 0 (lower_bound t v - 1) in
+  let e =
+    match hi with
+    | None -> n - 1
+    | Some v ->
+        (* last leaf with m_first <= hi *)
+        let i = lower_bound t v in
+        if i < n && Value.compare t.x_leaves.(i).m_first v = 0 then i else i - 1
+  in
+  (s, min e (n - 1))
+
+let in_range ~lo ~hi v =
+  (match lo with None -> true | Some l -> Value.compare l v <= 0)
+  && match hi with None -> true | Some h -> Value.compare v h <= 0
+
+(** Candidate data pages for [lo <= column <= hi], deduped, in leaf
+    (value) order; charges one page request (and read on miss) per leaf
+    touched.  One directory descent = one index seek, charged by the
+    caller. *)
+let lookup_pages t counters ~lo ~hi =
+  let s, e = leaf_range t ~lo ~hi in
+  let seen = Hashtbl.create 16 in
+  let pages = ref [] in
+  for i = s to e do
+    if i >= 0 then
+      List.iter
+        (fun (v, page, _) ->
+          if in_range ~lo ~hi v && not (Hashtbl.mem seen page) then begin
+            Hashtbl.replace seen page ();
+            pages := page :: !pages
+          end)
+        (read_leaf t (Some counters) t.x_leaves.(i))
+  done;
+  List.rev !pages
+
+(** Exact row count in [lo, hi] — the optimizer's statistics probe.
+    Interior leaves are answered from the resident directory; only the
+    boundary leaves are decoded, and nothing is charged to a cost
+    vector. *)
+let count_range t ~lo ~hi =
+  let n = Array.length t.x_leaves in
+  if n = 0 then 0
+  else begin
+    let s, e = leaf_range t ~lo ~hi in
+    let s = max s 0 in
+    let total = ref 0 in
+    for i = s to e do
+      let m = t.x_leaves.(i) in
+      let whole =
+        (match lo with
+         | None -> true
+         | Some l -> Value.compare l m.m_first <= 0 && i > s)
+        && match hi with
+           | None -> true
+           | Some h ->
+               i < n - 1 && Value.compare t.x_leaves.(i + 1).m_first h < 0
+      in
+      if whole then total := !total + m.m_rows
+      else
+        List.iter
+          (fun (v, _, nrows) -> if in_range ~lo ~hi v then total := !total + nrows)
+          (read_leaf t None m)
+    done;
+    !total
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+
+(** [apply t counters deltas] adjusts entry row counts by [(value,
+    data_page, delta)]: positive deltas add rows (creating entries),
+    negative remove (dropping entries that reach zero).  Touched leaves
+    are rewritten through the pool; overflowing leaves split, empty
+    leaves are freed.  Charges page traffic like any writer.
+    @raise Invalid_argument on a negative delta for a missing entry. *)
+let apply t counters deltas =
+  if deltas = [] then ()
+  else begin
+    (* Aggregate duplicate (value, page) deltas. *)
+    let agg = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun ((v, p, d) : entry) ->
+        let key = (v, p) in
+        match Hashtbl.find_opt agg key with
+        | Some r -> r := !r + d
+        | None ->
+            Hashtbl.replace agg key (ref d);
+            order := key :: !order)
+      deltas;
+    let deltas =
+      List.rev_map (fun (v, p) -> (v, p, !(Hashtbl.find agg (v, p)))) !order
+      |> List.filter (fun (_, _, d) -> d <> 0)
+      |> List.sort entry_cmp
+    in
+    if deltas = [] then ()
+    else if Array.length t.x_leaves = 0 then begin
+      (* Fresh index: everything is an insert. *)
+      List.iter
+        (fun (_, _, d) ->
+          if d < 0 then invalid_arg "Paged_index.apply: delete from empty index")
+        deltas;
+      let chunks = pack ~capacity:t.x_capacity ~fill:1.0 deltas in
+      let leaves =
+        List.map
+          (fun (payload, entries) ->
+            let page = t.x_alloc () in
+            counters.Counters.page_writes <- counters.Counters.page_writes + 1;
+            counters.Counters.page_requests <-
+              counters.Counters.page_requests + 1;
+            Buffer_pool.store t.x_pool ~table:t.x_name ~page payload;
+            meta_of ~page entries)
+          chunks
+      in
+      t.x_leaves <- Array.of_list leaves
+    end
+    else begin
+      (* Assign each delta to a leaf: the last leaf whose first value is
+         <= v (clamped to leaf 0); for existing (v, p) entries that may
+         sit one leaf earlier (duplicate spill), we search the backed-up
+         range. *)
+      let n = Array.length t.x_leaves in
+      let touched : (int, entry list ref) Hashtbl.t = Hashtbl.create 8 in
+      let touch i =
+        match Hashtbl.find_opt touched i with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.replace touched i r;
+            r
+      in
+      List.iter
+        (fun ((v, p, _) as delta) ->
+          let s, e = leaf_range t ~lo:(Some v) ~hi:(Some v) in
+          let s = max 0 s and e = max 0 (min e (n - 1)) in
+          (* Prefer the leaf already holding the entry. *)
+          let target = ref (max s e) in
+          (try
+             for i = s to e do
+               let entries = read_leaf t (Some counters) t.x_leaves.(i) in
+               if List.exists (fun (v', p', _) -> Value.compare v v' = 0 && p = p')
+                    entries
+               then begin
+                 target := i;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          let r = touch !target in
+          r := delta :: !r)
+        deltas;
+      (* Rewrite each touched leaf, collecting replacement metas. *)
+      let replacements : (int * meta list) list =
+        Hashtbl.fold (fun i r acc -> (i, r) :: acc) touched []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> List.map (fun (i, r) ->
+               let m = t.x_leaves.(i) in
+               let entries = read_leaf t (Some counters) m in
+               let entries =
+                 List.fold_left
+                   (fun entries (v, p, d) ->
+                     let found = ref false in
+                     let entries =
+                       List.filter_map
+                         (fun ((v', p', n') as e) ->
+                           if (not !found) && Value.compare v v' = 0 && p = p'
+                           then begin
+                             found := true;
+                             let n' = n' + d in
+                             if n' < 0 then
+                               invalid_arg
+                                 "Paged_index.apply: negative row count"
+                             else if n' = 0 then None
+                             else Some (v', p', n')
+                           end
+                           else Some e)
+                         entries
+                     in
+                     if !found then entries
+                     else if d < 0 then
+                       invalid_arg "Paged_index.apply: delete of missing entry"
+                     else List.sort entry_cmp ((v, p, d) :: entries))
+                   entries !r
+               in
+               let charge () =
+                 counters.Counters.page_writes <-
+                   counters.Counters.page_writes + 1;
+                 counters.Counters.page_requests <-
+                   counters.Counters.page_requests + 1
+               in
+               match entries with
+               | [] ->
+                   Buffer_pool.invalidate t.x_pool ~table:t.x_name
+                     ~page:m.m_page;
+                   t.x_free m.m_page;
+                   (i, [])
+               | entries ->
+                   let payload = encode_leaf entries in
+                   if String.length payload <= t.x_capacity then begin
+                     charge ();
+                     Buffer_pool.store t.x_pool ~table:t.x_name ~page:m.m_page
+                       payload;
+                     (i, [ meta_of ~page:m.m_page entries ])
+                   end
+                   else begin
+                     (* Split: first chunk keeps the page, the rest get
+                        fresh pages. *)
+                     let chunks = pack ~capacity:t.x_capacity ~fill:1.0 entries in
+                     let metas =
+                       List.mapi
+                         (fun k (payload, es) ->
+                           let page = if k = 0 then m.m_page else t.x_alloc () in
+                           charge ();
+                           Buffer_pool.store t.x_pool ~table:t.x_name ~page
+                             payload;
+                           meta_of ~page es)
+                         chunks
+                     in
+                     (i, metas)
+                   end)
+      in
+      let repl = Hashtbl.create 8 in
+      List.iter (fun (i, ms) -> Hashtbl.replace repl i ms) replacements;
+      let out = ref [] in
+      Array.iteri
+        (fun i m ->
+          match Hashtbl.find_opt repl i with
+          | None -> out := m :: !out
+          | Some ms -> List.iter (fun m -> out := m :: !out) ms)
+        t.x_leaves;
+      t.x_leaves <- Array.of_list (List.rev !out)
+    end
+  end

@@ -9,12 +9,20 @@
 
 type t
 
+(** One resident directory entry of a disk-backed table: a data page in
+    cluster order. *)
+type dir_entry = {
+  de_page : int;  (** file page id *)
+  de_nrows : int;
+  de_first : Tuple.t;  (** first tuple on the page (cluster order) *)
+}
+
 (** [create ?pool ?page_rows ~name ~schema ~cluster_key ~indexes tuples]
-    sorts the tuples by [cluster_key] and builds a B+ tree for every
-    column in [indexes]; the cluster key's leading column always gets
-    one.  With a [pool], every tuple fetch requests its page, charging
-    misses as disk accesses; [page_rows] (default 64) is the page size
-    in tuples. *)
+    builds a heap table: sorts the tuples by [cluster_key] and builds a
+    B+ tree for every column in [indexes]; the cluster key's leading
+    column always gets one.  With a [pool], every tuple fetch requests
+    its page, charging misses as disk accesses; [page_rows] (default
+    64) is the page size in tuples. *)
 val create :
   ?pool:Buffer_pool.t ->
   ?page_rows:int ->
@@ -24,6 +32,37 @@ val create :
   indexes:string list ->
   Tuple.t list ->
   t
+
+(** [create_paged ~pool ~alloc ~free ~capacity ~name ~schema
+    ~cluster_key ~dir ~indexes] assembles a disk-backed table from an
+    already materialized layout (the database open path): [dir] is the
+    clustered page directory, [indexes] the per-column paged indexes,
+    [capacity] the page payload capacity in bytes.  Payloads are read
+    through [pool] on demand and `Counters.page_reads` becomes measured
+    I/O. *)
+val create_paged :
+  pool:Buffer_pool.t ->
+  alloc:(unit -> int) ->
+  free:(int -> unit) ->
+  capacity:int ->
+  name:string ->
+  schema:Schema.t ->
+  cluster_key:string list ->
+  dir:dir_entry array ->
+  indexes:(string * Paged_index.t) list ->
+  t
+
+(** Whether the table is disk-backed. *)
+val is_paged : t -> bool
+
+(** The disk layout of a paged table — directory plus per-index leaf
+    metadata — for the catalog writer; [None] for heap tables. *)
+val paged_layout :
+  t -> (dir_entry array * (string * Paged_index.meta array) list) option
+
+(** Every file page owned by a paged table (data pages and index
+    leaves); [[]] for heap tables. *)
+val owned_pages : t -> int list
 
 (** The shared buffer pool, when disk modelling is on. *)
 val pool : t -> Buffer_pool.t option

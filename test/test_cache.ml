@@ -232,7 +232,7 @@ let test_cache_disabled_by_default () =
 let first_start_of_tag storage tag =
   (List.find
      (fun (n : Blas_xpath.Doc.node) -> n.Blas_xpath.Doc.tag = tag)
-     storage.Blas.Storage.doc.Blas_xpath.Doc.all)
+     (Blas.Storage.doc storage).Blas_xpath.Doc.all)
     .Blas_xpath.Doc.start
 
 (** Every suffix translator x engine on the (possibly cached) storage

@@ -1,0 +1,519 @@
+(** Tests for the on-disk storage engine: pager, WAL, store, database
+    bulk-load/open, transactional updates, and crash recovery.
+
+    The crash-recovery property is the heart of the suite: run a random
+    edit script against a disk-backed storage with a fault injected at
+    a random byte offset (every write past the budget is cut short and
+    the "process" dies), reopen the file, and require the recovered
+    database to equal a shadow in-memory storage that received exactly
+    the committed prefix of the script. *)
+
+open Test_util
+module Pager = Blas_disk.Pager
+module Wal = Blas_disk.Wal
+module Store = Blas_disk.Store
+module Io = Blas_disk.Io
+module Database = Blas.Database
+
+let temp_db () =
+  let path = Filename.temp_file "blas_disk_test_" ".blasdb" in
+  Sys.remove path;
+  path
+
+let cleanup path =
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ path; path ^ ".wal" ]
+
+let with_db f =
+  let path = temp_db () in
+  Fun.protect ~finally:(fun () -> cleanup path) (fun () -> f path)
+
+(* ------------------------------------------------------------------ *)
+(* Pager                                                               *)
+
+let test_pager_roundtrip () =
+  with_db (fun path ->
+      let p = Pager.create ~path ~page_size:256 in
+      Pager.set_count p 2;
+      Pager.write_page p 1 "hello";
+      Pager.write_page p 2 (String.make 100 'x');
+      Pager.set_root p "root-blob";
+      Pager.flush_superblock p;
+      Pager.sync p;
+      Pager.close p;
+      check_bool "sniffs as db" true (Pager.looks_like_db path);
+      let p = Pager.open_path ~path ~mode:Pager.Ro in
+      check_string "page 1" "hello" (Pager.read_page p 1);
+      check_string "page 2" (String.make 100 'x') (Pager.read_page p 2);
+      check_string "root" "root-blob" (Pager.root p);
+      check_int "count" 2 (Pager.count p);
+      Pager.close p)
+
+let test_pager_detects_corruption () =
+  with_db (fun path ->
+      let p = Pager.create ~path ~page_size:256 in
+      Pager.set_count p 1;
+      Pager.write_page p 1 "payload";
+      Pager.flush_superblock p;
+      Pager.close p;
+      (* Flip one payload byte behind the pager's back. *)
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      ignore (Unix.lseek fd (256 + 8) Unix.SEEK_SET);
+      ignore (Unix.write_substring fd "X" 0 1);
+      Unix.close fd;
+      let p = Pager.open_path ~path ~mode:Pager.Ro in
+      check_bool "crc failure raises" true
+        (match Pager.read_page p 1 with
+        | exception Pager.Corrupt _ -> true
+        | _ -> false);
+      Pager.close p)
+
+(* ------------------------------------------------------------------ *)
+(* WAL                                                                 *)
+
+let test_wal_replay_and_torn_tail () =
+  with_db (fun path ->
+      let wal = Wal.open_rw ~db_path:path ~page_size:512 in
+      Wal.append_tx wal ~pages:[ (1, "one"); (2, "two") ] ~root:(Some "r1")
+        ~count:2;
+      Wal.append_tx wal ~pages:[ (1, "one'") ] ~root:None ~count:2;
+      let size_committed = Wal.size wal in
+      Wal.close wal;
+      (* Append garbage — a torn third transaction. *)
+      let fd = Unix.openfile (Wal.wal_path path) [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.lseek fd 0 Unix.SEEK_END);
+      ignore (Unix.write_substring fd "\x01\x02\x03garbage" 0 10);
+      Unix.close fd;
+      let wal = Wal.open_rw ~db_path:path ~page_size:512 in
+      let seen = ref [] in
+      let committed =
+        Wal.replay wal ~apply:(fun ~pages ~root ~count ->
+            seen := (pages, root, count) :: !seen)
+      in
+      check_int "two committed txs" 2 committed;
+      (match List.rev !seen with
+      | [ (p1, r1, c1); (p2, r2, c2) ] ->
+        check_bool "tx1 pages" true (p1 = [ (1, "one"); (2, "two") ]);
+        check_bool "tx1 root" true (r1 = Some "r1");
+        check_int "tx1 count" 2 c1;
+        check_bool "tx2 pages" true (p2 = [ (1, "one'") ]);
+        check_bool "tx2 root" true (r2 = None);
+        check_int "tx2 count" 2 c2
+      | _ -> Alcotest.fail "expected two transactions");
+      check_int "torn tail rewound" size_committed (Wal.size wal);
+      Wal.close wal)
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+
+let test_store_commit_abort_reopen () =
+  with_db (fun path ->
+      let s = Store.create ~path ~page_size:256 () in
+      Store.bulk_load s (fun () ->
+          let p1 = Store.alloc_page s in
+          Store.write_page s p1 "base";
+          Store.set_root s "root0");
+      (* Committed transaction. *)
+      Store.begin_tx s;
+      let p2 = Store.alloc_page s in
+      Store.write_page s p2 "committed";
+      Store.set_root s "root1";
+      Store.commit s;
+      (* Aborted transaction: invisible afterwards. *)
+      Store.begin_tx s;
+      Store.write_page s 1 "doomed";
+      Store.set_root s "root2";
+      Store.abort s;
+      check_string "abort leaves page" "base" (Store.read_page s 1);
+      check_string "abort leaves root" "root1" (Store.root s);
+      Store.close s;
+      let s = Store.open_path ~path ~mode:Store.Ro () in
+      check_string "page 1 after reopen" "base" (Store.read_page s 1);
+      check_string "page 2 after reopen" "committed" (Store.read_page s 2);
+      check_string "root after reopen" "root1" (Store.root s);
+      Store.close s)
+
+let test_store_recovers_wal_tail () =
+  with_db (fun path ->
+      let s = Store.create ~path ~page_size:256 () in
+      Store.bulk_load s (fun () ->
+          let p = Store.alloc_page s in
+          Store.write_page s p "v0";
+          Store.set_root s "r0");
+      Store.begin_tx s;
+      Store.write_page s 1 "v1";
+      Store.set_root s "r1";
+      Store.commit s;
+      (* Kill without sync or WAL truncation: the committed tail must
+         replay on the next read-write open. *)
+      Store.crash s;
+      let s = Store.open_path ~path ~mode:Store.Rw () in
+      check_string "replayed page" "v1" (Store.read_page s 1);
+      check_string "replayed root" "r1" (Store.root s);
+      check_int "wal reset after recovery" 0 (Store.wal_size s);
+      Store.close s)
+
+(* ------------------------------------------------------------------ *)
+(* Database: bulk load, reopen, query equality                         *)
+
+let fig10 =
+  [
+    ( "shakespeare",
+      lazy (Blas.Storage.of_tree (Blas_datagen.Shakespeare.generate ~plays:1 ())),
+      [
+        ("QS1", "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE");
+        ("QS2", "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR");
+        ( "QS3",
+          "/PLAYS/PLAY/ACT/SCENE[TITLE = \"SCENE III. A public \
+           place.\"]//LINE" );
+      ] );
+    ( "protein",
+      lazy (Blas.Storage.of_tree (Blas_datagen.Protein.generate ~entries:40 ())),
+      [
+        ("QP1", "/ProteinDatabase/ProteinEntry/protein/name");
+        ( "QP2",
+          "/ProteinDatabase/ProteinEntry//authors/author = \"Daniel, M.\"" );
+        ( "QP3",
+          "/ProteinDatabase/ProteinEntry[reference/refinfo[citation and \
+           year]]/protein/name" );
+      ] );
+    ( "auction",
+      lazy (Blas.Storage.of_tree (Blas_datagen.Auction.generate ~scale:5 ())),
+      [
+        ("QA1", "//category/description/parlist/listitem");
+        ("QA2", "/site/regions//item/description");
+        ("QA3", "/site/regions/asia/item[shipping]/description");
+      ] );
+  ]
+
+let translators = Blas.[ D_labeling; Split; Pushup; Unfold ]
+let engines = Blas.[ Rdbms; Twig ]
+
+let test_fig10_byte_identical () =
+  List.iter
+    (fun (dataset, mem, queries) ->
+      let mem = Lazy.force mem in
+      with_db (fun path ->
+          Database.create ~page_size:1024 ~path mem;
+          (* A page cache much smaller than the database file. *)
+          let disk = Database.open_ ~cache_pages:8 ~mode:Database.Ro ~path () in
+          let stats =
+            match Blas.Storage.disk disk with
+            | Some d -> d.Blas.Storage.dk_stats ()
+            | None -> Alcotest.fail "expected a disk-backed storage"
+          in
+          check_bool
+            (dataset ^ ": cache smaller than database")
+            true
+            (8 * 1024 < stats.Blas.Storage.dstat_file_bytes);
+          List.iter
+            (fun (qname, qs) ->
+              let query = Blas.query qs in
+              List.iter
+                (fun translator ->
+                  List.iter
+                    (fun engine ->
+                      let where =
+                        Printf.sprintf "%s %s %s/%s" dataset qname
+                          (Blas.translator_name translator)
+                          (Blas.engine_name engine)
+                      in
+                      let expect =
+                        Blas.answers mem ~engine ~translator query
+                      in
+                      let got =
+                        Blas.answers disk ~engine ~translator query
+                      in
+                      check_int_list where expect got)
+                    engines)
+                translators)
+            queries;
+          check_bool
+            (dataset ^ ": queries never forced the document")
+            false
+            (Blas.Storage.doc_resident disk);
+          Blas.Storage.close disk))
+    fig10
+
+let test_page_reads_are_measured_io () =
+  with_db (fun path ->
+      let mem =
+        Blas.Storage.of_tree (Blas_datagen.Auction.generate ~scale:3 ())
+      in
+      Database.create ~page_size:512 ~path mem;
+      let disk = Database.open_ ~cache_pages:16 ~mode:Database.Ro ~path () in
+      let pool = Blas.Storage.pool disk in
+      Blas.Storage.cold_cache disk;
+      let misses0 = Blas_rel.Buffer_pool.misses pool in
+      let report =
+        Blas.run disk ~engine:Blas.Rdbms ~translator:Blas.Pushup
+          (Blas.query "/site/regions//item/description")
+      in
+      let real_io = Blas_rel.Buffer_pool.misses pool - misses0 in
+      check_int "page_reads is real pool I/O" real_io
+        report.Blas.counters.Blas_rel.Counters.page_reads;
+      check_bool "cold run touches disk" true (real_io > 0);
+      Blas.Storage.close disk)
+
+(* ------------------------------------------------------------------ *)
+(* Updates: persistence, rollback, escalation                          *)
+
+let doc_rows (storage : Blas.Storage.t) =
+  List.map
+    (fun (n : Blas_xpath.Doc.node) -> (n.tag, n.start, n.fin, n.level, n.data))
+    (Blas.Storage.doc storage).Blas_xpath.Doc.all
+
+let check_same_doc where shadow disk =
+  check_bool where true (doc_rows shadow = doc_rows disk)
+
+let test_update_persists () =
+  with_db (fun path ->
+      let mem = Blas.Storage.of_string "<r><a>x</a><b>y</b><a>z</a></r>" in
+      Database.create ~page_size:512 ~path mem;
+      let disk = Database.open_ ~cache_pages:32 ~mode:Database.Rw ~path () in
+      let report =
+        Blas.Update.insert_subtree disk ~parent:1 ~pos:1
+          (Blas_xml.Dom.parse "<a>new</a>")
+      in
+      check_int "inserted" 1 report.Blas.Update.nodes_inserted;
+      let rows_before_close = doc_rows disk in
+      Blas.Storage.close disk;
+      let disk = Database.open_ ~cache_pages:32 ~mode:Database.Ro ~path () in
+      check_bool "update survives reopen" true
+        (rows_before_close = doc_rows disk);
+      check_int "query sees the insert" 3
+        (List.length (Blas.answers disk ~engine:Blas.Rdbms
+             ~translator:Blas.Pushup (Blas.query "//a")));
+      Blas.Storage.close disk)
+
+let test_escalation_persists () =
+  with_db (fun path ->
+      let mem = Blas.Storage.of_string "<r><a>x</a><b>y</b></r>" in
+      Database.create ~page_size:512 ~path mem;
+      let disk = Database.open_ ~cache_pages:32 ~mode:Database.Rw ~path () in
+      (* A brand-new tag forces a tag-inventory rebuild: the engine
+         rebuilds the tables as heap relations and the database layer
+         repacks the whole file inside the same transaction. *)
+      let report =
+        Blas.Update.insert_subtree disk ~parent:1 ~pos:2
+          (Blas_xml.Dom.parse "<zz>fresh</zz>")
+      in
+      check_bool "inventory rebuilt" true report.Blas.Update.table_rebuilt;
+      let rows = doc_rows disk in
+      Blas.Storage.close disk;
+      let disk = Database.open_ ~cache_pages:32 ~mode:Database.Rw ~path () in
+      check_bool "repacked file reopens equal" true (rows = doc_rows disk);
+      check_int "new tag queryable" 1
+        (List.length (Blas.answers disk ~engine:Blas.Twig
+             ~translator:Blas.D_labeling (Blas.query "//zz")));
+      Blas.Storage.close disk)
+
+let test_failed_update_rolls_back () =
+  with_db (fun path ->
+      let mem = Blas.Storage.of_string "<r><a>x</a><b>y</b></r>" in
+      Database.create ~page_size:512 ~path mem;
+      let disk = Database.open_ ~cache_pages:32 ~mode:Database.Rw ~path () in
+      let before = doc_rows disk in
+      check_bool "bad edit raises" true
+        (match
+           Blas.Update.insert_subtree disk ~parent:999999 ~pos:0
+             (Blas_xml.Dom.parse "<a/>")
+         with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      check_bool "state rolled back in memory" true (before = doc_rows disk);
+      check_int "still queryable" 1
+        (List.length (Blas.answers disk ~engine:Blas.Rdbms
+             ~translator:Blas.Auto (Blas.query "//b")));
+      Blas.Storage.close disk;
+      let disk = Database.open_ ~cache_pages:32 ~mode:Database.Ro ~path () in
+      check_bool "state rolled back on disk" true (before = doc_rows disk);
+      Blas.Storage.close disk)
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: random edit scripts x random fault offsets          *)
+
+type edit =
+  | Insert of int * int * string  (* parent rank, pos seed, tag *)
+  | Delete of int  (* victim rank *)
+  | Retext of int * string  (* victim rank, new text *)
+
+let edit_gen =
+  let open QCheck2.Gen in
+  frequency
+    [
+      ( 3,
+        let* rank = int_range 0 50 in
+        let* pos = int_range 0 5 in
+        let* t = oneofa [| "a"; "b"; "c"; "zz" |] in
+        return (Insert (rank, pos, t)) );
+      (2, map (fun r -> Delete r) (int_range 0 50));
+      ( 1,
+        let* r = int_range 0 50 in
+        let* v = oneofa [| "x"; "y"; "new" |] in
+        return (Retext (r, v)) );
+    ]
+
+let script_gen =
+  let open QCheck2.Gen in
+  let* doc = Test_util.doc_gen in
+  let* edits = list_size (int_range 1 6) edit_gen in
+  let* crash_at = int_range 0 (List.length edits - 1) in
+  let* budget = int_range 0 4000 in
+  return (doc, edits, crash_at, budget)
+
+(* Resolve an edit against the current document: ranks index the node
+   list modulo its size, so the same edit resolves identically on two
+   equal storages. *)
+let resolve_edit storage edit =
+  let doc = Blas.Storage.doc storage in
+  let all = Array.of_list doc.Blas_xpath.Doc.all in
+  let node rank = all.(rank mod Array.length all) in
+  match edit with
+  | Insert (rank, pos, tag) ->
+    let parent = node rank in
+    let kids = List.length parent.Blas_xpath.Doc.children in
+    `Insert
+      ( parent.Blas_xpath.Doc.start,
+        pos mod (kids + 1),
+        Blas_xml.Types.Element (tag, [ Blas_xml.Types.Content "t" ]) )
+  | Delete rank ->
+    let victim = node rank in
+    if victim.Blas_xpath.Doc.start = doc.Blas_xpath.Doc.root.Blas_xpath.Doc.start
+    then `Skip
+    else `Delete victim.Blas_xpath.Doc.start
+  | Retext (rank, v) -> `Retext ((node rank).Blas_xpath.Doc.start, v)
+
+let apply_edit storage = function
+  | `Skip -> ()
+  | `Insert (parent, pos, tree) ->
+    ignore (Blas.Update.insert_subtree storage ~parent ~pos tree)
+  | `Delete start -> ignore (Blas.Update.delete_subtree storage ~start)
+  | `Retext (start, v) ->
+    ignore (Blas.Update.replace_text storage ~start (Some v))
+
+let crash_recovery_law (tree, edits, crash_at, budget) =
+  let path = temp_db () in
+  Fun.protect
+    ~finally:(fun () ->
+      Io.set_fault None;
+      cleanup path)
+    (fun () ->
+      let shadow = Blas.Storage.of_tree tree in
+      Database.create ~page_size:512 ~path shadow;
+      let disk = Database.open_ ~cache_pages:16 ~mode:Database.Rw ~path () in
+      let crashed = ref false in
+      let pending = ref None in
+      List.iteri
+        (fun i edit ->
+          if not !crashed then begin
+            (* Resolve against the shadow — it equals the disk state on
+               every committed prefix. *)
+            let resolved = resolve_edit shadow edit in
+            if i = crash_at then Io.set_fault (Some budget);
+            (match apply_edit disk resolved with
+            | () ->
+              Io.set_fault None;
+              apply_edit shadow resolved
+            | exception Io.Crash ->
+              Io.set_fault None;
+              crashed := true;
+              pending := Some resolved
+            | exception e ->
+              Io.set_fault None;
+              raise e)
+          end)
+        edits;
+      (match Blas.Storage.disk disk with
+      | Some d -> if !crashed then d.Blas.Storage.dk_crash () else d.dk_close ()
+      | None -> Alcotest.fail "expected disk storage");
+      (* Recovery on open must restore a committed state.  A crash
+         during the commit fsync is ambiguous — the commit record may
+         have reached the file, in which case replay legitimately
+         applies the interrupted edit — so accept the shadow either
+         without or with that one edit. *)
+      let reopened = Database.open_ ~cache_pages:16 ~mode:Database.Rw ~path () in
+      let rows = doc_rows reopened in
+      let ok =
+        rows = doc_rows shadow
+        ||
+        match !pending with
+        | Some r -> (
+          match apply_edit shadow r with
+          | () -> rows = doc_rows shadow
+          | exception _ -> false)
+        | None -> false
+      in
+      let queries_ok =
+        List.for_all
+          (fun q ->
+            Blas.oracle shadow (Blas.query q)
+            = Blas.answers reopened ~engine:Blas.Rdbms ~translator:Blas.Auto
+                (Blas.query q))
+          [ "//a"; "//b"; "/r//c" ]
+      in
+      Blas.Storage.close reopened;
+      ok && queries_ok)
+
+let test_crash_recovery =
+  qtest ~count:60 "crash mid-update recovers to committed state" script_gen
+    crash_recovery_law
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_stats () =
+  with_db (fun path ->
+      let mem =
+        Blas.Storage.of_tree (Blas_datagen.Auction.generate ~scale:2 ())
+      in
+      Database.create ~page_size:512 ~path mem;
+      let disk = Database.open_ ~cache_pages:16 ~mode:Database.Ro ~path () in
+      let s =
+        match Blas.Storage.disk disk with
+        | Some d -> d.Blas.Storage.dk_stats ()
+        | None -> Alcotest.fail "expected disk storage"
+      in
+      check_int "page size" 512 s.Blas.Storage.dstat_page_size;
+      (* The final page's frame may be shorter than a full page slot. *)
+      check_bool "file bytes bounded by (pages + superblock) slots" true
+        (s.Blas.Storage.dstat_file_bytes
+         <= (s.Blas.Storage.dstat_page_count + 1) * 512
+        && s.Blas.Storage.dstat_file_bytes
+           > s.Blas.Storage.dstat_page_count * 8);
+      check_bool "live pages bounded by file pages" true
+        (s.Blas.Storage.dstat_live_pages <= s.Blas.Storage.dstat_page_count);
+      check_bool "live pages exist" true (s.Blas.Storage.dstat_live_pages > 0);
+      check_bool "live bytes fit live pages" true
+        (s.Blas.Storage.dstat_live_bytes
+        <= s.Blas.Storage.dstat_live_pages * 512);
+      check_int "wal empty after clean open" 0 s.Blas.Storage.dstat_wal_bytes;
+      check_int "cache capacity" 16 s.Blas.Storage.dstat_cache_pages;
+      check_bool "cache residency bounded" true
+        (s.Blas.Storage.dstat_cache_resident <= 16);
+      Blas.Storage.close disk)
+
+let suite =
+  [
+    Alcotest.test_case "pager roundtrip" `Quick test_pager_roundtrip;
+    Alcotest.test_case "pager detects corruption" `Quick
+      test_pager_detects_corruption;
+    Alcotest.test_case "wal replay and torn tail" `Quick
+      test_wal_replay_and_torn_tail;
+    Alcotest.test_case "store commit/abort/reopen" `Quick
+      test_store_commit_abort_reopen;
+    Alcotest.test_case "store recovers wal tail" `Quick
+      test_store_recovers_wal_tail;
+    Alcotest.test_case "fig10 byte-identical on disk" `Quick
+      test_fig10_byte_identical;
+    Alcotest.test_case "page reads are measured io" `Quick
+      test_page_reads_are_measured_io;
+    Alcotest.test_case "update persists" `Quick test_update_persists;
+    Alcotest.test_case "escalation repacks and persists" `Quick
+      test_escalation_persists;
+    Alcotest.test_case "failed update rolls back" `Quick
+      test_failed_update_rolls_back;
+    test_crash_recovery;
+    Alcotest.test_case "disk stats" `Quick test_stats;
+  ]

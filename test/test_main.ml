@@ -26,4 +26,5 @@ let () =
       ("misc", Test_misc.suite);
       ("datagen", Test_datagen.suite);
       ("cache", Test_cache.suite);
+      ("disk", Test_disk.suite);
     ]

@@ -98,7 +98,7 @@ let nav_tests =
             in
             Test_util.check_bool "chain = source path minus self" true
               (chain @ [ n.tag ] = n.source_path))
-          storage.Blas.Storage.doc.Blas_xpath.Doc.all );
+          (Blas.Storage.doc storage).Blas_xpath.Doc.all );
     ( "context string",
       fun () ->
         let storage = Blas.index "<a><b><c/></b></a>" in

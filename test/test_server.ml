@@ -412,7 +412,7 @@ let live_half_close_and_disconnect () =
   let root_start =
     List.fold_left
       (fun acc (n : Blas_xpath.Doc.node) -> min acc n.start)
-      max_int hosted.Blas.Storage.doc.Blas_xpath.Doc.all
+      max_int (Blas.Storage.doc hosted).Blas_xpath.Doc.all
   in
   let docs = [ ("plays", hosted) ] in
   with_live docs (fun _srv port ->

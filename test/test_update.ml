@@ -21,7 +21,7 @@ let engines = Blas.[ Rdbms; Twig ]
 let storage_of s = Blas.index s
 
 let all_nodes (storage : Blas.Storage.t) =
-  storage.Blas.Storage.doc.Blas_xpath.Doc.all
+  (Blas.Storage.doc storage).Blas_xpath.Doc.all
 
 (** Start position of the [i]-th node with tag [tag], document order. *)
 let start_of_tag storage tag i =
@@ -45,7 +45,7 @@ let ranks_of storage starts =
 
 let rebuilt_from_scratch storage =
   Blas.index_of_tree
-    (Blas_xpath.Doc.subtree storage.Blas.Storage.doc.Blas_xpath.Doc.root)
+    (Blas_xpath.Doc.subtree (Blas.Storage.doc storage).Blas_xpath.Doc.root)
 
 let raises_invalid f =
   match f () with exception Invalid_argument _ -> true | _ -> false
