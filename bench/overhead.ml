@@ -112,8 +112,38 @@ let run () =
       (Staged.stage (fun () ->
            Blas.run ~cache:true storage ~engine:Blas.Rdbms ~translator query))
   in
+  (* The serving tier makes the same claim for request tracing: a
+     TRACE'd request — fresh per-request tracer, lock-wait / cache-probe
+     / I/O spans, serialization aside — must stay within the threshold
+     of the untraced service path.  Cache off so both variants price a
+     real execution, not a memo probe. *)
+  let service = Blas_server.Service.create ~cache:false [ ("doc", storage) ] in
+  let token = Blas.Par.Token.create ~expired:(fun () -> false) () in
+  let serve_plain =
+    Test.make ~name:"serve-plain"
+      (Staged.stage (fun () ->
+           Blas_server.Service.query service ~token ~doc:"doc" ~translator
+             ~engine:Blas.Rdbms Bench_queries.qs3))
+  in
+  let serve_traced =
+    Test.make ~name:"serve-traced"
+      (Staged.stage (fun () ->
+           let tracer = Blas_obs.Trace.create ~enabled:true () in
+           Blas_server.Service.query_info service ~token ~tracer ~doc:"doc"
+             ~translator ~engine:Blas.Rdbms Bench_queries.qs3))
+  in
   let results =
-    estimates [ bare; disabled; enabled; pool_j1; cache_off; cache_warm ]
+    estimates
+      [
+        bare;
+        disabled;
+        enabled;
+        pool_j1;
+        cache_off;
+        cache_warm;
+        serve_plain;
+        serve_traced;
+      ]
   in
   Blas.Par.shutdown pool;
   Blas.Cache.clear (Blas.Storage.cache storage);
@@ -128,6 +158,13 @@ let run () =
     let cache_warm_ns = find "cache-warm" results in
     let cache_overhead =
       Option.map (fun c -> (c -. bare_ns) /. bare_ns *. 100.0) cache_off_ns
+    in
+    let serve_plain_ns = find "serve-plain" results in
+    let serve_traced_ns = find "serve-traced" results in
+    let traced_overhead =
+      match (serve_plain_ns, serve_traced_ns) with
+      | Some p, Some tr -> Some ((tr -. p) /. p *. 100.0)
+      | _ -> None
     in
     Bench_util.print_table
       ~title:"disabled instrumentation and the -j 1 pool must be free"
@@ -177,6 +214,22 @@ let run () =
               | Some c -> Printf.sprintf "%.2fx bare" (c /. bare_ns)
               | None -> "-");
             ];
+            [
+              "serve (untraced)";
+              (match serve_plain_ns with
+              | Some p -> Printf.sprintf "%.0f" p
+              | None -> "-");
+              "-";
+            ];
+            [
+              "serve traced (vs untraced)";
+              (match serve_traced_ns with
+              | Some tr -> Printf.sprintf "%.0f" tr
+              | None -> "-");
+              (match traced_overhead with
+              | Some o -> Printf.sprintf "%+.1f%%" o
+              | None -> "-");
+            ];
           ];
       };
     if !check_mode then begin
@@ -201,7 +254,7 @@ let run () =
       | None ->
         Printf.eprintf "overhead: no pool-j1 estimate\n%!";
         failed := true);
-      match cache_overhead with
+      (match cache_overhead with
       | Some co when co > threshold_percent ->
         Printf.eprintf
           "FAIL: cache-disabled path costs %+.1f%% over bare (threshold \
@@ -214,6 +267,20 @@ let run () =
           threshold_percent
       | None ->
         Printf.eprintf "overhead: no cache-off estimate\n%!";
+        failed := true);
+      match traced_overhead with
+      | Some o when o > threshold_percent ->
+        Printf.eprintf
+          "FAIL: traced server path costs %+.1f%% over untraced (threshold \
+           %.1f%%)\n\
+           %!"
+          o threshold_percent;
+        failed := true
+      | Some o ->
+        Printf.printf "OK: traced server path overhead %+.1f%% <= %.1f%%\n" o
+          threshold_percent
+      | None ->
+        Printf.eprintf "overhead: no serve-plain/serve-traced estimate\n%!";
         failed := true
     end
   | _ ->

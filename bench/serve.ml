@@ -154,4 +154,43 @@ let run () =
   end
   else if check then
     Printf.printf "OK: %d requests over %d clients, all replies OK\n" total_ops
-      n_clients
+      n_clients;
+  (* Observability scrape: after the load, the same server must expose a
+     well-formed Prometheus page, registry JSON and the live time series,
+     and a TRACE'd query must come back with a span tree. *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let malformed = ref [] in
+  let expect name ok = if not ok then malformed := name :: !malformed in
+  C.with_client port (fun c ->
+      let prom = C.metrics c in
+      expect "metrics text"
+        (contains prom "# TYPE" && contains prom "server_requests_total");
+      let mjson = C.metrics ~json:true c in
+      expect "metrics json"
+        (String.length mjson > 0 && mjson.[0] = '[' && contains mjson "server");
+      let ts = C.timeseries c in
+      expect "timeseries"
+        (String.length ts > 0 && ts.[0] = '[' && contains ts "at_ms");
+      let traced =
+        C.query ~trace:true c ~doc:"shakespeare" ~translator:Blas.Pushup
+          ~engine:Blas.Rdbms (snd workload.(0))
+      in
+      (match traced with
+      | P.Ok_payload body ->
+        expect "traced query"
+          (contains body "trace_id" && contains body "queue-wait")
+      | _ -> expect "traced query" false);
+      Printf.printf
+        "scrape: metrics %dB text / %dB json, timeseries %dB, traced reply \
+         ok\n"
+        (String.length prom) (String.length mjson) (String.length ts));
+  match !malformed with
+  | [] -> if check then Printf.printf "OK: observability scrape well-formed\n"
+  | bad ->
+    Printf.eprintf "serve: malformed observability payloads: %s\n%!"
+      (String.concat ", " (List.rev bad));
+    if check then Overhead.failed := true

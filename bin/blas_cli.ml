@@ -205,9 +205,75 @@ let generate_cmd =
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)
 
-let stats () ?cache_pages path =
+(* The machine-readable form of [stats]: same numbers as the text
+   output (plus the cumulative I/O totals), one JSON object. *)
+let stats_json storage =
+  let doc = Blas.Storage.doc storage in
+  let guide = Blas.Storage.guide storage in
+  let table = storage.Blas.Storage.table in
+  let free, span = Blas.Update.gap_budget storage in
+  let pool = Blas.Storage.pool storage in
+  let open Blas_obs.Json in
+  Obj
+    ([
+       ("nodes", Int (Blas_xpath.Doc.node_count doc));
+       ("tags", Int (List.length (Blas_xml.Dataguide.distinct_tags guide)));
+       ("depth", Int (Blas_xml.Dataguide.max_depth guide));
+       ("paths", Int (List.length (Blas_xml.Dataguide.all_paths guide)));
+       ( "update_headroom",
+         Obj
+           [
+             ("free_positions", Int free);
+             ("span", Int span);
+             ("tag_count", Int (Blas_label.Tag_table.tag_count table));
+             ("height", Int (Blas_label.Tag_table.height table));
+             ("m", Str (Blas_label.Bignum.to_string (Blas_label.Tag_table.m table)));
+           ] );
+       ( "pool",
+         Obj
+           [
+             ("requests", Int (Blas_rel.Buffer_pool.requests pool));
+             ("misses", Int (Blas_rel.Buffer_pool.misses pool));
+             ("writes", Int (Blas_rel.Buffer_pool.writes pool));
+             ( "dirty_evictions",
+               Int (Blas_rel.Buffer_pool.dirty_evictions pool) );
+           ] );
+     ]
+    @
+    match Blas.Storage.disk storage with
+    | None -> []
+    | Some d ->
+      let s = d.Blas.Storage.dk_stats () in
+      let io = d.Blas.Storage.dk_io () in
+      [
+        ( "disk",
+          Obj
+            [
+              ("path", Str s.Blas.Storage.dstat_path);
+              ("file_bytes", Int s.Blas.Storage.dstat_file_bytes);
+              ("page_size", Int s.Blas.Storage.dstat_page_size);
+              ("pages", Int s.Blas.Storage.dstat_page_count);
+              ("live_pages", Int s.Blas.Storage.dstat_live_pages);
+              ("live_bytes", Int s.Blas.Storage.dstat_live_bytes);
+              ("wal_bytes", Int s.Blas.Storage.dstat_wal_bytes);
+              ("cache_pages", Int s.Blas.Storage.dstat_cache_pages);
+              ("cache_resident", Int s.Blas.Storage.dstat_cache_resident);
+              ("wal_fsyncs", Int io.Blas_disk.Store.io_wal_fsyncs);
+              ("wal_fsync_ns", Int io.Blas_disk.Store.io_wal_fsync_ns);
+              ("commits", Int io.Blas_disk.Store.io_commits);
+              ("checkpoints", Int io.Blas_disk.Store.io_checkpoints);
+              ("checkpoint_ns", Int io.Blas_disk.Store.io_checkpoint_ns);
+              ("page_reads", Int io.Blas_disk.Store.io_page_reads);
+              ("page_read_ns", Int io.Blas_disk.Store.io_page_read_ns);
+            ] );
+      ])
+
+let stats () ?cache_pages ~json path =
   match load_storage ?cache_pages path with
   | Error msg -> `Error (false, msg)
+  | Ok storage when json ->
+    print_endline (Blas_obs.Json.to_string_pretty (stats_json storage));
+    `Ok ()
   | Ok storage ->
     let doc = Blas.Storage.doc storage in
     let guide = Blas.Storage.guide storage in
@@ -246,16 +312,32 @@ let stats () ?cache_pages path =
       Printf.printf "  wal: %d bytes pending checkpoint\n" s.dstat_wal_bytes;
       Printf.printf "  page cache: %d/%d pages resident (%.1f%%)\n"
         s.dstat_cache_resident s.dstat_cache_pages
-        (pct s.dstat_cache_resident s.dstat_cache_pages));
+        (pct s.dstat_cache_resident s.dstat_cache_pages);
+      let io = d.Blas.Storage.dk_io () in
+      Printf.printf
+        "  io: %d page reads (%.1f ms), %d commits, %d WAL fsyncs (%.1f ms), \
+         %d checkpoints (%.1f ms)\n"
+        io.Blas_disk.Store.io_page_reads
+        (float_of_int io.Blas_disk.Store.io_page_read_ns /. 1e6)
+        io.Blas_disk.Store.io_commits io.Blas_disk.Store.io_wal_fsyncs
+        (float_of_int io.Blas_disk.Store.io_wal_fsync_ns /. 1e6)
+        io.Blas_disk.Store.io_checkpoints
+        (float_of_int io.Blas_disk.Store.io_checkpoint_ns /. 1e6));
     `Ok ()
 
 let stats_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the same numbers as one machine-readable JSON object.")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print document characteristics (Figure 12 columns).")
     Term.(
       ret
-        (const (fun () pages path -> stats () ?cache_pages:pages path)
-        $ logs_term $ pages_arg $ input_arg))
+        (const (fun () pages json path -> stats () ?cache_pages:pages ~json path)
+        $ logs_term $ pages_arg $ json_arg $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* translate                                                           *)
@@ -331,6 +413,8 @@ let merge_reports (reports : Blas.report list) =
       List.fold_left (fun acc (r : Blas.report) -> acc + r.page_reads) 0 reports;
     plan_djoins =
       List.fold_left (fun acc (r : Blas.report) -> acc + r.plan_djoins) 0 reports;
+    memo_hits =
+      List.fold_left (fun acc (r : Blas.report) -> acc + r.memo_hits) 0 reports;
     sql = None;
     counters;
   }
@@ -758,7 +842,7 @@ let cache_cmd =
 (* serve                                                               *)
 
 let serve () host port docs_dir jobs max_inflight queue_depth timeout_ms
-    no_cache allow_sleep pages =
+    no_cache allow_sleep metrics_port slow_ms slow_log pages =
   (* Writable: live UPDATE verbs against database files commit to the
      file; XML-backed documents are unaffected. *)
   match Blas.Loader.load_dir ~rw:true ?cache_pages:pages docs_dir with
@@ -769,7 +853,8 @@ let serve () host port docs_dir jobs max_inflight queue_depth timeout_ms
   | Ok docs ->
     let config =
       {
-        Blas_server.Server.host;
+        Blas_server.Server.default_config with
+        host;
         port;
         jobs;
         max_inflight;
@@ -777,6 +862,9 @@ let serve () host port docs_dir jobs max_inflight queue_depth timeout_ms
         default_deadline_ms = timeout_ms;
         cache = not no_cache;
         allow_sleep;
+        metrics_port;
+        slow_ms;
+        slow_log;
       }
     in
     let server = Blas_server.Server.start config ~docs in
@@ -788,6 +876,9 @@ let serve () host port docs_dir jobs max_inflight queue_depth timeout_ms
     ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
     Printf.printf "serving %d document(s) on %s:%d\n%!" (List.length docs) host
       (Blas_server.Server.port server);
+    Option.iter
+      (fun p -> Printf.printf "metrics on http://%s:%d/metrics\n%!" host p)
+      (Blas_server.Server.metrics_port server);
     Blas_server.Server.wait server;
     prerr_endline "draining...";
     Blas_server.Server.stop server;
@@ -841,6 +932,31 @@ let serve_cmd =
       & info [ "allow-sleep" ]
           ~doc:"Accept the debug SLEEP verb (tests and benchmarks only).")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Also serve plain-HTTP GET /metrics (Prometheus text format) and \
+             /metrics.json on this port (0 picks an ephemeral port).")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log requests at or above this latency to the slow-query log \
+             (structured JSONL, size-rotated).")
+  in
+  let slow_log =
+    Arg.(
+      value
+      & opt string Blas_server.Server.default_config.slow_log
+      & info [ "slow-log" ] ~docv:"PATH"
+          ~doc:"Slow-query log path (with --slow-ms).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -851,7 +967,7 @@ let serve_cmd =
       ret
         (const serve $ logs_term $ host $ port $ docs_dir $ jobs_arg
        $ max_inflight $ queue_depth $ timeout_ms $ no_cache_arg $ allow_sleep
-       $ pages_arg))
+       $ metrics_port $ slow_ms $ slow_log $ pages_arg))
 
 (* ------------------------------------------------------------------ *)
 (* connect / query (network clients)                                   *)
@@ -890,7 +1006,9 @@ let connect () endpoint =
         | "" -> loop ()
         | line when
             (match Blas_server.Proto.parse_command line with
-            | Ok (Blas_server.Proto.Deadline _) -> true
+            | Ok (Blas_server.Proto.Deadline _ | Blas_server.Proto.Trace_hdr)
+              ->
+              true
             | _ -> false) ->
           (* Headers carry no reply frame — send and keep reading. *)
           Blas_server.Client.send_line client line;

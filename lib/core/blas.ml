@@ -42,6 +42,7 @@ type report = Exec.report = {
   visited : int;
   page_reads : int;
   plan_djoins : int;
+  memo_hits : int;
   sql : Blas_rel.Sql_ast.t option;
   counters : Blas_rel.Counters.t;
 }
@@ -121,8 +122,8 @@ let query_union s = Blas_xpath.Parser.parse_union s
     (each run may fan out further when the batch is narrower than the
     pool); reports merge in query order, so the merged report matches
     the sequential one. *)
-let run_union ?cancel ?pool ?cache storage ~engine ~translator queries =
-  let run_one q = run ?cancel ?pool ?cache storage ~engine ~translator q in
+let run_union ?tracer ?cancel ?pool ?cache storage ~engine ~translator queries =
+  let run_one q = run ?tracer ?cancel ?pool ?cache storage ~engine ~translator q in
   let reports =
     match pool with
     | Some p when Blas_par.Pool.size p > 1 && List.length queries > 1 ->
@@ -138,6 +139,7 @@ let run_union ?cancel ?pool ?cache storage ~engine ~translator queries =
     visited = List.fold_left (fun acc r -> acc + r.visited) 0 reports;
     page_reads = List.fold_left (fun acc r -> acc + r.page_reads) 0 reports;
     plan_djoins = List.fold_left (fun acc r -> acc + r.plan_djoins) 0 reports;
+    memo_hits = List.fold_left (fun acc r -> acc + r.memo_hits) 0 reports;
     counters;
     sql =
       (match sqls with

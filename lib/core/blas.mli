@@ -74,6 +74,9 @@ type report = Exec.report = {
           accesses; flush first with {!Storage.cold_cache} for the
           paper's cold-cache protocol *)
   plan_djoins : int;  (** D-joins in the executed plan *)
+  memo_hits : int;
+      (** runs served whole from the query-result memo (0 or 1 per
+          {!run}; union reports sum them) *)
   sql : Blas_rel.Sql_ast.t option;
       (** the generated SQL; [None] for twig runs or provably empty
           queries *)
@@ -178,6 +181,7 @@ val query_union : string -> Blas_xpath.Ast.t list
     combined SQL is the UNION of the per-query plans.  With a
     multi-domain [pool], the batch runs concurrently. *)
 val run_union :
+  ?tracer:Blas_obs.Trace.t ->
   ?cancel:(unit -> unit) ->
   ?pool:Par.t ->
   ?cache:bool ->

@@ -580,6 +580,10 @@ let open_ ?(cache_pages = default_cache_pages) ?(stripes = 1) ~mode ~path () =
         Storage.dk_path = path;
         dk_readonly = (mode = Ro);
         dk_stats = stats db;
+        dk_io = (fun () -> Store.io_totals db.store);
+        dk_wal_bytes = (fun () -> Store.wal_size db.store);
+        dk_set_metrics =
+          (fun registry ~labels -> Store.set_metrics db.store registry ~labels);
         dk_with_tx = (fun f -> with_tx db f);
         dk_checkpoint = (fun () -> Store.checkpoint db.store);
         dk_close = (fun () -> Store.close db.store);

@@ -36,6 +36,10 @@ type report = {
   visited : int;  (** base-table tuples / stream elements read *)
   page_reads : int;  (** buffer-pool misses — modelled disk accesses *)
   plan_djoins : int;  (** D-joins in the executed plan *)
+  memo_hits : int;
+      (** runs served whole from the query-result memo (0 or 1 per
+          {!run}; union reports sum them) — the serving layer's cache
+          outcome attribution *)
   sql : Blas_rel.Sql_ast.t option;  (** the generated SQL ([None]: provably empty) *)
   counters : Blas_rel.Counters.t;  (** the full cost vector of this run *)
 }
@@ -131,6 +135,7 @@ let empty_report sql =
     visited = 0;
     page_reads = 0;
     plan_djoins = 0;
+    memo_hits = 0;
     sql;
     counters = Blas_rel.Counters.create ();
   }
@@ -142,6 +147,7 @@ let report_of_counters ~starts ~plan_djoins ~sql (counters : Blas_rel.Counters.t
     visited = counters.Blas_rel.Counters.tuples_read;
     page_reads = counters.Blas_rel.Counters.page_reads;
     plan_djoins;
+    memo_hits = 0;
     sql;
     counters;
   }
@@ -285,6 +291,7 @@ let report_of_result_entry (e : Qcache.result_entry) =
     visited = 0;
     page_reads = 0;
     plan_djoins = e.Qcache.r_plan_djoins;
+    memo_hits = 1;
     sql = e.Qcache.r_sql;
     counters = Blas_rel.Counters.create ();
   }
@@ -357,8 +364,26 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?(cancel = ignore) ?pool ?cache
               ~translator:(translator_name translator) ~query:qstr )
       | _ -> None
     in
+    let probe () = Option.bind memo (fun (qcv, key) -> Qcache.find_result qcv key) in
     let memo_hit =
-      Option.bind memo (fun (qcv, key) -> Qcache.find_result qcv key)
+      (* The cache-probe span is recorded post hoc so the disabled path
+         pays no clock reads. *)
+      if Blas_obs.Trace.enabled tracer then begin
+        let t0p = Blas_obs.Clock.now_ns () in
+        let hit = probe () in
+        let outcome =
+          match (hit, memo) with
+          | Some _, _ -> "hit"
+          | None, Some _ -> "miss"
+          | None, None -> "off"
+        in
+        Blas_obs.Trace.record tracer
+          ~attrs:[ ("outcome", outcome) ]
+          ~name:"cache-probe" ~start_ns:t0p
+          ~duration_ns:(Blas_obs.Clock.elapsed_ns t0p) ();
+        hit
+      end
+      else probe ()
     in
     match memo_hit with
     | Some entry -> report_of_result_entry entry

@@ -35,6 +35,16 @@ type disk = {
   dk_path : string;
   dk_readonly : bool;
   dk_stats : unit -> disk_stats;
+  dk_io : unit -> Blas_disk.Store.io;
+      (** cumulative I/O totals (fsyncs, checkpoints, page reads, each
+          with nanoseconds) — the serving layer mirrors them into
+          metrics and derives trace spans from deltas *)
+  dk_wal_bytes : unit -> int;
+      (** current WAL backlog, cheaply (unlike [dk_stats], which scans
+          live pages) — safe to poll on every metrics scrape *)
+  dk_set_metrics : Blas_obs.Metrics.t -> labels:(string * string) list -> unit;
+      (** install event-time duration histograms (WAL fsync,
+          checkpoint) in a registry *)
   dk_with_tx :
     (unit -> Blas_update.Update_engine.report) ->
     Blas_update.Update_engine.report;

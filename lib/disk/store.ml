@@ -22,6 +22,30 @@
 
 type mode = Pager.mode = Ro | Rw
 
+module Obs_metrics = Blas_obs.Metrics
+
+(** Cumulative I/O totals for one store: commit-path WAL fsyncs,
+    checkpoints, and physical page reads, each with monotonic
+    nanoseconds.  The serving layer mirrors these into its metrics
+    registry and synthesizes pager/WAL I/O trace spans from deltas. *)
+type io = {
+  io_wal_fsyncs : int;
+  io_wal_fsync_ns : int;
+  io_commits : int;
+  io_checkpoints : int;
+  io_checkpoint_ns : int;
+  io_page_reads : int;
+  io_page_read_ns : int;
+}
+
+(* Optional event-time histogram handles (durations want a
+   distribution, not just a total; counts are mirrored from {!io} at
+   scrape time instead). *)
+type obs = {
+  ob_fsync_ns : Obs_metrics.histogram;
+  ob_checkpoint_ns : Obs_metrics.histogram;
+}
+
 type tx = {
   writes : (int, string) Hashtbl.t;
   mutable order : int list;  (** distinct page ids, most recent first *)
@@ -39,6 +63,15 @@ type t = {
   mutable bulk : bool;  (** initial load: direct writes, no WAL *)
   checkpoint_bytes : int;
   mutable closed : bool;
+  (* I/O totals.  Page reads race across query domains (the buffer
+     pool's stripes read through concurrently), so they are atomics;
+     commits and checkpoints serialize on the database tx lock. *)
+  st_page_reads : int Atomic.t;
+  st_page_read_ns : int Atomic.t;
+  mutable st_commits : int;
+  mutable st_checkpoints : int;
+  mutable st_checkpoint_ns : int;
+  mutable st_obs : obs option;
 }
 
 let default_checkpoint_bytes = 4 * 1024 * 1024
@@ -91,6 +124,12 @@ let open_path ?(checkpoint_bytes = default_checkpoint_bytes) ~path ~mode () =
         bulk = false;
         checkpoint_bytes;
         closed = false;
+        st_page_reads = Atomic.make 0;
+        st_page_read_ns = Atomic.make 0;
+        st_commits = 0;
+        st_checkpoints = 0;
+        st_checkpoint_ns = 0;
+        st_obs = None;
       }
   | Ro ->
       let overlay = Hashtbl.create 16 in
@@ -121,6 +160,12 @@ let open_path ?(checkpoint_bytes = default_checkpoint_bytes) ~path ~mode () =
         bulk = false;
         checkpoint_bytes;
         closed = false;
+        st_page_reads = Atomic.make 0;
+        st_page_read_ns = Atomic.make 0;
+        st_commits = 0;
+        st_checkpoints = 0;
+        st_checkpoint_ns = 0;
+        st_obs = None;
       }
 
 let create ?(checkpoint_bytes = default_checkpoint_bytes) ~path ~page_size () =
@@ -140,6 +185,12 @@ let create ?(checkpoint_bytes = default_checkpoint_bytes) ~path ~page_size () =
     bulk = false;
     checkpoint_bytes;
     closed = false;
+    st_page_reads = Atomic.make 0;
+    st_page_read_ns = Atomic.make 0;
+    st_commits = 0;
+    st_checkpoints = 0;
+    st_checkpoint_ns = 0;
+    st_obs = None;
   }
 
 let mode t = Pager.mode t.pager
@@ -149,6 +200,34 @@ let capacity t = Pager.capacity t.pager
 let file_size t = Pager.file_size t.pager
 let wal_size t = match t.wal with None -> 0 | Some w -> Wal.size w
 let in_tx t = t.tx <> None
+
+(** Cumulative I/O totals since open. *)
+let io_totals t =
+  let io_wal_fsyncs, io_wal_fsync_ns =
+    match t.wal with None -> (0, 0) | Some w -> Wal.fsync_totals w
+  in
+  {
+    io_wal_fsyncs;
+    io_wal_fsync_ns;
+    io_commits = t.st_commits;
+    io_checkpoints = t.st_checkpoints;
+    io_checkpoint_ns = t.st_checkpoint_ns;
+    io_page_reads = Atomic.get t.st_page_reads;
+    io_page_read_ns = Atomic.get t.st_page_read_ns;
+  }
+
+(** [set_metrics t registry ~labels] installs event-time duration
+    histograms ([blas.disk.wal.fsync_ns], [blas.disk.checkpoint_ns])
+    under [labels]; counts are left to scrape-time mirroring of
+    {!io_totals}. *)
+let set_metrics t registry ~labels =
+  t.st_obs <-
+    Some
+      {
+        ob_fsync_ns = Obs_metrics.histogram registry ~labels "blas.disk.wal.fsync_ns";
+        ob_checkpoint_ns =
+          Obs_metrics.histogram registry ~labels "blas.disk.checkpoint_ns";
+      }
 
 let page_count t =
   match t.tx with
@@ -173,7 +252,14 @@ let read_page t id =
   | None -> (
       match Hashtbl.find_opt t.overlay id with
       | Some payload -> payload
-      | None -> Pager.read_page t.pager id)
+      | None ->
+          let t0 = Blas_obs.Clock.now_ns () in
+          let payload = Pager.read_page t.pager id in
+          Atomic.incr t.st_page_reads;
+          ignore
+            (Atomic.fetch_and_add t.st_page_read_ns
+               (Int64.to_int (Blas_obs.Clock.elapsed_ns t0)));
+          payload)
 
 let begin_tx t =
   if mode t <> Rw then invalid_arg "Store.begin_tx: read-only store";
@@ -233,8 +319,15 @@ let checkpoint t =
   | None -> ()
   | Some wal ->
       if t.tx <> None then invalid_arg "Store.checkpoint: transaction open";
+      let t0 = Blas_obs.Clock.now_ns () in
       Pager.sync t.pager;
-      Wal.reset wal
+      Wal.reset wal;
+      let dt = Int64.to_int (Blas_obs.Clock.elapsed_ns t0) in
+      t.st_checkpoints <- t.st_checkpoints + 1;
+      t.st_checkpoint_ns <- t.st_checkpoint_ns + dt;
+      (match t.st_obs with
+      | Some ob -> Obs_metrics.observe ob.ob_checkpoint_ns (float_of_int dt)
+      | None -> ())
 
 let commit t =
   let tx = require_tx t "commit" in
@@ -249,7 +342,14 @@ let commit t =
   let root =
     match tx.tx_root with Some r -> Some r | None -> Some (Pager.root t.pager)
   in
+  let _, fsync_ns0 = Wal.fsync_totals wal in
   Wal.append_tx wal ~pages ~root ~count:tx.tx_count;
+  t.st_commits <- t.st_commits + 1;
+  (match t.st_obs with
+  | Some ob ->
+      let _, fsync_ns1 = Wal.fsync_totals wal in
+      Obs_metrics.observe ob.ob_fsync_ns (float_of_int (fsync_ns1 - fsync_ns0))
+  | None -> ());
   (* 2. Apply to the main file; the fsync'd WAL redoes this on crash. *)
   List.iter (fun (id, payload) -> Pager.write_page t.pager id payload) pages;
   (match tx.tx_root with None -> () | Some r -> Pager.set_root t.pager r);

@@ -36,6 +36,11 @@ type t = {
   writable : bool;
   mutable pos : int;  (** append offset = bytes of valid log *)
   mutable closed : bool;
+  (* Commit-path fsync totals (count and monotonic nanoseconds).  Only
+     the single writer touches these — appends and resets serialize on
+     the database transaction lock — so plain fields suffice. *)
+  mutable fsyncs : int;
+  mutable fsync_ns : int;
 }
 
 type record =
@@ -101,7 +106,7 @@ let open_ro_opt ~db_path =
   if Sys.file_exists path then
     let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
     let pos = (Unix.fstat fd).st_size in
-    Some { path; fd; writable = false; pos; closed = false }
+    Some { path; fd; writable = false; pos; closed = false; fsyncs = 0; fsync_ns = 0 }
   else None
 
 let open_rw ~db_path ~page_size =
@@ -124,10 +129,21 @@ let open_rw ~db_path ~page_size =
         Io.fsync fd;
         header_len
   in
-  { path; fd; writable = true; pos; closed = false }
+  { path; fd; writable = true; pos; closed = false; fsyncs = 0; fsync_ns = 0 }
 
 (** Bytes of committed log payload past the header. *)
 let size t = max 0 (t.pos - header_len)
+
+(* Timed fsync on the log descriptor, accumulated into the totals the
+   store mirrors into its metrics registry. *)
+let timed_fsync t =
+  let t0 = Blas_obs.Clock.now_ns () in
+  Io.fsync t.fd;
+  t.fsyncs <- t.fsyncs + 1;
+  t.fsync_ns <- t.fsync_ns + Int64.to_int (Blas_obs.Clock.elapsed_ns t0)
+
+(** Commit-path fsyncs so far: count and total monotonic nanoseconds. *)
+let fsync_totals t = (t.fsyncs, t.fsync_ns)
 
 (** Appends a whole transaction (page images, optional root, commit
     marker carrying the new page count) as one write, then fsyncs. *)
@@ -139,7 +155,7 @@ let append_tx t ~pages ~root ~count =
   add_record buf (Commit count);
   let s = Buffer.contents buf in
   Io.pwrite t.fd ~off:t.pos s;
-  Io.fsync t.fd;
+  timed_fsync t;
   t.pos <- t.pos + String.length s
 
 (** [replay t ~apply] scans the log and calls [apply] once per fully
@@ -205,7 +221,7 @@ and replay_body t src ~apply =
 let reset t =
   if not t.writable then invalid_arg "Wal.reset: read-only";
   Io.ftruncate t.fd header_len;
-  Io.fsync t.fd;
+  timed_fsync t;
   t.pos <- header_len
 
 let close t =

@@ -1,0 +1,138 @@
+(** Prometheus text exposition (format version 0.0.4) over a
+    {!Metrics.snapshot}.
+
+    The registry's dotted names are sanitized to the Prometheus
+    alphabet ([.] and anything else outside [[a-zA-Z0-9_:]] become
+    [_]), counters gain the conventional [_total] suffix, and each
+    histogram renders as the cumulative [_bucket{le=...}] series plus
+    [_sum] and [_count].  Series sharing a metric name are grouped
+    under a single [# TYPE] line, as scrapers require. *)
+
+let sanitize_name name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+(* Label values escape backslash, double-quote and newline, per the
+   exposition format. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels buf labels =
+  match labels with
+  | [] -> ()
+  | labels ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (sanitize_name k);
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+
+(* Prometheus floats: plain decimal, no OCaml-isms ("1." is invalid). *)
+let render_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let type_of_view = function
+  | Metrics.V_counter _ -> "counter"
+  | Metrics.V_gauge _ -> "gauge"
+  | Metrics.V_histogram _ -> "histogram"
+
+let exposed_name name view =
+  let base = sanitize_name name in
+  match view with Metrics.V_counter _ -> base ^ "_total" | _ -> base
+
+let render_series buf name labels view =
+  match view with
+  | Metrics.V_counter n ->
+    Buffer.add_string buf name;
+    render_labels buf labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int n);
+    Buffer.add_char buf '\n'
+  | Metrics.V_gauge v ->
+    Buffer.add_string buf name;
+    render_labels buf labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (render_float v);
+    Buffer.add_char buf '\n'
+  | Metrics.V_histogram h ->
+    List.iter
+      (fun (upper, cum) ->
+        Buffer.add_string buf name;
+        Buffer.add_string buf "_bucket";
+        render_labels buf (labels @ [ ("le", render_float upper) ]);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int cum);
+        Buffer.add_char buf '\n')
+      h.Metrics.hv_buckets;
+    Buffer.add_string buf name;
+    Buffer.add_string buf "_bucket";
+    render_labels buf (labels @ [ ("le", "+Inf") ]);
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int h.Metrics.hv_count);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf name;
+    Buffer.add_string buf "_sum";
+    render_labels buf labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (render_float h.Metrics.hv_sum);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf name;
+    Buffer.add_string buf "_count";
+    render_labels buf labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int h.Metrics.hv_count);
+    Buffer.add_char buf '\n'
+
+let render registry =
+  let snap = Metrics.snapshot registry in
+  (* Group label variants under one TYPE line, keeping first-seen
+     order.  A name reused with a different kind (the registry forbids
+     it per label set, but distinct label sets could in principle
+     diverge) keeps the first kind's group. *)
+  let groups = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun ((name, labels), view) ->
+      let exposed = exposed_name name view in
+      match Hashtbl.find_opt groups exposed with
+      | Some series -> series := (labels, view) :: !series
+      | None ->
+        Hashtbl.replace groups exposed (ref [ (labels, view) ]);
+        order := (exposed, type_of_view view) :: !order)
+    snap;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (exposed, ty) ->
+      Buffer.add_string buf "# TYPE ";
+      Buffer.add_string buf exposed;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf ty;
+      Buffer.add_char buf '\n';
+      let series = List.rev !(Hashtbl.find groups exposed) in
+      List.iter (fun (labels, view) -> render_series buf exposed labels view) series)
+    (List.rev !order);
+  Buffer.contents buf

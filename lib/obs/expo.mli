@@ -1,0 +1,14 @@
+(** Prometheus text exposition (format version 0.0.4).
+
+    Renders a whole {!Metrics} registry: dotted metric names are
+    sanitized to the Prometheus alphabet, counters gain [_total],
+    histograms become cumulative [_bucket{le=...}]/[_sum]/[_count]
+    series, and label variants group under one [# TYPE] line. *)
+
+(** The full registry as Prometheus text.  Serve it with content type
+    [text/plain; version=0.0.4]. *)
+val render : Metrics.t -> string
+
+(** [sanitize_name s] — [s] with every character outside
+    [[a-zA-Z0-9_:]] (and a leading digit) replaced by [_]. *)
+val sanitize_name : string -> string

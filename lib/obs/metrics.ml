@@ -220,6 +220,47 @@ let entries t =
   reg_locked t @@ fun () ->
   List.rev_map (fun k -> (k, Hashtbl.find t.cells k)) t.order
 
+(* The exclusive upper bound of bucket [i] — what a cumulative
+   exposition format (Prometheus [le]) reports. *)
+let bucket_upper h i =
+  10. ** (float_of_int (i + 1) /. float_of_int h.bpd +. float_of_int lo_decade)
+
+type hview = {
+  hv_count : int;
+  hv_sum : float;
+  hv_buckets : (float * int) list;
+      (* (upper bound, cumulative count), non-empty buckets only *)
+}
+
+type view = V_counter of int | V_gauge of float | V_histogram of hview
+
+let snapshot t =
+  List.map
+    (fun (k, cell) ->
+      let view =
+        match cell with
+        | Counter c -> V_counter (Atomic.get c)
+        | Gauge g -> V_gauge (Atomic.get g)
+        | Histogram h ->
+          hist_locked h (fun () ->
+              let cum = ref 0 and acc = ref [] in
+              Array.iteri
+                (fun i n ->
+                  if n > 0 then begin
+                    cum := !cum + n;
+                    acc := (bucket_upper h i, !cum) :: !acc
+                  end)
+                h.buckets;
+              V_histogram
+                {
+                  hv_count = h.h_count;
+                  hv_sum = h.h_sum;
+                  hv_buckets = List.rev !acc;
+                })
+      in
+      ((k.name, k.labels), view))
+    (entries t)
+
 let pp_key ppf k =
   Format.pp_print_string ppf k.name;
   match k.labels with

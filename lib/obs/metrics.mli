@@ -70,6 +70,23 @@ val percentile : histogram -> float -> float
 
 (** {2 Exporters} *)
 
+(** A point-in-time view of one histogram: total count, total sum, and
+    the non-empty buckets as (upper bound, cumulative count) pairs —
+    the shape a cumulative exposition format (Prometheus [le]) wants. *)
+type hview = {
+  hv_count : int;
+  hv_sum : float;
+  hv_buckets : (float * int) list;
+}
+
+type view = V_counter of int | V_gauge of float | V_histogram of hview
+
+(** [snapshot t] — every registered metric in registration order as
+    [((name, labels), view)], each cell read atomically (histograms
+    under their own lock).  The raw material for external exposition
+    formats; see {!Expo}. *)
+val snapshot : t -> ((string * (string * string) list) * view) list
+
 (** Aligned-text dump, one metric per line in registration order. *)
 val pp : Format.formatter -> t -> unit
 

@@ -1,0 +1,72 @@
+(** The slow-query log: threshold-gated structured JSONL with
+    size-based rotation.
+
+    One record per line, appended under a mutex so concurrent server
+    workers never interleave bytes.  When the file passes [max_bytes]
+    it rotates once: the current file is renamed to [path ^ ".1"]
+    (replacing any previous rotation) and a fresh file is opened — a
+    bounded two-file budget, not an unbounded archive. *)
+
+type t = {
+  path : string;
+  threshold_ns : int64;
+  max_bytes : int;
+  lock : Mutex.t;
+  mutable oc : out_channel;
+  mutable bytes : int;
+}
+
+let open_out_at path =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  (oc, out_channel_length oc)
+
+let create ~path ~threshold_ms ?(max_bytes = 16 * 1024 * 1024) () =
+  if max_bytes < 1 then invalid_arg "Slowlog.create: max_bytes must be >= 1";
+  let oc, bytes = open_out_at path in
+  {
+    path;
+    threshold_ns = Int64.of_float (threshold_ms *. 1e6);
+    max_bytes;
+    lock = Mutex.create ();
+    oc;
+    bytes;
+  }
+
+let threshold_ns t = t.threshold_ns
+
+let path t = t.path
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let rotate t =
+  close_out_noerr t.oc;
+  (try Sys.rename t.path (t.path ^ ".1") with Sys_error _ -> ());
+  let oc, bytes = open_out_at t.path in
+  t.oc <- oc;
+  t.bytes <- bytes
+
+(* [maybe t ~elapsed_ns mk] appends [mk ()] when the request was slow
+   enough; the record thunk only runs past the threshold, so the fast
+   path costs one comparison. *)
+let maybe t ~elapsed_ns mk =
+  if Int64.compare elapsed_ns t.threshold_ns >= 0 then
+    locked t @@ fun () ->
+    let line = Json.to_string (mk ()) in
+    if t.bytes + String.length line + 1 > t.max_bytes && t.bytes > 0 then
+      rotate t;
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    t.bytes <- t.bytes + String.length line + 1
+
+let close t = locked t @@ fun () -> close_out_noerr t.oc

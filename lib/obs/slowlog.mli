@@ -1,0 +1,22 @@
+(** The slow-query log: threshold-gated structured JSONL records with
+    size-based rotation (one rename to [path ^ ".1"], then a fresh
+    file — a bounded two-file budget). *)
+
+type t
+
+(** [create ~path ~threshold_ms ()] opens (appending) the log at
+    [path]; records for requests at or above [threshold_ms] are kept.
+    [max_bytes] (default 16 MiB) bounds the live file before rotation.
+    @raise Invalid_argument if [max_bytes < 1]. *)
+val create : path:string -> threshold_ms:float -> ?max_bytes:int -> unit -> t
+
+val threshold_ns : t -> int64
+
+val path : t -> string
+
+(** [maybe t ~elapsed_ns mk] appends the record [mk ()] as one JSON
+    line iff [elapsed_ns] meets the threshold; the thunk only runs for
+    slow requests.  Thread-safe; flushes per record. *)
+val maybe : t -> elapsed_ns:int64 -> (unit -> Json.t) -> unit
+
+val close : t -> unit

@@ -1,0 +1,67 @@
+(** A live time series: a fixed-capacity ring of per-interval registry
+    snapshots.
+
+    The server's sampler thread pushes one {!Metrics.to_json} snapshot
+    per interval; [STATS TIMESERIES] (and [bench serve]) read the ring
+    back as JSON, oldest first, so dashboards can derive QPS and
+    latency percentiles over time without scraping externally.  The
+    ring never grows: once full, each push evicts the oldest point. *)
+
+type point = { at_ms : float; (* wall clock, Unix epoch ms *) data : Json.t }
+
+type t = {
+  capacity : int;
+  lock : Mutex.t;
+  buf : point option array;
+  mutable next : int;  (* slot the next push writes *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Timeseries.create: capacity must be >= 1";
+  {
+    capacity;
+    lock = Mutex.create ();
+    buf = Array.make capacity None;
+    next = 0;
+    len = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let capacity t = t.capacity
+
+let length t = locked t (fun () -> t.len)
+
+let push t ~at_ms data =
+  locked t @@ fun () ->
+  t.buf.(t.next) <- Some { at_ms; data };
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.len < t.capacity then t.len <- t.len + 1
+
+(* Points oldest first. *)
+let points t =
+  locked t @@ fun () ->
+  let out = ref [] in
+  for i = 0 to t.len - 1 do
+    let slot = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
+    match t.buf.(slot) with
+    | Some p -> out := p :: !out
+    | None -> ()
+  done;
+  !out
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun p ->
+         Json.Obj [ ("at_ms", Json.Float p.at_ms); ("metrics", p.data) ])
+       (points t))

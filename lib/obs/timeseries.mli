@@ -1,0 +1,24 @@
+(** A live time series: a fixed-capacity ring of timestamped registry
+    snapshots, read back oldest first as JSON.  Thread-safe; once full,
+    each push evicts the oldest point. *)
+
+type point = { at_ms : float; data : Json.t }
+
+type t
+
+(** @raise Invalid_argument if [capacity < 1]. *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+val length : t -> int
+
+(** [push t ~at_ms data] appends one point ([at_ms] is wall-clock Unix
+    epoch milliseconds). *)
+val push : t -> at_ms:float -> Json.t -> unit
+
+(** Points oldest first. *)
+val points : t -> point list
+
+(** [[{"at_ms": ..., "metrics": ...}, ...]], oldest first. *)
+val to_json : t -> Json.t

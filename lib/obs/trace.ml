@@ -97,6 +97,31 @@ let with_span t ?(attrs = []) name f =
       f
   end
 
+(* Trace ids: unique within the process and unlikely to collide across
+   restarts (the low bits of the boot-time clock seed the prefix).  The
+   server hands one to every traced request and files the finished
+   tree under it in its ring. *)
+let id_seed = Int64.logand (Clock.now_ns ()) 0xFFFF_FFFFL
+
+let id_counter = Atomic.make 0
+
+let fresh_id () =
+  Printf.sprintf "t%08Lx-%d" id_seed (Atomic.fetch_and_add id_counter 1)
+
+(* [record] files an already-measured interval as a completed span —
+   for waits that elapse before any span can be open (admission-queue
+   time measured from the enqueue stamp) or that were timed by a layer
+   without tracer access (I/O totals deltas). *)
+let record t ?(attrs = []) ~name ~start_ns ~duration_ns () =
+  if t.on then begin
+    let span = { name; attrs; start_ns; duration_ns; sub = [] } in
+    let dom = (Domain.self () :> int) in
+    locked t @@ fun () ->
+    match Hashtbl.find_opt t.stacks dom with
+    | Some (parent :: _) -> parent.sub <- span :: parent.sub
+    | Some [] | None -> t.finished <- span :: t.finished
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                          *)
 

@@ -33,6 +33,24 @@ val set_enabled : t -> bool -> unit
     raises.  On a disabled tracer this is exactly [f ()]. *)
 val with_span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 
+(** [record t ~name ~start_ns ~duration_ns ()] files an
+    already-measured interval as a completed child of the innermost
+    open span of the calling domain (or as a root) — for waits that
+    elapse before a span can open (queue time measured from an enqueue
+    stamp) or intervals timed by a layer without tracer access (I/O
+    totals deltas).  No-op on a disabled tracer. *)
+val record :
+  t ->
+  ?attrs:(string * string) list ->
+  name:string ->
+  start_ns:int64 ->
+  duration_ns:int64 ->
+  unit ->
+  unit
+
+(** A fresh process-unique trace id (clock-seeded prefix + counter). *)
+val fresh_id : unit -> string
+
 (** Completed root spans, oldest first. *)
 val roots : t -> span list
 

@@ -54,6 +54,7 @@ type stripe = {
   mutable requests : int;
   mutable misses : int;
   mutable writes : int;
+  mutable dirty_evictions : int;
 }
 
 type t = { stripes : stripe array; mutable backing : backing option }
@@ -68,6 +69,7 @@ let make_stripe capacity =
     requests = 0;
     misses = 0;
     writes = 0;
+    dirty_evictions = 0;
   }
 
 (** [create_striped ~stripes ~capacity] — a pool of [capacity] pages
@@ -154,6 +156,7 @@ let evict_lru t s =
   match s.tail with
   | None -> ()
   | Some node ->
+    if node.dirty then s.dirty_evictions <- s.dirty_evictions + 1;
     write_back t node;
     unlink s node;
     Hashtbl.remove s.table node.key
@@ -330,13 +333,18 @@ let misses t = sum_over t (fun s -> s.misses)
 (** Pages written by update operations. *)
 let writes t = sum_over t (fun s -> s.writes)
 
+(** Evictions that had to write a dirty page back first — each one is
+    a foreground write stall a better flush schedule could hide. *)
+let dirty_evictions t = sum_over t (fun s -> s.dirty_evictions)
+
 let reset_stats t =
   Array.iter
     (fun stripe ->
       locked stripe (fun s ->
           s.requests <- 0;
           s.misses <- 0;
-          s.writes <- 0))
+          s.writes <- 0;
+          s.dirty_evictions <- 0))
     t.stripes
 
 let pp ppf t =

@@ -101,6 +101,10 @@ val misses : t -> int
 (** Pages written by update operations. *)
 val writes : t -> int
 
+(** Evictions that wrote a dirty page back first (foreground write
+    stalls). *)
+val dirty_evictions : t -> int
+
 val reset_stats : t -> unit
 
 val pp : Format.formatter -> t -> unit

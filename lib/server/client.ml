@@ -75,10 +75,27 @@ let stats t =
   | Proto.Ok_payload p -> p
   | reply -> failwith ("unexpected STATS reply: " ^ Proto.reply_to_string reply)
 
-let query ?deadline_ms t ~doc ~translator ~engine xpath =
+let metrics ?(json = false) t =
+  match request t (Proto.Metrics (if json then `Json else `Prom)) with
+  | Proto.Ok_payload p -> p
+  | reply ->
+    failwith ("unexpected METRICS reply: " ^ Proto.reply_to_string reply)
+
+let timeseries t =
+  match request t Proto.Stats_timeseries with
+  | Proto.Ok_payload p -> p
+  | reply ->
+    failwith
+      ("unexpected STATS TIMESERIES reply: " ^ Proto.reply_to_string reply)
+
+let trace_get t id = request t (Proto.Trace_get id)
+
+let query ?deadline_ms ?(trace = false) t ~doc ~translator ~engine xpath =
+  if trace then send_line t (Proto.command_to_line Proto.Trace_hdr);
   request ?deadline_ms t (Proto.Query { doc; translator; engine; xpath })
 
-let update ?deadline_ms t ~doc edit =
+let update ?deadline_ms ?(trace = false) t ~doc edit =
+  if trace then send_line t (Proto.command_to_line Proto.Trace_hdr);
   request ?deadline_ms t (Proto.Update { doc; edit })
 
 let sleep ?deadline_ms t ms = request ?deadline_ms t (Proto.Sleep ms)

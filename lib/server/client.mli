@@ -37,8 +37,23 @@ val list_docs : t -> string list
 (** The raw STATS payload (pretty-printed JSON). *)
 val stats : t -> string
 
+(** The METRICS payload: Prometheus text exposition, or the registry
+    JSON with [~json:true]. *)
+val metrics : ?json:bool -> t -> string
+
+(** The STATS TIMESERIES payload (JSON, oldest snapshot first). *)
+val timeseries : t -> string
+
+(** [trace_get t id] — a recent trace by id ([ERR] when evicted or
+    unknown). *)
+val trace_get : t -> string -> Proto.reply
+
+(** [~trace:true] sends a [TRACE] header first: the [OK] payload is
+    then the JSON object [{trace_id; payload; trace}] instead of the
+    plain answer text. *)
 val query :
   ?deadline_ms:int ->
+  ?trace:bool ->
   t ->
   doc:string ->
   translator:Blas.translator ->
@@ -46,7 +61,8 @@ val query :
   string ->
   Proto.reply
 
-val update : ?deadline_ms:int -> t -> doc:string -> Proto.edit -> Proto.reply
+val update :
+  ?deadline_ms:int -> ?trace:bool -> t -> doc:string -> Proto.edit -> Proto.reply
 
 (** Debug servers only (see [allow_sleep]). *)
 val sleep : ?deadline_ms:int -> t -> int -> Proto.reply

@@ -8,7 +8,12 @@
       PING
       LIST
       STATS
+      STATS TIMESERIES                       (ring of periodic metric snapshots)
+      METRICS                                (Prometheus text exposition)
+      METRICS JSON
       DEADLINE <ms>                          (header: applies to the next command)
+      TRACE                                  (header: trace the next QUERY / UPDATE)
+      TRACE GET <id>                         (a recent trace by id)
       QUERY <doc> <translator> <engine> <xpath...>
       UPDATE <doc> INSERT <parent> <pos> <xml...>
       UPDATE <doc> DELETE <start>
@@ -51,7 +56,11 @@ type command =
   | Ping
   | List_docs
   | Stats
+  | Stats_timeseries  (** the ring of periodic registry snapshots *)
+  | Metrics of [ `Prom | `Json ]  (** registry exposition *)
   | Deadline of int  (** header: a deadline in ms for the next command *)
+  | Trace_hdr  (** header: trace the next QUERY / UPDATE *)
+  | Trace_get of string  (** a recent trace by id *)
   | Query of {
       doc : string;
       translator : Blas.translator;
@@ -161,6 +170,20 @@ let parse_command line =
     | "PING", "" -> Ok Ping
     | "LIST", "" -> Ok List_docs
     | "STATS", "" -> Ok Stats
+    | "STATS", sub when String.uppercase_ascii sub = "TIMESERIES" ->
+      Ok Stats_timeseries
+    | "STATS", _ -> Error "usage: STATS [TIMESERIES]"
+    | "METRICS", "" -> Ok (Metrics `Prom)
+    | "METRICS", sub when String.uppercase_ascii sub = "JSON" ->
+      Ok (Metrics `Json)
+    | "METRICS", _ -> Error "usage: METRICS [JSON]"
+    | "TRACE", "" -> Ok Trace_hdr
+    | "TRACE", _ -> (
+      match split_n rest_trimmed 1 with
+      | Some ([ sub ], id)
+        when String.uppercase_ascii sub = "GET" && String.trim id <> "" ->
+        Ok (Trace_get (String.trim id))
+      | _ -> Error "usage: TRACE [GET <id>]")
     | "QUIT", "" -> Ok Quit
     | "SHUTDOWN", "" -> Ok Shutdown
     | "DEADLINE", ms ->
@@ -193,9 +216,14 @@ let command_to_line = function
   | Ping -> "PING"
   | List_docs -> "LIST"
   | Stats -> "STATS"
+  | Stats_timeseries -> "STATS TIMESERIES"
+  | Metrics `Prom -> "METRICS"
+  | Metrics `Json -> "METRICS JSON"
   | Quit -> "QUIT"
   | Shutdown -> "SHUTDOWN"
   | Deadline ms -> Printf.sprintf "DEADLINE %d" ms
+  | Trace_hdr -> "TRACE"
+  | Trace_get id -> "TRACE GET " ^ id
   | Sleep ms -> Printf.sprintf "SLEEP %d" ms
   | Query { doc; translator; engine; xpath } ->
     Printf.sprintf "QUERY %s %s %s %s" doc

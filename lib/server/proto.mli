@@ -4,7 +4,8 @@
 
     {v
       PING | LIST | STATS | QUIT | SHUTDOWN
-      DEADLINE <ms>
+      STATS TIMESERIES | METRICS | METRICS JSON
+      DEADLINE <ms> | TRACE | TRACE GET <id>
       QUERY <doc> <translator> <engine> <xpath...>
       UPDATE <doc> INSERT <parent> <pos> <xml...>
       UPDATE <doc> DELETE <start>
@@ -27,7 +28,11 @@ type command =
   | Ping
   | List_docs
   | Stats
+  | Stats_timeseries  (** the ring of periodic registry snapshots *)
+  | Metrics of [ `Prom | `Json ]  (** registry exposition *)
   | Deadline of int  (** header: deadline in ms for the next command *)
+  | Trace_hdr  (** header: trace the next QUERY / UPDATE *)
+  | Trace_get of string  (** a recent trace by id *)
   | Query of {
       doc : string;
       translator : Blas.translator;

@@ -12,5 +12,17 @@ val read : t -> (unit -> 'a) -> 'a
 (** Run [f] holding the lock exclusively. *)
 val write : t -> (unit -> 'a) -> 'a
 
+(** Explicit acquisition — for callers that must time the wait
+    separately from the held section (the serving tier's lock-wait
+    span).  Pair every acquire with its release under [Fun.protect]. *)
+
+val acquire_read : t -> unit
+
+val release_read : t -> unit
+
+val acquire_write : t -> unit
+
+val release_write : t -> unit
+
 (** Instantaneous [(readers, writer)] occupancy (reporting only). *)
 val occupancy : t -> int * bool

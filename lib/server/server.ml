@@ -35,6 +35,14 @@ type config = {
   jobs : int;  (** domain-pool lanes for query execution *)
   cache : bool;  (** per-document semantic query cache *)
   allow_sleep : bool;  (** accept the debug SLEEP verb (tests, bench) *)
+  metrics_port : int option;
+      (** plain-HTTP [GET /metrics] listener; 0 picks an ephemeral port
+          (see {!metrics_port}) *)
+  slow_ms : float option;  (** slow-query log threshold; [None] = off *)
+  slow_log : string;  (** slow-query log path (JSONL) *)
+  ts_interval_ms : int;  (** time-series sampling period *)
+  ts_slots : int;  (** time-series ring capacity *)
+  trace_ring : int;  (** recent traces kept for [TRACE GET] *)
 }
 
 let default_config =
@@ -47,12 +55,19 @@ let default_config =
     jobs = 1;
     cache = true;
     allow_sleep = false;
+    metrics_port = None;
+    slow_ms = None;
+    slow_log = "blas-slow.jsonl";
+    ts_interval_ms = 1000;
+    ts_slots = 120;
+    trace_ring = 64;
   }
 
 type phase = Running | Draining | Stopped
 
 type job = {
-  run : token:Blas.Par.Token.t -> Proto.reply;
+  run : token:Blas.Par.Token.t -> queue_ns:int64 -> Proto.reply;
+      (** [queue_ns] is the admission-queue wait, measured at pick-up *)
   verb : string;
   deadline_ns : int64 option;  (** absolute, on {!Blas_obs.Clock} *)
   enqueued_ns : int64;
@@ -77,6 +92,16 @@ type t = {
   mutable conns : (Unix.file_descr * Thread.t) list;
   owned_pool : Blas.Par.t option;
   started_ns : int64;
+  slowlog : Blas_obs.Slowlog.t option;
+  timeseries : Blas_obs.Timeseries.t;
+  mutable sampler : Thread.t option;
+  http_fd : Unix.file_descr option;  (** the [GET /metrics] listener *)
+  http_port : int option;
+  mutable http : Thread.t option;
+  (* recent traces, retrievable by id: (trace id, serialized body) *)
+  traces : (string * string) option array;
+  traces_lock : Mutex.t;
+  mutable traces_next : int;
   (* resolved metric handles — one hash probe each at startup *)
   m_outcome : string -> Blas_obs.Metrics.counter;
   m_latency : string -> Blas_obs.Metrics.histogram;
@@ -86,6 +111,8 @@ type t = {
 }
 
 let port t = t.port
+
+let metrics_port t = t.http_port
 
 let registry t = t.registry
 
@@ -141,6 +168,7 @@ let submit t job =
    token that expires at the deadline.  Outcome and latency are
    recorded here, so the counters reconcile with what clients saw. *)
 let execute t job =
+  let queue_ns = Int64.sub (now_ns ()) job.enqueued_ns in
   let reply =
     let expired_now () =
       match job.deadline_ns with
@@ -150,7 +178,7 @@ let execute t job =
     if expired_now () then Proto.Timeout
     else
       let token = Blas.Par.Token.create ~expired:expired_now () in
-      match job.run ~token with
+      match job.run ~token ~queue_ns with
       | reply -> reply
       | exception Blas_par.Pool.Cancelled -> Proto.Timeout
       | exception e ->
@@ -194,7 +222,60 @@ let worker_loop t =
   loop ()
 
 (* ------------------------------------------------------------------ *)
-(* STATS                                                              *)
+(* STATS / METRICS                                                    *)
+
+(* Scrape-time mirroring: the disk layer and the buffer pool keep their
+   own cumulative totals (one owner per number); every exposition
+   refreshes the registry from them instead of double-counting events.
+   The handle lookups are hash probes — fine on the scrape path. *)
+let refresh_gauges t =
+  List.iter
+    (fun (d : Service.doc) ->
+      let labels = [ ("doc", d.Service.name) ] in
+      let gauge name = Blas_obs.Metrics.gauge t.registry ~labels name in
+      let counter name = Blas_obs.Metrics.counter t.registry ~labels name in
+      let pool = Blas.Storage.pool d.Service.storage in
+      let requests = Blas_rel.Buffer_pool.requests pool in
+      let misses = Blas_rel.Buffer_pool.misses pool in
+      let ratio =
+        if requests = 0 then 1.0
+        else float_of_int (requests - misses) /. float_of_int requests
+      in
+      Blas_obs.Metrics.set (gauge "blas.pool.hit_ratio") ratio;
+      Blas_obs.Metrics.set_counter
+        (counter "blas.pool.dirty_evictions")
+        (Blas_rel.Buffer_pool.dirty_evictions pool);
+      match Blas.Storage.disk d.Service.storage with
+      | None -> ()
+      | Some dk ->
+        let io = dk.Blas.Storage.dk_io () in
+        Blas_obs.Metrics.set_counter
+          (counter "blas.disk.wal.fsyncs")
+          io.Blas_disk.Store.io_wal_fsyncs;
+        Blas_obs.Metrics.set_counter
+          (counter "blas.disk.commits")
+          io.Blas_disk.Store.io_commits;
+        Blas_obs.Metrics.set_counter
+          (counter "blas.disk.checkpoints")
+          io.Blas_disk.Store.io_checkpoints;
+        Blas_obs.Metrics.set_counter
+          (counter "blas.disk.page.reads")
+          io.Blas_disk.Store.io_page_reads;
+        Blas_obs.Metrics.set
+          (gauge "blas.disk.wal.backlog_bytes")
+          (float_of_int (dk.Blas.Storage.dk_wal_bytes ())))
+    (Service.docs t.service)
+
+(** The METRICS reply body: the refreshed registry, as Prometheus text
+    exposition or as the registry's JSON. *)
+let metrics_payload t fmt =
+  refresh_gauges t;
+  match fmt with
+  | `Prom -> Blas_obs.Expo.render t.registry
+  | `Json -> Blas_obs.Json.to_string_pretty (Blas_obs.Metrics.to_json t.registry)
+
+let timeseries_payload t =
+  Blas_obs.Json.to_string_pretty (Blas_obs.Timeseries.to_json t.timeseries)
 
 let requests_json t =
   Blas_obs.Json.Obj
@@ -206,6 +287,7 @@ let requests_json t =
        [ "ok"; "error"; "busy"; "timeout" ])
 
 let stats_payload t =
+  refresh_gauges t;
   Mutex.lock t.lock;
   let queued = Queue.length t.queue
   and inflight = t.inflight
@@ -238,6 +320,95 @@ let stats_payload t =
          ("docs", Service.docs_json t.service);
          ("metrics", Blas_obs.Metrics.to_json t.registry);
        ])
+
+(* ------------------------------------------------------------------ *)
+(* Request tracing, trace ring and the slow-query log                 *)
+
+let store_trace t id body =
+  Mutex.lock t.traces_lock;
+  t.traces.(t.traces_next) <- Some (id, body);
+  t.traces_next <- (t.traces_next + 1) mod Array.length t.traces;
+  Mutex.unlock t.traces_lock
+
+let find_trace t id =
+  Mutex.lock t.traces_lock;
+  let found =
+    Array.fold_left
+      (fun acc slot ->
+        match slot with Some (i, body) when i = id -> Some body | _ -> acc)
+      None t.traces
+  in
+  Mutex.unlock t.traces_lock;
+  found
+
+let slow_record ~verb ~detail ~elapsed_ns ~queue_ns ~(info : Service.info)
+    ~trace_id () =
+  Blas_obs.Json.Obj
+    ([
+       ("at_ms", Blas_obs.Json.Float (Unix.gettimeofday () *. 1000.));
+       ("verb", Blas_obs.Json.Str verb);
+     ]
+    @ List.map (fun (k, v) -> (k, Blas_obs.Json.Str v)) detail
+    @ [
+        ("elapsed_ns", Blas_obs.Json.Int (Int64.to_int elapsed_ns));
+        ("queue_wait_ns", Blas_obs.Json.Int (Int64.to_int queue_ns));
+        ("lock_wait_ns", Blas_obs.Json.Int (Int64.to_int info.i_lock_wait_ns));
+        ("pages_read", Blas_obs.Json.Int info.i_pages_read);
+        ("cache", Blas_obs.Json.Str info.i_cache);
+        ( "trace_id",
+          if trace_id = "" then Blas_obs.Json.Null
+          else Blas_obs.Json.Str trace_id );
+      ])
+
+(* Runs one admitted QUERY / UPDATE body with the request-scoped
+   observability around it: a fresh per-request tracer when the TRACE
+   header opted in (worker threads share one domain, so a shared tracer
+   would interleave concurrent requests into one tree), the queue wait
+   recorded from the admission stamp, the slow-log gate, and — when
+   traced — the span tree both stored in the ring and returned inline
+   as the JSON payload. *)
+let traced_request t ~traced ~verb ~queue_ns ~detail f =
+  let tracer =
+    if traced then Blas_obs.Trace.create ~enabled:true ()
+    else Blas_obs.Trace.disabled
+  in
+  let trace_id = if traced then Blas_obs.Trace.fresh_id () else "" in
+  let t0 = now_ns () in
+  let reply, info =
+    Blas_obs.Trace.with_span tracer "request"
+      ~attrs:(("verb", verb) :: ("trace_id", trace_id) :: detail)
+    @@ fun () ->
+    Blas_obs.Trace.record tracer ~name:"queue-wait"
+      ~start_ns:(Int64.sub t0 queue_ns) ~duration_ns:queue_ns ();
+    f ~tracer
+  in
+  let elapsed_ns = Blas_obs.Clock.elapsed_ns t0 in
+  Option.iter
+    (fun sl ->
+      Blas_obs.Slowlog.maybe sl ~elapsed_ns
+        (slow_record ~verb ~detail ~elapsed_ns ~queue_ns ~info ~trace_id))
+    t.slowlog;
+  if not traced then reply
+  else begin
+    (* The traced payload replaces the plain one; untraced requests keep
+       byte-identical replies (the soak tests compare them). *)
+    let with_trace rest =
+      Blas_obs.Json.to_string
+        (Blas_obs.Json.Obj
+           (("trace_id", Blas_obs.Json.Str trace_id)
+           :: (rest @ [ ("trace", Blas_obs.Trace.to_json tracer) ])))
+    in
+    match reply with
+    | Proto.Ok_payload payload ->
+      let body = with_trace [ ("payload", Blas_obs.Json.Str payload) ] in
+      store_trace t trace_id body;
+      Proto.Ok_payload body
+    | other ->
+      store_trace t trace_id
+        (with_trace
+           [ ("outcome", Blas_obs.Json.Str (outcome_of_reply other)) ]);
+      other
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Connection handling                                                *)
@@ -282,6 +453,13 @@ let handle_connection t fd =
     header := None;
     h
   in
+  (* The one-shot TRACE header: consumed by the next QUERY / UPDATE. *)
+  let trace_next = ref false in
+  let take_trace () =
+    let v = !trace_next in
+    trace_next := false;
+    v
+  in
   let rec loop () =
     match Proto.Io.read_line io ~max:Proto.max_frame with
     | `Eof -> ()
@@ -307,9 +485,26 @@ let handle_connection t fd =
         | Proto.Stats ->
           Proto.write_reply io (Proto.Ok_payload (stats_payload t));
           loop ()
+        | Proto.Stats_timeseries ->
+          Proto.write_reply io (Proto.Ok_payload (timeseries_payload t));
+          loop ()
+        | Proto.Metrics fmt ->
+          Proto.write_reply io (Proto.Ok_payload (metrics_payload t fmt));
+          loop ()
         | Proto.Deadline ms ->
           (* A header, not a request: no reply frame. *)
           header := Some ms;
+          loop ()
+        | Proto.Trace_hdr ->
+          (* A header, not a request: no reply frame. *)
+          trace_next := true;
+          loop ()
+        | Proto.Trace_get id ->
+          (match find_trace t id with
+          | Some body -> Proto.write_reply io (Proto.Ok_payload body)
+          | None ->
+            Proto.write_reply io
+              (Proto.Err (Printf.sprintf "unknown trace id %S" id)));
           loop ()
         | Proto.Quit -> Proto.write_reply io Proto.Bye
         | Proto.Shutdown ->
@@ -322,18 +517,34 @@ let handle_connection t fd =
         | Proto.Sleep ms ->
           Proto.write_reply io
             (admitted t ~verb:"sleep" ~header_ms:(take_header ())
-               (fun ~token -> sleep_job t ms ~token));
+               (fun ~token ~queue_ns:_ -> sleep_job t ms ~token));
           loop ()
         | Proto.Query { doc; translator; engine; xpath } ->
+          let traced = take_trace () in
           Proto.write_reply io
             (admitted t ~verb:"query" ~header_ms:(take_header ())
-               (fun ~token ->
-                 Service.query t.service ~token ~doc ~translator ~engine xpath));
+               (fun ~token ~queue_ns ->
+                 traced_request t ~traced ~verb:"query" ~queue_ns
+                   ~detail:
+                     [
+                       ("doc", doc);
+                       ("query", xpath);
+                       ("translator", Proto.translator_to_string translator);
+                       ("engine", Proto.engine_to_string engine);
+                     ]
+                   (fun ~tracer ->
+                     Service.query_info t.service ~token ~tracer ~doc
+                       ~translator ~engine xpath)));
           loop ()
         | Proto.Update { doc; edit } ->
+          let traced = take_trace () in
           Proto.write_reply io
             (admitted t ~verb:"update" ~header_ms:(take_header ())
-               (fun ~token:_ -> Service.update t.service ~doc edit));
+               (fun ~token:_ ~queue_ns ->
+                 traced_request t ~traced ~verb:"update" ~queue_ns
+                   ~detail:[ ("doc", doc) ]
+                   (fun ~tracer ->
+                     Service.update_info t.service ~tracer ~doc edit)));
           loop ()))
   in
   (try loop () with
@@ -378,6 +589,89 @@ let accept_loop t =
         Mutex.lock t.lock;
         t.conns <- (fd, thread) :: t.conns;
         Mutex.unlock t.lock;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* The time-series sampler and the plain-HTTP metrics listener        *)
+
+(* One registry snapshot per interval into the fixed ring; naps in
+   small slices so a drain never waits a full period. *)
+let sampler_loop t =
+  let rec nap remaining =
+    if t.phase = Running && remaining > 0. then begin
+      Thread.delay (Float.min 0.05 remaining);
+      nap (remaining -. 0.05)
+    end
+  in
+  let rec loop () =
+    if t.phase = Running then begin
+      refresh_gauges t;
+      Blas_obs.Timeseries.push t.timeseries
+        ~at_ms:(Unix.gettimeofday () *. 1000.)
+        (Blas_obs.Metrics.to_json t.registry);
+      nap (float_of_int t.config.ts_interval_ms /. 1000.);
+      loop ()
+    end
+  in
+  loop ()
+
+(* A deliberately minimal HTTP/1.1 responder: one request per
+   connection, GET only, close after the reply — all a Prometheus
+   scraper needs. *)
+let serve_http_request t cfd =
+  let io = Proto.Io.of_fd cfd in
+  match Proto.Io.read_line io ~max:Proto.max_frame with
+  | `Eof | `Too_long -> ()
+  | `Line request_line ->
+    (* Drain the headers (bounded) so the peer's write never stalls. *)
+    let rec drain n =
+      if n > 0 then
+        match Proto.Io.read_line io ~max:Proto.max_frame with
+        | `Line "" | `Eof | `Too_long -> ()
+        | `Line _ -> drain (n - 1)
+    in
+    drain 64;
+    let path =
+      match String.split_on_char ' ' request_line with
+      | _meth :: path :: _ -> path
+      | _ -> ""
+    in
+    let status, ctype, body =
+      match path with
+      | "/metrics" ->
+        ( "200 OK",
+          "text/plain; version=0.0.4; charset=utf-8",
+          metrics_payload t `Prom )
+      | "/metrics.json" -> ("200 OK", "application/json", metrics_payload t `Json)
+      | _ -> ("404 Not Found", "text/plain; charset=utf-8", "not found\n")
+    in
+    Proto.Io.write io
+      (Printf.sprintf
+         "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+          Connection: close\r\n\r\n%s"
+         status ctype (String.length body) body)
+
+let http_loop t fd =
+  let rec loop () =
+    if t.phase <> Running then ()
+    else
+      match Unix.accept fd with
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        Thread.delay 0.02;
+        loop ()
+      | exception Unix.Unix_error (ECONNABORTED, _, _) -> loop ()
+      | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
+      | exception e ->
+        if t.phase = Running then
+          Log.err (fun m -> m "metrics accept: %s" (Printexc.to_string e));
+        ()
+      | cfd, _ ->
+        Unix.clear_nonblock cfd;
+        (try serve_http_request t cfd
+         with Unix.Unix_error _ -> () (* scraper hung up mid-reply *));
+        (try Unix.close cfd with Unix.Unix_error _ -> ());
         loop ()
   in
   loop ()
@@ -430,6 +724,48 @@ let start ?(registry = Blas_obs.Metrics.create ()) config ~docs =
   in
   (* Touch every outcome so STATS always shows all four. *)
   List.iter (fun o -> ignore (outcome_counter o)) [ "ok"; "error"; "busy"; "timeout" ];
+  (* Event-time duration histograms of the disk layer (WAL fsync,
+     checkpoint); the counts are mirrored from the I/O totals at scrape
+     time by [refresh_gauges]. *)
+  List.iter
+    (fun (d : Service.doc) ->
+      match Blas.Storage.disk d.Service.storage with
+      | Some dk ->
+        dk.Blas.Storage.dk_set_metrics registry
+          ~labels:[ ("doc", d.Service.name) ]
+      | None -> ())
+    (Service.docs service);
+  let slowlog =
+    Option.map
+      (fun threshold_ms ->
+        Blas_obs.Slowlog.create ~path:config.slow_log ~threshold_ms ())
+      config.slow_ms
+  in
+  let http_fd, http_port =
+    match config.metrics_port with
+    | None -> (None, None)
+    | Some p -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      match
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, p))
+      with
+      | () ->
+        Unix.listen fd 16;
+        Unix.set_nonblock fd;
+        let bound =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> p
+        in
+        (Some fd, Some bound)
+      | exception e ->
+        Unix.close fd;
+        Unix.close listen_fd;
+        Option.iter Blas.Par.shutdown owned_pool;
+        Option.iter Blas_obs.Slowlog.close slowlog;
+        raise e)
+  in
   let t =
     {
       config;
@@ -449,6 +785,15 @@ let start ?(registry = Blas_obs.Metrics.create ()) config ~docs =
       conns = [];
       owned_pool;
       started_ns = now_ns ();
+      slowlog;
+      timeseries = Blas_obs.Timeseries.create ~capacity:(max 1 config.ts_slots);
+      sampler = None;
+      http_fd;
+      http_port;
+      http = None;
+      traces = Array.make (max 1 config.trace_ring) None;
+      traces_lock = Mutex.create ();
+      traces_next = 0;
       m_outcome = outcome_counter;
       m_latency = latency_hist;
       m_queue = Blas_obs.Metrics.gauge registry "server.queue.depth";
@@ -459,6 +804,8 @@ let start ?(registry = Blas_obs.Metrics.create ()) config ~docs =
   t.workers <-
     List.init config.max_inflight (fun _ -> Thread.create worker_loop t);
   t.accepter <- Some (Thread.create accept_loop t);
+  t.sampler <- Some (Thread.create sampler_loop t);
+  t.http <- Option.map (fun fd -> Thread.create (fun () -> http_loop t fd) ()) http_fd;
   Log.info (fun m ->
       m "serving %d document(s) on %s:%d (-j %d, %d workers, queue %d)"
         (List.length docs) config.host port config.jobs config.max_inflight
@@ -489,8 +836,14 @@ let stop t =
   Mutex.unlock t.lock;
   if not already then begin
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Option.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.http_fd;
     Option.iter Thread.join t.accepter;
     t.accepter <- None;
+    Option.iter Thread.join t.http;
+    t.http <- None;
+    Option.iter Thread.join t.sampler;
+    t.sampler <- None;
     List.iter Thread.join t.workers;
     t.workers <- [];
     (* Every admitted job has a reply now; unstick handlers blocked in
@@ -508,6 +861,7 @@ let stop t =
     Mutex.unlock t.lock;
     List.iter (fun (_, thread) -> Thread.join thread) conns;
     Option.iter Blas.Par.shutdown t.owned_pool;
+    Option.iter Blas_obs.Slowlog.close t.slowlog;
     Mutex.lock t.lock;
     set_gauges_locked t;
     t.phase <- Stopped;

@@ -12,10 +12,19 @@ type config = {
   jobs : int;  (** domain-pool lanes for query execution *)
   cache : bool;  (** per-document semantic query cache *)
   allow_sleep : bool;  (** accept the debug SLEEP verb (tests, bench) *)
+  metrics_port : int option;
+      (** plain-HTTP [GET /metrics] listener; 0 picks an ephemeral port
+          (see {!metrics_port}) *)
+  slow_ms : float option;  (** slow-query log threshold; [None] = off *)
+  slow_log : string;  (** slow-query log path (JSONL) *)
+  ts_interval_ms : int;  (** time-series sampling period *)
+  ts_slots : int;  (** time-series ring capacity *)
+  trace_ring : int;  (** recent traces kept for [TRACE GET] *)
 }
 
 (** 127.0.0.1:4004, 4 workers, queue 16, no deadline, [-j 1], cache on,
-    SLEEP off. *)
+    SLEEP off, no HTTP metrics listener, no slow log, 1 s time-series
+    samples over 120 slots, 64 recent traces. *)
 val default_config : config
 
 type t
@@ -33,6 +42,9 @@ val start :
 (** The actual bound port (useful with [port = 0]). *)
 val port : t -> int
 
+(** The bound port of the HTTP metrics listener, when configured. *)
+val metrics_port : t -> int option
+
 val registry : t -> Blas_obs.Metrics.t
 
 val service : t -> Service.t
@@ -40,6 +52,13 @@ val service : t -> Service.t
 (** The STATS reply body (pretty-printed JSON): server phase and
     admission state, per-document lock/cache occupancy, full metrics. *)
 val stats_payload : t -> string
+
+(** The METRICS reply body: the registry — refreshed from the disk and
+    buffer-pool totals — as Prometheus text exposition or JSON. *)
+val metrics_payload : t -> [ `Prom | `Json ] -> string
+
+(** The STATS TIMESERIES reply body: the snapshot ring, oldest first. *)
+val timeseries_payload : t -> string
 
 (** Flag a graceful shutdown; async-signal-safe (a single atomic
     store), so a SIGTERM handler may call it directly.  {!wait}

@@ -38,6 +38,8 @@ let names t = List.map fst t.docs
 
 let find t name = List.assoc_opt name t.docs
 
+let docs t = List.map snd t.docs
+
 let pool t = t.pool
 
 (* ------------------------------------------------------------------ *)
@@ -67,32 +69,107 @@ let unknown_doc t name =
     (Printf.sprintf "unknown document %S (hosted: %s)" name
        (String.concat ", " (names t)))
 
-(** [query t ~token ~doc ~translator ~engine xpath] — parse, then run
-    under [doc]'s shared lock with cooperative cancellation from
-    [token]; [TIMEOUT] when the token cancelled the run. *)
-let query t ~token ~doc ~translator ~engine xpath =
+(** What the serving tier wants to know about a request beyond its
+    reply: how long it blocked on the document lock, how much physical
+    I/O it did, and whether the whole-query memo served it — the slow
+    log's raw material. *)
+type info = {
+  i_lock_wait_ns : int64;  (** time blocked on the document lock *)
+  i_pages_read : int;  (** buffer-pool misses during the run *)
+  i_cache : string;  (** whole-query memo outcome: hit / miss / off / n-a *)
+}
+
+let no_info = { i_lock_wait_ns = 0L; i_pages_read = 0; i_cache = "n/a" }
+
+let disk_io d =
+  Option.map
+    (fun (dk : Blas.Storage.disk) -> dk.Blas.Storage.dk_io ())
+    (Blas.Storage.disk d.storage)
+
+(* Synthesized I/O spans: the disk layer times its own operations
+   (cumulative totals), so a before/after delta around the held section
+   is exact while the document lock serializes the writers and precise
+   enough under concurrent readers. *)
+let record_pager_io tracer d io0 ~start_ns =
+  match (io0, disk_io d) with
+  | Some (b : Blas_disk.Store.io), Some (a : Blas_disk.Store.io) ->
+    Blas_obs.Trace.record tracer
+      ~attrs:
+        [ ("pages", string_of_int (a.io_page_reads - b.io_page_reads)) ]
+      ~name:"pager-io" ~start_ns
+      ~duration_ns:(Int64.of_int (a.io_page_read_ns - b.io_page_read_ns))
+      ()
+  | _ -> ()
+
+let record_wal_io tracer d io0 ~start_ns =
+  match (io0, disk_io d) with
+  | Some (b : Blas_disk.Store.io), Some (a : Blas_disk.Store.io) ->
+    Blas_obs.Trace.record tracer
+      ~attrs:
+        [
+          ("fsyncs", string_of_int (a.io_wal_fsyncs - b.io_wal_fsyncs));
+          ("commits", string_of_int (a.io_commits - b.io_commits));
+        ]
+      ~name:"wal-io" ~start_ns
+      ~duration_ns:(Int64.of_int (a.io_wal_fsync_ns - b.io_wal_fsync_ns))
+      ()
+  | _ -> ()
+
+(** [query_info t ~token ~doc ~translator ~engine xpath] — parse, then
+    run under [doc]'s shared lock with cooperative cancellation from
+    [token]; [TIMEOUT] when the token cancelled the run.  With an
+    enabled [tracer] the lock wait, cache probe and pager I/O are
+    recorded under the caller's open span. *)
+let query_info t ~token ?(tracer = Blas_obs.Trace.disabled) ~doc ~translator
+    ~engine xpath =
   match find t doc with
-  | None -> unknown_doc t doc
+  | None -> (unknown_doc t doc, no_info)
   | Some d -> (
     match Blas.query_union xpath with
     | exception Blas_xpath.Parser.Error msg ->
-      Proto.Err (Printf.sprintf "query error: %s" msg)
+      (Proto.Err (Printf.sprintf "query error: %s" msg), no_info)
     | queries -> (
       let cancel () = Blas.Par.Token.check token in
+      let t_lock = Blas_obs.Clock.now_ns () in
+      Rwlock.acquire_read d.lock;
+      let lock_wait = Blas_obs.Clock.elapsed_ns t_lock in
+      Blas_obs.Trace.record tracer
+        ~attrs:[ ("mode", "read") ]
+        ~name:"lock-wait" ~start_ns:t_lock ~duration_ns:lock_wait ();
+      Fun.protect ~finally:(fun () -> Rwlock.release_read d.lock) @@ fun () ->
+      let io0 = if Blas_obs.Trace.enabled tracer then disk_io d else None in
+      let t_run = Blas_obs.Clock.now_ns () in
       match
-        Rwlock.read d.lock (fun () ->
-            Blas.run_union ~cancel ?pool:t.pool d.storage ~engine ~translator
-              queries)
+        Blas.run_union ~tracer ~cancel ?pool:t.pool d.storage ~engine
+          ~translator queries
       with
-      | report -> Proto.Ok_payload (payload_of_report report)
-      | exception Blas.Par.Cancelled -> Proto.Timeout))
+      | report ->
+        record_pager_io tracer d io0 ~start_ns:t_run;
+        let cache =
+          if report.Blas.memo_hits > 0 then "hit"
+          else if Blas.Storage.cache_enabled d.storage then "miss"
+          else "off"
+        in
+        ( Proto.Ok_payload (payload_of_report report),
+          {
+            i_lock_wait_ns = lock_wait;
+            i_pages_read = report.Blas.page_reads;
+            i_cache = cache;
+          } )
+      | exception Blas.Par.Cancelled ->
+        (Proto.Timeout, { no_info with i_lock_wait_ns = lock_wait })))
 
-(** [update t ~doc edit] — apply one edit under the exclusive lock.
-    Updates are not cancellable mid-flight: label maintenance must
-    never be torn, and edits are short. *)
-let update t ~doc (edit : Proto.edit) =
+let query t ~token ~doc ~translator ~engine xpath =
+  fst (query_info t ~token ~doc ~translator ~engine xpath)
+
+(** [update_info t ~doc edit] — apply one edit under the exclusive
+    lock.  Updates are not cancellable mid-flight: label maintenance
+    must never be torn, and edits are short.  With an enabled [tracer]
+    the lock wait and WAL I/O are recorded. *)
+let update_info t ?(tracer = Blas_obs.Trace.disabled) ~doc (edit : Proto.edit)
+    =
   match find t doc with
-  | None -> unknown_doc t doc
+  | None -> (unknown_doc t doc, no_info)
   | Some d -> (
     let apply () =
       match edit with
@@ -103,20 +180,89 @@ let update t ~doc (edit : Proto.edit) =
       | Proto.Retext { start; data } ->
         Blas.Update.replace_text d.storage ~start data
     in
-    match Rwlock.write d.lock apply with
-    | report -> Proto.Ok_payload (payload_of_update report d.storage)
-    | exception Invalid_argument msg -> Proto.Err msg
+    let t_lock = Blas_obs.Clock.now_ns () in
+    Rwlock.acquire_write d.lock;
+    let lock_wait = Blas_obs.Clock.elapsed_ns t_lock in
+    Blas_obs.Trace.record tracer
+      ~attrs:[ ("mode", "write") ]
+      ~name:"lock-wait" ~start_ns:t_lock ~duration_ns:lock_wait ();
+    let info = { no_info with i_lock_wait_ns = lock_wait } in
+    Fun.protect ~finally:(fun () -> Rwlock.release_write d.lock) @@ fun () ->
+    let io0 = if Blas_obs.Trace.enabled tracer then disk_io d else None in
+    let t_run = Blas_obs.Clock.now_ns () in
+    match
+      Blas_obs.Trace.with_span tracer "apply"
+        ~attrs:[ ("doc", d.name) ]
+        apply
+    with
+    | report ->
+      record_wal_io tracer d io0 ~start_ns:t_run;
+      (Proto.Ok_payload (payload_of_update report d.storage), info)
+    | exception Invalid_argument msg -> (Proto.Err msg, info)
     | exception Blas_xml.Types.Parse_error (pos, msg) ->
-      Proto.Err
-        (Printf.sprintf "%s at %s" msg (Blas_xml.Types.position_to_string pos)))
+      ( Proto.Err
+          (Printf.sprintf "%s at %s" msg
+             (Blas_xml.Types.position_to_string pos)),
+        info ))
+
+let update t ~doc (edit : Proto.edit) = fst (update_info t ~doc edit)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                          *)
 
 let list_payload t = String.concat "\n" (names t)
 
+(* The buffer-pool block: request/miss totals and the derived hit
+   ratio (1.0 before any traffic — an empty pool has missed nothing). *)
+let pool_json storage =
+  let pool = Blas.Storage.pool storage in
+  let requests = Blas_rel.Buffer_pool.requests pool in
+  let misses = Blas_rel.Buffer_pool.misses pool in
+  let ratio =
+    if requests = 0 then 1.0
+    else float_of_int (requests - misses) /. float_of_int requests
+  in
+  Blas_obs.Json.Obj
+    [
+      ("requests", Blas_obs.Json.Int requests);
+      ("misses", Blas_obs.Json.Int misses);
+      ("writes", Blas_obs.Json.Int (Blas_rel.Buffer_pool.writes pool));
+      ( "dirty_evictions",
+        Blas_obs.Json.Int (Blas_rel.Buffer_pool.dirty_evictions pool) );
+      ("hit_ratio", Blas_obs.Json.Float ratio);
+    ]
+
+(* The disk block (disk-backed storages only): cumulative I/O totals
+   plus the current WAL backlog. *)
+let disk_json storage =
+  match Blas.Storage.disk storage with
+  | None -> []
+  | Some dk ->
+    let io = dk.Blas.Storage.dk_io () in
+    let st = dk.Blas.Storage.dk_stats () in
+    [
+      ( "disk",
+        Blas_obs.Json.Obj
+          [
+            ("wal_fsyncs", Blas_obs.Json.Int io.Blas_disk.Store.io_wal_fsyncs);
+            ( "wal_fsync_ns",
+              Blas_obs.Json.Int io.Blas_disk.Store.io_wal_fsync_ns );
+            ("commits", Blas_obs.Json.Int io.Blas_disk.Store.io_commits);
+            ( "checkpoints",
+              Blas_obs.Json.Int io.Blas_disk.Store.io_checkpoints );
+            ( "checkpoint_ns",
+              Blas_obs.Json.Int io.Blas_disk.Store.io_checkpoint_ns );
+            ("page_reads", Blas_obs.Json.Int io.Blas_disk.Store.io_page_reads);
+            ( "page_read_ns",
+              Blas_obs.Json.Int io.Blas_disk.Store.io_page_read_ns );
+            ( "wal_backlog_bytes",
+              Blas_obs.Json.Int st.Blas.Storage.dstat_wal_bytes );
+          ] );
+    ]
+
 (** Per-document block of the STATS payload: node counts, lock
-    occupancy and cache stats. *)
+    occupancy, cache stats, buffer-pool traffic, and — when
+    disk-backed — I/O totals. *)
 let docs_json t =
   Blas_obs.Json.Obj
     (List.map
@@ -127,14 +273,17 @@ let docs_json t =
          in
          ( name,
            Blas_obs.Json.Obj
-             [
-               ("nodes", Blas_obs.Json.Int (Blas.Storage.node_count d.storage));
-               ("readers", Blas_obs.Json.Int readers);
-               ("writer", Blas_obs.Json.Bool writer);
-               ( "cache",
-                 Blas_obs.Json.Obj
-                   (List.map
-                      (fun (k, v) -> (k, Blas_obs.Json.Int v))
-                      (Blas_cache.Stats.fields cache)) );
-             ] ))
+             ([
+                ( "nodes",
+                  Blas_obs.Json.Int (Blas.Storage.node_count d.storage) );
+                ("readers", Blas_obs.Json.Int readers);
+                ("writer", Blas_obs.Json.Bool writer);
+                ( "cache",
+                  Blas_obs.Json.Obj
+                    (List.map
+                       (fun (k, v) -> (k, Blas_obs.Json.Int v))
+                       (Blas_cache.Stats.fields cache)) );
+                ("pool", pool_json d.storage);
+              ]
+             @ disk_json d.storage) ))
        t.docs)

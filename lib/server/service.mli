@@ -17,11 +17,22 @@ val names : t -> string list
 
 val find : t -> string -> doc option
 
+(** Hosted documents, in load order. *)
+val docs : t -> doc list
+
 val pool : t -> Blas.Par.t option
 
 (** The QUERY reply body for a report — deterministic, so a server
     reply is byte-identical to a sequential in-process run. *)
 val payload_of_report : Blas.report -> string
+
+(** What the serving tier wants to know about a request beyond its
+    reply — the slow log's raw material. *)
+type info = {
+  i_lock_wait_ns : int64;  (** time blocked on the document lock *)
+  i_pages_read : int;  (** buffer-pool misses during the run *)
+  i_cache : string;  (** whole-query memo outcome: hit / miss / off / n-a *)
+}
 
 (** [query t ~token ~doc ~translator ~engine xpath] — run under the
     document's shared lock, cancelling cooperatively through [token];
@@ -35,9 +46,27 @@ val query :
   string ->
   Proto.reply
 
+(** {!query} plus its {!info}; with an enabled [tracer] the lock wait,
+    cache probe and pager I/O are recorded under the caller's open
+    span. *)
+val query_info :
+  t ->
+  token:Blas.Par.Token.t ->
+  ?tracer:Blas_obs.Trace.t ->
+  doc:string ->
+  translator:Blas.translator ->
+  engine:Blas.engine ->
+  string ->
+  Proto.reply * info
+
 (** [update t ~doc edit] — apply one edit under the exclusive lock
     (cache invalidation rides on {!Blas.Update}). *)
 val update : t -> doc:string -> Proto.edit -> Proto.reply
+
+(** {!update} plus its {!info}; with an enabled [tracer] the lock wait,
+    edit application and WAL I/O are recorded. *)
+val update_info :
+  t -> ?tracer:Blas_obs.Trace.t -> doc:string -> Proto.edit -> Proto.reply * info
 
 (** The LIST reply body: one hosted name per line. *)
 val list_payload : t -> string

@@ -8,6 +8,14 @@ module Metrics = Blas_obs.Metrics
 module Trace = Blas_obs.Trace
 module Analyze = Blas_obs.Analyze
 module Json = Blas_obs.Json
+module Expo = Blas_obs.Expo
+module Slowlog = Blas_obs.Slowlog
+module Timeseries = Blas_obs.Timeseries
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
 
 (* ------------------------------------------------------------------ *)
 (* Histograms                                                         *)
@@ -184,6 +192,158 @@ let trace_tests =
           Test_util.check_string "attr" "rdbms"
             (List.assoc "engine" root.Trace.attrs)
         | _ -> Alcotest.fail "expected one root" );
+    ( "record files a pre-measured interval under the open span",
+      fun () ->
+        let t = Trace.create () in
+        Trace.with_span t "request" (fun () ->
+            Trace.record t
+              ~attrs:[ ("mode", "read") ]
+              ~name:"queue-wait" ~start_ns:100L ~duration_ns:250L ());
+        (match Trace.roots t with
+        | [ root ] -> (
+          match Trace.children root with
+          | [ w ] ->
+            Test_util.check_string "name" "queue-wait" w.Trace.name;
+            Test_util.check_bool "duration kept" true
+              (Int64.equal w.Trace.duration_ns 250L);
+            Test_util.check_string "attr" "read"
+              (List.assoc "mode" w.Trace.attrs)
+          | kids ->
+            Alcotest.failf "expected 1 recorded child, got %d"
+              (List.length kids))
+        | _ -> Alcotest.fail "expected one root");
+        (* With no span open, a recorded interval becomes a root. *)
+        Trace.clear t;
+        Trace.record t ~name:"orphan" ~start_ns:0L ~duration_ns:1L ();
+        (match Trace.roots t with
+        | [ r ] -> Test_util.check_string "root record" "orphan" r.Trace.name
+        | _ -> Alcotest.fail "expected the record as a root");
+        (* And on a disabled tracer it is a no-op. *)
+        Trace.record Trace.disabled ~name:"x" ~start_ns:0L ~duration_ns:1L ();
+        Test_util.check_int "disabled no-op" 0
+          (List.length (Trace.roots Trace.disabled)) );
+    ( "fresh trace ids are distinct",
+      fun () ->
+        let a = Trace.fresh_id () and b = Trace.fresh_id () in
+        Test_util.check_bool "non-empty" true (String.length a > 0);
+        Test_util.check_bool "distinct" true (not (String.equal a b)) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+
+let expo_tests =
+  [
+    ( "counters gain _total and a TYPE line",
+      fun () ->
+        let r = Metrics.create () in
+        Metrics.add (Metrics.counter r "server.requests") 3;
+        let s = Expo.render r in
+        Test_util.check_bool "type line" true
+          (contains s "# TYPE server_requests_total counter");
+        Test_util.check_bool "sample" true (contains s "server_requests_total 3") );
+    ( "histograms render cumulative buckets with +Inf, _sum and _count",
+      fun () ->
+        let r = Metrics.create () in
+        let h = Metrics.histogram r "lat.ns" in
+        List.iter (Metrics.observe h) [ 1.0; 2.0; 3.0 ];
+        let s = Expo.render r in
+        Test_util.check_bool "type histogram" true
+          (contains s "# TYPE lat_ns histogram");
+        Test_util.check_bool "le buckets" true (contains s "lat_ns_bucket{le=\"");
+        Test_util.check_bool "+Inf closes the buckets" true
+          (contains s "lat_ns_bucket{le=\"+Inf\"} 3");
+        Test_util.check_bool "sum" true (contains s "lat_ns_sum 6");
+        Test_util.check_bool "count" true (contains s "lat_ns_count 3") );
+    ( "label values are escaped and names sanitized",
+      fun () ->
+        Test_util.check_string "sanitize" "blas_disk_wal_fsyncs"
+          (Expo.sanitize_name "blas.disk.wal.fsyncs");
+        let r = Metrics.create () in
+        Metrics.set (Metrics.gauge r ~labels:[ ("doc", "a\"b\\c\nd") ] "g") 1.0;
+        let s = Expo.render r in
+        Test_util.check_bool "escaped label" true
+          (contains s "doc=\"a\\\"b\\\\c\\nd\"") );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Slow-query log                                                      *)
+
+let with_temp_log f =
+  let path = Filename.temp_file "blas_slowlog" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".1" ])
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let slowlog_tests =
+  [
+    ( "records are threshold-gated and the thunk is lazy",
+      fun () ->
+        with_temp_log @@ fun path ->
+        let sl = Slowlog.create ~path ~threshold_ms:10.0 () in
+        let built = ref 0 in
+        let mk () =
+          incr built;
+          Json.Obj [ ("query", Json.Str "/a/b"); ("elapsed_ms", Json.Float 20.0) ]
+        in
+        Slowlog.maybe sl ~elapsed_ns:1_000_000L mk;
+        Test_util.check_int "fast request skipped" 0 !built;
+        Slowlog.maybe sl ~elapsed_ns:20_000_000L mk;
+        Test_util.check_int "slow request recorded" 1 !built;
+        Slowlog.close sl;
+        let body = read_file path in
+        Test_util.check_bool "one JSON line" true
+          (contains body "{\"query\":\"/a/b\""
+          && body.[String.length body - 1] = '\n') );
+    ( "rotation bounds the live file",
+      fun () ->
+        with_temp_log @@ fun path ->
+        let sl = Slowlog.create ~path ~threshold_ms:0.0 ~max_bytes:128 () in
+        for i = 1 to 32 do
+          Slowlog.maybe sl ~elapsed_ns:1L (fun () ->
+              Json.Obj [ ("i", Json.Int i); ("pad", Json.Str (String.make 24 'x')) ])
+        done;
+        Slowlog.close sl;
+        Test_util.check_bool "rotated file exists" true
+          (Sys.file_exists (path ^ ".1"));
+        let live = read_file path in
+        Test_util.check_bool "live file bounded" true
+          (String.length live <= 128 + 64) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Time series ring                                                    *)
+
+let timeseries_tests =
+  [
+    ( "the ring keeps the newest points, oldest first",
+      fun () ->
+        let ts = Timeseries.create ~capacity:3 in
+        for i = 1 to 5 do
+          Timeseries.push ts ~at_ms:(float_of_int i) (Json.Int i)
+        done;
+        Test_util.check_int "length clamps" 3 (Timeseries.length ts);
+        Test_util.check_int "capacity" 3 (Timeseries.capacity ts);
+        let ats = List.map (fun p -> p.Timeseries.at_ms) (Timeseries.points ts) in
+        Test_util.check_bool "oldest first after eviction" true
+          (ats = [ 3.0; 4.0; 5.0 ]) );
+    ( "to_json is a list of {at_ms; metrics} points",
+      fun () ->
+        let ts = Timeseries.create ~capacity:2 in
+        Timeseries.push ts ~at_ms:7.0 (Json.Obj [ ("n", Json.Int 1) ]);
+        let s = Json.to_string (Timeseries.to_json ts) in
+        Test_util.check_bool "list" true (s.[0] = '[');
+        Test_util.check_bool "at_ms" true (contains s "\"at_ms\":7");
+        Test_util.check_bool "metrics" true (contains s "\"metrics\":{\"n\":1}") );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -397,8 +557,72 @@ let reconcile_tests =
             queries ) )
     fig10
 
+(* The same invariant against an explicitly disk-backed database (not
+   the BLAS_TEST_DISK reroute): now that [Counters.page_reads] is
+   measured I/O, the per-operator page rows must still sum exactly to
+   the run totals, and pool misses must reach the pager. *)
+let disk_reconcile_tests =
+  [
+    ( "disk-backed analyze reconciles with measured pager I/O",
+      fun () ->
+        let tree = Blas_datagen.Shakespeare.generate ~plays:1 () in
+        let path = Filename.temp_file "blas_obs_disk" ".blasdb" in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun f -> try Sys.remove f with Sys_error _ -> ())
+              [ path; path ^ ".wal" ])
+        @@ fun () ->
+        Blas.Database.create ~page_size:4096 ~path (Blas.Storage.of_tree tree);
+        let storage =
+          Blas.Database.open_ ~cache_pages:8 ~mode:Blas.Database.Ro ~path ()
+        in
+        Fun.protect ~finally:(fun () -> Blas.Storage.close storage)
+        @@ fun () ->
+        let dk =
+          match Blas.Storage.disk storage with
+          | Some d -> d
+          | None -> Alcotest.fail "expected a disk-backed storage"
+        in
+        List.iter
+          (fun (qname, qs) ->
+            let io0 = dk.Blas.Storage.dk_io () in
+            let report, tree =
+              Blas.run_analyze storage ~engine:Blas.Rdbms
+                ~translator:Blas.Pushup (Blas.query qs)
+            in
+            let io1 = dk.Blas.Storage.dk_io () in
+            let c = report.Blas.counters in
+            let total = Analyze.total_stats tree in
+            Test_util.check_int (qname ^ ": read")
+              c.Blas_rel.Counters.tuples_read total.Analyze.read;
+            Test_util.check_int (qname ^ ": seeks")
+              c.Blas_rel.Counters.index_seeks total.Analyze.seeks;
+            Test_util.check_int
+              (qname ^ ": page requests")
+              c.Blas_rel.Counters.page_requests total.Analyze.page_requests;
+            Test_util.check_int (qname ^ ": page reads")
+              c.Blas_rel.Counters.page_reads total.Analyze.page_reads;
+            let disk_reads =
+              io1.Blas_disk.Store.io_page_reads
+              - io0.Blas_disk.Store.io_page_reads
+            in
+            (* With an 8-page cache the scans must miss, and every pool
+               miss is a real pager read. *)
+            Test_util.check_bool (qname ^ ": pool misses occur") true
+              (c.Blas_rel.Counters.page_reads > 0);
+            Test_util.check_bool
+              (qname ^ ": misses reach the pager")
+              true (disk_reads > 0))
+          [
+            ("QS1", "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE");
+            ("QS2", "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR");
+          ] );
+  ]
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
-    (hist_tests @ registry_tests @ trace_tests @ json_tests @ analyze_tests
-   @ reconcile_tests)
+    (hist_tests @ registry_tests @ trace_tests @ expo_tests @ slowlog_tests
+   @ timeseries_tests @ json_tests @ analyze_tests @ reconcile_tests
+   @ disk_reconcile_tests)

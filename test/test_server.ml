@@ -49,6 +49,11 @@ let roundtrip_commands =
     P.Update { doc = "plays"; edit = P.Delete { start = 42 } };
     P.Update { doc = "d"; edit = P.Retext { start = 3; data = Some "x y" } };
     P.Update { doc = "d"; edit = P.Retext { start = 3; data = None } };
+    P.Stats_timeseries;
+    P.Metrics `Prom;
+    P.Metrics `Json;
+    P.Trace_hdr;
+    P.Trace_get "t0000beef-7";
   ]
 
 let proto_roundtrip () =
@@ -581,6 +586,204 @@ let live_soak () =
       Test_util.check_int "no timeouts" 0 (outcome_count srv "timeout"))
 
 (* ------------------------------------------------------------------ *)
+(* Live: observability — traces, metrics, time series, slow log        *)
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains hay needle = find_sub hay needle <> None
+
+(* The value of ["key":"<string>"] in a JSON body (shallow scan). *)
+let extract_quoted body key =
+  let marker = Printf.sprintf "\"%s\":\"" key in
+  match find_sub body marker with
+  | None -> Alcotest.failf "no %S in %s" key body
+  | Some i ->
+    let start = i + String.length marker in
+    let stop = String.index_from body start '"' in
+    String.sub body start (stop - start)
+
+(* The sum of a Prometheus counter over its label variants. *)
+let prom_sum text name =
+  List.fold_left
+    (fun acc line ->
+      let nl = String.length name in
+      if
+        String.length line > nl
+        && String.sub line 0 nl = name
+        && (line.[nl] = ' ' || line.[nl] = '{')
+      then
+        match String.rindex_opt line ' ' with
+        | Some i -> (
+          match
+            float_of_string_opt
+              (String.sub line (i + 1) (String.length line - i - 1))
+          with
+          | Some v -> acc +. v
+          | None -> acc)
+        | None -> acc
+      else acc)
+    0.0
+    (String.split_on_char '\n' text)
+
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req =
+    Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+      path
+  in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let buf = Buffer.create 1024 and chunk = Bytes.create 4096 in
+  let rec loop () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let live_observability () =
+  let tree = small_plays () in
+  let db_path = Filename.temp_file "blas_test_obsdb" ".blasdb" in
+  let slow_path = Filename.temp_file "blas_test_slow" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ db_path; db_path ^ ".wal"; slow_path; slow_path ^ ".1" ])
+  @@ fun () ->
+  (* A disk-backed document with a tiny cache, so traced queries show
+     real pager I/O and updates show WAL I/O. *)
+  Blas.Database.create ~page_size:4096 ~path:db_path (Blas.Storage.of_tree tree);
+  let hosted =
+    Blas.Database.open_ ~cache_pages:8 ~mode:Blas.Database.Rw ~path:db_path ()
+  in
+  Fun.protect ~finally:(fun () -> Blas.Storage.close hosted)
+  @@ fun () ->
+  let root_start =
+    List.fold_left
+      (fun acc (n : Blas_xpath.Doc.node) -> min acc n.start)
+      max_int (Blas.Storage.doc hosted).Blas_xpath.Doc.all
+  in
+  let config =
+    {
+      live_config with
+      Srv.metrics_port = Some 0;
+      slow_ms = Some 0.0;
+      slow_log = slow_path;
+      ts_interval_ms = 20;
+    }
+  in
+  with_live ~config [ ("plays", hosted) ] (fun srv port ->
+      C.with_client port (fun c ->
+          (* A TRACE'd query carries its span tree, and the leaves
+             reconcile with the METRICS deltas around the request. *)
+          let before = C.metrics c in
+          let body =
+            expect_ok "traced query"
+              (C.query ~trace:true c ~doc:"plays" ~translator:Blas.Pushup
+                 ~engine:Blas.Rdbms "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE")
+          in
+          let after = C.metrics c in
+          List.iter
+            (fun span ->
+              Test_util.check_bool ("trace has " ^ span) true
+                (contains body
+                   (Printf.sprintf "\"name\":\"%s\"" span)))
+            [ "request"; "queue-wait"; "lock-wait"; "cache-probe"; "pager-io" ];
+          Test_util.check_bool "trace carries the payload" true
+            (contains body "\"payload\"");
+          (* Exactly one counted request ran between the scrapes. *)
+          Test_util.check_bool "requests delta is the traced query" true
+            (prom_sum after "server_requests_total"
+             -. prom_sum before "server_requests_total"
+            = 1.0);
+          (* The pager-io leaf equals the measured page-read delta. *)
+          let pages = int_of_string (extract_quoted body "pages") in
+          let page_delta =
+            prom_sum after "blas_disk_page_reads_total"
+            -. prom_sum before "blas_disk_page_reads_total"
+          in
+          Test_util.check_bool "cold cache read pages" true (pages > 0);
+          Test_util.check_int "pager-io reconciles with METRICS" pages
+            (int_of_float page_delta);
+          (* The trace is retained for TRACE GET, by its id. *)
+          let id = extract_quoted body "trace_id" in
+          (match C.trace_get c id with
+          | P.Ok_payload stored ->
+            Test_util.check_bool "stored trace is the reply body" true
+              (contains stored id && contains stored "queue-wait")
+          | reply ->
+            Alcotest.failf "TRACE GET: %s" (P.reply_to_string reply));
+          (match C.trace_get c "nosuch-id" with
+          | P.Err _ -> ()
+          | reply ->
+            Alcotest.failf "TRACE GET nosuch: %s" (P.reply_to_string reply));
+          (* An untraced reply stays the plain payload. *)
+          let plain =
+            expect_ok "plain query"
+              (C.query c ~doc:"plays" ~translator:Blas.Pushup
+                 ~engine:Blas.Rdbms "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE")
+          in
+          Test_util.check_bool "no trace envelope without the header" false
+            (contains plain "trace_id");
+          (* A TRACE'd update shows the write path: apply + WAL I/O. *)
+          let ubody =
+            expect_ok "traced update"
+              (C.update ~trace:true c ~doc:"plays"
+                 (P.Retext { start = root_start; data = Some "probe" }))
+          in
+          List.iter
+            (fun span ->
+              Test_util.check_bool ("update trace has " ^ span) true
+                (contains ubody (Printf.sprintf "\"name\":\"%s\"" span)))
+            [ "request"; "lock-wait"; "apply"; "wal-io" ];
+          (* METRICS JSON and the live time series parse-shape. *)
+          let mjson = C.metrics ~json:true c in
+          Test_util.check_bool "metrics json is a list" true
+            (String.length mjson > 0 && mjson.[0] = '[');
+          Thread.delay 0.06;
+          let ts = C.timeseries c in
+          Test_util.check_bool "timeseries shape" true
+            (String.length ts > 0 && ts.[0] = '[' && contains ts "at_ms");
+          (* The HTTP listener serves the same exposition. *)
+          match Srv.metrics_port srv with
+          | None -> Alcotest.fail "metrics port not bound"
+          | Some hp ->
+            let page = http_get hp "/metrics" in
+            Test_util.check_bool "http 200" true (contains page "200 OK");
+            Test_util.check_bool "http exposition" true
+              (contains page "server_requests_total");
+            let missing = http_get hp "/nosuch" in
+            Test_util.check_bool "http 404" true (contains missing "404")));
+  (* The slow log (threshold 0: everything is slow) was written and
+     closed by the drain; every line is a JSON record. *)
+  let ic = open_in slow_path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Test_util.check_bool "slow log non-empty" true (List.length !lines > 0);
+  List.iter
+    (fun line ->
+      Test_util.check_bool "slow log line shape" true
+        (String.length line > 0 && line.[0] = '{' && contains line "elapsed_ns"))
+    !lines
+
+(* ------------------------------------------------------------------ *)
 (* Live: graceful drain                                                *)
 
 let live_drain () =
@@ -636,6 +839,7 @@ let suite =
       ("live: garbage keeps the connection", live_garbage_keeps_connection);
       ("live: half-close and mid-query disconnect", live_half_close_and_disconnect);
       ("live: soak with live edits", live_soak);
+      ("live: traces, metrics, time series, slow log", live_observability);
       ("live: graceful drain", live_drain);
       ("live: SHUTDOWN verb", live_shutdown_verb);
     ]
