@@ -55,7 +55,7 @@ let find name results =
       else None)
     results
 
-let run () =
+let instrumentation_check () =
   Bench_util.heading
     "Instrumentation overhead (QS3, Push-up, RDBMS; bechamel OLS)";
   let storage = Datasets.shakespeare_full () in
@@ -286,3 +286,52 @@ let run () =
   | _ ->
     Printf.eprintf "overhead: bechamel produced no estimates\n%!";
     if !check_mode then failed := true
+
+(* The optimizer's statistics pass makes the same kind of claim: it
+   rides the bulk load's existing pass over the nodes, so collecting it
+   must add at most {!stats_threshold_percent} to index-build wall
+   time.  Measured on the Shakespeare full-scale document, mean of a
+   few whole builds (a build is far too long for bechamel's quota). *)
+let stats_threshold_percent = 10.0
+
+let stats_collection_check () =
+  Bench_util.heading "Statistics collection overhead (bulk load, Shakespeare)";
+  let doc = Blas_xpath.Doc.of_tree (Datasets.shakespeare_tree ()) in
+  let time_build ~collect_stats =
+    snd
+      (Bench_util.measure ~repetitions:5 (fun () ->
+           Blas.Storage.of_doc ~collect_stats doc))
+  in
+  let bare_s = time_build ~collect_stats:false in
+  let stats_s = time_build ~collect_stats:true in
+  let overhead = (stats_s -. bare_s) /. bare_s *. 100.0 in
+  Bench_util.print_table
+    ~title:"index build with and without statistics collection"
+    {
+      Bench_util.header = [ "variant"; "build s"; "overhead" ];
+      rows =
+        [
+          [ "without stats"; Bench_util.seconds bare_s; "-" ];
+          [
+            "with stats (default)";
+            Bench_util.seconds stats_s;
+            Printf.sprintf "%+.1f%%" overhead;
+          ];
+        ];
+    };
+  if !check_mode then
+    if overhead > stats_threshold_percent then begin
+      Printf.eprintf
+        "FAIL: statistics collection costs %+.1f%% of bulk load (threshold \
+         %.1f%%)\n\
+         %!"
+        overhead stats_threshold_percent;
+      failed := true
+    end
+    else
+      Printf.printf "OK: statistics collection overhead %+.1f%% <= %.1f%%\n"
+        overhead stats_threshold_percent
+
+let run () =
+  instrumentation_check ();
+  stats_collection_check ()

@@ -86,21 +86,42 @@ let query_arg =
   let doc = "XPath query (the paper's subset: /, //, [..], =, *)." in
   Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"XPATH" ~doc)
 
-let translator_arg =
-  let options =
-    [
-      ("d-labeling", Blas.D_labeling);
-      ("split", Blas.Split);
-      ("pushup", Blas.Pushup);
-      ("unfold", Blas.Unfold);
-      ("auto", Blas.Auto);
-    ]
-  in
+let translator_options =
+  [
+    ("d-labeling", Blas.D_labeling);
+    ("split", Blas.Split);
+    ("pushup", Blas.Pushup);
+    ("unfold", Blas.Unfold);
+    ("auto", Blas.Auto);
+    ("auto2", Blas.Auto2);
+  ]
+
+(* [default] varies by command: [run] and the network [query] use the
+   adaptive optimizer (auto2); translation-inspection commands keep the
+   paper's push-up so their output stays a pure function of the query. *)
+let translator_arg_with ~default =
   let doc =
     Printf.sprintf "Query translator: %s."
-      (String.concat ", " (List.map fst options))
+      (String.concat ", " (List.map fst translator_options))
   in
-  Arg.(value & opt (enum options) Blas.Pushup & info [ "translator"; "t" ] ~doc)
+  Arg.(
+    value
+    & opt (enum translator_options) default
+    & info [ "translator"; "t" ] ~doc)
+
+let translator_arg = translator_arg_with ~default:Blas.Pushup
+
+let stats_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "stats-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for the optimizer's statistics reservoir (default: a fixed \
+           constant, so statistics are reproducible run to run).")
+
+let apply_stats_seed seed =
+  Option.iter Blas.Optimizer.Stats.set_default_seed seed
 
 let engine_arg =
   let doc = "Query engine: rdbms or twig." in
@@ -238,6 +259,10 @@ let stats_json storage =
              ( "dirty_evictions",
                Int (Blas_rel.Buffer_pool.dirty_evictions pool) );
            ] );
+       ( "optimizer",
+         match Blas.Storage.ostats storage with
+         | None -> Null
+         | Some st -> Blas.Optimizer.Stats.to_json st );
      ]
     @
     match Blas.Storage.disk storage with
@@ -268,7 +293,8 @@ let stats_json storage =
             ] );
       ])
 
-let stats () ?cache_pages ~json path =
+let stats () ?cache_pages ?stats_seed ~json path =
+  apply_stats_seed stats_seed;
   match load_storage ?cache_pages path with
   | Error msg -> `Error (false, msg)
   | Ok storage when json ->
@@ -323,6 +349,9 @@ let stats () ?cache_pages ~json path =
         (float_of_int io.Blas_disk.Store.io_wal_fsync_ns /. 1e6)
         io.Blas_disk.Store.io_checkpoints
         (float_of_int io.Blas_disk.Store.io_checkpoint_ns /. 1e6));
+    (match Blas.Storage.ostats storage with
+    | None -> print_endline "optimizer statistics: (none collected)"
+    | Some st -> Format.printf "%a@." Blas.Optimizer.Stats.pp st);
     `Ok ()
 
 let stats_cmd =
@@ -336,8 +365,9 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Print document characteristics (Figure 12 columns).")
     Term.(
       ret
-        (const (fun () pages json path -> stats () ?cache_pages:pages ~json path)
-        $ logs_term $ pages_arg $ json_arg $ input_arg))
+        (const (fun () pages json seed path ->
+             stats () ?cache_pages:pages ?stats_seed:seed ~json path)
+        $ logs_term $ pages_arg $ json_arg $ stats_seed_arg $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* translate                                                           *)
@@ -417,10 +447,12 @@ let merge_reports (reports : Blas.report list) =
       List.fold_left (fun acc (r : Blas.report) -> acc + r.memo_hits) 0 reports;
     sql = None;
     counters;
+    choice = List.find_map (fun (r : Blas.report) -> r.choice) reports;
   }
 
 let run () query_string translator engine verify show_limit as_xml explain
-    analyze show_stats jobs no_cache pages path =
+    analyze show_stats jobs no_cache pages stats_seed path =
+  apply_stats_seed stats_seed;
   match load_storage ?cache_pages:pages path, parse_query_union query_string with
   | Error msg, _ | _, Error msg -> `Error (false, msg)
   | Ok storage, Ok queries ->
@@ -446,11 +478,22 @@ let run () query_string translator engine verify show_limit as_xml explain
     (* Wall clock, not CPU time — otherwise -j N would report the summed
        domain time and parallel runs would look slower, not faster. *)
     let dt = Int64.to_float (Blas_obs.Clock.elapsed_ns t0) /. 1e9 in
-    Printf.printf "%d answers in %.4fs (%s on %s), %d elements visited, %d D-joins\n"
+    let plan_desc =
+      (* Under [Auto2] the executed plan is the optimizer's pick, not
+         the -t/-e flags — report what actually ran. *)
+      match report.Blas.choice with
+      | Some c ->
+        Printf.sprintf "%s via %s, est %.0f"
+          (Blas.translator_name translator)
+          (Blas.Optimizer.label c) c.Blas.Optimizer.ch_est_cost
+      | None ->
+        Printf.sprintf "%s on %s"
+          (Blas.translator_name translator)
+          (Blas.engine_name engine)
+    in
+    Printf.printf "%d answers in %.4fs (%s), %d elements visited, %d D-joins\n"
       (List.length report.Blas.starts)
-      dt
-      (Blas.translator_name translator)
-      (Blas.engine_name engine) report.visited report.plan_djoins;
+      dt plan_desc report.visited report.plan_djoins;
     if show_stats then
       Format.printf "counters: %a@." Blas_rel.Counters.pp report.counters;
     let by_start =
@@ -516,9 +559,10 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an XPath query end to end.")
     Term.(
       ret
-        (const run $ logs_term $ query_arg $ translator_arg $ engine_arg
-       $ verify $ show $ as_xml $ explain $ analyze $ show_stats $ jobs_arg
-       $ no_cache_arg $ pages_arg $ input_arg))
+        (const run $ logs_term $ query_arg
+       $ translator_arg_with ~default:Blas.Auto2
+       $ engine_arg $ verify $ show $ as_xml $ explain $ analyze $ show_stats
+       $ jobs_arg $ no_cache_arg $ pages_arg $ stats_seed_arg $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* index                                                               *)
@@ -540,7 +584,8 @@ let index_cmd =
       & info [ "page-size" ] ~docv:"BYTES"
           ~doc:"Page size for $(b,.blasdb) output (power-of-two sizes work best).")
   in
-  let build () input output page_size =
+  let build () input output page_size stats_seed =
+    apply_stats_seed stats_seed;
     match load_storage input with
     | Error msg -> `Error (false, msg)
     | Ok storage ->
@@ -564,7 +609,8 @@ let index_cmd =
        ~doc:
          "Build and save an index; other commands accept the saved file in \
           place of XML.")
-    Term.(ret (const build $ logs_term $ input_arg $ output $ page_size))
+    Term.(
+      ret (const build $ logs_term $ input_arg $ output $ page_size $ stats_seed_arg))
 
 (* ------------------------------------------------------------------ *)
 (* update                                                              *)
@@ -1068,7 +1114,8 @@ let query_cmd =
     Term.(
       ret
         (const net_query $ logs_term $ endpoint_arg $ doc_name $ query_arg
-       $ translator_arg $ engine_arg $ deadline_ms))
+       $ translator_arg_with ~default:Blas.Auto2
+       $ engine_arg $ deadline_ms))
 
 (* ------------------------------------------------------------------ *)
 

@@ -27,6 +27,7 @@ module Par = Blas_par.Pool
 module Cache = Qcache
 module Loader = Loader
 module Database = Database
+module Optimizer = Optimizer
 
 type translator = Exec.translator =
   | D_labeling
@@ -34,6 +35,7 @@ type translator = Exec.translator =
   | Pushup
   | Unfold
   | Auto
+  | Auto2
 
 type engine = Exec.engine = Rdbms | Twig
 
@@ -45,7 +47,10 @@ type report = Exec.report = {
   memo_hits : int;
   sql : Blas_rel.Sql_ast.t option;
   counters : Blas_rel.Counters.t;
+  choice : Optimizer.choice option;
 }
+
+let actual_cost = Exec.actual_cost
 
 let translator_name = Exec.translator_name
 
@@ -140,6 +145,9 @@ let run_union ?tracer ?cancel ?pool ?cache storage ~engine ~translator queries =
     page_reads = List.fold_left (fun acc r -> acc + r.page_reads) 0 reports;
     plan_djoins = List.fold_left (fun acc r -> acc + r.plan_djoins) 0 reports;
     memo_hits = List.fold_left (fun acc r -> acc + r.memo_hits) 0 reports;
+    (* the first branch's pick represents the union in reports (all
+       branches consult the same statistics) *)
+    choice = List.find_map (fun r -> r.choice) reports;
     counters;
     sql =
       (match sqls with

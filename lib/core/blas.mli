@@ -51,6 +51,12 @@ module Loader = Loader
     open (see {!Database}). *)
 module Database = Database
 
+(** The cost-based adaptive optimizer behind [Auto2]: statistics
+    collected at index time, a planner pricing {Split, Push-up, Unfold}
+    × {RDBMS, twig} × degree of parallelism, and the update-protocol
+    staleness hook (see {!Optimizer}). *)
+module Optimizer = Optimizer
+
 type translator = Exec.translator =
   | D_labeling  (** the baseline: one D-join per query edge over SD *)
   | Split  (** Section 4.1.1 *)
@@ -59,6 +65,12 @@ type translator = Exec.translator =
   | Auto
       (** the paper's policy: Unfold when the schema expansion is
           usable (small enough), Push-up otherwise *)
+  | Auto2
+      (** the adaptive optimizer: picks translator {e and} engine {e
+          and} degree of parallelism by estimated cost from collected
+          statistics — no data probes; the pick overrides {!run}'s
+          [~engine] and drops its [?pool] when a serial plan prices
+          cheaper *)
 
 type engine = Exec.engine = Rdbms | Twig
 
@@ -83,7 +95,15 @@ type report = Exec.report = {
   counters : Blas_rel.Counters.t;
       (** the full cost vector of this run (tuples, seeks, joins,
           intermediate results, page traffic) *)
+  choice : Optimizer.choice option;
+      (** the [Auto2] pick with its priced candidate table; [None]
+          under every other translator *)
 }
+
+(** Measured cost of a finished report in the optimizer's pricing unit
+    — comparable against [choice.ch_est_cost].  [engine] is the engine
+    that ran (for [Auto2], the picked one). *)
+val actual_cost : engine:engine -> report -> float
 
 (** [index xml] parses [xml] and builds the SP and SD storage.  With
     the BLAS_TEST_DISK environment variable set (disk-backed test

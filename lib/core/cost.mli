@@ -41,3 +41,28 @@ val choose :
   [ `Unfold | `Pushup ] * Suffix_query.t list * t * t
 
 val pp : Format.formatter -> t -> unit
+
+(** Selectivity-scaled estimate of a translation, priced purely from
+    collected statistics ({!Blas_optimizer.Stats}) — computing one
+    touches no tables, which is what lets the [Auto2] translator
+    enumerate the whole plan space without data probes. *)
+type estimate = {
+  e_visited : float;  (** tuples the items will scan *)
+  e_selected : float;  (** of those, survivors of value predicates *)
+  e_join_input : float;  (** selected tuples entering structural joins *)
+  e_djoins : int;
+  e_branches : int;
+}
+
+val zero_estimate : estimate
+
+val add_estimate : estimate -> estimate -> estimate
+
+(** One decomposition branch, from statistics alone. *)
+val estimate_branch : Blas_optimizer.Stats.t -> Suffix_query.t -> estimate
+
+(** A whole translation (union of branches), from statistics alone. *)
+val estimate_decomposition :
+  Blas_optimizer.Stats.t -> Suffix_query.t list -> estimate
+
+val pp_estimate : Format.formatter -> estimate -> unit

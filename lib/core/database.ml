@@ -52,7 +52,11 @@ let looks_like_db = Pager.looks_like_db
 (* ------------------------------------------------------------------ *)
 (* Catalog codec                                                      *)
 
-let cat_version = 1
+(* v1 had no statistics blob; v2 appends one.  Decode accepts both, so
+   every pre-optimizer database file still opens (its storage simply
+   has no statistics until an update triggers a resample or the CLI
+   re-indexes). *)
+let cat_version = 2
 
 type tlayout = {
   l_dir : Table.dir_entry array;
@@ -66,6 +70,7 @@ type cat = {
   c_free : int list;  (** recorded before chain placement; see below *)
   c_sp : tlayout;
   c_sd : tlayout;
+  c_stats : string option;  (** optimizer statistics blob (v2+) *)
 }
 
 let encode_layout buf { l_dir; l_indexes } =
@@ -116,7 +121,7 @@ let read_layout r =
   in
   { l_dir; l_indexes }
 
-let encode_catalog ~table ~guide ~free ~sp ~sd =
+let encode_catalog ~table ~guide ~free ~sp ~sd ~stats =
   let buf = Buffer.create 4096 in
   Wire.write_u8 buf cat_version;
   Wire.write_varint buf (Tag_table.height table);
@@ -134,12 +139,13 @@ let encode_catalog ~table ~guide ~free ~sp ~sd =
   List.iter (Wire.write_varint buf) free;
   encode_layout buf sp;
   encode_layout buf sd;
+  Wire.write_string buf (Option.value ~default:"" stats);
   Buffer.contents buf
 
 let decode_catalog body =
   let r = Wire.reader body in
   let v = Wire.read_u8 r in
-  if v <> cat_version then
+  if v <> 1 && v <> cat_version then
     raise (Corrupt (Printf.sprintf "unsupported catalog version %d" v));
   let c_height = Wire.read_varint r in
   let c_tags = List.init (Wire.read_varint r) (fun _ -> Wire.read_string r) in
@@ -150,7 +156,11 @@ let decode_catalog body =
   let c_free = List.init (Wire.read_varint r) (fun _ -> Wire.read_varint r) in
   let c_sp = read_layout r in
   let c_sd = read_layout r in
-  { c_height; c_tags; c_paths; c_free; c_sp; c_sd }
+  let c_stats =
+    if v < 2 then None
+    else match Wire.read_string r with "" -> None | s -> Some s
+  in
+  { c_height; c_tags; c_paths; c_free; c_sp; c_sd; c_stats }
 
 (* ------------------------------------------------------------------ *)
 (* Catalog chain: the body split over linked pages.  Each chain page
@@ -321,7 +331,14 @@ let install db (storage : Storage.t) (cat, chain) =
   storage.Storage.guide <-
     List.fold_left Dataguide.add_path Dataguide.empty cat.c_paths;
   storage.Storage.sp <- mk_table db "sp" sp_schema sp_cluster cat.c_sp;
-  storage.Storage.sd <- mk_table db "sd" sd_schema sd_cluster cat.c_sd
+  storage.Storage.sd <- mk_table db "sd" sd_schema sd_cluster cat.c_sd;
+  (* A blob that fails to decode costs only the optimizer its
+     statistics — never the open. *)
+  Storage.set_ostats storage
+    (Option.bind cat.c_stats (fun s ->
+         match Blas_optimizer.Stats.of_string s with
+         | stats -> Some stats
+         | exception Invalid_argument _ -> None))
 
 (* ------------------------------------------------------------------ *)
 (* Catalog writer (inside a transaction)                              *)
@@ -344,6 +361,8 @@ let write_catalog db (storage : Storage.t) =
   let body =
     encode_catalog ~table:storage.Storage.table ~guide:storage.Storage.guide
       ~free:db.free ~sp ~sd
+      ~stats:
+        (Option.map Blas_optimizer.Stats.to_string (Storage.ostats storage))
   in
   let chain =
     write_chain
@@ -490,6 +509,9 @@ let create ?(page_size = 4096) ?(fill = default_fill) ~path
           let body =
             encode_catalog ~table:storage.Storage.table
               ~guide:(Storage.guide storage) ~free:[] ~sp ~sd
+              ~stats:
+                (Option.map Blas_optimizer.Stats.to_string
+                   (Storage.ostats storage))
           in
           let chain =
             write_chain

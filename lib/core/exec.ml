@@ -13,7 +13,7 @@ let log_src = Logs.Src.create "blas" ~doc:"BLAS query processing"
 
 module Log = (val Logs.src_log log_src)
 
-type translator = D_labeling | Split | Pushup | Unfold | Auto
+type translator = D_labeling | Split | Pushup | Unfold | Auto | Auto2
 
 type engine = Rdbms | Twig
 
@@ -23,6 +23,21 @@ let translator_name = function
   | Pushup -> "Push-up"
   | Unfold -> "Unfold"
   | Auto -> "Auto"
+  | Auto2 -> "Auto2"
+
+(* [Auto2]'s picked plan, mapped back into this module's vocabulary. *)
+let translator_of_kind = function
+  | Blas_optimizer.Planner.Split -> Split
+  | Blas_optimizer.Planner.Pushup -> Pushup
+  | Blas_optimizer.Planner.Unfold -> Unfold
+
+let engine_of_kind = function
+  | Blas_optimizer.Planner.Rdbms -> Rdbms
+  | Blas_optimizer.Planner.Twig -> Twig
+
+let kind_of_engine = function
+  | Rdbms -> Blas_optimizer.Planner.Rdbms
+  | Twig -> Blas_optimizer.Planner.Twig
 
 (* Unfold pays one union branch per schema expansion; past this many
    branches the Auto policy judges the union more expensive than
@@ -42,7 +57,15 @@ type report = {
           outcome attribution *)
   sql : Blas_rel.Sql_ast.t option;  (** the generated SQL ([None]: provably empty) *)
   counters : Blas_rel.Counters.t;  (** the full cost vector of this run *)
+  choice : Optimizer.choice option;
+      (** the [Auto2] pick (with its priced candidate table); [None]
+          under every other translator *)
 }
+
+(** Measured cost of a finished report in the optimizer's pricing unit
+    — comparable against [choice.ch_est_cost]. *)
+let actual_cost ~engine (report : report) =
+  Optimizer.actual_cost ~engine:(kind_of_engine engine) report.counters
 
 (* ------------------------------------------------------------------ *)
 (* Metrics sink                                                       *)
@@ -111,13 +134,18 @@ let rec decompose (storage : Storage.t) translator q =
             Cost.pp unfold_cost Cost.pp pushup_cost);
       branches
     end
+  | Auto2 ->
+    (* The adaptive pick, statistics-only (see {!Optimizer}); callers
+       that also execute resolve the engine and degree themselves. *)
+    let c = Optimizer.choose storage q in
+    decompose storage (translator_of_kind c.Optimizer.ch_translator) q
 
 (** [sql_for storage translator q] — the SQL query plan each translator
     generates (Figure 11 shows these for QS3). *)
 let sql_for storage translator q =
   match translator with
   | D_labeling -> Some (Baseline.to_sql q)
-  | Split | Pushup | Unfold | Auto ->
+  | Split | Pushup | Unfold | Auto | Auto2 ->
     Translate.to_sql storage (decompose storage translator q)
 
 (** [plan_for storage translator q] — the compiled physical plan. *)
@@ -138,6 +166,7 @@ let empty_report sql =
     memo_hits = 0;
     sql;
     counters = Blas_rel.Counters.create ();
+    choice = None;
   }
 
 let report_of_counters ~starts ~plan_djoins ~sql (counters : Blas_rel.Counters.t)
@@ -150,6 +179,7 @@ let report_of_counters ~starts ~plan_djoins ~sql (counters : Blas_rel.Counters.t
     memo_hits = 0;
     sql;
     counters;
+    choice = None;
   }
 
 let twig_plan_djoins branches =
@@ -285,6 +315,18 @@ let footprint (storage : Storage.t) branches =
         b.Suffix_query.items)
     branches
 
+(* The plan-choice span's candidate table: one attr per priced
+   candidate, plus the pick itself. *)
+let choice_attrs (c : Optimizer.choice) =
+  ("chosen", Optimizer.label c)
+  :: ("est_cost", Printf.sprintf "%.0f" c.Optimizer.ch_est_cost)
+  :: ("from_stats", string_of_bool c.Optimizer.ch_from_stats)
+  :: List.map
+       (fun cd ->
+         ( Blas_optimizer.Planner.label cd,
+           Printf.sprintf "%.0f" cd.Blas_optimizer.Planner.cd_cost ))
+       c.Optimizer.ch_candidates
+
 let report_of_result_entry (e : Qcache.result_entry) =
   {
     starts = e.Qcache.r_starts;
@@ -294,6 +336,7 @@ let report_of_result_entry (e : Qcache.result_entry) =
     memo_hits = 1;
     sql = e.Qcache.r_sql;
     counters = Blas_rel.Counters.create ();
+    choice = None;
   }
 
 (* Re-publishes the cache's own atomics into the installed registry
@@ -352,12 +395,44 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?(cancel = ignore) ?pool ?cache
           ("cache", match qc with Some _ -> "on" | None -> "off");
         ]
     @@ fun () ->
+    (* Auto2 prices the plan space first (statistics-only; recorded as
+       a [plan-choice] span) and rebinds the effective translator,
+       engine and pool before anything executes.  A picked degree of 1
+       drops the pool: the estimate said fan-out won't pay. *)
+    let choice =
+      match translator with
+      | Auto2 ->
+        let t0c = Blas_obs.Clock.now_ns () in
+        let c = Optimizer.choose ?pool storage q in
+        if Blas_obs.Trace.enabled tracer then
+          Blas_obs.Trace.record tracer ~attrs:(choice_attrs c)
+            ~name:"plan-choice" ~start_ns:t0c
+            ~duration_ns:(Blas_obs.Clock.elapsed_ns t0c) ();
+        Some c
+      | _ -> None
+    in
+    let exec_translator =
+      match choice with
+      | Some c -> translator_of_kind c.Optimizer.ch_translator
+      | None -> translator
+    in
+    let engine =
+      match choice with
+      | Some c -> engine_of_kind c.Optimizer.ch_engine
+      | None -> engine
+    in
+    let pool =
+      match choice with
+      | Some c when c.Optimizer.ch_degree <= 1 -> None
+      | _ -> pool
+    in
     (* The whole-query memo applies to the suffix-path translators only:
        D-labeling answers carry no P-interval footprint to invalidate
-       against. *)
+       against.  Auto2 memoizes under its own name — the stats epoch in
+       the key retires entries when a resample changes the pick. *)
     let memo =
       match (qc, translator) with
-      | Some qcv, (Split | Pushup | Unfold | Auto) ->
+      | Some qcv, (Split | Pushup | Unfold | Auto | Auto2) ->
         Some
           ( qcv,
             Qcache.result_key qcv ~engine:(engine_name engine)
@@ -386,7 +461,7 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?(cancel = ignore) ?pool ?cache
       else probe ()
     in
     match memo_hit with
-    | Some entry -> report_of_result_entry entry
+    | Some entry -> { (report_of_result_entry entry) with choice }
     | None ->
       let execute () =
         (* Phase-boundary cancellation checks; the engines add one per
@@ -395,13 +470,15 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?(cancel = ignore) ?pool ?cache
         match engine with
         | Rdbms -> (
           let sql =
-            span "translate" (fun () -> sql_cached qc storage translator q qstr)
+            span "translate" (fun () ->
+                sql_cached qc storage exec_translator q qstr)
           in
           match sql with
           | None -> (empty_report None, Some [])
           | Some s ->
             let plan =
-              span "compile" (fun () -> plan_cached qc storage translator qstr s)
+              span "compile" (fun () ->
+                  plan_cached qc storage exec_translator qstr s)
             in
             cancel ();
             let counters = Blas_rel.Counters.create () in
@@ -416,16 +493,16 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?(cancel = ignore) ?pool ?cache
                   Engine_rdbms.starts_of_relation relation)
             in
             let branches =
-              match translator with
+              match exec_translator with
               | D_labeling -> None
-              | _ -> Some (decompose_cached qc storage translator q qstr)
+              | _ -> Some (decompose_cached qc storage exec_translator q qstr)
             in
             ( report_of_counters ~starts
                 ~plan_djoins:(Blas_rel.Algebra.count_djoins plan)
                 ~sql counters,
               branches ))
         | Twig -> (
-          match translator with
+          match exec_translator with
           | D_labeling ->
             let counters = Blas_rel.Counters.create () in
             let pattern =
@@ -442,7 +519,7 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?(cancel = ignore) ?pool ?cache
           | _ ->
             let branches =
               span "decompose" (fun () ->
-                  decompose_cached qc storage translator q qstr)
+                  decompose_cached qc storage exec_translator q qstr)
             in
             let result =
               span "execute" (fun () ->
@@ -468,9 +545,16 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?(cancel = ignore) ?pool ?cache
             r_footprint = footprint storage branches;
           }
       | _ -> ());
-      report
+      { report with choice }
   in
-  record_metrics ~engine ~translator
+  (* Metrics label by the engine that actually ran (the Auto2 pick when
+     there is one) under the requested translator name. *)
+  let metrics_engine =
+    match report.choice with
+    | Some c -> engine_of_kind c.Optimizer.ch_engine
+    | None -> engine
+  in
+  record_metrics ~engine:metrics_engine ~translator
     ~elapsed_ns:(Blas_obs.Clock.elapsed_ns t0)
     report.counters;
   Option.iter record_cache_metrics qc;
@@ -497,7 +581,32 @@ let run_analyze ?(tracer = Blas_obs.Trace.disabled) ?cache storage ~engine
   let stats_before = Option.map (fun qcv -> Qcache.stats qcv) qc in
   let span name f = Blas_obs.Trace.with_span tracer name f in
   let t0 = Blas_obs.Clock.now_ns () in
+  (* The Auto2 pick (analysis runs sequentially, so only degree 1 is
+     enumerated here); recorded as a [plan-choice] span like {!run}. *)
+  let choice =
+    match translator with
+    | Auto2 ->
+      let t0c = Blas_obs.Clock.now_ns () in
+      let c = Optimizer.choose storage q in
+      if Blas_obs.Trace.enabled tracer then
+        Blas_obs.Trace.record tracer ~attrs:(choice_attrs c)
+          ~name:"plan-choice" ~start_ns:t0c
+          ~duration_ns:(Blas_obs.Clock.elapsed_ns t0c) ();
+      Some c
+    | _ -> None
+  in
+  let exec_translator =
+    match choice with
+    | Some c -> translator_of_kind c.Optimizer.ch_translator
+    | None -> translator
+  in
+  let engine =
+    match choice with
+    | Some c -> engine_of_kind c.Optimizer.ch_engine
+    | None -> engine
+  in
   let finish report children =
+    let report = { report with choice } in
     let cache_note =
       match (qc, stats_before) with
       | Some qcv, Some before ->
@@ -507,12 +616,23 @@ let run_analyze ?(tracer = Blas_obs.Trace.disabled) ?cache storage ~engine
           tot.containment_hits tot.misses
       | _ -> ""
     in
+    (* The pick, estimated vs. measured, on the root — as a label note
+       rather than a child node, preserving the invariant that the
+       children's [self] stats sum to the counters. *)
+    let plan_note =
+      match choice with
+      | None -> ""
+      | Some c ->
+        Format.sprintf " plan=%s est=%.0f actual=%.0f" (Optimizer.label c)
+          c.Optimizer.ch_est_cost
+          (actual_cost ~engine report)
+    in
     let root =
       Blas_obs.Analyze.make
         ~label:
-          (Format.sprintf "query %s [%s on %s]%s" qstr
+          (Format.sprintf "query %s [%s on %s]%s%s" qstr
              (translator_name translator)
-             (engine_name engine) cache_note)
+             (engine_name engine) plan_note cache_note)
         ~kind:"query"
         ~rows:(List.length report.starts)
         ~elapsed_ns:(Blas_obs.Clock.elapsed_ns t0)
@@ -536,13 +656,14 @@ let run_analyze ?(tracer = Blas_obs.Trace.disabled) ?cache storage ~engine
   match engine with
   | Rdbms -> (
     let sql =
-      span "translate" (fun () -> sql_cached qc storage translator q qstr)
+      span "translate" (fun () -> sql_cached qc storage exec_translator q qstr)
     in
     match sql with
     | None -> finish (empty_report None) []
     | Some s ->
       let plan =
-        span "compile" (fun () -> plan_cached qc storage translator qstr s)
+        span "compile" (fun () ->
+            plan_cached qc storage exec_translator qstr s)
       in
       let counters = Blas_rel.Counters.create () in
       let relation, tree =
@@ -558,7 +679,7 @@ let run_analyze ?(tracer = Blas_obs.Trace.disabled) ?cache storage ~engine
            ~sql counters)
         [ tree ])
   | Twig -> (
-    match translator with
+    match exec_translator with
     | D_labeling ->
       let counters = Blas_rel.Counters.create () in
       let result, tree =
@@ -574,7 +695,8 @@ let run_analyze ?(tracer = Blas_obs.Trace.disabled) ?cache storage ~engine
         [ tree ]
     | _ ->
       let branches =
-        span "decompose" (fun () -> decompose_cached qc storage translator q qstr)
+        span "decompose" (fun () ->
+            decompose_cached qc storage exec_translator q qstr)
       in
       let result, trees =
         span "execute" (fun () ->

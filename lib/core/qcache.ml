@@ -26,6 +26,11 @@ type t = {
      single-writer; queries read it racily, which at worst misses a
      concurrent edit the caller was racing anyway. *)
   mutable epoch : int;
+  (* Advanced when the optimizer's statistics are resampled: Auto2 plan
+     picks depend on the stats, so memoized picks must not outlive
+     them.  Keyed separately from the schema epoch because a resample
+     invalidates no translations — only choices. *)
+  mutable stats_epoch : int;
 }
 
 (* Weight models: plan entries are structure-only (no tuples), so a flat
@@ -49,6 +54,7 @@ let create ?stripes ?capacity_bytes () =
     results = Lru.create ?stripes ?capacity_bytes ~weight:result_weight ();
     enabled = Atomic.make false;
     epoch = 0;
+    stats_epoch = 0;
   }
 
 let enabled t = Atomic.get t.enabled
@@ -63,15 +69,19 @@ let clear t =
 
 let schema_epoch t = t.epoch
 
+let stats_epoch t = t.stats_epoch
+
+let bump_stats_epoch t = t.stats_epoch <- t.stats_epoch + 1
+
 let plan_key t ~stage ~translator ~query =
-  Printf.sprintf "%d|%s|%s|%s" t.epoch stage translator query
+  Printf.sprintf "%d.%d|%s|%s|%s" t.epoch t.stats_epoch stage translator query
 
 let find_plan t key = Lru.find t.plans key
 
 let put_plan t key entry = Lru.put t.plans key entry
 
 let result_key t ~engine ~translator ~query =
-  Printf.sprintf "%d|%s|%s|%s" t.epoch engine translator query
+  Printf.sprintf "%d.%d|%s|%s|%s" t.epoch t.stats_epoch engine translator query
 
 let find_result t key = Lru.find t.results key
 

@@ -55,6 +55,14 @@ val clear : t -> unit
 
 val schema_epoch : t -> int
 
+(** The statistics epoch, part of every plan/result key: Auto2's
+    memoized picks depend on the optimizer statistics, so a resample
+    must orphan them without flushing translations keyed under other
+    translators.  Bumped by [Blas.Optimizer.refresh]. *)
+val stats_epoch : t -> int
+
+val bump_stats_epoch : t -> unit
+
 (* Plan cache *)
 
 val plan_key : t -> stage:string -> translator:string -> query:string -> string

@@ -83,6 +83,9 @@ type t = {
   pool : Blas_rel.Buffer_pool.t;
   cache : Qcache.t;
   mutable disk : disk option;
+  mutable ostats : Blas_optimizer.Stats.t option;
+      (* optimizer statistics; collected at index time, [None] until the
+         disk-open path installs the persisted copy *)
 }
 
 let doc_lock = Mutex.create ()
@@ -131,14 +134,28 @@ let sd_schema = Blas_rel.Schema.of_list [ "tag"; "start"; "end"; "level"; "data"
    evaluation data sets do not fit entirely, as on the paper's machine. *)
 let default_pool_capacity = 1024
 
+(** One-pass optimizer statistics over the labeled nodes (exact tag and
+    path cardinalities, histograms, value reservoirs). *)
+let collect_ostats ?seed ?epoch (doc : Blas_xpath.Doc.t) =
+  Blas_optimizer.Stats.collect ?seed ?epoch
+    (List.map
+       (fun (n : Blas_xpath.Doc.node) ->
+         {
+           Blas_optimizer.Stats.nv_tag = n.tag;
+           nv_path = n.source_path;
+           nv_data = n.data;
+           nv_children = List.length n.children;
+         })
+       doc.all)
+
 (** [of_doc doc] builds both relations; P-labels come from the node's
     source path (Definition 3.3), which the test suite checks against the
     streaming Algorithm 2.  [table] overrides the tag inventory (it must
     cover the document's tags and depth) — {!Persist} passes the stored
     inventory so that an updated index, whose inventory may strictly
     contain the instance's, round-trips. *)
-let of_doc ?(pool_capacity = default_pool_capacity) ?table
-    (doc : Blas_xpath.Doc.t) =
+let of_doc ?(pool_capacity = default_pool_capacity) ?(collect_stats = true)
+    ?table (doc : Blas_xpath.Doc.t) =
   let table =
     match table with
     | Some table -> table
@@ -192,6 +209,7 @@ let of_doc ?(pool_capacity = default_pool_capacity) ?table
     pool;
     cache = Qcache.create ();
     disk = None;
+    ostats = (if collect_stats then Some (collect_ostats doc) else None);
   }
 
 (** [assemble] wires a storage from already-built components — the
@@ -207,6 +225,7 @@ let assemble ~build_doc ~guide ~table ~sp ~sd ~pool =
     pool;
     cache = Qcache.create ();
     disk = None;
+    ostats = None;
   }
 
 (** [of_tree tree] parses nothing; it labels the already-built tree. *)
@@ -247,3 +266,8 @@ let set_cache_enabled t on = Qcache.set_enabled t.cache on
 let cache_enabled t = Qcache.enabled t.cache
 
 let cache_stats t = Qcache.stats t.cache
+
+(** Optimizer statistics, if collected (or installed from the catalog). *)
+let ostats t = t.ostats
+
+let set_ostats t s = t.ostats <- s

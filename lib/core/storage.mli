@@ -68,6 +68,8 @@ type t = {
   pool : Blas_rel.Buffer_pool.t;  (** page cache shared by SP and SD *)
   cache : Qcache.t;  (** the query cache (disabled by default) *)
   mutable disk : disk option;  (** present on disk-backed storages *)
+  mutable ostats : Blas_optimizer.Stats.t option;
+      (** optimizer statistics — read via {!ostats} *)
 }
 
 (** The labeled document model, materializing it on first use for
@@ -85,12 +87,18 @@ val doc_resident : t -> bool
 val drop_doc : t -> unit
 
 (** [pool_capacity] is the buffer pool size in pages (default 1024
-    pages of 64 tuples).  [table] overrides the tag inventory derived
-    from the document (it must cover the document's tags and depth) —
-    {!Persist} passes the stored inventory so updated indexes, whose
-    inventory may strictly contain the instance's, round-trip. *)
+    pages of 64 tuples).  [collect_stats] (default true) also gathers
+    optimizer statistics in the same pass over the nodes.  [table]
+    overrides the tag inventory derived from the document (it must
+    cover the document's tags and depth) — {!Persist} passes the stored
+    inventory so updated indexes, whose inventory may strictly contain
+    the instance's, round-trip. *)
 val of_doc :
-  ?pool_capacity:int -> ?table:Blas_label.Tag_table.t -> Blas_xpath.Doc.t -> t
+  ?pool_capacity:int ->
+  ?collect_stats:bool ->
+  ?table:Blas_label.Tag_table.t ->
+  Blas_xpath.Doc.t ->
+  t
 
 val of_tree : ?pool_capacity:int -> Blas_xml.Types.tree -> t
 
@@ -143,3 +151,14 @@ val catalog : t -> string -> Blas_rel.Table.t option
 val node_count : t -> int
 
 val guide : t -> Blas_xml.Dataguide.t
+
+(** Optimizer statistics, if collected at index time (or installed from
+    a database catalog). *)
+val ostats : t -> Blas_optimizer.Stats.t option
+
+val set_ostats : t -> Blas_optimizer.Stats.t option -> unit
+
+(** One-pass statistics collection over a labeled document (used by
+    index build and by [Blas.Optimizer.refresh]). *)
+val collect_ostats :
+  ?seed:int -> ?epoch:int -> Blas_xpath.Doc.t -> Blas_optimizer.Stats.t

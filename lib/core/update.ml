@@ -62,6 +62,10 @@ let apply storage op =
     Qcache.invalidate (Storage.cache storage) ~full:inv.inv_full
       ~schema_changed:inv.inv_schema_changed ~plabels:inv.inv_plabels
       ~drange:inv.inv_drange;
+    (* Optimizer staleness accounting (and, past the threshold, a
+       resample).  Inside the WAL transaction of a disk-backed storage,
+       so the refreshed statistics commit with the edit's catalog. *)
+    Optimizer.note_update storage report;
     report
   in
   (* Disk-backed storages wrap the whole edit — table writes, catalog,

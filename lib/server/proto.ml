@@ -89,6 +89,7 @@ let translator_names =
     ("pushup", Blas.Pushup);
     ("unfold", Blas.Unfold);
     ("auto", Blas.Auto);
+    ("auto2", Blas.Auto2);
   ]
 
 let engine_names = [ ("rdbms", Blas.Rdbms); ("twig", Blas.Twig) ]

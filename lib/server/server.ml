@@ -355,6 +355,18 @@ let slow_record ~verb ~detail ~elapsed_ns ~queue_ns ~(info : Service.info)
         ("lock_wait_ns", Blas_obs.Json.Int (Int64.to_int info.i_lock_wait_ns));
         ("pages_read", Blas_obs.Json.Int info.i_pages_read);
         ("cache", Blas_obs.Json.Str info.i_cache);
+        ( "chosen_plan",
+          match info.i_plan with
+          | Some p -> Blas_obs.Json.Str p
+          | None -> Blas_obs.Json.Null );
+        ( "est_cost",
+          match info.i_est_cost with
+          | Some c -> Blas_obs.Json.Float c
+          | None -> Blas_obs.Json.Null );
+        ( "actual_cost",
+          match info.i_actual_cost with
+          | Some c -> Blas_obs.Json.Float c
+          | None -> Blas_obs.Json.Null );
         ( "trace_id",
           if trace_id = "" then Blas_obs.Json.Null
           else Blas_obs.Json.Str trace_id );

@@ -77,9 +77,22 @@ type info = {
   i_lock_wait_ns : int64;  (** time blocked on the document lock *)
   i_pages_read : int;  (** buffer-pool misses during the run *)
   i_cache : string;  (** whole-query memo outcome: hit / miss / off / n-a *)
+  i_plan : string option;
+      (** the [Auto2] pick ("Unfold/twig/j2"); [None] under explicit
+          translators *)
+  i_est_cost : float option;  (** the pick's estimated cost *)
+  i_actual_cost : float option;  (** measured cost of the executed plan *)
 }
 
-let no_info = { i_lock_wait_ns = 0L; i_pages_read = 0; i_cache = "n/a" }
+let no_info =
+  {
+    i_lock_wait_ns = 0L;
+    i_pages_read = 0;
+    i_cache = "n/a";
+    i_plan = None;
+    i_est_cost = None;
+    i_actual_cost = None;
+  }
 
 let disk_io d =
   Option.map
@@ -150,11 +163,29 @@ let query_info t ~token ?(tracer = Blas_obs.Trace.disabled) ~doc ~translator
           else if Blas.Storage.cache_enabled d.storage then "miss"
           else "off"
         in
+        let plan_fields =
+          match report.Blas.choice with
+          | None -> (None, None, None)
+          | Some c ->
+            ( Some (Blas.Optimizer.label c),
+              Some c.Blas.Optimizer.ch_est_cost,
+              Some
+                (Blas.actual_cost
+                   ~engine:
+                     (match c.Blas.Optimizer.ch_engine with
+                     | Blas.Optimizer.Planner.Rdbms -> Blas.Rdbms
+                     | Blas.Optimizer.Planner.Twig -> Blas.Twig)
+                   report) )
+        in
+        let i_plan, i_est_cost, i_actual_cost = plan_fields in
         ( Proto.Ok_payload (payload_of_report report),
           {
             i_lock_wait_ns = lock_wait;
             i_pages_read = report.Blas.page_reads;
             i_cache = cache;
+            i_plan;
+            i_est_cost;
+            i_actual_cost;
           } )
       | exception Blas.Par.Cancelled ->
         (Proto.Timeout, { no_info with i_lock_wait_ns = lock_wait })))

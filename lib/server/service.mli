@@ -32,6 +32,11 @@ type info = {
   i_lock_wait_ns : int64;  (** time blocked on the document lock *)
   i_pages_read : int;  (** buffer-pool misses during the run *)
   i_cache : string;  (** whole-query memo outcome: hit / miss / off / n-a *)
+  i_plan : string option;
+      (** the [Auto2] pick ("Unfold/twig/j2"); [None] under explicit
+          translators *)
+  i_est_cost : float option;  (** the pick's estimated cost *)
+  i_actual_cost : float option;  (** measured cost of the executed plan *)
 }
 
 (** [query t ~token ~doc ~translator ~engine xpath] — run under the

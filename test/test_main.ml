@@ -16,6 +16,7 @@ let () =
       ("engines", Test_engines.suite);
       ("collection", Test_collection.suite);
       ("cost", Test_cost.suite);
+      ("optimizer", Test_optimizer.suite);
       ("persist", Test_persist.suite);
       ("navigation", Test_nav.suite);
       ("update", Test_update.suite);
