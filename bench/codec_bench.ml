@@ -1,0 +1,184 @@
+(** bench codec: the v1-vs-v2 page codec matrix.
+
+    For each fig10 corpus a database file is built under both codecs and
+    the same Figure 10 queries run cold off each file.  The table
+    reports the layout economics (entries/page, bytes/entry, compression
+    ratio) next to the measured effect (cold page misses, wall-clock).
+
+    With [--check] (the CI gate, sharing {!Overhead.check_mode}) the run
+    enforces the PR's acceptance criteria:
+
+    - v2 packs at least 1.5x more SP entries per data page than v1;
+    - v2 answers the cold fig10 queries with no more page misses;
+    - answers are byte-identical between the codecs across all three
+      translators, both engines, and degrees 1 and 4. *)
+
+module Codec = Blas_rel.Codec
+module Pool = Blas_rel.Buffer_pool
+
+let fmt_ms s = Printf.sprintf "%.2f" (s *. 1000.)
+let misses storage = Pool.misses (Blas.Storage.pool storage)
+
+let corpora =
+  [
+    ("shakespeare", Datasets.shakespeare_base, Bench_queries.shakespeare);
+    ("protein", Datasets.protein_base, Bench_queries.protein);
+    ("auction", Datasets.auction_base, Bench_queries.auction);
+  ]
+
+(* One cold fig10 pass (Auto translator, rdbms engine — the measured
+   row); returns (page misses, seconds). *)
+let cold_pass storage queries =
+  Blas.Storage.cold_cache storage;
+  let m0 = misses storage in
+  let _, dt =
+    Bench_util.time_once (fun () ->
+        List.iter
+          (fun (_, qs) ->
+            ignore
+              (Blas.run storage ~engine:Blas.Rdbms ~translator:Blas.Auto
+                 (Blas.query qs)))
+          queries)
+  in
+  (misses storage - m0, dt)
+
+(* Answer starts for every (translator, engine, degree) combination —
+   the determinism matrix the gate compares across codecs. *)
+let answer_matrix storage queries =
+  List.concat_map
+    (fun (qname, qs) ->
+      let q = Blas.query qs in
+      List.concat_map
+        (fun translator ->
+          List.concat_map
+            (fun engine ->
+              List.map
+                (fun degree ->
+                  let starts =
+                    if degree = 1 then
+                      (Blas.run storage ~engine ~translator q).Blas.starts
+                    else
+                      Blas.Par.with_pool ~domains:degree (fun pool ->
+                          (Blas.run ~pool storage ~engine ~translator q)
+                            .Blas.starts)
+                  in
+                  ( Printf.sprintf "%s/%s/%s/j%d" qname
+                      (match translator with
+                      | Blas.Split -> "Split"
+                      | Blas.Pushup -> "Pushup"
+                      | Blas.Unfold -> "Unfold"
+                      | _ -> "?")
+                      (match engine with
+                      | Blas.Rdbms -> "rdbms"
+                      | Blas.Twig -> "twig")
+                      degree,
+                    starts ))
+                [ 1; 4 ])
+            [ Blas.Rdbms; Blas.Twig ])
+        [ Blas.Split; Blas.Pushup; Blas.Unfold ])
+    queries
+
+type side = {
+  sd_entries_per_page : float;
+  sd_bytes_per_entry : float;
+  sd_ratio : float;  (** payload bytes / v1-equivalent bytes *)
+  sd_file_pages : int;
+  sd_cold_misses : int;
+  sd_cold_s : float;
+  sd_answers : (string * int list) list;
+}
+
+let measure_side ~codec tree queries =
+  let path = Filename.temp_file "blas_bench_codec" ".blasdb" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".wal" ])
+    (fun () ->
+      Blas.Database.create ~page_size:2048 ~codec ~path
+        (Blas.Storage.of_tree tree);
+      let storage =
+        Blas.Database.open_ ~cache_pages:64 ~mode:Blas.Database.Ro ~path ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Blas.Storage.close storage)
+        (fun () ->
+          let s =
+            match Blas.Storage.disk storage with
+            | Some d -> d.Blas.Storage.dk_stats ()
+            | None -> assert false
+          in
+          let sp =
+            match
+              List.find_opt
+                (fun ts -> ts.Blas.Storage.ts_name = "sp")
+                s.Blas.Storage.dstat_tables
+            with
+            | Some ts -> ts
+            | None -> assert false
+          in
+          let fdiv num den = float_of_int num /. float_of_int (max 1 den) in
+          let cold_misses, cold_s = cold_pass storage queries in
+          {
+            sd_entries_per_page =
+              fdiv sp.Blas.Storage.ts_entries sp.ts_data_pages;
+            sd_bytes_per_entry = fdiv sp.ts_payload_bytes sp.ts_entries;
+            sd_ratio = fdiv sp.ts_payload_bytes sp.ts_v1_bytes;
+            sd_file_pages = s.Blas.Storage.dstat_page_count;
+            sd_cold_misses = cold_misses;
+            sd_cold_s = cold_s;
+            sd_answers = answer_matrix storage queries;
+          }))
+
+let gate name ok =
+  if not ok then begin
+    Printf.printf "GATE FAILED: %s\n%!" name;
+    if !Overhead.check_mode then Overhead.failed := true
+  end
+
+let run () =
+  Bench_util.heading "Page codecs: v1 row-major vs v2 compact columnar";
+  let rows =
+    List.concat_map
+      (fun (name, tree, queries) ->
+        let tree = tree () in
+        let v1 = measure_side ~codec:Codec.V1 tree queries in
+        let v2 = measure_side ~codec:Codec.V2 tree queries in
+        gate
+          (Printf.sprintf "%s: v2 entries/page >= 1.5x v1 (%.1f vs %.1f)" name
+             v2.sd_entries_per_page v1.sd_entries_per_page)
+          (v2.sd_entries_per_page >= 1.5 *. v1.sd_entries_per_page);
+        gate
+          (Printf.sprintf "%s: v2 cold page misses <= v1 (%d vs %d)" name
+             v2.sd_cold_misses v1.sd_cold_misses)
+          (v2.sd_cold_misses <= v1.sd_cold_misses);
+        gate
+          (Printf.sprintf
+             "%s: identical answers across translators x engines x degree"
+             name)
+          (v1.sd_answers = v2.sd_answers);
+        List.map
+          (fun (codec, side) ->
+            [
+              name;
+              codec;
+              Printf.sprintf "%.1f" side.sd_entries_per_page;
+              Printf.sprintf "%.1f" side.sd_bytes_per_entry;
+              Printf.sprintf "%.2f" side.sd_ratio;
+              string_of_int side.sd_file_pages;
+              string_of_int side.sd_cold_misses;
+              fmt_ms side.sd_cold_s;
+            ])
+          [ ("v1", v1); ("v2", v2) ])
+      corpora
+  in
+  Bench_util.print_table ~title:"codec matrix (fig10 corpora, 2048-byte pages)"
+    {
+      Bench_util.header =
+        [
+          "corpus"; "codec"; "sp entries/page"; "sp bytes/entry";
+          "vs v1 bytes"; "file pages"; "cold fig10 misses"; "cold ms";
+        ];
+      rows;
+    }

@@ -32,6 +32,7 @@ let sections =
     ("bechamel", Micro.run);
     ("overhead", Overhead.run);
     ("optimizer", Optimizer_bench.run);
+    ("codec", Codec_bench.run);
     ("scaling", Scaling.run);
     ("serve", Serve.run);
   ]

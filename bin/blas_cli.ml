@@ -275,6 +275,7 @@ let stats_json storage =
           Obj
             [
               ("path", Str s.Blas.Storage.dstat_path);
+              ("codec", Str s.Blas.Storage.dstat_codec);
               ("file_bytes", Int s.Blas.Storage.dstat_file_bytes);
               ("page_size", Int s.Blas.Storage.dstat_page_size);
               ("pages", Int s.Blas.Storage.dstat_page_count);
@@ -283,6 +284,36 @@ let stats_json storage =
               ("wal_bytes", Int s.Blas.Storage.dstat_wal_bytes);
               ("cache_pages", Int s.Blas.Storage.dstat_cache_pages);
               ("cache_resident", Int s.Blas.Storage.dstat_cache_resident);
+              ( "tables",
+                List
+                  (List.map
+                     (fun (ts : Blas.Storage.table_stats) ->
+                       let fpe den num =
+                         if den = 0 then 0.0
+                         else float_of_int num /. float_of_int den
+                       in
+                       Obj
+                         [
+                           ("name", Str ts.Blas.Storage.ts_name);
+                           ("entries", Int ts.ts_entries);
+                           ("data_pages", Int ts.ts_data_pages);
+                           ("index_pages", Int ts.ts_index_pages);
+                           ("payload_bytes", Int ts.ts_payload_bytes);
+                           ("v1_bytes", Int ts.ts_v1_bytes);
+                           ( "bytes_per_entry",
+                             Float (fpe ts.ts_entries ts.ts_payload_bytes) );
+                           ( "entries_per_page",
+                             Float (fpe ts.ts_data_pages ts.ts_entries) );
+                           ( "compression_ratio",
+                             Float (fpe ts.ts_payload_bytes ts.ts_v1_bytes) );
+                           ( "page_utilization",
+                             Float
+                               (fpe
+                                  (ts.ts_data_pages
+                                  * s.Blas.Storage.dstat_page_size)
+                                  ts.ts_payload_bytes) );
+                         ])
+                     s.Blas.Storage.dstat_tables) );
               ("wal_fsyncs", Int io.Blas_disk.Store.io_wal_fsyncs);
               ("wal_fsync_ns", Int io.Blas_disk.Store.io_wal_fsync_ns);
               ("commits", Int io.Blas_disk.Store.io_commits);
@@ -327,9 +358,26 @@ let stats () ?cache_pages ?stats_seed ~json path =
       let s = d.Blas.Storage.dk_stats () in
       let pct num den = 100.0 *. float_of_int num /. float_of_int (max den 1) in
       Printf.printf "on-disk storage:\n";
-      Printf.printf "  file: %s (%d bytes, %d pages of %d)\n"
+      Printf.printf "  file: %s (%d bytes, %d pages of %d, codec %s)\n"
         s.Blas.Storage.dstat_path s.dstat_file_bytes s.dstat_page_count
-        s.dstat_page_size;
+        s.dstat_page_size s.dstat_codec;
+      List.iter
+        (fun (ts : Blas.Storage.table_stats) ->
+          let fpe den num =
+            if den = 0 then 0.0 else float_of_int num /. float_of_int den
+          in
+          Printf.printf
+            "  %s: %d entries, %d data pages (%.1f entries/page, %.1f \
+             bytes/entry), %d index pages, %.2fx vs v1, %.1f%% page \
+             utilization\n"
+            ts.Blas.Storage.ts_name ts.ts_entries ts.ts_data_pages
+            (fpe ts.ts_data_pages ts.ts_entries)
+            (fpe ts.ts_entries ts.ts_payload_bytes)
+            ts.ts_index_pages
+            (fpe ts.ts_payload_bytes ts.ts_v1_bytes)
+            (100.0
+            *. fpe (ts.ts_data_pages * s.dstat_page_size) ts.ts_payload_bytes))
+        s.dstat_tables;
       Printf.printf "  page utilization: %d/%d pages live (%.1f%%), %d payload bytes (%.1f%% of file)\n"
         s.dstat_live_pages s.dstat_page_count
         (pct s.dstat_live_pages s.dstat_page_count)
@@ -584,16 +632,42 @@ let index_cmd =
       & info [ "page-size" ] ~docv:"BYTES"
           ~doc:"Page size for $(b,.blasdb) output (power-of-two sizes work best).")
   in
-  let build () input output page_size stats_seed =
+  let codec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "codec" ] ~docv:"CODEC"
+          ~doc:
+            "Page codec for $(b,.blasdb) output: $(b,v1) (row-major, the \
+             historical layout readable by any version) or $(b,v2) \
+             (compact columnar: delta-compressed D-labels, front-coded \
+             P-labels — smaller files, fewer page reads).  The choice is \
+             recorded in the catalog; both kinds open transparently.")
+  in
+  let build () input output page_size codec stats_seed =
     apply_stats_seed stats_seed;
-    match load_storage input with
-    | Error msg -> `Error (false, msg)
-    | Ok storage ->
+    let codec =
+      match codec with
+      | None -> Ok None
+      | Some name -> (
+        match Blas_rel.Codec.format_of_name name with
+        | Some f -> Ok (Some f)
+        | None ->
+          Error (Printf.sprintf "unknown codec %S (expected v1 or v2)" name))
+    in
+    match (load_storage input, codec) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok storage, Ok codec ->
       if Filename.check_suffix output ".blasdb" then begin
-        match Blas.Database.create ~page_size ~path:output storage with
+        match Blas.Database.create ?codec ~page_size ~path:output storage with
         | () ->
-          Printf.printf "indexed %d nodes -> %s (database, %d-byte pages)\n"
-            (Blas.Storage.node_count storage) output page_size;
+          let codec_name =
+            Blas_rel.Codec.format_name
+              (Option.value ~default:Blas_rel.Codec.default_format codec)
+          in
+          Printf.printf
+            "indexed %d nodes -> %s (database, %d-byte pages, %s codec)\n"
+            (Blas.Storage.node_count storage) output page_size codec_name;
           `Ok ()
         | exception Invalid_argument msg -> `Error (false, msg)
       end
@@ -610,14 +684,19 @@ let index_cmd =
          "Build and save an index; other commands accept the saved file in \
           place of XML.")
     Term.(
-      ret (const build $ logs_term $ input_arg $ output $ page_size $ stats_seed_arg))
+      ret
+        (const build $ logs_term $ input_arg $ output $ page_size $ codec_arg
+       $ stats_seed_arg))
 
 (* ------------------------------------------------------------------ *)
 (* update                                                              *)
 
-let update () insert_xml parent pos delete rtext data output path =
+let update () insert_xml parent pos delete rtext data headroom output path =
   (* Database files are edited in place (each edit is one committed
      transaction), so they need a writable open. *)
+  (match headroom with
+  | Some h -> Blas.Update.set_headroom h
+  | None -> ());
   match load_storage ~rw:true path with
   | Error msg -> `Error (false, msg)
   | Ok storage -> (
@@ -716,6 +795,17 @@ let update_cmd =
       & info [ "data" ] ~docv:"TEXT"
           ~doc:"New text value for --replace-text (omit to clear).")
   in
+  let headroom =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "headroom" ] ~docv:"N"
+          ~doc:
+            "D-label positions reserved per slot when a range is renumbered \
+             (default 4).  Compact codecs absorb larger spacings almost for \
+             free, so write-heavy workloads can raise this to postpone the \
+             next renumbering escalation.")
+  in
   let output =
     Arg.(
       value
@@ -731,7 +821,7 @@ let update_cmd =
     Term.(
       ret
         (const update $ logs_term $ insert $ parent $ pos $ delete $ rtext
-       $ data $ output $ input_arg))
+       $ data $ headroom $ output $ input_arg))
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)

@@ -56,7 +56,11 @@ let translator_name = Exec.translator_name
 
 let engine_name = Exec.engine_name
 
-(* BLAS_TEST_DISK=1 reroutes every [index] through a temporary database
+(* BLAS_TEST_COMPACT=1 flips Codec.default_format to V2, which
+   Storage.of_doc and Database.create pick up below — whole suites then
+   run on the compact columnar layout with no code changes here.
+
+   BLAS_TEST_DISK=1 reroutes every [index] through a temporary database
    file (small pages, small cache), so whole existing suites exercise
    the disk engine end to end.  Temp files are cleaned up at exit. *)
 let test_disk_enabled =

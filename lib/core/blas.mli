@@ -108,7 +108,11 @@ val actual_cost : engine:engine -> report -> float
 (** [index xml] parses [xml] and builds the SP and SD storage.  With
     the BLAS_TEST_DISK environment variable set (disk-backed test
     mode), the storage is round-tripped through a temporary database
-    file so existing suites exercise the disk engine.
+    file so existing suites exercise the disk engine.  With
+    BLAS_TEST_COMPACT set, both the in-memory page modelling and any
+    database files use the v2 compact codec
+    ({!Blas_rel.Codec.default_format}), so the same suites exercise the
+    compressed layout end to end.
     @raise Blas_xml.Types.Parse_error on malformed XML. *)
 val index : string -> Storage.t
 

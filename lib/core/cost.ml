@@ -47,10 +47,18 @@ let item_tuples (storage : Storage.t) (item : Suffix_query.item) =
 let pages_for tuples ~page_rows =
   if tuples = 0 then 0 else ((tuples + page_rows - 1) / page_rows) + 1
 
-let page_rows = 64  (* Table's default; kept in one place for pricing *)
+let page_rows = 64  (* Table's v1 default; kept in one place for pricing *)
+
+(** [model_page_rows storage] — the clustered page density the model
+    should price against: the SP table's measured (paged) or modelled
+    (heap) rows per page.  Under a compressing codec this grows, so page
+    estimates shrink with the bytes — the planner sees compression. *)
+let model_page_rows (storage : Storage.t) =
+  Blas_rel.Table.avg_page_rows storage.sp
 
 (** [of_branch storage branch] prices one decomposition branch. *)
 let of_branch storage (branch : Suffix_query.t) =
+  let page_rows = model_page_rows storage in
   List.fold_left
     (fun acc item ->
       let tuples = item_tuples storage item in

@@ -15,9 +15,14 @@ val zero : t
 
 val add : t -> t -> t
 
-(** The clustered page size the model prices against (the {!Blas_rel.Table}
-    default, 64 tuples). *)
+(** The v1 clustered page size (the {!Blas_rel.Table} heap default, 64
+    tuples) — the fallback when no storage is at hand. *)
 val page_rows : int
+
+(** The clustered page density [storage]'s active layout actually
+    achieves (SP's measured or modelled rows per page) — what the model
+    prices a page read at.  Grows under a compressing codec. *)
+val model_page_rows : Storage.t -> int
 
 (** [pages_for tuples ~page_rows] — conservative page count of a
     clustered fetch of [tuples] contiguous rows.  The cache layer uses

@@ -52,11 +52,15 @@ let looks_like_db = Pager.looks_like_db
 (* ------------------------------------------------------------------ *)
 (* Catalog codec                                                      *)
 
-(* v1 had no statistics blob; v2 appends one.  Decode accepts both, so
-   every pre-optimizer database file still opens (its storage simply
-   has no statistics until an update triggers a resample or the CLI
-   re-indexes). *)
-let cat_version = 2
+(* v1 had no statistics blob; v2 appends one; v3 appends the page-codec
+   id after the statistics blob.  Decode accepts all three, so every
+   older database file still opens (reading the v1 codec and, pre-v2,
+   no statistics).  Encode emits the OLDEST version that can represent
+   the file: a v1-codec database still writes a version-2 catalog, byte
+   identical to what previous builds produced, so files made with the
+   default codec remain readable by older binaries. *)
+let cat_version_stats = 2
+let cat_version_codec = 3
 
 type tlayout = {
   l_dir : Table.dir_entry array;
@@ -71,6 +75,7 @@ type cat = {
   c_sp : tlayout;
   c_sd : tlayout;
   c_stats : string option;  (** optimizer statistics blob (v2+) *)
+  c_codec : Codec.format;  (** page codec for data pages and leaves (v3+) *)
 }
 
 let encode_layout buf { l_dir; l_indexes } =
@@ -121,9 +126,12 @@ let read_layout r =
   in
   { l_dir; l_indexes }
 
-let encode_catalog ~table ~guide ~free ~sp ~sd ~stats =
+let encode_catalog ~table ~guide ~free ~sp ~sd ~stats ~codec =
   let buf = Buffer.create 4096 in
-  Wire.write_u8 buf cat_version;
+  Wire.write_u8 buf
+    (match codec with
+    | Codec.V1 -> cat_version_stats
+    | Codec.V2 -> cat_version_codec);
   Wire.write_varint buf (Tag_table.height table);
   let tags = Tag_table.tags table in
   Wire.write_varint buf (List.length tags);
@@ -140,12 +148,15 @@ let encode_catalog ~table ~guide ~free ~sp ~sd ~stats =
   encode_layout buf sp;
   encode_layout buf sd;
   Wire.write_string buf (Option.value ~default:"" stats);
+  (match codec with
+  | Codec.V1 -> ()
+  | Codec.V2 -> Wire.write_u8 buf (Codec.format_id codec));
   Buffer.contents buf
 
 let decode_catalog body =
   let r = Wire.reader body in
   let v = Wire.read_u8 r in
-  if v <> 1 && v <> cat_version then
+  if v < 1 || v > cat_version_codec then
     raise (Corrupt (Printf.sprintf "unsupported catalog version %d" v));
   let c_height = Wire.read_varint r in
   let c_tags = List.init (Wire.read_varint r) (fun _ -> Wire.read_string r) in
@@ -157,10 +168,17 @@ let decode_catalog body =
   let c_sp = read_layout r in
   let c_sd = read_layout r in
   let c_stats =
-    if v < 2 then None
+    if v < cat_version_stats then None
     else match Wire.read_string r with "" -> None | s -> Some s
   in
-  { c_height; c_tags; c_paths; c_free; c_sp; c_sd; c_stats }
+  let c_codec =
+    if v < cat_version_codec then Codec.V1
+    else
+      match Codec.format_of_id (Wire.read_u8 r) with
+      | f -> f
+      | exception Failure msg -> raise (Corrupt msg)
+  in
+  { c_height; c_tags; c_paths; c_free; c_sp; c_sd; c_stats; c_codec }
 
 (* ------------------------------------------------------------------ *)
 (* Catalog chain: the body split over linked pages.  Each chain page
@@ -255,8 +273,9 @@ let index_entries pages_rows pos =
 
 (* Packs one clustered tuple run: writes data pages and index leaves
    through [alloc]/[write], returns the resident layout. *)
-let pack_table ~capacity ~fill ~alloc ~write ~schema ~index_columns tuples =
-  let chunks = Codec.pack_pages ~capacity ~fill tuples in
+let pack_table ~codec ~capacity ~fill ~alloc ~write ~schema ~index_columns
+    tuples =
+  let chunks = Codec.pack_pages ~format:codec ~capacity ~fill tuples in
   let l_dir =
     Array.of_list
       (List.map
@@ -277,7 +296,7 @@ let pack_table ~capacity ~fill ~alloc ~write ~schema ~index_columns tuples =
               let page = alloc () in
               write page payload;
               Pidx.meta_of ~page es)
-            (Pidx.pack ~capacity ~fill entries)
+            (Pidx.pack ~format:codec ~capacity ~fill entries)
         in
         (col, Array.of_list metas))
       index_columns
@@ -290,6 +309,7 @@ let pack_table ~capacity ~fill ~alloc ~write ~schema ~index_columns tuples =
 type db = {
   store : Store.t;
   pool : Pool.t;
+  mutable codec : Codec.format;  (** page codec, from the catalog *)
   mutable free : int list;  (** allocatable page ids *)
   mutable chain : int list;  (** current catalog chain *)
   mutable storage : Storage.t option;  (** back-reference, set at open *)
@@ -313,18 +333,20 @@ let mk_table db name schema cluster_key layout =
     List.map
       (fun (col, metas) ->
         ( col,
-          Pidx.create ~pool:db.pool ~alloc ~free
+          Pidx.create ~format:db.codec ~pool:db.pool ~alloc ~free
             ~name:(name ^ "." ^ col)
-            ~capacity ~leaves:metas ))
+            ~capacity ~leaves:metas () ))
       layout.l_indexes
   in
-  Table.create_paged ~pool:db.pool ~alloc ~free ~capacity ~name ~schema
-    ~cluster_key ~dir:layout.l_dir ~indexes
+  Table.create_paged ~codec:db.codec ~pool:db.pool ~alloc ~free ~capacity ~name
+    ~schema ~cluster_key ~dir:layout.l_dir ~indexes ()
 
 (* Installs the components described by the (committed) catalog into
    [db] and its storage: the abort/reload path and the tail of open. *)
 let install db (storage : Storage.t) (cat, chain) =
   db.chain <- chain;
+  db.codec <- cat.c_codec;
+  Storage.set_codec storage cat.c_codec;
   db.free <- List.filter (fun p -> not (List.mem p chain)) cat.c_free;
   storage.Storage.table <-
     Tag_table.create ~tags:cat.c_tags ~height:cat.c_height;
@@ -360,7 +382,7 @@ let write_catalog db (storage : Storage.t) =
   db.free <- List.sort_uniq compare (db.chain @ db.free);
   let body =
     encode_catalog ~table:storage.Storage.table ~guide:storage.Storage.guide
-      ~free:db.free ~sp ~sd
+      ~free:db.free ~sp ~sd ~codec:db.codec
       ~stats:
         (Option.map Blas_optimizer.Stats.to_string (Storage.ostats storage))
   in
@@ -388,7 +410,8 @@ let repack db (storage : Storage.t) ~owned_before =
     let tuples =
       Array.to_list (Blas_rel.Relation.tuples (Table.relation table))
     in
-    pack_table ~capacity ~fill:default_fill ~alloc ~write ~schema
+    pack_table ~codec:db.codec ~capacity ~fill:default_fill ~alloc ~write
+      ~schema
       ~index_columns:(Table.indexed_columns table)
       tuples
   in
@@ -453,6 +476,41 @@ let with_tx db f =
 (* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
 
+(* Layout economics of one paged table: stored payload bytes across its
+   data pages, and what the same rows would cost under the v1 row-major
+   codec (the compression-ratio baseline).  Decodes every data page —
+   [stats] already reads every live page, so this stays O(file). *)
+let table_stats db (table : Table.t) =
+  match Table.paged_layout table with
+  | None -> None
+  | Some (dir, indexes) ->
+    let payload = ref 0 and v1 = ref 0 in
+    Array.iter
+      (fun (de : Table.dir_entry) ->
+        let stored = Store.read_page db.store de.de_page in
+        payload := !payload + String.length stored;
+        v1 :=
+          !v1
+          +
+          match db.codec with
+          | Codec.V1 -> String.length stored
+          | format ->
+            String.length
+              (Codec.encode_page (Codec.decode_page ~format stored)))
+      dir;
+    let index_pages =
+      List.fold_left (fun acc (_, metas) -> acc + Array.length metas) 0 indexes
+    in
+    Some
+      {
+        Storage.ts_name = Table.name table;
+        ts_entries = Table.cardinality table;
+        ts_data_pages = Array.length dir;
+        ts_index_pages = index_pages;
+        ts_payload_bytes = !payload;
+        ts_v1_bytes = !v1;
+      }
+
 let stats db () =
   let storage =
     match db.storage with Some s -> s | None -> assert false
@@ -477,17 +535,23 @@ let stats db () =
     dstat_wal_bytes = Store.wal_size db.store;
     dstat_cache_pages = Pool.capacity db.pool;
     dstat_cache_resident = Pool.resident_data db.pool;
+    dstat_codec = Codec.format_name db.codec;
+    dstat_tables =
+      List.filter_map
+        (table_stats db)
+        [ storage.Storage.sp; storage.Storage.sd ];
   }
 
 (* ------------------------------------------------------------------ *)
 (* Bulk load                                                          *)
 
-(** [create ?page_size ?fill ~path storage] bulk-loads [storage] into a
-    fresh database file at [path]: data pages and index leaves in
-    cluster order at [fill] occupancy, catalog chain, superblock,
-    one fsync at the end.  Any existing file at [path] is replaced. *)
-let create ?(page_size = 4096) ?(fill = default_fill) ~path
-    (storage : Storage.t) =
+(** [create ?page_size ?fill ?codec ~path storage] bulk-loads [storage]
+    into a fresh database file at [path]: data pages and index leaves in
+    cluster order at [fill] occupancy (encoded by [codec], default
+    {!Blas_rel.Codec.default_format}), catalog chain, superblock, one
+    fsync at the end.  Any existing file at [path] is replaced. *)
+let create ?(page_size = 4096) ?(fill = default_fill)
+    ?(codec = Codec.default_format) ~path (storage : Storage.t) =
   let store = Store.create ~path ~page_size () in
   Fun.protect
     ~finally:(fun () -> Store.close store)
@@ -500,7 +564,7 @@ let create ?(page_size = 4096) ?(fill = default_fill) ~path
             let tuples =
               Array.to_list (Blas_rel.Relation.tuples (Table.relation table))
             in
-            pack_table ~capacity ~fill ~alloc ~write ~schema
+            pack_table ~codec ~capacity ~fill ~alloc ~write ~schema
               ~index_columns:(Table.indexed_columns table)
               tuples
           in
@@ -508,7 +572,7 @@ let create ?(page_size = 4096) ?(fill = default_fill) ~path
           let sd = pack storage.Storage.sd sd_schema in
           let body =
             encode_catalog ~table:storage.Storage.table
-              ~guide:(Storage.guide storage) ~free:[] ~sp ~sd
+              ~guide:(Storage.guide storage) ~free:[] ~sp ~sd ~codec
               ~stats:
                 (Option.map Blas_optimizer.Stats.to_string
                    (Storage.ostats storage))
@@ -561,6 +625,7 @@ let open_ ?(cache_pages = default_cache_pages) ?(stripes = 1) ~mode ~path () =
       {
         store;
         pool;
+        codec = Codec.V1;  (* provisional; [install] reads the catalog's *)
         free = [];
         chain = [];
         storage = None;
@@ -592,7 +657,7 @@ let open_ ?(cache_pages = default_cache_pages) ?(stripes = 1) ~mode ~path () =
         ~sd:
           (Table.create ~name:"sd" ~schema:sd_schema ~cluster_key:sd_cluster
              ~indexes:[] [])
-        ~pool
+        ~pool ()
     in
     storage_cell := Some storage;
     db.storage <- Some storage;

@@ -13,13 +13,23 @@ exception Corrupt of string
     distinguishes database files from XML and index files. *)
 val looks_like_db : string -> bool
 
-(** [create ?page_size ?fill ~path storage] bulk-loads [storage] into a
+(** [create ?page_size ?fill ?codec ~path storage] bulk-loads [storage]
+    into a fresh database file.  [codec] picks the page encoding
+    (default {!Blas_rel.Codec.default_format}: v1, or v2 when
+    [BLAS_TEST_COMPACT] is set); the choice is recorded in the catalog
+    and v1 files keep their historical byte layout.  It bulk-loads into a
     fresh database file: data pages and index leaves in cluster order
     at [fill] occupancy (default 0.9, leaving per-page headroom for
     in-place edits), then the catalog and superblock, then one fsync.
     Replaces any existing file at [path].
     @raise Invalid_argument on a bad page size. *)
-val create : ?page_size:int -> ?fill:float -> path:string -> Storage.t -> unit
+val create :
+  ?page_size:int ->
+  ?fill:float ->
+  ?codec:Blas_rel.Codec.format ->
+  path:string ->
+  Storage.t ->
+  unit
 
 (** [open_ ?cache_pages ?stripes ~mode ~path ()] opens a database file
     as a storage whose tables read through a bounded page cache of

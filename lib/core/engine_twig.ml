@@ -88,7 +88,9 @@ let item_stream ?par ?cache (storage : Storage.t) counters
         Option.iter
           (fun sem ->
             Blas_cache.Semantic.store sem ~interval:signature ~pred:item.value
-              ~benefit:(Cost.pages_for (List.length rows) ~page_rows:Cost.page_rows)
+              ~benefit:
+                (Cost.pages_for (List.length rows)
+                   ~page_rows:(Cost.model_page_rows storage))
               kept)
           cache;
         kept

@@ -278,8 +278,9 @@ let scan_signature table path =
    on the P-label column look up their pre-residual tuple list (exact
    or containment) before the B+ tree, and feed it after a real fetch.
    Accesses on other columns or tables pass through untouched. *)
-let scan_cache_of qc =
+let scan_cache_of qc storage =
   let sem = Qcache.semantic qc in
+  let page_rows = Cost.model_page_rows storage in
   {
     Blas_rel.Executor.probe =
       (fun table path ->
@@ -290,8 +291,7 @@ let scan_cache_of qc =
         match scan_signature table path with
         | Some interval ->
           Blas_cache.Semantic.store sem ~interval ~pred:None
-            ~benefit:
-              (Cost.pages_for (List.length rows) ~page_rows:Cost.page_rows)
+            ~benefit:(Cost.pages_for (List.length rows) ~page_rows)
             rows
         | None -> ());
   }
@@ -485,7 +485,7 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?(cancel = ignore) ?pool ?cache
             let relation =
               span "execute" (fun () ->
                   Blas_rel.Executor.run ~counters ~cancel ?pool
-                    ?cache:(Option.map scan_cache_of qc)
+                    ?cache:(Option.map (fun qc -> scan_cache_of qc storage) qc)
                     plan)
             in
             let starts =
@@ -537,7 +537,9 @@ let run ?(tracer = Blas_obs.Trace.disabled) ?(cancel = ignore) ?pool ?cache
       | Some (qcv, key), Some branches ->
         Qcache.put_result qcv key
           ~benefit:
-            (max 1 (Cost.pages_for report.visited ~page_rows:Cost.page_rows))
+            (max 1
+               (Cost.pages_for report.visited
+                  ~page_rows:(Cost.model_page_rows storage)))
           {
             Qcache.r_starts = report.starts;
             r_plan_djoins = report.plan_djoins;
@@ -669,7 +671,7 @@ let run_analyze ?(tracer = Blas_obs.Trace.disabled) ?cache storage ~engine
       let relation, tree =
         span "execute" (fun () ->
             Blas_rel.Executor.run_analyze ~counters
-              ?cache:(Option.map scan_cache_of qc)
+              ?cache:(Option.map (fun qc -> scan_cache_of qc storage) qc)
               plan)
       in
       let starts = Engine_rdbms.starts_of_relation relation in

@@ -67,7 +67,11 @@ let choose ?pool storage q =
   | None -> default_choice
   | Some stats -> (
     let max_degree = match pool with None -> 1 | Some p -> Blas_par.Pool.size p in
-    match Planner.enumerate ~max_degree (shapes storage stats q) with
+    match
+      Planner.enumerate
+        ~page_rows:(Cost.model_page_rows storage)
+        ~max_degree (shapes storage stats q)
+    with
     | [] -> default_choice
     | best :: _ as candidates ->
       {

@@ -182,7 +182,7 @@ let rebuild_doc rows : Blas_xpath.Doc.t =
 
 (** [of_string data] rebuilds a storage.
     @raise Format_error on a malformed or truncated file. *)
-let of_string ?pool_capacity data =
+let of_string ?pool_capacity ?codec data =
   if
     String.length data < String.length magic
     || String.sub data 0 (String.length magic) <> magic
@@ -229,7 +229,7 @@ let of_string ?pool_capacity data =
       if Blas_label.Tag_table.index table tag = None then
         format_error "stored tag inventory does not cover the document")
     (Blas_xml.Dataguide.distinct_tags doc.Blas_xpath.Doc.guide);
-  Storage.of_doc ?pool_capacity ~table doc
+  Storage.of_doc ?pool_capacity ?codec ~table doc
 
 (** [save storage path] writes the index file. *)
 let save storage path =
@@ -240,9 +240,10 @@ let save storage path =
 
 (** [load path] reads an index file.
     @raise Format_error on malformed input; [Sys_error] on IO errors. *)
-let load ?pool_capacity path =
+let load ?pool_capacity ?codec path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      of_string ?pool_capacity (really_input_string ic (in_channel_length ic)))
+      of_string ?pool_capacity ?codec
+        (really_input_string ic (in_channel_length ic)))

@@ -18,7 +18,8 @@ val rebuild_doc :
   (string * int * int * int * string option) list -> Blas_xpath.Doc.t
 
 (** @raise Format_error on malformed or truncated input. *)
-val of_string : ?pool_capacity:int -> string -> Storage.t
+val of_string :
+  ?pool_capacity:int -> ?codec:Blas_rel.Codec.format -> string -> Storage.t
 
 (** [save storage path] writes the index file. *)
 val save : Storage.t -> string -> unit
@@ -26,4 +27,5 @@ val save : Storage.t -> string -> unit
 (** [load path] reads an index file.
     @raise Format_error on malformed input.
     @raise Sys_error on IO errors. *)
-val load : ?pool_capacity:int -> string -> Storage.t
+val load :
+  ?pool_capacity:int -> ?codec:Blas_rel.Codec.format -> string -> Storage.t

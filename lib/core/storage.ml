@@ -28,6 +28,19 @@ type doc_slot = {
   mutable dbuild : (unit -> Blas_xpath.Doc.t) option;
 }
 
+(** Per-table layout economics of a disk-backed storage: how the
+    active codec is spending the bytes. *)
+type table_stats = {
+  ts_name : string;
+  ts_entries : int;  (** clustered rows *)
+  ts_data_pages : int;
+  ts_index_pages : int;  (** secondary index leaves *)
+  ts_payload_bytes : int;  (** stored data-page payload bytes *)
+  ts_v1_bytes : int;
+      (** the same rows re-encoded with the v1 codec — the
+          compression-ratio baseline *)
+}
+
 (** Observability snapshot of a disk-backed storage (see
     [Blas.Database]). *)
 type disk_stats = {
@@ -40,6 +53,8 @@ type disk_stats = {
   dstat_wal_bytes : int;
   dstat_cache_pages : int;  (** buffer pool capacity *)
   dstat_cache_resident : int;  (** resident pages carrying payloads *)
+  dstat_codec : string;  (** page codec name ("v1" / "v2") *)
+  dstat_tables : table_stats list;
 }
 
 (** The disk half of a storage, as closures so {!Storage} need not know
@@ -86,6 +101,10 @@ type t = {
   mutable ostats : Blas_optimizer.Stats.t option;
       (* optimizer statistics; collected at index time, [None] until the
          disk-open path installs the persisted copy *)
+  mutable codec : Blas_rel.Codec.format;
+      (* the active page codec: drives heap page modelling and plan
+         pricing; for disk-backed storages the database sets it from
+         the catalog *)
 }
 
 let doc_lock = Mutex.create ()
@@ -134,6 +153,43 @@ let sd_schema = Blas_rel.Schema.of_list [ "tag"; "start"; "end"; "level"; "data"
    evaluation data sets do not fit entirely, as on the paper's machine. *)
 let default_pool_capacity = 1024
 
+(* The v1 modelled page: 64 tuples, the constant the cost model and all
+   the paper-figure expectations were calibrated against. *)
+let v1_page_rows = 64
+
+(** Modelled tuples per page for a heap table under [codec]: v1 keeps
+    the historical 64-row page; v2 measures how much denser the real
+    columnar encoding packs these rows and scales the modelled page by
+    that ratio, so in-memory `page_requests`/`page_reads` shrink exactly
+    as the bytes would on disk. *)
+let modelled_page_rows ~codec rows =
+  match (codec, rows) with
+  | Blas_rel.Codec.V1, _ | _, [] -> v1_page_rows
+  | Blas_rel.Codec.V2, rows ->
+    let v1_bytes =
+      List.fold_left (fun acc t -> acc + Blas_rel.Codec.tuple_bytes t) 0 rows
+    in
+    (* Encode in v1-page-sized runs: density measured at the same
+       granularity the model charges. *)
+    let v2_bytes = ref 0 in
+    let rec go = function
+      | [] -> ()
+      | rows ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | r :: rest -> take (n - 1) (r :: acc) rest
+        in
+        let chunk, rest = take v1_page_rows [] rows in
+        v2_bytes :=
+          !v2_bytes
+          + String.length
+              (Blas_rel.Codec.encode_page ~format:Blas_rel.Codec.V2 chunk);
+        go rest
+    in
+    go rows;
+    max v1_page_rows (v1_page_rows * v1_bytes / max 1 !v2_bytes)
+
 (** One-pass optimizer statistics over the labeled nodes (exact tag and
     path cardinalities, histograms, value reservoirs). *)
 let collect_ostats ?seed ?epoch (doc : Blas_xpath.Doc.t) =
@@ -155,7 +211,7 @@ let collect_ostats ?seed ?epoch (doc : Blas_xpath.Doc.t) =
     inventory so that an updated index, whose inventory may strictly
     contain the instance's, round-trips. *)
 let of_doc ?(pool_capacity = default_pool_capacity) ?(collect_stats = true)
-    ?table (doc : Blas_xpath.Doc.t) =
+    ?(codec = Blas_rel.Codec.default_format) ?table (doc : Blas_xpath.Doc.t) =
   let table =
     match table with
     | Some table -> table
@@ -189,13 +245,17 @@ let of_doc ?(pool_capacity = default_pool_capacity) ?(collect_stats = true)
   in
   let pool = Blas_rel.Buffer_pool.create ~capacity:pool_capacity in
   let sp =
-    Blas_rel.Table.create ~pool ~name:"sp" ~schema:sp_schema
+    Blas_rel.Table.create ~pool
+      ~page_rows:(modelled_page_rows ~codec sp_rows)
+      ~name:"sp" ~schema:sp_schema
       ~cluster_key:[ "plabel"; "start" ]
       ~indexes:[ "plabel"; "start"; "data" ]
       sp_rows
   in
   let sd =
-    Blas_rel.Table.create ~pool ~name:"sd" ~schema:sd_schema
+    Blas_rel.Table.create ~pool
+      ~page_rows:(modelled_page_rows ~codec sd_rows)
+      ~name:"sd" ~schema:sd_schema
       ~cluster_key:[ "tag"; "start" ]
       ~indexes:[ "tag"; "start"; "data" ]
       sd_rows
@@ -210,12 +270,14 @@ let of_doc ?(pool_capacity = default_pool_capacity) ?(collect_stats = true)
     cache = Qcache.create ();
     disk = None;
     ostats = (if collect_stats then Some (collect_ostats doc) else None);
+    codec;
   }
 
 (** [assemble] wires a storage from already-built components — the
     disk-open path ({!Database}): the document model stays lazy behind
     [build_doc]. *)
-let assemble ~build_doc ~guide ~table ~sp ~sd ~pool =
+let assemble ?(codec = Blas_rel.Codec.V1) ~build_doc ~guide ~table ~sp ~sd
+    ~pool () =
   {
     doc_slot = { dv = None; dbuild = Some build_doc };
     guide;
@@ -226,6 +288,7 @@ let assemble ~build_doc ~guide ~table ~sp ~sd ~pool =
     cache = Qcache.create ();
     disk = None;
     ostats = None;
+    codec;
   }
 
 (** [of_tree tree] parses nothing; it labels the already-built tree. *)
@@ -271,3 +334,9 @@ let cache_stats t = Qcache.stats t.cache
 let ostats t = t.ostats
 
 let set_ostats t s = t.ostats <- s
+
+(** The active page codec (v1 row-major or v2 compact columnar).  It
+    shapes heap page modelling, disk page payloads, and plan pricing. *)
+let codec t = t.codec
+
+let set_codec t c = t.codec <- c

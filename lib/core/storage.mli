@@ -16,7 +16,21 @@
 
 type doc_slot
 
-(** Observability snapshot of a disk-backed storage. *)
+(** Per-table layout economics of a disk-backed storage: how the
+    active codec is spending the bytes. *)
+type table_stats = {
+  ts_name : string;
+  ts_entries : int;  (** clustered rows *)
+  ts_data_pages : int;
+  ts_index_pages : int;  (** secondary index leaves *)
+  ts_payload_bytes : int;  (** stored data-page payload bytes *)
+  ts_v1_bytes : int;
+      (** the same rows re-encoded with the v1 codec — the
+          compression-ratio baseline *)
+}
+
+(** Observability snapshot of a disk-backed storage (see
+    [Blas.Database]). *)
 type disk_stats = {
   dstat_path : string;
   dstat_file_bytes : int;
@@ -27,6 +41,8 @@ type disk_stats = {
   dstat_wal_bytes : int;
   dstat_cache_pages : int;  (** buffer pool capacity *)
   dstat_cache_resident : int;  (** resident pages carrying payloads *)
+  dstat_codec : string;  (** page codec name ("v1" / "v2") *)
+  dstat_tables : table_stats list;
 }
 
 (** The disk half of a storage, as closures so this module need not
@@ -70,6 +86,8 @@ type t = {
   mutable disk : disk option;  (** present on disk-backed storages *)
   mutable ostats : Blas_optimizer.Stats.t option;
       (** optimizer statistics — read via {!ostats} *)
+  mutable codec : Blas_rel.Codec.format;
+      (** the active page codec — read via {!codec} *)
 }
 
 (** The labeled document model, materializing it on first use for
@@ -96,9 +114,16 @@ val drop_doc : t -> unit
 val of_doc :
   ?pool_capacity:int ->
   ?collect_stats:bool ->
+  ?codec:Blas_rel.Codec.format ->
   ?table:Blas_label.Tag_table.t ->
   Blas_xpath.Doc.t ->
   t
+
+(** Modelled tuples per page for a heap table under [codec]: v1 keeps
+    the historical 64-row page; v2 measures the real columnar density of
+    [rows] and scales the modelled page accordingly. *)
+val modelled_page_rows :
+  codec:Blas_rel.Codec.format -> Blas_rel.Tuple.t list -> int
 
 val of_tree : ?pool_capacity:int -> Blas_xml.Types.tree -> t
 
@@ -108,12 +133,14 @@ val of_string : ?pool_capacity:int -> string -> t
 (** [assemble] wires a storage from already-built components — the
     disk-open path: the document model stays lazy behind [build_doc]. *)
 val assemble :
+  ?codec:Blas_rel.Codec.format ->
   build_doc:(unit -> Blas_xpath.Doc.t) ->
   guide:Blas_xml.Dataguide.t ->
   table:Blas_label.Tag_table.t ->
   sp:Blas_rel.Table.t ->
   sd:Blas_rel.Table.t ->
   pool:Blas_rel.Buffer_pool.t ->
+  unit ->
   t
 
 (** Flushes the buffer pool — the cold-cache protocol of Section 5.1.
@@ -157,6 +184,12 @@ val guide : t -> Blas_xml.Dataguide.t
 val ostats : t -> Blas_optimizer.Stats.t option
 
 val set_ostats : t -> Blas_optimizer.Stats.t option -> unit
+
+(** The active page codec (v1 row-major or v2 compact columnar).  It
+    shapes heap page modelling, disk page payloads, and plan pricing. *)
+val codec : t -> Blas_rel.Codec.format
+
+val set_codec : t -> Blas_rel.Codec.format -> unit
 
 (** One-pass statistics collection over a labeled document (used by
     index build and by [Blas.Optimizer.refresh]). *)

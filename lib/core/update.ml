@@ -98,3 +98,11 @@ let replace_text storage ~start data =
     the root's interval vs. the interval size — the insert headroom
     before any renumbering. *)
 let gap_budget (storage : Storage.t) = Engine.gap_budget (Storage.doc storage)
+
+(** The renumbering headroom policy (see {!Blas_update.Gap_alloc}):
+    positions reserved per slot when a range is renumbered.  Compact
+    codecs absorb larger spacings almost for free, so write-heavy
+    deployments raise it to postpone the next escalation. *)
+let headroom = Blas_update.Gap_alloc.headroom
+
+let set_headroom = Blas_update.Gap_alloc.set_headroom

@@ -55,9 +55,9 @@ let twig_branch = 24.0
 let par_fraction = 0.7
 let spawn_cost = 2500.0
 
-let page_rows = 64
+let default_page_rows = 64
 
-let pages_of tuples = (tuples /. float_of_int page_rows) +. 1.0
+let pages_of ~page_rows tuples = (tuples /. float_of_int page_rows) +. 1.0
 
 let engine_cost ~engine ~visited ~pages ~join_input ~djoins ~branches =
   match engine with
@@ -75,11 +75,12 @@ let engine_cost ~engine ~visited ~pages ~join_input ~djoins ~branches =
       +. (twig_djoin *. float_of_int djoins)
       +. (twig_branch *. float_of_int branches)
 
-let price ~engine ~degree shape =
+let price ?(page_rows = default_page_rows) ~engine ~degree shape =
   let serial =
     engine_cost ~engine ~visited:shape.sh_visited
-      ~pages:(pages_of shape.sh_visited) ~join_input:shape.sh_join_input
-      ~djoins:shape.sh_djoins ~branches:shape.sh_branches
+      ~pages:(pages_of ~page_rows shape.sh_visited)
+      ~join_input:shape.sh_join_input ~djoins:shape.sh_djoins
+      ~branches:shape.sh_branches
   in
   if degree <= 1 then serial
   else
@@ -91,7 +92,7 @@ let price ~engine ~degree shape =
 let translator_rank = function Split -> 2 | Pushup -> 0 | Unfold -> 1
 let engine_rank = function Rdbms -> 0 | Twig -> 1
 
-let enumerate ~max_degree shapes =
+let enumerate ?(page_rows = default_page_rows) ~max_degree shapes =
   let degrees = degrees_upto (max 1 max_degree) in
   let cands =
     List.concat_map
@@ -104,7 +105,7 @@ let enumerate ~max_degree shapes =
                   cd_translator = sh.sh_translator;
                   cd_engine = engine;
                   cd_degree = degree;
-                  cd_cost = price ~engine ~degree sh;
+                  cd_cost = price ~page_rows ~engine ~degree sh;
                 })
               degrees)
           [ Rdbms; Twig ])

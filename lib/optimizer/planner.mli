@@ -36,13 +36,17 @@ val label : candidate -> string
 val degrees_upto : int -> int list
 
 (** Price one combination. [degree] > 1 adds a startup+merge term and
-    discounts only the parallelizable fraction of the scan cost. *)
-val price : engine:engine_kind -> degree:int -> shape -> float
+    discounts only the parallelizable fraction of the scan cost.
+    [page_rows] (default 64) is the clustered page density the page
+    term divides by — callers pass the active codec's measured density
+    so compressed layouts price their cheaper scans. *)
+val price : ?page_rows:int -> engine:engine_kind -> degree:int -> shape -> float
 
 (** All (shape × engine × degrees_upto max_degree) candidates, sorted
     by cost then (degree, engine, translator) so ties resolve to the
     simplest plan.  Never empty when [shapes] is non-empty. *)
-val enumerate : max_degree:int -> shape list -> candidate list
+val enumerate :
+  ?page_rows:int -> max_degree:int -> shape list -> candidate list
 
 (** Measured cost of an executed plan in the same unit as {!price},
     computed from executor counters — comparable against [cd_cost] in

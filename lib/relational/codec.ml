@@ -1,10 +1,10 @@
-(** Binary codec for values, tuples and data pages.
+(** Binary codecs for values, tuples and data pages.
 
     Disk-backed tables store their clustered tuple runs as page
-    payloads; this module defines that representation and the greedy
-    packer the bulk loader and page splits share.
+    payloads; this module defines the two representations and the
+    packers the bulk loader and page splits share.
 
-    Value encoding (one tag byte, then):
+    {b v1 — row-major.}  Value encoding (one tag byte, then):
     - [0] NULL — nothing
     - [1] non-negative int — varint
     - [2] negative int — varint of [-n-1]
@@ -13,11 +13,63 @@
 
     A tuple is its arity (varint) followed by its values; a data page
     payload is a row count (varint) followed by that many tuples.
-    Pages are CRC-framed by the pager below us, so decode errors here
-    mean a software bug, not disk corruption — they surface as
-    {!Blas_disk.Wire.Truncated} or [Failure]. *)
+
+    {b v2 — columnar, delta/dictionary compressed.}  The page payload
+    is [varint nrows][varint ncols], a {e per-page directory} of
+    column-block byte lengths (one varint per column, so a reader can
+    locate and decode a single column without touching the others),
+    then the blocks back to back.  Each block opens with a strategy
+    byte:
+    - [0] {e int-delta}: zigzag varints of the difference against the
+      previous row.  Cluster order sorts the D-label [start] column, so
+      deltas are tiny — a handful of bits per label instead of a fixed
+      tuple slot (the compact-ancestry-labeling observation of
+      Dahlgaard et al. / Fraigniaud–Korman applied to pages).
+    - [1] {e dict+RLE}: a front-coded dictionary of the distinct values
+      in first-occurrence order (cluster order keeps the P-label /
+      [tag] column sorted, so consecutive entries share long prefixes)
+      followed by (index, run-length) pairs.
+    - [2] {e raw}: per-row v1 values — the fallback for incompressible
+      columns (e.g. distinct PCDATA).
+    The encoder prices every applicable strategy and keeps the
+    smallest, so the choice is deterministic and self-describing.
+
+    Both formats decode to exactly the tuples that were encoded —
+    queries cannot tell the codecs apart except through the page
+    counters.  Pages are CRC-framed by the pager below us, so decode
+    errors here mean a software bug, not disk corruption — they surface
+    as {!Blas_disk.Wire.Truncated} or [Failure]. *)
 
 module Wire = Blas_disk.Wire
+
+(** The pluggable page representation.  [V1] is the fixed row-major
+    layout every pre-codec database file uses; [V2] is the compact
+    columnar layout.  A table's format is recorded in the database
+    catalog at [index] time and fixed for the life of the file. *)
+type format = V1 | V2
+
+let format_id = function V1 -> 1 | V2 -> 2
+
+let format_of_id = function
+  | 1 -> V1
+  | 2 -> V2
+  | id -> failwith (Printf.sprintf "Codec.format_of_id: unknown codec %d" id)
+
+let format_name = function V1 -> "v1" | V2 -> "v2"
+
+let format_of_name = function
+  | "v1" -> Some V1
+  | "v2" | "compact" -> Some V2
+  | _ -> None
+
+(* BLAS_TEST_COMPACT=1 makes the compact codec the default everywhere a
+   caller does not pin one — the CI lever that reroutes whole existing
+   suites through the v2 layout, like BLAS_TEST_DISK does for the disk
+   engine. *)
+let default_format =
+  match Sys.getenv_opt "BLAS_TEST_COMPACT" with
+  | None | Some "" | Some "0" -> V1
+  | Some _ -> V2
 
 let add_value buf v =
   match (v : Value.t) with
@@ -65,44 +117,309 @@ let encode_tuple t =
   add_tuple buf t;
   Buffer.contents buf
 
-(** Encoded size of one tuple in bytes (the packer's currency). *)
+(** Encoded v1 size of one tuple in bytes (the greedy packer's
+    currency; v2 pages seed from the same chunking and coalesce). *)
 let tuple_bytes t = String.length (encode_tuple t)
 
-(** A data page payload: [varint nrows][tuples…]. *)
-let encode_page tuples =
+(* ------------------------------------------------------------------ *)
+(* v1 pages: row-major                                                 *)
+
+let encode_page_v1 tuples =
   let buf = Buffer.create 512 in
   Wire.write_varint buf (List.length tuples);
   List.iter (add_tuple buf) tuples;
   Buffer.contents buf
 
-let decode_page payload =
+let decode_page_v1 payload =
   let r = Wire.reader payload in
   let n = Wire.read_varint r in
   List.init n (fun _ -> read_tuple r)
 
+(* ------------------------------------------------------------------ *)
+(* v2 pages: columnar                                                  *)
+
+(* Strategy tags. *)
+let st_int_delta = 0
+let st_dict = 1
+let st_raw = 2
+
+(* Zigzag keeps deltas single-varint small in both directions.  Values
+   are bounded so that neither 2|v| nor 2|delta| can overflow a native
+   int; labels, page ids and row counts sit far below the bound. *)
+let zz_bound = 1 lsl 59
+
+let zigzag n = if n >= 0 then n lsl 1 else (((-n) - 1) lsl 1) lor 1
+
+let unzigzag z = if z land 1 = 0 then z lsr 1 else -(z lsr 1) - 1
+
+let int_delta_ok values =
+  Array.for_all
+    (function
+      | Value.Int n -> n > -zz_bound && n < zz_bound
+      | _ -> false)
+    values
+
+let encode_int_delta values =
+  let buf = Buffer.create 128 in
+  Wire.write_u8 buf st_int_delta;
+  let prev = ref 0 in
+  Array.iter
+    (fun v ->
+      let n = match (v : Value.t) with Int n -> n | _ -> assert false in
+      Wire.write_varint buf (zigzag (n - !prev));
+      prev := n)
+    values;
+  Buffer.contents buf
+
+let decode_int_delta r n =
+  let prev = ref 0 in
+  Array.init n (fun _ ->
+      prev := !prev + unzigzag (Wire.read_varint r);
+      Value.Int !prev)
+
+(* The canonical byte string a value front-codes through: dictionary
+   entries are (tag, shared-prefix length, suffix) against the previous
+   entry's payload. *)
+let value_tag = function
+  | Value.Null -> 0
+  | Value.Int n when n >= 0 -> 1
+  | Value.Int _ -> 2
+  | Value.Big _ -> 3
+  | Value.Str _ -> 4
+
+let value_payload v =
+  match (v : Value.t) with
+  | Null -> ""
+  | Int n when n >= 0 ->
+      let buf = Buffer.create 8 in
+      Wire.write_varint buf n;
+      Buffer.contents buf
+  | Int n ->
+      let buf = Buffer.create 8 in
+      Wire.write_varint buf (-n - 1);
+      Buffer.contents buf
+  | Big b -> Blas_label.Bignum.to_string b
+  | Str s -> s
+
+let value_of_tag_payload tag payload : Value.t =
+  match tag with
+  | 0 -> Null
+  | 1 -> Int (Wire.read_varint (Wire.reader payload))
+  | 2 -> Int (-Wire.read_varint (Wire.reader payload) - 1)
+  | 3 -> Big (Blas_label.Bignum.of_string payload)
+  | 4 -> Str payload
+  | _ -> failwith (Printf.sprintf "Codec: unknown dictionary tag %d" tag)
+
+let shared_prefix a b =
+  let n = min (String.length a) (String.length b) in
+  let i = ref 0 in
+  while !i < n && a.[!i] = b.[!i] do
+    incr i
+  done;
+  !i
+
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let encode_dict values =
+  let buf = Buffer.create 128 in
+  Wire.write_u8 buf st_dict;
+  (* Dictionary in first-occurrence order (= sorted for cluster
+     columns, which is what makes the front coding bite) and the rows
+     as (index, run-length) pairs. *)
+  let seen = VH.create 16 in
+  let dict = ref [] and ndict = ref 0 in
+  let runs = ref [] in
+  Array.iter
+    (fun v ->
+      let idx =
+        match VH.find_opt seen v with
+        | Some i -> i
+        | None ->
+            let i = !ndict in
+            VH.replace seen v i;
+            dict := v :: !dict;
+            incr ndict;
+            i
+      in
+      match !runs with
+      | (i, len) :: rest when i = idx -> runs := (i, len + 1) :: rest
+      | _ -> runs := (idx, 1) :: !runs)
+    values;
+  let dict = List.rev !dict and runs = List.rev !runs in
+  Wire.write_varint buf !ndict;
+  let prev = ref "" in
+  List.iter
+    (fun v ->
+      let payload = value_payload v in
+      let shared = shared_prefix !prev payload in
+      Wire.write_u8 buf (value_tag v);
+      Wire.write_varint buf shared;
+      Wire.write_string buf
+        (String.sub payload shared (String.length payload - shared));
+      prev := payload)
+    dict;
+  Wire.write_varint buf (List.length runs);
+  List.iter
+    (fun (idx, len) ->
+      Wire.write_varint buf idx;
+      Wire.write_varint buf len)
+    runs;
+  Buffer.contents buf
+
+let decode_dict r n =
+  let ndict = Wire.read_varint r in
+  let prev = ref "" in
+  let dict =
+    Array.init ndict (fun _ ->
+        let tag = Wire.read_u8 r in
+        let shared = Wire.read_varint r in
+        let suffix = Wire.read_string r in
+        let payload = String.sub !prev 0 shared ^ suffix in
+        prev := payload;
+        value_of_tag_payload tag payload)
+  in
+  let out = Array.make n Value.Null in
+  let nruns = Wire.read_varint r in
+  let pos = ref 0 in
+  for _ = 1 to nruns do
+    let idx = Wire.read_varint r in
+    let len = Wire.read_varint r in
+    for _ = 1 to len do
+      if !pos >= n then failwith "Codec: dictionary runs exceed row count";
+      out.(!pos) <- dict.(idx);
+      incr pos
+    done
+  done;
+  if !pos <> n then failwith "Codec: dictionary runs short of row count";
+  out
+
+let encode_raw values =
+  let buf = Buffer.create 128 in
+  Wire.write_u8 buf st_raw;
+  Array.iter (add_value buf) values;
+  Buffer.contents buf
+
+let decode_raw r n = Array.init n (fun _ -> read_value r)
+
+(* Prices every applicable strategy and keeps the smallest; ties break
+   toward the earlier candidate, so the choice is deterministic. *)
+let encode_column values =
+  let candidates =
+    (if int_delta_ok values then [ encode_int_delta values ] else [])
+    @ [ encode_dict values; encode_raw values ]
+  in
+  List.fold_left
+    (fun best c -> if String.length c < String.length best then c else best)
+    (List.hd candidates) (List.tl candidates)
+
+let decode_column_block r n =
+  match Wire.read_u8 r with
+  | s when s = st_int_delta -> decode_int_delta r n
+  | s when s = st_dict -> decode_dict r n
+  | s when s = st_raw -> decode_raw r n
+  | s -> failwith (Printf.sprintf "Codec: unknown column strategy %d" s)
+
+let encode_page_v2 tuples =
+  let nrows = List.length tuples in
+  let buf = Buffer.create 512 in
+  Wire.write_varint buf nrows;
+  if nrows = 0 then begin
+    Wire.write_varint buf 0;
+    Buffer.contents buf
+  end
+  else begin
+    let rows = Array.of_list tuples in
+    let ncols = Tuple.arity rows.(0) in
+    Array.iter
+      (fun t ->
+        if Tuple.arity t <> ncols then
+          invalid_arg "Codec.encode_page: ragged tuple arities")
+      rows;
+    Wire.write_varint buf ncols;
+    let blocks =
+      List.init ncols (fun c ->
+          encode_column (Array.map (fun t -> Tuple.get t c) rows))
+    in
+    (* The per-page directory: block lengths up front, so one column is
+       addressable without decoding the others. *)
+    List.iter (fun b -> Wire.write_varint buf (String.length b)) blocks;
+    List.iter (Buffer.add_string buf) blocks;
+    Buffer.contents buf
+  end
+
+let decode_page_v2 payload =
+  let r = Wire.reader payload in
+  let nrows = Wire.read_varint r in
+  if nrows = 0 then []
+  else begin
+    let ncols = Wire.read_varint r in
+    let _lens = Array.init ncols (fun _ -> Wire.read_varint r) in
+    let cols = Array.init ncols (fun _ -> decode_column_block r nrows) in
+    List.init nrows (fun i ->
+        Tuple.of_list (List.init ncols (fun c -> cols.(c).(i))))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Format dispatch                                                     *)
+
+(** A data page payload for [tuples] under [format] (default v1). *)
+let encode_page ?(format = V1) tuples =
+  match format with V1 -> encode_page_v1 tuples | V2 -> encode_page_v2 tuples
+
+let decode_page ?(format = V1) payload =
+  match format with V1 -> decode_page_v1 payload | V2 -> decode_page_v2 payload
+
+(** Row count of a page payload without decoding it (both layouts lead
+    with it). *)
+let page_nrows payload = Wire.read_varint (Wire.reader payload)
+
+(** [decode_column ~format payload col] decodes a single column; under
+    v2 the per-page directory skips the other blocks entirely. *)
+let decode_column ?(format = V1) payload col =
+  match format with
+  | V1 ->
+      Array.of_list
+        (List.map (fun t -> Tuple.get t col) (decode_page_v1 payload))
+  | V2 ->
+      let r = Wire.reader payload in
+      let nrows = Wire.read_varint r in
+      if nrows = 0 then [||]
+      else begin
+        let ncols = Wire.read_varint r in
+        if col < 0 || col >= ncols then invalid_arg "Codec.decode_column";
+        let lens = Array.init ncols (fun _ -> Wire.read_varint r) in
+        let skip = ref 0 in
+        for c = 0 to col - 1 do
+          skip := !skip + lens.(c)
+        done;
+        ignore (Wire.read_bytes r !skip);
+        decode_column_block r nrows
+      end
+
 (* Row-count prefix cost, conservatively. *)
 let page_overhead = 5
 
-(** [pack_pages ~capacity ~fill tuples] greedily packs the (already
-    clustered) tuples into page payloads of at most [capacity * fill]
-    bytes — at least one tuple per page regardless, so an oversized
-    fill target cannot stall.  Returns [(payload, first, nrows)] per
-    page in order.
-    @raise Invalid_argument if a single tuple exceeds [capacity]. *)
-let pack_pages ~capacity ~fill tuples =
+(* Greedy chunking by v1 tuple size — the historical packer, kept
+   byte-for-byte for v1 pages and used as the seed chunking that v2
+   coalesces. *)
+let chunk_rows ~capacity ~fill tuples =
   let target =
     max 1 (min (capacity - page_overhead)
              (int_of_float (float_of_int capacity *. fill) - page_overhead))
   in
-  let pages = ref [] in
+  let chunks = ref [] in
   let cur = ref [] in
   let cur_bytes = ref 0 in
-  let flush_page () =
+  let flush () =
     match !cur with
     | [] -> ()
     | rev ->
-        let rows = List.rev rev in
-        pages := (encode_page rows, List.hd rows, List.length rows) :: !pages;
+        chunks := List.rev rev :: !chunks;
         cur := [];
         cur_bytes := 0
   in
@@ -113,9 +430,72 @@ let pack_pages ~capacity ~fill tuples =
         invalid_arg
           (Printf.sprintf "Codec.pack_pages: tuple of %d bytes exceeds page capacity %d"
              sz capacity);
-      if !cur <> [] && !cur_bytes + sz > target then flush_page ();
+      if !cur <> [] && !cur_bytes + sz > target then flush ();
       cur := t :: !cur;
       cur_bytes := !cur_bytes + sz)
     tuples;
-  flush_page ();
+  flush ();
+  List.rev !chunks
+
+(* v2 packing: greedy over the {e encoded} size.  Columnar page bytes
+   are not additive per row, so each page is sized by galloping up to
+   an overflowing row count and bisecting for the largest prefix whose
+   real encoding fits the fill target (encoded size is monotone in the
+   row count: every added row appends to each column block).  Exact
+   sizes, no modelling; at least one row per page regardless, matching
+   the v1 greedy. *)
+let pack_rows_v2 ~capacity ~fill tuples =
+  let lim =
+    max 1 (min capacity (int_of_float (float_of_int capacity *. fill)))
+  in
+  let arr = Array.of_list tuples in
+  let n = Array.length arr in
+  let pages = ref [] in
+  let pos = ref 0 in
+  while !pos < n do
+    let remaining = n - !pos in
+    let enc k = encode_page_v2 (Array.to_list (Array.sub arr !pos k)) in
+    let fits k = String.length (enc k) <= lim in
+    let take =
+      if not (fits 1) then 1
+      else if fits remaining then remaining
+      else begin
+        (* Gallop to bracket, then bisect: fits lo, not fits hi. *)
+        let lo = ref 1 in
+        while 2 * !lo < remaining && fits (2 * !lo) do
+          lo := 2 * !lo
+        done;
+        let hi = ref (min remaining (2 * !lo)) in
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if fits mid then lo := mid else hi := mid
+        done;
+        !lo
+      end
+    in
+    let payload = enc take in
+    if take = 1 && String.length payload > capacity then
+      invalid_arg
+        (Printf.sprintf
+           "Codec.pack_pages: tuple run of %d bytes exceeds page capacity %d (v2)"
+           (String.length payload) capacity);
+    pages := (payload, arr.(!pos), take) :: !pages;
+    pos := !pos + take
+  done;
   List.rev !pages
+
+(** [pack_pages ~format ~capacity ~fill tuples] packs the (already
+    clustered) tuples into page payloads of at most [capacity * fill]
+    bytes — at least one tuple per page regardless, so an oversized
+    fill target cannot stall.  Returns [(payload, first, nrows)] per
+    page in order.  v1 packs greedily by row size; v2 packs greedily by
+    the real compressed page size (gallop + bisect per page), so pages
+    fill to the target no matter how small the rows compress.
+    @raise Invalid_argument if a single tuple exceeds [capacity]. *)
+let pack_pages ?(format = V1) ~capacity ~fill tuples =
+  match format with
+  | V1 ->
+      List.map
+        (fun rows -> (encode_page_v1 rows, List.hd rows, List.length rows))
+        (chunk_rows ~capacity ~fill tuples)
+  | V2 -> pack_rows_v2 ~capacity ~fill tuples

@@ -16,8 +16,12 @@
     boundary leaves — uncharged, like the statistics lookup it
     models.
 
-    Leaf payload layout: [varint nentries] then per entry
+    v1 leaf payload layout: [varint nentries] then per entry
     [value][varint data_page][varint nrows], sorted by (value, page).
+    Under the v2 codec a leaf is a {!Codec} columnar page of
+    (value, data_page, nrows) rows — front-coded value dictionary,
+    delta-compressed page ids and row counts — so secondary indexes
+    shrink with the same machinery as the data pages.
 
     Duplicate values may span adjacent leaves, so a range probe starts
     one leaf before the first directory entry ≥ lo. *)
@@ -39,6 +43,7 @@ type t = {
   x_alloc : unit -> int;
   x_free : int -> unit;
   x_capacity : int;  (** page payload capacity in bytes *)
+  x_format : Codec.format;  (** leaf payload codec *)
   mutable x_leaves : meta array;  (** sorted by [m_first] *)
 }
 
@@ -46,25 +51,39 @@ let entry_cmp (v1, p1, _) (v2, p2, _) =
   let c = Value.compare v1 v2 in
   if c <> 0 then c else Int.compare p1 p2
 
-let encode_leaf entries =
-  let buf = Buffer.create 512 in
-  Wire.write_varint buf (List.length entries);
-  List.iter
-    (fun (v, page, nrows) ->
-      Codec.add_value buf v;
-      Wire.write_varint buf page;
-      Wire.write_varint buf nrows)
-    entries;
-  Buffer.contents buf
+let row_of_entry (v, page, nrows) =
+  Tuple.of_list [ v; Value.Int page; Value.Int nrows ]
 
-let decode_leaf payload =
-  let r = Wire.reader payload in
-  let n = Wire.read_varint r in
-  List.init n (fun _ ->
-      let v = Codec.read_value r in
-      let page = Wire.read_varint r in
-      let nrows = Wire.read_varint r in
-      (v, page, nrows))
+let entry_of_row t =
+  match (Tuple.get t 0, Tuple.get t 1, Tuple.get t 2) with
+  | v, Value.Int page, Value.Int nrows -> (v, page, nrows)
+  | _ -> failwith "Paged_index: malformed v2 leaf row"
+
+let encode_leaf ?(format = Codec.V1) entries =
+  match format with
+  | Codec.V2 -> Codec.encode_page ~format (List.map row_of_entry entries)
+  | Codec.V1 ->
+      let buf = Buffer.create 512 in
+      Wire.write_varint buf (List.length entries);
+      List.iter
+        (fun (v, page, nrows) ->
+          Codec.add_value buf v;
+          Wire.write_varint buf page;
+          Wire.write_varint buf nrows)
+        entries;
+      Buffer.contents buf
+
+let decode_leaf ?(format = Codec.V1) payload =
+  match format with
+  | Codec.V2 -> List.map entry_of_row (Codec.decode_page ~format payload)
+  | Codec.V1 ->
+      let r = Wire.reader payload in
+      let n = Wire.read_varint r in
+      List.init n (fun _ ->
+          let v = Codec.read_value r in
+          let page = Wire.read_varint r in
+          let nrows = Wire.read_varint r in
+          (v, page, nrows))
 
 let meta_of ~page entries =
   match entries with
@@ -78,8 +97,20 @@ let meta_of ~page entries =
       }
 
 (* Greedy packer: splits a sorted entry list into leaf payload chunks of
-   at most [capacity *. fill] bytes (at least one entry per leaf). *)
-let pack ~capacity ~fill entries =
+   at most [capacity *. fill] bytes (at least one entry per leaf).  v2
+   delegates to the columnar page packer, which coalesces the v1
+   chunking while the compressed leaf fits. *)
+let pack ?(format = Codec.V1) ~capacity ~fill entries =
+  match format with
+  | Codec.V2 ->
+      let arr = Array.of_list entries in
+      let pos = ref 0 in
+      Codec.pack_pages ~format ~capacity ~fill (List.map row_of_entry entries)
+      |> List.map (fun (payload, _first, n) ->
+             let es = Array.to_list (Array.sub arr !pos n) in
+             pos := !pos + n;
+             (payload, es))
+  | Codec.V1 ->
   let entry_bytes e = String.length (encode_leaf [ e ]) in
   let target =
     max 1 (int_of_float (float_of_int capacity *. fill) - 5)
@@ -106,15 +137,18 @@ let pack ~capacity ~fill entries =
   (* [!chunks] is newest-first; rev_map restores entry order. *)
   List.rev_map (fun es -> (encode_leaf es, es)) !chunks
 
-let create ~pool ~alloc ~free ~name ~capacity ~leaves =
+let create ?(format = Codec.V1) ~pool ~alloc ~free ~name ~capacity ~leaves () =
   {
     x_name = name;
     x_pool = pool;
     x_alloc = alloc;
     x_free = free;
     x_capacity = capacity;
+    x_format = format;
     x_leaves = leaves;
   }
+
+let format t = t.x_format
 
 let layout t = t.x_leaves
 let leaf_count t = Array.length t.x_leaves
@@ -134,7 +168,7 @@ let read_leaf t counters (m : meta) =
   (match (result, counters) with
   | `Miss, Some c -> c.Counters.page_reads <- c.Counters.page_reads + 1
   | _ -> ());
-  decode_leaf payload
+  decode_leaf ~format:t.x_format payload
 
 (* First directory index whose first value is >= v; [Array.length] when
    none. *)
@@ -254,7 +288,7 @@ let apply t counters deltas =
         (fun (_, _, d) ->
           if d < 0 then invalid_arg "Paged_index.apply: delete from empty index")
         deltas;
-      let chunks = pack ~capacity:t.x_capacity ~fill:1.0 deltas in
+      let chunks = pack ~format:t.x_format ~capacity:t.x_capacity ~fill:1.0 deltas in
       let leaves =
         List.map
           (fun (payload, entries) ->
@@ -349,7 +383,7 @@ let apply t counters deltas =
                    t.x_free m.m_page;
                    (i, [])
                | entries ->
-                   let payload = encode_leaf entries in
+                   let payload = encode_leaf ~format:t.x_format entries in
                    if String.length payload <= t.x_capacity then begin
                      charge ();
                      Buffer_pool.store t.x_pool ~table:t.x_name ~page:m.m_page
@@ -359,7 +393,10 @@ let apply t counters deltas =
                    else begin
                      (* Split: first chunk keeps the page, the rest get
                         fresh pages. *)
-                     let chunks = pack ~capacity:t.x_capacity ~fill:1.0 entries in
+                     let chunks =
+                       pack ~format:t.x_format ~capacity:t.x_capacity ~fill:1.0
+                         entries
+                     in
                      let metas =
                        List.mapi
                          (fun k (payload, es) ->

@@ -38,6 +38,7 @@ type paged = {
   p_alloc : unit -> int;
   p_free : int -> unit;
   p_capacity : int;  (** page payload capacity in bytes *)
+  p_codec : Codec.format;  (** page payload encoding *)
   mutable p_dir : dir_entry array;  (** pages in cluster order *)
   mutable p_seq : (int, int) Hashtbl.t;  (** page id -> directory slot *)
   mutable p_indexes : (string * Paged_index.t) list;
@@ -112,13 +113,14 @@ let rebuild_seq p =
     already materialized layout (the database open path): [dir] is the
     clustered page directory and [indexes] the per-column paged
     indexes.  Page payloads are read through [pool] on demand. *)
-let create_paged ~pool ~alloc ~free ~capacity ~name ~schema ~cluster_key ~dir
-    ~indexes =
+let create_paged ?(codec = Codec.V1) ~pool ~alloc ~free ~capacity ~name ~schema
+    ~cluster_key ~dir ~indexes () =
   let p =
     {
       p_alloc = alloc;
       p_free = free;
       p_capacity = capacity;
+      p_codec = codec;
       p_dir = dir;
       p_seq = Hashtbl.create 16;
       p_indexes = indexes;
@@ -126,6 +128,11 @@ let create_paged ~pool ~alloc ~free ~capacity ~name ~schema ~cluster_key ~dir
   in
   rebuild_seq p;
   { name; schema; cluster_key; pool = Some pool; backing = Paged p }
+
+(** The active page codec: the paged backing's format; heap tables are
+    modelled, not encoded, so they report {!Codec.V1}. *)
+let codec t =
+  match t.backing with Paged p -> p.p_codec | Heap _ -> Codec.V1
 
 let the_pool t =
   match t.pool with
@@ -140,7 +147,7 @@ let read_page_paged t counters page =
   (match result with
   | `Hit -> ()
   | `Miss -> counters.Counters.page_reads <- counters.Counters.page_reads + 1);
-  Codec.decode_page payload
+  Codec.decode_page ~format:(codec t) payload
 
 let cardinality t =
   match t.backing with
@@ -700,7 +707,7 @@ let apply_edits_paged t p counters ~deletes ~inserts =
         p.p_free page;
         Hashtbl.replace repl slot []
       | rows ->
-        let payload = Codec.encode_page rows in
+        let payload = Codec.encode_page ~format:p.p_codec rows in
         if String.length payload <= p.p_capacity then begin
           store_page page payload;
           account rows page 1;
@@ -710,13 +717,16 @@ let apply_edits_paged t p counters ~deletes ~inserts =
         else begin
           (* Page split: the first chunk keeps the page id, the rest go
              to fresh pages. *)
-          let chunks = Codec.pack_pages ~capacity:p.p_capacity ~fill:1.0 rows in
+          let chunks =
+            Codec.pack_pages ~format:p.p_codec ~capacity:p.p_capacity ~fill:1.0
+              rows
+          in
           let entries =
             List.mapi
               (fun k (payload, first, nrows) ->
                 let pg = if k = 0 then page else p.p_alloc () in
                 store_page pg payload;
-                account (Codec.decode_page payload) pg 1;
+                account (Codec.decode_page ~format:p.p_codec payload) pg 1;
                 ignore first;
                 { de_page = pg; de_nrows = nrows; de_first = first })
               chunks
@@ -730,11 +740,11 @@ let apply_edits_paged t p counters ~deletes ~inserts =
     | [] -> []
     | rows ->
       let rows = List.stable_sort cmp rows in
-      Codec.pack_pages ~capacity:p.p_capacity ~fill:1.0 rows
+      Codec.pack_pages ~format:p.p_codec ~capacity:p.p_capacity ~fill:1.0 rows
       |> List.map (fun (payload, first, nrows) ->
              let pg = p.p_alloc () in
              store_page pg payload;
-             account (Codec.decode_page payload) pg 1;
+             account (Codec.decode_page ~format:p.p_codec payload) pg 1;
              { de_page = pg; de_nrows = nrows; de_first = first })
   in
   (* Splice the directory. *)
@@ -795,6 +805,17 @@ let paged_layout t =
     Some
       ( p.p_dir,
         List.map (fun (c, idx) -> (c, Paged_index.layout idx)) p.p_indexes )
+
+(** Average clustered rows per page under the active layout: the heap's
+    modelled density, or the paged directory's measured one.  This is
+    what the cost model should price a page read at — under a
+    compressing codec it grows, and scans get cheaper. *)
+let avg_page_rows t =
+  match t.backing with
+  | Heap h -> h.page_rows
+  | Paged p ->
+    let pages = Array.length p.p_dir in
+    if pages = 0 then 64 else max 1 ((cardinality t + pages - 1) / pages)
 
 (** Every file page owned by a paged table (data pages and index
     leaves); [[]] for heap tables. *)

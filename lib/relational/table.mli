@@ -41,6 +41,7 @@ val create :
     through [pool] on demand and `Counters.page_reads` becomes measured
     I/O. *)
 val create_paged :
+  ?codec:Codec.format ->
   pool:Buffer_pool.t ->
   alloc:(unit -> int) ->
   free:(int -> unit) ->
@@ -50,7 +51,18 @@ val create_paged :
   cluster_key:string list ->
   dir:dir_entry array ->
   indexes:(string * Paged_index.t) list ->
+  unit ->
   t
+
+(** The active page codec: the paged backing's format; heap tables are
+    modelled, not encoded, so they report {!Codec.V1}. *)
+val codec : t -> Codec.format
+
+(** Average clustered rows per page under the active layout: the heap's
+    modelled density, or the paged directory's measured one.  This is
+    what the cost model prices a page read at — under a compressing
+    codec it grows, and scans get cheaper. *)
+val avg_page_rows : t -> int
 
 (** Whether the table is disk-backed. *)
 val is_paged : t -> bool

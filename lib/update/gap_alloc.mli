@@ -4,8 +4,17 @@
     Definition 3.1 only compares positions, so sparse labels are as
     good as dense ones. *)
 
-(** Spacing per slot when a range is renumbered from scratch. *)
-val headroom : int
+(** Spacing per slot when a range is renumbered from scratch (default
+    {!default_headroom}).  A policy knob: compact codecs make sparse
+    labels nearly free on disk, so write-heavy workloads can raise it
+    (fewer renumbering escalations) and archival ones lower it. *)
+val headroom : unit -> int
+
+val default_headroom : int
+
+(** Install a new headroom policy.
+    @raise Invalid_argument when [h < 1]. *)
+val set_headroom : int -> unit
 
 (** [spread ~lo ~hi ~slots] — [slots] distinct, strictly increasing
     positions strictly between [lo] and [hi], evenly spaced.
@@ -13,6 +22,6 @@ val headroom : int
     positions. *)
 val spread : lo:int -> hi:int -> slots:int -> int array
 
-(** [fresh ~slots] — positions for a full renumbering, [headroom]
+(** [fresh ~slots] — positions for a full renumbering, [headroom ()]
     apart, starting at 1. *)
 val fresh : slots:int -> int array

@@ -236,6 +236,77 @@ let test_fig10_byte_identical () =
           Blas.Storage.close disk))
     fig10
 
+(* The compact codec under the same matrix: a v2-codec file must give
+   byte-identical answers, out of a smaller file. *)
+let test_codec_v2_byte_identical () =
+  let dataset, mem, queries = List.hd fig10 in
+  let mem = Lazy.force mem in
+  with_db (fun path ->
+      let v1_path = path ^ ".v1" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove v1_path with Sys_error _ -> ())
+        (fun () ->
+          Database.create ~page_size:1024 ~codec:Blas_rel.Codec.V1
+            ~path:v1_path mem;
+          Database.create ~page_size:1024 ~codec:Blas_rel.Codec.V2 ~path mem;
+          let disk = Database.open_ ~cache_pages:8 ~mode:Database.Ro ~path () in
+          check_bool "catalog records the v2 codec" true
+            (Blas.Storage.codec disk = Blas_rel.Codec.V2);
+          let file_bytes p =
+            let st = Unix.stat p in
+            st.Unix.st_size
+          in
+          check_bool "v2 file smaller than v1" true
+            (file_bytes path < file_bytes v1_path);
+          List.iter
+            (fun (qname, qs) ->
+              let query = Blas.query qs in
+              List.iter
+                (fun translator ->
+                  List.iter
+                    (fun engine ->
+                      let where =
+                        Printf.sprintf "%s %s %s/%s (v2)" dataset qname
+                          (Blas.translator_name translator)
+                          (Blas.engine_name engine)
+                      in
+                      check_int_list where
+                        (Blas.answers mem ~engine ~translator query)
+                        (Blas.answers disk ~engine ~translator query))
+                    engines)
+                translators)
+            queries;
+          Blas.Storage.close disk))
+
+(* No forced migration: a file indexed under the v1 codec (the layout
+   every pre-codec build wrote) opens, answers, takes an edit, and
+   stays v1 across reopen. *)
+let test_v1_codec_file_compat () =
+  with_db (fun path ->
+      let mem = Blas.Storage.of_tree (Blas_xml.Dom.parse
+        "<r><a>x</a><b><a>y</a></b></r>") in
+      Database.create ~page_size:512 ~codec:Blas_rel.Codec.V1 ~path mem;
+      let disk = Database.open_ ~cache_pages:8 ~mode:Database.Rw ~path () in
+      check_bool "catalog records the v1 codec" true
+        (Blas.Storage.codec disk = Blas_rel.Codec.V1);
+      let q = Blas.query "//a" in
+      check_int_list "v1 file answers" (Blas.oracle mem q)
+        (Blas.answers disk ~engine:Blas.Rdbms ~translator:Blas.Auto q);
+      ignore
+        (Blas.Update.insert_subtree disk ~parent:1 ~pos:0
+           (Blas_xml.Dom.parse "<a>z</a>"));
+      (match Blas.Storage.disk disk with
+      | Some d -> d.Blas.Storage.dk_close ()
+      | None -> Alcotest.fail "expected disk storage");
+      let reopened = Database.open_ ~cache_pages:8 ~mode:Database.Ro ~path () in
+      check_bool "still v1 after edit and reopen" true
+        (Blas.Storage.codec reopened = Blas_rel.Codec.V1);
+      check_int_list "edit visible through v1 pages"
+        (Blas.oracle reopened (Blas.query "//a"))
+        (Blas.answers reopened ~engine:Blas.Twig ~translator:Blas.Auto
+           (Blas.query "//a"));
+      Blas.Storage.close reopened)
+
 let test_page_reads_are_measured_io () =
   with_db (fun path ->
       let mem =
@@ -507,6 +578,10 @@ let suite =
       test_store_recovers_wal_tail;
     Alcotest.test_case "fig10 byte-identical on disk" `Quick
       test_fig10_byte_identical;
+    Alcotest.test_case "v2 codec byte-identical, smaller file" `Quick
+      test_codec_v2_byte_identical;
+    Alcotest.test_case "v1 codec files open without migration" `Quick
+      test_v1_codec_file_compat;
     Alcotest.test_case "page reads are measured io" `Quick
       test_page_reads_are_measured_io;
     Alcotest.test_case "update persists" `Quick test_update_persists;

@@ -27,5 +27,6 @@ let () =
       ("misc", Test_misc.suite);
       ("datagen", Test_datagen.suite);
       ("cache", Test_cache.suite);
+      ("codec", Test_codec.suite);
       ("disk", Test_disk.suite);
     ]
