@@ -5,7 +5,7 @@
     the ablations, the micro-benchmarks and the instrumentation
     overhead check; section arguments (fig10 ... fig18, joins, disk,
     space, build, cache, ablate, bechamel, overhead, optimizer, scaling,
-    serve) select a subset.
+    serve, shards) select a subset.
 
     Flags: [--json] also writes every printed table to
     BENCH_results.json; [--check] makes the overhead section enforce its
@@ -35,6 +35,7 @@ let sections =
     ("codec", Codec_bench.run);
     ("scaling", Scaling.run);
     ("serve", Serve.run);
+    ("shards", Serve.shards);
   ]
 
 let results_file = "BENCH_results.json"

@@ -28,24 +28,18 @@ let root_start (storage : Blas.Storage.t) =
     max_int (Blas.Storage.doc storage).Blas_xpath.Doc.all
 
 (* The served documents come from prebuilt database files, not the XML
-   parse path: bulk-load each corpus into a [.blasdb] once, then open it
-   read-write so live UPDATE verbs commit to the file — the server
-   benchmark measures the disk engine the deployment runs on. *)
-let db_storage name tree =
-  let path = Filename.temp_file ("blas_bench_" ^ name) ".blasdb" in
-  Blas.Database.create ~page_size:4096 ~path (Blas.Storage.of_tree tree);
-  let storage =
-    Blas.Database.open_ ~cache_pages:512 ~mode:Blas.Database.Rw ~path ()
-  in
-  (storage, path)
+   parse path — the server benchmark measures the disk engine the
+   deployment runs on.  Each data set is indexed into a read-only
+   template once per bench process ({!Datasets.db_template}); every use
+   here takes a cheap private file copy and opens it read-write so live
+   UPDATE verbs commit without touching the shared template. *)
+let db_storage template = Datasets.db_copy (template ())
 
 let run () =
   Bench_util.heading "Serving: multi-client closed loop against a live server";
   let check = !Overhead.check_mode in
-  let shakespeare, shakespeare_path =
-    db_storage "shakespeare" (Datasets.shakespeare_base ())
-  in
-  let auction, auction_path = db_storage "auction" (Datasets.auction_base ()) in
+  let shakespeare, shakespeare_path = db_storage Datasets.shakespeare_db in
+  let auction, auction_path = db_storage Datasets.auction_db in
   let cleanup () =
     List.iter (fun s -> try Blas.Storage.close s with _ -> ()) [ shakespeare; auction ];
     List.iter
@@ -194,3 +188,383 @@ let run () =
     Printf.eprintf "serve: malformed observability payloads: %s\n%!"
       (String.concat ", " (List.rev bad));
     if check then Overhead.failed := true
+
+(* ------------------------------------------------------------------ *)
+(* bench serve shards: the scatter-gather router over 1/2/4 shards.
+
+   Shards run as separate [blas serve] processes (real CPU parallelism
+   — in-process threads would share one runtime lock), each hosting
+   its --shard K/N slice of a directory of prebuilt database copies;
+   the router runs in-process.  The closed loop reports aggregate QPS
+   and client-observed p50/p99 per shard count, then repeats over a
+   replicated 2-shard cluster with one primary flooded by SLEEP
+   requests, with hedging off and on — the injected-slow-shard tail
+   experiment. *)
+
+module Router = Blas_cluster.Router
+
+let free_port () =
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close s)
+    (fun () ->
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      match Unix.getsockname s with
+      | Unix.ADDR_INET (_, port) -> port
+      | _ -> assert false)
+
+(* The CLI executable, relative to the bench executable in dune's
+   _build layout. *)
+let cli_exe () =
+  let exe =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      (Filename.concat "bin" "blas_cli.exe")
+  in
+  if Sys.file_exists exe then Some exe else None
+
+let wait_ping ~port ~attempts =
+  let rec go n =
+    match C.with_client port (fun c -> C.raw c "PING") with
+    | _ -> true
+    | exception _ ->
+      if n <= 0 then false
+      else begin
+        Unix.sleepf 0.1;
+        go (n - 1)
+      end
+  in
+  go attempts
+
+(* One cluster round: spawn [shards * (1 + replicas)] shard processes,
+   start a router with [hedge], run [f], tear everything down.
+   [docs_dirs.(i)] is the document directory for replica rank [i] —
+   database files take an exclusive lock, so a replica needs its own
+   copies of the files its primary serves. *)
+let with_process_cluster ~exe ~docs_dirs ~shards ~replicas ~hedge f =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let children = ref [] in
+  let kill_children () =
+    List.iter
+      (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+      !children;
+    List.iter
+      (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      !children
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_children ();
+      Unix.close devnull)
+  @@ fun () ->
+  let groups =
+    List.init shards (fun k ->
+        let eps =
+          List.init (1 + replicas) (fun i ->
+              let name =
+                if i = 0 then Printf.sprintf "shard-%d" k
+                else Printf.sprintf "shard-%d-r%d" k i
+              in
+              let port = free_port () in
+              let args =
+                [|
+                  exe; "serve"; "--quiet"; "--docs"; docs_dirs.(i);
+                  "--port"; string_of_int port;
+                  "--name"; name;
+                  "--shard"; Printf.sprintf "%d/%d" k shards;
+                  "--allow-sleep";
+                  "--max-inflight"; "2";
+                  "--queue-depth"; "64";
+                |]
+              in
+              let pid =
+                Unix.create_process exe args Unix.stdin devnull Unix.stderr
+              in
+              children := pid :: !children;
+              { Router.host = "127.0.0.1"; Router.port })
+        in
+        match eps with
+        | primary :: replicas -> { Router.primary; replicas }
+        | [] -> assert false)
+  in
+  List.iter
+    (fun { Router.primary; replicas } ->
+      List.iter
+        (fun (ep : Router.endpoint) ->
+          if not (wait_ping ~port:ep.Router.port ~attempts:100) then
+            failwith
+              (Printf.sprintf "bench shards: shard on port %d did not come up"
+                 ep.Router.port))
+        (primary :: replicas))
+    groups;
+  Router.with_router
+    {
+      Router.default_config with
+      Router.host = "127.0.0.1";
+      port = 0;
+      groups;
+      max_inflight = 16;
+      queue_depth = 128;
+      hedge;
+    }
+    (fun router -> f router groups)
+
+(* Closed loop through the router: [clients] threads, each its own
+   connection, round-robin over [workload].  Returns (sorted latencies
+   ns, wall seconds, non-OK count). *)
+let closed_loop ~port ~clients ~per_client ~workload =
+  let lat = Array.make (clients * per_client) nan in
+  let non_ok = Atomic.make 0 in
+  let busy = Atomic.make 0 and timeout = Atomic.make 0 in
+  let client k =
+    C.with_client port (fun c ->
+        let engine = if k mod 2 = 0 then Blas.Rdbms else Blas.Twig in
+        for i = 0 to per_client - 1 do
+          let doc, q = workload.((i + (k * 7)) mod Array.length workload) in
+          let t0 = Bench_util.now_ns () in
+          (match C.query c ~doc ~translator:Blas.Pushup ~engine q with
+          | P.Ok_payload _ -> ()
+          | P.Busy ->
+            Atomic.incr busy;
+            Atomic.incr non_ok
+          | P.Timeout ->
+            Atomic.incr timeout;
+            Atomic.incr non_ok
+          | _ -> Atomic.incr non_ok);
+          lat.((k * per_client) + i) <-
+            Int64.to_float (Int64.sub (Bench_util.now_ns ()) t0)
+        done)
+  in
+  let t0 = Bench_util.now_ns () in
+  let threads = List.init clients (fun k -> Thread.create client k) in
+  List.iter Thread.join threads;
+  let wall_s = Int64.to_float (Int64.sub (Bench_util.now_ns ()) t0) /. 1e9 in
+  Array.sort compare lat;
+  if Atomic.get non_ok > 0 then
+    Printf.eprintf "closed loop: %d non-OK (%d BUSY, %d TIMEOUT)\n%!"
+      (Atomic.get non_ok) (Atomic.get busy) (Atomic.get timeout);
+  (lat, wall_s, Atomic.get non_ok)
+
+let shards () =
+  Bench_util.heading "Sharding: closed-loop clients against the router";
+  match cli_exe () with
+  | None ->
+    print_endline
+      "bench shards: blas_cli.exe not found next to the bench executable; \
+       skipping (build bin/ first)"
+  | Some exe ->
+    let check = !Overhead.check_mode in
+    let copies = 4 in
+    (* Directories of prebuilt database copies for the shard processes
+       to partition: N copies of each template so documents spread over
+       every shard count in the sweep.  One directory per replica rank —
+       database files take an exclusive lock, so a replica process needs
+       its own copies of the files its primary serves.  Two sets: the
+       heavier x4 documents for the scaling sweep (per-query work must
+       dominate protocol overhead) and the base documents for the
+       hedging experiment (light queries keep the un-flooded replica
+       far from saturation, so the measured tail is pure queueing
+       behind the injected 40 ms naps). *)
+    let make_dirs suffix templates =
+      let dirs =
+        Array.init 2 (fun rank ->
+            let dir =
+              Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "blas_bench_shards_%d_%s_r%d" (Unix.getpid ())
+                   suffix rank)
+            in
+            (try Unix.mkdir dir 0o700
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            dir)
+      in
+      Array.iter
+        (fun dir ->
+          List.iter
+            (fun (tag, template) ->
+              for i = 0 to copies - 1 do
+                Datasets.copy_file (template ())
+                  (Filename.concat dir (Printf.sprintf "%s-%d.blasdb" tag i))
+              done)
+            templates)
+        dirs;
+      dirs
+    in
+    let cleanup_dirs dirs =
+      Array.iter
+        (fun dir ->
+          Array.iter
+            (fun f ->
+              try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+            (try Sys.readdir dir with Sys_error _ -> [||]);
+          try Unix.rmdir dir with Unix.Unix_error _ -> ())
+        dirs
+    in
+    let docs_dirs =
+      make_dirs "x4"
+        [
+          ("shakespeare", Datasets.shakespeare_x4_db);
+          ("auction", Datasets.auction_x4_db);
+        ]
+    in
+    let hedge_dirs =
+      make_dirs "base"
+        [
+          ("shakespeare", Datasets.shakespeare_db);
+          ("auction", Datasets.auction_db);
+        ]
+    in
+    let cleanup () =
+      cleanup_dirs docs_dirs;
+      cleanup_dirs hedge_dirs
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    let workload =
+      Array.of_list
+        (List.concat_map
+           (fun i ->
+             List.map
+               (fun (_, q) -> (Printf.sprintf "shakespeare-%d" i, q))
+               Bench_queries.shakespeare
+             @ List.map
+                 (fun (_, q) -> (Printf.sprintf "auction-%d" i, q))
+                 Bench_queries.auction)
+           (List.init copies Fun.id))
+    in
+    let clients = 16 in
+    let per_client = if check then 12 else 160 in
+    let warm port =
+      C.with_client port (fun c ->
+          Array.iter
+            (fun (doc, q) ->
+              ignore (C.query c ~doc ~translator:Blas.Pushup ~engine:Blas.Rdbms q))
+            workload)
+    in
+    (* -- aggregate QPS over 1/2/4 shards ----------------------------- *)
+    let scaling_rows =
+      List.map
+        (fun n ->
+          with_process_cluster ~exe ~docs_dirs ~shards:n ~replicas:0
+            ~hedge:Router.Hedge_off (fun router _groups ->
+              let port = Router.port router in
+              warm port;
+              let lat, wall_s, non_ok =
+                closed_loop ~port ~clients ~per_client ~workload
+              in
+              if non_ok > 0 then begin
+                Printf.eprintf "shards(%d): %d non-OK replies\n%!" n non_ok;
+                if check then Overhead.failed := true
+              end;
+              let ops = Array.length lat in
+              [
+                string_of_int n;
+                string_of_int ops;
+                Printf.sprintf "%.3f" wall_s;
+                Printf.sprintf "%.0f" (float_of_int ops /. wall_s);
+                Printf.sprintf "%.3f" (percentile lat 50. /. 1e6);
+                Printf.sprintf "%.3f" (percentile lat 99. /. 1e6);
+              ]))
+        [ 1; 2; 4 ]
+    in
+    Bench_util.print_table
+      ~title:
+        (Printf.sprintf
+           "router scatter-gather, %d clients x %d ops, %d documents, %d \
+            core(s)%s"
+           clients per_client (Array.length workload)
+           (Domain.recommended_domain_count ())
+           (if Domain.recommended_domain_count () <= 1 then
+              " (shard QPS scaling needs >1 core)"
+            else ""))
+      {
+        Bench_util.header =
+          [ "shards"; "ops"; "wall s"; "QPS"; "p50 ms"; "p99 ms" ];
+        rows = scaling_rows;
+      };
+    (* -- hedging under an injected slow shard ------------------------ *)
+    (* 2 shards x (primary + 1 replica); the busiest primary is flooded
+       with SLEEP requests that pin its 2 workers, so queries routed to
+       it queue behind 40 ms naps.  With hedging on, the router races
+       the replica after 5 ms and the tail collapses.  A lighter closed
+       loop than the scaling sweep: the point is tail latency, not
+       saturation — hedging under overload only adds load. *)
+    let clients = 8 in
+    let per_client = if check then 12 else 64 in
+    let hedge_rows =
+      List.map
+        (fun (label, hedge) ->
+          with_process_cluster ~exe ~docs_dirs:hedge_dirs ~shards:2 ~replicas:1
+            ~hedge
+            (fun router groups ->
+              let port = Router.port router in
+              warm port;
+              let victim =
+                (* The primary hosting the most documents. *)
+                let count (g : Router.group) =
+                  C.with_client g.Router.primary.Router.port (fun c ->
+                      match C.raw c "LIST" with
+                      | P.Ok_payload body ->
+                        List.length
+                          (List.filter
+                             (fun l -> l <> "")
+                             (String.split_on_char '\n' body))
+                      | _ -> 0)
+                in
+                List.fold_left
+                  (fun best g -> if count g > count best then g else best)
+                  (List.hd groups) (List.tl groups)
+              in
+              let flooding = Atomic.make true in
+              let flooders =
+                List.init 2 (fun _ ->
+                    Thread.create
+                      (fun () ->
+                        try
+                          C.with_client victim.Router.primary.Router.port
+                            (fun c ->
+                              while Atomic.get flooding do
+                                ignore (C.sleep c 40)
+                              done)
+                        with _ -> ())
+                      ())
+              in
+              Fun.protect
+                ~finally:(fun () ->
+                  Atomic.set flooding false;
+                  List.iter Thread.join flooders)
+              @@ fun () ->
+              let lat, wall_s, non_ok =
+                closed_loop ~port ~clients ~per_client ~workload
+              in
+              if non_ok > 0 then begin
+                Printf.eprintf "shards hedge(%s): %d non-OK replies\n%!" label
+                  non_ok;
+                if check then Overhead.failed := true
+              end;
+              let reg = Router.registry router in
+              let counter name =
+                Blas_obs.Metrics.counter_value
+                  (Blas_obs.Metrics.counter reg name)
+              in
+              let ops = Array.length lat in
+              [
+                label;
+                string_of_int ops;
+                Printf.sprintf "%.0f" (float_of_int ops /. wall_s);
+                Printf.sprintf "%.3f" (percentile lat 50. /. 1e6);
+                Printf.sprintf "%.3f" (percentile lat 99. /. 1e6);
+                string_of_int (counter "router.hedge.fired");
+                string_of_int (counter "router.hedge.won");
+              ]))
+        [ ("off", Router.Hedge_off); ("5ms", Router.Hedge_ms 5.0) ]
+    in
+    Bench_util.print_table
+      ~title:
+        "hedged reads under an injected slow shard (2 shards, 1 replica, \
+         flooded primary)"
+      {
+        Bench_util.header =
+          [ "hedge"; "ops"; "QPS"; "p50 ms"; "p99 ms"; "fired"; "won" ];
+        rows = hedge_rows;
+      }

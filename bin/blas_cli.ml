@@ -977,19 +977,40 @@ let cache_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
-let serve () host port docs_dir jobs max_inflight queue_depth timeout_ms
-    no_cache allow_sleep metrics_port slow_ms slow_log pages =
-  (* Writable: live UPDATE verbs against database files commit to the
-     file; XML-backed documents are unaffected. *)
-  match Blas.Loader.load_dir ~rw:true ?cache_pages:pages docs_dir with
-  | Error msg -> `Error (false, msg)
-  | Ok [] ->
-    `Error
-      (false, Printf.sprintf "no *.xml, *.blas or *.blasdb files in %s" docs_dir)
-  | Ok docs ->
+let serve () name host port docs_dir jobs max_inflight queue_depth timeout_ms
+    no_cache allow_sleep metrics_port slow_ms slow_log group_commit_ms
+    shard_of pages =
+  if
+    match shard_of with
+    | Some (k, n) -> n < 1 || k < 0 || k >= n
+    | None -> false
+  then `Error (false, "--shard expects K/N with 0 <= K < N")
+  else
+    (* --shard K/N hosts only the documents the cluster shard map
+       assigns to shard K — every shard process points at the same
+       --docs directory and they partition it consistently.  The filter
+       runs on names, before files are opened: a shard must not take
+       the database-file lock of documents it does not host. *)
+    let keep =
+      match shard_of with
+      | None -> fun _ -> true
+      | Some (k, n) ->
+        let map = Blas_cluster.Shard_map.create ~shards:n () in
+        fun name -> Blas_cluster.Shard_map.shard_of_doc map name = k
+    in
+    (* Writable: live UPDATE verbs against database files commit to the
+       file; XML-backed documents are unaffected. *)
+    match Blas.Loader.load_dir ~rw:true ?cache_pages:pages ~keep docs_dir with
+    | Error msg -> `Error (false, msg)
+    | Ok [] when shard_of = None ->
+      `Error
+        ( false,
+          Printf.sprintf "no *.xml, *.blas or *.blasdb files in %s" docs_dir )
+    | Ok docs ->
     let config =
       {
         Blas_server.Server.default_config with
+        name;
         host;
         port;
         jobs;
@@ -1001,6 +1022,7 @@ let serve () host port docs_dir jobs max_inflight queue_depth timeout_ms
         metrics_port;
         slow_ms;
         slow_log;
+        group_commit_ms;
       }
     in
     let server = Blas_server.Server.start config ~docs in
@@ -1093,6 +1115,49 @@ let serve_cmd =
       & info [ "slow-log" ] ~docv:"PATH"
           ~doc:"Slow-query log path (with --slow-ms).")
   in
+  let name_arg =
+    Arg.(
+      value
+      & opt string Blas_server.Server.default_config.name
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:"Server identity, announced in the HELLO handshake.")
+  in
+  let group_commit_ms =
+    Arg.(
+      value
+      & opt float Blas_server.Server.default_config.group_commit_ms
+      & info [ "group-commit-ms" ] ~docv:"MS"
+          ~doc:
+            "Group commit: batch WAL fsyncs of concurrent UPDATEs to the \
+             same database file within this window (0 = every commit \
+             fsyncs on its own).")
+  in
+  let shard_of =
+    let shard_conv =
+      let parse s =
+        match String.index_opt s '/' with
+        | Some i -> (
+          match
+            ( int_of_string_opt (String.sub s 0 i),
+              int_of_string_opt
+                (String.sub s (i + 1) (String.length s - i - 1)) )
+          with
+          | Some k, Some n -> Ok (k, n)
+          | _ -> Error (`Msg (Printf.sprintf "expected K/N, got %S" s)))
+        | None -> Error (`Msg (Printf.sprintf "expected K/N, got %S" s))
+      in
+      let print ppf (k, n) = Format.fprintf ppf "%d/%d" k n in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt (some shard_conv) None
+      & info [ "shard" ] ~docv:"K/N"
+          ~doc:
+            "Host only the documents the $(b,N)-shard cluster map assigns \
+             to shard $(b,K) (0-based).  Every shard process points at the \
+             same --docs directory; together they partition it.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1101,9 +1166,10 @@ let serve_cmd =
           and a graceful drain on SIGTERM.")
     Term.(
       ret
-        (const serve $ logs_term $ host $ port $ docs_dir $ jobs_arg
+        (const serve $ logs_term $ name_arg $ host $ port $ docs_dir $ jobs_arg
        $ max_inflight $ queue_depth $ timeout_ms $ no_cache_arg $ allow_sleep
-       $ metrics_port $ slow_ms $ slow_log $ pages_arg))
+       $ metrics_port $ slow_ms $ slow_log $ group_commit_ms $ shard_of
+       $ pages_arg))
 
 (* ------------------------------------------------------------------ *)
 (* connect / query (network clients)                                   *)
@@ -1142,8 +1208,10 @@ let connect () endpoint =
         | "" -> loop ()
         | line when
             (match Blas_server.Proto.parse_command line with
-            | Ok (Blas_server.Proto.Deadline _ | Blas_server.Proto.Trace_hdr)
-              ->
+            | Ok
+                ( Blas_server.Proto.Deadline _ | Blas_server.Proto.Trace_hdr
+                | Blas_server.Proto.Trace_id _ | Blas_server.Proto.Trace_bg _
+                  ) ->
               true
             | _ -> false) ->
           (* Headers carry no reply frame — send and keep reading. *)
@@ -1208,6 +1276,346 @@ let query_cmd =
        $ engine_arg $ deadline_ms))
 
 (* ------------------------------------------------------------------ *)
+(* route / cluster (the sharded serving tier)                          *)
+
+module Router = Blas_cluster.Router
+
+let hedge_conv =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "auto" -> Ok Router.Hedge_auto
+    | "off" | "none" -> Ok Router.Hedge_off
+    | s -> (
+      match float_of_string_opt s with
+      | Some ms when ms > 0.0 -> Ok (Router.Hedge_ms ms)
+      | _ -> Error (`Msg (Printf.sprintf "expected auto, off or <ms>, got %S" s)))
+  in
+  let print ppf = function
+    | Router.Hedge_auto -> Format.pp_print_string ppf "auto"
+    | Router.Hedge_off -> Format.pp_print_string ppf "off"
+    | Router.Hedge_ms ms -> Format.fprintf ppf "%g" ms
+  in
+  Arg.conv (parse, print)
+
+let hedge_arg =
+  Arg.(
+    value
+    & opt hedge_conv Router.default_config.Router.hedge
+    & info [ "hedge-ms" ] ~docv:"auto|off|MS"
+        ~doc:
+          "Hedged reads: after this delay with no answer, race a second \
+           attempt against another endpoint of the same shard.  $(b,auto) \
+           derives the delay from the shard's observed p99 latency; \
+           $(b,off) disables hedging.")
+
+let replicas_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "replicas" ] ~docv:"K"
+        ~doc:
+          "Read replicas per shard: every group of 1+K consecutive \
+           endpoints in --shards is one shard, primary first.")
+
+(* Start a router over already-parsed groups, run it until SIGTERM /
+   SIGINT, drain, and print the final stats — the shared back half of
+   [route] and [cluster]. *)
+let run_router config =
+  match Router.start config with
+  | exception Invalid_argument msg -> `Error (false, msg)
+  | exception Unix.Unix_error (e, _, arg) ->
+    `Error
+      ( false,
+        Printf.sprintf "cannot start router: %s%s" (Unix.error_message e)
+          (if arg = "" then "" else " (" ^ arg ^ ")") )
+  | router ->
+    let request _ = Router.request_shutdown router in
+    ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request));
+    ignore (Sys.signal Sys.sigint (Sys.Signal_handle request));
+    ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+    Printf.printf "routing %d shard(s) on %s:%d\n%!" (Router.shards router)
+      config.Router.host (Router.port router);
+    Option.iter
+      (fun p ->
+        Printf.printf "metrics on http://%s:%d/metrics\n%!"
+          config.Router.host p)
+      (Router.metrics_port router);
+    Router.wait router;
+    prerr_endline "draining...";
+    Router.stop router;
+    print_endline (Router.stats_payload router);
+    `Ok ()
+
+let route () host port shards replicas hedge max_inflight queue_depth
+    timeout_ms metrics_port =
+  match
+    let endpoints =
+      String.split_on_char ',' shards
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map Router.endpoint_of_string
+    in
+    Router.groups_of_endpoints ~replicas endpoints
+  with
+  | exception Invalid_argument msg -> `Error (false, msg)
+  | [] -> `Error (false, "--shards needs at least one endpoint")
+  | groups ->
+    run_router
+      {
+        Router.default_config with
+        Router.host;
+        port;
+        groups;
+        hedge;
+        max_inflight;
+        queue_depth;
+        default_deadline_ms = timeout_ms;
+        metrics_port;
+      }
+
+let route_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind the front socket.")
+  in
+  let port =
+    Arg.(
+      value & opt int 4104
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Front TCP port (0 picks an ephemeral port).")
+  in
+  let shards =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "shards" ] ~docv:"EP,EP,..."
+          ~doc:
+            "Comma-separated shard endpoints ($(i,HOST:PORT) or bare \
+             $(i,PORT)).  With --replicas K, each run of 1+K endpoints is \
+             one shard, primary first.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int Router.default_config.Router.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Worker threads routing requests concurrently.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int Router.default_config.Router.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission slots beyond the workers; past that, requests get \
+             an immediate BUSY.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline, forwarded to the shards.")
+  in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Also serve plain-HTTP GET /metrics and /metrics.json on this \
+             port (0 picks an ephemeral port).")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Scatter-gather router over running blas servers: the ordinary \
+          wire protocol on the front; consistent-hash document routing, \
+          range-partition merging, hedged reads, per-shard circuit \
+          breakers and replica fan-out of updates on the back.")
+    Term.(
+      ret
+        (const route $ logs_term $ host $ port $ shards $ replicas_arg
+       $ hedge_arg $ max_inflight $ queue_depth $ timeout_ms $ metrics_port))
+
+(* Wait until a freshly spawned shard answers PING (it binds its port
+   on startup, but give the process a moment to get there). *)
+let wait_for_shard ~host ~port ~attempts =
+  let rec go n =
+    match
+      Blas_server.Client.with_client ~host port (fun c ->
+          Blas_server.Client.raw c "PING")
+    with
+    | _ -> true
+    | exception _ ->
+      if n <= 0 then false
+      else begin
+        Unix.sleepf 0.1;
+        go (n - 1)
+      end
+  in
+  go attempts
+
+let cluster () host port shards replicas docs_dir base_port hedge jobs
+    allow_sleep group_commit_ms metrics_port =
+  if shards < 1 then `Error (false, "--shards must be >= 1")
+  else if replicas < 0 then `Error (false, "--replicas must be >= 0")
+  else begin
+    let exe = Sys.executable_name in
+    let children = ref [] in
+    let spawn ~name ~shard_port ~index =
+      let args =
+        [
+          exe; "serve"; "--docs"; docs_dir; "--host"; host;
+          "--port"; string_of_int shard_port;
+          "--name"; name;
+          "--shard"; Printf.sprintf "%d/%d" index shards;
+          "--jobs"; string_of_int jobs;
+          "--group-commit-ms"; string_of_float group_commit_ms;
+        ]
+        @ (if allow_sleep then [ "--allow-sleep" ] else [])
+      in
+      let pid =
+        Unix.create_process exe (Array.of_list args) Unix.stdin Unix.stdout
+          Unix.stderr
+      in
+      children := (pid, name) :: !children;
+      pid
+    in
+    let kill_children () =
+      List.iter
+        (fun (pid, _) -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+        !children;
+      List.iter
+        (fun (pid, _) -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !children
+    in
+    match
+      (* Shard k's endpoints occupy ports base..base+replicas; every
+         process hosts the --shard k/N slice of the same directory. *)
+      let groups =
+        List.init shards (fun k ->
+            let base = base_port + (k * (1 + replicas)) in
+            let eps =
+              List.init (1 + replicas) (fun i ->
+                  let name =
+                    if i = 0 then Printf.sprintf "shard-%d" k
+                    else Printf.sprintf "shard-%d-r%d" k i
+                  in
+                  let shard_port = base + i in
+                  let pid = spawn ~name ~shard_port ~index:k in
+                  Printf.printf "%s pid %d on %s:%d\n%!" name pid host
+                    shard_port;
+                  { Router.host; Router.port = shard_port })
+            in
+            match eps with
+            | primary :: replicas -> { Router.primary; replicas }
+            | [] -> assert false)
+      in
+      List.iter
+        (fun { Router.primary; replicas } ->
+          List.iter
+            (fun (ep : Router.endpoint) ->
+              if
+                not
+                  (wait_for_shard ~host:ep.Router.host ~port:ep.Router.port
+                     ~attempts:100)
+              then
+                failwith
+                  (Printf.sprintf "shard on %s:%d did not come up"
+                     ep.Router.host ep.Router.port))
+            (primary :: replicas))
+        groups;
+      groups
+    with
+    | exception Failure msg ->
+      kill_children ();
+      `Error (false, msg)
+    | exception Unix.Unix_error (e, _, arg) ->
+      kill_children ();
+      `Error
+        ( false,
+          Printf.sprintf "cannot spawn shards: %s%s" (Unix.error_message e)
+            (if arg = "" then "" else " (" ^ arg ^ ")") )
+    | groups ->
+      let result =
+        run_router
+          {
+            Router.default_config with
+            Router.host;
+            port;
+            groups;
+            hedge;
+            metrics_port;
+          }
+      in
+      kill_children ();
+      result
+  end
+
+let cluster_cmd =
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address for the router and shards.")
+  in
+  let port =
+    Arg.(
+      value & opt int 4104
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Router front port.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 3
+      & info [ "shards" ] ~docv:"N" ~doc:"Number of shards to spawn.")
+  in
+  let docs_dir =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "docs" ] ~docv:"DIR"
+          ~doc:
+            "Document directory; the shards partition it by the cluster \
+             shard map (each hosts its own slice).")
+  in
+  let base_port =
+    Arg.(
+      value & opt int 4200
+      & info [ "base-port" ] ~docv:"PORT"
+          ~doc:
+            "First shard port; shard K's endpoints take ports \
+             base+K*(1+replicas) .. base+K*(1+replicas)+replicas.")
+  in
+  let allow_sleep =
+    Arg.(
+      value & flag
+      & info [ "allow-sleep" ]
+          ~doc:"Shards accept the debug SLEEP verb (tests and benchmarks only).")
+  in
+  let group_commit_ms =
+    Arg.(
+      value
+      & opt float Blas_server.Server.default_config.group_commit_ms
+      & info [ "group-commit-ms" ] ~docv:"MS"
+          ~doc:"Group-commit window forwarded to every shard.")
+  in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:"Router metrics HTTP port (0 picks an ephemeral port).")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "One-command local cluster: spawn N shard server processes over a \
+          partitioned document directory, then run the scatter-gather \
+          router in front of them (SIGTERM drains everything).")
+    Term.(
+      ret
+        (const cluster $ logs_term $ host $ port $ shards $ replicas_arg
+       $ docs_dir $ base_port $ hedge_arg $ jobs_arg $ allow_sleep
+       $ group_commit_ms $ metrics_port))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "BLAS: a bi-labeling based XPath processing system (SIGMOD 2004)" in
@@ -1226,6 +1634,8 @@ let () =
             cache_cmd;
             update_cmd;
             serve_cmd;
+            route_cmd;
+            cluster_cmd;
             connect_cmd;
             query_cmd;
           ]))

@@ -1,0 +1,136 @@
+(** An in-process cluster: N shard {!Blas_server.Server}s (each with
+    [replicas] extra read-replica servers hosting their own copies of
+    the same documents) plus one {!Router}, all on ephemeral loopback
+    ports — the harness behind the cluster tests and the [shards]
+    bench section.
+
+    Documents are provided as thunks because every replica needs its
+    own independent storage instance; placement follows
+    {!Shard_map.shard_of_doc}.  An optional [partition] entry
+    range-partitions one document: its chunk trees are placed by
+    hashing the chunk names, and the router reassembles the partition
+    from the names alone. *)
+
+module Server = Blas_server.Server
+
+type t = {
+  map : Shard_map.t;
+  servers : Server.t list;  (** every shard server, primaries first *)
+  shard_servers : Server.t array array;
+      (** [shard_servers.(k).(0)] is shard [k]'s primary *)
+  router : Router.t;
+}
+
+let router t = t.router
+
+let port t = Router.port t.router
+
+(** Documents hosted by shard [k]'s primary (replicas host copies). *)
+let shard_docs t k =
+  Blas_server.Service.names (Server.service t.shard_servers.(k).(0))
+
+(** Port of shard [k]'s endpoint [i] ([0] = primary) — for tests that
+    talk to a shard behind the router's back. *)
+let endpoint_port t k i = Server.port t.shard_servers.(k).(i)
+
+(** Stop shard [k]'s primary (failure injection; [stop] stays safe —
+    stopping a server twice is a no-op). *)
+let stop_primary t k = Server.stop t.shard_servers.(k).(0)
+
+(** [start ~shards ~docs ()] — spawn the shard servers and the router.
+
+    [docs] maps names to storage thunks (called once per hosting
+    server, so replicas get independent copies).  [partition] =
+    [(doc, tree, chunks)] adds one range-partitioned document.
+    [server_config] seeds every shard server (host/port/name are
+    overridden); [router_config] seeds the router (groups/port are
+    overridden, the hedge policy is kept). *)
+let start ?(vnodes = 64) ?(replicas = 0)
+    ?(server_config = Server.default_config)
+    ?(router_config = Router.default_config) ?partition ~shards ~docs () =
+  if shards < 1 then invalid_arg "Local.start: shards < 1";
+  if replicas < 0 then invalid_arg "Local.start: replicas < 0";
+  let map = Shard_map.create ~vnodes ~shards () in
+  let all_docs =
+    docs
+    @
+    match partition with
+    | None -> []
+    | Some (doc, tree, chunks) ->
+      List.map
+        (fun (name, piece) -> (name, fun () -> Blas.index_of_tree piece))
+        (Partition.split_named ~doc ~chunks tree)
+  in
+  let assigned k =
+    List.filter (fun (name, _) -> Shard_map.shard_of_doc map name = k) all_docs
+  in
+  let started = ref [] in
+  let cleanup () = List.iter Server.stop !started in
+  match
+    let shard_servers =
+      Array.init shards (fun k ->
+          let hosted = assigned k in
+          Array.init (1 + replicas) (fun i ->
+              let name =
+                if i = 0 then Printf.sprintf "shard-%d" k
+                else Printf.sprintf "shard-%d-r%d" k i
+              in
+              let server =
+                Server.start
+                  {
+                    server_config with
+                    Server.name;
+                    host = "127.0.0.1";
+                    port = 0;
+                  }
+                  ~docs:(List.map (fun (n, build) -> (n, build ())) hosted)
+              in
+              started := server :: !started;
+              server))
+    in
+    let groups =
+      Array.to_list
+        (Array.map
+           (fun group ->
+             match
+               Array.to_list
+                 (Array.map
+                    (fun s ->
+                      {
+                        Router.host = "127.0.0.1";
+                        Router.port = Server.port s;
+                      })
+                    group)
+             with
+             | primary :: replicas -> { Router.primary; replicas }
+             | [] -> assert false)
+           shard_servers)
+    in
+    let router =
+      Router.start
+        { router_config with Router.groups; host = "127.0.0.1"; port = 0 }
+    in
+    (shard_servers, router)
+  with
+  | shard_servers, router ->
+    {
+      map;
+      servers = List.rev !started;
+      shard_servers;
+      router;
+    }
+  | exception e ->
+    cleanup ();
+    raise e
+
+let stop t =
+  Router.stop t.router;
+  List.iter Server.stop t.servers
+
+let with_cluster ?vnodes ?replicas ?server_config ?router_config ?partition
+    ~shards ~docs f =
+  let t =
+    start ?vnodes ?replicas ?server_config ?router_config ?partition ~shards
+      ~docs ()
+  in
+  Fun.protect ~finally:(fun () -> stop t) (fun () -> f t)

@@ -1,0 +1,52 @@
+(** An in-process cluster — N shard servers (plus optional read
+    replicas hosting independent copies) and one router, on ephemeral
+    loopback ports.  The harness behind the cluster tests and the
+    [shards] bench section. *)
+
+type t
+
+val router : t -> Router.t
+
+(** The router's front port. *)
+val port : t -> int
+
+(** Documents hosted by shard [k]'s primary. *)
+val shard_docs : t -> int -> string list
+
+(** Port of shard [k]'s endpoint [i] ([0] = primary) — for tests that
+    talk to a shard behind the router's back. *)
+val endpoint_port : t -> int -> int -> int
+
+(** Stop shard [k]'s primary (failure injection; {!stop} stays safe). *)
+val stop_primary : t -> int -> unit
+
+(** [start ~shards ~docs ()] — spawn everything.  [docs] maps names to
+    storage thunks (called once per hosting server, so replicas get
+    independent copies); [partition = (doc, tree, chunks)] adds one
+    range-partitioned document whose chunks are placed by hashing their
+    names.  [server_config] seeds the shard servers (host/port/name
+    overridden); [router_config] seeds the router (groups/host/port
+    overridden). *)
+val start :
+  ?vnodes:int ->
+  ?replicas:int ->
+  ?server_config:Blas_server.Server.config ->
+  ?router_config:Router.config ->
+  ?partition:string * Blas_xml.Types.tree * int ->
+  shards:int ->
+  docs:(string * (unit -> Blas.Storage.t)) list ->
+  unit ->
+  t
+
+val stop : t -> unit
+
+val with_cluster :
+  ?vnodes:int ->
+  ?replicas:int ->
+  ?server_config:Blas_server.Server.config ->
+  ?router_config:Router.config ->
+  ?partition:string * Blas_xml.Types.tree * int ->
+  shards:int ->
+  docs:(string * (unit -> Blas.Storage.t)) list ->
+  (t -> 'a) ->
+  'a

@@ -1,0 +1,50 @@
+(** Merging scatter-gathered QUERY answers in document order.
+
+    Shard replies carry {!Blas_server.Service.payload_of_report} bytes
+    (["answers 0"], or ["answers N\n<starts>"] with the starts sorted
+    and unique).  The router parses each chunk's payload, maps
+    chunk-local starts back to original positions through the chunk's
+    uniform shift ([1 -> 1] for the shared partition root, [s ->
+    s + offset] otherwise), unions them, and re-renders the exact
+    payload format — so a routed reply is byte-identical to a
+    single-server run. *)
+
+(** [parse_answers payload] — the answer starts of a QUERY reply body;
+    [None] when the bytes are not a well-formed answer payload. *)
+let parse_answers payload =
+  match String.split_on_char '\n' payload with
+  | header :: rest -> (
+    match String.split_on_char ' ' header with
+    | [ "answers"; n ] -> (
+      match (int_of_string_opt n, rest) with
+      | Some 0, [] -> Some []
+      | Some n, [ starts ] when n > 0 ->
+        let xs =
+          List.filter_map int_of_string_opt (String.split_on_char ' ' starts)
+        in
+        if List.length xs = n then Some xs else None
+      | _ -> None)
+    | _ -> None)
+  | [] -> None
+
+(** [render_answers starts] — the exact {!Service.payload_of_report}
+    bytes for an already sorted-unique start list. *)
+let render_answers = function
+  | [] -> "answers 0"
+  | starts ->
+    Printf.sprintf "answers %d\n%s" (List.length starts)
+      (String.concat " " (List.map string_of_int starts))
+
+(** [map_start ~offset s] — a chunk-local answer start in original
+    coordinates: the partition root keeps its position, everything
+    else shifts by the chunk's constant. *)
+let map_start ~offset s = if s = 1 then 1 else s + offset
+
+(** [merge per_chunk] — union of [(offset, starts)] chunk answers in
+    original coordinates, sorted and unique (the root, present in every
+    chunk that answers it, collapses to one entry). *)
+let merge per_chunk =
+  List.concat_map
+    (fun (offset, starts) -> List.map (map_start ~offset) starts)
+    per_chunk
+  |> List.sort_uniq compare

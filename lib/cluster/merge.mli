@@ -1,0 +1,19 @@
+(** Merging scatter-gathered QUERY answers in document order: parse
+    shard answer payloads, map chunk-local starts through the chunk's
+    uniform shift, union, and re-render byte-identical payload text. *)
+
+(** The answer starts of a QUERY reply body; [None] on malformed
+    bytes. *)
+val parse_answers : string -> int list option
+
+(** The exact {!Blas_server.Service.payload_of_report} bytes for an
+    already sorted-unique start list. *)
+val render_answers : int list -> string
+
+(** [map_start ~offset s] — [1] stays [1] (the shared partition root);
+    any other start shifts by [offset]. *)
+val map_start : offset:int -> int -> int
+
+(** Union of [(offset, starts)] chunk answers in original coordinates,
+    sorted and unique. *)
+val merge : (int * int list) list -> int list

@@ -1,0 +1,138 @@
+(** D-label interval range-partitioning of one oversized document
+    (the shard map's second placement mode).
+
+    A chunk is the partition root plus one {e contiguous} slice of its
+    children.  Positions are assigned by a dense token counter (every
+    start tag, end tag and text unit occupies one position, the root
+    starts at 1 — see {!Blas_xpath.Doc.of_tree}), so a chunk preserves
+    the relative spacing of every token inside its slice: chunk-local
+    labels differ from the original ones by a single per-chunk constant.
+    The router maps a chunk answer start [s] back with
+
+    {v  s = 1      -> 1           (the shared partition root)
+        s > 1      -> s + offset  (everything inside the slice)  v}
+
+    and because D-label intervals are nested-or-disjoint, every
+    non-root node lives in exactly one slice — the union of per-chunk
+    answers is the exact answer set (root deduplicated by the [s = 1]
+    rule).  The one caveat: a {e predicate on the partition root
+    itself} is evaluated against each chunk's partial child list, so
+    queries of the shape [/root\[p\]/rest] can under-select when [p]
+    and [rest] hold in different chunks (existential root predicates
+    whose answer {e is} the root stay exact — the union sees every
+    chunk's vote).  See DESIGN.md §17.
+
+    Offsets are computed empirically: both the original and each chunk
+    are labeled with {!Blas_xpath.Doc.of_tree} and the shift is read
+    off the first element of the slice, then cross-checked against the
+    last one. *)
+
+module Types = Blas_xml.Types
+
+(** [split ~chunks tree] — cut the root's child list into [chunks]
+    contiguous slices balanced by serialized byte size; returns each
+    chunk tree with the index of its first child in the original child
+    list.  Fewer slices come back when the root has fewer children.
+    @raise Invalid_argument when [chunks < 1] or the root is a text
+    node. *)
+let split ~chunks tree =
+  match tree with
+  | Types.Content _ -> invalid_arg "Partition.split: root is a text node"
+  | Types.Element (tag, children) ->
+    if chunks < 1 then invalid_arg "Partition.split: chunks < 1";
+    let n = List.length children in
+    let chunks = min chunks (max 1 n) in
+    if chunks = 1 then [ (tree, 0) ]
+    else begin
+      let weights =
+        Array.of_list (List.map Blas_xml.Printer.byte_size children)
+      in
+      let total = Array.fold_left ( + ) 0 weights in
+      (* Greedy: close a slice once its cumulative weight crosses the
+         ideal boundary, but never leave more slices than children. *)
+      let slices = ref [] and current = ref [] in
+      let first = ref 0 and acc = ref 0 and closed = ref 0 in
+      List.iteri
+        (fun i child ->
+          current := child :: !current;
+          acc := !acc + weights.(i);
+          let remaining_children = n - i - 1
+          and remaining_slices = chunks - !closed - 1 in
+          let boundary = total * (!closed + 1) / chunks in
+          if
+            remaining_slices > 0
+            && (!acc >= boundary || remaining_children <= remaining_slices)
+          then begin
+            slices := (List.rev !current, !first) :: !slices;
+            current := [];
+            first := i + 1;
+            incr closed
+          end)
+        children;
+      if !current <> [] then slices := (List.rev !current, !first) :: !slices;
+      List.rev_map
+        (fun (slice, first) -> (Types.Element (tag, slice), first))
+        !slices
+      |> List.rev
+    end
+
+(* The start position of the [i]-th element child of a document's root
+   (attribute children included — they are element nodes). *)
+let nth_child_start (doc : Blas_xpath.Doc.t) i =
+  (List.nth doc.Blas_xpath.Doc.root.Blas_xpath.Doc.children i)
+    .Blas_xpath.Doc.start
+
+(* Element-children ordinal of child index [i] in [children]: how many
+   element nodes precede position [i]. *)
+let element_ordinal children i =
+  let rec count acc j = function
+    | [] -> acc
+    | _ when j >= i -> acc
+    | Types.Element _ :: rest -> count (acc + 1) (j + 1) rest
+    | Types.Content _ :: rest -> count acc (j + 1) rest
+  in
+  count 0 0 children
+
+(** [offsets orig pieces] — the per-chunk label shift, one per piece of
+    {!split}: original start = chunk start + offset for every non-root
+    chunk node.  Chunks whose slice holds no element node get offset 0
+    (they can only ever answer the root).  The shift read off the first
+    element of each slice is cross-checked against the last one.
+    @raise Invalid_argument when the cross-check fails (the pieces do
+    not come from [orig]). *)
+let offsets orig pieces =
+  let odoc = Blas_xpath.Doc.of_tree orig in
+  let orig_children =
+    match orig with
+    | Types.Element (_, c) -> c
+    | Types.Content _ -> invalid_arg "Partition.offsets: root is a text node"
+  in
+  List.map
+    (fun (piece, first) ->
+      let pdoc = Blas_xpath.Doc.of_tree piece in
+      match pdoc.Blas_xpath.Doc.root.Blas_xpath.Doc.children with
+      | [] -> 0
+      | chunk_elems ->
+        let base = element_ordinal orig_children first in
+        let shift_at i =
+          nth_child_start odoc (base + i)
+          - (List.nth chunk_elems i).Blas_xpath.Doc.start
+        in
+        let offset = shift_at 0 in
+        let last = List.length chunk_elems - 1 in
+        if shift_at last <> offset then
+          invalid_arg "Partition.offsets: non-uniform shift (wrong original?)";
+        offset)
+    pieces
+
+(** [split_named ~doc ~chunks tree] — {!split} + {!offsets}, each chunk
+    named with {!Shard_map.chunk_name} so the partition reassembles
+    from document listings alone. *)
+let split_named ~doc ~chunks tree =
+  let pieces = split ~chunks tree in
+  let offs = offsets tree pieces in
+  List.map2
+    (fun (piece, _) (index, offset) ->
+      (Shard_map.chunk_name ~doc ~index ~offset, piece))
+    pieces
+    (List.mapi (fun i o -> (i, o)) offs)

@@ -1,0 +1,29 @@
+(** D-label interval range-partitioning of one oversized document: a
+    chunk is the partition root plus one contiguous slice of its
+    children, and chunk-local labels differ from the original by a
+    single per-chunk constant (see the implementation header for the
+    uniform-shift argument and the root-predicate caveat, and
+    DESIGN.md §17 for the exactness discussion). *)
+
+(** [split ~chunks tree] — contiguous child slices balanced by
+    serialized byte size, each with the index of its first child in the
+    original child list.  May return fewer than [chunks] pieces.
+    @raise Invalid_argument when [chunks < 1] or the root is a text
+    node. *)
+val split :
+  chunks:int -> Blas_xml.Types.tree -> (Blas_xml.Types.tree * int) list
+
+(** [offsets orig pieces] — the per-chunk label shift (original start =
+    chunk start + offset for non-root nodes), computed empirically by
+    labeling both sides and cross-checked on the slice's last element.
+    @raise Invalid_argument when the cross-check fails. *)
+val offsets :
+  Blas_xml.Types.tree -> (Blas_xml.Types.tree * int) list -> int list
+
+(** [split_named ~doc ~chunks tree] — {!split} + {!offsets}, each chunk
+    under its self-describing {!Shard_map.chunk_name}. *)
+val split_named :
+  doc:string ->
+  chunks:int ->
+  Blas_xml.Types.tree ->
+  (string * Blas_xml.Types.tree) list

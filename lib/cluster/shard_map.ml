@@ -1,0 +1,125 @@
+(** The cluster's shard map: which shard owns which document.
+
+    Whole documents are placed by consistent hashing of the document
+    name over a virtual-node ring, so adding a shard moves only ~1/n of
+    the documents.  One oversized document may instead be
+    range-partitioned over the D-label interval: its chunks are hosted
+    as ordinary documents whose {e names} carry the partition metadata
+    (logical name, chunk index, D-label start offset), so a router can
+    reassemble the partition from nothing but the shards' HELLO
+    listings. *)
+
+(* 64-bit FNV-1a: deterministic across processes (unlike [Hashtbl.hash]
+   seeds under randomization) and well distributed for short names. *)
+let hash64 s =
+  let h = ref (-3750763034362895579L) (* 0xcbf29ce484222325 *) in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 1099511628211L (* 0x100000001b3 *))
+    s;
+  !h
+
+type t = {
+  shards : int;
+  points : (int64 * int) array;  (** (ring point, shard), sorted unsigned *)
+}
+
+let create ?(vnodes = 64) ~shards () =
+  if shards < 1 then invalid_arg "Shard_map.create: shards < 1";
+  if vnodes < 1 then invalid_arg "Shard_map.create: vnodes < 1";
+  let points =
+    Array.init (shards * vnodes) (fun i ->
+        let shard = i / vnodes and v = i mod vnodes in
+        (hash64 (Printf.sprintf "shard-%d-vnode-%d" shard v), shard))
+  in
+  Array.sort (fun (a, _) (b, _) -> Int64.unsigned_compare a b) points;
+  { shards; points }
+
+let shards t = t.shards
+
+(** [shard_of_doc t name] — the shard owning [name]: the first ring
+    point clockwise of the name's hash, wrapping. *)
+let shard_of_doc t name =
+  if t.shards = 1 then 0
+  else begin
+    let h = hash64 name in
+    let n = Array.length t.points in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    snd t.points.(if !lo = n then 0 else !lo)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Range partitioning: chunk naming                                   *)
+
+type chunk = {
+  ck_doc : string;  (** the chunk's full document name on its shard *)
+  ck_index : int;  (** position in the partition, from 0 *)
+  ck_offset : int;
+      (** original start = chunk-local start + offset, for every
+          non-root node of the chunk (see {!Partition}) *)
+}
+
+type partition = { pt_doc : string; pt_chunks : chunk list }
+
+let chunk_name ~doc ~index ~offset =
+  Printf.sprintf "%s#%d@%d" doc index offset
+
+let parse_chunk_name name =
+  match String.rindex_opt name '#' with
+  | None -> None
+  | Some i -> (
+    let doc = String.sub name 0 i in
+    let rest = String.sub name (i + 1) (String.length name - i - 1) in
+    match String.index_opt rest '@' with
+    | None -> None
+    | Some j -> (
+      let index = String.sub rest 0 j
+      and offset = String.sub rest (j + 1) (String.length rest - j - 1) in
+      match (int_of_string_opt index, int_of_string_opt offset) with
+      | Some index, Some offset when doc <> "" && index >= 0 ->
+        Some (doc, { ck_doc = name; ck_index = index; ck_offset = offset })
+      | _ -> None))
+
+(** [assemble names] — split a flat document listing into range
+    partitions (grouped by logical name, chunks sorted by index) and
+    plain documents.  A partition's chunk indexes must be exactly
+    [0..n-1] — a hole means a chunk is missing from the cluster.
+    @raise Invalid_argument on an incomplete partition. *)
+let assemble names =
+  let parts : (string, chunk list ref) Hashtbl.t = Hashtbl.create 7 in
+  let plain =
+    List.filter
+      (fun name ->
+        match parse_chunk_name name with
+        | None -> true
+        | Some (doc, chunk) ->
+          (match Hashtbl.find_opt parts doc with
+          | Some l -> l := chunk :: !l
+          | None -> Hashtbl.add parts doc (ref [ chunk ]));
+          false)
+      names
+  in
+  let partitions =
+    Hashtbl.fold
+      (fun doc chunks acc ->
+        let chunks =
+          List.sort (fun a b -> compare a.ck_index b.ck_index) !chunks
+        in
+        List.iteri
+          (fun i c ->
+            if c.ck_index <> i then
+              invalid_arg
+                (Printf.sprintf
+                   "Shard_map.assemble: partition %S misses chunk %d (found %d)"
+                   doc i c.ck_index))
+          chunks;
+        { pt_doc = doc; pt_chunks = chunks } :: acc)
+      parts []
+  in
+  (List.sort (fun a b -> compare a.pt_doc b.pt_doc) partitions, plain)

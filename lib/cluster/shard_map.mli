@@ -1,0 +1,45 @@
+(** The cluster's shard map: consistent hashing of document names over
+    a virtual-node ring, plus the naming convention that lets one
+    oversized document be range-partitioned over the D-label interval
+    (its chunks are ordinary documents whose names carry the partition
+    metadata). *)
+
+(** Deterministic 64-bit FNV-1a (stable across processes). *)
+val hash64 : string -> int64
+
+type t
+
+(** [create ?vnodes ~shards ()] — a ring with [vnodes] points per shard
+    (default 64).
+    @raise Invalid_argument when [shards < 1] or [vnodes < 1]. *)
+val create : ?vnodes:int -> shards:int -> unit -> t
+
+val shards : t -> int
+
+(** The shard owning a document name: first ring point clockwise of the
+    name's hash. *)
+val shard_of_doc : t -> string -> int
+
+(** One chunk of a range-partitioned document. *)
+type chunk = {
+  ck_doc : string;  (** the chunk's full document name on its shard *)
+  ck_index : int;  (** position in the partition, from 0 *)
+  ck_offset : int;
+      (** original start = chunk-local start + offset for every
+          non-root node of the chunk (see {!Partition}) *)
+}
+
+type partition = { pt_doc : string; pt_chunks : chunk list }
+
+(** ["doc#index@offset"] — the self-describing chunk name. *)
+val chunk_name : doc:string -> index:int -> offset:int -> string
+
+(** Inverse of {!chunk_name}: [Some (logical_doc, chunk)], or [None]
+    for a plain document name. *)
+val parse_chunk_name : string -> (string * chunk) option
+
+(** [assemble names] — group chunk-named documents into partitions
+    (chunks sorted by index) and return the plain names alongside.
+    @raise Invalid_argument when a partition's indexes are not exactly
+    [0..n-1] (a chunk is missing from the cluster). *)
+val assemble : string list -> partition list * string list

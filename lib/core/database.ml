@@ -672,6 +672,9 @@ let open_ ?(cache_pages = default_cache_pages) ?(stripes = 1) ~mode ~path () =
         dk_set_metrics =
           (fun registry ~labels -> Store.set_metrics db.store registry ~labels);
         dk_with_tx = (fun f -> with_tx db f);
+        dk_set_group_commit =
+          (fun ~window_ms -> Store.set_group_commit db.store ~window_ms);
+        dk_sync_commits = (fun () -> Store.sync_pending db.store);
         dk_checkpoint = (fun () -> Store.checkpoint db.store);
         dk_close = (fun () -> Store.close db.store);
         dk_crash = (fun () -> Store.crash db.store);

@@ -104,10 +104,12 @@ let clear_memo () =
 
 let doc_name path = Filename.remove_extension (Filename.basename path)
 
-(** [load_dir ?rw ?cache_pages dir] — every [*.xml] / [*.blas] /
+(** [load_dir ?rw ?cache_pages ?keep dir] — every [*.xml] / [*.blas] /
     [*.blasdb] file of [dir] as a named document list, sorted by name;
-    errors name the failing file. *)
-let load_dir ?rw ?cache_pages dir =
+    errors name the failing file.  [keep] filters by document name
+    BEFORE loading — a sharded server must not even open (and lock)
+    files it does not host. *)
+let load_dir ?rw ?cache_pages ?(keep = fun _ -> true) dir =
   match Sys.readdir dir with
   | exception Sys_error msg -> Error msg
   | entries ->
@@ -117,6 +119,7 @@ let load_dir ?rw ?cache_pages dir =
              Filename.check_suffix f ".xml"
              || Filename.check_suffix f ".blas"
              || Filename.check_suffix f ".blasdb")
+      |> List.filter (fun f -> keep (doc_name f))
       |> List.sort compare
     in
     let rec go acc = function

@@ -10,12 +10,15 @@
 val load :
   ?rw:bool -> ?cache_pages:int -> string -> (Storage.t, string) result
 
-(** [load_dir ?rw ?cache_pages dir] — every [*.xml] / [*.blas] /
+(** [load_dir ?rw ?cache_pages ?keep dir] — every [*.xml] / [*.blas] /
     [*.blasdb] file of [dir] as a named document list (basename without
-    extension), sorted by name. *)
+    extension), sorted by name.  [keep] filters by document name before
+    the file is opened (sharded servers must not lock files they do
+    not host). *)
 val load_dir :
   ?rw:bool ->
   ?cache_pages:int ->
+  ?keep:(string -> bool) ->
   string ->
   ((string * Storage.t) list, string) result
 

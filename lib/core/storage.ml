@@ -77,6 +77,13 @@ type disk = {
     (unit -> Blas_update.Update_engine.report) ->
     Blas_update.Update_engine.report;
       (** wrap one update in a WAL-protected transaction *)
+  dk_set_group_commit : window_ms:float -> unit;
+      (** enable (positive window) or disable (zero) deferred-durability
+          group commit on the underlying store *)
+  dk_sync_commits : unit -> unit;
+      (** block until every deferred commit is durable — the serving
+          layer calls this after releasing the document's write lock so
+          concurrent updates share one WAL fsync *)
   dk_checkpoint : unit -> unit;
   dk_close : unit -> unit;
   dk_crash : unit -> unit;

@@ -36,6 +36,8 @@ type io = {
   io_checkpoint_ns : int;
   io_page_reads : int;
   io_page_read_ns : int;
+  io_group_commits : int;  (** commits that deferred their fsync *)
+  io_group_saved_fsyncs : int;  (** fsyncs avoided by batching *)
 }
 
 (* Optional event-time histogram handles (durations want a
@@ -53,16 +55,42 @@ type tx = {
   mutable tx_count : int;  (** page count including in-tx allocations *)
 }
 
+(** Committed-but-unapplied state layered over the pager.  Read-only
+    opens build one from the WAL; group commit parks deferred
+    transactions here until the shared fsync applies them to the main
+    file.  The record is swapped atomically (never mutated while
+    readers can see it concurrently): commits mutate it only under the
+    document's exclusive write lock, and the group flush publishes a
+    fresh empty snapshot only after the pager holds every page, so a
+    racing reader sees correct bytes through either snapshot. *)
+type snapshot = {
+  ov_pages : (int, string) Hashtbl.t;
+  mutable ov_root : string option;
+  mutable ov_count : int option;
+}
+
+let empty_snapshot () =
+  { ov_pages = Hashtbl.create 16; ov_root = None; ov_count = None }
+
 type t = {
   pager : Pager.t;
   wal : Wal.t option;  (** [None] in read-only mode *)
-  overlay : (int, string) Hashtbl.t;  (** committed-but-unapplied (Ro) *)
-  mutable overlay_root : string option;
-  mutable overlay_count : int option;
+  overlay : snapshot Atomic.t;  (** committed-but-unapplied *)
   mutable tx : tx option;
   mutable bulk : bool;  (** initial load: direct writes, no WAL *)
   checkpoint_bytes : int;
   mutable closed : bool;
+  (* Group commit: when [group_window_ns > 0], {!commit} defers its
+     fsync and main-file apply; {!sync_pending} batches the durability
+     work across commits under [glock]. *)
+  mutable group_window_ns : int;
+  glock : Mutex.t;
+  gcond : Condition.t;
+  mutable g_seq : int;  (** deferred commits issued *)
+  mutable g_synced : int;  (** deferred commits made durable *)
+  mutable g_leader : bool;  (** a sync leader is sleeping the window *)
+  mutable st_group_commits : int;
+  mutable st_group_saved : int;
   (* I/O totals.  Page reads race across query domains (the buffer
      pool's stripes read through concurrently), so they are atomics;
      commits and checkpoints serialize on the database tx lock. *)
@@ -117,13 +145,19 @@ let open_path ?(checkpoint_bytes = default_checkpoint_bytes) ~path ~mode () =
       {
         pager;
         wal = Some wal;
-        overlay = Hashtbl.create 16;
-        overlay_root = None;
-        overlay_count = None;
+        overlay = Atomic.make (empty_snapshot ());
         tx = None;
         bulk = false;
         checkpoint_bytes;
         closed = false;
+        group_window_ns = 0;
+        glock = Mutex.create ();
+        gcond = Condition.create ();
+        g_seq = 0;
+        g_synced = 0;
+        g_leader = false;
+        st_group_commits = 0;
+        st_group_saved = 0;
         st_page_reads = Atomic.make 0;
         st_page_read_ns = Atomic.make 0;
         st_commits = 0;
@@ -132,19 +166,17 @@ let open_path ?(checkpoint_bytes = default_checkpoint_bytes) ~path ~mode () =
         st_obs = None;
       }
   | Ro ->
-      let overlay = Hashtbl.create 16 in
-      let overlay_root = ref None in
-      let overlay_count = ref None in
+      let snap = empty_snapshot () in
       (match Wal.open_ro_opt ~db_path:path with
       | None -> ()
       | Some wal ->
           let n =
             Wal.replay wal ~apply:(fun ~pages ~root ~count ->
                 List.iter
-                  (fun (id, payload) -> Hashtbl.replace overlay id payload)
+                  (fun (id, payload) -> Hashtbl.replace snap.ov_pages id payload)
                   pages;
-                (match root with None -> () | Some r -> overlay_root := Some r);
-                overlay_count := Some count)
+                (match root with None -> () | Some r -> snap.ov_root <- Some r);
+                snap.ov_count <- Some count)
           in
           if n > 0 then
             Disk_log.Log.info (fun m ->
@@ -153,13 +185,19 @@ let open_path ?(checkpoint_bytes = default_checkpoint_bytes) ~path ~mode () =
       {
         pager;
         wal = None;
-        overlay;
-        overlay_root = !overlay_root;
-        overlay_count = !overlay_count;
+        overlay = Atomic.make snap;
         tx = None;
         bulk = false;
         checkpoint_bytes;
         closed = false;
+        group_window_ns = 0;
+        glock = Mutex.create ();
+        gcond = Condition.create ();
+        g_seq = 0;
+        g_synced = 0;
+        g_leader = false;
+        st_group_commits = 0;
+        st_group_saved = 0;
         st_page_reads = Atomic.make 0;
         st_page_read_ns = Atomic.make 0;
         st_commits = 0;
@@ -178,13 +216,19 @@ let create ?(checkpoint_bytes = default_checkpoint_bytes) ~path ~page_size () =
   {
     pager;
     wal = Some wal;
-    overlay = Hashtbl.create 16;
-    overlay_root = None;
-    overlay_count = None;
+    overlay = Atomic.make (empty_snapshot ());
     tx = None;
     bulk = false;
     checkpoint_bytes;
     closed = false;
+    group_window_ns = 0;
+    glock = Mutex.create ();
+    gcond = Condition.create ();
+    g_seq = 0;
+    g_synced = 0;
+    g_leader = false;
+    st_group_commits = 0;
+    st_group_saved = 0;
     st_page_reads = Atomic.make 0;
     st_page_read_ns = Atomic.make 0;
     st_commits = 0;
@@ -214,6 +258,8 @@ let io_totals t =
     io_checkpoint_ns = t.st_checkpoint_ns;
     io_page_reads = Atomic.get t.st_page_reads;
     io_page_read_ns = Atomic.get t.st_page_read_ns;
+    io_group_commits = t.st_group_commits;
+    io_group_saved_fsyncs = t.st_group_saved;
   }
 
 (** [set_metrics t registry ~labels] installs event-time duration
@@ -233,7 +279,7 @@ let page_count t =
   match t.tx with
   | Some tx -> tx.tx_count
   | None -> (
-      match t.overlay_count with
+      match (Atomic.get t.overlay).ov_count with
       | Some n -> n
       | None -> Pager.count t.pager)
 
@@ -241,7 +287,9 @@ let root t =
   match t.tx with
   | Some { tx_root = Some r; _ } -> r
   | _ -> (
-      match t.overlay_root with Some r -> r | None -> Pager.root t.pager)
+      match (Atomic.get t.overlay).ov_root with
+      | Some r -> r
+      | None -> Pager.root t.pager)
 
 let read_page t id =
   let from_tx =
@@ -250,7 +298,7 @@ let read_page t id =
   match from_tx with
   | Some payload -> payload
   | None -> (
-      match Hashtbl.find_opt t.overlay id with
+      match Hashtbl.find_opt (Atomic.get t.overlay).ov_pages id with
       | Some payload -> payload
       | None ->
           let t0 = Blas_obs.Clock.now_ns () in
@@ -271,7 +319,9 @@ let begin_tx t =
         writes = Hashtbl.create 64;
         order = [];
         tx_root = None;
-        tx_count = Pager.count t.pager;
+        (* The effective count: a group-commit overlay may hold pages
+           past what the pager has applied. *)
+        tx_count = page_count t;
       }
 
 let require_tx t what =
@@ -314,11 +364,10 @@ let set_root t root =
     tx.tx_root <- Some root
   end
 
-let checkpoint t =
+let checkpoint_locked t =
   match t.wal with
   | None -> ()
   | Some wal ->
-      if t.tx <> None then invalid_arg "Store.checkpoint: transaction open";
       let t0 = Blas_obs.Clock.now_ns () in
       Pager.sync t.pager;
       Wal.reset wal;
@@ -329,6 +378,101 @@ let checkpoint t =
       | Some ob -> Obs_metrics.observe ob.ob_checkpoint_ns (float_of_int dt)
       | None -> ())
 
+(* Make every deferred commit durable with one WAL fsync, then apply
+   the overlay to the main file and publish a fresh empty snapshot.
+   Caller holds [glock].  Pager writes happen before the snapshot swap,
+   so a reader racing the swap reads correct bytes either way (the
+   atomic swap orders the plain pager writes for other domains). *)
+let flush_pending_locked t =
+  if t.g_seq > t.g_synced then begin
+    let wal =
+      match t.wal with Some w -> w | None -> assert false (* deferred ⇒ Rw *)
+    in
+    let batch = t.g_seq - t.g_synced in
+    let _, fsync_ns0 = Wal.fsync_totals wal in
+    Wal.fsync wal;
+    (match t.st_obs with
+    | Some ob ->
+        let _, fsync_ns1 = Wal.fsync_totals wal in
+        Obs_metrics.observe ob.ob_fsync_ns
+          (float_of_int (fsync_ns1 - fsync_ns0))
+    | None -> ());
+    let snap = Atomic.get t.overlay in
+    Hashtbl.iter (fun id payload -> Pager.write_page t.pager id payload)
+      snap.ov_pages;
+    (match snap.ov_root with None -> () | Some r -> Pager.set_root t.pager r);
+    (match snap.ov_count with None -> () | Some n -> Pager.set_count t.pager n);
+    Pager.flush_superblock t.pager;
+    Atomic.set t.overlay (empty_snapshot ());
+    t.g_synced <- t.g_seq;
+    t.st_group_saved <- t.st_group_saved + (batch - 1);
+    if Wal.size wal > t.checkpoint_bytes then checkpoint_locked t
+  end
+
+(** [set_group_commit t ~window_ms] turns group commit on (positive
+    window) or off (zero).  With a window set, {!commit} becomes
+    deferred-durable: it logs the transaction without fsync and parks
+    its pages in the overlay; callers must invoke {!sync_pending}
+    before acknowledging the update. *)
+let set_group_commit t ~window_ms =
+  if window_ms < 0. then invalid_arg "Store.set_group_commit: negative window";
+  t.group_window_ns <- int_of_float (window_ms *. 1e6);
+  if t.group_window_ns = 0 then begin
+    (* Turning the window off must not strand deferred commits. *)
+    Mutex.lock t.glock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.glock)
+      (fun () -> flush_pending_locked t)
+  end
+
+(** Deferred commits not yet made durable (test/introspection hook). *)
+let pending_commits t =
+  Mutex.lock t.glock;
+  let n = t.g_seq - t.g_synced in
+  Mutex.unlock t.glock;
+  n
+
+(** Block until every deferred commit issued so far is durable.  The
+    first waiter becomes the leader: it sleeps the group window so
+    later updates can pile in, then flushes the whole batch with a
+    single WAL fsync; followers just wait for the broadcast.  No-op
+    when group commit is off or nothing is pending. *)
+let sync_pending t =
+  Mutex.lock t.glock;
+  let target = t.g_seq in
+  let rec wait () =
+    if t.g_synced >= target then ()
+    else if t.g_leader then begin
+      Condition.wait t.gcond t.glock;
+      wait ()
+    end
+    else begin
+      t.g_leader <- true;
+      let window = float_of_int t.group_window_ns /. 1e9 in
+      Mutex.unlock t.glock;
+      if window > 0. then Unix.sleepf window;
+      Mutex.lock t.glock;
+      flush_pending_locked t;
+      t.g_leader <- false;
+      Condition.broadcast t.gcond;
+      wait ()
+    end
+  in
+  wait ();
+  Mutex.unlock t.glock
+
+let checkpoint t =
+  if t.tx <> None then invalid_arg "Store.checkpoint: transaction open";
+  match t.wal with
+  | None -> ()
+  | Some _ ->
+      Mutex.lock t.glock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.glock)
+        (fun () ->
+          flush_pending_locked t;
+          checkpoint_locked t)
+
 let commit t =
   let tx = require_tx t "commit" in
   let wal =
@@ -338,26 +482,49 @@ let commit t =
     List.rev_map (fun id -> (id, Hashtbl.find tx.writes id)) tx.order
   in
   (* 1. Force to log.  The root is always included — even unchanged —
-     so that a torn superblock can be rebuilt from the WAL alone. *)
-  let root =
-    match tx.tx_root with Some r -> Some r | None -> Some (Pager.root t.pager)
-  in
-  let _, fsync_ns0 = Wal.fsync_totals wal in
-  Wal.append_tx wal ~pages ~root ~count:tx.tx_count;
-  t.st_commits <- t.st_commits + 1;
-  (match t.st_obs with
-  | Some ob ->
-      let _, fsync_ns1 = Wal.fsync_totals wal in
-      Obs_metrics.observe ob.ob_fsync_ns (float_of_int (fsync_ns1 - fsync_ns0))
-  | None -> ());
-  (* 2. Apply to the main file; the fsync'd WAL redoes this on crash. *)
-  List.iter (fun (id, payload) -> Pager.write_page t.pager id payload) pages;
-  (match tx.tx_root with None -> () | Some r -> Pager.set_root t.pager r);
-  Pager.set_count t.pager tx.tx_count;
-  Pager.flush_superblock t.pager;
-  t.tx <- None;
-  (* 3. Bound the WAL. *)
-  if Wal.size wal > t.checkpoint_bytes then checkpoint t
+     so that a torn superblock can be rebuilt from the WAL alone.  The
+     effective root is used: with group commit a newer root may still
+     be sitting in the overlay. *)
+  let root = match tx.tx_root with Some r -> Some r | None -> Some (root t) in
+  if t.group_window_ns > 0 then begin
+    (* Deferred durability: log without fsync and park the pages in the
+       overlay; the main file stays untouched until the group flush so
+       the no-steal invariant (WAL fsync before main-file apply) holds.
+       The snapshot is mutated in place — safe because updates hold the
+       document's exclusive lock, so no reader races these writes. *)
+    Mutex.lock t.glock;
+    Wal.append_tx wal ~sync:false ~pages ~root ~count:tx.tx_count;
+    let snap = Atomic.get t.overlay in
+    List.iter
+      (fun (id, payload) -> Hashtbl.replace snap.ov_pages id payload)
+      pages;
+    (match tx.tx_root with None -> () | Some r -> snap.ov_root <- Some r);
+    snap.ov_count <- Some tx.tx_count;
+    t.g_seq <- t.g_seq + 1;
+    t.st_commits <- t.st_commits + 1;
+    t.st_group_commits <- t.st_group_commits + 1;
+    Mutex.unlock t.glock;
+    t.tx <- None
+  end
+  else begin
+    let _, fsync_ns0 = Wal.fsync_totals wal in
+    Wal.append_tx wal ~pages ~root ~count:tx.tx_count;
+    t.st_commits <- t.st_commits + 1;
+    (match t.st_obs with
+    | Some ob ->
+        let _, fsync_ns1 = Wal.fsync_totals wal in
+        Obs_metrics.observe ob.ob_fsync_ns
+          (float_of_int (fsync_ns1 - fsync_ns0))
+    | None -> ());
+    (* 2. Apply to the main file; the fsync'd WAL redoes this on crash. *)
+    List.iter (fun (id, payload) -> Pager.write_page t.pager id payload) pages;
+    (match tx.tx_root with None -> () | Some r -> Pager.set_root t.pager r);
+    Pager.set_count t.pager tx.tx_count;
+    Pager.flush_superblock t.pager;
+    t.tx <- None;
+    (* 3. Bound the WAL. *)
+    if Wal.size wal > t.checkpoint_bytes then checkpoint t
+  end
 
 let abort t =
   match t.tx with
@@ -400,8 +567,13 @@ let close t =
     (match t.wal with
     | Some wal ->
         if t.tx <> None then abort t;
-        (* Make the main file self-contained so a later read-only open
-           needs no WAL overlay. *)
+        (* Deferred commits become durable before the WAL is reset, and
+           the main file is made self-contained so a later read-only
+           open needs no WAL overlay. *)
+        Mutex.lock t.glock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock t.glock)
+          (fun () -> flush_pending_locked t);
         Pager.sync t.pager;
         Wal.reset wal;
         Wal.close wal

@@ -145,9 +145,19 @@ let timed_fsync t =
 (** Commit-path fsyncs so far: count and total monotonic nanoseconds. *)
 let fsync_totals t = (t.fsyncs, t.fsync_ns)
 
+(** Force everything appended so far to disk.  Group commit appends
+    several transactions with [~sync:false] and then issues one of
+    these for the whole batch. *)
+let fsync t =
+  if not t.writable then invalid_arg "Wal.fsync: read-only";
+  timed_fsync t
+
 (** Appends a whole transaction (page images, optional root, commit
-    marker carrying the new page count) as one write, then fsyncs. *)
-let append_tx t ~pages ~root ~count =
+    marker carrying the new page count) as one write, then fsyncs.
+    [~sync:false] skips the fsync so a later {!fsync} can cover a batch
+    of transactions at once — the caller must not acknowledge the
+    commit until that fsync has run. *)
+let append_tx ?(sync = true) t ~pages ~root ~count =
   if not t.writable then invalid_arg "Wal.append_tx: read-only";
   let buf = Buffer.create 4096 in
   List.iter (fun (id, payload) -> add_record buf (Page (id, payload))) pages;
@@ -155,7 +165,7 @@ let append_tx t ~pages ~root ~count =
   add_record buf (Commit count);
   let s = Buffer.contents buf in
   Io.pwrite t.fd ~off:t.pos s;
-  timed_fsync t;
+  if sync then timed_fsync t;
   t.pos <- t.pos + String.length s
 
 (** [replay t ~apply] scans the log and calls [apply] once per fully

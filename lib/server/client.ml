@@ -23,7 +23,10 @@ let parse_endpoint s =
 let connect ?(host = "127.0.0.1") port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
-     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     (* Requests are small and latency-bound; never trade a round trip
+        for Nagle coalescing. *)
+     Unix.setsockopt fd Unix.TCP_NODELAY true
    with e ->
      Unix.close fd;
      raise e);
@@ -90,13 +93,55 @@ let timeseries t =
 
 let trace_get t id = request t (Proto.Trace_get id)
 
-let query ?deadline_ms ?(trace = false) t ~doc ~translator ~engine xpath =
+let hello t name =
+  match request t (Proto.Hello name) with
+  | Proto.Ok_payload p -> (
+    match String.split_on_char '\n' p with
+    | first :: docs -> (
+      match String.split_on_char ' ' first with
+      | [ "shard"; shard ] -> (shard, List.filter (fun d -> d <> "") docs)
+      | _ -> failwith ("malformed HELLO payload: " ^ first))
+    | [] -> failwith "empty HELLO payload")
+  | reply -> failwith ("unexpected HELLO reply: " ^ Proto.reply_to_string reply)
+
+(* Optional trace headers shared by the request wrappers: [?trace]
+   arms an inline trace; [?trace_id]/[?trace_bg] arm the id-carrying
+   forms the router uses on its shard hops. *)
+let send_trace_headers t ~trace ~trace_id ~trace_bg =
   if trace then send_line t (Proto.command_to_line Proto.Trace_hdr);
+  (match trace_id with
+  | Some id -> send_line t (Proto.command_to_line (Proto.Trace_id id))
+  | None -> ());
+  match trace_bg with
+  | Some id -> send_line t (Proto.command_to_line (Proto.Trace_bg id))
+  | None -> ()
+
+let query ?deadline_ms ?(trace = false) ?trace_id ?trace_bg t ~doc ~translator
+    ~engine xpath =
+  send_trace_headers t ~trace ~trace_id ~trace_bg;
   request ?deadline_ms t (Proto.Query { doc; translator; engine; xpath })
 
-let update ?deadline_ms ?(trace = false) t ~doc edit =
-  if trace then send_line t (Proto.command_to_line Proto.Trace_hdr);
+let update ?deadline_ms ?(trace = false) ?trace_id ?trace_bg t ~doc edit =
+  send_trace_headers t ~trace ~trace_id ~trace_bg;
   request ?deadline_ms t (Proto.Update { doc; edit })
+
+(** [updatex t ~doc edit] — UPDATE returning the invalidation record
+    alongside the ordinary payload (see [Proto.Updatex]). *)
+let updatex ?deadline_ms ?trace_bg t ~doc edit =
+  send_trace_headers t ~trace:false ~trace_id:None ~trace_bg;
+  match request ?deadline_ms t (Proto.Updatex { doc; edit }) with
+  | Proto.Ok_payload p -> (
+    match String.index_opt p '\n' with
+    | None -> (Proto.Ok_payload p, None)
+    | Some i ->
+      let inv = Proto.invalidation_of_string (String.sub p 0 i) in
+      let rest = String.sub p (i + 1) (String.length p - i - 1) in
+      (Proto.Ok_payload rest, inv))
+  | reply -> (reply, None)
+
+let inval ?deadline_ms t ~doc inv =
+  request ?deadline_ms t
+    (Proto.Inval { doc; payload = Proto.invalidation_to_string inv })
 
 let sleep ?deadline_ms t ms = request ?deadline_ms t (Proto.Sleep ms)
 

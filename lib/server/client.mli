@@ -48,12 +48,21 @@ val timeseries : t -> string
     unknown). *)
 val trace_get : t -> string -> Proto.reply
 
+(** [hello t name] — the HELLO handshake: announce [name], return the
+    peer's announced identity and its hosted document names. *)
+val hello : t -> string -> string * string list
+
 (** [~trace:true] sends a [TRACE] header first: the [OK] payload is
     then the JSON object [{trace_id; payload; trace}] instead of the
-    plain answer text. *)
+    plain answer text.  [~trace_id] fixes the id ([TRACE ID]);
+    [~trace_bg] stores the trace server-side under the id while the
+    reply payload stays plain ([TRACE BG] — the router's fan-out
+    form). *)
 val query :
   ?deadline_ms:int ->
   ?trace:bool ->
+  ?trace_id:string ->
+  ?trace_bg:string ->
   t ->
   doc:string ->
   translator:Blas.translator ->
@@ -62,7 +71,31 @@ val query :
   Proto.reply
 
 val update :
-  ?deadline_ms:int -> ?trace:bool -> t -> doc:string -> Proto.edit -> Proto.reply
+  ?deadline_ms:int ->
+  ?trace:bool ->
+  ?trace_id:string ->
+  ?trace_bg:string ->
+  t ->
+  doc:string ->
+  Proto.edit ->
+  Proto.reply
+
+(** [updatex t ~doc edit] — UPDATE through the [UPDATEX] verb: on
+    success the returned reply carries the ordinary UPDATE payload and
+    the snd component the parsed §11 invalidation record the server
+    prefixed (router → replica fan-out material). *)
+val updatex :
+  ?deadline_ms:int ->
+  ?trace_bg:string ->
+  t ->
+  doc:string ->
+  Proto.edit ->
+  Proto.reply * Blas.Update.invalidation option
+
+(** [inval t ~doc inv] — push an invalidation into [doc]'s query cache
+    on the peer (the INVAL verb). *)
+val inval :
+  ?deadline_ms:int -> t -> doc:string -> Blas.Update.invalidation -> Proto.reply
 
 (** Debug servers only (see [allow_sleep]). *)
 val sleep : ?deadline_ms:int -> t -> int -> Proto.reply

@@ -13,15 +13,29 @@
       METRICS JSON
       DEADLINE <ms>                          (header: applies to the next command)
       TRACE                                  (header: trace the next QUERY / UPDATE)
+      TRACE ID <id>                          (header: trace under the given id)
+      TRACE BG <id>                          (header: record-only trace — plain reply)
       TRACE GET <id>                         (a recent trace by id)
+      HELLO <name>                           (handshake: the caller identifies itself)
       QUERY <doc> <translator> <engine> <xpath...>
       UPDATE <doc> INSERT <parent> <pos> <xml...>
       UPDATE <doc> DELETE <start>
       UPDATE <doc> RETEXT <start> [text...]
+      UPDATEX <doc> <INSERT|DELETE|RETEXT> ...  (reply prefixed with the invalidation)
+      INVAL <doc> <invalidation>             (apply a pushed cache invalidation)
       SLEEP <ms>                             (debug builds only)
       QUIT
       SHUTDOWN
     v}
+
+    [TRACE BG] is the router's fan-out form: the shard stores the trace
+    in its ring under the given id (retrievable with [TRACE GET]) but
+    replies with the plain payload, so scatter-gather merging still sees
+    byte-identical answer frames.  [UPDATEX] is UPDATE whose reply's
+    first line is the serialized §11 invalidation record (see
+    {!invalidation_to_string}); the router strips it, pushes it to read
+    replicas with [INVAL], and forwards the remaining lines — the
+    ordinary UPDATE payload — to the client.
 
     {b Replies} are a status line, length-prefixed when they carry a
     payload so clients never have to guess where a multi-line body
@@ -60,7 +74,11 @@ type command =
   | Metrics of [ `Prom | `Json ]  (** registry exposition *)
   | Deadline of int  (** header: a deadline in ms for the next command *)
   | Trace_hdr  (** header: trace the next QUERY / UPDATE *)
+  | Trace_id of string  (** header: trace the next command under this id *)
+  | Trace_bg of string
+      (** header: record-only trace — store under this id, plain reply *)
   | Trace_get of string  (** a recent trace by id *)
+  | Hello of string  (** handshake: the caller identifies itself *)
   | Query of {
       doc : string;
       translator : Blas.translator;
@@ -68,6 +86,10 @@ type command =
       xpath : string;
     }
   | Update of { doc : string; edit : edit }
+  | Updatex of { doc : string; edit : edit }
+      (** UPDATE whose reply leads with the invalidation record *)
+  | Inval of { doc : string; payload : string }
+      (** push a serialized invalidation into [doc]'s query cache *)
   | Sleep of int  (** debug: hold a worker for [ms] (deadline-checked) *)
   | Quit
   | Shutdown
@@ -129,9 +151,9 @@ let int_arg name s =
 
 let ( let* ) = Result.bind
 
-let parse_update doc rest =
+let parse_edit ~kw rest =
   match split_n rest 1 with
-  | None -> Error "UPDATE: missing edit verb"
+  | None -> Error (kw ^ ": missing edit verb")
   | Some ([ verb ], rest) -> (
     match String.uppercase_ascii verb with
     | "INSERT" -> (
@@ -139,14 +161,15 @@ let parse_update doc rest =
       | Some ([ parent; pos ], xml) when String.trim xml <> "" ->
         let* parent = int_arg "parent" parent in
         let* pos = int_arg "pos" pos in
-        Ok (Update { doc; edit = Insert { parent; pos; xml = String.trim xml } })
-      | _ -> Error "usage: UPDATE <doc> INSERT <parent> <pos> <xml>")
+        Ok (Insert { parent; pos; xml = String.trim xml })
+      | _ ->
+        Error (Printf.sprintf "usage: %s <doc> INSERT <parent> <pos> <xml>" kw))
     | "DELETE" -> (
       match split_n rest 1 with
       | Some ([ start ], rest) when String.trim rest = "" ->
         let* start = int_arg "start" start in
-        Ok (Update { doc; edit = Delete { start } })
-      | _ -> Error "usage: UPDATE <doc> DELETE <start>")
+        Ok (Delete { start })
+      | _ -> Error (Printf.sprintf "usage: %s <doc> DELETE <start>" kw))
     | "RETEXT" -> (
       match split_n rest 1 with
       | Some ([ start ], data) ->
@@ -154,10 +177,10 @@ let parse_update doc rest =
         let data =
           match String.trim data with "" -> None | s -> Some s
         in
-        Ok (Update { doc; edit = Retext { start; data } })
-      | _ -> Error "usage: UPDATE <doc> RETEXT <start> [text]")
-    | other -> Error (Printf.sprintf "UPDATE: unknown edit verb %S" other))
-  | Some _ -> Error "UPDATE: missing edit verb"
+        Ok (Retext { start; data })
+      | _ -> Error (Printf.sprintf "usage: %s <doc> RETEXT <start> [text]" kw))
+    | other -> Error (Printf.sprintf "%s: unknown edit verb %S" kw other))
+  | Some _ -> Error (kw ^ ": missing edit verb")
 
 (** [parse_command line] — the request grammar above; the error is the
     human-readable message an [ERR] reply carries. *)
@@ -184,7 +207,16 @@ let parse_command line =
       | Some ([ sub ], id)
         when String.uppercase_ascii sub = "GET" && String.trim id <> "" ->
         Ok (Trace_get (String.trim id))
-      | _ -> Error "usage: TRACE [GET <id>]")
+      | Some ([ sub ], id)
+        when String.uppercase_ascii sub = "ID" && String.trim id <> "" ->
+        Ok (Trace_id (String.trim id))
+      | Some ([ sub ], id)
+        when String.uppercase_ascii sub = "BG" && String.trim id <> "" ->
+        Ok (Trace_bg (String.trim id))
+      | _ -> Error "usage: TRACE [GET|ID|BG <id>]")
+    | "HELLO", name when name <> "" && not (String.contains name ' ') ->
+      Ok (Hello name)
+    | "HELLO", _ -> Error "usage: HELLO <name>"
     | "QUIT", "" -> Ok Quit
     | "SHUTDOWN", "" -> Ok Shutdown
     | "DEADLINE", ms ->
@@ -206,10 +238,31 @@ let parse_command line =
       | _ -> Error "usage: QUERY <doc> <translator> <engine> <xpath>")
     | "UPDATE", _ -> (
       match split_n rest 1 with
-      | Some ([ doc ], rest) -> parse_update doc rest
+      | Some ([ doc ], rest) ->
+        let* edit = parse_edit ~kw:"UPDATE" rest in
+        Ok (Update { doc; edit })
       | _ -> Error "usage: UPDATE <doc> <INSERT|DELETE|RETEXT> ...")
+    | "UPDATEX", _ -> (
+      match split_n rest 1 with
+      | Some ([ doc ], rest) ->
+        let* edit = parse_edit ~kw:"UPDATEX" rest in
+        Ok (Updatex { doc; edit })
+      | _ -> Error "usage: UPDATEX <doc> <INSERT|DELETE|RETEXT> ...")
+    | "INVAL", _ -> (
+      match split_n rest 1 with
+      | Some ([ doc ], payload) when String.trim payload <> "" ->
+        Ok (Inval { doc; payload = String.trim payload })
+      | _ -> Error "usage: INVAL <doc> <invalidation>")
     | other, _ -> Error (Printf.sprintf "unknown command %S" other))
   | Some _ -> Error "empty request"
+
+let edit_to_line kw doc = function
+  | Insert { parent; pos; xml } ->
+    Printf.sprintf "%s %s INSERT %d %d %s" kw doc parent pos xml
+  | Delete { start } -> Printf.sprintf "%s %s DELETE %d" kw doc start
+  | Retext { start; data } ->
+    Printf.sprintf "%s %s RETEXT %d%s" kw doc start
+      (match data with None -> "" | Some s -> " " ^ s)
 
 (** [command_to_line c] — the wire form, newline excluded (the client's
     send adds it). *)
@@ -224,20 +277,92 @@ let command_to_line = function
   | Shutdown -> "SHUTDOWN"
   | Deadline ms -> Printf.sprintf "DEADLINE %d" ms
   | Trace_hdr -> "TRACE"
+  | Trace_id id -> "TRACE ID " ^ id
+  | Trace_bg id -> "TRACE BG " ^ id
   | Trace_get id -> "TRACE GET " ^ id
+  | Hello name -> "HELLO " ^ name
   | Sleep ms -> Printf.sprintf "SLEEP %d" ms
   | Query { doc; translator; engine; xpath } ->
     Printf.sprintf "QUERY %s %s %s %s" doc
       (translator_to_string translator)
       (engine_to_string engine) xpath
-  | Update { doc; edit } -> (
-    match edit with
-    | Insert { parent; pos; xml } ->
-      Printf.sprintf "UPDATE %s INSERT %d %d %s" doc parent pos xml
-    | Delete { start } -> Printf.sprintf "UPDATE %s DELETE %d" doc start
-    | Retext { start; data } ->
-      Printf.sprintf "UPDATE %s RETEXT %d%s" doc start
-        (match data with None -> "" | Some s -> " " ^ s))
+  | Update { doc; edit } -> edit_to_line "UPDATE" doc edit
+  | Updatex { doc; edit } -> edit_to_line "UPDATEX" doc edit
+  | Inval { doc; payload } -> Printf.sprintf "INVAL %s %s" doc payload
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation records on the wire                                    *)
+
+(** [invalidation_to_string inv] — one space-free-field line:
+    [full=<0|1> schema=<0|1> drange=<lo:hi|-> plabels=<p,p,...|->].
+    P-labels are decimal bignums, so the encoding is exact. *)
+let invalidation_to_string (inv : Blas.Update.invalidation) =
+  Printf.sprintf "full=%d schema=%d drange=%s plabels=%s"
+    (if inv.Blas.Update.inv_full then 1 else 0)
+    (if inv.Blas.Update.inv_schema_changed then 1 else 0)
+    (match inv.Blas.Update.inv_drange with
+    | None -> "-"
+    | Some (lo, hi) -> Printf.sprintf "%d:%d" lo hi)
+    (match inv.Blas.Update.inv_plabels with
+    | [] -> "-"
+    | ps -> String.concat "," (List.map Blas_label.Bignum.to_string ps))
+
+(** Inverse of {!invalidation_to_string}; [None] on malformed input. *)
+let invalidation_of_string s =
+  let field name tok =
+    let prefix = name ^ "=" in
+    let pl = String.length prefix in
+    if String.length tok > pl && String.sub tok 0 pl = prefix then
+      Some (String.sub tok pl (String.length tok - pl))
+    else None
+  in
+  match String.split_on_char ' ' (String.trim s) with
+  | [ f; sc; dr; pl ] -> (
+    match (field "full" f, field "schema" sc, field "drange" dr,
+           field "plabels" pl)
+    with
+    | Some f, Some sc, Some dr, Some pl -> (
+      let bool_of = function
+        | "0" -> Some false
+        | "1" -> Some true
+        | _ -> None
+      in
+      let drange_of = function
+        | "-" -> Some None
+        | s -> (
+          match String.index_opt s ':' with
+          | None -> None
+          | Some i -> (
+            match
+              ( int_of_string_opt (String.sub s 0 i),
+                int_of_string_opt
+                  (String.sub s (i + 1) (String.length s - i - 1)) )
+            with
+            | Some lo, Some hi -> Some (Some (lo, hi))
+            | _ -> None))
+      in
+      let plabels_of = function
+        | "-" -> Some []
+        | s -> (
+          try
+            Some
+              (List.map Blas_label.Bignum.of_string
+                 (String.split_on_char ',' s))
+          with Invalid_argument _ -> None)
+      in
+      match (bool_of f, bool_of sc, drange_of dr, plabels_of pl) with
+      | Some inv_full, Some inv_schema_changed, Some inv_drange,
+        Some inv_plabels ->
+        Some
+          {
+            Blas.Update.inv_full;
+            inv_schema_changed;
+            inv_plabels;
+            inv_drange;
+          }
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Bounded line IO over a file descriptor                             *)

@@ -5,11 +5,14 @@
     {v
       PING | LIST | STATS | QUIT | SHUTDOWN
       STATS TIMESERIES | METRICS | METRICS JSON
-      DEADLINE <ms> | TRACE | TRACE GET <id>
+      DEADLINE <ms> | TRACE | TRACE ID <id> | TRACE BG <id> | TRACE GET <id>
+      HELLO <name>
       QUERY <doc> <translator> <engine> <xpath...>
       UPDATE <doc> INSERT <parent> <pos> <xml...>
       UPDATE <doc> DELETE <start>
       UPDATE <doc> RETEXT <start> [text...]
+      UPDATEX <doc> <INSERT|DELETE|RETEXT> ...
+      INVAL <doc> <invalidation>
       SLEEP <ms>
     v}
 
@@ -32,7 +35,12 @@ type command =
   | Metrics of [ `Prom | `Json ]  (** registry exposition *)
   | Deadline of int  (** header: deadline in ms for the next command *)
   | Trace_hdr  (** header: trace the next QUERY / UPDATE *)
+  | Trace_id of string  (** header: trace the next command under this id *)
+  | Trace_bg of string
+      (** header: record-only trace — stored under this id, plain reply
+          (the router's fan-out form: merging needs answer frames) *)
   | Trace_get of string  (** a recent trace by id *)
+  | Hello of string  (** handshake: the caller identifies itself *)
   | Query of {
       doc : string;
       translator : Blas.translator;
@@ -40,6 +48,11 @@ type command =
       xpath : string;
     }
   | Update of { doc : string; edit : edit }
+  | Updatex of { doc : string; edit : edit }
+      (** UPDATE whose reply's first line is the serialized §11
+          invalidation record (router → replica fan-out material) *)
+  | Inval of { doc : string; payload : string }
+      (** apply a pushed invalidation to [doc]'s query cache *)
   | Sleep of int  (** debug servers only: hold a worker for [ms] *)
   | Quit
   | Shutdown
@@ -63,6 +76,15 @@ val parse_command : string -> (command, string) result
 
 (** The wire form of a command, newline excluded. *)
 val command_to_line : command -> string
+
+(** [invalidation_to_string inv] — one-line exact encoding of a §11
+    precise invalidation record
+    ([full=<0|1> schema=<0|1> drange=<lo:hi|-> plabels=<p,p,...|->]);
+    what [UPDATEX] replies lead with and [INVAL] carries. *)
+val invalidation_to_string : Blas.Update.invalidation -> string
+
+(** Inverse of {!invalidation_to_string}; [None] on malformed input. *)
+val invalidation_of_string : string -> Blas.Update.invalidation option
 
 (** Bounded line IO over a socket — [input_line] on a channel would
     buffer an unbounded hostile line. *)

@@ -27,6 +27,7 @@ let log_src = Logs.Src.create "blas_server" ~doc:"BLAS network server"
 module Log = (val Logs.src_log log_src)
 
 type config = {
+  name : string;  (** identity announced in the HELLO handshake *)
   host : string;
   port : int;  (** 0 picks an ephemeral port (see {!port}) *)
   max_inflight : int;  (** worker threads executing requests *)
@@ -34,6 +35,8 @@ type config = {
   default_deadline_ms : int option;  (** per-request budget; [None] = none *)
   jobs : int;  (** domain-pool lanes for query execution *)
   cache : bool;  (** per-document semantic query cache *)
+  group_commit_ms : float;
+      (** batch WAL fsyncs for UPDATEs within this window; 0 = off *)
   allow_sleep : bool;  (** accept the debug SLEEP verb (tests, bench) *)
   metrics_port : int option;
       (** plain-HTTP [GET /metrics] listener; 0 picks an ephemeral port
@@ -47,6 +50,7 @@ type config = {
 
 let default_config =
   {
+    name = "blas";
     host = "127.0.0.1";
     port = 4004;
     max_inflight = 4;
@@ -54,6 +58,7 @@ let default_config =
     default_deadline_ms = None;
     jobs = 1;
     cache = true;
+    group_commit_ms = 0.;
     allow_sleep = false;
     metrics_port = None;
     slow_ms = None;
@@ -261,6 +266,12 @@ let refresh_gauges t =
         Blas_obs.Metrics.set_counter
           (counter "blas.disk.page.reads")
           io.Blas_disk.Store.io_page_reads;
+        Blas_obs.Metrics.set_counter
+          (counter "blas.disk.group.commits")
+          io.Blas_disk.Store.io_group_commits;
+        Blas_obs.Metrics.set_counter
+          (counter "blas.disk.group.saved_fsyncs")
+          io.Blas_disk.Store.io_group_saved_fsyncs;
         Blas_obs.Metrics.set
           (gauge "blas.disk.wal.backlog_bytes")
           (float_of_int (dk.Blas.Storage.dk_wal_bytes ())))
@@ -372,19 +383,34 @@ let slow_record ~verb ~detail ~elapsed_ns ~queue_ns ~(info : Service.info)
           else Blas_obs.Json.Str trace_id );
       ])
 
+(* How a request is traced, set by the one-shot TRACE headers:
+   [`Inline] (and [`Inline_id], which fixes the id — routers derive
+   per-shard ids from the client's) replace the reply payload with the
+   JSON trace envelope; [`Bg] stores the trace in the ring under the
+   given id but leaves the reply payload untouched, so a router
+   fanning out sub-queries still merges plain answer frames. *)
+type trace_mode =
+  [ `Off | `Inline | `Inline_id of string | `Bg of string ]
+
 (* Runs one admitted QUERY / UPDATE body with the request-scoped
-   observability around it: a fresh per-request tracer when the TRACE
+   observability around it: a fresh per-request tracer when a TRACE
    header opted in (worker threads share one domain, so a shared tracer
    would interleave concurrent requests into one tree), the queue wait
    recorded from the admission stamp, the slow-log gate, and — when
-   traced — the span tree both stored in the ring and returned inline
-   as the JSON payload. *)
-let traced_request t ~traced ~verb ~queue_ns ~detail f =
+   traced — the span tree stored in the ring and (inline modes only)
+   returned as the JSON payload. *)
+let traced_request t ~(trace : trace_mode) ~verb ~queue_ns ~detail f =
+  let traced = trace <> `Off in
   let tracer =
     if traced then Blas_obs.Trace.create ~enabled:true ()
     else Blas_obs.Trace.disabled
   in
-  let trace_id = if traced then Blas_obs.Trace.fresh_id () else "" in
+  let trace_id =
+    match trace with
+    | `Off -> ""
+    | `Inline -> Blas_obs.Trace.fresh_id ()
+    | `Inline_id id | `Bg id -> id
+  in
   let t0 = now_ns () in
   let reply, info =
     Blas_obs.Trace.with_span tracer "request"
@@ -402,24 +428,27 @@ let traced_request t ~traced ~verb ~queue_ns ~detail f =
     t.slowlog;
   if not traced then reply
   else begin
-    (* The traced payload replaces the plain one; untraced requests keep
-       byte-identical replies (the soak tests compare them). *)
+    (* In the inline modes the traced payload replaces the plain one;
+       untraced and background-traced requests keep byte-identical
+       replies (the soak tests and the router's merge compare them). *)
     let with_trace rest =
       Blas_obs.Json.to_string
         (Blas_obs.Json.Obj
            (("trace_id", Blas_obs.Json.Str trace_id)
            :: (rest @ [ ("trace", Blas_obs.Trace.to_json tracer) ])))
     in
-    match reply with
-    | Proto.Ok_payload payload ->
-      let body = with_trace [ ("payload", Blas_obs.Json.Str payload) ] in
-      store_trace t trace_id body;
-      Proto.Ok_payload body
-    | other ->
-      store_trace t trace_id
-        (with_trace
-           [ ("outcome", Blas_obs.Json.Str (outcome_of_reply other)) ]);
-      other
+    let body =
+      match reply with
+      | Proto.Ok_payload payload ->
+        with_trace [ ("payload", Blas_obs.Json.Str payload) ]
+      | other ->
+        with_trace [ ("outcome", Blas_obs.Json.Str (outcome_of_reply other)) ]
+    in
+    store_trace t trace_id body;
+    match trace with
+    | `Bg _ -> reply
+    | _ -> (
+      match reply with Proto.Ok_payload _ -> Proto.Ok_payload body | other -> other)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -465,11 +494,12 @@ let handle_connection t fd =
     header := None;
     h
   in
-  (* The one-shot TRACE header: consumed by the next QUERY / UPDATE. *)
-  let trace_next = ref false in
+  (* The one-shot TRACE header (possibly id-carrying or record-only):
+     consumed by the next QUERY / UPDATE. *)
+  let trace_next = ref (`Off : trace_mode) in
   let take_trace () =
     let v = !trace_next in
-    trace_next := false;
+    trace_next := `Off;
     v
   in
   let rec loop () =
@@ -509,7 +539,23 @@ let handle_connection t fd =
           loop ()
         | Proto.Trace_hdr ->
           (* A header, not a request: no reply frame. *)
-          trace_next := true;
+          trace_next := `Inline;
+          loop ()
+        | Proto.Trace_id id ->
+          trace_next := `Inline_id id;
+          loop ()
+        | Proto.Trace_bg id ->
+          trace_next := `Bg id;
+          loop ()
+        | Proto.Hello peer ->
+          Log.debug (fun m -> m "HELLO from %s" peer);
+          Proto.write_reply io
+            (Proto.Ok_payload
+               (Printf.sprintf "shard %s\n%s" t.config.name
+                  (Service.list_payload t.service)));
+          loop ()
+        | Proto.Inval { doc; payload } ->
+          Proto.write_reply io (Service.invalidate t.service ~doc payload);
           loop ()
         | Proto.Trace_get id ->
           (match find_trace t id with
@@ -532,11 +578,11 @@ let handle_connection t fd =
                (fun ~token ~queue_ns:_ -> sleep_job t ms ~token));
           loop ()
         | Proto.Query { doc; translator; engine; xpath } ->
-          let traced = take_trace () in
+          let trace = take_trace () in
           Proto.write_reply io
             (admitted t ~verb:"query" ~header_ms:(take_header ())
                (fun ~token ~queue_ns ->
-                 traced_request t ~traced ~verb:"query" ~queue_ns
+                 traced_request t ~trace ~verb:"query" ~queue_ns
                    ~detail:
                      [
                        ("doc", doc);
@@ -549,14 +595,34 @@ let handle_connection t fd =
                        ~translator ~engine xpath)));
           loop ()
         | Proto.Update { doc; edit } ->
-          let traced = take_trace () in
+          let trace = take_trace () in
           Proto.write_reply io
             (admitted t ~verb:"update" ~header_ms:(take_header ())
                (fun ~token:_ ~queue_ns ->
-                 traced_request t ~traced ~verb:"update" ~queue_ns
+                 traced_request t ~trace ~verb:"update" ~queue_ns
                    ~detail:[ ("doc", doc) ]
                    (fun ~tracer ->
                      Service.update_info t.service ~tracer ~doc edit)));
+          loop ()
+        | Proto.Updatex { doc; edit } ->
+          let trace = take_trace () in
+          Proto.write_reply io
+            (admitted t ~verb:"update" ~header_ms:(take_header ())
+               (fun ~token:_ ~queue_ns ->
+                 traced_request t ~trace ~verb:"update" ~queue_ns
+                   ~detail:[ ("doc", doc) ]
+                   (fun ~tracer ->
+                     let reply, info, inv =
+                       Service.update_full t.service ~tracer ~doc edit
+                     in
+                     (* The reply's first line is the invalidation the
+                        router pushes to read replicas. *)
+                     match (reply, inv) with
+                     | Proto.Ok_payload payload, Some inv ->
+                       ( Proto.Ok_payload
+                           (Proto.invalidation_to_string inv ^ "\n" ^ payload),
+                         info )
+                     | _ -> (reply, info))));
           loop ()))
   in
   (try loop () with
@@ -597,6 +663,11 @@ let accept_loop t =
         (* The connection socket itself stays blocking; {!stop} wakes
            parked reads with [Unix.shutdown], which does interrupt. *)
         Unix.clear_nonblock fd;
+        (* Replies are written as header + payload; without TCP_NODELAY
+           Nagle holds the second write for the peer's delayed ACK and
+           every round trip costs ~40 ms. *)
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
         let thread = Thread.create (fun () -> handle_connection t fd) () in
         Mutex.lock t.lock;
         t.conns <- (fd, thread) :: t.conns;
@@ -706,7 +777,10 @@ let start ?(registry = Blas_obs.Metrics.create ()) config ~docs =
     if config.jobs > 1 then Some (Blas.Par.create ~domains:config.jobs)
     else None
   in
-  let service = Service.create ?pool:owned_pool ~cache:config.cache docs in
+  let service =
+    Service.create ?pool:owned_pool ~cache:config.cache
+      ~group_commit_ms:config.group_commit_ms docs
+  in
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in

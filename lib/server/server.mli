@@ -4,6 +4,7 @@
     reader–writer discipline via {!Service}, and a graceful drain. *)
 
 type config = {
+  name : string;  (** identity announced in the HELLO handshake *)
   host : string;
   port : int;  (** 0 picks an ephemeral port (see {!port}) *)
   max_inflight : int;  (** worker threads executing requests *)
@@ -11,6 +12,10 @@ type config = {
   default_deadline_ms : int option;  (** per-request budget; [None] = none *)
   jobs : int;  (** domain-pool lanes for query execution *)
   cache : bool;  (** per-document semantic query cache *)
+  group_commit_ms : float;
+      (** batch WAL fsyncs for UPDATEs arriving within this window on
+          the same document (each reply still waits for durability);
+          0 = every commit fsyncs synchronously *)
   allow_sleep : bool;  (** accept the debug SLEEP verb (tests, bench) *)
   metrics_port : int option;
       (** plain-HTTP [GET /metrics] listener; 0 picks an ephemeral port
@@ -23,8 +28,8 @@ type config = {
 }
 
 (** 127.0.0.1:4004, 4 workers, queue 16, no deadline, [-j 1], cache on,
-    SLEEP off, no HTTP metrics listener, no slow log, 1 s time-series
-    samples over 120 slots, 64 recent traces. *)
+    group commit off, SLEEP off, no HTTP metrics listener, no slow log,
+    1 s time-series samples over 120 slots, 64 recent traces. *)
 val default_config : config
 
 type t

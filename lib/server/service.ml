@@ -20,11 +20,22 @@ type t = {
   pool : Blas.Par.t option;  (** shared execution pool ([-j N]) *)
 }
 
-(** [create ?pool ?cache docs] — host [docs] (caching on by default:
-    a resident server is exactly the repeated-workload case the
-    semantic cache exists for). *)
-let create ?pool ?(cache = true) docs =
+(** [create ?pool ?cache ?group_commit_ms docs] — host [docs] (caching
+    on by default: a resident server is exactly the repeated-workload
+    case the semantic cache exists for).  A positive [group_commit_ms]
+    puts every disk-backed document's store into deferred-durability
+    mode: concurrent UPDATE verbs inside the window share one WAL
+    fsync (each reply still waits for its commit to be durable). *)
+let create ?pool ?(cache = true) ?(group_commit_ms = 0.) docs =
   List.iter (fun (_, s) -> Blas.Storage.set_cache_enabled s cache) docs;
+  if group_commit_ms > 0. then
+    List.iter
+      (fun (_, s) ->
+        match Blas.Storage.disk s with
+        | Some dk when not dk.Blas.Storage.dk_readonly ->
+          dk.Blas.Storage.dk_set_group_commit ~window_ms:group_commit_ms
+        | _ -> ())
+      docs;
   {
     docs =
       List.map
@@ -193,15 +204,20 @@ let query_info t ~token ?(tracer = Blas_obs.Trace.disabled) ~doc ~translator
 let query t ~token ~doc ~translator ~engine xpath =
   fst (query_info t ~token ~doc ~translator ~engine xpath)
 
-(** [update_info t ~doc edit] — apply one edit under the exclusive
+(** [update_full t ~doc edit] — apply one edit under the exclusive
     lock.  Updates are not cancellable mid-flight: label maintenance
     must never be torn, and edits are short.  With an enabled [tracer]
-    the lock wait and WAL I/O are recorded. *)
-let update_info t ?(tracer = Blas_obs.Trace.disabled) ~doc (edit : Proto.edit)
+    the lock wait and WAL I/O are recorded.  Returns the reply, the
+    request info, and — on success — the §11 invalidation record (the
+    router fans it out to read replicas).  Durability of a deferred
+    (group-commit) transaction is waited for {e after} the write lock
+    is released, so updates arriving within the window can batch their
+    WAL fsyncs instead of serializing on them. *)
+let update_full t ?(tracer = Blas_obs.Trace.disabled) ~doc (edit : Proto.edit)
     =
   match find t doc with
-  | None -> (unknown_doc t doc, no_info)
-  | Some d -> (
+  | None -> (unknown_doc t doc, no_info, None)
+  | Some d ->
     let apply () =
       match edit with
       | Proto.Insert { parent; pos; xml } ->
@@ -218,25 +234,63 @@ let update_info t ?(tracer = Blas_obs.Trace.disabled) ~doc (edit : Proto.edit)
       ~attrs:[ ("mode", "write") ]
       ~name:"lock-wait" ~start_ns:t_lock ~duration_ns:lock_wait ();
     let info = { no_info with i_lock_wait_ns = lock_wait } in
-    Fun.protect ~finally:(fun () -> Rwlock.release_write d.lock) @@ fun () ->
-    let io0 = if Blas_obs.Trace.enabled tracer then disk_io d else None in
-    let t_run = Blas_obs.Clock.now_ns () in
-    match
-      Blas_obs.Trace.with_span tracer "apply"
-        ~attrs:[ ("doc", d.name) ]
-        apply
-    with
-    | report ->
-      record_wal_io tracer d io0 ~start_ns:t_run;
-      (Proto.Ok_payload (payload_of_update report d.storage), info)
-    | exception Invalid_argument msg -> (Proto.Err msg, info)
-    | exception Blas_xml.Types.Parse_error (pos, msg) ->
-      ( Proto.Err
-          (Printf.sprintf "%s at %s" msg
-             (Blas_xml.Types.position_to_string pos)),
-        info ))
+    let result =
+      Fun.protect ~finally:(fun () -> Rwlock.release_write d.lock)
+      @@ fun () ->
+      let io0 = if Blas_obs.Trace.enabled tracer then disk_io d else None in
+      let t_run = Blas_obs.Clock.now_ns () in
+      match
+        Blas_obs.Trace.with_span tracer "apply"
+          ~attrs:[ ("doc", d.name) ]
+          apply
+      with
+      | report ->
+        record_wal_io tracer d io0 ~start_ns:t_run;
+        ( Proto.Ok_payload (payload_of_update report d.storage),
+          info,
+          Some report.Blas.Update.invalidation )
+      | exception Invalid_argument msg -> (Proto.Err msg, info, None)
+      | exception Blas_xml.Types.Parse_error (pos, msg) ->
+        ( Proto.Err
+            (Printf.sprintf "%s at %s" msg
+               (Blas_xml.Types.position_to_string pos)),
+          info,
+          None )
+    in
+    (* Outside the write lock: wait for the (possibly batched) fsync
+       before acknowledging, so the durability contract of UPDATE is
+       unchanged while the fsyncs coalesce. *)
+    (match Blas.Storage.disk d.storage with
+    | Some dk -> dk.Blas.Storage.dk_sync_commits ()
+    | None -> ());
+    result
+
+let update_info t ?tracer ~doc (edit : Proto.edit) =
+  let reply, info, _ = update_full t ?tracer ~doc edit in
+  (reply, info)
 
 let update t ~doc (edit : Proto.edit) = fst (update_info t ~doc edit)
+
+(** [invalidate t ~doc payload] — the INVAL verb: apply a §11 precise
+    invalidation record (as serialized by {!Proto.invalidation_to_string})
+    to [doc]'s query cache.  Used by the router to push a primary's
+    invalidation to read replicas that serve the same document from a
+    shared or copied index. *)
+let invalidate t ~doc payload =
+  match find t doc with
+  | None -> unknown_doc t doc
+  | Some d -> (
+    match Proto.invalidation_of_string payload with
+    | None -> Proto.Err "malformed invalidation payload"
+    | Some (inv : Blas.Update.invalidation) ->
+      Rwlock.write d.lock (fun () ->
+          Blas.Cache.invalidate
+            (Blas.Storage.cache d.storage)
+            ~full:inv.Blas.Update.inv_full
+            ~schema_changed:inv.Blas.Update.inv_schema_changed
+            ~plabels:inv.Blas.Update.inv_plabels
+            ~drange:inv.Blas.Update.inv_drange);
+      Proto.Ok_payload "invalidated")
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                          *)
@@ -286,6 +340,10 @@ let disk_json storage =
             ("page_reads", Blas_obs.Json.Int io.Blas_disk.Store.io_page_reads);
             ( "page_read_ns",
               Blas_obs.Json.Int io.Blas_disk.Store.io_page_read_ns );
+            ( "group_commits",
+              Blas_obs.Json.Int io.Blas_disk.Store.io_group_commits );
+            ( "group_saved_fsyncs",
+              Blas_obs.Json.Int io.Blas_disk.Store.io_group_saved_fsyncs );
             ( "wal_backlog_bytes",
               Blas_obs.Json.Int st.Blas.Storage.dstat_wal_bytes );
           ] );

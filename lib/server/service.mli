@@ -7,11 +7,19 @@ type doc = { name : string; storage : Blas.Storage.t; lock : Rwlock.t }
 
 type t
 
-(** [create ?pool ?cache docs] — host [docs]; the per-storage semantic
-    query cache is enabled by default (a resident server is the
-    repeated-workload case it exists for). *)
+(** [create ?pool ?cache ?group_commit_ms docs] — host [docs]; the
+    per-storage semantic query cache is enabled by default (a resident
+    server is the repeated-workload case it exists for).  A positive
+    [group_commit_ms] puts every writable disk-backed document into
+    deferred-durability mode: UPDATEs arriving within the window share
+    one WAL fsync (each reply still waits for its commit to be
+    durable). *)
 val create :
-  ?pool:Blas.Par.t -> ?cache:bool -> (string * Blas.Storage.t) list -> t
+  ?pool:Blas.Par.t ->
+  ?cache:bool ->
+  ?group_commit_ms:float ->
+  (string * Blas.Storage.t) list ->
+  t
 
 val names : t -> string list
 
@@ -72,6 +80,23 @@ val update : t -> doc:string -> Proto.edit -> Proto.reply
     edit application and WAL I/O are recorded. *)
 val update_info :
   t -> ?tracer:Blas_obs.Trace.t -> doc:string -> Proto.edit -> Proto.reply * info
+
+(** {!update_info} plus — on success — the §11 precise invalidation
+    record of the edit, which the router serializes into the UPDATEX
+    reply and pushes to read replicas.  With group commit enabled, the
+    durability wait happens after the write lock is released, so
+    concurrent updates can batch their WAL fsyncs. *)
+val update_full :
+  t ->
+  ?tracer:Blas_obs.Trace.t ->
+  doc:string ->
+  Proto.edit ->
+  Proto.reply * info * Blas.Update.invalidation option
+
+(** [invalidate t ~doc payload] — the INVAL verb: apply a serialized
+    §11 invalidation (see {!Proto.invalidation_of_string}) to [doc]'s
+    query cache under the exclusive lock. *)
+val invalidate : t -> doc:string -> string -> Proto.reply
 
 (** The LIST reply body: one hosted name per line. *)
 val list_payload : t -> string

@@ -1,0 +1,481 @@
+(** Tests for the cluster layer: the shard map (consistent hashing and
+    self-describing chunk names), D-label range partitioning and the
+    document-order merge, and a live in-process cluster — scatter-gather
+    byte-identity against single-server runs (fixed fig10 queries and a
+    qcheck property over random documents), replica update fan-out,
+    hedged requests against a slow primary, and breaker-driven BUSY
+    degradation when a shard dies.
+
+    Every cluster binds ephemeral loopback ports, so the suite runs in
+    parallel with anything. *)
+
+module P = Blas_server.Proto
+module C = Blas_server.Client
+module Srv = Blas_server.Server
+module Svc = Blas_server.Service
+module Sm = Blas_cluster.Shard_map
+module Partition = Blas_cluster.Partition
+module Merge = Blas_cluster.Merge
+module Router = Blas_cluster.Router
+module Local = Blas_cluster.Local
+
+let translators = [ Blas.Split; Blas.Pushup; Blas.Unfold ]
+
+let engines = [ Blas.Rdbms; Blas.Twig ]
+
+let small_plays () = Blas_datagen.Shakespeare.generate ~plays:1 ()
+
+let small_auction () = Blas_datagen.Auction.generate ~scale:4 ()
+
+(* The Figure 10 queries for the two hosted datasets. *)
+let plays_queries =
+  [
+    "/PLAYS/PLAY/ACT/SCENE/SPEECH/LINE";
+    "/PLAYS/PLAY/EPILOGUE//LINE/STAGEDIR";
+    "//SPEECH[SPEAKER]/LINE";
+  ]
+
+let auction_queries =
+  [
+    "//category/description/parlist/listitem";
+    "/site/regions//item/description";
+    "/site/regions/asia/item[shipping]/description";
+  ]
+
+let expected_payload storage ~translator ~engine q =
+  Svc.payload_of_report
+    (Blas.run_union storage ~engine ~translator (Blas.query_union q))
+
+let expect_ok name = function
+  | P.Ok_payload p -> p
+  | reply -> Alcotest.failf "%s: expected OK, got %s" name (P.reply_to_string reply)
+
+let counter_value reg name =
+  Blas_obs.Metrics.counter_value (Blas_obs.Metrics.counter reg name)
+
+(* ------------------------------------------------------------------ *)
+(* Shard map                                                           *)
+
+let shard_map_units () =
+  (* The hash and the placement are deterministic across map instances
+     (shard processes and the router must agree from names alone). *)
+  Test_util.check_bool "hash deterministic" true
+    (Sm.hash64 "auction" = Sm.hash64 "auction"
+    && Sm.hash64 "auction" <> Sm.hash64 "plays");
+  let m1 = Sm.create ~shards:8 () and m2 = Sm.create ~shards:8 () in
+  let names = List.init 4000 (Printf.sprintf "doc-%d") in
+  List.iter
+    (fun n ->
+      let k = Sm.shard_of_doc m1 n in
+      Test_util.check_bool "in range" true (k >= 0 && k < 8);
+      Test_util.check_int "stable across instances" k (Sm.shard_of_doc m2 n))
+    names;
+  (* Rough balance over the virtual-node ring. *)
+  let counts = Array.make 8 0 in
+  List.iter (fun n -> counts.(Sm.shard_of_doc m1 n) <- counts.(Sm.shard_of_doc m1 n) + 1) names;
+  Array.iteri
+    (fun k c ->
+      if c < 100 then
+        Alcotest.failf "shard %d got only %d of 4000 documents" k c)
+    counts;
+  (match Sm.create ~shards:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shards = 0 accepted");
+  (* Chunk names are self-describing and round-trip. *)
+  let name = Sm.chunk_name ~doc:"big" ~index:2 ~offset:137 in
+  (match Sm.parse_chunk_name name with
+  | Some (doc, ck) ->
+    Test_util.check_string "chunk doc" "big" doc;
+    Test_util.check_int "chunk index" 2 ck.Sm.ck_index;
+    Test_util.check_int "chunk offset" 137 ck.Sm.ck_offset;
+    Test_util.check_string "chunk full name" name ck.Sm.ck_doc
+  | None -> Alcotest.fail "chunk name did not parse");
+  Test_util.check_bool "plain name is not a chunk" true
+    (Sm.parse_chunk_name "plain" = None);
+  (* assemble groups chunks by document, sorted by index, and returns
+     plain names alongside. *)
+  let parts, plains =
+    Sm.assemble
+      [
+        Sm.chunk_name ~doc:"big" ~index:1 ~offset:50;
+        "plain";
+        Sm.chunk_name ~doc:"big" ~index:0 ~offset:0;
+      ]
+  in
+  Test_util.check_int "one partition" 1 (List.length parts);
+  let part = List.hd parts in
+  Test_util.check_string "partition doc" "big" part.Sm.pt_doc;
+  Test_util.check_int_list "chunks sorted by index" [ 0; 1 ]
+    (List.map (fun c -> c.Sm.ck_index) part.Sm.pt_chunks);
+  Test_util.check_bool "plain names kept" true (plains = [ "plain" ]);
+  match
+    Sm.assemble
+      [
+        Sm.chunk_name ~doc:"big" ~index:0 ~offset:0;
+        Sm.chunk_name ~doc:"big" ~index:2 ~offset:9;
+      ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing chunk index accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Partition + merge: the uniform-shift exactness, in-process          *)
+
+let merge_units () =
+  Test_util.check_int "root stays 1" 1 (Merge.map_start ~offset:10 1);
+  Test_util.check_int "non-root shifts" 15 (Merge.map_start ~offset:10 5);
+  Test_util.check_int_list "merge unions in document order" [ 1; 5; 11; 17 ]
+    (Merge.merge [ (0, [ 1; 5 ]); (10, [ 1; 7 ]); (6, [ 5 ]) ]);
+  let payload = Merge.render_answers [ 3; 9; 27 ] in
+  Test_util.check_bool "render/parse round-trip" true
+    (Merge.parse_answers payload = Some [ 3; 9; 27 ]);
+  Test_util.check_bool "garbage does not parse" true
+    (Merge.parse_answers "answers two\nx" = None)
+
+let partition_merge_exact () =
+  (* A fixed random document: per-chunk answers mapped through the
+     chunk offsets and merged must equal the unsplit run — the
+     scatter-gather exactness argument without any sockets. *)
+  let rand = Random.State.make [| 0x5eed; 7 |] in
+  let tree = QCheck2.Gen.generate1 ~rand Test_util.doc_gen in
+  let full = Blas.index_of_tree tree in
+  let named = Partition.split_named ~doc:"big" ~chunks:3 tree in
+  Test_util.check_bool "split produced chunks" true (List.length named >= 1);
+  let chunks =
+    List.map
+      (fun (name, piece) ->
+        match Sm.parse_chunk_name name with
+        | Some (_, ck) -> (ck.Sm.ck_offset, Blas.index_of_tree piece)
+        | None -> Alcotest.failf "bad chunk name %S" name)
+      named
+  in
+  List.iter
+    (fun q ->
+      let expected =
+        (Blas.run_union full ~engine:Blas.Rdbms ~translator:Blas.Pushup
+           (Blas.query_union q))
+          .Blas.starts
+      in
+      let merged =
+        Merge.merge
+          (List.map
+             (fun (offset, s) ->
+               ( offset,
+                 (Blas.run_union s ~engine:Blas.Twig ~translator:Blas.Split
+                    (Blas.query_union q))
+                   .Blas.starts ))
+             chunks)
+      in
+      Test_util.check_int_list q expected merged)
+    [ "//a"; "//b"; "/r/a"; "//c//d"; "//a/b"; "//d[. = \"x\"]" ]
+
+(* ------------------------------------------------------------------ *)
+(* Live cluster: byte-identity under both partitioning schemes         *)
+
+let router_byte_identity () =
+  let plays = small_plays () and auction = small_auction () in
+  let local_plays = Blas.index_of_tree plays in
+  let local_auction = Blas.index_of_tree auction in
+  Local.with_cluster ~shards:3
+    ~docs:
+      [
+        ("plays", fun () -> Blas.index_of_tree plays);
+        ("auction", fun () -> Blas.index_of_tree auction);
+      ]
+    (fun t ->
+      C.with_client (Local.port t) (fun c ->
+          List.iter
+            (fun (doc, local, queries) ->
+              List.iter
+                (fun translator ->
+                  List.iter
+                    (fun engine ->
+                      List.iter
+                        (fun q ->
+                          let expected =
+                            expected_payload local ~translator ~engine q
+                          in
+                          let got =
+                            expect_ok
+                              (Printf.sprintf "%s: %s" doc q)
+                              (C.query c ~doc ~translator ~engine q)
+                          in
+                          Test_util.check_string
+                            (Printf.sprintf "%s: %s (%s on %s)" doc q
+                               (Blas.translator_name translator)
+                               (Blas.engine_name engine))
+                            expected got)
+                        queries)
+                    engines)
+                translators)
+            [
+              ("plays", local_plays, plays_queries);
+              ("auction", local_auction, auction_queries);
+            ];
+          (* Unknown documents answer ERR through the router too. *)
+          match
+            C.query c ~doc:"nosuch" ~translator:Blas.Pushup ~engine:Blas.Rdbms
+              "//a"
+          with
+          | P.Err _ -> ()
+          | reply -> Alcotest.failf "unknown doc: %s" (P.reply_to_string reply)))
+
+let router_byte_identity_range () =
+  (* The auction document range-partitioned over its D-label intervals:
+     the router reassembles the partition from the chunk names alone
+     and scatter-gathers, byte-identical to the unsplit single run. *)
+  let plays = small_plays () and auction = small_auction () in
+  let local_auction = Blas.index_of_tree auction in
+  Local.with_cluster ~shards:3
+    ~partition:("auction", auction, 4)
+    ~docs:[ ("plays", fun () -> Blas.index_of_tree plays) ]
+    (fun t ->
+      C.with_client (Local.port t) (fun c ->
+          List.iter
+            (fun translator ->
+              List.iter
+                (fun engine ->
+                  List.iter
+                    (fun q ->
+                      let expected =
+                        expected_payload local_auction ~translator ~engine q
+                      in
+                      let got =
+                        expect_ok q
+                          (C.query c ~doc:"auction" ~translator ~engine q)
+                      in
+                      Test_util.check_string
+                        (Printf.sprintf "partitioned %s (%s on %s)" q
+                           (Blas.translator_name translator)
+                           (Blas.engine_name engine))
+                        expected got)
+                    auction_queries)
+                engines)
+            translators))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: random documents, random queries, identical bytes           *)
+
+(* One shared 3-shard cluster over fixed random documents (spawning a
+   cluster per qcheck case would dominate the suite); the property
+   draws the document, query, translator and engine per case. *)
+let qcheck_trees =
+  lazy
+    (let rand = Random.State.make [| 0xb1a5; 0xc1 |] in
+     Array.init 6 (fun _ -> QCheck2.Gen.generate1 ~rand Test_util.doc_gen))
+
+let qcheck_oracles =
+  lazy (Array.map Blas.index_of_tree (Lazy.force qcheck_trees))
+
+let qcheck_cluster =
+  lazy
+    (let trees = Lazy.force qcheck_trees in
+     let docs =
+       Array.to_list
+         (Array.mapi
+            (fun i tree ->
+              (Printf.sprintf "rnd%d" i, fun () -> Blas.index_of_tree tree))
+            trees)
+     in
+     let t = Local.start ~shards:3 ~docs () in
+     at_exit (fun () -> try Local.stop t with _ -> ());
+     t)
+
+let scatter_gather_property =
+  Test_util.qtest ~count:50 "scatter-gather is byte-identical to a single run"
+    QCheck2.Gen.(
+      pair
+        (pair (int_range 0 5) (Test_util.query_gen ()))
+        (pair (oneofl translators) (oneofl engines)))
+    (fun ((i, q), (translator, engine)) ->
+      let t = Lazy.force qcheck_cluster in
+      let xpath = Blas_xpath.Pretty.to_string q in
+      let expected =
+        expected_payload (Lazy.force qcheck_oracles).(i) ~translator ~engine
+          xpath
+      in
+      let got =
+        C.with_client (Local.port t) (fun c ->
+            C.query c
+              ~doc:(Printf.sprintf "rnd%d" i)
+              ~translator ~engine xpath)
+      in
+      got = P.Ok_payload expected)
+
+(* ------------------------------------------------------------------ *)
+(* Replica update fan-out                                              *)
+
+let replica_update_fanout () =
+  let plays = small_plays () in
+  let local = Blas.index_of_tree plays in
+  Local.with_cluster ~shards:2 ~replicas:1
+    ~docs:[ ("plays", fun () -> Blas.index_of_tree plays) ]
+    (fun t ->
+      let shard =
+        match
+          List.find_opt
+            (fun k -> List.mem "plays" (Local.shard_docs t k))
+            [ 0; 1 ]
+        with
+        | Some k -> k
+        | None -> Alcotest.fail "plays not hosted anywhere"
+      in
+      let q = "//MARKER" in
+      C.with_client (Local.port t) (fun c ->
+          (* Baseline through the router. *)
+          let before =
+            expect_ok "baseline"
+              (C.query c ~doc:"plays" ~translator:Blas.Pushup
+                 ~engine:Blas.Rdbms q)
+          in
+          Test_util.check_string "no markers yet"
+            (expected_payload local ~translator:Blas.Pushup ~engine:Blas.Rdbms
+               q)
+            before;
+          (* One routed update: the router applies it on the primary via
+             UPDATEX and re-applies it on the replica. *)
+          ignore
+            (expect_ok "routed update"
+               (C.update c ~doc:"plays"
+                  (P.Insert { parent = 1; pos = 0; xml = "<MARKER>x</MARKER>" })));
+          let through_router =
+            expect_ok "query after update"
+              (C.query c ~doc:"plays" ~translator:Blas.Pushup
+                 ~engine:Blas.Rdbms q)
+          in
+          Test_util.check_bool "router sees the marker" true
+            (through_router <> before);
+          (* The replica, asked directly behind the router's back,
+             serves the same updated answer bytes. *)
+          let replica_port = Local.endpoint_port t shard 1 in
+          let on_replica =
+            C.with_client replica_port (fun rc ->
+                expect_ok "replica query"
+                  (C.query rc ~doc:"plays" ~translator:Blas.Pushup
+                     ~engine:Blas.Rdbms q))
+          in
+          Test_util.check_string "replica converged" through_router on_replica;
+          (* The cross-check saw no divergence. *)
+          let reg = Router.registry (Local.router t) in
+          Test_util.check_int "no replica mismatches" 0
+            (counter_value reg "router.replica.mismatch")))
+
+(* ------------------------------------------------------------------ *)
+(* Hedged requests: a slow primary loses to its replica                *)
+
+let hedged_request_beats_slow_primary () =
+  let plays = small_plays () in
+  let local = Blas.index_of_tree plays in
+  let server_config =
+    { Srv.default_config with Srv.allow_sleep = true; max_inflight = 1 }
+  in
+  let router_config =
+    { Router.default_config with Router.hedge = Router.Hedge_ms 2.0 }
+  in
+  Local.with_cluster ~shards:1 ~replicas:1 ~server_config ~router_config
+    ~docs:[ ("plays", fun () -> Blas.index_of_tree plays) ]
+    (fun t ->
+      let q = "//SPEECH[SPEAKER]/LINE" in
+      let expected =
+        expected_payload local ~translator:Blas.Pushup ~engine:Blas.Rdbms q
+      in
+      (* Pin the primary's only worker in a 300 ms nap... *)
+      let primary_port = Local.endpoint_port t 0 0 in
+      let flooder =
+        Thread.create
+          (fun () ->
+            try C.with_client primary_port (fun c -> ignore (C.sleep c 300))
+            with _ -> ())
+          ()
+      in
+      Thread.delay 0.05;
+      (* ...and watch the 2 ms hedge win on the replica. *)
+      let t0 = Unix.gettimeofday () in
+      let got =
+        C.with_client (Local.port t) (fun c ->
+            expect_ok "hedged query"
+              (C.query c ~doc:"plays" ~translator:Blas.Pushup
+                 ~engine:Blas.Rdbms q))
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Test_util.check_string "hedged answer is byte-identical" expected got;
+      Test_util.check_bool
+        (Printf.sprintf "answered before the nap ends (%.0f ms)"
+           (elapsed *. 1000.))
+        true (elapsed < 0.25);
+      let reg = Router.registry (Local.router t) in
+      Test_util.check_bool "hedge fired" true
+        (counter_value reg "router.hedge.fired" >= 1);
+      Test_util.check_bool "hedge won" true
+        (counter_value reg "router.hedge.won" >= 1);
+      Thread.join flooder)
+
+(* ------------------------------------------------------------------ *)
+(* Breaker: a dead shard answers BUSY, live shards stay exact          *)
+
+let dead_shard_degrades_to_busy () =
+  let plays = small_plays () and auction = small_auction () in
+  let local_auction = Blas.index_of_tree auction in
+  Local.with_cluster ~shards:2
+    ~docs:
+      [
+        ("plays", fun () -> Blas.index_of_tree plays);
+        ("auction", fun () -> Blas.index_of_tree auction);
+      ]
+    (fun t ->
+      let victim_shard =
+        match
+          List.find_opt
+            (fun k -> List.mem "plays" (Local.shard_docs t k))
+            [ 0; 1 ]
+        with
+        | Some k -> k
+        | None -> Alcotest.fail "plays not hosted anywhere"
+      in
+      Local.stop_primary t victim_shard;
+      C.with_client (Local.port t) (fun c ->
+          (* Queries for the dead shard's document fail over to nothing:
+             ERR while the breaker counts failures, then BUSY once it
+             opens (shard-aware admission). *)
+          let saw_busy = ref false in
+          for _ = 1 to 10 do
+            if not !saw_busy then
+              match
+                C.query c ~doc:"plays" ~translator:Blas.Pushup
+                  ~engine:Blas.Rdbms "//LINE"
+              with
+              | P.Busy -> saw_busy := true
+              | P.Err _ -> ()
+              | reply ->
+                Alcotest.failf "dead shard answered %s"
+                  (P.reply_to_string reply)
+          done;
+          Test_util.check_bool "breaker opened to BUSY" true !saw_busy;
+          (* Documents on the surviving shard still answer, still
+             byte-identical — degraded but correct. *)
+          if List.mem "auction" (Local.shard_docs t (1 - victim_shard)) then
+            let q = "/site/regions//item/description" in
+            Test_util.check_string "survivor still exact"
+              (expected_payload local_auction ~translator:Blas.Pushup
+                 ~engine:Blas.Rdbms q)
+              (expect_ok "survivor"
+                 (C.query c ~doc:"auction" ~translator:Blas.Pushup
+                    ~engine:Blas.Rdbms q))))
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("shard map: hashing, chunk names, assemble", shard_map_units);
+      ("merge: map, union, payload round-trip", merge_units);
+      ("partition: chunk answers merge exactly", partition_merge_exact);
+      ("live: fig10 byte-identity (hash partitioning)", router_byte_identity);
+      ( "live: fig10 byte-identity (range partitioning)",
+        router_byte_identity_range );
+      ("live: replica update fan-out", replica_update_fanout);
+      ("live: hedged request beats a slow primary", hedged_request_beats_slow_primary);
+      ("live: dead shard degrades to BUSY, survivors exact", dead_shard_degrades_to_busy);
+    ]
+  @ [ scatter_gather_property ]

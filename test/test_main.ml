@@ -24,6 +24,7 @@ let () =
       ("observability", Test_obs.suite);
       ("parallel", Test_par.suite);
       ("server", Test_server.suite);
+      ("cluster", Test_cluster.suite);
       ("misc", Test_misc.suite);
       ("datagen", Test_datagen.suite);
       ("cache", Test_cache.suite);
