@@ -70,10 +70,11 @@ let split ~chunks tree =
           end)
         children;
       if !current <> [] then slices := (List.rev !current, !first) :: !slices;
+      (* [slices] accumulated by prepending, so [rev_map] restores
+         document order. *)
       List.rev_map
         (fun (slice, first) -> (Types.Element (tag, slice), first))
         !slices
-      |> List.rev
     end
 
 (* The start position of the [i]-th element child of a document's root

@@ -22,7 +22,14 @@
       cross-checks each replica's own invalidation against the
       primary's (divergence alarm), and — when a replica fails the
       re-apply — pushes the primary's invalidation via INVAL so the
-      replica at least stops serving stale cached answers.
+      replica at least stops serving stale cached answers.  The whole
+      primary-then-replicas span is serialized per document by a
+      router-side lock: the primary's write lock alone orders only the
+      primary applies, and without the router lock two workers could
+      fan the same two edits out to the replicas in the opposite
+      order and leave them silently diverged (reordered edits can
+      produce identical per-edit invalidation records, so the
+      cross-check cannot detect it).
     - Every endpoint carries a circuit breaker (consecutive transport
       failures open it; after a cooldown one half-open probe may pass).
       Admission is shard-aware: a request whose required shard has no
@@ -144,6 +151,10 @@ type t = {
   registry : Metrics.t;
   groups : ep array array;  (** [groups.(k).(0)] is shard [k]'s primary *)
   table : (string, route) Hashtbl.t;
+  doc_locks : (string, Mutex.t) Hashtbl.t;
+      (** per-document update locks, created on demand (see
+          {!doc_update_lock}) *)
+  doc_locks_lock : Mutex.t;
   listen_fd : Unix.file_descr;
   port : int;
   lock : Mutex.t;
@@ -618,6 +629,25 @@ let fan_replica t ~doc ~edit ~primary_inv rep =
     | None -> ());
     None
 
+(* The per-document update lock.  Held from before the primary UPDATEX
+   until the replica fan-out completes, so that the order in which
+   edits reach the replicas equals the order in which the primary
+   applied them — acquisition order fixes both.  Locks are created on
+   demand and never reclaimed: the table is bounded by the number of
+   routed document names. *)
+let doc_update_lock t doc =
+  Mutex.lock t.doc_locks_lock;
+  let m =
+    match Hashtbl.find_opt t.doc_locks doc with
+    | Some m -> m
+    | None ->
+      let m = Mutex.create () in
+      Hashtbl.add t.doc_locks doc m;
+      m
+  in
+  Mutex.unlock t.doc_locks_lock;
+  m
+
 let update_job t ~want_invalidation ~deadline_ns ~doc edit =
   match route t doc with
   | None -> Proto.Err (Printf.sprintf "unknown document %S" doc)
@@ -630,6 +660,10 @@ let update_job t ~want_invalidation ~deadline_ns ~doc edit =
     let primary = group.(0) in
     if not (admits t primary) then Proto.Busy
     else
+      let dlock = doc_update_lock t doc in
+      Mutex.lock dlock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock dlock)
+      @@ fun () ->
       let deadline_ms = remaining_ms deadline_ns in
       match
         attempt t primary (fun c -> Client.updatex ?deadline_ms c ~doc edit)
@@ -1090,14 +1124,18 @@ let handle_connection t fd =
                (fun ~queue_ns:_ ~deadline_ns:_ -> inval_job t ~doc payload));
           loop ()
         | Proto.Query { doc; translator; engine; xpath } ->
+          (* Headers are consumed even when admission rejects the
+             command — a DEADLINE sent before a BUSY-rejected QUERY
+             must not leak onto the next unrelated command. *)
           let trace = take_trace () in
+          let header_ms = take_header () in
           let reply =
             match admission_reject t ~write:false doc with
             | Some busy ->
               record_outcome t busy;
               busy
             | None ->
-              admitted t ~verb:"query" ~header_ms:(take_header ())
+              admitted t ~verb:"query" ~header_ms
                 (fun ~queue_ns ~deadline_ns ->
                   traced_request t ~trace ~verb:"query" ~queue_ns
                     ~detail:
@@ -1118,13 +1156,14 @@ let handle_connection t fd =
             match cmd with Proto.Updatex _ -> true | _ -> false
           in
           let trace = take_trace () in
+          let header_ms = take_header () in
           let reply =
             match admission_reject t ~write:true doc with
             | Some busy ->
               record_outcome t busy;
               busy
             | None ->
-              admitted t ~verb:"update" ~header_ms:(take_header ())
+              admitted t ~verb:"update" ~header_ms
                 (fun ~queue_ns ~deadline_ns ->
                   traced_request t ~trace ~verb:"update" ~queue_ns
                     ~detail:[ ("doc", doc) ]
@@ -1386,6 +1425,8 @@ let start ?(registry = Metrics.create ()) (config : config) =
       registry;
       groups = eps;
       table;
+      doc_locks = Hashtbl.create 32;
+      doc_locks_lock = Mutex.create ();
       listen_fd;
       port;
       lock = Mutex.create ();

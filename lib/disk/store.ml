@@ -413,7 +413,15 @@ let flush_pending_locked t =
     window) or off (zero).  With a window set, {!commit} becomes
     deferred-durable: it logs the transaction without fsync and parks
     its pages in the overlay; callers must invoke {!sync_pending}
-    before acknowledging the update. *)
+    before acknowledging the update.
+
+    Visibility caveat: the overlay is consulted by {!read_page}
+    immediately, so a deferred commit's pages are visible to concurrent
+    readers {e before} the batched fsync makes them durable.  The
+    acknowledging writer still never acks a non-durable update, but a
+    crash inside the window can lose an update that other readers
+    already observed (read-uncommitted durability, as in most
+    group-commit designs). *)
 let set_group_commit t ~window_ms =
   if window_ms < 0. then invalid_arg "Store.set_group_commit: negative window";
   t.group_window_ns <- int_of_float (window_ms *. 1e6);
@@ -450,16 +458,24 @@ let sync_pending t =
       t.g_leader <- true;
       let window = float_of_int t.group_window_ns /. 1e9 in
       Mutex.unlock t.glock;
-      if window > 0. then Unix.sleepf window;
+      (* A failed sleep only shortens the batching window. *)
+      (try if window > 0. then Unix.sleepf window with _ -> ());
       Mutex.lock t.glock;
-      flush_pending_locked t;
-      t.g_leader <- false;
-      Condition.broadcast t.gcond;
+      (* The flush can raise (WAL fsync / pager I/O: ENOSPC, EIO…).
+         Leadership must be handed back and the followers woken even
+         then — otherwise every later commit/sync/checkpoint waits on
+         [gcond] forever instead of surfacing the error. *)
+      Fun.protect
+        ~finally:(fun () ->
+          t.g_leader <- false;
+          Condition.broadcast t.gcond)
+        (fun () -> flush_pending_locked t);
       wait ()
     end
   in
-  wait ();
-  Mutex.unlock t.glock
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.glock)
+    (fun () -> wait ())
 
 let checkpoint t =
   if t.tx <> None then invalid_arg "Store.checkpoint: transaction open";
@@ -491,7 +507,10 @@ let commit t =
        overlay; the main file stays untouched until the group flush so
        the no-steal invariant (WAL fsync before main-file apply) holds.
        The snapshot is mutated in place — safe because updates hold the
-       document's exclusive lock, so no reader races these writes. *)
+       document's exclusive lock, so no reader races these writes.
+       Once that lock is released the parked pages are readable before
+       they are durable — see the visibility caveat on
+       [set_group_commit]. *)
     Mutex.lock t.glock;
     Wal.append_tx wal ~sync:false ~pages ~root ~count:tx.tx_count;
     let snap = Atomic.get t.overlay in

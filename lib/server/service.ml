@@ -258,8 +258,12 @@ let update_full t ?(tracer = Blas_obs.Trace.disabled) ~doc (edit : Proto.edit)
           None )
     in
     (* Outside the write lock: wait for the (possibly batched) fsync
-       before acknowledging, so the durability contract of UPDATE is
-       unchanged while the fsyncs coalesce. *)
+       before acknowledging, so UPDATE's ack still implies durability
+       while the fsyncs coalesce.  The guarantee is for the
+       acknowledged writer only: between lock release and the group
+       fsync the new pages are already readable, so a crash in that
+       window can lose an update other clients observed (see
+       Store.set_group_commit). *)
     (match Blas.Storage.disk d.storage with
     | Some dk -> dk.Blas.Storage.dk_sync_commits ()
     | None -> ());

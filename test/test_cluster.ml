@@ -169,6 +169,40 @@ let partition_merge_exact () =
       Test_util.check_int_list q expected merged)
     [ "//a"; "//b"; "/r/a"; "//c//d"; "//a/b"; "//d[. = \"x\"]" ]
 
+let partition_chunk_order () =
+  (* split_named returns chunks in document order: ck_index equals the
+     slice's position, the slice holding the document's first child is
+     index 0 with label shift 0, and shifts grow with the index.
+     (Regression: a double reversal used to hand index 0 to the *last*
+     slice.) *)
+  let tree =
+    Blas_xml.Dom.parse "<r><a>aaaa</a><b>bbbb</b><c>cccc</c><d>dddd</d></r>"
+  in
+  let named = Partition.split_named ~doc:"big" ~chunks:2 tree in
+  let parsed =
+    List.map
+      (fun (name, piece) ->
+        match Sm.parse_chunk_name name with
+        | Some (_, ck) -> (ck, piece)
+        | None -> Alcotest.failf "bad chunk name %S" name)
+      named
+  in
+  Test_util.check_int "two chunks" 2 (List.length parsed);
+  List.iteri
+    (fun i (ck, _) ->
+      Test_util.check_int "ck_index is the slice position" i ck.Sm.ck_index)
+    parsed;
+  (match parsed with
+  | (ck0, piece0) :: _ ->
+    Test_util.check_int "first chunk has shift 0" 0 ck0.Sm.ck_offset;
+    (match piece0 with
+    | Blas_xml.Types.Element (_, Blas_xml.Types.Element ("a", _) :: _) -> ()
+    | _ -> Alcotest.fail "first chunk does not start with the first child")
+  | [] -> Alcotest.fail "no chunks");
+  let offs = List.map (fun (ck, _) -> ck.Sm.ck_offset) parsed in
+  Test_util.check_bool "shifts strictly increase with index" true
+    (List.sort_uniq compare offs = offs)
+
 (* ------------------------------------------------------------------ *)
 (* Live cluster: byte-identity under both partitioning schemes         *)
 
@@ -360,6 +394,71 @@ let replica_update_fanout () =
           Test_util.check_int "no replica mismatches" 0
             (counter_value reg "router.replica.mismatch")))
 
+(* Concurrent routed updates to one document must reach the replica in
+   the primary's apply order.  RETEXTs at the same start do not
+   commute, and reordered re-application would leave the replica
+   silently diverged forever — the per-edit invalidation records are
+   identical under reordering, so the mismatch counter cannot catch
+   it.  (Regression for the router's per-document update lock.) *)
+let replica_ordering_under_concurrency () =
+  let plays = small_plays () in
+  let local = Blas.index_of_tree plays in
+  (* The start of one SPEAKER element — every client retexts this node. *)
+  let target =
+    match
+      (Blas.run_union local ~engine:Blas.Rdbms ~translator:Blas.Pushup
+         (Blas.query_union "//SPEAKER"))
+        .Blas.starts
+    with
+    | s :: _ -> s
+    | [] -> Alcotest.fail "no SPEAKER in the generated play"
+  in
+  Local.with_cluster ~shards:1 ~replicas:1
+    ~docs:[ ("plays", fun () -> Blas.index_of_tree plays) ]
+    (fun t ->
+      let n_clients = 4 and per_client = 10 in
+      let failures = Atomic.make 0 in
+      let storm k =
+        C.with_client (Local.port t) (fun c ->
+            for i = 0 to per_client - 1 do
+              match
+                C.update c ~doc:"plays"
+                  (P.Retext
+                     { start = target; data = Some (Printf.sprintf "v%d-%d" k i) })
+              with
+              | P.Ok_payload _ -> ()
+              | _ -> Atomic.incr failures
+            done)
+      in
+      let threads =
+        List.init n_clients (fun k -> Thread.create (fun () -> storm k) ())
+      in
+      List.iter Thread.join threads;
+      Test_util.check_int "every routed update acked" 0 (Atomic.get failures);
+      (* Quiesced (each ack implies the replica fan-out completed):
+         primary and replica must serve byte-identical answers for a
+         value predicate on the contested node, whichever write won. *)
+      let primary_port = Local.endpoint_port t 0 0
+      and replica_port = Local.endpoint_port t 0 1 in
+      let answers port q =
+        C.with_client port (fun c ->
+            expect_ok "direct query"
+              (C.query c ~doc:"plays" ~translator:Blas.Pushup
+                 ~engine:Blas.Rdbms q))
+      in
+      let empty = answers primary_port "//SPEAKER = \"never-written\"" in
+      let winners = ref 0 in
+      for k = 0 to n_clients - 1 do
+        for i = 0 to per_client - 1 do
+          let q = Printf.sprintf "//SPEAKER = \"v%d-%d\"" k i in
+          let on_primary = answers primary_port q in
+          Test_util.check_string ("replica agrees on " ^ q) on_primary
+            (answers replica_port q);
+          if on_primary <> empty then incr winners
+        done
+      done;
+      Test_util.check_int "exactly one write won on the primary" 1 !winners)
+
 (* ------------------------------------------------------------------ *)
 (* Hedged requests: a slow primary loses to its replica                *)
 
@@ -471,10 +570,13 @@ let suite =
       ("shard map: hashing, chunk names, assemble", shard_map_units);
       ("merge: map, union, payload round-trip", merge_units);
       ("partition: chunk answers merge exactly", partition_merge_exact);
+      ("partition: chunk names follow document order", partition_chunk_order);
       ("live: fig10 byte-identity (hash partitioning)", router_byte_identity);
       ( "live: fig10 byte-identity (range partitioning)",
         router_byte_identity_range );
       ("live: replica update fan-out", replica_update_fanout);
+      ( "live: concurrent same-doc updates keep the replica ordered",
+        replica_ordering_under_concurrency );
       ("live: hedged request beats a slow primary", hedged_request_beats_slow_primary);
       ("live: dead shard degrades to BUSY, survivors exact", dead_shard_degrades_to_busy);
     ]
